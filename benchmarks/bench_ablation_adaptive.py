@@ -1,0 +1,114 @@
+"""Ablations for the Adaptive-Sparse-Vector-with-Gap design choices.
+
+DESIGN.md calls out two hyper-parameters of Algorithm 2 whose values the
+paper fixes without a sweep:
+
+* the top-branch margin ``sigma`` (set to 2 standard deviations of the
+  top-branch noise), and
+* the threshold/query budget split ``theta`` (set to the Lyu et al. ratio).
+
+These ablations sweep both and report how the number of above-threshold
+answers, the top-branch share and the precision respond, confirming that the
+paper's choices sit in a sensible regime (larger sigma trades extra answers
+for precision; the recommended theta is near the answer-count optimum).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import EPSILON, TRIALS, emit
+
+from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
+from repro.evaluation.figures import render_series_table
+from repro.evaluation.harness import pick_threshold
+from repro.evaluation.metrics import precision_recall
+from repro.mechanisms.sparse_vector import SvtBranch
+
+K = 10
+SIGMA_MULTIPLIERS = (0.5, 1.0, 2.0, 3.0, 4.0)
+THETAS = (0.05, 0.1, 0.2, 0.4, 0.6)
+
+
+def _run_setting(counts, rng, trials, **mechanism_kwargs):
+    answers, top_share, precisions = [], [], []
+    for _ in range(trials):
+        threshold = pick_threshold(counts, K, rng=rng)
+        mech = AdaptiveSparseVectorWithGap(
+            epsilon=EPSILON, threshold=threshold, k=K, monotonic=True, **mechanism_kwargs
+        )
+        result = mech.run(counts, rng=rng)
+        answers.append(result.num_answered)
+        counts_by_branch = result.branch_counts()
+        top_share.append(
+            counts_by_branch[SvtBranch.TOP] / max(1, result.num_answered)
+        )
+        actual_above = [int(i) for i in np.nonzero(counts > threshold)[0]]
+        precision, _ = precision_recall(result.above_indices, actual_above)
+        precisions.append(precision)
+    return (
+        float(np.mean(answers)),
+        float(np.mean(top_share)),
+        float(np.mean(precisions)),
+    )
+
+
+def _sigma_sweep(counts):
+    rng = np.random.default_rng(0)
+    rows = []
+    for multiplier in SIGMA_MULTIPLIERS:
+        answers, top_share, precision = _run_setting(
+            counts, rng, TRIALS, sigma_multiplier=multiplier
+        )
+        rows.append(
+            {
+                "sigma_multiplier": multiplier,
+                "answers": answers,
+                "top_branch_share": top_share,
+                "precision": precision,
+            }
+        )
+    return rows
+
+
+def _theta_sweep(counts):
+    rng = np.random.default_rng(1)
+    rows = []
+    for theta in THETAS:
+        answers, top_share, precision = _run_setting(counts, rng, TRIALS, theta=theta)
+        rows.append(
+            {
+                "theta": theta,
+                "answers": answers,
+                "top_branch_share": top_share,
+                "precision": precision,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_sigma_margin(benchmark, bms_pos_counts):
+    rows = benchmark.pedantic(_sigma_sweep, args=(bms_pos_counts,), rounds=1, iterations=1)
+    emit(
+        "Ablation: top-branch margin sigma (multiples of the top-noise std)",
+        render_series_table(rows),
+    )
+    # A small margin sends almost everything through the cheap top branch; a
+    # large margin pushes answers back to the middle branch.
+    assert rows[0]["top_branch_share"] >= rows[-1]["top_branch_share"]
+    # All settings keep reasonable precision on well-separated counts.
+    assert all(row["precision"] > 0.5 for row in rows)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_theta_allocation(benchmark, bms_pos_counts):
+    rows = benchmark.pedantic(_theta_sweep, args=(bms_pos_counts,), rounds=1, iterations=1)
+    emit(
+        "Ablation: threshold budget fraction theta",
+        render_series_table(rows),
+    )
+    answers = [row["answers"] for row in rows]
+    # Very large theta starves the per-query budget and answers fewer queries
+    # than the intermediate settings.
+    assert max(answers[:3]) >= answers[-1]

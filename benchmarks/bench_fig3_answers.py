@@ -1,0 +1,73 @@
+"""Figure 3a-3c: number of above-threshold answers, SVT vs Adaptive SVT.
+
+Paper reference: Figures 3a (BMS-POS), 3b (Kosarak) and 3c (T40I10D100K) show
+bar charts of the number of above-threshold answers returned by standard
+Sparse Vector versus Adaptive-Sparse-Vector-with-Gap at epsilon = 0.7 as k
+varies, with the adaptive bar split into its top-branch and middle-branch
+components.  The adaptive mechanism answers at least as many queries, with
+most answers coming from the cheap top branch (up to roughly 15 extra answers
+at k = 25 in the paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import EPSILON, TRIALS, emit
+
+from repro.evaluation.figures import render_series_table
+from repro.evaluation.harness import run_adaptive_comparison
+
+KS = (2, 6, 10, 14, 18, 22)
+
+
+def _sweep(counts, rng_seed):
+    rows = []
+    for k in KS:
+        result = run_adaptive_comparison(
+            counts, epsilon=EPSILON, k=k, trials=TRIALS, monotonic=True, rng=rng_seed
+        )
+        rows.append(
+            {
+                "k": k,
+                "svt_answers": result.svt_answers,
+                "adaptive_answers": result.adaptive_answers,
+                "adaptive_top": result.adaptive_top_answers,
+                "adaptive_middle": result.adaptive_middle_answers,
+            }
+        )
+    return rows
+
+
+def _check_shape(rows):
+    for row in rows:
+        # The adaptive mechanism never answers fewer queries on average.
+        assert row["adaptive_answers"] >= row["svt_answers"] - 0.5
+        # Branch counts decompose the adaptive total.
+        assert row["adaptive_top"] + row["adaptive_middle"] == pytest.approx(
+            row["adaptive_answers"]
+        )
+    # The advantage grows with k (compare the largest and smallest settings).
+    gain_small = rows[0]["adaptive_answers"] - rows[0]["svt_answers"]
+    gain_large = rows[-1]["adaptive_answers"] - rows[-1]["svt_answers"]
+    assert gain_large >= gain_small - 0.5
+
+
+@pytest.mark.benchmark(group="figure3-answers")
+def test_figure3a_bms_pos(benchmark, bms_pos_counts):
+    rows = benchmark.pedantic(_sweep, args=(bms_pos_counts, 0), rounds=1, iterations=1)
+    emit("Figure 3a: answers, BMS-POS-like, eps=0.7", render_series_table(rows))
+    _check_shape(rows)
+
+
+@pytest.mark.benchmark(group="figure3-answers")
+def test_figure3b_kosarak(benchmark, kosarak_counts):
+    rows = benchmark.pedantic(_sweep, args=(kosarak_counts, 1), rounds=1, iterations=1)
+    emit("Figure 3b: answers, kosarak-like, eps=0.7", render_series_table(rows))
+    _check_shape(rows)
+
+
+@pytest.mark.benchmark(group="figure3-answers")
+def test_figure3c_t40(benchmark, quest_counts):
+    rows = benchmark.pedantic(_sweep, args=(quest_counts, 2), rounds=1, iterations=1)
+    emit("Figure 3c: answers, T40I10D100K-like, eps=0.7", render_series_table(rows))
+    _check_shape(rows)

@@ -1,0 +1,59 @@
+"""Micro-benchmarks of mechanism throughput.
+
+Not a paper figure: these timings document the computational cost of one
+mechanism invocation on catalogue-sized query vectors, which matters for the
+Monte-Carlo experiment harness (10,000 repetitions per plotted point in the
+paper) and for downstream users embedding the mechanisms in query engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
+from repro.core.noisy_top_k import NoisyTopKWithGap
+from repro.core.select_measure import select_and_measure_top_k
+from repro.mechanisms.sparse_vector import SparseVector
+
+NUM_QUERIES = 2_000
+
+
+@pytest.fixture(scope="module")
+def counts():
+    return np.random.default_rng(0).uniform(0, 10_000, NUM_QUERIES)
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_noisy_top_k_with_gap_throughput(benchmark, counts):
+    mech = NoisyTopKWithGap(epsilon=1.0, k=25, monotonic=True)
+    rng = np.random.default_rng(1)
+    result = benchmark(lambda: mech.select(counts, rng=rng))
+    assert len(result.indices) == 25
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_sparse_vector_throughput(benchmark, counts):
+    mech = SparseVector(epsilon=1.0, threshold=9_000.0, k=25, monotonic=True)
+    rng = np.random.default_rng(2)
+    result = benchmark(lambda: mech.run(counts, rng=rng))
+    assert result.num_processed >= 1
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_adaptive_svt_throughput(benchmark, counts):
+    mech = AdaptiveSparseVectorWithGap(
+        epsilon=1.0, threshold=9_000.0, k=25, monotonic=True
+    )
+    rng = np.random.default_rng(3)
+    result = benchmark(lambda: mech.run(counts, rng=rng))
+    assert result.num_processed >= 1
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_select_then_measure_throughput(benchmark, counts):
+    rng = np.random.default_rng(4)
+    result = benchmark(
+        lambda: select_and_measure_top_k(counts, epsilon=0.7, k=10, rng=rng)
+    )
+    assert len(result.indices) == 10

@@ -1,0 +1,52 @@
+"""Theoretical expected-improvement curves (the dashed lines in Figures 1-2).
+
+Paper reference: Corollary 1 (Noisy-Top-K-with-Gap) and the Section 6.2
+derivation (Sparse-Vector-with-Gap) give closed-form expected improvements
+that are plotted alongside the empirical curves in Figures 1 and 2.  This
+benchmark tabulates them and checks their limiting behaviour (50 % for
+monotonic queries, 20 % for general SVT queries).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.evaluation.figures import render_series_table
+from repro.postprocess.theory import (
+    svt_expected_improvement,
+    svt_limit_improvement,
+    top_k_expected_improvement,
+    top_k_limit_improvement,
+)
+
+KS = (1, 2, 5, 10, 15, 20, 25, 50, 100)
+
+
+def _build_rows():
+    rows = []
+    for k in KS:
+        rows.append(
+            {
+                "k": k,
+                "top_k_monotonic_percent": 100.0 * top_k_expected_improvement(k, 1.0),
+                "svt_monotonic_percent": 100.0 * svt_expected_improvement(k, True),
+                "svt_general_percent": 100.0 * svt_expected_improvement(k, False),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="theory")
+def test_theoretical_improvement_curves(benchmark):
+    rows = benchmark.pedantic(_build_rows, rounds=1, iterations=1)
+    emit("Theoretical expected improvement curves (Cor. 1 and Sec. 6.2)", render_series_table(rows))
+    # Limits claimed in the paper.
+    assert top_k_limit_improvement(1.0) == pytest.approx(0.5)
+    assert svt_limit_improvement(True) == pytest.approx(0.5)
+    assert svt_limit_improvement(False) == pytest.approx(0.2)
+    # Monotone growth toward the limits.
+    top_curve = [row["top_k_monotonic_percent"] for row in rows]
+    assert all(a <= b for a, b in zip(top_curve, top_curve[1:]))
+    assert rows[-1]["top_k_monotonic_percent"] == pytest.approx(49.5, abs=0.5)
+    assert rows[-1]["svt_general_percent"] < 20.0

@@ -1,0 +1,95 @@
+"""Quickstart: the paper's mechanisms on a toy transaction database.
+
+Walks through the core API in five steps:
+
+1. build a transaction database and its item-count workload,
+2. select the approximate top-k items with Noisy-Top-K-with-Gap,
+3. find above-threshold items with Adaptive-Sparse-Vector-with-Gap,
+4. measure the selected items with the Laplace mechanism, and
+5. fuse the free gaps with the measurements (the paper's headline use case).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AdaptiveSparseVectorWithGap,
+    CompositionAccountant,
+    LaplaceMechanism,
+    NoisyTopKWithGap,
+    PrivacyBudget,
+    blue_top_k_estimate,
+    make_dataset,
+)
+
+
+def main() -> None:
+    rng_seed = 7
+
+    # ------------------------------------------------------------------ data
+    database = make_dataset("BMS-POS", scale=0.02, rng=rng_seed)
+    counts = database.item_counts()
+    print(f"database: {database.name}")
+    print(f"  transactions: {database.num_records}, items: {database.num_unique_items}")
+
+    # A total privacy budget for the whole analysis, tracked explicitly.
+    budget = PrivacyBudget(1.0)
+    selection_budget, measurement_budget = budget.halves()
+    accountant = CompositionAccountant(target_epsilon=budget.epsilon)
+
+    # ------------------------------------------------- top-k selection + gaps
+    k = 5
+    selector = NoisyTopKWithGap(epsilon=selection_budget.epsilon, k=k, monotonic=True)
+    selection = selector.select(counts, rng=rng_seed)
+    accountant.record(selector.name, selection_budget.epsilon, notes=f"k={k}")
+
+    print(f"\nNoisy-Top-K-with-Gap (epsilon={selection_budget.epsilon:g}):")
+    print(f"  selected item indexes : {selection.indices}")
+    print(f"  free consecutive gaps : {np.round(selection.gaps, 1)}")
+
+    # --------------------------------------------------- direct measurements
+    measurer = LaplaceMechanism(
+        epsilon=measurement_budget.epsilon, l1_sensitivity=float(k)
+    )
+    measurements = measurer.release(counts[selection.indices], rng=rng_seed + 1)
+    accountant.record(measurer.name, measurement_budget.epsilon, notes=f"k={k}")
+
+    # ------------------------------------------------------- BLUE gap fusion
+    fused = blue_top_k_estimate(measurements.values, selection.gaps[: k - 1], lam=1.0)
+    truth = counts[selection.indices]
+
+    print("\nitem   true count   measurement   gap-fused estimate")
+    for item, true_value, measured, estimate in zip(
+        selection.indices, truth, measurements.values, fused
+    ):
+        print(f"{item:>4}   {true_value:>10.0f}   {measured:>11.1f}   {estimate:>18.1f}")
+    baseline_mse = float(np.mean((measurements.values - truth) ** 2))
+    fused_mse = float(np.mean((fused - truth) ** 2))
+    print(
+        f"\nsquared error: measurements only {baseline_mse:.1f}  "
+        f"with free gaps {fused_mse:.1f}  "
+        f"({100 * (1 - fused_mse / baseline_mse):.0f}% better on this draw)"
+    )
+
+    # ----------------------------------------------------- adaptive SVT demo
+    threshold = database.kth_largest_count(40)
+    svt = AdaptiveSparseVectorWithGap(
+        epsilon=0.5, threshold=threshold, k=5, monotonic=True
+    )
+    run = svt.run(counts, rng=rng_seed + 2)
+    print(f"\nAdaptive-Sparse-Vector-with-Gap (threshold={threshold:.0f}, epsilon=0.5):")
+    print(f"  above-threshold items : {run.above_indices}")
+    print(f"  free gaps             : {np.round(run.gaps, 1)}")
+    print(f"  budget left over      : {100 * run.remaining_budget_fraction:.0f}%")
+
+    print(f"\ntotal privacy cost recorded: {accountant.total_epsilon:g} "
+          f"(target {budget.epsilon:g})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Private frequent-item analytics: the Section 5.2 use case end to end.
+
+Scenario: a retailer wants to publish the identities and (approximate) sale
+counts of its k best-selling products without revealing any single customer's
+basket.  The paper's recipe:
+
+1. spend half the budget on Noisy-Top-K-with-Gap to *select* the products
+   (and collect the free gaps),
+2. spend the other half on Laplace measurements of the selected products,
+3. post-process with the BLUE fusion of Theorem 3.
+
+This example runs the recipe over several Monte-Carlo repetitions and reports
+the empirical MSE improvement next to Corollary 1's prediction, and also
+shows the pairwise-gap feature of Section 5.1 (estimating the margin between
+any two selected products for free).
+
+Run with::
+
+    python examples/top_k_frequent_items.py [k]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import (
+    make_dataset,
+    select_and_measure_top_k,
+    top_k_expected_improvement,
+    NoisyTopKWithGap,
+)
+
+
+def demonstrate_pairwise_gaps(counts: np.ndarray, k: int, epsilon: float) -> None:
+    """Show the free pairwise-gap estimates between selected products."""
+    selector = NoisyTopKWithGap(epsilon=epsilon, k=k, monotonic=True)
+    result = selector.select(counts, rng=11)
+    best, runner_up = result.indices[0], result.indices[1]
+    estimated_margin = result.pairwise_gap(0, 1)
+    true_margin = counts[best] - counts[runner_up]
+    print("free pairwise-gap example:")
+    print(
+        f"  estimated sales margin between product #{best} and #{runner_up}: "
+        f"{estimated_margin:.0f} (true {true_margin:.0f})"
+    )
+    if k >= 3:
+        third = result.indices[2]
+        print(
+            f"  estimated margin between #{best} and #{third}: "
+            f"{result.pairwise_gap(0, 2):.0f} "
+            f"(true {counts[best] - counts[third]:.0f})"
+        )
+
+
+def main() -> None:
+    k = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    epsilon = 0.7
+    repetitions = 300
+
+    database = make_dataset("BMS-POS", scale=0.1, rng=3)
+    counts = database.item_counts()
+    print(
+        f"dataset: {database.name} "
+        f"({database.num_records} transactions, {database.num_unique_items} products)"
+    )
+    print(f"publishing the top {k} products with total budget epsilon={epsilon}\n")
+
+    rng = np.random.default_rng(5)
+    baseline_errors, fused_errors = [], []
+    for _ in range(repetitions):
+        run = select_and_measure_top_k(
+            counts, epsilon=epsilon, k=k, monotonic=True, rng=rng
+        )
+        baseline_errors.extend(run.baseline_squared_errors())
+        fused_errors.extend(run.fused_squared_errors())
+
+    baseline_mse = float(np.mean(baseline_errors))
+    fused_mse = float(np.mean(fused_errors))
+    improvement = 100.0 * (1.0 - fused_mse / baseline_mse)
+    predicted = 100.0 * top_k_expected_improvement(k, lam=1.0)
+
+    print(f"mean squared error over {repetitions} runs:")
+    print(f"  measurements only        : {baseline_mse:10.1f}")
+    print(f"  measurements + free gaps : {fused_mse:10.1f}")
+    print(f"  improvement              : {improvement:5.1f}%  "
+          f"(Corollary 1 predicts {predicted:.1f}%)\n")
+
+    demonstrate_pairwise_gaps(counts, k, epsilon / 2.0)
+
+
+if __name__ == "__main__":
+    main()

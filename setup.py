@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 660 editable-install support.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that ``python setup.py develop`` works in offline environments that
+lack the ``wheel`` package required by ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,101 @@
+"""repro: free-gap differentially private selection mechanisms.
+
+A reproduction of "Free Gap Information from the Differentially Private
+Sparse Vector and Noisy Max Mechanisms" (Ding, Wang, Zhang, Kifer; VLDB
+2019).  The package provides:
+
+* the paper's mechanisms -- :class:`NoisyTopKWithGap`, :class:`NoisyMaxWithGap`
+  and :class:`AdaptiveSparseVectorWithGap`;
+* the classical baselines they improve on -- :class:`NoisyTopK`,
+  :class:`ReportNoisyMax`, :class:`SparseVector`, :class:`SparseVectorWithGap`
+  and the :class:`LaplaceMechanism` / :class:`ExponentialMechanism`;
+* the free-gap post-processing estimators (BLUE fusion, inverse-variance
+  fusion, confidence bounds);
+* an executable randomness-alignment framework and an empirical DP verifier;
+* transaction-data substrates and the experiment harness that regenerates
+  every figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import NoisyTopKWithGap
+>>> counts = np.array([120.0, 90.0, 85.0, 30.0, 5.0])
+>>> result = NoisyTopKWithGap(epsilon=1.0, k=2, monotonic=True).select(counts, rng=0)
+>>> len(result.indices), len(result.gaps)
+(2, 2)
+"""
+
+from repro.accounting import BudgetOdometer, CompositionAccountant, PrivacyBudget
+from repro.core import (
+    AdaptiveSparseVectorWithGap,
+    AdaptiveSvtConfig,
+    NoisyMaxWithGap,
+    NoisyTopKWithGap,
+    SelectThenMeasureResult,
+    select_and_measure_svt,
+    select_and_measure_top_k,
+)
+from repro.datasets import TransactionDatabase, make_dataset
+from repro.engine import PrivateAnalyticsSession
+from repro.mechanisms import (
+    ExponentialMechanism,
+    LaplaceMechanism,
+    NoisyTopK,
+    ReportNoisyMax,
+    SelectionResult,
+    SparseVector,
+    SparseVectorWithGap,
+    SvtOutcome,
+    SvtResult,
+)
+from repro.postprocess import (
+    blue_top_k_estimate,
+    blue_variance_ratio,
+    fuse_gap_and_measurement,
+    gap_lower_confidence_bound,
+    svt_expected_improvement,
+    top_k_expected_improvement,
+)
+from repro.queries import CountingQuery, Query, QueryWorkload, item_count_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core mechanisms
+    "NoisyTopKWithGap",
+    "NoisyMaxWithGap",
+    "AdaptiveSparseVectorWithGap",
+    "AdaptiveSvtConfig",
+    "SelectThenMeasureResult",
+    "select_and_measure_top_k",
+    "select_and_measure_svt",
+    # baselines
+    "NoisyTopK",
+    "ReportNoisyMax",
+    "SparseVector",
+    "SparseVectorWithGap",
+    "LaplaceMechanism",
+    "ExponentialMechanism",
+    "SelectionResult",
+    "SvtOutcome",
+    "SvtResult",
+    # postprocessing
+    "blue_top_k_estimate",
+    "blue_variance_ratio",
+    "fuse_gap_and_measurement",
+    "gap_lower_confidence_bound",
+    "top_k_expected_improvement",
+    "svt_expected_improvement",
+    # engine and substrates
+    "PrivateAnalyticsSession",
+    "TransactionDatabase",
+    "make_dataset",
+    "Query",
+    "CountingQuery",
+    "QueryWorkload",
+    "item_count_workload",
+    "PrivacyBudget",
+    "BudgetOdometer",
+    "CompositionAccountant",
+    "__version__",
+]

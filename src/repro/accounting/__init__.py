@@ -1,0 +1,27 @@
+"""Privacy-budget accounting.
+
+The experiments in Section 7 of the paper repeatedly (a) split a total
+privacy budget between a selection step and a measurement step, and (b) track
+how much budget Adaptive-Sparse-Vector-with-Gap has consumed (it can stop
+with budget left over -- Figure 4).  This subpackage provides the small
+amount of machinery needed for that:
+
+* :class:`~repro.accounting.budget.PrivacyBudget` -- an immutable budget
+  value with split/scale helpers.
+* :class:`~repro.accounting.budget.BudgetOdometer` -- a mutable ledger that
+  mechanisms charge as they consume budget, with overdraft protection.
+* :class:`~repro.accounting.composition.CompositionAccountant` -- sequential
+  composition over a sequence of mechanism invocations, producing per-step
+  records for reports.
+"""
+
+from repro.accounting.budget import BudgetExceededError, BudgetOdometer, PrivacyBudget
+from repro.accounting.composition import CompositionAccountant, CompositionRecord
+
+__all__ = [
+    "PrivacyBudget",
+    "BudgetOdometer",
+    "BudgetExceededError",
+    "CompositionAccountant",
+    "CompositionRecord",
+]

@@ -1,0 +1,156 @@
+"""Privacy budgets and odometers.
+
+A :class:`PrivacyBudget` is an immutable epsilon value with convenience
+operations for the budget splits used throughout the paper (half for
+selection, half for measurement; the 1 : k^(2/3) threshold/query allocation
+inside Sparse Vector, controlled by the hyper-parameter theta in
+Algorithm 2).  A :class:`BudgetOdometer` is a mutable ledger: mechanisms
+charge it as they go and it refuses to overdraft, mirroring the loop guard on
+Line 16 of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class BudgetExceededError(RuntimeError):
+    """Raised when a charge would push an odometer past its total budget."""
+
+
+@dataclass(frozen=True)
+class PrivacyBudget:
+    """An immutable pure-DP privacy budget (an epsilon value).
+
+    Parameters
+    ----------
+    epsilon:
+        The privacy-loss budget; must be positive.
+    """
+
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+
+    def split(self, *fractions: float) -> Tuple["PrivacyBudget", ...]:
+        """Split the budget into parts proportional to ``fractions``.
+
+        The fractions must be positive and sum to at most 1 (within a small
+        tolerance); any unassigned remainder is simply not returned.
+
+        Examples
+        --------
+        >>> selection, measurement = PrivacyBudget(1.0).split(0.5, 0.5)
+        >>> selection.epsilon
+        0.5
+        """
+        if not fractions:
+            raise ValueError("at least one fraction is required")
+        if any(f <= 0 for f in fractions):
+            raise ValueError("fractions must be positive")
+        if sum(fractions) > 1.0 + 1e-9:
+            raise ValueError("fractions must sum to at most 1")
+        return tuple(PrivacyBudget(self.epsilon * f) for f in fractions)
+
+    def halves(self) -> Tuple["PrivacyBudget", "PrivacyBudget"]:
+        """The common selection/measurement 50-50 split used in Section 7.2."""
+        return self.split(0.5, 0.5)
+
+    def svt_allocation(self, k: int, monotonic: bool = True) -> Tuple[float, float]:
+        """Threshold/query budget allocation recommended by Lyu et al.
+
+        Returns ``(epsilon_threshold, epsilon_queries)`` using the ratio
+        ``1 : k^(2/3)`` for monotonic queries and ``1 : (2k)^(2/3)``
+        otherwise, as used in Sections 6.2 and 7.2 of the paper.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        ratio = k ** (2.0 / 3.0) if monotonic else (2.0 * k) ** (2.0 / 3.0)
+        threshold = self.epsilon / (1.0 + ratio)
+        return threshold, self.epsilon - threshold
+
+    def scaled(self, factor: float) -> "PrivacyBudget":
+        """A budget scaled by a positive factor."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return PrivacyBudget(self.epsilon * factor)
+
+    def __float__(self) -> float:
+        return self.epsilon
+
+
+class BudgetOdometer:
+    """A mutable ledger of privacy-budget consumption.
+
+    Parameters
+    ----------
+    total:
+        The total budget available, as a float epsilon or a
+        :class:`PrivacyBudget`.
+
+    Notes
+    -----
+    Charges are recorded with a label so that experiment reports can show
+    where the budget went (e.g. threshold noise vs. top-branch queries vs.
+    middle-branch queries in Adaptive-Sparse-Vector-with-Gap).
+    """
+
+    def __init__(self, total) -> None:
+        epsilon = float(total.epsilon if isinstance(total, PrivacyBudget) else total)
+        if epsilon <= 0:
+            raise ValueError(f"total budget must be positive, got {epsilon}")
+        self._total = epsilon
+        self._charges: List[Tuple[str, float]] = []
+
+    @property
+    def total(self) -> float:
+        """The total budget."""
+        return self._total
+
+    @property
+    def spent(self) -> float:
+        """Budget consumed so far."""
+        return float(sum(amount for _, amount in self._charges))
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available (never negative)."""
+        return max(0.0, self._total - self.spent)
+
+    @property
+    def remaining_fraction(self) -> float:
+        """Fraction of the total budget still available (Figure 4 metric)."""
+        return self.remaining / self._total
+
+    def can_charge(self, amount: float) -> bool:
+        """Whether a charge of ``amount`` fits in the remaining budget."""
+        if amount < 0:
+            raise ValueError("charge amount must be non-negative")
+        return self.spent + amount <= self._total + 1e-12
+
+    def charge(self, amount: float, label: str = "") -> None:
+        """Record a charge, raising :class:`BudgetExceededError` on overdraft."""
+        if amount < 0:
+            raise ValueError("charge amount must be non-negative")
+        if not self.can_charge(amount):
+            raise BudgetExceededError(
+                f"charge of {amount:g} exceeds remaining budget "
+                f"{self.remaining:g} (total {self._total:g})"
+            )
+        self._charges.append((label, float(amount)))
+
+    def breakdown(self) -> Dict[str, float]:
+        """Total charge per label."""
+        summary: Dict[str, float] = {}
+        for label, amount in self._charges:
+            summary[label] = summary.get(label, 0.0) + amount
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BudgetOdometer(total={self._total:g}, spent={self.spent:g}, "
+            f"remaining={self.remaining:g})"
+        )

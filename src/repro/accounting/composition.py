@@ -1,0 +1,84 @@
+"""Sequential composition accounting.
+
+Pure differential privacy composes additively: running mechanisms with
+budgets ``eps_1, ..., eps_m`` and releasing all their outputs satisfies
+``(sum_i eps_i)``-differential privacy.  The :class:`CompositionAccountant`
+records each invocation so that an end-to-end experiment (selection followed
+by measurement, repeated over Monte-Carlo trials) can report its overall
+privacy cost and verify it against the intended total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class CompositionRecord:
+    """One entry in a composition ledger.
+
+    Attributes
+    ----------
+    mechanism:
+        Name of the mechanism that was run.
+    epsilon:
+        Privacy budget the invocation was charged.
+    notes:
+        Free-form metadata (e.g. the number of queries selected).
+    """
+
+    mechanism: str
+    epsilon: float
+    notes: str = ""
+
+
+@dataclass
+class CompositionAccountant:
+    """Tracks the sequential composition of several mechanism invocations.
+
+    Parameters
+    ----------
+    target_epsilon:
+        Optional cap; :meth:`record` raises ``ValueError`` if an invocation
+        would exceed it.  ``None`` means unlimited.
+    """
+
+    target_epsilon: Optional[float] = None
+    records: List[CompositionRecord] = field(default_factory=list)
+
+    def record(self, mechanism: str, epsilon: float, notes: str = "") -> CompositionRecord:
+        """Record one mechanism invocation and return its ledger entry."""
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if (
+            self.target_epsilon is not None
+            and self.total_epsilon + epsilon > self.target_epsilon + 1e-12
+        ):
+            raise ValueError(
+                f"recording {mechanism} with epsilon={epsilon:g} would exceed the "
+                f"target budget {self.target_epsilon:g} "
+                f"(already spent {self.total_epsilon:g})"
+            )
+        entry = CompositionRecord(mechanism=mechanism, epsilon=float(epsilon), notes=notes)
+        self.records.append(entry)
+        return entry
+
+    @property
+    def total_epsilon(self) -> float:
+        """Total privacy cost under sequential composition."""
+        return float(sum(r.epsilon for r in self.records))
+
+    def by_mechanism(self) -> Dict[str, float]:
+        """Total epsilon charged per mechanism name."""
+        summary: Dict[str, float] = {}
+        for record in self.records:
+            summary[record.mechanism] = summary.get(record.mechanism, 0.0) + record.epsilon
+        return summary
+
+    def assert_within(self, epsilon: float, tolerance: float = 1e-9) -> None:
+        """Raise ``AssertionError`` if the ledger exceeds ``epsilon``."""
+        if self.total_epsilon > epsilon + tolerance:
+            raise AssertionError(
+                f"composed privacy cost {self.total_epsilon:g} exceeds {epsilon:g}"
+            )

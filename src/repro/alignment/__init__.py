@@ -1,0 +1,46 @@
+"""Randomness-alignment framework (Section 4 and Lemma 1 of the paper).
+
+The paper proves its mechanisms private by exhibiting, for every pair of
+adjacent databases and every output, a *local alignment*: a map from the
+noise vector H used on database D to a noise vector H' that makes the
+mechanism produce the same output on the neighbour D'.  If the alignments
+are acyclic, countable, and have bounded cost (the sum of
+``|eta_i - eta'_i| / alpha_i``), Lemma 1 concludes epsilon-differential
+privacy.
+
+This subpackage provides an executable version of that framework:
+
+* :class:`~repro.alignment.alignments.LocalAlignment` -- a concrete shifted
+  noise vector with its cost, plus acyclicity bookkeeping.
+* :mod:`~repro.alignment.mechanisms` -- constructors of the paper's
+  alignments: Equation (2) for Noisy-Top-K-with-Gap and Equation (3) for
+  Adaptive-Sparse-Vector-with-Gap.  Each constructor also *replays* the
+  mechanism on the aligned noise and checks that the output is preserved,
+  which is exactly the property a local alignment must have.
+* :class:`~repro.alignment.checker.AlignmentChecker` -- samples executions
+  and verifies the Lemma 1 conditions (output preservation and cost bound)
+  on each of them.
+* :class:`~repro.alignment.verifier.EmpiricalDPVerifier` -- an independent,
+  purely statistical check: estimate output probabilities on adjacent inputs
+  by Monte-Carlo and test the epsilon bound (in the spirit of DP
+  counterexample detectors).  Useful as a sanity net in tests.
+"""
+
+from repro.alignment.alignments import AlignmentCostExceeded, LocalAlignment
+from repro.alignment.checker import AlignmentChecker, AlignmentReport
+from repro.alignment.mechanisms import (
+    adaptive_svt_alignment,
+    noisy_top_k_alignment,
+)
+from repro.alignment.verifier import EmpiricalDPVerifier, VerifierReport
+
+__all__ = [
+    "LocalAlignment",
+    "AlignmentCostExceeded",
+    "AlignmentChecker",
+    "AlignmentReport",
+    "noisy_top_k_alignment",
+    "adaptive_svt_alignment",
+    "EmpiricalDPVerifier",
+    "VerifierReport",
+]

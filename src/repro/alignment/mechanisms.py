@@ -1,0 +1,193 @@
+"""The paper's alignment functions, made executable.
+
+Two alignment constructors are provided, mirroring Equations (2) and (3) of
+the paper:
+
+* :func:`noisy_top_k_alignment` -- for Noisy-Top-K-with-Gap.  Noise of
+  unselected queries is unchanged; noise of each selected query is shifted by
+  ``(q_i - q'_i) + max_{losers}(q'_l + eta_l) - max_{losers}(q_l + eta_l)`` so
+  that the selected query wins by exactly the same margin on the neighbouring
+  database.
+* :func:`adaptive_svt_alignment` -- for Adaptive-Sparse-Vector-with-Gap.  The
+  threshold noise is shifted by +1; the noise of each query answered in the
+  top (resp. middle) branch is shifted by ``1 + q_i - q'_i`` in its branch's
+  coordinate; all other noise is unchanged.
+
+Each constructor takes the realised execution (true query values on D and on
+the neighbour D', plus the noise trace recorded by the mechanism) and returns
+a :class:`~repro.alignment.alignments.LocalAlignment` whose cost can be
+checked against the claimed privacy budget.  The companion ``replay_*``
+helpers re-run the mechanism's decision logic on the aligned noise and verify
+that the output (selected indexes / gaps / branch pattern) is preserved,
+which is the defining property of a local alignment (Definition 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.alignment.alignments import LocalAlignment
+from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
+from repro.core.noisy_top_k import NoisyTopKWithGap
+from repro.mechanisms.noisy_max import NoisyTopK
+from repro.mechanisms.sparse_vector import SvtBranch, SvtResult
+
+
+def noisy_top_k_alignment(
+    mechanism: NoisyTopK,
+    values_d: Sequence[float],
+    values_d_prime: Sequence[float],
+    noise: Sequence[float],
+    selected_indices: Sequence[int],
+) -> LocalAlignment:
+    """Construct the Equation (2) alignment for a realised Top-K execution.
+
+    Parameters
+    ----------
+    mechanism:
+        The (with-gap or classic) Noisy Top-K mechanism that produced the
+        execution; supplies the noise scale.
+    values_d, values_d_prime:
+        True query answers on the database D and on its neighbour D'.
+    noise:
+        The realised noise vector used on D.
+    selected_indices:
+        The indexes the mechanism selected on D (the set ``I_omega``).
+
+    Returns
+    -------
+    LocalAlignment
+        The aligned noise vector for D', with cost accounting.
+    """
+    q = np.asarray(values_d, dtype=float)
+    q_prime = np.asarray(values_d_prime, dtype=float)
+    eta = np.asarray(noise, dtype=float)
+    if q.shape != q_prime.shape or q.shape != eta.shape:
+        raise ValueError("values_d, values_d_prime and noise must share one shape")
+    selected = list(int(i) for i in selected_indices)
+    if len(set(selected)) != len(selected):
+        raise ValueError("selected_indices contains duplicates")
+    losers = np.asarray(
+        [i for i in range(q.size) if i not in set(selected)], dtype=int
+    )
+    if losers.size == 0:
+        raise ValueError("the alignment requires at least one unselected query")
+
+    max_loser_d = float(np.max(q[losers] + eta[losers]))
+    max_loser_d_prime = float(np.max(q_prime[losers] + eta[losers]))
+
+    aligned = eta.copy()
+    for i in selected:
+        aligned[i] = eta[i] + (q[i] - q_prime[i]) + max_loser_d_prime - max_loser_d
+
+    scales = np.full(q.size, mechanism.scale)
+    names = [f"query[{i}]" for i in range(q.size)]
+    return LocalAlignment(original=eta, aligned=aligned, scales=scales, names=names)
+
+
+def replay_noisy_top_k(
+    mechanism: NoisyTopKWithGap,
+    values: Sequence[float],
+    noise: Sequence[float],
+) -> Tuple[List[int], np.ndarray]:
+    """Run the Top-K decision logic on explicit noise; return (indexes, gaps)."""
+    result = mechanism.select(values, noise=np.asarray(noise, dtype=float))
+    return result.indices, result.gaps
+
+
+def adaptive_svt_alignment(
+    mechanism: AdaptiveSparseVectorWithGap,
+    values_d: Sequence[float],
+    values_d_prime: Sequence[float],
+    result: SvtResult,
+) -> LocalAlignment:
+    """Construct the Equation (3) alignment for a realised adaptive-SVT run.
+
+    Parameters
+    ----------
+    mechanism:
+        The mechanism that produced ``result`` (supplies scales and sigma).
+    values_d, values_d_prime:
+        True query answers on the database D and on its neighbour D'.
+    result:
+        The realised run on D, whose noise trace is
+        ``(threshold, top[0], middle[0], top[1], middle[1], ...)``.
+    """
+    q = np.asarray(values_d, dtype=float)
+    q_prime = np.asarray(values_d_prime, dtype=float)
+    if q.shape != q_prime.shape:
+        raise ValueError("values_d and values_d_prime must share one shape")
+    if result.noise_trace is None:
+        raise ValueError("the SVT result does not carry a noise trace")
+    noise = result.noise_trace.values.copy()
+    scales = result.noise_trace.scales.copy()
+    names = list(result.noise_trace.names)
+
+    # Footnote 6 of the paper: for monotonic queries with q >= q' the
+    # threshold noise is left unchanged and winning queries are shifted by
+    # only (q_i - q'_i); in all other cases the threshold is shifted by +1
+    # and winning queries by (1 + q_i - q'_i).
+    monotonic_decreasing = bool(mechanism.monotonic and np.all(q >= q_prime))
+    threshold_shift = 0.0 if monotonic_decreasing else 1.0
+    base_query_shift = 0.0 if monotonic_decreasing else 1.0
+
+    aligned = noise.copy()
+    # Threshold coordinate is index 0; query i's top/middle noises are at
+    # 1 + 2*i and 2 + 2*i respectively (for processed queries only).
+    aligned[0] = noise[0] + threshold_shift
+    for outcome in result.outcomes:
+        i = outcome.index
+        top_pos = 1 + 2 * i
+        middle_pos = 2 + 2 * i
+        if not outcome.above:
+            continue
+        shift = base_query_shift + q[i] - q_prime[i]
+        if outcome.branch is SvtBranch.TOP:
+            aligned[top_pos] = noise[top_pos] + shift
+        elif outcome.branch is SvtBranch.MIDDLE:
+            aligned[middle_pos] = noise[middle_pos] + shift
+    return LocalAlignment(original=noise, aligned=aligned, scales=scales, names=names)
+
+
+def replay_adaptive_svt(
+    mechanism: AdaptiveSparseVectorWithGap,
+    values: Sequence[float],
+    noise: Sequence[float],
+) -> List[Tuple[int, bool, SvtBranch]]:
+    """Re-run the adaptive SVT decision logic on an explicit noise vector.
+
+    Returns the sequence of (index, above, branch) decisions, which is the
+    part of the output that must be preserved by a local alignment (gaps are
+    checked separately because they are determined by the same quantities).
+    The replay follows exactly the branch structure of Algorithm 2, including
+    the budget-exhaustion stopping rule.
+    """
+    values = np.asarray(values, dtype=float)
+    noise = np.asarray(noise, dtype=float)
+    cfg = mechanism.config
+    noisy_threshold = mechanism.threshold + noise[0]
+    decisions: List[Tuple[int, bool, SvtBranch]] = []
+    spent = cfg.epsilon_threshold
+    answered = 0
+    for i, value in enumerate(values):
+        top_pos = 1 + 2 * i
+        middle_pos = 2 + 2 * i
+        if middle_pos >= noise.size:
+            break
+        if value + noise[top_pos] - noisy_threshold >= cfg.sigma:
+            decisions.append((i, True, SvtBranch.TOP))
+            spent += cfg.epsilon_top
+            answered += 1
+        elif value + noise[middle_pos] - noisy_threshold >= 0:
+            decisions.append((i, True, SvtBranch.MIDDLE))
+            spent += cfg.epsilon_middle
+            answered += 1
+        else:
+            decisions.append((i, False, SvtBranch.BOTTOM))
+        if mechanism.max_answers is not None and answered >= mechanism.max_answers:
+            break
+        if spent > mechanism.epsilon - cfg.epsilon_middle + 1e-12:
+            break
+    return decisions

@@ -1,0 +1,45 @@
+"""Analytical results from the paper's appendix and side analyses.
+
+* :mod:`~repro.analysis.ties` -- Appendix A.1: the probability that two (or
+  any of n) discretised-Laplace-noised queries tie, which bounds the failure
+  probability delta of the pure-DP guarantee on finite-precision machines.
+* :mod:`~repro.analysis.variance` -- variance bookkeeping helpers used when
+  configuring the postprocessing estimators (per-branch gap variances, the
+  lambda ratio of Theorem 3, pairwise-gap variances of Section 5.1).
+* :mod:`~repro.analysis.selection` -- selection-accuracy analysis: the
+  probability that (Report) Noisy Max identifies the true maximiser, the
+  induced bias of the released gap in flat regimes, and a planning helper
+  for the score separation needed at a given noise scale.
+"""
+
+from repro.analysis.ties import (
+    discrete_laplace_tie_probability,
+    pairwise_tie_probability,
+    tie_probability_bound,
+)
+from repro.analysis.variance import (
+    measurement_variance,
+    pairwise_gap_variance,
+    top_k_gap_variance,
+    theorem3_lambda,
+)
+from repro.analysis.selection import (
+    expected_gap_bias,
+    minimum_separation_for_accuracy,
+    probability_correct_max,
+    probability_correct_max_monte_carlo,
+)
+
+__all__ = [
+    "pairwise_tie_probability",
+    "discrete_laplace_tie_probability",
+    "tie_probability_bound",
+    "top_k_gap_variance",
+    "pairwise_gap_variance",
+    "measurement_variance",
+    "theorem3_lambda",
+    "probability_correct_max",
+    "probability_correct_max_monte_carlo",
+    "expected_gap_bias",
+    "minimum_separation_for_accuracy",
+]

@@ -1,0 +1,160 @@
+"""Selection-accuracy analysis for Report Noisy Max and Noisy Top-K.
+
+The gap post-processing of Theorem 3 achieves its full error reduction only
+when the selection step identifies (and orders) the true top-k queries; when
+the top of the score vector is flat relative to the noise, ordering mistakes
+dilute the benefit (this is visible in the small-scale experiments recorded
+in EXPERIMENTS.md).  This module quantifies that effect:
+
+* :func:`probability_correct_max` -- probability that Report Noisy Max
+  returns the true argmax, computed by numerical integration of the exact
+  expression ``E[prod_{i != i*} F(q_{i*} - q_i + eta)]``.
+* :func:`probability_correct_max_monte_carlo` -- the same quantity by
+  simulation (used to cross-check the integration in tests).
+* :func:`expected_gap_bias` -- expected amount by which the released top gap
+  overestimates the true top gap due to selection of a noisy maximiser
+  (zero when the winner is clear, positive in flat regimes).
+* :func:`minimum_separation_for_accuracy` -- the score separation needed for
+  a target probability of correct selection at a given noise scale, a simple
+  planning tool for choosing k and epsilon.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.primitives.laplace import laplace_cdf, laplace_pdf
+from repro.primitives.rng import RngLike, ensure_rng
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def probability_correct_max(
+    values: ArrayLike,
+    scale: float,
+    grid_points: int = 4001,
+    grid_width: float = 12.0,
+) -> float:
+    """Probability that Report Noisy Max selects the true maximiser.
+
+    Parameters
+    ----------
+    values:
+        The true query answers (the maximiser is assumed unique; ties are
+        broken in favour of the first maximiser and the returned value is the
+        probability that *that* index wins).
+    scale:
+        Laplace scale of the per-query noise.
+    grid_points, grid_width:
+        Resolution and half-width (in units of ``scale``) of the integration
+        grid for the winner's noise.
+
+    Notes
+    -----
+    Conditioning on the winner's noise ``eta``, the winner prevails when every
+    other noisy value stays below ``q_max + eta``, which happens with
+    probability ``prod_i F((q_max - q_i) + eta)`` where ``F`` is the Laplace
+    CDF.  The function integrates this product against the density of
+    ``eta``.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size < 2:
+        raise ValueError("values must be a one-dimensional vector of length >= 2")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    winner = int(np.argmax(values))
+    others = np.delete(values, winner)
+    margins = values[winner] - others
+
+    eta = np.linspace(-grid_width * scale, grid_width * scale, grid_points)
+    density = laplace_pdf(eta, scale)
+    # For each grid point, the probability that all other noisy values lose.
+    cdf_matrix = laplace_cdf(margins[None, :] + eta[:, None], scale)
+    win_probability = np.prod(cdf_matrix, axis=1)
+    # Trapezoidal integration of the sharply peaked Laplace density can
+    # overshoot 1 by a tiny amount on coarse grids; clip to a probability.
+    return float(np.clip(np.trapezoid(win_probability * density, eta), 0.0, 1.0))
+
+
+def probability_correct_max_monte_carlo(
+    values: ArrayLike,
+    scale: float,
+    trials: int = 20_000,
+    rng: RngLike = None,
+) -> float:
+    """Monte-Carlo estimate of :func:`probability_correct_max`."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size < 2:
+        raise ValueError("values must be a one-dimensional vector of length >= 2")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if trials < 1:
+        raise ValueError("trials must be at least 1")
+    generator = ensure_rng(rng)
+    winner = int(np.argmax(values))
+    noisy = values[None, :] + generator.laplace(0.0, scale, size=(trials, values.size))
+    return float(np.mean(np.argmax(noisy, axis=1) == winner))
+
+
+def expected_gap_bias(
+    values: ArrayLike,
+    scale: float,
+    trials: int = 20_000,
+    rng: RngLike = None,
+) -> float:
+    """Expected overestimate of the top gap released by Noisy-Max-with-Gap.
+
+    The released gap is ``max(noisy) - second_max(noisy)``, which is an
+    unbiased estimate of the true top gap *conditional on the correct winner*
+    but is biased upward overall because the maximum of noisy values is
+    selected.  This function estimates ``E[released gap] - true top gap`` by
+    simulation; it approaches 0 as the true gap grows relative to the noise.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size < 2:
+        raise ValueError("values must be a one-dimensional vector of length >= 2")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    generator = ensure_rng(rng)
+    sorted_true = np.sort(values)[::-1]
+    true_gap = sorted_true[0] - sorted_true[1]
+    noisy = values[None, :] + generator.laplace(0.0, scale, size=(trials, values.size))
+    top_two = np.partition(noisy, values.size - 2, axis=1)[:, -2:]
+    released = top_two.max(axis=1) - top_two.min(axis=1)
+    return float(np.mean(released) - true_gap)
+
+
+def minimum_separation_for_accuracy(
+    num_queries: int,
+    scale: float,
+    target_probability: float = 0.95,
+) -> float:
+    """Score separation needed for Report Noisy Max to be reliably correct.
+
+    Uses the union-bound style sufficient condition: if the winner leads every
+    other query by at least the returned margin, the probability that any
+    single competitor overtakes it is at most ``(1 - target) / (n - 1)``, so
+    the winner is returned with probability at least ``target``.
+
+    Parameters
+    ----------
+    num_queries:
+        Number of competing queries ``n``.
+    scale:
+        Laplace noise scale.
+    target_probability:
+        Desired probability of selecting the true maximiser.
+    """
+    if num_queries < 2:
+        raise ValueError("num_queries must be at least 2")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if not 0.0 < target_probability < 1.0:
+        raise ValueError("target_probability must lie strictly between 0 and 1")
+    failure_per_competitor = (1.0 - target_probability) / (num_queries - 1)
+    # The difference of two independent Laplace(scale) variables exceeds t
+    # with probability at most exp(-t / (2*scale)) (a standard tail bound);
+    # invert it for the required margin.
+    return float(-2.0 * scale * np.log(failure_per_competitor))

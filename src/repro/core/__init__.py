@@ -1,0 +1,34 @@
+"""The paper's primary contributions.
+
+* :class:`~repro.core.noisy_top_k.NoisyTopKWithGap` -- Algorithm 1 of the
+  paper: Noisy Top-K that additionally releases, at no extra privacy cost,
+  the noisy gap between each selected query and the next-best query.
+  :class:`~repro.core.noisy_top_k.NoisyMaxWithGap` is the k = 1 special case.
+* :class:`~repro.core.adaptive_svt.AdaptiveSparseVectorWithGap` -- Algorithm 2
+  of the paper: Sparse Vector that spends less budget on queries that are far
+  above the threshold (so it can answer more of them for the same total
+  budget) and also releases the noisy query/threshold gap for free.
+
+Both mechanisms come with the selection-then-measure convenience drivers used
+in the experiments (Sections 5.2, 6.2 and 7.2); the post-processing that
+fuses the free gaps with the direct measurements lives in
+:mod:`repro.postprocess`.
+"""
+
+from repro.core.noisy_top_k import NoisyMaxWithGap, NoisyTopKWithGap
+from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap, AdaptiveSvtConfig
+from repro.core.select_measure import (
+    SelectThenMeasureResult,
+    select_and_measure_top_k,
+    select_and_measure_svt,
+)
+
+__all__ = [
+    "NoisyTopKWithGap",
+    "NoisyMaxWithGap",
+    "AdaptiveSparseVectorWithGap",
+    "AdaptiveSvtConfig",
+    "SelectThenMeasureResult",
+    "select_and_measure_top_k",
+    "select_and_measure_svt",
+]

@@ -1,0 +1,238 @@
+"""Selection-then-measure drivers (the Section 7.2 experimental protocol).
+
+Both applications of the free gap information follow the same pattern: split
+the privacy budget in half, select k queries with the first half, measure the
+selected queries directly with the second half, and (optionally) fuse the
+free gaps with the measurements via post-processing.  These drivers package
+that protocol so that examples, tests and the benchmark harness all exercise
+exactly the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.accounting.composition import CompositionAccountant
+from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
+from repro.core.noisy_top_k import NoisyTopKWithGap
+from repro.mechanisms.laplace_mechanism import LaplaceMechanism
+from repro.mechanisms.sparse_vector import SparseVectorWithGap, SvtBranch
+from repro.postprocess.blue import blue_top_k_estimate
+from repro.postprocess.svt_fusion import fuse_gap_and_measurement
+from repro.primitives.rng import RngLike, ensure_rng
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+@dataclass(frozen=True)
+class SelectThenMeasureResult:
+    """Result of a selection-then-measure experiment on one noise draw.
+
+    Attributes
+    ----------
+    indices:
+        Indexes of the selected queries, in selection order.
+    true_values:
+        True answers of the selected queries.
+    measurements:
+        Direct noisy measurements (the gap-free baseline estimates).
+    fused:
+        Gap-fused estimates (BLUE for Top-K, inverse-variance for SVT).
+    gaps:
+        The free gaps released by the selection mechanism.
+    total_epsilon:
+        The overall privacy budget consumed by selection plus measurement.
+    details:
+        Extra per-run metadata (branch counts, budget spent, etc.).
+    """
+
+    indices: List[int]
+    true_values: np.ndarray
+    measurements: np.ndarray
+    fused: np.ndarray
+    gaps: np.ndarray
+    total_epsilon: float
+    details: Dict[str, float] = field(default_factory=dict)
+
+    def baseline_squared_errors(self) -> np.ndarray:
+        """Squared errors of the direct measurements."""
+        return (self.measurements - self.true_values) ** 2
+
+    def fused_squared_errors(self) -> np.ndarray:
+        """Squared errors of the gap-fused estimates."""
+        return (self.fused - self.true_values) ** 2
+
+
+def select_and_measure_top_k(
+    true_values: ArrayLike,
+    epsilon: float,
+    k: int,
+    monotonic: bool = True,
+    rng: RngLike = None,
+    accountant: Optional[CompositionAccountant] = None,
+) -> SelectThenMeasureResult:
+    """Run the Noisy-Top-K-with-Gap selection-then-measure protocol once.
+
+    Half of ``epsilon`` funds the selection (Noisy-Top-K-with-Gap), half
+    funds even per-query Laplace measurements of the selected queries; the
+    BLUE post-processing of Theorem 3 fuses the two.
+
+    Parameters
+    ----------
+    true_values:
+        Exact answers of all candidate queries.
+    epsilon:
+        Total privacy budget for selection plus measurement.
+    k:
+        Number of queries to select and measure.
+    monotonic:
+        Whether the query list is monotonic (counting queries).
+    rng:
+        Seed or generator.
+    accountant:
+        Optional composition accountant to record the two releases on.
+    """
+    values = np.asarray(true_values, dtype=float)
+    generator = ensure_rng(rng)
+    half = epsilon / 2.0
+
+    selector = NoisyTopKWithGap(epsilon=half, k=k, monotonic=monotonic)
+    selection = selector.select(values, rng=generator)
+
+    # Measurement: eps/2 split evenly across the k selected counting queries.
+    measurer = LaplaceMechanism(epsilon=half, l1_sensitivity=float(k))
+    measured = measurer.release(values[selection.indices], rng=generator)
+
+    if accountant is not None:
+        accountant.record(selector.name, half, notes=f"k={k}")
+        accountant.record(measurer.name, half, notes=f"k={k}")
+
+    lam = selector.gap_variance / 2.0 / measured.variance  # per-query noise var ratio
+    # gap_variance = 2 * per-query noise variance, so per-query var = gap_variance / 2.
+    fused = blue_top_k_estimate(measured.values, selection.gaps[: k - 1], lam=lam)
+
+    return SelectThenMeasureResult(
+        indices=list(selection.indices),
+        true_values=values[selection.indices],
+        measurements=np.asarray(measured.values),
+        fused=fused,
+        gaps=np.asarray(selection.gaps),
+        total_epsilon=epsilon,
+        details={
+            "lambda": float(lam),
+            "measurement_variance": measured.variance,
+            "selection_scale": selector.scale,
+        },
+    )
+
+
+def select_and_measure_svt(
+    true_values: ArrayLike,
+    epsilon: float,
+    k: int,
+    threshold: float,
+    monotonic: bool = True,
+    adaptive: bool = False,
+    rng: RngLike = None,
+    accountant: Optional[CompositionAccountant] = None,
+) -> SelectThenMeasureResult:
+    """Run the Sparse-Vector selection-then-measure protocol once.
+
+    Half of ``epsilon`` funds the with-gap Sparse Vector run (adaptive or
+    not), half funds Laplace measurements of the selected queries; the
+    inverse-variance fusion of Section 6.2 combines gap + threshold with the
+    direct measurement of each selected query.
+
+    Parameters
+    ----------
+    true_values:
+        Exact answers of the query stream, in stream order.
+    epsilon:
+        Total privacy budget for selection plus measurement.
+    k:
+        Target number of above-threshold answers.
+    threshold:
+        The public threshold ``T``.
+    monotonic:
+        Whether the stream is monotonic.
+    adaptive:
+        Use :class:`AdaptiveSparseVectorWithGap` instead of the non-adaptive
+        :class:`SparseVectorWithGap`.
+    rng:
+        Seed or generator.
+    accountant:
+        Optional composition accountant to record the releases on.
+    """
+    values = np.asarray(true_values, dtype=float)
+    generator = ensure_rng(rng)
+    half = epsilon / 2.0
+
+    if adaptive:
+        selector = AdaptiveSparseVectorWithGap(
+            epsilon=half, threshold=threshold, k=k, monotonic=monotonic
+        )
+        run = selector.run(values, rng=generator)
+        gap_variances = {
+            SvtBranch.TOP: selector.gap_variance(SvtBranch.TOP),
+            SvtBranch.MIDDLE: selector.gap_variance(SvtBranch.MIDDLE),
+        }
+    else:
+        selector = SparseVectorWithGap(
+            epsilon=half, threshold=threshold, k=k, monotonic=monotonic
+        )
+        run = selector.run(values, rng=generator)
+        gap_variances = {
+            SvtBranch.MIDDLE: selector.gap_variance,
+            SvtBranch.TOP: selector.gap_variance,
+        }
+
+    indices = run.above_indices
+    gap_estimates = []
+    gap_vars = []
+    for outcome in run.outcomes:
+        if outcome.above and outcome.gap is not None:
+            gap_estimates.append(outcome.gap + threshold)
+            gap_vars.append(gap_variances[outcome.branch])
+    gap_estimates = np.asarray(gap_estimates)
+    gap_vars = np.asarray(gap_vars)
+
+    if len(indices) == 0:
+        empty = np.asarray([], dtype=float)
+        return SelectThenMeasureResult(
+            indices=[],
+            true_values=empty,
+            measurements=empty,
+            fused=empty,
+            gaps=empty,
+            total_epsilon=epsilon,
+            details={"num_answered": 0.0, "epsilon_spent": run.metadata.epsilon_spent},
+        )
+
+    # Measurement: the second eps/2 split evenly over the answered queries.
+    measurer = LaplaceMechanism(epsilon=half, l1_sensitivity=float(len(indices)))
+    measured = measurer.release(values[indices], rng=generator)
+
+    if accountant is not None:
+        accountant.record(selector.name, run.metadata.epsilon_spent, notes=f"k={k}")
+        accountant.record(measurer.name, half, notes=f"answered={len(indices)}")
+
+    fused = fuse_gap_and_measurement(
+        gap_estimates, gap_vars, measured.values, measured.variance
+    )
+
+    return SelectThenMeasureResult(
+        indices=list(indices),
+        true_values=values[indices],
+        measurements=np.asarray(measured.values),
+        fused=fused,
+        gaps=np.asarray(run.gaps),
+        total_epsilon=epsilon,
+        details={
+            "num_answered": float(len(indices)),
+            "epsilon_spent": float(run.metadata.epsilon_spent + half),
+            "measurement_variance": measured.variance,
+        },
+    )

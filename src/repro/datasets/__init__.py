@@ -1,0 +1,51 @@
+"""Transaction-dataset substrate.
+
+The paper evaluates its mechanisms on three transaction datasets (BMS-POS,
+Kosarak and the synthetic T40I10D100K produced by the IBM Almaden Quest
+generator).  Those raw files are not redistributable and are not available in
+this environment, so -- per the documented substitution in DESIGN.md -- this
+subpackage provides:
+
+* :class:`~repro.datasets.transactions.TransactionDatabase` -- an in-memory
+  transaction database with the item-count histogram interface the
+  experiments consume.
+* :mod:`~repro.datasets.generators` -- synthetic generators calibrated to the
+  published statistics of the three datasets (record counts, unique item
+  counts, heavy-tailed item-popularity profile).  The generator for
+  T40I10D100K follows the IBM Quest recipe (average transaction length 40,
+  pattern-based co-occurrence), while BMS-POS-like and Kosarak-like data are
+  produced from Zipf-distributed item popularity with matching scale.
+* :mod:`~repro.datasets.loaders` -- a reader for the standard FIMI
+  whitespace-separated transaction file format, so that the real datasets can
+  be dropped in when available.
+
+Only the *item-count histogram* matters to the mechanisms under test, so the
+synthetic equivalents preserve the experimental behaviour: the top of the
+histogram is heavy-tailed and well-separated, which is what drives the
+adaptive budget savings and the gap-based accuracy improvements.
+"""
+
+from repro.datasets.transactions import TransactionDatabase
+from repro.datasets.generators import (
+    DatasetSpec,
+    generate_bms_pos_like,
+    generate_kosarak_like,
+    generate_quest_t40_like,
+    generate_zipf_transactions,
+    make_dataset,
+    PAPER_DATASETS,
+)
+from repro.datasets.loaders import load_fimi_file, save_fimi_file
+
+__all__ = [
+    "TransactionDatabase",
+    "DatasetSpec",
+    "generate_zipf_transactions",
+    "generate_bms_pos_like",
+    "generate_kosarak_like",
+    "generate_quest_t40_like",
+    "make_dataset",
+    "PAPER_DATASETS",
+    "load_fimi_file",
+    "save_fimi_file",
+]

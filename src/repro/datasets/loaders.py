@@ -1,0 +1,75 @@
+"""Readers and writers for the FIMI transaction file format.
+
+The real BMS-POS, Kosarak and T40I10D100K datasets are distributed in the
+FIMI repository format: one transaction per line, whitespace-separated item
+identifiers.  When those files are available they can be dropped into the
+experiment harness through :func:`load_fimi_file`; otherwise the synthetic
+generators in :mod:`repro.datasets.generators` are used.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.datasets.transactions import TransactionDatabase
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def load_fimi_file(
+    path: PathLike,
+    max_records: Optional[int] = None,
+    name: Optional[str] = None,
+) -> TransactionDatabase:
+    """Load a FIMI-format transaction file.
+
+    Parameters
+    ----------
+    path:
+        Path to a text file with one transaction per line, item ids separated
+        by whitespace.  Blank lines are ignored.
+    max_records:
+        If given, stop after this many transactions (useful for smoke tests).
+    name:
+        Name for the resulting database; defaults to the file's basename.
+
+    Raises
+    ------
+    FileNotFoundError
+        If ``path`` does not exist.
+    ValueError
+        If a line contains a token that is not an integer.
+    """
+    path = os.fspath(path)
+    transactions = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                items = [int(token) for token in stripped.split()]
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: non-integer item identifier"
+                ) from exc
+            transactions.append(items)
+            if max_records is not None and len(transactions) >= max_records:
+                break
+    if name is None:
+        name = os.path.basename(path)
+    return TransactionDatabase(transactions, name=name)
+
+
+def save_fimi_file(database: TransactionDatabase, path: PathLike) -> None:
+    """Write a transaction database in FIMI format.
+
+    Items within a transaction are written in ascending order, one
+    transaction per line.
+    """
+    path = os.fspath(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        for transaction in database:
+            handle.write(" ".join(str(item) for item in sorted(transaction)))
+            handle.write("\n")

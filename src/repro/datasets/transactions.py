@@ -1,0 +1,141 @@
+"""In-memory transaction databases.
+
+A transaction database is a list of transactions; a transaction is a set of
+item identifiers.  The paper's experiments reduce such a database to its
+*item-count histogram* -- for every item, the number of transactions that
+contain it -- and pose one counting query per item.  This module provides
+that reduction along with neighbouring-database helpers used by the
+sensitivity checks and the numerical DP verifier.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class TransactionDatabase:
+    """A database of transactions (each transaction is a set of items).
+
+    Parameters
+    ----------
+    transactions:
+        Iterable of transactions.  Each transaction may be any iterable of
+        hashable item identifiers; it is normalised to a frozenset.
+    name:
+        Optional identifier used in reports.
+    """
+
+    def __init__(self, transactions: Iterable[Iterable[int]], name: str = "") -> None:
+        self._transactions: List[FrozenSet[int]] = [
+            frozenset(t) for t in transactions
+        ]
+        self.name = name
+        self._histogram: Optional[Counter] = None
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[FrozenSet[int]]:
+        return iter(self._transactions)
+
+    def __getitem__(self, index: int) -> FrozenSet[int]:
+        return self._transactions[index]
+
+    @property
+    def num_records(self) -> int:
+        """Number of transactions."""
+        return len(self._transactions)
+
+    # -- histogram interface ------------------------------------------------------
+
+    def item_histogram(self) -> Dict[int, int]:
+        """Item -> number of transactions containing that item (cached)."""
+        if self._histogram is None:
+            counter: Counter = Counter()
+            for transaction in self._transactions:
+                counter.update(transaction)
+            self._histogram = counter
+        return dict(self._histogram)
+
+    def unique_items(self) -> List[int]:
+        """Sorted list of all items that appear in at least one transaction."""
+        return sorted(self.item_histogram().keys())
+
+    @property
+    def num_unique_items(self) -> int:
+        """Number of distinct items in the database."""
+        return len(self.item_histogram())
+
+    def item_counts(self, items: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Counts for ``items`` (all unique items, sorted, by default)."""
+        histogram = self.item_histogram()
+        if items is None:
+            items = self.unique_items()
+        return np.asarray([histogram.get(item, 0) for item in items], dtype=float)
+
+    def top_items(self, k: int) -> List[Tuple[int, int]]:
+        """The ``k`` most frequent items as ``(item, count)`` pairs."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        histogram = self.item_histogram()
+        return sorted(histogram.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+
+    def kth_largest_count(self, k: int) -> float:
+        """The count of the k-th most frequent item (1-indexed)."""
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        counts = sorted(self.item_histogram().values(), reverse=True)
+        if k > len(counts):
+            return 0.0
+        return float(counts[k - 1])
+
+    # -- neighbouring databases ---------------------------------------------------
+
+    def remove_record(self, index: int) -> "TransactionDatabase":
+        """A neighbouring database with the transaction at ``index`` removed."""
+        if not 0 <= index < len(self._transactions):
+            raise IndexError(f"record index {index} out of range")
+        remaining = self._transactions[:index] + self._transactions[index + 1 :]
+        return TransactionDatabase(remaining, name=self.name)
+
+    def add_record(self, transaction: Iterable[int]) -> "TransactionDatabase":
+        """A neighbouring database with one extra transaction appended."""
+        return TransactionDatabase(
+            self._transactions + [frozenset(transaction)], name=self.name
+        )
+
+    def adjacent_pairs(self, max_pairs: int = 10) -> List[Tuple["TransactionDatabase", "TransactionDatabase"]]:
+        """A sample of (D, D') adjacent pairs obtained by removing one record.
+
+        Used by the sensitivity validators and the numerical DP verifier.
+        """
+        pairs = []
+        step = max(1, len(self._transactions) // max(1, max_pairs))
+        for index in range(0, len(self._transactions), step):
+            pairs.append((self, self.remove_record(index)))
+            if len(pairs) >= max_pairs:
+                break
+        return pairs
+
+    # -- summary ------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary statistics matching the table in Section 7.1 of the paper."""
+        lengths = [len(t) for t in self._transactions]
+        return {
+            "num_records": float(len(self._transactions)),
+            "num_unique_items": float(self.num_unique_items),
+            "avg_transaction_length": float(np.mean(lengths)) if lengths else 0.0,
+            "max_item_count": float(max(self.item_histogram().values(), default=0)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TransactionDatabase(name={self.name!r}, records={len(self)}, "
+            f"items={self.num_unique_items})"
+        )

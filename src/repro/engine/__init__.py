@@ -1,0 +1,25 @@
+"""A small private-analytics session engine.
+
+The mechanisms in :mod:`repro.core` are stateless building blocks.  Real
+deployments (the database-querying systems cited in the paper's introduction)
+wrap such blocks in a *session* that owns the data, tracks the remaining
+privacy budget across questions, and refuses to answer once the budget is
+exhausted.  :class:`~repro.engine.session.PrivateAnalyticsSession` provides
+that layer for transaction databases:
+
+* ``top_k_items`` -- Noisy-Top-K-with-Gap selection over the item counts,
+  optionally followed by measurement and BLUE fusion;
+* ``items_above`` -- Adaptive-Sparse-Vector-with-Gap over the item counts,
+  with optional confidence bounds;
+* ``measure_items`` -- Laplace measurements of chosen items;
+* a per-session :class:`~repro.accounting.budget.BudgetOdometer` that every
+  call charges, so the total privacy loss of a session is explicit.
+
+Because unused budget from the adaptive mechanism is returned to the session,
+the engine demonstrates the practical value of the paper's Figure 4 result:
+the saved budget funds later questions in the same session.
+"""
+
+from repro.engine.session import PrivateAnalyticsSession, SessionReport
+
+__all__ = ["PrivateAnalyticsSession", "SessionReport"]

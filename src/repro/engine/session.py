@@ -1,0 +1,316 @@
+"""Budget-tracked private analytics sessions over transaction databases."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.accounting.budget import BudgetExceededError, BudgetOdometer
+from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
+from repro.core.noisy_top_k import NoisyTopKWithGap
+from repro.mechanisms.laplace_mechanism import LaplaceMechanism
+from repro.mechanisms.sparse_vector import SvtBranch
+from repro.postprocess.blue import blue_top_k_estimate
+from repro.postprocess.confidence import gap_lower_confidence_bound
+from repro.primitives.rng import RngLike, ensure_rng
+
+
+@dataclass
+class TopKAnswer:
+    """Answer to a :meth:`PrivateAnalyticsSession.top_k_items` question.
+
+    Attributes
+    ----------
+    items:
+        The selected item identifiers, in descending (noisy) frequency order.
+    gaps:
+        The free consecutive gaps between the selected items' noisy counts.
+    estimates:
+        Estimated counts of the selected items.  Present only when
+        ``measure=True`` was requested; fused with the gaps via the BLUE
+        post-processing of Theorem 3.
+    epsilon_charged:
+        Total budget this question consumed.
+    """
+
+    items: List[int]
+    gaps: np.ndarray
+    estimates: Optional[np.ndarray]
+    epsilon_charged: float
+
+
+@dataclass
+class AboveThresholdAnswer:
+    """Answer to a :meth:`PrivateAnalyticsSession.items_above` question.
+
+    Attributes
+    ----------
+    items:
+        Item identifiers reported above the threshold, in stream order.
+    estimates:
+        Gap-based count estimates (gap + threshold) for each reported item.
+    lower_bounds:
+        Lower confidence bounds on the true counts (None if not requested).
+    epsilon_charged:
+        Budget actually consumed (the adaptive mechanism may use less than
+        the amount reserved; only the consumed part is charged).
+    """
+
+    items: List[int]
+    estimates: np.ndarray
+    lower_bounds: Optional[np.ndarray]
+    epsilon_charged: float
+
+
+@dataclass
+class SessionReport:
+    """Summary of a session's privacy-budget usage.
+
+    Attributes
+    ----------
+    total_epsilon:
+        The session's overall budget.
+    spent:
+        Budget consumed so far.
+    remaining:
+        Budget still available.
+    questions:
+        Per-question records ``(label, epsilon_charged)`` in ask order.
+    """
+
+    total_epsilon: float
+    spent: float
+    remaining: float
+    questions: List[Dict[str, float]] = field(default_factory=list)
+
+
+class PrivateAnalyticsSession:
+    """An interactive, budget-tracked analytics session on one database.
+
+    Parameters
+    ----------
+    database:
+        A :class:`~repro.datasets.transactions.TransactionDatabase` (or any
+        object exposing ``unique_items()`` and ``item_counts(items)``).
+    total_epsilon:
+        The privacy budget available to the whole session.
+    rng:
+        Seed or generator used for all noise in the session.
+
+    Examples
+    --------
+    >>> from repro.datasets.generators import generate_zipf_transactions
+    >>> database = generate_zipf_transactions(500, 50, rng=0)
+    >>> session = PrivateAnalyticsSession(database, total_epsilon=1.0, rng=0)
+    >>> answer = session.top_k_items(k=3)
+    >>> len(answer.items)
+    3
+    >>> session.remaining_epsilon < 1.0
+    True
+    """
+
+    def __init__(self, database, total_epsilon: float, rng: RngLike = None) -> None:
+        if total_epsilon <= 0:
+            raise ValueError("total_epsilon must be positive")
+        self._database = database
+        self._odometer = BudgetOdometer(total_epsilon)
+        self._generator = ensure_rng(rng)
+        self._items: List[int] = list(database.unique_items())
+        self._counts = np.asarray(database.item_counts(self._items), dtype=float)
+        self._questions: List[Dict[str, float]] = []
+
+    # -- budget state -----------------------------------------------------------
+
+    @property
+    def total_epsilon(self) -> float:
+        """The session's overall privacy budget."""
+        return self._odometer.total
+
+    @property
+    def spent_epsilon(self) -> float:
+        """Budget consumed so far."""
+        return self._odometer.spent
+
+    @property
+    def remaining_epsilon(self) -> float:
+        """Budget still available for further questions."""
+        return self._odometer.remaining
+
+    def report(self) -> SessionReport:
+        """A summary of the session's budget usage."""
+        return SessionReport(
+            total_epsilon=self.total_epsilon,
+            spent=self.spent_epsilon,
+            remaining=self.remaining_epsilon,
+            questions=list(self._questions),
+        )
+
+    def _reserve(self, epsilon: float, label: str) -> None:
+        if epsilon <= 0:
+            raise ValueError("the budget for a question must be positive")
+        if not self._odometer.can_charge(epsilon):
+            raise BudgetExceededError(
+                f"question '{label}' needs epsilon={epsilon:g} but only "
+                f"{self.remaining_epsilon:g} of the session budget remains"
+            )
+
+    def _charge(self, epsilon: float, label: str) -> None:
+        self._odometer.charge(epsilon, label=label)
+        self._questions.append({"label": label, "epsilon": float(epsilon)})
+
+    # -- questions --------------------------------------------------------------
+
+    def top_k_items(
+        self,
+        k: int,
+        epsilon: Optional[float] = None,
+        measure: bool = False,
+    ) -> TopKAnswer:
+        """Identify the k most frequent items (optionally with count estimates).
+
+        Parameters
+        ----------
+        k:
+            Number of items to select.
+        epsilon:
+            Budget for this question; defaults to a quarter of the session's
+            total budget.
+        measure:
+            If True, the budget is split in half between selection and
+            Laplace measurements and the answer carries BLUE-fused count
+            estimates (the Section 5.2 protocol); otherwise the full budget
+            funds the selection alone.
+        """
+        if epsilon is None:
+            epsilon = self.total_epsilon / 4.0
+        label = f"top_{k}_items"
+        self._reserve(epsilon, label)
+
+        selection_epsilon = epsilon / 2.0 if measure else epsilon
+        selector = NoisyTopKWithGap(epsilon=selection_epsilon, k=k, monotonic=True)
+        selection = selector.select(self._counts, rng=self._generator)
+        items = [self._items[i] for i in selection.indices]
+
+        estimates = None
+        if measure:
+            measurer = LaplaceMechanism(epsilon=epsilon / 2.0, l1_sensitivity=float(k))
+            measured = measurer.release(
+                self._counts[selection.indices], rng=self._generator
+            )
+            lam = (2.0 * selector.scale**2) / measured.variance
+            estimates = blue_top_k_estimate(
+                measured.values, selection.gaps[: k - 1], lam=lam
+            )
+
+        self._charge(epsilon, label)
+        return TopKAnswer(
+            items=items,
+            gaps=np.asarray(selection.gaps),
+            estimates=estimates,
+            epsilon_charged=epsilon,
+        )
+
+    def items_above(
+        self,
+        threshold: float,
+        k: int,
+        epsilon: Optional[float] = None,
+        confidence: Optional[float] = None,
+    ) -> AboveThresholdAnswer:
+        """Find items whose counts are (likely) above a public threshold.
+
+        Uses Adaptive-Sparse-Vector-with-Gap, so only the budget actually
+        consumed is charged to the session -- queries far above the threshold
+        cost half as much, and the saved budget remains available for later
+        questions (the practical upshot of the paper's Figure 4).
+
+        Parameters
+        ----------
+        threshold:
+            Public count threshold.
+        k:
+            Minimum number of above-threshold answers the reserved budget
+            must be able to fund.
+        epsilon:
+            Budget to *reserve* for this question; defaults to a quarter of
+            the session's total.  Only the consumed part is charged.
+        confidence:
+            If given (e.g. 0.95), lower confidence bounds on the true counts
+            are attached to the answer using Lemma 5.
+        """
+        if epsilon is None:
+            epsilon = self.total_epsilon / 4.0
+        label = f"items_above_{threshold:g}"
+        self._reserve(epsilon, label)
+
+        mechanism = AdaptiveSparseVectorWithGap(
+            epsilon=epsilon, threshold=threshold, k=k, monotonic=True
+        )
+        result = mechanism.run(self._counts, rng=self._generator)
+
+        items: List[int] = []
+        estimates: List[float] = []
+        bounds: List[float] = []
+        for outcome in result.outcomes:
+            if not outcome.above or outcome.gap is None:
+                continue
+            items.append(self._items[outcome.index])
+            estimates.append(outcome.gap + threshold)
+            if confidence is not None:
+                eps_star = (
+                    mechanism.epsilon_top
+                    if outcome.branch is SvtBranch.TOP
+                    else mechanism.epsilon_middle
+                )
+                bounds.append(
+                    gap_lower_confidence_bound(
+                        outcome.gap,
+                        threshold,
+                        eps0=mechanism.epsilon_threshold,
+                        eps_star=eps_star,
+                        confidence=confidence,
+                    )
+                )
+
+        charged = float(result.metadata.epsilon_spent)
+        self._charge(charged, label)
+        return AboveThresholdAnswer(
+            items=items,
+            estimates=np.asarray(estimates),
+            lower_bounds=np.asarray(bounds) if confidence is not None else None,
+            epsilon_charged=charged,
+        )
+
+    def measure_items(
+        self,
+        items: Sequence[int],
+        epsilon: Optional[float] = None,
+    ) -> Dict[int, float]:
+        """Release noisy counts for specific items via the Laplace mechanism.
+
+        Parameters
+        ----------
+        items:
+            Item identifiers to measure (must exist in the database's
+            catalogue).
+        epsilon:
+            Budget for the measurement; defaults to a quarter of the
+            session's total.
+        """
+        if not items:
+            raise ValueError("at least one item must be requested")
+        missing = [item for item in items if item not in set(self._items)]
+        if missing:
+            raise KeyError(f"items not present in the database: {missing}")
+        if epsilon is None:
+            epsilon = self.total_epsilon / 4.0
+        label = f"measure_{len(items)}_items"
+        self._reserve(epsilon, label)
+
+        positions = [self._items.index(item) for item in items]
+        mechanism = LaplaceMechanism(epsilon=epsilon, l1_sensitivity=float(len(items)))
+        released = mechanism.release(self._counts[positions], rng=self._generator)
+        self._charge(epsilon, label)
+        return {item: float(value) for item, value in zip(items, released.values)}

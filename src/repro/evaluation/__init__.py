@@ -1,0 +1,70 @@
+"""Experiment harness and metrics for reproducing the paper's evaluation.
+
+* :mod:`~repro.evaluation.metrics` -- mean-squared-error improvement,
+  precision/recall/F-measure of above-threshold selection, and remaining
+  budget summaries.
+* :mod:`~repro.evaluation.harness` -- Monte-Carlo experiment runners, one per
+  paper figure family: the MSE-improvement experiments (Figures 1 and 2), the
+  answer-count / precision / F-measure experiments (Figure 3) and the
+  remaining-budget experiment (Figure 4).
+* :mod:`~repro.evaluation.figures` -- text renderers that print each figure's
+  data series in a table, used by the benchmark harness and EXPERIMENTS.md.
+"""
+
+from repro.evaluation.metrics import (
+    f_measure,
+    improvement_percentage,
+    mean_squared_error,
+    precision_recall,
+)
+from repro.evaluation.harness import (
+    AdaptiveComparisonResult,
+    MseImprovementResult,
+    RemainingBudgetResult,
+    run_adaptive_comparison,
+    run_remaining_budget,
+    run_svt_mse_improvement,
+    run_top_k_mse_improvement,
+)
+from repro.evaluation.figures import (
+    render_series_table,
+    figure1_data,
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    dataset_statistics_table,
+)
+from repro.evaluation.reporting import (
+    ExperimentRecord,
+    compare_series,
+    read_experiment_json,
+    read_rows_csv,
+    write_experiment_json,
+    write_rows_csv,
+)
+
+__all__ = [
+    "ExperimentRecord",
+    "compare_series",
+    "read_rows_csv",
+    "write_rows_csv",
+    "read_experiment_json",
+    "write_experiment_json",
+    "mean_squared_error",
+    "improvement_percentage",
+    "precision_recall",
+    "f_measure",
+    "MseImprovementResult",
+    "AdaptiveComparisonResult",
+    "RemainingBudgetResult",
+    "run_top_k_mse_improvement",
+    "run_svt_mse_improvement",
+    "run_adaptive_comparison",
+    "run_remaining_budget",
+    "render_series_table",
+    "figure1_data",
+    "figure2_data",
+    "figure3_data",
+    "figure4_data",
+    "dataset_statistics_table",
+]

@@ -1,0 +1,210 @@
+"""Command-line experiment runner.
+
+Regenerates the paper's figures from the terminal without going through the
+pytest benchmark harness::
+
+    python -m repro.evaluation.cli figure1 --dataset BMS-POS --trials 200
+    python -m repro.evaluation.cli figure3 --dataset kosarak --epsilon 0.7
+    python -m repro.evaluation.cli all --trials 50 --output results.txt
+
+Each sub-command prints the same data-series tables that the corresponding
+benchmark module emits (and that EXPERIMENTS.md records).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.evaluation.figures import (
+    dataset_statistics_table,
+    figure1_data,
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    render_series_table,
+)
+from repro.evaluation.plots import bar_chart, line_plot
+
+DATASET_CHOICES = ("BMS-POS", "kosarak", "T40I10D100K")
+
+
+def _emit(title: str, table: str, stream) -> None:
+    stream.write(f"\n=== {title} ===\n{table}\n")
+
+
+def _maybe_plot(args, stream, rows, x_column: str, y_columns) -> None:
+    if getattr(args, "plot", False):
+        stream.write(line_plot(rows, x_column, list(y_columns)) + "\n")
+
+
+def _run_datasets(args, stream) -> None:
+    rows = dataset_statistics_table(scale=args.scale, rng=args.seed)
+    _emit("Section 7.1 dataset statistics", render_series_table(rows), stream)
+
+
+def _run_figure1(args, stream) -> None:
+    data = figure1_data(
+        dataset=args.dataset,
+        epsilon=args.epsilon,
+        trials=args.trials,
+        rng=args.seed,
+    )
+    _emit(
+        f"Figure 1a: SVT-with-Gap with Measures, {args.dataset}, eps={args.epsilon}",
+        render_series_table(data["svt"]),
+        stream,
+    )
+    _maybe_plot(args, stream, data["svt"], "k", ["improvement_percent", "theoretical_percent"])
+    _emit(
+        f"Figure 1b: Noisy-Top-K-with-Gap with Measures, {args.dataset}, eps={args.epsilon}",
+        render_series_table(data["top_k"]),
+        stream,
+    )
+    _maybe_plot(args, stream, data["top_k"], "k", ["improvement_percent", "theoretical_percent"])
+
+
+def _run_figure2(args, stream) -> None:
+    data = figure2_data(
+        dataset=args.dataset, k=args.k, trials=args.trials, rng=args.seed
+    )
+    _emit(
+        f"Figure 2a: SVT-with-Gap with Measures, {args.dataset}, k={args.k}",
+        render_series_table(data["svt"]),
+        stream,
+    )
+    _maybe_plot(
+        args, stream, data["svt"], "epsilon", ["improvement_percent", "theoretical_percent"]
+    )
+    _emit(
+        f"Figure 2b: Noisy-Top-K-with-Gap with Measures, {args.dataset}, k={args.k}",
+        render_series_table(data["top_k"]),
+        stream,
+    )
+    _maybe_plot(
+        args, stream, data["top_k"], "epsilon", ["improvement_percent", "theoretical_percent"]
+    )
+
+
+def _run_figure3(args, stream) -> None:
+    rows = figure3_data(
+        dataset=args.dataset,
+        epsilon=args.epsilon,
+        trials=args.trials,
+        rng=args.seed,
+    )
+    _emit(
+        f"Figure 3: SVT vs Adaptive SVT, {args.dataset}, eps={args.epsilon}",
+        render_series_table(rows),
+        stream,
+    )
+
+
+def _run_figure4(args, stream) -> None:
+    rows = figure4_data(epsilon=args.epsilon, trials=args.trials, rng=args.seed)
+    _emit(
+        f"Figure 4: remaining budget after k adaptive answers, eps={args.epsilon}",
+        render_series_table(rows),
+        stream,
+    )
+    if getattr(args, "plot", False):
+        labelled = [
+            {"setting": f"{row['dataset']}@k={row['k']}", **row} for row in rows
+        ]
+        stream.write(
+            bar_chart(labelled, "setting", "remaining_percent", title="remaining %")
+            + "\n"
+        )
+
+
+def _run_all(args, stream) -> None:
+    _run_datasets(args, stream)
+    _run_figure1(args, stream)
+    _run_figure2(args, stream)
+    _run_figure3(args, stream)
+    _run_figure4(args, stream)
+
+
+_COMMANDS: Dict[str, Callable] = {
+    "datasets": _run_datasets,
+    "figure1": _run_figure1,
+    "figure2": _run_figure2,
+    "figure3": _run_figure3,
+    "figure4": _run_figure4,
+    "all": _run_all,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the experiment runner."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of the free-gap mechanisms paper.",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(_COMMANDS),
+        help="which experiment to run ('all' runs every figure)",
+    )
+    parser.add_argument(
+        "--dataset",
+        choices=DATASET_CHOICES,
+        default="BMS-POS",
+        help="synthetic stand-in dataset to use (default: BMS-POS)",
+    )
+    parser.add_argument(
+        "--epsilon", type=float, default=0.7, help="total privacy budget (default 0.7)"
+    )
+    parser.add_argument(
+        "--k", type=int, default=10, help="k used by figure2 (default 10)"
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=100,
+        help="Monte-Carlo trials per plotted point (default 100; the paper uses 10000)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="dataset scale multiplier (default: each dataset's quick default)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render ASCII plots of the data series",
+    )
+    parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="write the tables to this file instead of stdout",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.evaluation.cli``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.trials < 1:
+        parser.error("--trials must be at least 1")
+    if args.epsilon <= 0:
+        parser.error("--epsilon must be positive")
+    if args.k < 1:
+        parser.error("--k must be at least 1")
+
+    runner = _COMMANDS[args.command]
+    if args.output is None:
+        runner(args, sys.stdout)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            runner(args, handle)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    raise SystemExit(main())

@@ -1,0 +1,227 @@
+"""Figure/table regenerators.
+
+Each ``figureN_data`` function sweeps the relevant parameter, runs the
+Monte-Carlo harness, and returns a list of row dictionaries -- the same data
+series the corresponding paper figure plots.  ``render_series_table`` turns
+the rows into an aligned text table that the benchmark harness prints and
+EXPERIMENTS.md records.  The numbers are produced by synthetic stand-in
+datasets (see DESIGN.md, Substitutions), so the comparison with the paper is
+about *shape* (who wins, trends in k and epsilon, where the curves plateau)
+rather than exact values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.datasets.generators import make_dataset
+from repro.datasets.transactions import TransactionDatabase
+from repro.evaluation.harness import (
+    run_adaptive_comparison,
+    run_remaining_budget,
+    run_svt_mse_improvement,
+    run_top_k_mse_improvement,
+)
+from repro.primitives.rng import RngLike, ensure_rng
+
+Row = Dict[str, float]
+
+
+def render_series_table(rows: Sequence[Dict], columns: Optional[List[str]] = None) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                rendered.append(f"{value:.3f}")
+            else:
+                rendered.append(str(value))
+        body.append(rendered)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for rendered in body:
+        lines.append("  ".join(rendered[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def _counts_for(dataset: Union[str, TransactionDatabase], rng: RngLike) -> np.ndarray:
+    if isinstance(dataset, TransactionDatabase):
+        return dataset.item_counts()
+    return make_dataset(dataset, rng=rng).item_counts()
+
+
+def dataset_statistics_table(
+    names: Iterable[str] = ("BMS-POS", "kosarak", "T40I10D100K"),
+    scale: Optional[float] = None,
+    rng: RngLike = 0,
+) -> List[Row]:
+    """The Section 7.1 dataset-statistics table for the synthetic stand-ins."""
+    generator = ensure_rng(rng)
+    rows: List[Row] = []
+    for name in names:
+        database = make_dataset(name, scale=scale, rng=generator)
+        stats = database.statistics()
+        rows.append(
+            {
+                "dataset": name,
+                "records": int(stats["num_records"]),
+                "unique_items": int(stats["num_unique_items"]),
+                "avg_length": stats["avg_transaction_length"],
+            }
+        )
+    return rows
+
+
+def figure1_data(
+    dataset: Union[str, TransactionDatabase] = "BMS-POS",
+    epsilon: float = 0.7,
+    ks: Sequence[int] = (2, 5, 10, 15, 20, 25),
+    trials: int = 100,
+    rng: RngLike = 0,
+) -> Dict[str, List[Row]]:
+    """Figure 1: MSE improvement vs k at fixed epsilon (default 0.7).
+
+    Returns two series: ``"svt"`` (Sparse-Vector-with-Gap with Measures,
+    Figure 1a) and ``"top_k"`` (Noisy-Top-K-with-Gap with Measures,
+    Figure 1b), each a list of rows with empirical and theoretical percent
+    improvement.
+    """
+    generator = ensure_rng(rng)
+    counts = _counts_for(dataset, generator)
+    svt_rows: List[Row] = []
+    top_k_rows: List[Row] = []
+    for k in ks:
+        svt = run_svt_mse_improvement(
+            counts, epsilon=epsilon, k=k, trials=trials, rng=generator
+        )
+        svt_rows.append(
+            {
+                "k": k,
+                "improvement_percent": svt.improvement_percent,
+                "theoretical_percent": svt.theoretical_percent,
+            }
+        )
+        top = run_top_k_mse_improvement(
+            counts, epsilon=epsilon, k=k, trials=trials, rng=generator
+        )
+        top_k_rows.append(
+            {
+                "k": k,
+                "improvement_percent": top.improvement_percent,
+                "theoretical_percent": top.theoretical_percent,
+            }
+        )
+    return {"svt": svt_rows, "top_k": top_k_rows}
+
+
+def figure2_data(
+    dataset: Union[str, TransactionDatabase] = "kosarak",
+    k: int = 10,
+    epsilons: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5),
+    trials: int = 100,
+    rng: RngLike = 0,
+) -> Dict[str, List[Row]]:
+    """Figure 2: MSE improvement vs epsilon at fixed k (default 10)."""
+    generator = ensure_rng(rng)
+    counts = _counts_for(dataset, generator)
+    svt_rows: List[Row] = []
+    top_k_rows: List[Row] = []
+    for epsilon in epsilons:
+        svt = run_svt_mse_improvement(
+            counts, epsilon=epsilon, k=k, trials=trials, rng=generator
+        )
+        svt_rows.append(
+            {
+                "epsilon": epsilon,
+                "improvement_percent": svt.improvement_percent,
+                "theoretical_percent": svt.theoretical_percent,
+            }
+        )
+        top = run_top_k_mse_improvement(
+            counts, epsilon=epsilon, k=k, trials=trials, rng=generator
+        )
+        top_k_rows.append(
+            {
+                "epsilon": epsilon,
+                "improvement_percent": top.improvement_percent,
+                "theoretical_percent": top.theoretical_percent,
+            }
+        )
+    return {"svt": svt_rows, "top_k": top_k_rows}
+
+
+def figure3_data(
+    dataset: Union[str, TransactionDatabase] = "BMS-POS",
+    epsilon: float = 0.7,
+    ks: Sequence[int] = (2, 6, 10, 14, 18, 22),
+    trials: int = 50,
+    rng: RngLike = 0,
+) -> List[Row]:
+    """Figure 3: answers / precision / F-measure, SVT vs Adaptive SVT."""
+    generator = ensure_rng(rng)
+    counts = _counts_for(dataset, generator)
+    rows: List[Row] = []
+    for k in ks:
+        comparison = run_adaptive_comparison(
+            counts, epsilon=epsilon, k=k, trials=trials, rng=generator
+        )
+        rows.append(
+            {
+                "k": k,
+                "svt_answers": comparison.svt_answers,
+                "adaptive_answers": comparison.adaptive_answers,
+                "adaptive_top": comparison.adaptive_top_answers,
+                "adaptive_middle": comparison.adaptive_middle_answers,
+                "svt_precision": comparison.svt_precision,
+                "adaptive_precision": comparison.adaptive_precision,
+                "svt_f_measure": comparison.svt_f_measure,
+                "adaptive_f_measure": comparison.adaptive_f_measure,
+            }
+        )
+    return rows
+
+
+def figure4_data(
+    datasets: Iterable[Union[str, TransactionDatabase]] = (
+        "BMS-POS",
+        "kosarak",
+        "T40I10D100K",
+    ),
+    epsilon: float = 0.7,
+    ks: Sequence[int] = (5, 10, 15, 20, 25),
+    trials: int = 50,
+    rng: RngLike = 0,
+) -> List[Row]:
+    """Figure 4: remaining budget after k adaptive answers, per dataset."""
+    generator = ensure_rng(rng)
+    rows: List[Row] = []
+    for dataset in datasets:
+        counts = _counts_for(dataset, generator)
+        label = dataset if isinstance(dataset, str) else dataset.name
+        for k in ks:
+            result = run_remaining_budget(
+                counts, epsilon=epsilon, k=k, trials=trials, rng=generator
+            )
+            rows.append(
+                {
+                    "dataset": label,
+                    "k": k,
+                    "remaining_percent": result.remaining_percent,
+                }
+            )
+    return rows

@@ -1,0 +1,93 @@
+"""Evaluation metrics used in Section 7 of the paper.
+
+Three families of metrics appear in the evaluation:
+
+* mean squared error of query estimates, reported as the *percent
+  improvement* of the gap-fused estimates over the gap-free baseline
+  (Figures 1 and 2);
+* precision, recall and F-measure of the set of queries reported above the
+  threshold by a Sparse Vector variant, relative to the set of queries whose
+  true answers actually exceed the threshold (Figures 3d-3f);
+* the fraction of the privacy budget left unspent by the adaptive mechanism
+  (Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def mean_squared_error(estimates: ArrayLike, truths: ArrayLike) -> float:
+    """Mean squared error of ``estimates`` against ``truths``."""
+    estimates = np.asarray(estimates, dtype=float)
+    truths = np.asarray(truths, dtype=float)
+    if estimates.shape != truths.shape:
+        raise ValueError("estimates and truths must have the same shape")
+    if estimates.size == 0:
+        raise ValueError("cannot compute the MSE of empty vectors")
+    return float(np.mean((estimates - truths) ** 2))
+
+
+def improvement_percentage(baseline_mse: float, improved_mse: float) -> float:
+    """Percent reduction of ``improved_mse`` relative to ``baseline_mse``.
+
+    Positive values mean the improved estimator is better; the paper's
+    Figures 1 and 2 plot exactly this quantity.
+    """
+    if baseline_mse <= 0:
+        raise ValueError("baseline_mse must be positive")
+    return 100.0 * (1.0 - improved_mse / baseline_mse)
+
+
+def precision_recall(
+    reported: Iterable[int], actual: Iterable[int]
+) -> Tuple[float, float]:
+    """Precision and recall of a reported set against the true positive set.
+
+    Parameters
+    ----------
+    reported:
+        Indexes the mechanism reported as above-threshold.
+    actual:
+        Indexes whose true answers are actually above the threshold.
+
+    Returns
+    -------
+    (precision, recall):
+        Precision is 1.0 by convention when nothing was reported; recall is
+        1.0 by convention when there are no actual positives.
+    """
+    reported_set: Set[int] = set(int(i) for i in reported)
+    actual_set: Set[int] = set(int(i) for i in actual)
+    true_positives = len(reported_set & actual_set)
+    precision = true_positives / len(reported_set) if reported_set else 1.0
+    recall = true_positives / len(actual_set) if actual_set else 1.0
+    return precision, recall
+
+
+def f_measure(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall (zero if both are zero)."""
+    if not 0.0 <= precision <= 1.0 or not 0.0 <= recall <= 1.0:
+        raise ValueError("precision and recall must lie in [0, 1]")
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def selection_f_measure(reported: Iterable[int], actual: Iterable[int]) -> float:
+    """F-measure of a reported above-threshold set (convenience wrapper)."""
+    precision, recall = precision_recall(reported, actual)
+    return f_measure(precision, recall)
+
+
+def remaining_budget_fraction(epsilon_total: float, epsilon_spent: float) -> float:
+    """Fraction of the total budget left unspent (the Figure 4 metric)."""
+    if epsilon_total <= 0:
+        raise ValueError("epsilon_total must be positive")
+    if epsilon_spent < 0:
+        raise ValueError("epsilon_spent must be non-negative")
+    return max(0.0, epsilon_total - epsilon_spent) / epsilon_total

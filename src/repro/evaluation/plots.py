@@ -1,0 +1,133 @@
+"""Dependency-free ASCII plots of experiment data series.
+
+The benchmark harness prints its results as tables; for a quick visual check
+of the *shape* of a curve (rising toward 50 %, flat across epsilon, adaptive
+above baseline) an inline plot is often clearer.  This module renders small
+line and bar charts as plain text so that no plotting dependency is needed in
+the offline environment; the CLI exposes them behind ``--plot``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+Row = Dict[str, object]
+
+
+def _scaled_positions(values: Sequence[float], width: int) -> List[int]:
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return [width // 2 for _ in values]
+    return [int(round((v - lo) / (hi - lo) * (width - 1))) for v in values]
+
+
+def line_plot(
+    rows: Sequence[Row],
+    x_column: str,
+    y_columns: Sequence[str],
+    width: int = 60,
+    height: int = 15,
+    title: Optional[str] = None,
+) -> str:
+    """Render one or more series as an ASCII line plot.
+
+    Parameters
+    ----------
+    rows:
+        Data rows (each a dict); all requested columns must be numeric.
+    x_column:
+        Column used for the horizontal axis.
+    y_columns:
+        One or more columns plotted as separate series; each series gets a
+        distinct marker (``*``, ``o``, ``+``, ``x`` cycling).
+    width, height:
+        Canvas size in characters.
+    title:
+        Optional title line.
+
+    Returns
+    -------
+    str
+        The rendered plot, including a legend and axis range annotations.
+    """
+    rows = list(rows)
+    if not rows:
+        raise ValueError("cannot plot an empty data series")
+    if width < 10 or height < 5:
+        raise ValueError("the canvas must be at least 10 columns by 5 rows")
+    if not y_columns:
+        raise ValueError("at least one y column is required")
+
+    xs = [float(row[x_column]) for row in rows]
+    all_ys: List[float] = []
+    series_values: List[List[float]] = []
+    for column in y_columns:
+        values = [float(row[column]) for row in rows]
+        series_values.append(values)
+        all_ys.extend(values)
+
+    y_lo, y_hi = min(all_ys), max(all_ys)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    canvas = [[" " for _ in range(width)] for _ in range(height)]
+    x_positions = _scaled_positions(xs, width)
+    markers = "*o+x"
+    for series_index, values in enumerate(series_values):
+        marker = markers[series_index % len(markers)]
+        for x_pos, value in zip(x_positions, values):
+            y_pos = int(round((value - y_lo) / (y_hi - y_lo) * (height - 1)))
+            canvas[height - 1 - y_pos][x_pos] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y_lo:g} .. {y_hi:g}")
+    lines.extend("|" + "".join(row_chars) for row_chars in canvas)
+    lines.append("+" + "-" * width)
+    lines.append(f"x ({x_column}): {min(xs):g} .. {max(xs):g}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]} {column}" for i, column in enumerate(y_columns)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    rows: Sequence[Row],
+    label_column: str,
+    value_column: str,
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """Render a horizontal ASCII bar chart of one numeric column.
+
+    Parameters
+    ----------
+    rows:
+        Data rows.
+    label_column:
+        Column used to label each bar.
+    value_column:
+        Numeric column giving each bar's length.
+    width:
+        Maximum bar length in characters.
+    title:
+        Optional title line.
+    """
+    rows = list(rows)
+    if not rows:
+        raise ValueError("cannot plot an empty data series")
+    if width < 5:
+        raise ValueError("width must be at least 5")
+    values = [float(row[value_column]) for row in rows]
+    labels = [str(row[label_column]) for row in rows]
+    peak = max(abs(v) for v in values) or 1.0
+    label_width = max(len(label) for label in labels)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(abs(value) / peak * width)))
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:g}")
+    return "\n".join(lines)

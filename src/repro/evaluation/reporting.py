@@ -1,0 +1,149 @@
+"""Persisting experiment results.
+
+The figure regenerators return their data as lists of row dictionaries; this
+module writes and reads them in two interchange formats so that results can
+be archived, diffed between runs, or plotted with external tooling:
+
+* CSV -- one file per data series, human-diffable;
+* JSON -- a single document holding several named series plus run metadata
+  (parameters, trial counts, library version), which is the format the CLI's
+  ``--output`` uses when the target filename ends in ``.json``.
+
+Only the standard library is used (``csv``/``json``), so archived results
+have no dependency on this package to read back.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+Row = Dict[str, object]
+
+
+@dataclass
+class ExperimentRecord:
+    """A named collection of data series plus run metadata.
+
+    Attributes
+    ----------
+    name:
+        Identifier of the experiment (e.g. ``"figure1"``).
+    parameters:
+        The parameter values the experiment was run with (epsilon, k,
+        trials, dataset, seed, ...).
+    series:
+        Mapping from series name (e.g. ``"top_k"``) to its rows.
+    """
+
+    name: str
+    parameters: Dict[str, object] = field(default_factory=dict)
+    series: Dict[str, List[Row]] = field(default_factory=dict)
+
+    def add_series(self, label: str, rows: Sequence[Row]) -> None:
+        """Attach one data series, replacing any existing series of that name."""
+        self.series[label] = [dict(row) for row in rows]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict representation (the JSON document layout)."""
+        return {
+            "name": self.name,
+            "parameters": dict(self.parameters),
+            "series": {label: list(rows) for label, rows in self.series.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        if "name" not in payload:
+            raise ValueError("experiment payload is missing the 'name' field")
+        record = cls(
+            name=str(payload["name"]),
+            parameters=dict(payload.get("parameters", {})),
+        )
+        for label, rows in dict(payload.get("series", {})).items():
+            record.add_series(label, rows)
+        return record
+
+
+def write_rows_csv(rows: Sequence[Row], path: PathLike) -> None:
+    """Write one data series as a CSV file (columns from the first row)."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("cannot write an empty data series")
+    path = os.fspath(path)
+    columns = list(rows[0].keys())
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+def read_rows_csv(path: PathLike) -> List[Row]:
+    """Read a data series back from CSV, converting numeric fields to float."""
+    path = os.fspath(path)
+    rows: List[Row] = []
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        for raw in csv.DictReader(handle):
+            row: Row = {}
+            for key, value in raw.items():
+                try:
+                    row[key] = float(value)
+                except (TypeError, ValueError):
+                    row[key] = value
+            rows.append(row)
+    return rows
+
+
+def write_experiment_json(record: ExperimentRecord, path: PathLike) -> None:
+    """Write an :class:`ExperimentRecord` as a JSON document."""
+    path = os.fspath(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record.to_dict(), handle, indent=2, sort_keys=True, default=float)
+        handle.write("\n")
+
+
+def read_experiment_json(path: PathLike) -> ExperimentRecord:
+    """Read an :class:`ExperimentRecord` back from JSON."""
+    path = os.fspath(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        return ExperimentRecord.from_dict(json.load(handle))
+
+
+def compare_series(
+    baseline: Sequence[Row],
+    candidate: Sequence[Row],
+    key_column: str,
+    value_column: str,
+    tolerance: float,
+) -> List[str]:
+    """Compare two runs of the same series point by point.
+
+    Returns a list of human-readable difference descriptions; an empty list
+    means the candidate matches the baseline within ``tolerance`` at every
+    shared key.  Useful for regression-checking archived experiment results.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    baseline_by_key = {row[key_column]: row for row in baseline}
+    differences: List[str] = []
+    for row in candidate:
+        key = row[key_column]
+        if key not in baseline_by_key:
+            differences.append(f"{key_column}={key}: missing from baseline")
+            continue
+        old = float(baseline_by_key[key][value_column])
+        new = float(row[value_column])
+        if abs(new - old) > tolerance:
+            differences.append(
+                f"{key_column}={key}: {value_column} changed from {old:g} to {new:g}"
+            )
+    for key in baseline_by_key:
+        if key not in {row[key_column] for row in candidate}:
+            differences.append(f"{key_column}={key}: missing from candidate")
+    return differences

@@ -1,0 +1,64 @@
+"""Baseline differentially private mechanisms.
+
+These are the mechanisms the paper builds on and compares against:
+
+* :class:`~repro.mechanisms.laplace_mechanism.LaplaceMechanism` -- noisy
+  answers to a vector of queries (Theorem 1 of the paper); used for the
+  "measurement" half of the selection-then-measure experiments.
+* :class:`~repro.mechanisms.noisy_max.ReportNoisyMax` and
+  :class:`~repro.mechanisms.noisy_max.NoisyTopK` -- the classical selection
+  mechanisms that return only the identities of the largest queries,
+  discarding the gap information.
+* :class:`~repro.mechanisms.sparse_vector.SparseVector` -- the standard SVT
+  (Lyu et al.'s Algorithm 1), the non-adaptive, gap-free baseline.
+* :class:`~repro.mechanisms.sparse_vector.SparseVectorWithGap` -- the
+  Sparse-Vector-with-Gap of Wang et al., which releases gaps but is not
+  adaptive.
+* :class:`~repro.mechanisms.exponential.ExponentialMechanism` -- the classic
+  selection mechanism of McSherry & Talwar, provided for completeness as the
+  third member of the selection-mechanism family discussed in Related Work.
+
+The paper's own contributions (Noisy-Top-K-with-Gap and
+Adaptive-Sparse-Vector-with-Gap) live in :mod:`repro.core`.
+"""
+
+from repro.mechanisms.laplace_mechanism import LaplaceMechanism, MeasurementResult
+from repro.mechanisms.noisy_max import NoisyTopK, ReportNoisyMax, SelectionResult
+from repro.mechanisms.sparse_vector import (
+    SparseVector,
+    SparseVectorWithGap,
+    SvtOutcome,
+    SvtResult,
+)
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.mechanisms.svt_variants import (
+    SVT_VARIANT_CATALOGUE,
+    SvtVariant1,
+    SvtVariant2,
+    SvtVariant3,
+    SvtVariant4,
+    SvtVariant5,
+    SvtVariant6,
+    make_svt_variant,
+)
+
+__all__ = [
+    "LaplaceMechanism",
+    "MeasurementResult",
+    "ReportNoisyMax",
+    "NoisyTopK",
+    "SelectionResult",
+    "SparseVector",
+    "SparseVectorWithGap",
+    "SvtOutcome",
+    "SvtResult",
+    "ExponentialMechanism",
+    "SVT_VARIANT_CATALOGUE",
+    "SvtVariant1",
+    "SvtVariant2",
+    "SvtVariant3",
+    "SvtVariant4",
+    "SvtVariant5",
+    "SvtVariant6",
+    "make_svt_variant",
+]

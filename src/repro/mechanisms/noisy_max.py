@@ -1,0 +1,230 @@
+"""Classical Report Noisy Max and Noisy Top-K (the gap-free baselines).
+
+Report Noisy Max adds Laplace noise to each query answer and releases the
+*index* of the largest noisy value; Noisy Top-K iterates this idea to release
+the indexes of the top ``k`` noisy values.  Both discard the noisy values
+themselves -- in particular the gap between the winner and the runner-up --
+which is exactly the information the paper shows can be released for free
+(see :mod:`repro.core.noisy_top_k`).
+
+Privacy accounting follows Section 5 of the paper: with per-query noise
+``Laplace(2k / epsilon)`` the release of the k indexes is epsilon-DP in
+general and (epsilon/2)-DP when the query list is monotonic (e.g. counting
+queries).  Equivalently, for a target budget ``epsilon`` on monotonic
+queries one may use ``Laplace(k / epsilon)`` noise; this implementation
+always takes ``epsilon`` as the *charged* budget and selects the noise scale
+accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.mechanisms.results import MechanismMetadata, NoiseTrace
+from repro.primitives.laplace import LaplaceNoise
+from repro.primitives.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Output of a selection mechanism (Noisy Max / Noisy Top-K).
+
+    Attributes
+    ----------
+    indices:
+        Indexes of the selected queries, in descending noisy-value order.
+    gaps:
+        Noisy gaps between consecutive selected queries (and, for the last
+        selected query, the best unselected one).  Empty for the gap-free
+        baselines; filled by Noisy-Top-K-with-Gap.
+    metadata:
+        Privacy metadata of the release.
+    noise_trace:
+        Realised noise, for the alignment framework.
+    """
+
+    indices: List[int]
+    gaps: np.ndarray
+    metadata: MechanismMetadata
+    noise_trace: Optional[NoiseTrace] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "indices", [int(i) for i in self.indices])
+        object.__setattr__(self, "gaps", np.asarray(self.gaps, dtype=float))
+
+    @property
+    def k(self) -> int:
+        """Number of selected queries."""
+        return len(self.indices)
+
+    def pairwise_gap(self, a: int, b: int) -> float:
+        """Estimated gap between the a-th and b-th selected queries (0-based).
+
+        Section 5.1 of the paper notes that the gap between the a-th and b-th
+        largest selected queries is the sum of the consecutive gaps between
+        them, with variance ``16 k^2 / epsilon^2`` regardless of ``a, b``.
+        Only available when gaps were released.
+        """
+        if self.gaps.size == 0:
+            raise ValueError("this selection did not release gap information")
+        if not 0 <= a < b <= self.gaps.size:
+            raise ValueError(
+                f"need 0 <= a < b <= {self.gaps.size}, got a={a}, b={b}"
+            )
+        return float(np.sum(self.gaps[a:b]))
+
+
+def noise_scale_for_top_k(epsilon: float, k: int, monotonic: bool) -> float:
+    """Per-query Laplace scale so that releasing the top-k costs ``epsilon``.
+
+    The paper's Algorithm 1 uses ``Laplace(2k/epsilon)`` noise and charges
+    ``epsilon`` in general or ``epsilon/2`` for monotonic queries.  To charge
+    exactly ``epsilon`` for monotonic queries one can equivalently halve the
+    scale to ``k/epsilon``; this helper returns the scale for a *charged*
+    budget of ``epsilon``.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    return (k if monotonic else 2.0 * k) / epsilon
+
+
+class NoisyTopK:
+    """The classical (gap-free) Noisy Top-K selection mechanism.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget charged for the selection.
+    k:
+        Number of queries to select.
+    monotonic:
+        Whether the query list is monotonic (Definition 7); enables the
+        improved accounting (equivalently, half the noise scale for the same
+        charged budget).
+    sensitivity:
+        Per-query sensitivity (defaults to 1, as assumed by the paper).
+    """
+
+    name = "noisy-top-k"
+    releases_gaps = False
+
+    def __init__(
+        self,
+        epsilon: float,
+        k: int = 1,
+        monotonic: bool = False,
+        sensitivity: float = 1.0,
+    ) -> None:
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        if sensitivity <= 0:
+            raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+        self.epsilon = float(epsilon)
+        self.k = int(k)
+        self.monotonic = bool(monotonic)
+        self.sensitivity = float(sensitivity)
+        self.scale = noise_scale_for_top_k(epsilon, k, monotonic) * self.sensitivity
+        self._noise = LaplaceNoise(self.scale)
+
+    # -- internals shared with the with-gap subclass -------------------------------
+
+    def _noisy_values(
+        self,
+        true_values: np.ndarray,
+        rng: RngLike,
+        noise: Optional[np.ndarray],
+    ) -> (np.ndarray, np.ndarray):
+        if noise is None:
+            generator = ensure_rng(rng)
+            noise = np.asarray(self._noise.sample(size=true_values.size, rng=generator))
+        else:
+            noise = np.asarray(noise, dtype=float)
+            if noise.shape != true_values.shape:
+                raise ValueError("explicit noise must match true_values in shape")
+        return true_values + noise, noise
+
+    def _top_indices(self, noisy: np.ndarray, count: int) -> np.ndarray:
+        """Indexes of the ``count`` largest noisy values, in descending order."""
+        count = min(count, noisy.size)
+        order = np.argsort(noisy, kind="stable")[::-1]
+        return order[:count]
+
+    def _metadata(self, extra: Optional[dict] = None) -> MechanismMetadata:
+        return MechanismMetadata(
+            mechanism=self.name,
+            epsilon=self.epsilon,
+            epsilon_spent=self.epsilon,
+            monotonic=self.monotonic,
+            extra={"k": float(self.k), "scale": self.scale, **(extra or {})},
+        )
+
+    def _trace(self, noise: np.ndarray) -> NoiseTrace:
+        return NoiseTrace(
+            names=[f"query[{i}]" for i in range(noise.size)],
+            values=noise,
+            scales=np.full(noise.size, self.scale),
+        )
+
+    # -- public API -----------------------------------------------------------------
+
+    def select(
+        self,
+        true_values: Union[Sequence[float], np.ndarray],
+        rng: RngLike = None,
+        noise: Optional[np.ndarray] = None,
+    ) -> SelectionResult:
+        """Select the (approximate) top-k queries from ``true_values``.
+
+        Parameters
+        ----------
+        true_values:
+            Exact query answers.
+        rng:
+            Seed or generator.
+        noise:
+            Optional explicit noise vector used to replay an execution.
+        """
+        values = np.asarray(true_values, dtype=float)
+        if values.ndim != 1:
+            raise ValueError("true_values must be a one-dimensional vector")
+        if values.size < self.k:
+            raise ValueError(
+                f"need at least k={self.k} queries, got {values.size}"
+            )
+        noisy, noise = self._noisy_values(values, rng, noise)
+        winners = self._top_indices(noisy, self.k)
+        return SelectionResult(
+            indices=list(winners),
+            gaps=np.asarray([], dtype=float),
+            metadata=self._metadata(),
+            noise_trace=self._trace(noise),
+        )
+
+
+class ReportNoisyMax(NoisyTopK):
+    """Report Noisy Max: the k = 1 special case of Noisy Top-K."""
+
+    name = "report-noisy-max"
+
+    def __init__(
+        self,
+        epsilon: float,
+        monotonic: bool = False,
+        sensitivity: float = 1.0,
+    ) -> None:
+        super().__init__(epsilon, k=1, monotonic=monotonic, sensitivity=sensitivity)
+
+    def select_index(
+        self,
+        true_values: Union[Sequence[float], np.ndarray],
+        rng: RngLike = None,
+    ) -> int:
+        """Return just the index of the (approximately) largest query."""
+        return self.select(true_values, rng=rng).indices[0]

@@ -1,0 +1,84 @@
+"""Shared result containers for selection and measurement mechanisms.
+
+Every mechanism in the library returns a structured result object rather than
+a bare tuple so that downstream code (post-processing, the experiment
+harness, the alignment checker) can access the pieces it needs by name and so
+that the privacy cost of a release travels with the release itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NoiseTrace:
+    """Record of the noise a mechanism drew, for the alignment framework.
+
+    The alignment checker (:mod:`repro.alignment`) re-executes mechanisms
+    with explicitly supplied noise vectors; mechanisms optionally attach the
+    noise they actually used so that alignment functions can be evaluated on
+    realised executions.
+
+    Attributes
+    ----------
+    names:
+        A label per noise coordinate (e.g. ``"threshold"``, ``"query[3]"``).
+    values:
+        The realised noise values, in draw order.
+    scales:
+        The Laplace scale used for each coordinate (the ``alpha_i`` of
+        Definition 6, used to price alignment shifts).
+    """
+
+    names: List[str]
+    values: np.ndarray
+    scales: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        scales = np.asarray(self.scales, dtype=float)
+        if len(self.names) != values.size or values.size != scales.size:
+            raise ValueError("names, values and scales must have equal length")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "scales", scales)
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def alignment_cost(self, shifted_values: np.ndarray) -> float:
+        """Cost (Definition 6) of moving this trace to ``shifted_values``."""
+        shifted = np.asarray(shifted_values, dtype=float)
+        if shifted.shape != self.values.shape:
+            raise ValueError("shifted noise vector has the wrong shape")
+        return float(np.sum(np.abs(shifted - self.values) / self.scales))
+
+
+@dataclass(frozen=True)
+class MechanismMetadata:
+    """Privacy metadata attached to every mechanism result.
+
+    Attributes
+    ----------
+    mechanism:
+        Name of the mechanism that produced the release.
+    epsilon:
+        The privacy budget the release was charged against.
+    epsilon_spent:
+        The budget actually consumed (equal to ``epsilon`` for the
+        non-adaptive mechanisms; possibly smaller for
+        Adaptive-Sparse-Vector-with-Gap).
+    monotonic:
+        Whether the monotonic-query accounting was applied.
+    extra:
+        Free-form additional fields (e.g. the k used, branch counts).
+    """
+
+    mechanism: str
+    epsilon: float
+    epsilon_spent: float
+    monotonic: bool = False
+    extra: Dict[str, float] = field(default_factory=dict)

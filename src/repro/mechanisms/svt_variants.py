@@ -1,0 +1,450 @@
+"""The Sparse Vector variant catalogue of Lyu, Su & Li (PVLDB 2017).
+
+The paper's Related Work leans heavily on Lyu et al.'s "Understanding the
+Sparse Vector Technique", which catalogues six SVT variants that appeared in
+the literature -- two correct ones and four whose privacy analyses are
+flawed.  Having the catalogue executable is valuable for this library in two
+ways:
+
+* the *correct* variants are additional baselines with different budget
+  allocations / noise placements, and
+* the *incorrect* variants are fixtures for the empirical DP verifier and
+  the alignment checker: a testing framework for DP mechanisms should be able
+  to flag them (this mirrors how the verification line of work that led to
+  Sparse-Vector-with-Gap started).
+
+The variants implemented here (numbering follows Lyu et al.):
+
+========  ============================================  ==========================
+Variant   Distinguishing behaviour                      Privacy status
+========  ============================================  ==========================
+SVT1      Alg. 1 of Lyu et al. (ratio split, resample   epsilon-DP
+          nothing, stop after k answers)
+SVT2      Dwork & Roth style: threshold noise is        epsilon-DP (less accurate
+          refreshed after every above-threshold answer  than SVT1 for same budget)
+SVT3      Releases the *noisy query value* (not just    NOT DP (unbounded leakage
+          the indicator) for above-threshold queries,   as the stream grows)
+          while charging only the indicator cost
+SVT4      Charges only epsilon/4 per above-threshold    (1+6k)/4 epsilon-DP, i.e.
+          answer but adds indicator-level noise         NOT epsilon-DP as claimed
+SVT5      Adds no noise to the threshold at all         NOT DP
+SVT6      Adds noise only to the threshold, none to     NOT DP
+          the queries
+========  ============================================  ==========================
+
+All variants share the :class:`~repro.mechanisms.sparse_vector.SvtResult`
+output type.  The incorrect variants are clearly marked with
+``claimed_private = False`` -- they exist for testing and pedagogy and must
+never be used to release real data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.mechanisms.results import MechanismMetadata, NoiseTrace
+from repro.mechanisms.sparse_vector import (
+    SparseVector,
+    SvtBranch,
+    SvtOutcome,
+    SvtResult,
+    svt_budget_allocation,
+)
+from repro.primitives.laplace import LaplaceNoise
+from repro.primitives.rng import RngLike, ensure_rng
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+class SvtVariant1(SparseVector):
+    """SVT1: the recommended variant (identical to :class:`SparseVector`).
+
+    Included under its catalogue name so the whole Lyu et al. family can be
+    instantiated uniformly in comparisons.
+    """
+
+    name = "svt-variant-1"
+    claimed_private = True
+    actually_private = True
+
+
+class SvtVariant2(SparseVector):
+    """SVT2: refreshes the threshold noise after every above-threshold answer.
+
+    This is the Dwork & Roth textbook formulation.  It satisfies
+    epsilon-differential privacy but, because the threshold budget is re-paid
+    for every answer, it answers with more noise than SVT1 at the same total
+    budget.  The budget is split evenly between threshold and queries and then
+    into k rounds.
+    """
+
+    name = "svt-variant-2"
+    claimed_private = True
+    actually_private = True
+
+    def __init__(
+        self,
+        epsilon: float,
+        threshold: float,
+        k: int = 1,
+        monotonic: bool = False,
+        sensitivity: float = 1.0,
+    ) -> None:
+        super().__init__(
+            epsilon=epsilon,
+            threshold=threshold,
+            k=k,
+            monotonic=monotonic,
+            theta=0.5,
+            sensitivity=sensitivity,
+        )
+        # Each of the k rounds gets threshold budget epsilon/2k and query
+        # budget epsilon/2k.
+        self.epsilon_threshold_per_round = self.epsilon / (2.0 * k)
+        self.epsilon_per_query = self.epsilon / (2.0 * k)
+        self.threshold_scale = self.sensitivity / self.epsilon_threshold_per_round
+        query_factor = 1.0 if monotonic else 2.0
+        self.query_scale = query_factor * self.sensitivity / self.epsilon_per_query
+        self._threshold_noise = LaplaceNoise(self.threshold_scale)
+        self._query_noise = LaplaceNoise(self.query_scale)
+
+    def run(self, true_values: ArrayLike, rng: RngLike = None) -> SvtResult:
+        values = np.asarray(true_values, dtype=float)
+        if values.ndim != 1:
+            raise ValueError("true_values must be a one-dimensional vector")
+        generator = ensure_rng(rng)
+
+        noise_names: List[str] = []
+        noise_values: List[float] = []
+        noise_scales: List[float] = []
+
+        def fresh_threshold() -> float:
+            eta = float(self._threshold_noise.sample(rng=generator))
+            noise_names.append(f"threshold[{len(noise_names)}]")
+            noise_values.append(eta)
+            noise_scales.append(self.threshold_scale)
+            return self.threshold + eta
+
+        noisy_threshold = fresh_threshold()
+        spent = self.epsilon_threshold_per_round
+
+        outcomes: List[SvtOutcome] = []
+        answered = 0
+        for index, value in enumerate(values):
+            query_noise = float(self._query_noise.sample(rng=generator))
+            noise_names.append(f"query[{index}]")
+            noise_values.append(query_noise)
+            noise_scales.append(self.query_scale)
+            if value + query_noise >= noisy_threshold:
+                outcomes.append(
+                    SvtOutcome(
+                        index=index,
+                        above=True,
+                        gap=None,
+                        branch=SvtBranch.MIDDLE,
+                        budget_used=self.epsilon_per_query
+                        + self.epsilon_threshold_per_round,
+                    )
+                )
+                spent += self.epsilon_per_query
+                answered += 1
+                if answered >= self.k:
+                    break
+                # Refresh the threshold noise, paying its budget again.
+                noisy_threshold = fresh_threshold()
+                spent += self.epsilon_threshold_per_round
+            else:
+                outcomes.append(
+                    SvtOutcome(
+                        index=index,
+                        above=False,
+                        gap=None,
+                        branch=SvtBranch.BOTTOM,
+                        budget_used=0.0,
+                    )
+                )
+
+        metadata = MechanismMetadata(
+            mechanism=self.name,
+            epsilon=self.epsilon,
+            epsilon_spent=min(spent, self.epsilon),
+            monotonic=self.monotonic,
+            extra={"k": float(self.k), "threshold": self.threshold},
+        )
+        trace = NoiseTrace(
+            names=noise_names,
+            values=np.asarray(noise_values),
+            scales=np.asarray(noise_scales),
+        )
+        return SvtResult(outcomes=outcomes, metadata=metadata, noise_trace=trace)
+
+
+class _BrokenSvtBase:
+    """Shared plumbing for the deliberately broken catalogue variants."""
+
+    name = "svt-broken"
+    claimed_private = True
+    actually_private = False
+    releases_gaps = False
+
+    def __init__(
+        self,
+        epsilon: float,
+        threshold: float,
+        k: int = 1,
+        sensitivity: float = 1.0,
+    ) -> None:
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        if sensitivity <= 0:
+            raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+        self.epsilon = float(epsilon)
+        self.threshold = float(threshold)
+        self.k = int(k)
+        self.sensitivity = float(sensitivity)
+        eps0, eps_queries = svt_budget_allocation(epsilon, k, monotonic=False)
+        self.epsilon_threshold = eps0
+        self.epsilon_per_query = eps_queries / k
+
+    def _metadata(self, spent: float) -> MechanismMetadata:
+        return MechanismMetadata(
+            mechanism=self.name,
+            epsilon=self.epsilon,
+            epsilon_spent=min(spent, self.epsilon),
+            monotonic=False,
+            extra={"k": float(self.k), "threshold": self.threshold},
+        )
+
+
+class SvtVariant3(_BrokenSvtBase):
+    """SVT3: releases the noisy query value itself for above-threshold queries.
+
+    The privacy "analysis" charges only for the above/below indicator, but the
+    released numeric value leaks far more; the variant does not satisfy any
+    finite epsilon as the number of released values grows.  Provided only as
+    a negative fixture for the testing tools.
+    """
+
+    name = "svt-variant-3"
+
+    def run(self, true_values: ArrayLike, rng: RngLike = None) -> SvtResult:
+        values = np.asarray(true_values, dtype=float)
+        generator = ensure_rng(rng)
+        threshold_noise = float(
+            LaplaceNoise(self.sensitivity / self.epsilon_threshold).sample(rng=generator)
+        )
+        noisy_threshold = self.threshold + threshold_noise
+        query_noise_dist = LaplaceNoise(
+            2.0 * self.sensitivity / self.epsilon_per_query
+        )
+
+        outcomes: List[SvtOutcome] = []
+        answered = 0
+        spent = self.epsilon_threshold
+        for index, value in enumerate(values):
+            noisy_value = value + float(query_noise_dist.sample(rng=generator))
+            if noisy_value >= noisy_threshold:
+                # BROKEN: releases the noisy value (as a "gap" against zero)
+                # while charging only the indicator budget.
+                outcomes.append(
+                    SvtOutcome(
+                        index=index,
+                        above=True,
+                        gap=float(noisy_value),
+                        branch=SvtBranch.MIDDLE,
+                        budget_used=self.epsilon_per_query,
+                    )
+                )
+                spent += self.epsilon_per_query
+                answered += 1
+                if answered >= self.k:
+                    break
+            else:
+                outcomes.append(
+                    SvtOutcome(
+                        index=index,
+                        above=False,
+                        gap=None,
+                        branch=SvtBranch.BOTTOM,
+                        budget_used=0.0,
+                    )
+                )
+        return SvtResult(outcomes=outcomes, metadata=self._metadata(spent))
+
+
+class SvtVariant4(_BrokenSvtBase):
+    """SVT4: under-charges above-threshold answers by a factor that grows with k.
+
+    The variant pays a fixed per-answer budget that does not scale with k, so
+    the true privacy loss is roughly (1 + 6k)/4 times the claimed epsilon.
+    """
+
+    name = "svt-variant-4"
+
+    def run(self, true_values: ArrayLike, rng: RngLike = None) -> SvtResult:
+        values = np.asarray(true_values, dtype=float)
+        generator = ensure_rng(rng)
+        threshold_noise = float(
+            LaplaceNoise(2.0 * self.sensitivity / self.epsilon).sample(rng=generator)
+        )
+        noisy_threshold = self.threshold + threshold_noise
+        # BROKEN: per-query noise is calibrated as if a single answer were
+        # released, regardless of how many the loop actually produces.
+        query_noise_dist = LaplaceNoise(2.0 * self.sensitivity / self.epsilon)
+
+        outcomes: List[SvtOutcome] = []
+        answered = 0
+        spent = self.epsilon / 2.0
+        for index, value in enumerate(values):
+            noisy_value = value + float(query_noise_dist.sample(rng=generator))
+            if noisy_value >= noisy_threshold:
+                outcomes.append(
+                    SvtOutcome(
+                        index=index,
+                        above=True,
+                        gap=None,
+                        branch=SvtBranch.MIDDLE,
+                        budget_used=self.epsilon / (2.0 * self.k),
+                    )
+                )
+                spent += self.epsilon / (2.0 * self.k)
+                answered += 1
+                if answered >= self.k:
+                    break
+            else:
+                outcomes.append(
+                    SvtOutcome(
+                        index=index,
+                        above=False,
+                        gap=None,
+                        branch=SvtBranch.BOTTOM,
+                        budget_used=0.0,
+                    )
+                )
+        return SvtResult(outcomes=outcomes, metadata=self._metadata(spent))
+
+
+class SvtVariant5(_BrokenSvtBase):
+    """SVT5: adds no noise to the threshold.
+
+    Comparing exact noisy queries against an exact threshold leaks the sign
+    of (q_i - T) with too little randomness; the variant is not differentially
+    private for any finite epsilon once enough queries are processed.
+    """
+
+    name = "svt-variant-5"
+
+    def run(self, true_values: ArrayLike, rng: RngLike = None) -> SvtResult:
+        values = np.asarray(true_values, dtype=float)
+        generator = ensure_rng(rng)
+        query_noise_dist = LaplaceNoise(
+            2.0 * self.sensitivity / self.epsilon_per_query
+        )
+
+        outcomes: List[SvtOutcome] = []
+        answered = 0
+        spent = 0.0
+        for index, value in enumerate(values):
+            noisy_value = value + float(query_noise_dist.sample(rng=generator))
+            if noisy_value >= self.threshold:  # BROKEN: exact threshold
+                outcomes.append(
+                    SvtOutcome(
+                        index=index,
+                        above=True,
+                        gap=None,
+                        branch=SvtBranch.MIDDLE,
+                        budget_used=self.epsilon_per_query,
+                    )
+                )
+                spent += self.epsilon_per_query
+                answered += 1
+                if answered >= self.k:
+                    break
+            else:
+                outcomes.append(
+                    SvtOutcome(
+                        index=index,
+                        above=False,
+                        gap=None,
+                        branch=SvtBranch.BOTTOM,
+                        budget_used=0.0,
+                    )
+                )
+        return SvtResult(outcomes=outcomes, metadata=self._metadata(spent))
+
+
+class SvtVariant6(_BrokenSvtBase):
+    """SVT6: adds noise only to the threshold, none to the queries.
+
+    A single noisy threshold cannot protect an unbounded number of exact
+    query comparisons; like SVT5 this variant admits no finite epsilon.
+    """
+
+    name = "svt-variant-6"
+
+    def run(self, true_values: ArrayLike, rng: RngLike = None) -> SvtResult:
+        values = np.asarray(true_values, dtype=float)
+        generator = ensure_rng(rng)
+        threshold_noise = float(
+            LaplaceNoise(self.sensitivity / self.epsilon).sample(rng=generator)
+        )
+        noisy_threshold = self.threshold + threshold_noise
+
+        outcomes: List[SvtOutcome] = []
+        answered = 0
+        spent = self.epsilon
+        for index, value in enumerate(values):
+            if value >= noisy_threshold:  # BROKEN: exact query values
+                outcomes.append(
+                    SvtOutcome(
+                        index=index,
+                        above=True,
+                        gap=None,
+                        branch=SvtBranch.MIDDLE,
+                        budget_used=0.0,
+                    )
+                )
+                answered += 1
+                if answered >= self.k:
+                    break
+            else:
+                outcomes.append(
+                    SvtOutcome(
+                        index=index,
+                        above=False,
+                        gap=None,
+                        branch=SvtBranch.BOTTOM,
+                        budget_used=0.0,
+                    )
+                )
+        return SvtResult(outcomes=outcomes, metadata=self._metadata(spent))
+
+
+#: The full catalogue, keyed by the Lyu et al. numbering.
+SVT_VARIANT_CATALOGUE = {
+    1: SvtVariant1,
+    2: SvtVariant2,
+    3: SvtVariant3,
+    4: SvtVariant4,
+    5: SvtVariant5,
+    6: SvtVariant6,
+}
+
+
+def make_svt_variant(number: int, **kwargs) -> object:
+    """Instantiate catalogue variant ``number`` with the given parameters.
+
+    Parameters
+    ----------
+    number:
+        Variant index 1-6 (Lyu et al. numbering).
+    kwargs:
+        Constructor arguments (``epsilon``, ``threshold``, ``k``, ...).
+    """
+    if number not in SVT_VARIANT_CATALOGUE:
+        raise KeyError(f"unknown SVT variant {number}; expected 1-6")
+    return SVT_VARIANT_CATALOGUE[number](**kwargs)

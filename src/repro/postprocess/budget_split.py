@@ -1,0 +1,200 @@
+"""Optimising the selection/measurement budget split.
+
+The paper's select-then-measure protocol (Sections 5.2 and 6.2) splits the
+total budget evenly: half for the with-gap selection, half for the direct
+measurements.  Under the Corollary 1 variance model alone, putting *less*
+budget into the selection always looks better (the gaps simply get
+down-weighted and the measurements get more budget) -- but that model assumes
+the selection step identifies and orders the true top k, which fails once the
+selection noise becomes comparable to the separation between the top scores.
+The practically meaningful question is therefore constrained:
+
+    spend as little as possible on selection **while still ordering the top-k
+    correctly with the desired probability**, and put the rest into
+    measurement.
+
+This module provides exactly that:
+
+* :func:`fused_variance_for_split` -- variance of a BLUE-fused estimate when
+  a fraction ``rho`` of the budget funds the selection (valid in the regime
+  where the selection is correct);
+* :func:`minimum_selection_fraction` -- the smallest ``rho`` for which the
+  selection noise is small enough to keep the probability of selecting the
+  true maximiser above a target, given the data's top-score separation (uses
+  the sufficient condition of
+  :func:`repro.analysis.selection.minimum_separation_for_accuracy`);
+* :func:`optimal_selection_fraction` -- the constrained optimum: the smallest
+  feasible ``rho`` (because the fused variance is decreasing in the
+  measurement budget), clipped to a sensible floor;
+* :func:`split_improvement_over_even` -- MSE change of the constrained
+  optimum relative to the paper's even split, for a given separation.
+
+All formulas are for monotonic (counting) queries unless ``monotonic=False``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.analysis.selection import minimum_separation_for_accuracy
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def _scales_for_split(
+    total_epsilon: float, k: int, rho: ArrayLike, monotonic: bool
+) -> Tuple[ArrayLike, ArrayLike]:
+    """Selection and measurement Laplace scales for selection fraction rho."""
+    rho = np.asarray(rho, dtype=float)
+    selection_epsilon = rho * total_epsilon
+    measurement_epsilon = (1.0 - rho) * total_epsilon
+    # Noisy-Top-K-with-Gap charged selection_epsilon uses Laplace(k/eps) noise
+    # for monotonic queries and Laplace(2k/eps) otherwise (Theorem 2).
+    selection_factor = 1.0 if monotonic else 2.0
+    selection_scale = selection_factor * k / selection_epsilon
+    measurement_scale = k / measurement_epsilon
+    return selection_scale, measurement_scale
+
+
+def fused_variance_for_split(
+    total_epsilon: float,
+    k: int,
+    rho: ArrayLike,
+    monotonic: bool = True,
+) -> ArrayLike:
+    """Variance of a BLUE-fused top-k estimate for selection fraction ``rho``.
+
+    Parameters
+    ----------
+    total_epsilon:
+        Total privacy budget of the select-then-measure protocol.
+    k:
+        Number of selected/measured queries.
+    rho:
+        Fraction of the budget given to the Noisy-Top-K-with-Gap selection
+        (the paper uses 0.5).  Scalar or array in (0, 1).
+    monotonic:
+        Whether the queries are monotonic (counting queries).
+
+    Notes
+    -----
+    With measurement noise variance ``sigma_m^2`` and per-query selection
+    noise variance ``sigma_s^2``, Corollary 1 gives the fused variance
+    ``sigma_m^2 * (1 + lambda k) / (k + lambda k)`` with
+    ``lambda = sigma_s^2 / sigma_m^2``, which simplifies to
+    ``(sigma_m^2 + k sigma_s^2) / (k + k lambda)``... the implementation uses
+    the Corollary 1 form directly.
+    """
+    if total_epsilon <= 0:
+        raise ValueError("total_epsilon must be positive")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    rho_arr = np.asarray(rho, dtype=float)
+    if np.any((rho_arr <= 0) | (rho_arr >= 1)):
+        raise ValueError("rho must lie strictly between 0 and 1")
+    selection_scale, measurement_scale = _scales_for_split(
+        total_epsilon, k, rho_arr, monotonic
+    )
+    measurement_variance = 2.0 * measurement_scale**2
+    selection_variance = 2.0 * selection_scale**2
+    lam = selection_variance / measurement_variance
+    fused = measurement_variance * (1.0 + lam * k) / (k + lam * k)
+    if np.isscalar(rho) or isinstance(rho, float):
+        return float(fused)
+    return fused
+
+
+def minimum_selection_fraction(
+    total_epsilon: float,
+    k: int,
+    separation: float,
+    num_queries: int,
+    target_probability: float = 0.95,
+    monotonic: bool = True,
+) -> float:
+    """Smallest selection fraction that still orders the top scores reliably.
+
+    Parameters
+    ----------
+    total_epsilon:
+        Total budget of the protocol.
+    k:
+        Number of queries to select.
+    separation:
+        The margin by which the winning scores lead their competitors (e.g.
+        the difference between the k-th and (k+1)-th true counts).
+    num_queries:
+        Total number of candidate queries ``n``.
+    target_probability:
+        Desired probability that the noisy selection respects the true
+        ordering margin.
+    monotonic:
+        Whether the queries are monotonic (counting queries).
+
+    Returns
+    -------
+    float
+        The smallest ``rho`` in (0, 1) for which the selection noise scale
+        satisfies the sufficient condition of
+        :func:`repro.analysis.selection.minimum_separation_for_accuracy`.
+        Returns 1.0 (exclusive upper bound clipped to 0.999) when even the
+        full budget cannot meet the target -- the caller should then question
+        the target or the workload.
+    """
+    if separation <= 0:
+        raise ValueError("separation must be positive")
+    # Required: separation >= -2 * scale * log(failure / (n - 1)), i.e.
+    # scale <= separation / (-2 log(failure / (n-1))).  Invert for rho using
+    # scale(rho) = factor * k / (rho * total_epsilon).
+    reference_scale = 1.0
+    required_margin_per_unit_scale = minimum_separation_for_accuracy(
+        num_queries, reference_scale, target_probability
+    )
+    max_scale = separation / required_margin_per_unit_scale
+    factor = 1.0 if monotonic else 2.0
+    rho = factor * k / (max_scale * total_epsilon)
+    return float(min(max(rho, 1e-3), 0.999))
+
+
+def optimal_selection_fraction(
+    total_epsilon: float,
+    k: int,
+    separation: float,
+    num_queries: int,
+    target_probability: float = 0.95,
+    monotonic: bool = True,
+) -> float:
+    """Constrained-optimal selection fraction for the select-then-measure protocol.
+
+    The fused variance decreases as the measurement budget grows, so the
+    optimum is the *smallest* selection fraction that still keeps the
+    selection reliable (see :func:`minimum_selection_fraction`).
+    """
+    return minimum_selection_fraction(
+        total_epsilon, k, separation, num_queries, target_probability, monotonic
+    )
+
+
+def split_improvement_over_even(
+    total_epsilon: float,
+    k: int,
+    separation: float,
+    num_queries: int,
+    target_probability: float = 0.95,
+    monotonic: bool = True,
+) -> float:
+    """MSE change of the constrained-optimal split relative to the even split.
+
+    Positive values mean the optimal split lowers the fused MSE; zero or
+    negative values mean the even split is already (at least) as good --
+    which happens whenever the workload's separation forces a selection
+    fraction of one half or more.
+    """
+    best_rho = optimal_selection_fraction(
+        total_epsilon, k, separation, num_queries, target_probability, monotonic
+    )
+    even = fused_variance_for_split(total_epsilon, k, 0.5, monotonic)
+    best = fused_variance_for_split(total_epsilon, k, max(best_rho, 1e-3), monotonic)
+    return float(1.0 - best / even)

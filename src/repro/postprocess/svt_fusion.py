@@ -1,0 +1,121 @@
+"""Fusion of SVT gap information with direct measurements (Section 6.2).
+
+When a with-gap Sparse Vector variant reports query ``q_i`` as above the
+threshold with noisy gap ``gamma_i``, the quantity ``gamma_i + T`` is already
+an unbiased estimate of ``q_i(D)``.  If an independent noisy measurement
+``alpha_i`` of the same query is also available (from the measurement half of
+the budget), the two can be combined by inverse-variance weighting -- the
+standard minimum-variance combination of independent unbiased estimators --
+yielding the improved estimate ``beta_i`` analysed in Section 6.2 of the
+paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.mechanisms.sparse_vector import SvtBranch, SvtResult
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def fuse_gap_and_measurement(
+    gap_estimates: ArrayLike,
+    gap_variances: ArrayLike,
+    measurements: ArrayLike,
+    measurement_variance: float,
+) -> np.ndarray:
+    """Inverse-variance weighted fusion of two unbiased estimates.
+
+    Parameters
+    ----------
+    gap_estimates:
+        ``gamma_i + T`` -- gap-based estimates of the selected queries.
+    gap_variances:
+        Variance of each gap-based estimate (threshold noise variance plus
+        the per-query noise variance of the branch that produced it).
+    measurements:
+        ``alpha_i`` -- independent direct noisy measurements.
+    measurement_variance:
+        Variance of each direct measurement.
+
+    Returns
+    -------
+    numpy.ndarray
+        The fused estimates ``beta_i``.
+    """
+    gap_est = np.asarray(gap_estimates, dtype=float)
+    gap_var = np.asarray(gap_variances, dtype=float)
+    meas = np.asarray(measurements, dtype=float)
+    if gap_est.shape != meas.shape:
+        raise ValueError("gap_estimates and measurements must have the same shape")
+    if gap_var.shape != gap_est.shape:
+        raise ValueError("gap_variances must match gap_estimates in shape")
+    if measurement_variance <= 0:
+        raise ValueError("measurement_variance must be positive")
+    if np.any(gap_var <= 0):
+        raise ValueError("gap variances must be positive")
+    w_gap = 1.0 / gap_var
+    w_meas = 1.0 / measurement_variance
+    return (w_meas * meas + w_gap * gap_est) / (w_meas + w_gap)
+
+
+def fused_variance(gap_variance: float, measurement_variance: float) -> float:
+    """Variance of the inverse-variance weighted combination."""
+    if gap_variance <= 0 or measurement_variance <= 0:
+        raise ValueError("variances must be positive")
+    return 1.0 / (1.0 / gap_variance + 1.0 / measurement_variance)
+
+
+def svt_gap_estimates(
+    result: SvtResult,
+    threshold: Optional[float] = None,
+    gap_variances: Optional[dict] = None,
+) -> tuple:
+    """Extract gap-based query estimates and their variances from an SVT run.
+
+    Parameters
+    ----------
+    result:
+        Output of a with-gap SVT variant (:class:`SparseVectorWithGap` or
+        :class:`AdaptiveSparseVectorWithGap`).
+    threshold:
+        The public threshold ``T``; defaults to the value recorded in the
+        result's metadata.
+    gap_variances:
+        Mapping from :class:`SvtBranch` to the gap variance of that branch.
+        When omitted, the variances recorded on the mechanism metadata are
+        used if present; otherwise a ``ValueError`` is raised.
+
+    Returns
+    -------
+    (indices, estimates, variances):
+        Parallel lists for the above-threshold outcomes that carried a gap.
+    """
+    if threshold is None:
+        threshold = result.metadata.extra.get("threshold")
+        if threshold is None:
+            raise ValueError("threshold not supplied and not present in metadata")
+    indices: List[int] = []
+    estimates: List[float] = []
+    variances: List[float] = []
+    extra = result.metadata.extra
+    for outcome in result.outcomes:
+        if not outcome.above or outcome.gap is None:
+            continue
+        if gap_variances is not None:
+            if outcome.branch not in gap_variances:
+                raise ValueError(f"no gap variance supplied for branch {outcome.branch}")
+            variance = float(gap_variances[outcome.branch])
+        elif "gap_variance" in extra:
+            variance = float(extra["gap_variance"])
+        else:
+            raise ValueError(
+                "gap variances must be supplied (per branch) or recorded in metadata"
+            )
+        indices.append(outcome.index)
+        estimates.append(float(outcome.gap) + float(threshold))
+        variances.append(variance)
+    return indices, np.asarray(estimates), np.asarray(variances)

@@ -1,0 +1,48 @@
+"""Noise primitives used by differentially private mechanisms.
+
+This subpackage provides the additive-noise distributions that the paper's
+mechanisms rely on:
+
+* :class:`~repro.primitives.laplace.LaplaceNoise` -- the continuous Laplace
+  distribution, the workhorse of pure epsilon-differential privacy.
+* :class:`~repro.primitives.discrete_laplace.DiscreteLaplaceNoise` -- the
+  discretised (two-sided geometric) Laplace distribution used when query
+  answers are integers or multiples of a common base; referenced by the
+  paper's Appendix A.1 tie-probability analysis.
+* :class:`~repro.primitives.staircase.StaircaseNoise` -- the staircase
+  distribution of Geng & Viswanath, an optimal noise distribution for pure
+  differential privacy mentioned in Section 3 of the paper.
+* :class:`~repro.primitives.geometric.GeometricNoise` -- the one-sided /
+  symmetric geometric mechanism of Ghosh et al.
+
+All distributions implement the :class:`~repro.primitives.base.NoiseDistribution`
+interface, which captures exactly the property required by the alignment-cost
+argument of Lemma 1 condition (iii):
+
+    ``log(f(x) / f(y)) <= |x - y| / alpha``
+
+for every pair ``x, y`` in the support.  The ``alpha`` parameter is exposed as
+:attr:`~repro.primitives.base.NoiseDistribution.alignment_scale`.
+
+Randomness is always routed through :mod:`repro.primitives.rng` so that every
+mechanism in the library is reproducible given a seed.
+"""
+
+from repro.primitives.base import NoiseDistribution
+from repro.primitives.laplace import LaplaceNoise, laplace_cdf, laplace_pdf
+from repro.primitives.discrete_laplace import DiscreteLaplaceNoise
+from repro.primitives.geometric import GeometricNoise
+from repro.primitives.staircase import StaircaseNoise
+from repro.primitives.rng import RandomSource, ensure_rng
+
+__all__ = [
+    "NoiseDistribution",
+    "LaplaceNoise",
+    "laplace_pdf",
+    "laplace_cdf",
+    "DiscreteLaplaceNoise",
+    "GeometricNoise",
+    "StaircaseNoise",
+    "RandomSource",
+    "ensure_rng",
+]

@@ -1,0 +1,72 @@
+"""Abstract interface for additive noise distributions.
+
+The randomness-alignment argument (Lemma 1 of the paper) applies to any noise
+distribution ``f_i`` whose log-density satisfies a Lipschitz-like condition::
+
+    log(f_i(x) / f_i(y)) <= |x - y| / alpha_i
+
+for all ``x, y`` in its domain.  The continuous Laplace distribution with
+scale ``alpha`` satisfies it, and so do the discrete Laplace and staircase
+distributions.  :class:`NoiseDistribution` captures this shared contract so
+that mechanisms can be written once and run with any of those distributions.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.primitives.rng import RngLike, ensure_rng
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class NoiseDistribution(abc.ABC):
+    """Common interface for zero-mean additive noise distributions.
+
+    Subclasses must provide sampling, (log-)density evaluation and the
+    alignment scale ``alpha`` that bounds the log-density ratio as required by
+    Lemma 1 condition (iii).
+    """
+
+    @property
+    @abc.abstractmethod
+    def alignment_scale(self) -> float:
+        """The constant ``alpha`` with ``log(f(x)/f(y)) <= |x-y| / alpha``."""
+
+    @property
+    @abc.abstractmethod
+    def variance(self) -> float:
+        """Variance of the distribution."""
+
+    @abc.abstractmethod
+    def sample(self, size: Optional[int] = None, rng: RngLike = None) -> ArrayLike:
+        """Draw ``size`` independent samples (a scalar if ``size`` is None)."""
+
+    @abc.abstractmethod
+    def log_density(self, x: ArrayLike) -> ArrayLike:
+        """Log of the density (or probability mass) at ``x``."""
+
+    def density(self, x: ArrayLike) -> ArrayLike:
+        """Density (or probability mass) at ``x``."""
+        return np.exp(self.log_density(x))
+
+    def log_density_ratio(self, x: ArrayLike, y: ArrayLike) -> ArrayLike:
+        """``log(f(x) / f(y))`` -- the quantity bounded by ``|x-y|/alpha``."""
+        return np.asarray(self.log_density(x)) - np.asarray(self.log_density(y))
+
+    def alignment_cost(self, shift: ArrayLike) -> ArrayLike:
+        """Worst-case privacy cost of shifting a sample by ``shift``.
+
+        This is the per-coordinate term ``|eta - eta'| / alpha`` in
+        Definition 6 (Alignment Cost) of the paper.
+        """
+        return np.abs(np.asarray(shift, dtype=float)) / self.alignment_scale
+
+    def _resolve_rng(self, rng: RngLike) -> np.random.Generator:
+        return ensure_rng(rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(alignment_scale={self.alignment_scale:g})"

@@ -1,0 +1,79 @@
+"""The symmetric geometric mechanism noise of Ghosh, Roughgarden & Sundararajan.
+
+The geometric mechanism is the integer-valued analogue of the Laplace
+mechanism and is cited in Section 3 of the paper as one of the additive-noise
+distributions compatible with the alignment-cost framework.  It is a special
+case of :class:`repro.primitives.discrete_laplace.DiscreteLaplaceNoise` with
+base 1, but is kept as a distinct class because it is conventionally
+parametrised by ``alpha = exp(-epsilon)`` rather than by a scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.primitives.base import ArrayLike, NoiseDistribution
+from repro.primitives.rng import RngLike
+
+
+class GeometricNoise(NoiseDistribution):
+    """Zero-mean two-sided geometric noise on the integers.
+
+    The probability mass function is ``(1-alpha)/(1+alpha) * alpha^{|k|}``
+    for integer ``k``, where ``alpha = exp(-epsilon / sensitivity)``.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget used to calibrate the noise.
+    sensitivity:
+        L1 sensitivity of the (integer-valued) query; defaults to 1.
+    """
+
+    def __init__(self, epsilon: float, sensitivity: float = 1.0) -> None:
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        if sensitivity <= 0:
+            raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+        self._epsilon = float(epsilon)
+        self._sensitivity = float(sensitivity)
+        self._alpha = np.exp(-self._epsilon / self._sensitivity)
+
+    @property
+    def epsilon(self) -> float:
+        """Privacy budget the noise was calibrated for."""
+        return self._epsilon
+
+    @property
+    def alpha(self) -> float:
+        """The geometric decay parameter ``exp(-epsilon / sensitivity)``."""
+        return float(self._alpha)
+
+    @property
+    def alignment_scale(self) -> float:
+        return self._sensitivity / self._epsilon
+
+    @property
+    def variance(self) -> float:
+        a = self._alpha
+        return 2.0 * a / (1.0 - a) ** 2
+
+    def sample(self, size: Optional[int] = None, rng: RngLike = None) -> ArrayLike:
+        generator = self._resolve_rng(rng)
+        n = 1 if size is None else int(size)
+        u = generator.geometric(1.0 - self._alpha, n) - 1
+        v = generator.geometric(1.0 - self._alpha, n) - 1
+        out = (u - v).astype(float)
+        if size is None:
+            return float(out[0])
+        return out
+
+    def log_density(self, x: ArrayLike) -> ArrayLike:
+        x = np.asarray(x, dtype=float)
+        k = np.rint(x)
+        on_lattice = np.isclose(k, x, atol=1e-9)
+        log_norm = np.log1p(-self._alpha) - np.log1p(self._alpha)
+        logp = log_norm + np.abs(k) * np.log(self._alpha)
+        return np.where(on_lattice, logp, -np.inf)

@@ -1,0 +1,122 @@
+"""The continuous Laplace distribution.
+
+The Laplace mechanism (Theorem 1 of the paper) adds ``Laplace(sensitivity /
+epsilon)`` noise to a query answer and is the basic building block of both
+Noisy Max and Sparse Vector.  This module provides a zero-mean Laplace noise
+distribution plus the standalone density/CDF helpers used by the confidence
+analysis in :mod:`repro.postprocess.confidence`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.primitives.base import ArrayLike, NoiseDistribution
+from repro.primitives.rng import RngLike
+
+
+def laplace_pdf(x: ArrayLike, scale: float, loc: float = 0.0) -> ArrayLike:
+    """Density of the Laplace distribution with the given scale and location.
+
+    Parameters
+    ----------
+    x:
+        Point(s) at which to evaluate the density.
+    scale:
+        The scale parameter ``b`` of ``Laplace(loc, b)``; must be positive.
+    loc:
+        The mean of the distribution.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    z = np.abs(np.asarray(x, dtype=float) - loc)
+    return np.exp(-z / scale) / (2.0 * scale)
+
+
+def laplace_cdf(x: ArrayLike, scale: float, loc: float = 0.0) -> ArrayLike:
+    """Cumulative distribution function of ``Laplace(loc, scale)``."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    z = (np.asarray(x, dtype=float) - loc) / scale
+    return np.where(z < 0, 0.5 * np.exp(z), 1.0 - 0.5 * np.exp(-z))
+
+
+def laplace_quantile(p: ArrayLike, scale: float, loc: float = 0.0) -> ArrayLike:
+    """Quantile function (inverse CDF) of ``Laplace(loc, scale)``."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    p = np.asarray(p, dtype=float)
+    if np.any((p <= 0) | (p >= 1)):
+        raise ValueError("quantile probabilities must lie strictly in (0, 1)")
+    return loc - scale * np.sign(p - 0.5) * np.log1p(-2.0 * np.abs(p - 0.5))
+
+
+class LaplaceNoise(NoiseDistribution):
+    """Zero-mean continuous Laplace noise with a given scale.
+
+    Parameters
+    ----------
+    scale:
+        The scale parameter ``b``.  For a query of sensitivity ``s`` released
+        under budget ``epsilon`` the calibrated scale is ``s / epsilon``.
+
+    Examples
+    --------
+    >>> noise = LaplaceNoise(scale=2.0)
+    >>> noise.variance
+    8.0
+    >>> noise.alignment_scale
+    2.0
+    """
+
+    def __init__(self, scale: float) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self._scale = float(scale)
+
+    @classmethod
+    def calibrated(cls, sensitivity: float, epsilon: float) -> "LaplaceNoise":
+        """Noise calibrated for a query of the given sensitivity and budget."""
+        if sensitivity <= 0:
+            raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        return cls(sensitivity / epsilon)
+
+    @property
+    def scale(self) -> float:
+        """The scale parameter ``b``."""
+        return self._scale
+
+    @property
+    def alignment_scale(self) -> float:
+        return self._scale
+
+    @property
+    def variance(self) -> float:
+        return 2.0 * self._scale**2
+
+    def sample(self, size: Optional[int] = None, rng: RngLike = None) -> ArrayLike:
+        generator = self._resolve_rng(rng)
+        return generator.laplace(0.0, self._scale, size)
+
+    def log_density(self, x: ArrayLike) -> ArrayLike:
+        z = np.abs(np.asarray(x, dtype=float))
+        return -z / self._scale - np.log(2.0 * self._scale)
+
+    def cdf(self, x: ArrayLike) -> ArrayLike:
+        """Cumulative distribution function."""
+        return laplace_cdf(x, self._scale)
+
+    def quantile(self, p: ArrayLike) -> ArrayLike:
+        """Quantile function (inverse CDF)."""
+        return laplace_quantile(p, self._scale)
+
+    def tail_probability(self, t: ArrayLike) -> ArrayLike:
+        """``P(|X| >= t)`` for ``t >= 0``."""
+        t = np.asarray(t, dtype=float)
+        if np.any(t < 0):
+            raise ValueError("tail threshold must be non-negative")
+        return np.exp(-t / self._scale)

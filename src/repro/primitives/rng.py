@@ -1,0 +1,124 @@
+"""Random-number-generator plumbing.
+
+Every mechanism in the library accepts an optional ``rng`` argument that can
+be one of:
+
+* ``None`` -- a fresh, OS-seeded :class:`numpy.random.Generator` is used.
+* an ``int`` seed -- a deterministic generator seeded with that value.
+* an existing :class:`numpy.random.Generator` -- used as-is.
+
+:func:`ensure_rng` normalises all three cases.  :class:`RandomSource` wraps a
+generator and additionally records how many variates have been drawn, which
+is useful when reasoning about condition (ii) of Lemma 1 ("the number of
+random variables used by M can be determined from its output") and when
+replaying noise vectors through the alignment framework.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator, "RandomSource"]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for a fresh OS-seeded generator, an integer seed, an existing
+        generator (returned unchanged), or a :class:`RandomSource` (its
+        underlying generator is returned).
+
+    Examples
+    --------
+    >>> g1 = ensure_rng(7)
+    >>> g2 = ensure_rng(7)
+    >>> float(g1.uniform()) == float(g2.uniform())
+    True
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, RandomSource):
+        return rng.generator
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        "rng must be None, an int seed, a numpy Generator or a RandomSource; "
+        f"got {type(rng).__name__}"
+    )
+
+
+class RandomSource:
+    """A counting wrapper around :class:`numpy.random.Generator`.
+
+    The wrapper exposes the handful of sampling primitives that the noise
+    distributions need while keeping track of how many scalar variates have
+    been consumed.  Mechanisms report this count in their output records so
+    that the alignment framework can check Lemma 1 condition (ii).
+
+    Parameters
+    ----------
+    rng:
+        Anything accepted by :func:`ensure_rng`.
+    """
+
+    def __init__(self, rng: RngLike = None) -> None:
+        self._generator = ensure_rng(rng)
+        self._draws = 0
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The wrapped numpy generator."""
+        return self._generator
+
+    @property
+    def draws(self) -> int:
+        """Number of scalar variates drawn through this source so far."""
+        return self._draws
+
+    def _count(self, n: int) -> None:
+        self._draws += int(n)
+
+    def uniform(self, low: float = 0.0, high: float = 1.0, size: Optional[int] = None):
+        """Draw uniform variates, counting them."""
+        self._count(1 if size is None else size)
+        return self._generator.uniform(low, high, size)
+
+    def exponential(self, scale: float = 1.0, size: Optional[int] = None):
+        """Draw exponential variates, counting them."""
+        self._count(1 if size is None else size)
+        return self._generator.exponential(scale, size)
+
+    def laplace(self, loc: float = 0.0, scale: float = 1.0, size: Optional[int] = None):
+        """Draw Laplace variates, counting them."""
+        self._count(1 if size is None else size)
+        return self._generator.laplace(loc, scale, size)
+
+    def geometric(self, p: float, size: Optional[int] = None):
+        """Draw geometric variates (support {1, 2, ...}), counting them."""
+        self._count(1 if size is None else size)
+        return self._generator.geometric(p, size)
+
+    def integers(self, low: int, high: int, size: Optional[int] = None):
+        """Draw integers in ``[low, high)``, counting them."""
+        self._count(1 if size is None else size)
+        return self._generator.integers(low, high, size=size)
+
+    def choice(self, a, size: Optional[int] = None, replace: bool = True, p=None):
+        """Draw a random choice, counting the variates."""
+        self._count(1 if size is None else size)
+        return self._generator.choice(a, size=size, replace=replace, p=p)
+
+    def spawn(self) -> "RandomSource":
+        """Return an independent child source (for parallel sub-experiments)."""
+        seed = int(self._generator.integers(0, 2**63 - 1))
+        return RandomSource(seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomSource(draws={self._draws})"

@@ -1,0 +1,120 @@
+"""The staircase distribution of Geng & Viswanath.
+
+The staircase mechanism replaces the exponentially decaying Laplace density
+with a piecewise-constant "staircase" density that is optimal (for a broad
+family of loss functions) among noise distributions achieving pure
+epsilon-differential privacy.  Section 3 of the paper lists it as one of the
+distributions compatible with the alignment framework: its log-density ratio
+between any two points ``x, y`` is bounded by ``epsilon * ceil`` arguments that
+reduce to the familiar ``|x - y| / (sensitivity / epsilon)`` bound used in
+Lemma 1 condition (iii).
+
+The density, for sensitivity ``s``, privacy budget ``epsilon`` and shape
+parameter ``gamma`` in (0, 1), is constant on each interval
+``[(k + gamma) * s, (k + 1 + gamma) * s)`` and decays geometrically (factor
+``exp(-epsilon)``) from one "stair" to the next.  ``gamma* = 1 / (1 +
+exp(epsilon/2))`` minimises the expected absolute error.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.primitives.base import ArrayLike, NoiseDistribution
+from repro.primitives.rng import RngLike
+
+
+class StaircaseNoise(NoiseDistribution):
+    """Zero-mean staircase noise calibrated to a sensitivity and budget.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget.
+    sensitivity:
+        L1 sensitivity of the query (defaults to 1).
+    gamma:
+        Shape parameter in (0, 1).  ``None`` selects the optimal value
+        ``1 / (1 + exp(epsilon / 2))`` for absolute-error loss.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        sensitivity: float = 1.0,
+        gamma: Optional[float] = None,
+    ) -> None:
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        if sensitivity <= 0:
+            raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+        if gamma is None:
+            gamma = 1.0 / (1.0 + np.exp(epsilon / 2.0))
+        if not 0.0 < gamma < 1.0:
+            raise ValueError(f"gamma must lie in (0, 1), got {gamma}")
+        self._epsilon = float(epsilon)
+        self._sensitivity = float(sensitivity)
+        self._gamma = float(gamma)
+        self._b = np.exp(-self._epsilon)
+        # Normalising constant a(gamma) of the Geng-Viswanath density.
+        self._a = (1.0 - self._b) / (
+            2.0 * self._sensitivity * (self._gamma + self._b * (1.0 - self._gamma))
+        )
+
+    @property
+    def epsilon(self) -> float:
+        """Privacy budget used for calibration."""
+        return self._epsilon
+
+    @property
+    def gamma(self) -> float:
+        """Shape parameter of the staircase."""
+        return self._gamma
+
+    @property
+    def alignment_scale(self) -> float:
+        return self._sensitivity / self._epsilon
+
+    @property
+    def variance(self) -> float:
+        # Var = 2 sum_{k>=0} b^k * integral of x^2 over the k-th stair pair.
+        # Closed form from Geng & Viswanath (2014), expressed via the two
+        # stair widths; computed numerically here by truncating the series.
+        s, g, b, a = self._sensitivity, self._gamma, self._b, self._a
+        total = 0.0
+        for k in range(200):
+            lo1, hi1 = k * s, (k + g) * s
+            lo2, hi2 = (k + g) * s, (k + 1) * s
+            total += a * b**k * (hi1**3 - lo1**3) / 3.0
+            total += a * b ** (k + 1) * (hi2**3 - lo2**3) / 3.0
+        return 2.0 * total
+
+    def sample(self, size: Optional[int] = None, rng: RngLike = None) -> ArrayLike:
+        generator = self._resolve_rng(rng)
+        n = 1 if size is None else int(size)
+        s, g, b = self._sensitivity, self._gamma, self._b
+
+        sign = np.where(generator.uniform(size=n) < 0.5, -1.0, 1.0)
+        # Geometric stair index (support {0, 1, 2, ...}).
+        stairs = generator.geometric(1.0 - b, n) - 1
+        # Within a stair, land in the inner segment [k, k+g) with probability
+        # proportional to g, or in the outer segment [k+g, k+1) with
+        # probability proportional to b*(1-g).
+        inner_prob = g / (g + b * (1.0 - g))
+        inner = generator.uniform(size=n) < inner_prob
+        u = generator.uniform(size=n)
+        offset = np.where(inner, u * g, g + u * (1.0 - g))
+        out = sign * (stairs + offset) * s
+        if size is None:
+            return float(out[0])
+        return out
+
+    def log_density(self, x: ArrayLike) -> ArrayLike:
+        x = np.abs(np.asarray(x, dtype=float))
+        s, g = self._sensitivity, self._gamma
+        k = np.floor(x / s)
+        frac = x / s - k
+        exponent = np.where(frac < g, k, k + 1)
+        return np.log(self._a) - self._epsilon * exponent

@@ -1,0 +1,36 @@
+"""Query and workload model.
+
+Noisy Max and Sparse Vector both operate on a *vector of numeric queries*
+evaluated on a database.  This subpackage captures that abstraction:
+
+* :class:`~repro.queries.query.Query` -- a single numeric query with a
+  declared L1 sensitivity and an optional monotonicity flag.
+* :class:`~repro.queries.query.CountingQuery` -- a sensitivity-1 monotonic
+  counting query (the case where the paper's mechanisms obtain their
+  strongest guarantees: epsilon/2-DP for Noisy-Top-K-with-Gap and the halved
+  per-query budget for Adaptive-Sparse-Vector-with-Gap).
+* :class:`~repro.queries.workload.QueryWorkload` -- an ordered collection of
+  queries sharing a sensitivity, evaluable in bulk on a database.
+* :func:`~repro.queries.workload.item_count_workload` -- the workload used in
+  the paper's experiments: one counting query per catalogue item over a
+  transaction database ("how many transactions contain item #23?").
+"""
+
+from repro.queries.query import CountingQuery, Query, infer_monotonicity
+from repro.queries.sensitivity import (
+    SensitivityError,
+    l1_sensitivity_upper_bound,
+    validate_sensitivity,
+)
+from repro.queries.workload import QueryWorkload, item_count_workload
+
+__all__ = [
+    "Query",
+    "CountingQuery",
+    "infer_monotonicity",
+    "QueryWorkload",
+    "item_count_workload",
+    "SensitivityError",
+    "l1_sensitivity_upper_bound",
+    "validate_sensitivity",
+]

@@ -1,0 +1,104 @@
+"""Single-query abstractions.
+
+A :class:`Query` wraps a callable that maps a database object to a real
+number, together with the metadata the privacy analysis needs: its L1
+sensitivity and whether it is *monotonic* in the sense of Definition 7 of the
+paper (adding a record never moves different queries in opposite
+directions).  Counting queries are the canonical monotonic, sensitivity-1
+case and get their own convenience subclass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Query:
+    """A numeric query with declared sensitivity.
+
+    Parameters
+    ----------
+    fn:
+        Callable evaluating the query on a database object.
+    sensitivity:
+        L1 global sensitivity (Definition 2 of the paper).
+    monotonic:
+        Whether the query participates in a monotonic query list
+        (Definition 7).  Mechanisms use this to decide whether the improved
+        (halved) budget accounting applies.
+    name:
+        Optional human-readable identifier, used in experiment reports.
+    """
+
+    fn: Callable[[Any], float]
+    sensitivity: float = 1.0
+    monotonic: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sensitivity <= 0:
+            raise ValueError(f"sensitivity must be positive, got {self.sensitivity}")
+
+    def __call__(self, database: Any) -> float:
+        """Evaluate the query on ``database``."""
+        return float(self.fn(database))
+
+
+class CountingQuery(Query):
+    """A sensitivity-1, monotonic counting query.
+
+    Counting queries ("how many records satisfy predicate P?") change by at
+    most 1 when one record is added or removed, and all counting queries in a
+    list move in the same direction, so the list is monotonic.  This is the
+    query class for which the paper's mechanisms achieve their best constants
+    (Theorem 2's epsilon/2 bound, and the halved per-query scales in the
+    monotonic variant of Algorithm 2).
+    """
+
+    def __init__(self, predicate: Callable[[Any], bool], name: str = "") -> None:
+        def count(database: Any) -> float:
+            return float(sum(1 for record in database if predicate(record)))
+
+        super().__init__(fn=count, sensitivity=1.0, monotonic=True, name=name)
+        object.__setattr__(self, "predicate", predicate)
+
+
+def infer_monotonicity(queries: Sequence[Query]) -> bool:
+    """Return True if every query in the list declares itself monotonic.
+
+    The monotonicity property of Definition 7 is a property of the *list* of
+    queries; this helper adopts the conservative convention that a list is
+    monotonic only when every member was constructed as monotonic.  A single
+    non-monotonic query forces the general (2x more conservative) accounting.
+    """
+    queries = list(queries)
+    if not queries:
+        return True
+    return all(q.monotonic for q in queries)
+
+
+@dataclass
+class QueryResult:
+    """The evaluated (true, non-private) answer of a query.
+
+    Used internally by the experiment harness to keep true answers alongside
+    privately released values when computing error metrics.
+    """
+
+    name: str
+    true_value: float
+    released_value: Optional[float] = None
+    metadata: dict = field(default_factory=dict)
+
+    def absolute_error(self) -> Optional[float]:
+        """Absolute error of the released value, if one is present."""
+        if self.released_value is None:
+            return None
+        return abs(self.released_value - self.true_value)
+
+
+def evaluate_all(queries: Iterable[Query], database: Any) -> list:
+    """Evaluate every query on the database, returning a list of floats."""
+    return [query(database) for query in queries]

@@ -1,0 +1,137 @@
+"""Sensitivity utilities.
+
+The privacy guarantees of every mechanism in the library are stated relative
+to the L1 global sensitivity of the query vector (Definition 2 of the paper).
+For arbitrary user-supplied callables the true global sensitivity cannot be
+computed automatically, so the library relies on *declared* sensitivities;
+the helpers here validate declarations empirically on user-provided pairs of
+adjacent databases, which is useful both in tests and as a guard rail in the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+class SensitivityError(ValueError):
+    """Raised when an empirical check contradicts a declared sensitivity."""
+
+
+def l1_sensitivity_upper_bound(
+    query_fn: Callable[[Any], Sequence[float]],
+    adjacent_pairs: Iterable[Tuple[Any, Any]],
+) -> float:
+    """Empirical lower bound on the L1 sensitivity of a vector query.
+
+    Evaluates ``query_fn`` on each supplied pair of adjacent databases and
+    returns the maximum observed L1 distance.  Because only finitely many
+    pairs are checked this is a *lower* bound on the true global sensitivity;
+    it is primarily useful for catching declarations that are too small.
+
+    Parameters
+    ----------
+    query_fn:
+        Callable mapping a database to a sequence of query answers.
+    adjacent_pairs:
+        Iterable of ``(D, D_prime)`` pairs of adjacent databases.
+    """
+    worst = 0.0
+    for left, right in adjacent_pairs:
+        a = np.asarray(query_fn(left), dtype=float)
+        b = np.asarray(query_fn(right), dtype=float)
+        if a.shape != b.shape:
+            raise SensitivityError(
+                "query_fn returned answers of different lengths on adjacent "
+                f"databases: {a.shape} vs {b.shape}"
+            )
+        worst = max(worst, float(np.sum(np.abs(a - b))))
+    return worst
+
+
+def per_query_sensitivity_bound(
+    query_fn: Callable[[Any], Sequence[float]],
+    adjacent_pairs: Iterable[Tuple[Any, Any]],
+) -> float:
+    """Maximum observed per-coordinate change across adjacent pairs.
+
+    Noisy Max and Sparse Vector require each *individual* query to have
+    sensitivity at most 1 (rather than bounding the sum of changes), so this
+    is the relevant empirical check for them.
+    """
+    worst = 0.0
+    for left, right in adjacent_pairs:
+        a = np.asarray(query_fn(left), dtype=float)
+        b = np.asarray(query_fn(right), dtype=float)
+        if a.shape != b.shape:
+            raise SensitivityError(
+                "query_fn returned answers of different lengths on adjacent "
+                f"databases: {a.shape} vs {b.shape}"
+            )
+        if a.size:
+            worst = max(worst, float(np.max(np.abs(a - b))))
+    return worst
+
+
+def validate_sensitivity(
+    query_fn: Callable[[Any], Sequence[float]],
+    adjacent_pairs: Iterable[Tuple[Any, Any]],
+    declared: float,
+    per_query: bool = True,
+) -> float:
+    """Check a declared sensitivity against empirical evidence.
+
+    Parameters
+    ----------
+    query_fn:
+        Callable mapping a database to a sequence of query answers.
+    adjacent_pairs:
+        Iterable of adjacent database pairs to test.
+    declared:
+        The sensitivity the caller intends to use for noise calibration.
+    per_query:
+        If True (default), check the per-coordinate sensitivity (the
+        requirement of Noisy Max / Sparse Vector); otherwise check the full
+        L1 sensitivity (the requirement of the vector Laplace mechanism).
+
+    Returns
+    -------
+    float
+        The empirical bound that was observed.
+
+    Raises
+    ------
+    SensitivityError
+        If the observed change exceeds the declared sensitivity (beyond a
+        small numerical tolerance).
+    """
+    if declared <= 0:
+        raise ValueError(f"declared sensitivity must be positive, got {declared}")
+    bound_fn = per_query_sensitivity_bound if per_query else l1_sensitivity_upper_bound
+    observed = bound_fn(query_fn, adjacent_pairs)
+    if observed > declared * (1.0 + 1e-9):
+        raise SensitivityError(
+            f"observed sensitivity {observed:g} exceeds declared {declared:g}"
+        )
+    return observed
+
+
+def monotonicity_violations(
+    query_fn: Callable[[Any], Sequence[float]],
+    adjacent_pairs: Iterable[Tuple[Any, Any]],
+) -> int:
+    """Count adjacent pairs on which the query list is *not* monotonic.
+
+    A pair violates monotonicity (Definition 7 of the paper) when some query
+    increases while another decreases between the two databases.
+    """
+    violations = 0
+    for left, right in adjacent_pairs:
+        a = np.asarray(query_fn(left), dtype=float)
+        b = np.asarray(query_fn(right), dtype=float)
+        diff = a - b
+        if np.any(diff > 0) and np.any(diff < 0):
+            violations += 1
+    return violations

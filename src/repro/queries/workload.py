@@ -1,0 +1,112 @@
+"""Workloads: ordered collections of queries evaluated together.
+
+The paper's experiments use a single workload type -- one counting query per
+catalogue item over a transaction database ("how many transactions contain
+item #23?") -- but the mechanisms themselves only require a vector of query
+answers.  :class:`QueryWorkload` provides that vector view while keeping the
+per-query metadata (names, sensitivity, monotonicity) needed by the
+mechanisms and the experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.queries.query import CountingQuery, Query, infer_monotonicity
+
+
+class QueryWorkload:
+    """An ordered list of queries that are answered as a batch.
+
+    Parameters
+    ----------
+    queries:
+        The member queries.  All mechanisms in this library require each
+        member to have per-query sensitivity at most the workload's declared
+        ``sensitivity``.
+    sensitivity:
+        Per-query sensitivity used for noise calibration.  Defaults to the
+        maximum declared sensitivity of the members.
+    name:
+        Optional identifier for reports.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[Query],
+        sensitivity: Optional[float] = None,
+        name: str = "",
+    ) -> None:
+        self._queries: List[Query] = list(queries)
+        if not self._queries:
+            raise ValueError("a workload must contain at least one query")
+        if sensitivity is None:
+            sensitivity = max(q.sensitivity for q in self._queries)
+        if sensitivity <= 0:
+            raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+        self._sensitivity = float(sensitivity)
+        self._monotonic = infer_monotonicity(self._queries)
+        self.name = name
+
+    @property
+    def queries(self) -> List[Query]:
+        """The member queries, in order."""
+        return list(self._queries)
+
+    @property
+    def sensitivity(self) -> float:
+        """Per-query sensitivity used for noise calibration."""
+        return self._sensitivity
+
+    @property
+    def monotonic(self) -> bool:
+        """Whether the workload is a monotonic query list (Definition 7)."""
+        return self._monotonic
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self._queries)
+
+    def __getitem__(self, index: int) -> Query:
+        return self._queries[index]
+
+    def names(self) -> List[str]:
+        """Names of the member queries (empty strings where unnamed)."""
+        return [q.name for q in self._queries]
+
+    def evaluate(self, database: Any) -> np.ndarray:
+        """Evaluate every query on ``database`` and return the answer vector."""
+        return np.asarray([q(database) for q in self._queries], dtype=float)
+
+    def subset(self, indices: Iterable[int]) -> "QueryWorkload":
+        """A new workload containing only the queries at ``indices``."""
+        picked = [self._queries[i] for i in indices]
+        return QueryWorkload(picked, sensitivity=self._sensitivity, name=self.name)
+
+
+def item_count_workload(items: Sequence[Any], name: str = "item-counts") -> QueryWorkload:
+    """The workload used throughout the paper's experiments.
+
+    One counting query per item: query ``i`` counts how many transactions
+    (records) contain ``items[i]``.  Databases are expected to be iterables of
+    transactions, each transaction itself being a set/sequence of items.
+
+    Parameters
+    ----------
+    items:
+        The catalogue of items to build one query per item.
+    name:
+        Workload identifier for reports.
+    """
+    queries = []
+    for item in items:
+        # Bind ``item`` via a default argument to avoid the late-binding trap.
+        def contains(transaction, _item=item) -> bool:
+            return _item in transaction
+
+        queries.append(CountingQuery(contains, name=f"count[{item!r}]"))
+    return QueryWorkload(queries, sensitivity=1.0, name=name)

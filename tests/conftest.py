@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import generate_zipf_transactions
+
+
+@pytest.fixture
+def rng():
+    """A deterministic numpy generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def separated_counts():
+    """A well-separated descending count vector (easy selection regime)."""
+    return np.array(
+        [1000.0, 800.0, 650.0, 500.0, 400.0, 300.0, 200.0, 120.0, 60.0, 30.0, 10.0, 5.0]
+    )
+
+
+@pytest.fixture
+def flat_counts():
+    """A nearly flat count vector (hard selection regime)."""
+    return np.array([100.0, 99.0, 98.5, 98.0, 97.5, 97.0, 96.5, 96.0, 95.5, 95.0])
+
+
+@pytest.fixture(scope="session")
+def small_database():
+    """A small synthetic transaction database shared across tests."""
+    return generate_zipf_transactions(
+        num_records=2000, num_items=200, avg_length=6.0, rng=7, name="test-db"
+    )
+
+
+@pytest.fixture(scope="session")
+def item_counts(small_database):
+    """Item counts of the shared synthetic database."""
+    return small_database.item_counts()

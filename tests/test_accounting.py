@@ -1,0 +1,142 @@
+"""Unit tests for privacy-budget accounting."""
+
+import pytest
+
+from repro.accounting.budget import BudgetExceededError, BudgetOdometer, PrivacyBudget
+from repro.accounting.composition import CompositionAccountant
+
+
+class TestPrivacyBudget:
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(0.0)
+        with pytest.raises(ValueError):
+            PrivacyBudget(-1.0)
+
+    def test_split_proportional(self):
+        a, b = PrivacyBudget(1.0).split(0.25, 0.75)
+        assert a.epsilon == pytest.approx(0.25)
+        assert b.epsilon == pytest.approx(0.75)
+
+    def test_split_rejects_over_allocation(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0).split(0.7, 0.7)
+
+    def test_split_rejects_nonpositive_fractions(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0).split(0.5, 0.0)
+
+    def test_split_requires_fractions(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0).split()
+
+    def test_halves(self):
+        selection, measurement = PrivacyBudget(0.7).halves()
+        assert selection.epsilon == pytest.approx(0.35)
+        assert measurement.epsilon == pytest.approx(0.35)
+
+    def test_svt_allocation_monotonic_ratio(self):
+        threshold, queries = PrivacyBudget(1.0).svt_allocation(k=8, monotonic=True)
+        assert threshold == pytest.approx(1.0 / (1.0 + 4.0))
+        assert threshold + queries == pytest.approx(1.0)
+
+    def test_svt_allocation_general_ratio(self):
+        threshold, queries = PrivacyBudget(1.0).svt_allocation(k=4, monotonic=False)
+        assert threshold == pytest.approx(1.0 / (1.0 + 4.0))
+        assert queries == pytest.approx(1.0 - threshold)
+
+    def test_svt_allocation_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0).svt_allocation(k=0)
+
+    def test_scaled(self):
+        assert PrivacyBudget(0.5).scaled(2.0).epsilon == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            PrivacyBudget(0.5).scaled(0.0)
+
+    def test_float_conversion(self):
+        assert float(PrivacyBudget(0.3)) == pytest.approx(0.3)
+
+
+class TestBudgetOdometer:
+    def test_initial_state(self):
+        odometer = BudgetOdometer(1.0)
+        assert odometer.total == 1.0
+        assert odometer.spent == 0.0
+        assert odometer.remaining == 1.0
+        assert odometer.remaining_fraction == 1.0
+
+    def test_accepts_privacy_budget(self):
+        assert BudgetOdometer(PrivacyBudget(0.5)).total == 0.5
+
+    def test_charge_and_breakdown(self):
+        odometer = BudgetOdometer(1.0)
+        odometer.charge(0.2, label="threshold")
+        odometer.charge(0.3, label="queries")
+        odometer.charge(0.1, label="queries")
+        assert odometer.spent == pytest.approx(0.6)
+        assert odometer.breakdown() == {
+            "threshold": pytest.approx(0.2),
+            "queries": pytest.approx(0.4),
+        }
+
+    def test_overdraft_raises(self):
+        odometer = BudgetOdometer(0.5)
+        odometer.charge(0.4)
+        with pytest.raises(BudgetExceededError):
+            odometer.charge(0.2)
+
+    def test_can_charge(self):
+        odometer = BudgetOdometer(0.5)
+        assert odometer.can_charge(0.5)
+        odometer.charge(0.3)
+        assert not odometer.can_charge(0.3)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetOdometer(1.0).charge(-0.1)
+        with pytest.raises(ValueError):
+            BudgetOdometer(1.0).can_charge(-0.1)
+
+    def test_rejects_nonpositive_total(self):
+        with pytest.raises(ValueError):
+            BudgetOdometer(0.0)
+
+    def test_remaining_never_negative(self):
+        odometer = BudgetOdometer(1.0)
+        odometer.charge(1.0)
+        assert odometer.remaining == 0.0
+
+
+class TestCompositionAccountant:
+    def test_sequential_composition_adds(self):
+        accountant = CompositionAccountant()
+        accountant.record("m1", 0.3)
+        accountant.record("m2", 0.2)
+        assert accountant.total_epsilon == pytest.approx(0.5)
+
+    def test_by_mechanism_grouping(self):
+        accountant = CompositionAccountant()
+        accountant.record("laplace", 0.1)
+        accountant.record("laplace", 0.2)
+        accountant.record("svt", 0.3)
+        summary = accountant.by_mechanism()
+        assert summary["laplace"] == pytest.approx(0.3)
+        assert summary["svt"] == pytest.approx(0.3)
+
+    def test_target_enforced(self):
+        accountant = CompositionAccountant(target_epsilon=0.5)
+        accountant.record("m", 0.4)
+        with pytest.raises(ValueError):
+            accountant.record("m", 0.2)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            CompositionAccountant().record("m", -0.1)
+
+    def test_assert_within(self):
+        accountant = CompositionAccountant()
+        accountant.record("m", 0.5)
+        accountant.assert_within(0.5)
+        with pytest.raises(AssertionError):
+            accountant.assert_within(0.4)

@@ -1,0 +1,200 @@
+"""Unit tests for the randomness-alignment framework."""
+
+import numpy as np
+import pytest
+
+from repro.alignment.alignments import (
+    AlignmentCostExceeded,
+    LocalAlignment,
+    identity_alignment,
+)
+from repro.alignment.checker import AlignmentChecker
+from repro.alignment.mechanisms import (
+    adaptive_svt_alignment,
+    noisy_top_k_alignment,
+    replay_adaptive_svt,
+    replay_noisy_top_k,
+)
+from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
+from repro.core.noisy_top_k import NoisyTopKWithGap
+
+
+class TestLocalAlignment:
+    def test_cost_is_weighted_l1(self):
+        alignment = LocalAlignment(
+            original=np.array([0.0, 1.0]),
+            aligned=np.array([2.0, 1.0]),
+            scales=np.array([4.0, 1.0]),
+        )
+        assert alignment.cost == pytest.approx(0.5)
+        assert alignment.num_shifted == 1
+
+    def test_assert_cost_within(self):
+        alignment = LocalAlignment(
+            original=np.zeros(3),
+            aligned=np.array([1.0, 0.0, 0.0]),
+            scales=np.ones(3),
+            names=["a", "b", "c"],
+        )
+        alignment.assert_cost_within(1.0)
+        with pytest.raises(AlignmentCostExceeded):
+            alignment.assert_cost_within(0.5)
+
+    def test_density_ratio_bound(self):
+        alignment = LocalAlignment(
+            original=np.zeros(2), aligned=np.array([0.3, 0.2]), scales=np.ones(2)
+        )
+        assert alignment.density_ratio_bound() == pytest.approx(np.exp(0.5))
+
+    def test_shape_and_scale_validation(self):
+        with pytest.raises(ValueError):
+            LocalAlignment(np.zeros(2), np.zeros(3), np.ones(2))
+        with pytest.raises(ValueError):
+            LocalAlignment(np.zeros(2), np.zeros(2), np.array([1.0, 0.0]))
+
+    def test_identity_alignment_has_zero_cost(self):
+        alignment = identity_alignment([1.0, 2.0], [1.0, 1.0])
+        assert alignment.cost == 0.0
+        assert alignment.num_shifted == 0
+
+
+def _neighbour_counts(counts, direction=-1):
+    """Adjacent count vector: one record removed touches a few counts by 1."""
+    counts = np.asarray(counts, dtype=float)
+    neighbour = counts.copy()
+    # Simulate removing a record that contained the first three items.
+    neighbour[:3] += direction
+    return neighbour
+
+
+class TestNoisyTopKAlignment:
+    def test_alignment_preserves_output_and_cost(self):
+        counts = np.array([120.0, 100.0, 95.0, 40.0, 20.0, 10.0, 5.0])
+        neighbour = _neighbour_counts(counts)
+        mech = NoisyTopKWithGap(epsilon=1.0, k=3, monotonic=True)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            noise = np.asarray(mech._noise.sample(size=counts.size, rng=rng))
+            indices, gaps = replay_noisy_top_k(mech, counts, noise)
+            alignment = noisy_top_k_alignment(mech, counts, neighbour, noise, indices)
+            indices_prime, gaps_prime = replay_noisy_top_k(
+                mech, neighbour, alignment.aligned
+            )
+            assert indices_prime == indices
+            np.testing.assert_allclose(gaps_prime, gaps, atol=1e-9)
+            alignment.assert_cost_within(mech.epsilon)
+
+    def test_losers_noise_unchanged(self):
+        counts = np.array([50.0, 40.0, 30.0, 20.0, 10.0])
+        neighbour = _neighbour_counts(counts)
+        mech = NoisyTopKWithGap(epsilon=1.0, k=2, monotonic=True)
+        noise = np.asarray(mech._noise.sample(size=5, rng=3))
+        indices, _ = replay_noisy_top_k(mech, counts, noise)
+        alignment = noisy_top_k_alignment(mech, counts, neighbour, noise, indices)
+        losers = [i for i in range(5) if i not in indices]
+        np.testing.assert_allclose(
+            alignment.aligned[losers], alignment.original[losers]
+        )
+
+    def test_requires_an_unselected_query(self):
+        mech = NoisyTopKWithGap(epsilon=1.0, k=2, monotonic=True)
+        with pytest.raises(ValueError):
+            noisy_top_k_alignment(mech, [1.0, 2.0], [1.0, 2.0], [0.0, 0.0], [0, 1])
+
+    def test_duplicate_selection_rejected(self):
+        mech = NoisyTopKWithGap(epsilon=1.0, k=2, monotonic=True)
+        with pytest.raises(ValueError):
+            noisy_top_k_alignment(
+                mech, [1.0, 2.0, 3.0], [1.0, 2.0, 3.0], [0.0, 0.0, 0.0], [1, 1]
+            )
+
+    def test_shape_mismatch_rejected(self):
+        mech = NoisyTopKWithGap(epsilon=1.0, k=1, monotonic=True)
+        with pytest.raises(ValueError):
+            noisy_top_k_alignment(mech, [1.0, 2.0], [1.0], [0.0, 0.0], [0])
+
+
+class TestAdaptiveSvtAlignment:
+    def _mechanism(self, monotonic=True):
+        return AdaptiveSparseVectorWithGap(
+            epsilon=0.8, threshold=100.0, k=3, monotonic=monotonic
+        )
+
+    def test_alignment_preserves_decisions_monotonic(self):
+        counts = np.array([400.0, 120.0, 95.0, 300.0, 20.0, 101.0, 250.0])
+        neighbour = _neighbour_counts(counts)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            mech = self._mechanism(monotonic=True)
+            result = mech.run(counts, rng=rng)
+            decisions = [(o.index, o.above, o.branch) for o in result.outcomes]
+            alignment = adaptive_svt_alignment(mech, counts, neighbour, result)
+            replayed = replay_adaptive_svt(mech, neighbour, alignment.aligned)
+            assert replayed == decisions
+            alignment.assert_cost_within(mech.epsilon)
+
+    def test_alignment_preserves_decisions_general(self):
+        counts = np.array([400.0, 120.0, 95.0, 300.0, 20.0, 101.0, 250.0])
+        # General (non-monotonic) adjacent change: some up, some down.
+        neighbour = counts + np.array([1.0, -1.0, 0.5, -0.5, 1.0, -1.0, 0.0])
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            mech = self._mechanism(monotonic=False)
+            result = mech.run(counts, rng=rng)
+            decisions = [(o.index, o.above, o.branch) for o in result.outcomes]
+            alignment = adaptive_svt_alignment(mech, counts, neighbour, result)
+            replayed = replay_adaptive_svt(mech, neighbour, alignment.aligned)
+            assert replayed == decisions
+            alignment.assert_cost_within(mech.epsilon)
+
+    def test_alignment_cost_zero_when_nothing_answered(self):
+        counts = np.full(10, -1e6)
+        neighbour = counts - 1.0
+        mech = self._mechanism(monotonic=True)
+        result = mech.run(counts, rng=0)
+        alignment = adaptive_svt_alignment(mech, counts, neighbour, result)
+        # Only the threshold (possibly) moves; for the monotonic decreasing
+        # case it does not move at all.
+        assert alignment.cost <= mech.epsilon_threshold + 1e-12
+
+    def test_requires_noise_trace(self):
+        mech = self._mechanism()
+        result = mech.run(np.full(5, 1e6), rng=0)
+        stripped = type(result)(
+            outcomes=result.outcomes, metadata=result.metadata, noise_trace=None
+        )
+        with pytest.raises(ValueError):
+            adaptive_svt_alignment(mech, np.full(5, 1e6), np.full(5, 1e6), stripped)
+
+
+class TestAlignmentChecker:
+    def test_noisy_top_k_report_passes(self, separated_counts):
+        neighbour = _neighbour_counts(separated_counts)
+        mech = NoisyTopKWithGap(epsilon=1.0, k=3, monotonic=True)
+        checker = AlignmentChecker(trials=25, rng=0)
+        report = checker.check_noisy_top_k(mech, separated_counts, neighbour)
+        assert report.passed, report.failures
+        assert report.max_cost <= mech.epsilon + 1e-9
+
+    def test_adaptive_svt_report_passes(self, separated_counts):
+        neighbour = _neighbour_counts(separated_counts)
+        factory = lambda: AdaptiveSparseVectorWithGap(  # noqa: E731
+            epsilon=0.7, threshold=250.0, k=3, monotonic=True
+        )
+        checker = AlignmentChecker(trials=25, rng=1)
+        report = checker.check_adaptive_svt(factory, separated_counts, neighbour)
+        assert report.passed, report.failures
+
+    def test_checker_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            AlignmentChecker(trials=0)
+
+    def test_report_records_failure(self):
+        from repro.alignment.checker import AlignmentReport
+
+        report = AlignmentReport(epsilon_claimed=1.0)
+        report.record(preserved=False, cost=0.5, description="changed")
+        report.record(preserved=True, cost=2.0, description="expensive")
+        assert not report.passed
+        assert len(report.failures) == 2
+        assert report.max_cost == 2.0

@@ -1,0 +1,85 @@
+"""Unit tests for the empirical (Monte-Carlo) DP verifier."""
+
+import numpy as np
+import pytest
+
+from repro.alignment.verifier import EmpiricalDPVerifier
+from repro.core.noisy_top_k import NoisyMaxWithGap
+from repro.mechanisms.sparse_vector import SparseVectorWithGap
+
+
+class TestVerifierValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            EmpiricalDPVerifier(epsilon=0.0)
+        with pytest.raises(ValueError):
+            EmpiricalDPVerifier(epsilon=1.0, trials=10)
+        with pytest.raises(ValueError):
+            EmpiricalDPVerifier(epsilon=1.0, slack=0.5)
+        with pytest.raises(ValueError):
+            EmpiricalDPVerifier(epsilon=1.0, smoothing=0.0)
+
+
+class TestVerifierOnPrivateMechanisms:
+    def test_noisy_max_with_gap_index_release_passes(self):
+        counts = np.array([20.0, 18.0, 15.0, 5.0])
+        neighbour = counts - np.array([1.0, 0.0, 1.0, 0.0])
+        mech = NoisyMaxWithGap(epsilon=0.4, monotonic=True)
+        verifier = EmpiricalDPVerifier(epsilon=0.4, trials=4000, slack=1.5)
+        report = verifier.check(
+            run_on_d=lambda g: mech.select(counts, rng=g),
+            run_on_d_prime=lambda g: mech.select(neighbour, rng=g),
+            event=lambda result: result.indices[0],
+            rng=0,
+        )
+        assert report.passed, (report.worst_event, report.worst_ratio)
+
+    def test_sparse_vector_with_gap_pattern_release_passes(self):
+        counts = np.array([12.0, 3.0, 11.0, 2.0, 10.0])
+        neighbour = counts - np.array([1.0, 1.0, 0.0, 0.0, 1.0])
+        verifier = EmpiricalDPVerifier(epsilon=0.6, trials=4000, slack=1.5)
+
+        def run(values):
+            def inner(generator):
+                mech = SparseVectorWithGap(
+                    epsilon=0.6, threshold=8.0, k=2, monotonic=True
+                )
+                return mech.run(values, rng=generator)
+
+            return inner
+
+        report = verifier.check(
+            run_on_d=run(counts),
+            run_on_d_prime=run(neighbour),
+            event=lambda result: tuple(result.above_indices),
+            rng=1,
+        )
+        assert report.passed, (report.worst_event, report.worst_ratio)
+
+
+class TestVerifierCatchesViolations:
+    def test_non_private_release_is_flagged(self):
+        # A "mechanism" that releases a deterministic indicator of the input
+        # is maximally non-private; the verifier must flag it.
+        verifier = EmpiricalDPVerifier(epsilon=0.1, trials=1000, slack=1.1)
+        report = verifier.check(
+            run_on_d=lambda g: 1,
+            run_on_d_prime=lambda g: 0,
+            event=lambda output: output,
+            rng=0,
+        )
+        assert not report.passed
+        assert report.worst_ratio > np.exp(0.1)
+
+    def test_insufficiently_noised_release_is_flagged(self):
+        # Adding far too little noise for the claimed epsilon is detected when
+        # the outputs are coarsely bucketed.
+        rng_threshold = 5.0
+        verifier = EmpiricalDPVerifier(epsilon=0.05, trials=4000, slack=1.2)
+        report = verifier.check(
+            run_on_d=lambda g: float(10.0 + g.laplace(0, 0.01)) > rng_threshold,
+            run_on_d_prime=lambda g: float(0.0 + g.laplace(0, 0.01)) > rng_threshold,
+            event=lambda output: output,
+            rng=2,
+        )
+        assert not report.passed

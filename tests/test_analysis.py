@@ -1,0 +1,119 @@
+"""Unit tests for the appendix analyses (ties, variance bookkeeping)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ties import (
+    discrete_laplace_tie_probability,
+    pairwise_tie_probability,
+    tie_probability_bound,
+)
+from repro.analysis.variance import (
+    measurement_variance,
+    pairwise_gap_variance,
+    svt_gap_variance,
+    theorem3_lambda,
+    top_k_gap_variance,
+    top_k_selection_scale,
+)
+
+
+class TestTieProbability:
+    def test_closed_form_matches_series(self):
+        for m in (0.0, 1.0, 3.0):
+            series = pairwise_tie_probability(1.0, 1.0, value_difference=m)
+            closed = discrete_laplace_tie_probability(1.0, 1.0, value_difference=m)
+            assert series == pytest.approx(closed, rel=1e-9)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        epsilon, base = 0.8, 1.0
+        q = np.exp(-epsilon * base)
+        n = 400_000
+        u1 = rng.geometric(1 - q, n) - 1
+        v1 = rng.geometric(1 - q, n) - 1
+        u2 = rng.geometric(1 - q, n) - 1
+        v2 = rng.geometric(1 - q, n) - 1
+        eta1, eta2 = u1 - v1, u2 - v2
+        empirical = np.mean(eta1 == eta2 + 2)  # q1 - q2 = 2
+        theoretical = discrete_laplace_tie_probability(
+            epsilon, base, value_difference=2.0
+        )
+        assert empirical == pytest.approx(theoretical, rel=0.05)
+
+    def test_off_lattice_difference_never_ties(self):
+        assert pairwise_tie_probability(1.0, 1.0, value_difference=0.5) == 0.0
+        assert discrete_laplace_tie_probability(1.0, 1.0, value_difference=0.5) == 0.0
+
+    def test_probability_decreases_with_value_difference(self):
+        values = [
+            discrete_laplace_tie_probability(1.0, 1.0, value_difference=m)
+            for m in range(0, 10)
+        ]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_union_bound_dominates_pairwise(self):
+        epsilon, base = 0.5, 1e-6
+        pairwise = discrete_laplace_tie_probability(epsilon, base)
+        assert tie_probability_bound(2, epsilon, base) >= pairwise
+
+    def test_bound_negligible_at_machine_epsilon(self):
+        # With gamma ~ 2^-52 and a realistic number of queries the failure
+        # probability is tiny, as the paper argues.
+        assert tie_probability_bound(100_000, 1.0, 2.0**-52) < 1e-5
+
+    def test_bound_clipped_at_one(self):
+        assert tie_probability_bound(10**9, 1.0, 1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pairwise_tie_probability(0.0, 1.0)
+        with pytest.raises(ValueError):
+            discrete_laplace_tie_probability(1.0, 0.0)
+        with pytest.raises(ValueError):
+            tie_probability_bound(-1, 1.0, 1.0)
+
+
+class TestVarianceBookkeeping:
+    def test_measurement_variance_formula(self):
+        assert measurement_variance(0.7, 10) == pytest.approx(8 * 100 / 0.49)
+
+    def test_selection_scale_monotonic_vs_general(self):
+        assert top_k_selection_scale(1.0, 5, monotonic=False) == pytest.approx(
+            2 * top_k_selection_scale(1.0, 5, monotonic=True)
+        )
+
+    def test_gap_variance_is_twice_per_query_variance(self):
+        scale = top_k_selection_scale(1.0, 5, True)
+        assert top_k_gap_variance(1.0, 5, True) == pytest.approx(2 * 2 * scale**2)
+
+    def test_pairwise_gap_variance_equals_single_gap_variance(self):
+        assert pairwise_gap_variance(0.7, 8, True) == pytest.approx(
+            top_k_gap_variance(0.7, 8, True)
+        )
+
+    def test_lambda_is_one_for_monotonic_counting_queries(self):
+        assert theorem3_lambda(0.7, 10, monotonic=True) == pytest.approx(1.0)
+
+    def test_lambda_is_four_for_general_queries(self):
+        # General queries use double the selection scale, so the noise
+        # variance ratio is 4.
+        assert theorem3_lambda(0.7, 10, monotonic=False) == pytest.approx(4.0)
+
+    def test_svt_gap_variance_section62_formulas(self):
+        epsilon, k = 1.0, 10
+        monotonic = svt_gap_variance(epsilon, k, True)
+        general = svt_gap_variance(epsilon, k, False)
+        assert monotonic == pytest.approx(8 * (1 + k ** (2 / 3)) ** 3)
+        assert general == pytest.approx(8 * (1 + (2 * k) ** (2 / 3)) ** 3)
+        assert general > monotonic
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measurement_variance(0.0, 5)
+        with pytest.raises(ValueError):
+            measurement_variance(1.0, 0)
+        with pytest.raises(ValueError):
+            top_k_selection_scale(-1.0, 5, True)
+        with pytest.raises(ValueError):
+            svt_gap_variance(1.0, 0, True)

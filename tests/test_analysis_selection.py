@@ -1,0 +1,84 @@
+"""Tests for the selection-accuracy analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.selection import (
+    expected_gap_bias,
+    minimum_separation_for_accuracy,
+    probability_correct_max,
+    probability_correct_max_monte_carlo,
+)
+
+
+class TestProbabilityCorrectMax:
+    def test_well_separated_scores_almost_always_correct(self):
+        assert probability_correct_max([100.0, 0.0, 0.0], scale=1.0) > 0.999
+
+    def test_flat_scores_give_uniform_chance(self):
+        n = 4
+        p = probability_correct_max([5.0] * n, scale=1.0)
+        assert p == pytest.approx(1.0 / n, abs=0.01)
+
+    def test_matches_monte_carlo(self):
+        values = [10.0, 8.0, 5.0, 1.0]
+        scale = 2.0
+        exact = probability_correct_max(values, scale)
+        simulated = probability_correct_max_monte_carlo(
+            values, scale, trials=60_000, rng=0
+        )
+        assert exact == pytest.approx(simulated, abs=0.01)
+
+    def test_decreases_with_noise_scale(self):
+        values = [10.0, 8.0, 6.0]
+        assert probability_correct_max(values, 0.5) > probability_correct_max(
+            values, 5.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            probability_correct_max([1.0], scale=1.0)
+        with pytest.raises(ValueError):
+            probability_correct_max([1.0, 2.0], scale=0.0)
+        with pytest.raises(ValueError):
+            probability_correct_max_monte_carlo([1.0, 2.0], scale=1.0, trials=0)
+
+
+class TestExpectedGapBias:
+    def test_negligible_for_separated_scores(self):
+        bias = expected_gap_bias([1000.0, 0.0, -1000.0], scale=1.0, rng=0)
+        assert abs(bias) < 0.1
+
+    def test_positive_for_flat_scores(self):
+        bias = expected_gap_bias([10.0, 10.0, 10.0, 10.0], scale=2.0, rng=1)
+        assert bias > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_gap_bias([1.0], scale=1.0)
+        with pytest.raises(ValueError):
+            expected_gap_bias([1.0, 2.0], scale=-1.0)
+
+
+class TestMinimumSeparation:
+    def test_sufficient_margin_achieves_target(self):
+        n, scale, target = 20, 3.0, 0.95
+        margin = minimum_separation_for_accuracy(n, scale, target)
+        values = np.concatenate([[margin], np.zeros(n - 1)])
+        assert probability_correct_max(values, scale) >= target
+
+    def test_margin_grows_with_competitors_and_noise(self):
+        assert minimum_separation_for_accuracy(
+            100, 1.0
+        ) > minimum_separation_for_accuracy(10, 1.0)
+        assert minimum_separation_for_accuracy(
+            10, 5.0
+        ) > minimum_separation_for_accuracy(10, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_separation_for_accuracy(1, 1.0)
+        with pytest.raises(ValueError):
+            minimum_separation_for_accuracy(5, 0.0)
+        with pytest.raises(ValueError):
+            minimum_separation_for_accuracy(5, 1.0, target_probability=1.0)

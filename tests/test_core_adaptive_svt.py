@@ -1,0 +1,168 @@
+"""Unit tests for Adaptive-Sparse-Vector-with-Gap (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
+from repro.mechanisms.sparse_vector import SparseVector, SvtBranch
+
+
+def make_mechanism(**overrides):
+    params = dict(epsilon=1.0, threshold=100.0, k=3, monotonic=True)
+    params.update(overrides)
+    return AdaptiveSparseVectorWithGap(**params)
+
+
+class TestConfiguration:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            make_mechanism(epsilon=0.0)
+        with pytest.raises(ValueError):
+            make_mechanism(k=0)
+        with pytest.raises(ValueError):
+            make_mechanism(sigma_multiplier=0.0)
+        with pytest.raises(ValueError):
+            make_mechanism(sensitivity=0.0)
+        with pytest.raises(ValueError):
+            make_mechanism(max_answers=0)
+
+    def test_top_budget_is_half_of_middle(self):
+        mech = make_mechanism()
+        assert mech.epsilon_top == pytest.approx(mech.epsilon_middle / 2.0)
+
+    def test_budget_allocation_covers_k_middle_answers(self):
+        mech = make_mechanism(epsilon=0.7, k=5)
+        total = mech.epsilon_threshold + 5 * mech.epsilon_middle
+        assert total == pytest.approx(0.7)
+
+    def test_sigma_is_two_std_of_top_noise(self):
+        mech = make_mechanism()
+        expected = 2.0 * np.sqrt(2.0) * mech.config.top_scale
+        assert mech.sigma == pytest.approx(expected)
+
+    def test_monotonic_halves_query_scales(self):
+        # Fix the threshold/query split so only the monotonic noise factor
+        # differs (the default theta itself depends on monotonicity).
+        monotonic = make_mechanism(monotonic=True, theta=0.2)
+        general = make_mechanism(monotonic=False, theta=0.2)
+        assert monotonic.config.top_scale == pytest.approx(general.config.top_scale / 2)
+        assert monotonic.config.middle_scale == pytest.approx(
+            general.config.middle_scale / 2
+        )
+
+    def test_explicit_theta(self):
+        mech = make_mechanism(theta=0.5, epsilon=1.0, k=2)
+        assert mech.epsilon_threshold == pytest.approx(0.5)
+        assert mech.epsilon_middle == pytest.approx(0.25)
+
+    def test_gap_variance_per_branch(self):
+        mech = make_mechanism()
+        top = mech.gap_variance(SvtBranch.TOP)
+        middle = mech.gap_variance(SvtBranch.MIDDLE)
+        assert top > middle  # the top branch uses more noise
+        with pytest.raises(ValueError):
+            mech.gap_variance(SvtBranch.BOTTOM)
+
+
+class TestRunBehaviour:
+    def test_far_above_threshold_answered_in_top_branch(self):
+        values = np.full(20, 1e7)
+        mech = make_mechanism(threshold=0.0, k=3)
+        result = mech.run(values, rng=0)
+        counts = result.branch_counts()
+        assert counts[SvtBranch.TOP] == result.num_answered
+        assert counts[SvtBranch.MIDDLE] == 0
+        assert result.num_answered > 3  # budget savings buy extra answers
+
+    def test_answers_more_than_standard_svt_when_queries_large(self):
+        values = np.full(200, 1e7)
+        epsilon, k = 0.7, 5
+        adaptive = make_mechanism(epsilon=epsilon, threshold=0.0, k=k)
+        standard = SparseVector(epsilon=epsilon, threshold=0.0, k=k, monotonic=True)
+        rng = np.random.default_rng(0)
+        adaptive_answers = np.mean(
+            [adaptive.run(values, rng=rng).num_answered for _ in range(20)]
+        )
+        standard_answers = np.mean(
+            [standard.run(values, rng=rng).num_answered for _ in range(20)]
+        )
+        assert standard_answers == pytest.approx(k)
+        assert adaptive_answers >= 1.8 * k
+
+    def test_below_threshold_costs_nothing(self):
+        values = np.full(30, -1e7)
+        mech = make_mechanism(threshold=0.0, k=3)
+        result = mech.run(values, rng=0)
+        assert result.num_answered == 0
+        assert result.metadata.epsilon_spent == pytest.approx(mech.epsilon_threshold)
+        assert result.num_processed == 30
+
+    def test_budget_never_exceeded(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(-50, 400, 300)
+        for seed in range(10):
+            mech = make_mechanism(epsilon=0.5, threshold=200.0, k=4)
+            result = mech.run(values, rng=seed)
+            assert result.metadata.epsilon_spent <= mech.epsilon + 1e-9
+
+    def test_max_answers_stops_early_and_saves_budget(self):
+        values = np.full(100, 1e7)
+        mech = make_mechanism(threshold=0.0, k=5, max_answers=5)
+        result = mech.run(values, rng=0)
+        assert result.num_answered == 5
+        # All answers came from the cheap top branch, so about half the query
+        # budget should be left (Figure 4 shows ~40%).
+        assert result.remaining_budget_fraction > 0.3
+
+    def test_gap_released_for_every_answer(self):
+        values = np.full(50, 1e6)
+        result = make_mechanism(threshold=0.0, k=4).run(values, rng=1)
+        assert len(result.gaps) == result.num_answered
+        assert all(gap >= 0 for gap in result.gaps)
+
+    def test_top_branch_gap_at_least_sigma(self):
+        mech = make_mechanism(threshold=0.0, k=4)
+        values = np.full(50, 1e6)
+        result = mech.run(values, rng=2)
+        for outcome in result.outcomes:
+            if outcome.above and outcome.branch is SvtBranch.TOP:
+                assert outcome.gap >= mech.sigma
+
+    def test_reproducible_with_seed(self):
+        values = np.random.default_rng(0).uniform(0, 300, 100)
+        mech = make_mechanism(threshold=150.0, k=4)
+        a = mech.run(values, rng=42).above_indices
+        b = mech.run(values, rng=42).above_indices
+        assert a == b
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValueError):
+            make_mechanism().run(np.zeros((3, 3)))
+
+    def test_metadata_branch_counts_match_outcomes(self):
+        values = np.random.default_rng(1).uniform(-100, 400, 200)
+        mech = make_mechanism(epsilon=0.7, threshold=100.0, k=5)
+        result = mech.run(values, rng=5)
+        counts = result.branch_counts()
+        assert result.metadata.extra["answers_top"] == counts[SvtBranch.TOP]
+        assert result.metadata.extra["answers_middle"] == counts[SvtBranch.MIDDLE]
+
+    def test_stream_stops_when_budget_exhausted(self):
+        # Queries sit just above the threshold: each answer uses the middle
+        # branch, so after k answers the budget is gone even though the stream
+        # continues.
+        mech = make_mechanism(epsilon=0.5, threshold=0.0, k=2, monotonic=True)
+        values = np.full(500, 1.0)
+        result = mech.run(values, rng=0)
+        assert result.num_processed < 500
+
+    def test_middle_branch_used_for_borderline_queries(self):
+        # Queries just at the threshold cannot clear the sigma margin of the
+        # top branch (whp), so middle-branch answers should appear.
+        mech = make_mechanism(epsilon=1.0, threshold=0.0, k=5, monotonic=True)
+        values = np.full(100, 0.5)
+        rng = np.random.default_rng(0)
+        middle_total = 0
+        for _ in range(20):
+            middle_total += mech.run(values, rng=rng).branch_counts()[SvtBranch.MIDDLE]
+        assert middle_total > 0

@@ -1,0 +1,106 @@
+"""Unit tests for Noisy-Top-K-with-Gap (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.noisy_top_k import NoisyMaxWithGap, NoisyTopKWithGap
+from repro.mechanisms.noisy_max import NoisyTopK
+
+
+class TestNoisyTopKWithGap:
+    def test_releases_k_gaps(self):
+        mech = NoisyTopKWithGap(epsilon=1.0, k=3, monotonic=True)
+        result = mech.select(np.arange(10.0), rng=0)
+        assert len(result.indices) == 3
+        assert result.gaps.shape == (3,)
+
+    def test_gaps_are_nonnegative(self):
+        mech = NoisyTopKWithGap(epsilon=0.5, k=4)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            result = mech.select(rng.uniform(0, 100, 20), rng=rng)
+            assert np.all(result.gaps >= 0)
+
+    def test_requires_k_plus_one_queries(self):
+        mech = NoisyTopKWithGap(epsilon=1.0, k=3)
+        with pytest.raises(ValueError):
+            mech.select([1.0, 2.0, 3.0])
+
+    def test_same_noise_calibration_as_gap_free_top_k(self):
+        with_gap = NoisyTopKWithGap(epsilon=0.7, k=5, monotonic=True)
+        gap_free = NoisyTopK(epsilon=0.7, k=5, monotonic=True)
+        assert with_gap.scale == pytest.approx(gap_free.scale)
+        assert with_gap.epsilon == gap_free.epsilon
+
+    def test_same_selection_as_gap_free_on_same_noise(self):
+        # With identical noise the with-gap variant must select exactly the
+        # same indexes as the classical mechanism -- the gap is purely extra.
+        values = np.array([50.0, 10.0, 45.0, 5.0, 48.0, 1.0])
+        noise = np.array([1.0, -2.0, 0.5, 3.0, -1.0, 0.0])
+        with_gap = NoisyTopKWithGap(epsilon=1.0, k=2).select(values, noise=noise)
+        gap_free = NoisyTopK(epsilon=1.0, k=2).select(values, noise=noise)
+        assert with_gap.indices == gap_free.indices
+
+    def test_gap_values_match_noisy_differences(self):
+        values = np.array([50.0, 10.0, 45.0, 5.0])
+        noise = np.array([0.0, 0.0, 0.0, 0.0])
+        result = NoisyTopKWithGap(epsilon=1.0, k=2).select(values, noise=noise)
+        assert result.indices == [0, 2]
+        np.testing.assert_allclose(result.gaps, [5.0, 35.0])
+
+    def test_descending_order_of_selected(self):
+        values = np.array([10.0, 500.0, 300.0, 100.0, 5.0])
+        result = NoisyTopKWithGap(epsilon=10.0, k=3, monotonic=True).select(
+            values, rng=0
+        )
+        assert result.indices == [1, 2, 3]
+
+    def test_pairwise_gap_telescopes(self):
+        values = np.array([50.0, 40.0, 30.0, 20.0, 10.0])
+        noise = np.zeros(5)
+        result = NoisyTopKWithGap(epsilon=1.0, k=3).select(values, noise=noise)
+        assert result.pairwise_gap(0, 2) == pytest.approx(20.0)
+
+    def test_gap_variance_property(self):
+        mech = NoisyTopKWithGap(epsilon=1.0, k=2, monotonic=False)
+        assert mech.gap_variance == pytest.approx(4.0 * mech.scale**2)
+
+    def test_gap_unbiasedness(self):
+        # The released top gap should be an unbiased estimate of the true gap
+        # between the two largest queries when they are well separated.
+        values = np.array([1000.0, 600.0, 10.0, 5.0])
+        mech = NoisyTopKWithGap(epsilon=2.0, k=1, monotonic=True)
+        rng = np.random.default_rng(1)
+        gaps = [float(mech.select(values, rng=rng).gaps[0]) for _ in range(4000)]
+        assert np.mean(gaps) == pytest.approx(400.0, rel=0.03)
+
+    def test_gap_empirical_variance_matches_formula(self):
+        values = np.array([1000.0, 600.0, 10.0, 5.0])
+        mech = NoisyTopKWithGap(epsilon=2.0, k=1, monotonic=True)
+        rng = np.random.default_rng(2)
+        gaps = [float(mech.select(values, rng=rng).gaps[0]) for _ in range(6000)]
+        assert np.var(gaps) == pytest.approx(mech.gap_variance, rel=0.1)
+
+    def test_metadata_reports_gap_variance(self):
+        mech = NoisyTopKWithGap(epsilon=1.0, k=2)
+        result = mech.select(np.arange(5.0), rng=0)
+        assert result.metadata.extra["gap_variance"] == pytest.approx(mech.gap_variance)
+
+    def test_releases_gaps_flag(self):
+        assert NoisyTopKWithGap(epsilon=1.0, k=1).releases_gaps is True
+        assert NoisyTopK(epsilon=1.0, k=1).releases_gaps is False
+
+
+class TestNoisyMaxWithGap:
+    def test_k_is_one(self):
+        assert NoisyMaxWithGap(epsilon=1.0).k == 1
+
+    def test_select_with_gap_returns_pair(self):
+        index, gap = NoisyMaxWithGap(epsilon=5.0, monotonic=True).select_with_gap(
+            [0.0, 100.0, 5.0], rng=0
+        )
+        assert index == 1
+        assert gap >= 0.0
+
+    def test_name(self):
+        assert NoisyMaxWithGap(epsilon=1.0).name == "noisy-max-with-gap"

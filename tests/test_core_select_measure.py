@@ -1,0 +1,117 @@
+"""Unit tests for the selection-then-measure drivers."""
+
+import numpy as np
+import pytest
+
+from repro.accounting.composition import CompositionAccountant
+from repro.core.select_measure import (
+    select_and_measure_svt,
+    select_and_measure_top_k,
+)
+
+
+class TestSelectAndMeasureTopK:
+    def test_returns_k_estimates(self, separated_counts):
+        result = select_and_measure_top_k(separated_counts, epsilon=1.0, k=3, rng=0)
+        assert len(result.indices) == 3
+        assert result.measurements.shape == (3,)
+        assert result.fused.shape == (3,)
+        assert result.gaps.shape == (3,)
+
+    def test_lambda_is_one_for_counting_queries(self, separated_counts):
+        result = select_and_measure_top_k(separated_counts, epsilon=0.7, k=4, rng=0)
+        assert result.details["lambda"] == pytest.approx(1.0)
+
+    def test_total_epsilon_recorded(self, separated_counts):
+        result = select_and_measure_top_k(separated_counts, epsilon=0.9, k=2, rng=0)
+        assert result.total_epsilon == pytest.approx(0.9)
+
+    def test_composition_accountant_records_both_halves(self, separated_counts):
+        accountant = CompositionAccountant(target_epsilon=1.0)
+        select_and_measure_top_k(
+            separated_counts, epsilon=1.0, k=2, rng=0, accountant=accountant
+        )
+        assert accountant.total_epsilon == pytest.approx(1.0)
+        assert len(accountant.records) == 2
+
+    def test_error_arrays_have_matching_shapes(self, separated_counts):
+        result = select_and_measure_top_k(separated_counts, epsilon=1.0, k=3, rng=1)
+        assert result.baseline_squared_errors().shape == (3,)
+        assert result.fused_squared_errors().shape == (3,)
+
+    def test_fusion_improves_mse_on_average(self, separated_counts):
+        # Aggregate over repetitions; the fused estimator should beat the
+        # direct measurements by roughly (k-1)/2k on well-separated counts.
+        rng = np.random.default_rng(0)
+        k = 5
+        baseline, fused = [], []
+        for _ in range(400):
+            result = select_and_measure_top_k(
+                separated_counts, epsilon=1.0, k=k, monotonic=True, rng=rng
+            )
+            baseline.extend(result.baseline_squared_errors())
+            fused.extend(result.fused_squared_errors())
+        improvement = 1.0 - np.mean(fused) / np.mean(baseline)
+        expected = (k - 1) / (2.0 * k)
+        assert improvement == pytest.approx(expected, abs=0.1)
+
+
+class TestSelectAndMeasureSvt:
+    def test_returns_consistent_lengths(self, separated_counts):
+        result = select_and_measure_svt(
+            separated_counts, epsilon=1.0, k=3, threshold=250.0, rng=0
+        )
+        n = len(result.indices)
+        assert result.measurements.shape == (n,)
+        assert result.fused.shape == (n,)
+        assert n >= 1
+
+    def test_empty_result_when_everything_below_threshold(self):
+        values = np.full(20, -1e6)
+        result = select_and_measure_svt(
+            values, epsilon=1.0, k=3, threshold=0.0, rng=0
+        )
+        assert result.indices == []
+        assert result.measurements.size == 0
+        assert result.fused.size == 0
+
+    def test_adaptive_flag_uses_adaptive_mechanism(self, separated_counts):
+        result = select_and_measure_svt(
+            separated_counts,
+            epsilon=1.0,
+            k=3,
+            threshold=250.0,
+            adaptive=True,
+            rng=0,
+        )
+        assert len(result.indices) >= 1
+        assert "epsilon_spent" in result.details
+
+    def test_accountant_total_within_budget(self, separated_counts):
+        accountant = CompositionAccountant(target_epsilon=1.0)
+        select_and_measure_svt(
+            separated_counts,
+            epsilon=1.0,
+            k=3,
+            threshold=250.0,
+            rng=0,
+            accountant=accountant,
+        )
+        assert accountant.total_epsilon <= 1.0 + 1e-9
+
+    def test_fusion_improves_mse_on_average(self, separated_counts):
+        rng = np.random.default_rng(1)
+        baseline, fused = [], []
+        for _ in range(400):
+            result = select_and_measure_svt(
+                separated_counts,
+                epsilon=1.0,
+                k=4,
+                threshold=250.0,
+                monotonic=True,
+                rng=rng,
+            )
+            if result.indices:
+                baseline.extend(result.baseline_squared_errors())
+                fused.extend(result.fused_squared_errors())
+        assert np.mean(fused) < np.mean(baseline)

@@ -1,0 +1,180 @@
+"""Unit tests for the transaction-dataset substrate."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    PAPER_DATASETS,
+    generate_bms_pos_like,
+    generate_kosarak_like,
+    generate_quest_t40_like,
+    generate_zipf_transactions,
+    make_dataset,
+)
+from repro.datasets.loaders import load_fimi_file, save_fimi_file
+from repro.datasets.transactions import TransactionDatabase
+
+
+class TestTransactionDatabase:
+    def _db(self):
+        return TransactionDatabase([{1, 2}, {2, 3}, {2}, {4}], name="toy")
+
+    def test_len_and_iteration(self):
+        db = self._db()
+        assert len(db) == 4
+        assert db.num_records == 4
+        assert all(isinstance(t, frozenset) for t in db)
+
+    def test_item_histogram(self):
+        histogram = self._db().item_histogram()
+        assert histogram == {1: 1, 2: 3, 3: 1, 4: 1}
+
+    def test_unique_items_sorted(self):
+        assert self._db().unique_items() == [1, 2, 3, 4]
+        assert self._db().num_unique_items == 4
+
+    def test_item_counts_default_and_explicit(self):
+        db = self._db()
+        np.testing.assert_allclose(db.item_counts(), [1, 3, 1, 1])
+        np.testing.assert_allclose(db.item_counts([2, 5]), [3, 0])
+
+    def test_top_items_order(self):
+        assert self._db().top_items(2) == [(2, 3), (1, 1)]
+
+    def test_top_items_rejects_negative(self):
+        with pytest.raises(ValueError):
+            self._db().top_items(-1)
+
+    def test_kth_largest_count(self):
+        db = self._db()
+        assert db.kth_largest_count(1) == 3.0
+        assert db.kth_largest_count(2) == 1.0
+        assert db.kth_largest_count(100) == 0.0
+        with pytest.raises(ValueError):
+            db.kth_largest_count(0)
+
+    def test_remove_record_is_adjacent(self):
+        db = self._db()
+        neighbour = db.remove_record(1)
+        assert len(neighbour) == len(db) - 1
+        diff = np.abs(db.item_counts([1, 2, 3, 4]) - neighbour.item_counts([1, 2, 3, 4]))
+        assert np.max(diff) <= 1.0
+
+    def test_remove_record_out_of_range(self):
+        with pytest.raises(IndexError):
+            self._db().remove_record(99)
+
+    def test_add_record(self):
+        neighbour = self._db().add_record({9})
+        assert len(neighbour) == 5
+        assert 9 in neighbour.item_histogram()
+
+    def test_adjacent_pairs_limited(self):
+        pairs = self._db().adjacent_pairs(max_pairs=2)
+        assert len(pairs) == 2
+        for original, neighbour in pairs:
+            assert len(neighbour) == len(original) - 1
+
+    def test_statistics_fields(self):
+        stats = self._db().statistics()
+        assert stats["num_records"] == 4.0
+        assert stats["num_unique_items"] == 4.0
+        assert stats["max_item_count"] == 3.0
+        assert stats["avg_transaction_length"] == pytest.approx(6 / 4)
+
+    def test_histogram_cached(self):
+        db = self._db()
+        first = db.item_histogram()
+        second = db.item_histogram()
+        assert first == second
+
+
+class TestGenerators:
+    def test_zipf_generator_shapes(self):
+        db = generate_zipf_transactions(500, 50, avg_length=5.0, rng=0)
+        assert len(db) == 500
+        assert db.num_unique_items <= 50
+        assert max(db.item_histogram().values()) <= 500
+
+    def test_zipf_generator_heavy_tail(self):
+        db = generate_zipf_transactions(3000, 300, avg_length=6.0, rng=1)
+        counts = np.sort(db.item_counts())[::-1]
+        # Top item should be much more frequent than the median item.
+        assert counts[0] > 5 * np.median(counts[counts > 0])
+
+    def test_zipf_generator_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            generate_zipf_transactions(0, 10)
+        with pytest.raises(ValueError):
+            generate_zipf_transactions(10, 0)
+
+    def test_reproducible_with_seed(self):
+        a = generate_zipf_transactions(200, 30, rng=5).item_counts()
+        b = generate_zipf_transactions(200, 30, rng=5).item_counts()
+        np.testing.assert_allclose(a, b)
+
+    def test_bms_pos_like_scaling(self):
+        db = generate_bms_pos_like(scale=0.002, rng=0)
+        spec = PAPER_DATASETS["BMS-POS"]
+        assert len(db) == int(spec.num_records * 0.002)
+        assert db.num_unique_items <= spec.num_unique_items
+
+    def test_kosarak_like_item_scaling(self):
+        db = generate_kosarak_like(scale=0.001, rng=0)
+        assert len(db) == int(PAPER_DATASETS["kosarak"].num_records * 0.001)
+        assert db.num_unique_items >= 50
+
+    def test_quest_t40_like_transaction_length(self):
+        db = generate_quest_t40_like(scale=0.002, rng=0)
+        lengths = [len(t) for t in db]
+        # Average transaction length should be in the T40 ballpark (corruption
+        # and deduplication pull it below 40 but it stays well above T10-level).
+        assert 10 < np.mean(lengths) < 45
+
+    def test_make_dataset_by_name_case_insensitive(self):
+        db = make_dataset("bms-pos", scale=0.001, rng=0)
+        assert "BMS-POS" in db.name
+
+    def test_make_dataset_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_dataset("netflix")
+
+    def test_make_dataset_default_scale(self):
+        db = make_dataset("T40I10D100K", rng=0)
+        spec = PAPER_DATASETS["T40I10D100K"]
+        assert len(db) == int(spec.num_records * spec.default_scale)
+
+
+class TestFimiLoaders:
+    def test_round_trip(self, tmp_path):
+        db = TransactionDatabase([{1, 2, 3}, {4}, {2, 5}], name="rt")
+        path = tmp_path / "data.txt"
+        save_fimi_file(db, path)
+        loaded = load_fimi_file(path)
+        assert len(loaded) == 3
+        assert loaded.item_histogram() == db.item_histogram()
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1 2 3\n\n4 5\n")
+        assert len(load_fimi_file(path)) == 2
+
+    def test_max_records(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1\n2\n3\n4\n")
+        assert len(load_fimi_file(path, max_records=2)) == 2
+
+    def test_non_integer_token_raises(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1 two 3\n")
+        with pytest.raises(ValueError):
+            load_fimi_file(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_fimi_file(tmp_path / "missing.txt")
+
+    def test_default_name_is_basename(self, tmp_path):
+        path = tmp_path / "bms.txt"
+        path.write_text("1 2\n")
+        assert load_fimi_file(path).name == "bms.txt"

@@ -1,0 +1,134 @@
+"""Tests for the budget-tracked private analytics session engine."""
+
+import numpy as np
+import pytest
+
+from repro.accounting.budget import BudgetExceededError
+from repro.engine.session import PrivateAnalyticsSession
+
+
+@pytest.fixture
+def session(small_database):
+    return PrivateAnalyticsSession(small_database, total_epsilon=2.0, rng=0)
+
+
+class TestSessionLifecycle:
+    def test_initial_budget_state(self, session):
+        assert session.total_epsilon == 2.0
+        assert session.spent_epsilon == 0.0
+        assert session.remaining_epsilon == 2.0
+
+    def test_rejects_nonpositive_budget(self, small_database):
+        with pytest.raises(ValueError):
+            PrivateAnalyticsSession(small_database, total_epsilon=0.0)
+
+    def test_report_tracks_questions(self, session):
+        session.top_k_items(k=3, epsilon=0.5)
+        session.measure_items(session._items[:2], epsilon=0.25)
+        report = session.report()
+        assert report.total_epsilon == 2.0
+        assert report.spent == pytest.approx(0.75)
+        assert report.remaining == pytest.approx(1.25)
+        assert len(report.questions) == 2
+        assert report.questions[0]["label"] == "top_3_items"
+
+
+class TestTopKQuestions:
+    def test_selection_only(self, session, small_database):
+        answer = session.top_k_items(k=5, epsilon=0.5)
+        assert len(answer.items) == 5
+        assert answer.gaps.shape == (5,)
+        assert answer.estimates is None
+        assert answer.epsilon_charged == pytest.approx(0.5)
+        assert set(answer.items).issubset(set(small_database.unique_items()))
+
+    def test_selection_with_measurement(self, session):
+        answer = session.top_k_items(k=4, epsilon=1.0, measure=True)
+        assert answer.estimates is not None
+        assert answer.estimates.shape == (4,)
+
+    def test_default_epsilon_is_quarter_of_total(self, session):
+        answer = session.top_k_items(k=2)
+        assert answer.epsilon_charged == pytest.approx(0.5)
+
+    def test_selects_truly_frequent_items(self, small_database):
+        session = PrivateAnalyticsSession(small_database, total_epsilon=8.0, rng=1)
+        answer = session.top_k_items(k=3, epsilon=4.0)
+        true_top = {item for item, _ in small_database.top_items(6)}
+        assert len(set(answer.items) & true_top) >= 2
+
+
+class TestAboveThresholdQuestions:
+    def test_basic_answer(self, session, small_database):
+        threshold = small_database.kth_largest_count(15)
+        answer = session.items_above(threshold=threshold, k=5, epsilon=0.8)
+        assert answer.epsilon_charged <= 0.8 + 1e-9
+        assert answer.estimates.shape == (len(answer.items),)
+        assert answer.lower_bounds is None
+
+    def test_confidence_bounds_attached(self, session, small_database):
+        threshold = small_database.kth_largest_count(15)
+        answer = session.items_above(
+            threshold=threshold, k=5, epsilon=0.8, confidence=0.9
+        )
+        assert answer.lower_bounds is not None
+        assert answer.lower_bounds.shape == (len(answer.items),)
+        assert np.all(answer.lower_bounds <= answer.estimates + 1e-9)
+
+    def test_only_consumed_budget_is_charged(self, small_database):
+        # With a very low threshold all answers come from the cheap top
+        # branch, so the charge should be well below the reservation.
+        session = PrivateAnalyticsSession(small_database, total_epsilon=2.0, rng=3)
+        answer = session.items_above(threshold=1.0, k=5, epsilon=1.0)
+        assert answer.epsilon_charged < 1.0
+        assert session.spent_epsilon == pytest.approx(answer.epsilon_charged)
+
+
+class TestMeasureQuestions:
+    def test_measures_requested_items(self, session, small_database):
+        items = [item for item, _ in small_database.top_items(3)]
+        histogram = small_database.item_histogram()
+        released = session.measure_items(items, epsilon=1.0)
+        assert set(released) == set(items)
+        for item, value in released.items():
+            assert abs(value - histogram[item]) < 200.0
+
+    def test_unknown_item_rejected(self, session):
+        with pytest.raises(KeyError):
+            session.measure_items([10**9], epsilon=0.5)
+
+    def test_empty_request_rejected(self, session):
+        with pytest.raises(ValueError):
+            session.measure_items([], epsilon=0.5)
+
+
+class TestBudgetEnforcement:
+    def test_over_budget_question_refused(self, session):
+        with pytest.raises(BudgetExceededError):
+            session.top_k_items(k=3, epsilon=5.0)
+
+    def test_budget_exhaustion_across_questions(self, session):
+        session.top_k_items(k=3, epsilon=1.0)
+        session.top_k_items(k=3, epsilon=0.9)
+        with pytest.raises(BudgetExceededError):
+            session.top_k_items(k=3, epsilon=0.5)
+        # The failed question must not have been charged.
+        assert session.spent_epsilon == pytest.approx(1.9)
+
+    def test_nonpositive_question_budget_rejected(self, session):
+        with pytest.raises(ValueError):
+            session.top_k_items(k=3, epsilon=0.0)
+
+    def test_adaptive_savings_fund_additional_questions(self, small_database):
+        # Reserve half the budget for an above-threshold question whose
+        # answers mostly come from the cheap branch; the savings must leave
+        # room for a follow-up question that a full charge would have blocked.
+        session = PrivateAnalyticsSession(small_database, total_epsilon=1.0, rng=5)
+        first = session.items_above(threshold=1.0, k=4, epsilon=0.5)
+        assert first.epsilon_charged < 0.5
+        # Spend everything that remains -- more than the 0.5 that would have
+        # been left had the full reservation been charged.
+        follow_up_budget = session.remaining_epsilon
+        assert follow_up_budget > 0.5
+        session.top_k_items(k=2, epsilon=follow_up_budget)
+        assert session.spent_epsilon <= 1.0 + 1e-9

@@ -1,0 +1,88 @@
+"""Tests for the command-line experiment runner."""
+
+import io
+
+import pytest
+
+from repro.evaluation.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure9"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["figure1"])
+        assert args.dataset == "BMS-POS"
+        assert args.epsilon == 0.7
+        assert args.trials == 100
+        assert args.seed == 0
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure1", "--dataset", "netflix"])
+
+    def test_validation_of_numeric_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["figure1", "--trials", "0"])
+        with pytest.raises(SystemExit):
+            main(["figure1", "--epsilon", "-1"])
+        with pytest.raises(SystemExit):
+            main(["figure2", "--k", "0"])
+
+
+class TestExecution:
+    def test_datasets_command_prints_table(self, capsys):
+        exit_code = main(["datasets", "--scale", "0.002", "--seed", "1"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Section 7.1 dataset statistics" in captured
+        assert "BMS-POS" in captured and "kosarak" in captured
+
+    def test_figure3_command_small_run(self, capsys):
+        exit_code = main(
+            [
+                "figure3",
+                "--dataset",
+                "T40I10D100K",
+                "--trials",
+                "3",
+                "--scale",
+                "0.01",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Figure 3" in captured
+        assert "adaptive_answers" in captured
+
+    def test_figure1_with_plot_flag(self, capsys):
+        exit_code = main(
+            [
+                "figure1",
+                "--dataset",
+                "T40I10D100K",
+                "--trials",
+                "2",
+                "--scale",
+                "0.01",
+                "--plot",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "legend:" in captured
+        assert "improvement_percent" in captured
+
+    def test_output_file_written(self, tmp_path, capsys):
+        target = tmp_path / "results.txt"
+        exit_code = main(["datasets", "--scale", "0.002", "--output", str(target)])
+        assert exit_code == 0
+        assert "dataset" in target.read_text()
+        # Nothing is printed to stdout when --output is used.
+        assert capsys.readouterr().out == ""

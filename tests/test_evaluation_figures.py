@@ -1,0 +1,89 @@
+"""Tests for the figure/table regenerators (small, fast configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.figures import (
+    dataset_statistics_table,
+    figure1_data,
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    render_series_table,
+)
+
+
+class TestRenderSeriesTable:
+    def test_renders_columns_and_rows(self):
+        rows = [{"k": 2, "value": 1.2345}, {"k": 5, "value": 2.0}]
+        table = render_series_table(rows)
+        assert "k" in table and "value" in table
+        assert "1.234" in table
+        assert len(table.splitlines()) == 4
+
+    def test_empty_rows(self):
+        assert render_series_table([]) == "(no data)"
+
+    def test_explicit_column_order(self):
+        rows = [{"a": 1, "b": 2}]
+        table = render_series_table(rows, columns=["b", "a"])
+        header = table.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_column_rendered_empty(self):
+        rows = [{"a": 1}]
+        table = render_series_table(rows, columns=["a", "zzz"])
+        assert "zzz" in table
+
+
+class TestDatasetStatisticsTable:
+    def test_contains_all_three_datasets(self):
+        rows = dataset_statistics_table(scale=0.002, rng=0)
+        assert {row["dataset"] for row in rows} == {"BMS-POS", "kosarak", "T40I10D100K"}
+        for row in rows:
+            assert row["records"] > 0
+            assert row["unique_items"] > 0
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset(small_database_module=None):
+    from repro.datasets.generators import generate_zipf_transactions
+
+    return generate_zipf_transactions(1500, 150, avg_length=6.0, rng=3)
+
+
+class TestFigureData:
+    def test_figure1_shapes_and_trend(self, tiny_dataset):
+        data = figure1_data(tiny_dataset, epsilon=0.7, ks=(2, 10), trials=30, rng=0)
+        assert set(data) == {"svt", "top_k"}
+        for series in data.values():
+            assert [row["k"] for row in series] == [2, 10]
+        # Theoretical improvement grows with k for both mechanisms.
+        assert (
+            data["top_k"][1]["theoretical_percent"]
+            > data["top_k"][0]["theoretical_percent"]
+        )
+        assert (
+            data["svt"][1]["theoretical_percent"] > data["svt"][0]["theoretical_percent"]
+        )
+
+    def test_figure2_flat_theory_across_epsilon(self, tiny_dataset):
+        data = figure2_data(
+            tiny_dataset, k=5, epsilons=(0.5, 1.0), trials=30, rng=0
+        )
+        theory = [row["theoretical_percent"] for row in data["top_k"]]
+        assert theory[0] == pytest.approx(theory[1])
+
+    def test_figure3_rows(self, tiny_dataset):
+        rows = figure3_data(tiny_dataset, epsilon=0.7, ks=(2, 6), trials=10, rng=0)
+        assert [row["k"] for row in rows] == [2, 6]
+        for row in rows:
+            assert row["adaptive_answers"] >= row["svt_answers"] - 1e-9
+            assert 0.0 <= row["svt_precision"] <= 1.0
+            assert 0.0 <= row["adaptive_f_measure"] <= 1.0
+
+    def test_figure4_rows(self, tiny_dataset):
+        rows = figure4_data([tiny_dataset], epsilon=0.7, ks=(5, 10), trials=10, rng=0)
+        assert len(rows) == 2
+        for row in rows:
+            assert 0.0 <= row["remaining_percent"] <= 100.0

@@ -1,0 +1,126 @@
+"""Unit and integration tests for the Monte-Carlo experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.harness import (
+    pick_threshold,
+    run_adaptive_comparison,
+    run_remaining_budget,
+    run_svt_mse_improvement,
+    run_top_k_mse_improvement,
+)
+
+
+class TestPickThreshold:
+    def test_threshold_lies_between_ranks(self):
+        counts = np.arange(1000.0, 0.0, -1.0)
+        rng = np.random.default_rng(0)
+        k = 10
+        sorted_desc = np.sort(counts)[::-1]
+        for _ in range(50):
+            threshold = pick_threshold(counts, k, rng=rng)
+            assert sorted_desc[8 * k - 1] <= threshold <= sorted_desc[2 * k - 1]
+
+    def test_small_count_vector_falls_back_to_available_rank(self):
+        counts = np.array([10.0, 9.0, 8.0])
+        threshold = pick_threshold(counts, k=5, rng=0)
+        assert threshold == pytest.approx(8.0)
+
+    def test_deterministic_with_seed(self):
+        counts = np.arange(500.0)
+        assert pick_threshold(counts, 5, rng=3) == pick_threshold(counts, 5, rng=3)
+
+
+class TestTopKMseImprovement:
+    def test_improvement_close_to_theory(self, item_counts):
+        result = run_top_k_mse_improvement(
+            item_counts, epsilon=0.7, k=10, trials=150, rng=0
+        )
+        assert result.theoretical_percent == pytest.approx(45.0, abs=0.1)
+        assert result.improvement_percent == pytest.approx(
+            result.theoretical_percent, abs=12.0
+        )
+
+    def test_result_fields(self, item_counts):
+        result = run_top_k_mse_improvement(
+            item_counts, epsilon=0.5, k=3, trials=20, rng=1
+        )
+        assert result.k == 3
+        assert result.epsilon == 0.5
+        assert result.trials == 20
+        assert result.baseline_mse > 0
+        assert result.fused_mse > 0
+
+    def test_explicit_theoretical_override(self, item_counts):
+        result = run_top_k_mse_improvement(
+            item_counts, epsilon=0.5, k=3, trials=5, rng=0, theoretical_percent=33.0
+        )
+        assert result.theoretical_percent == 33.0
+
+
+class TestSvtMseImprovement:
+    def test_improvement_positive_and_near_theory(self, item_counts):
+        result = run_svt_mse_improvement(
+            item_counts, epsilon=0.7, k=10, trials=150, rng=0
+        )
+        assert result.improvement_percent > 10.0
+        assert result.improvement_percent == pytest.approx(
+            result.theoretical_percent, abs=15.0
+        )
+
+    def test_adaptive_variant_also_improves(self, item_counts):
+        result = run_svt_mse_improvement(
+            item_counts, epsilon=0.7, k=5, trials=100, adaptive=True, rng=0
+        )
+        assert result.improvement_percent > 0.0
+
+    def test_epsilon_recorded_on_result(self, item_counts):
+        result = run_svt_mse_improvement(
+            item_counts, epsilon=0.9, k=4, trials=20, rng=2
+        )
+        assert result.epsilon == 0.9
+        assert result.k == 4
+
+
+class TestAdaptiveComparison:
+    def test_adaptive_answers_at_least_as_many(self, item_counts):
+        result = run_adaptive_comparison(
+            item_counts, epsilon=0.7, k=10, trials=30, rng=0
+        )
+        assert result.adaptive_answers >= result.svt_answers
+        assert result.svt_answers <= 10.0 + 1e-9
+
+    def test_branch_breakdown_sums_to_total(self, item_counts):
+        result = run_adaptive_comparison(
+            item_counts, epsilon=0.7, k=8, trials=30, rng=1
+        )
+        assert result.adaptive_top_answers + result.adaptive_middle_answers == (
+            pytest.approx(result.adaptive_answers)
+        )
+
+    def test_precisions_high_on_separated_data(self, item_counts):
+        result = run_adaptive_comparison(
+            item_counts, epsilon=0.7, k=10, trials=30, rng=2
+        )
+        assert result.svt_precision > 0.6
+        assert result.adaptive_precision > 0.6
+
+    def test_adaptive_f_measure_not_worse(self, item_counts):
+        result = run_adaptive_comparison(
+            item_counts, epsilon=0.7, k=10, trials=30, rng=3
+        )
+        assert result.adaptive_f_measure >= result.svt_f_measure - 0.05
+
+
+class TestRemainingBudget:
+    def test_substantial_budget_left_on_separated_data(self, item_counts):
+        result = run_remaining_budget(item_counts, epsilon=0.7, k=10, trials=30, rng=0)
+        # The paper reports roughly 40%; synthetic data should land well above
+        # zero and below the theoretical cap of ~50% of the query budget.
+        assert 15.0 < result.remaining_percent < 60.0
+
+    def test_result_fields(self, item_counts):
+        result = run_remaining_budget(item_counts, epsilon=0.7, k=5, trials=10, rng=1)
+        assert result.k == 5
+        assert result.trials == 10

@@ -1,0 +1,99 @@
+"""Unit tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import (
+    f_measure,
+    improvement_percentage,
+    mean_squared_error,
+    precision_recall,
+    remaining_budget_fraction,
+    selection_f_measure,
+)
+
+
+class TestMeanSquaredError:
+    def test_basic(self):
+        assert mean_squared_error([1.0, 2.0], [0.0, 0.0]) == pytest.approx(2.5)
+
+    def test_zero_for_exact_estimates(self):
+        assert mean_squared_error([3.0, 4.0], [3.0, 4.0]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([], [])
+
+
+class TestImprovementPercentage:
+    def test_halving_error_is_fifty_percent(self):
+        assert improvement_percentage(10.0, 5.0) == pytest.approx(50.0)
+
+    def test_no_improvement_is_zero(self):
+        assert improvement_percentage(10.0, 10.0) == pytest.approx(0.0)
+
+    def test_worse_estimator_is_negative(self):
+        assert improvement_percentage(10.0, 12.0) < 0.0
+
+    def test_rejects_nonpositive_baseline(self):
+        with pytest.raises(ValueError):
+            improvement_percentage(0.0, 1.0)
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        precision, recall = precision_recall([1, 2], [1, 2])
+        assert precision == 1.0
+        assert recall == 1.0
+
+    def test_partial(self):
+        precision, recall = precision_recall([1, 2, 3], [2, 3, 4, 5])
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(0.5)
+
+    def test_empty_reported_has_precision_one(self):
+        precision, recall = precision_recall([], [1, 2])
+        assert precision == 1.0
+        assert recall == 0.0
+
+    def test_empty_actual_has_recall_one(self):
+        precision, recall = precision_recall([1], [])
+        assert recall == 1.0
+        assert precision == 0.0
+
+
+class TestFMeasure:
+    def test_harmonic_mean(self):
+        assert f_measure(0.5, 1.0) == pytest.approx(2 / 3)
+
+    def test_zero_when_both_zero(self):
+        assert f_measure(0.0, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            f_measure(1.5, 0.5)
+        with pytest.raises(ValueError):
+            f_measure(0.5, -0.1)
+
+    def test_selection_f_measure_wrapper(self):
+        assert selection_f_measure([1, 2], [1, 2, 3, 4]) == pytest.approx(
+            f_measure(1.0, 0.5)
+        )
+
+
+class TestRemainingBudgetFraction:
+    def test_fraction(self):
+        assert remaining_budget_fraction(1.0, 0.6) == pytest.approx(0.4)
+
+    def test_never_negative(self):
+        assert remaining_budget_fraction(1.0, 1.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            remaining_budget_fraction(0.0, 0.1)
+        with pytest.raises(ValueError):
+            remaining_budget_fraction(1.0, -0.1)

@@ -1,0 +1,77 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.evaluation.plots import bar_chart, line_plot
+
+
+@pytest.fixture
+def curve_rows():
+    return [
+        {"k": 2, "empirical": 25.0, "theory": 25.0},
+        {"k": 5, "empirical": 38.0, "theory": 40.0},
+        {"k": 10, "empirical": 44.0, "theory": 45.0},
+        {"k": 25, "empirical": 47.0, "theory": 48.0},
+    ]
+
+
+class TestLinePlot:
+    def test_contains_title_axes_and_legend(self, curve_rows):
+        plot = line_plot(curve_rows, "k", ["empirical", "theory"], title="Figure 1b")
+        assert "Figure 1b" in plot
+        assert "x (k): 2 .. 25" in plot
+        assert "legend: * empirical  o theory" in plot
+
+    def test_markers_present_for_each_series(self, curve_rows):
+        plot = line_plot(curve_rows, "k", ["empirical", "theory"])
+        assert "*" in plot
+        assert "o" in plot
+
+    def test_canvas_dimensions(self, curve_rows):
+        height = 8
+        plot = line_plot(curve_rows, "k", ["empirical"], width=30, height=height)
+        canvas_lines = [line for line in plot.splitlines() if line.startswith("|")]
+        assert len(canvas_lines) == height
+        assert all(len(line) == 31 for line in canvas_lines)
+
+    def test_constant_series_does_not_crash(self):
+        rows = [{"x": 1, "y": 5.0}, {"x": 2, "y": 5.0}]
+        plot = line_plot(rows, "x", ["y"])
+        assert "y: 5 .. 6" in plot
+
+    def test_validation(self, curve_rows):
+        with pytest.raises(ValueError):
+            line_plot([], "k", ["empirical"])
+        with pytest.raises(ValueError):
+            line_plot(curve_rows, "k", [])
+        with pytest.raises(ValueError):
+            line_plot(curve_rows, "k", ["empirical"], width=5)
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        rows = [
+            {"mechanism": "svt", "answers": 10.0},
+            {"mechanism": "adaptive", "answers": 20.0},
+        ]
+        chart = bar_chart(rows, "mechanism", "answers", width=20)
+        svt_line, adaptive_line = chart.splitlines()
+        assert adaptive_line.count("#") == 20
+        assert svt_line.count("#") == 10
+
+    def test_title_and_labels(self):
+        rows = [{"dataset": "BMS-POS", "remaining": 40.0}]
+        chart = bar_chart(rows, "dataset", "remaining", title="Figure 4")
+        assert chart.splitlines()[0] == "Figure 4"
+        assert "BMS-POS" in chart
+
+    def test_zero_values_handled(self):
+        rows = [{"label": "a", "value": 0.0}, {"label": "b", "value": 0.0}]
+        chart = bar_chart(rows, "label", "value")
+        assert "#" not in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart([], "label", "value")
+        with pytest.raises(ValueError):
+            bar_chart([{"label": "a", "value": 1.0}], "label", "value", width=2)

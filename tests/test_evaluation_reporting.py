@@ -1,0 +1,137 @@
+"""Tests for experiment-result persistence (CSV / JSON / comparison)."""
+
+import json
+
+import pytest
+
+from repro.evaluation.reporting import (
+    ExperimentRecord,
+    compare_series,
+    read_experiment_json,
+    read_rows_csv,
+    write_experiment_json,
+    write_rows_csv,
+)
+
+
+@pytest.fixture
+def sample_rows():
+    return [
+        {"k": 2, "improvement_percent": 25.1, "theoretical_percent": 25.0},
+        {"k": 10, "improvement_percent": 44.3, "theoretical_percent": 45.0},
+        {"k": 25, "improvement_percent": 47.9, "theoretical_percent": 48.0},
+    ]
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_values(self, tmp_path, sample_rows):
+        path = tmp_path / "figure1b.csv"
+        write_rows_csv(sample_rows, path)
+        loaded = read_rows_csv(path)
+        assert len(loaded) == 3
+        assert loaded[1]["k"] == pytest.approx(10.0)
+        assert loaded[1]["improvement_percent"] == pytest.approx(44.3)
+
+    def test_non_numeric_columns_survive(self, tmp_path):
+        rows = [{"dataset": "BMS-POS", "k": 5, "value": 1.5}]
+        path = tmp_path / "mixed.csv"
+        write_rows_csv(rows, path)
+        loaded = read_rows_csv(path)
+        assert loaded[0]["dataset"] == "BMS-POS"
+        assert loaded[0]["value"] == pytest.approx(1.5)
+
+    def test_empty_series_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_rows_csv([], tmp_path / "empty.csv")
+
+    def test_extra_keys_in_later_rows_ignored(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        path = tmp_path / "extra.csv"
+        write_rows_csv(rows, path)
+        loaded = read_rows_csv(path)
+        assert list(loaded[0].keys()) == ["a"]
+
+
+class TestExperimentRecord:
+    def test_add_series_copies_rows(self, sample_rows):
+        record = ExperimentRecord(name="figure1", parameters={"epsilon": 0.7})
+        record.add_series("top_k", sample_rows)
+        sample_rows[0]["k"] = 999
+        assert record.series["top_k"][0]["k"] == 2
+
+    def test_dict_round_trip(self, sample_rows):
+        record = ExperimentRecord(name="figure1", parameters={"epsilon": 0.7})
+        record.add_series("top_k", sample_rows)
+        rebuilt = ExperimentRecord.from_dict(record.to_dict())
+        assert rebuilt.name == "figure1"
+        assert rebuilt.parameters == {"epsilon": 0.7}
+        assert rebuilt.series["top_k"] == record.series["top_k"]
+
+    def test_from_dict_requires_name(self):
+        with pytest.raises(ValueError):
+            ExperimentRecord.from_dict({"series": {}})
+
+    def test_json_round_trip(self, tmp_path, sample_rows):
+        record = ExperimentRecord(
+            name="figure2", parameters={"k": 10, "dataset": "kosarak"}
+        )
+        record.add_series("svt", sample_rows)
+        path = tmp_path / "figure2.json"
+        write_experiment_json(record, path)
+        loaded = read_experiment_json(path)
+        assert loaded.name == "figure2"
+        assert loaded.parameters["dataset"] == "kosarak"
+        assert loaded.series["svt"][2]["k"] == 25
+
+    def test_json_file_is_valid_json(self, tmp_path, sample_rows):
+        record = ExperimentRecord(name="figure2")
+        record.add_series("svt", sample_rows)
+        path = tmp_path / "figure2.json"
+        write_experiment_json(record, path)
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "figure2"
+
+
+class TestCompareSeries:
+    def test_identical_series_have_no_differences(self, sample_rows):
+        assert (
+            compare_series(
+                sample_rows,
+                sample_rows,
+                key_column="k",
+                value_column="improvement_percent",
+                tolerance=0.0,
+            )
+            == []
+        )
+
+    def test_detects_value_drift(self, sample_rows):
+        candidate = [dict(row) for row in sample_rows]
+        candidate[1]["improvement_percent"] = 10.0
+        differences = compare_series(
+            sample_rows, candidate, "k", "improvement_percent", tolerance=1.0
+        )
+        assert len(differences) == 1
+        assert "k=10" in differences[0]
+
+    def test_tolerance_suppresses_small_drift(self, sample_rows):
+        candidate = [dict(row) for row in sample_rows]
+        candidate[0]["improvement_percent"] += 0.5
+        assert (
+            compare_series(sample_rows, candidate, "k", "improvement_percent", 1.0)
+            == []
+        )
+
+    def test_detects_missing_points(self, sample_rows):
+        differences = compare_series(
+            sample_rows, sample_rows[:2], "k", "improvement_percent", 0.1
+        )
+        assert any("missing from candidate" in d for d in differences)
+        differences = compare_series(
+            sample_rows[:2], sample_rows, "k", "improvement_percent", 0.1
+        )
+        assert any("missing from baseline" in d for d in differences)
+
+    def test_negative_tolerance_rejected(self, sample_rows):
+        with pytest.raises(ValueError):
+            compare_series(sample_rows, sample_rows, "k", "improvement_percent", -1.0)

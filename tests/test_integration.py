@@ -1,0 +1,161 @@
+"""Integration tests exercising the full public API end to end."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    AdaptiveSparseVectorWithGap,
+    CompositionAccountant,
+    LaplaceMechanism,
+    NoisyTopKWithGap,
+    PrivacyBudget,
+    SparseVectorWithGap,
+    blue_top_k_estimate,
+    fuse_gap_and_measurement,
+    gap_lower_confidence_bound,
+    item_count_workload,
+    make_dataset,
+)
+from repro.mechanisms.sparse_vector import SvtBranch
+
+
+class TestPublicApi:
+    def test_version_and_all_exports_resolve(self):
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_top_level_names_match_submodules(self):
+        from repro.core.noisy_top_k import NoisyTopKWithGap as FromModule
+
+        assert repro.NoisyTopKWithGap is FromModule
+
+
+class TestEndToEndTopKPipeline:
+    def test_dataset_to_fused_estimates(self):
+        database = make_dataset("BMS-POS", scale=0.005, rng=0)
+        counts = database.item_counts()
+        budget = PrivacyBudget(0.8)
+        selection_budget, measurement_budget = budget.halves()
+        accountant = CompositionAccountant(target_epsilon=0.8)
+
+        k = 5
+        selector = NoisyTopKWithGap(
+            epsilon=selection_budget.epsilon, k=k, monotonic=True
+        )
+        selection = selector.select(counts, rng=1)
+        accountant.record(selector.name, selection_budget.epsilon)
+
+        measurer = LaplaceMechanism(
+            epsilon=measurement_budget.epsilon, l1_sensitivity=float(k)
+        )
+        measurements = measurer.release(counts[selection.indices], rng=2)
+        accountant.record(measurer.name, measurement_budget.epsilon)
+
+        fused = blue_top_k_estimate(
+            measurements.values, selection.gaps[: k - 1], lam=1.0
+        )
+
+        accountant.assert_within(0.8)
+        assert fused.shape == (k,)
+        # Fused estimates should be in the right ballpark of the true counts.
+        truth = counts[selection.indices]
+        assert np.all(np.abs(fused - truth) < 40 * np.sqrt(measurer.variance))
+
+    def test_workload_evaluation_path(self):
+        database = make_dataset("T40I10D100K", scale=0.002, rng=3)
+        items = [item for item, _ in database.top_items(30)]
+        workload = item_count_workload(items)
+        counts = workload.evaluate(database)
+        assert counts.shape == (30,)
+        selector = NoisyTopKWithGap(epsilon=1.0, k=3, monotonic=workload.monotonic)
+        result = selector.select(counts, rng=0)
+        assert len(result.indices) == 3
+
+
+class TestEndToEndSvtPipeline:
+    def test_adaptive_svt_with_confidence_bounds(self):
+        database = make_dataset("kosarak", scale=0.003, rng=1)
+        counts = database.item_counts()
+        threshold = database.kth_largest_count(40)
+
+        mechanism = AdaptiveSparseVectorWithGap(
+            epsilon=0.7, threshold=threshold, k=5, monotonic=True
+        )
+        result = mechanism.run(counts, rng=4)
+        assert result.metadata.epsilon_spent <= 0.7 + 1e-9
+
+        for outcome in result.outcomes:
+            if not outcome.above:
+                continue
+            eps_star = (
+                mechanism.epsilon_top
+                if outcome.branch is SvtBranch.TOP
+                else mechanism.epsilon_middle
+            )
+            bound = gap_lower_confidence_bound(
+                outcome.gap,
+                threshold,
+                eps0=mechanism.epsilon_threshold,
+                eps_star=eps_star,
+                confidence=0.95,
+            )
+            assert bound <= outcome.gap + threshold
+
+    def test_svt_with_gap_then_measure_and_fuse(self):
+        database = make_dataset("BMS-POS", scale=0.005, rng=2)
+        counts = database.item_counts()
+        threshold = database.kth_largest_count(30)
+
+        selector = SparseVectorWithGap(
+            epsilon=0.35, threshold=threshold, k=5, monotonic=True
+        )
+        run = selector.run(counts, rng=5)
+        if run.num_answered == 0:
+            pytest.skip("no above-threshold answers in this draw")
+
+        measurer = LaplaceMechanism(
+            epsilon=0.35, l1_sensitivity=float(run.num_answered)
+        )
+        measured = measurer.release(counts[run.above_indices], rng=6)
+        fused = fuse_gap_and_measurement(
+            np.asarray(run.gaps) + threshold,
+            np.full(run.num_answered, selector.gap_variance),
+            measured.values,
+            measured.variance,
+        )
+        truth = counts[run.above_indices]
+        fused_mse = float(np.mean((fused - truth) ** 2))
+        measured_mse = float(np.mean((measured.values - truth) ** 2))
+        # A single draw is noisy; just sanity-check magnitudes and finiteness.
+        assert np.isfinite(fused_mse) and np.isfinite(measured_mse)
+
+
+class TestCrossMechanismConsistency:
+    def test_selection_agreement_on_well_separated_counts(self, separated_counts):
+        from repro import NoisyTopK
+
+        classic = NoisyTopK(epsilon=5.0, k=3, monotonic=True).select(
+            separated_counts, rng=0
+        )
+        with_gap = NoisyTopKWithGap(epsilon=5.0, k=3, monotonic=True).select(
+            separated_counts, rng=0
+        )
+        assert classic.indices == with_gap.indices == [0, 1, 2]
+
+    def test_svt_and_adaptive_find_same_obvious_items(self, separated_counts):
+        from repro import SparseVector
+
+        threshold = 350.0
+        standard = SparseVector(
+            epsilon=5.0, threshold=threshold, k=4, monotonic=True
+        ).run(separated_counts, rng=0)
+        adaptive = AdaptiveSparseVectorWithGap(
+            epsilon=5.0, threshold=threshold, k=4, monotonic=True
+        ).run(separated_counts, rng=0)
+        truly_above = set(np.nonzero(separated_counts > threshold)[0])
+        assert set(standard.above_indices) <= truly_above | set(range(len(separated_counts)))
+        assert truly_above.issubset(set(adaptive.above_indices)) or len(
+            adaptive.above_indices
+        ) >= len(standard.above_indices)

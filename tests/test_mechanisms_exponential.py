@@ -1,0 +1,83 @@
+"""Unit tests for the exponential mechanism baseline."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.exponential import ExponentialMechanism
+
+
+class TestExponentialMechanism:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ExponentialMechanism(epsilon=0.0)
+        with pytest.raises(ValueError):
+            ExponentialMechanism(epsilon=1.0, sensitivity=0.0)
+
+    def test_probabilities_sum_to_one(self):
+        mech = ExponentialMechanism(epsilon=1.0)
+        probabilities = mech.selection_probabilities([1.0, 2.0, 3.0])
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_higher_utility_gets_higher_probability(self):
+        probabilities = ExponentialMechanism(epsilon=1.0).selection_probabilities(
+            [0.0, 5.0, 10.0]
+        )
+        assert probabilities[0] < probabilities[1] < probabilities[2]
+
+    def test_monotonic_sharpens_distribution(self):
+        utilities = [0.0, 10.0]
+        general = ExponentialMechanism(epsilon=1.0, monotonic=False)
+        monotonic = ExponentialMechanism(epsilon=1.0, monotonic=True)
+        assert (
+            monotonic.selection_probabilities(utilities)[1]
+            > general.selection_probabilities(utilities)[1]
+        )
+
+    def test_probability_ratio_matches_epsilon(self):
+        # For two candidates differing by exactly the sensitivity, the
+        # probability ratio should be exp(epsilon/2) in the general case.
+        epsilon = 1.2
+        mech = ExponentialMechanism(epsilon=epsilon, sensitivity=1.0)
+        probabilities = mech.selection_probabilities([0.0, 1.0])
+        assert probabilities[1] / probabilities[0] == pytest.approx(
+            np.exp(epsilon / 2.0)
+        )
+
+    def test_large_scores_numerically_stable(self):
+        probabilities = ExponentialMechanism(epsilon=1.0).selection_probabilities(
+            [1e6, 1e6 + 1.0]
+        )
+        assert np.all(np.isfinite(probabilities))
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_select_returns_valid_index_and_metadata(self):
+        mech = ExponentialMechanism(epsilon=2.0)
+        selection = mech.select([1.0, 50.0, 3.0], rng=0)
+        assert 0 <= selection.index < 3
+        assert selection.metadata.epsilon == 2.0
+        assert selection.metadata.extra["num_candidates"] == 3.0
+
+    def test_empirical_frequencies_match_distribution(self):
+        mech = ExponentialMechanism(epsilon=1.0)
+        utilities = [0.0, 2.0, 4.0]
+        probabilities = mech.selection_probabilities(utilities)
+        rng = np.random.default_rng(0)
+        counts = np.zeros(3)
+        trials = 5000
+        for _ in range(trials):
+            counts[mech.select(utilities, rng=rng).index] += 1
+        np.testing.assert_allclose(counts / trials, probabilities, atol=0.03)
+
+    def test_rejects_empty_utilities(self):
+        with pytest.raises(ValueError):
+            ExponentialMechanism(epsilon=1.0).selection_probabilities([])
+
+    def test_agrees_with_noisy_max_on_separated_scores(self):
+        # Sanity link to the Noisy Max family: with a clear winner both should
+        # select the same index almost always.
+        from repro.mechanisms.noisy_max import ReportNoisyMax
+
+        utilities = [0.0, 0.0, 100.0, 0.0]
+        exp_index = ExponentialMechanism(epsilon=5.0).select(utilities, rng=1).index
+        rnm_index = ReportNoisyMax(epsilon=5.0).select_index(utilities, rng=1)
+        assert exp_index == rnm_index == 2

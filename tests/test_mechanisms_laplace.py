@@ -1,0 +1,88 @@
+"""Unit tests for the vector Laplace mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.laplace_mechanism import (
+    LaplaceMechanism,
+    measurement_scale_for_split,
+)
+from repro.queries.workload import item_count_workload
+
+
+class TestLaplaceMechanism:
+    def test_scale_and_variance(self):
+        mech = LaplaceMechanism(epsilon=0.5, l1_sensitivity=2.0)
+        assert mech.scale == pytest.approx(4.0)
+        assert mech.variance == pytest.approx(32.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=0.0)
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=1.0, l1_sensitivity=0.0)
+
+    def test_release_shape_and_metadata(self):
+        mech = LaplaceMechanism(epsilon=1.0)
+        result = mech.release([1.0, 2.0, 3.0], rng=0)
+        assert len(result) == 3
+        assert result.metadata.epsilon == 1.0
+        assert result.metadata.epsilon_spent == 1.0
+        assert result.metadata.mechanism == "laplace-mechanism"
+
+    def test_release_reproducible(self):
+        mech = LaplaceMechanism(epsilon=1.0)
+        a = mech.release([5.0, 6.0], rng=11).values
+        b = mech.release([5.0, 6.0], rng=11).values
+        np.testing.assert_allclose(a, b)
+
+    def test_release_rejects_matrix_input(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=1.0).release(np.zeros((2, 2)))
+
+    def test_explicit_noise_replay(self):
+        mech = LaplaceMechanism(epsilon=1.0)
+        noise = np.array([0.5, -0.5])
+        result = mech.release([1.0, 2.0], noise=noise)
+        np.testing.assert_allclose(result.values, [1.5, 1.5])
+
+    def test_explicit_noise_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=1.0).release([1.0, 2.0], noise=np.array([0.1]))
+
+    def test_unbiased_and_variance_empirically(self):
+        mech = LaplaceMechanism(epsilon=1.0, l1_sensitivity=1.0)
+        truth = np.full(50_000, 10.0)
+        released = mech.release(truth, rng=0).values
+        assert np.mean(released) == pytest.approx(10.0, abs=0.05)
+        assert np.var(released) == pytest.approx(mech.variance, rel=0.05)
+
+    def test_noise_trace_consistency(self):
+        mech = LaplaceMechanism(epsilon=2.0)
+        result = mech.release([0.0, 0.0, 0.0], rng=1)
+        np.testing.assert_allclose(result.noise_trace.values, result.values)
+        np.testing.assert_allclose(result.noise_trace.scales, mech.scale)
+
+    def test_measure_workload_subset(self, small_database):
+        items = small_database.unique_items()[:5]
+        workload = item_count_workload(items)
+        mech = LaplaceMechanism(epsilon=1.0, l1_sensitivity=2.0)
+        result = mech.measure_workload(workload, small_database, indices=[0, 2], rng=0)
+        assert len(result) == 2
+
+
+class TestMeasurementScaleForSplit:
+    def test_formula(self):
+        assert measurement_scale_for_split(1.0, 5) == pytest.approx(10.0)
+
+    def test_matches_paper_variance(self):
+        # Variance should be 8 k^2 / epsilon^2 (Section 5.2).
+        epsilon, k = 0.7, 10
+        scale = measurement_scale_for_split(epsilon, k)
+        assert 2 * scale**2 == pytest.approx(8 * k**2 / epsilon**2)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            measurement_scale_for_split(0.0, 5)
+        with pytest.raises(ValueError):
+            measurement_scale_for_split(1.0, 0)

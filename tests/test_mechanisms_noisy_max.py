@@ -1,0 +1,137 @@
+"""Unit tests for the classical Noisy Max / Noisy Top-K baselines."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.noisy_max import (
+    NoisyTopK,
+    ReportNoisyMax,
+    SelectionResult,
+    noise_scale_for_top_k,
+)
+
+
+class TestNoiseScale:
+    def test_general_scale(self):
+        assert noise_scale_for_top_k(1.0, 5, monotonic=False) == pytest.approx(10.0)
+
+    def test_monotonic_scale_is_half(self):
+        assert noise_scale_for_top_k(1.0, 5, monotonic=True) == pytest.approx(5.0)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            noise_scale_for_top_k(0.0, 5, monotonic=True)
+        with pytest.raises(ValueError):
+            noise_scale_for_top_k(1.0, 0, monotonic=True)
+
+
+class TestNoisyTopK:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            NoisyTopK(epsilon=0.0, k=1)
+        with pytest.raises(ValueError):
+            NoisyTopK(epsilon=1.0, k=0)
+        with pytest.raises(ValueError):
+            NoisyTopK(epsilon=1.0, k=1, sensitivity=0.0)
+
+    def test_selects_k_distinct_indices(self):
+        mech = NoisyTopK(epsilon=5.0, k=3)
+        result = mech.select(np.arange(10.0), rng=0)
+        assert len(result.indices) == 3
+        assert len(set(result.indices)) == 3
+
+    def test_no_gaps_released(self):
+        result = NoisyTopK(epsilon=1.0, k=2).select(np.arange(5.0), rng=0)
+        assert result.gaps.size == 0
+        with pytest.raises(ValueError):
+            result.pairwise_gap(0, 1)
+
+    def test_requires_at_least_k_queries(self):
+        with pytest.raises(ValueError):
+            NoisyTopK(epsilon=1.0, k=5).select([1.0, 2.0])
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValueError):
+            NoisyTopK(epsilon=1.0, k=1).select(np.zeros((2, 2)))
+
+    def test_well_separated_values_selected_correctly(self):
+        values = np.array([1000.0, 0.0, 0.0, 0.0, 500.0])
+        mech = NoisyTopK(epsilon=5.0, k=2, monotonic=True)
+        result = mech.select(values, rng=3)
+        assert set(result.indices) == {0, 4}
+        assert result.indices[0] == 0  # descending order
+
+    def test_reproducible_with_seed(self):
+        mech = NoisyTopK(epsilon=1.0, k=2)
+        a = mech.select(np.arange(6.0), rng=9).indices
+        b = mech.select(np.arange(6.0), rng=9).indices
+        assert a == b
+
+    def test_metadata(self):
+        mech = NoisyTopK(epsilon=0.8, k=2, monotonic=True)
+        result = mech.select(np.arange(6.0), rng=0)
+        assert result.metadata.epsilon == pytest.approx(0.8)
+        assert result.metadata.epsilon_spent == pytest.approx(0.8)
+        assert result.metadata.monotonic is True
+        assert result.metadata.extra["k"] == 2.0
+
+    def test_noise_trace_covers_all_queries(self):
+        mech = NoisyTopK(epsilon=1.0, k=1)
+        result = mech.select(np.arange(7.0), rng=0)
+        assert len(result.noise_trace) == 7
+
+    def test_explicit_noise_replay_is_deterministic(self):
+        mech = NoisyTopK(epsilon=1.0, k=2)
+        noise = np.zeros(5)
+        result = mech.select([5.0, 1.0, 9.0, 2.0, 3.0], noise=noise)
+        assert result.indices == [2, 0]
+
+    def test_selection_frequency_favours_larger_query(self):
+        # The largest query should win much more often than the smallest.
+        mech = NoisyTopK(epsilon=2.0, k=1, monotonic=True)
+        values = np.array([10.0, 0.0])
+        rng = np.random.default_rng(0)
+        wins = sum(mech.select(values, rng=rng).indices[0] == 0 for _ in range(500))
+        assert wins > 400
+
+
+class TestReportNoisyMax:
+    def test_k_is_one(self):
+        assert ReportNoisyMax(epsilon=1.0).k == 1
+
+    def test_select_index_returns_int(self):
+        index = ReportNoisyMax(epsilon=5.0).select_index([1.0, 100.0, 2.0], rng=0)
+        assert isinstance(index, int)
+        assert index == 1
+
+    def test_name(self):
+        assert ReportNoisyMax(epsilon=1.0).name == "report-noisy-max"
+
+
+class TestSelectionResult:
+    def test_post_init_normalises_types(self):
+        result = SelectionResult(
+            indices=[np.int64(3), np.int64(1)],
+            gaps=[1.0, 2.0],
+            metadata=ReportNoisyMax(epsilon=1.0).select([1.0, 2.0], rng=0).metadata,
+        )
+        assert all(isinstance(i, int) for i in result.indices)
+        assert result.k == 2
+
+    def test_pairwise_gap_sums_consecutive(self):
+        base = ReportNoisyMax(epsilon=1.0).select([1.0, 2.0], rng=0)
+        result = SelectionResult(
+            indices=[0, 1, 2], gaps=np.array([1.5, 2.5, 3.0]), metadata=base.metadata
+        )
+        assert result.pairwise_gap(0, 2) == pytest.approx(4.0)
+        assert result.pairwise_gap(0, 1) == pytest.approx(1.5)
+
+    def test_pairwise_gap_validates_range(self):
+        base = ReportNoisyMax(epsilon=1.0).select([1.0, 2.0], rng=0)
+        result = SelectionResult(
+            indices=[0, 1], gaps=np.array([1.0, 2.0]), metadata=base.metadata
+        )
+        with pytest.raises(ValueError):
+            result.pairwise_gap(1, 1)
+        with pytest.raises(ValueError):
+            result.pairwise_gap(0, 5)

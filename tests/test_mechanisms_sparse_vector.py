@@ -1,0 +1,166 @@
+"""Unit tests for the Sparse Vector baselines (standard and with-gap)."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.sparse_vector import (
+    SparseVector,
+    SparseVectorWithGap,
+    SvtBranch,
+    svt_budget_allocation,
+)
+
+
+class TestBudgetAllocation:
+    def test_monotonic_ratio(self):
+        threshold, queries = svt_budget_allocation(1.0, k=8, monotonic=True)
+        assert threshold == pytest.approx(1.0 / 5.0)
+        assert queries == pytest.approx(4.0 / 5.0)
+
+    def test_general_ratio(self):
+        threshold, queries = svt_budget_allocation(1.0, k=4, monotonic=False)
+        assert threshold == pytest.approx(1.0 / 5.0)
+        assert threshold + queries == pytest.approx(1.0)
+
+    def test_explicit_theta(self):
+        threshold, queries = svt_budget_allocation(2.0, k=3, monotonic=True, theta=0.25)
+        assert threshold == pytest.approx(0.5)
+        assert queries == pytest.approx(1.5)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            svt_budget_allocation(0.0, 1, True)
+        with pytest.raises(ValueError):
+            svt_budget_allocation(1.0, 0, True)
+        with pytest.raises(ValueError):
+            svt_budget_allocation(1.0, 1, True, theta=1.0)
+
+
+class TestSparseVector:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SparseVector(epsilon=0.0, threshold=10.0)
+        with pytest.raises(ValueError):
+            SparseVector(epsilon=1.0, threshold=10.0, k=0)
+        with pytest.raises(ValueError):
+            SparseVector(epsilon=1.0, threshold=10.0, sensitivity=0.0)
+
+    def test_budget_is_fully_allocated(self):
+        svt = SparseVector(epsilon=0.7, threshold=10.0, k=5, monotonic=True)
+        total = svt.epsilon_threshold + svt.k * svt.epsilon_per_query
+        assert total == pytest.approx(0.7)
+
+    def test_stops_after_k_answers(self):
+        values = np.full(100, 1000.0)
+        svt = SparseVector(epsilon=2.0, threshold=0.0, k=3, monotonic=True)
+        result = svt.run(values, rng=0)
+        assert result.num_answered == 3
+        assert result.num_processed <= 100
+
+    def test_no_gaps_released(self):
+        values = np.full(10, 1000.0)
+        svt = SparseVector(epsilon=2.0, threshold=0.0, k=2, monotonic=True)
+        result = svt.run(values, rng=0)
+        assert result.gaps == []
+        for outcome in result.outcomes:
+            assert outcome.gap is None
+
+    def test_below_threshold_costs_nothing(self):
+        values = np.full(20, -1000.0)
+        svt = SparseVector(epsilon=1.0, threshold=0.0, k=2, monotonic=True)
+        result = svt.run(values, rng=0)
+        assert result.num_answered == 0
+        assert all(o.budget_used == 0.0 for o in result.outcomes)
+        assert result.metadata.epsilon_spent == pytest.approx(svt.epsilon_threshold)
+
+    def test_budget_spent_tracks_answers(self):
+        values = np.full(100, 1000.0)
+        svt = SparseVector(epsilon=1.0, threshold=0.0, k=4, monotonic=True)
+        result = svt.run(values, rng=0)
+        expected = svt.epsilon_threshold + 4 * svt.epsilon_per_query
+        assert result.metadata.epsilon_spent == pytest.approx(expected)
+
+    def test_never_exceeds_total_budget(self):
+        values = np.full(50, 1000.0)
+        svt = SparseVector(epsilon=0.5, threshold=0.0, k=10, monotonic=False)
+        result = svt.run(values, rng=0)
+        assert result.metadata.epsilon_spent <= svt.epsilon + 1e-9
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValueError):
+            SparseVector(epsilon=1.0, threshold=0.0).run(np.zeros((2, 2)))
+
+    def test_reproducible_with_seed(self):
+        values = np.linspace(0, 100, 50)
+        svt = SparseVector(epsilon=1.0, threshold=50.0, k=5, monotonic=True)
+        a = svt.run(values, rng=7).above_indices
+        b = svt.run(values, rng=7).above_indices
+        assert a == b
+
+    def test_monotonic_uses_smaller_query_scale(self):
+        monotonic = SparseVector(epsilon=1.0, threshold=0.0, k=3, monotonic=True)
+        general = SparseVector(epsilon=1.0, threshold=0.0, k=3, monotonic=False)
+        assert monotonic.query_scale < general.query_scale
+
+    def test_outcomes_in_stream_order(self):
+        values = np.array([1000.0, -1000.0, 1000.0, -1000.0, 1000.0])
+        svt = SparseVector(epsilon=2.0, threshold=0.0, k=3, monotonic=True)
+        result = svt.run(values, rng=1)
+        assert [o.index for o in result.outcomes] == sorted(
+            o.index for o in result.outcomes
+        )
+
+    def test_obvious_above_threshold_found(self):
+        values = np.array([-500.0, 500.0, -500.0, 500.0])
+        svt = SparseVector(epsilon=5.0, threshold=0.0, k=2, monotonic=True)
+        result = svt.run(values, rng=0)
+        assert result.above_indices == [1, 3]
+
+
+class TestSparseVectorWithGap:
+    def test_gaps_released_for_above_threshold(self):
+        values = np.full(10, 1000.0)
+        svt = SparseVectorWithGap(epsilon=2.0, threshold=0.0, k=3, monotonic=True)
+        result = svt.run(values, rng=0)
+        assert result.num_answered == 3
+        assert len(result.gaps) == 3
+        assert all(gap >= 0 for gap in result.gaps)
+
+    def test_gap_is_unbiased_estimate_of_query_minus_threshold(self):
+        # Average released gap over many runs should approach q - T.
+        values = np.array([500.0])
+        threshold = 100.0
+        svt = SparseVectorWithGap(
+            epsilon=1.0, threshold=threshold, k=1, monotonic=True
+        )
+        rng = np.random.default_rng(0)
+        gaps = []
+        for _ in range(3000):
+            result = svt.run(values, rng=rng)
+            gaps.extend(result.gaps)
+        assert np.mean(gaps) == pytest.approx(400.0, rel=0.02)
+
+    def test_same_privacy_parameters_as_gap_free(self):
+        gap_free = SparseVector(epsilon=0.7, threshold=10.0, k=5, monotonic=True)
+        with_gap = SparseVectorWithGap(epsilon=0.7, threshold=10.0, k=5, monotonic=True)
+        assert gap_free.epsilon_threshold == pytest.approx(with_gap.epsilon_threshold)
+        assert gap_free.epsilon_per_query == pytest.approx(with_gap.epsilon_per_query)
+        assert gap_free.query_scale == pytest.approx(with_gap.query_scale)
+
+    def test_gap_variance_formula(self):
+        svt = SparseVectorWithGap(epsilon=1.0, threshold=0.0, k=2, monotonic=True)
+        expected = 2 * svt.threshold_scale**2 + 2 * svt.query_scale**2
+        assert svt.gap_variance == pytest.approx(expected)
+
+    def test_branch_counts_middle_only(self):
+        values = np.full(20, 1000.0)
+        svt = SparseVectorWithGap(epsilon=2.0, threshold=0.0, k=4, monotonic=True)
+        counts = svt.run(values, rng=0).branch_counts()
+        assert counts[SvtBranch.MIDDLE] == 4
+        assert counts[SvtBranch.TOP] == 0
+
+    def test_remaining_budget_zero_when_k_reached(self):
+        values = np.full(50, 1000.0)
+        svt = SparseVectorWithGap(epsilon=1.0, threshold=0.0, k=5, monotonic=True)
+        result = svt.run(values, rng=0)
+        assert result.remaining_budget == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,148 @@
+"""Tests for the Lyu et al. SVT variant catalogue (correct and broken)."""
+
+import numpy as np
+import pytest
+
+from repro.alignment.verifier import EmpiricalDPVerifier
+from repro.mechanisms.sparse_vector import SparseVector
+from repro.mechanisms.svt_variants import (
+    SVT_VARIANT_CATALOGUE,
+    SvtVariant1,
+    SvtVariant2,
+    SvtVariant3,
+    SvtVariant4,
+    SvtVariant5,
+    SvtVariant6,
+    make_svt_variant,
+)
+
+
+class TestCatalogue:
+    def test_all_six_variants_present(self):
+        assert sorted(SVT_VARIANT_CATALOGUE) == [1, 2, 3, 4, 5, 6]
+
+    def test_make_variant_dispatch(self):
+        variant = make_svt_variant(2, epsilon=1.0, threshold=10.0, k=3)
+        assert isinstance(variant, SvtVariant2)
+
+    def test_make_variant_unknown_number(self):
+        with pytest.raises(KeyError):
+            make_svt_variant(7, epsilon=1.0, threshold=10.0)
+
+    def test_privacy_flags(self):
+        assert SvtVariant1.actually_private and SvtVariant2.actually_private
+        for broken in (SvtVariant3, SvtVariant4, SvtVariant5, SvtVariant6):
+            assert broken.actually_private is False
+
+    def test_variant1_is_standard_svt(self):
+        assert issubclass(SvtVariant1, SparseVector)
+
+
+class TestCorrectVariantsBehaviour:
+    def test_variant2_answers_at_most_k(self):
+        values = np.full(100, 1000.0)
+        mech = SvtVariant2(epsilon=1.0, threshold=0.0, k=4, monotonic=True)
+        result = mech.run(values, rng=0)
+        assert result.num_answered == 4
+        assert result.metadata.epsilon_spent <= 1.0 + 1e-9
+
+    def test_variant2_refreshes_threshold_noise(self):
+        values = np.full(100, 1000.0)
+        mech = SvtVariant2(epsilon=1.0, threshold=0.0, k=3, monotonic=True)
+        result = mech.run(values, rng=1)
+        threshold_draws = [
+            name for name in result.noise_trace.names if name.startswith("threshold")
+        ]
+        # One initial draw plus one refresh per answer except the last.
+        assert len(threshold_draws) == 3
+
+    def test_variant2_noisier_than_variant1_at_same_budget(self):
+        v1 = SvtVariant1(epsilon=1.0, threshold=0.0, k=5, monotonic=True)
+        v2 = SvtVariant2(epsilon=1.0, threshold=0.0, k=5, monotonic=True)
+        assert v2.query_scale > v1.query_scale
+
+    def test_variant2_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SvtVariant2(epsilon=0.0, threshold=0.0)
+
+    def test_variant1_passes_empirical_dp_check(self):
+        counts = np.array([12.0, 3.0, 11.0, 2.0])
+        neighbour = counts - np.array([1.0, 1.0, 0.0, 1.0])
+        epsilon = 0.5
+        verifier = EmpiricalDPVerifier(epsilon=epsilon, trials=3000, slack=1.5)
+
+        def runner(values):
+            return lambda g: SvtVariant1(
+                epsilon=epsilon, threshold=8.0, k=2, monotonic=True
+            ).run(values, rng=g)
+
+        report = verifier.check(
+            run_on_d=runner(counts),
+            run_on_d_prime=runner(neighbour),
+            event=lambda result: tuple(result.above_indices),
+            rng=0,
+        )
+        assert report.passed, (report.worst_event, report.worst_ratio)
+
+
+class TestBrokenVariantsBehaviour:
+    def test_all_broken_variants_run_and_respect_k(self):
+        values = np.full(50, 1000.0)
+        for number in (3, 4, 5, 6):
+            mech = make_svt_variant(number, epsilon=1.0, threshold=0.0, k=3)
+            result = mech.run(values, rng=0)
+            assert result.num_answered <= 3
+
+    def test_variant3_leaks_noisy_values(self):
+        values = np.full(10, 500.0)
+        mech = SvtVariant3(epsilon=1.0, threshold=0.0, k=2)
+        result = mech.run(values, rng=0)
+        released = [o.gap for o in result.outcomes if o.above]
+        # The released values are in the vicinity of the raw query answers,
+        # which is exactly the leak.
+        assert all(abs(value - 500.0) < 300.0 for value in released)
+
+    def test_variant5_alignment_cost_grows_with_stream_length(self):
+        # SVT5 adds no noise to the threshold, so the only way to preserve a
+        # below-threshold ("bottom") outcome on a neighbouring database where
+        # the query increased is to shift that query's own noise.  Each such
+        # shift costs eps_per_query/2 (the query-noise alignment scale), so
+        # the total alignment cost grows linearly with the number of
+        # below-threshold outcomes and cannot be bounded by the claimed
+        # epsilon for long streams -- the core of Lyu et al.'s refutation.
+        epsilon, k = 0.5, 1
+        mech = SvtVariant5(epsilon=epsilon, threshold=100.0, k=k)
+        query_scale = 2.0 * mech.sensitivity / mech.epsilon_per_query
+        for stream_length in (10, 100, 1000):
+            # Every query increases by 1 on the neighbour, so every bottom
+            # outcome needs a unit shift of its own noise coordinate.
+            forced_cost = stream_length * (1.0 / query_scale)
+            if stream_length >= 10:
+                assert forced_cost > 0  # sanity
+        assert 1000 * (1.0 / query_scale) > epsilon
+
+    def test_variant6_flagged_by_empirical_verifier(self):
+        # SVT6 adds no noise to the queries: with one item at 10 (9 on the
+        # neighbour) and another at 9.7, the output pattern "first item above,
+        # second item below" requires the noisy threshold to be <= 10 and
+        # > 9.7 -- possible on D, impossible on D' (it would need to be both
+        # <= 9 and > 9.7).  The empirical verifier sees the unbounded ratio.
+        epsilon = 0.5
+        verifier = EmpiricalDPVerifier(
+            epsilon=epsilon, trials=6000, slack=1.3, min_count=10
+        )
+        counts = np.array([10.0, 9.7])
+        neighbour = np.array([9.0, 9.7])
+
+        def runner(values):
+            return lambda g: SvtVariant6(
+                epsilon=epsilon, threshold=9.5, k=2
+            ).run(values, rng=g)
+
+        report = verifier.check(
+            run_on_d=runner(counts),
+            run_on_d_prime=runner(neighbour),
+            event=lambda result: tuple(result.above_indices),
+            rng=2,
+        )
+        assert not report.passed

@@ -1,0 +1,129 @@
+"""Unit tests for the BLUE fusion of Theorem 3 / Corollary 1."""
+
+import numpy as np
+import pytest
+
+from repro.postprocess.blue import (
+    blue_matrices,
+    blue_top_k_estimate,
+    blue_variance_ratio,
+)
+
+
+class TestBlueMatrices:
+    def test_shapes(self):
+        x, y = blue_matrices(k=4, lam=1.0)
+        assert x.shape == (4, 4)
+        assert y.shape == (4, 3)
+
+    def test_k_equals_one(self):
+        x, y = blue_matrices(k=1, lam=1.0)
+        assert x.shape == (1, 1)
+        assert y.shape == (1, 0)
+        assert x[0, 0] == pytest.approx(1.0 + 1.0)
+
+    def test_x_structure(self):
+        k, lam = 3, 2.0
+        x, _ = blue_matrices(k, lam)
+        expected = np.ones((k, k)) + lam * k * np.eye(k)
+        np.testing.assert_allclose(x, expected)
+
+    def test_y_structure_matches_paper_for_k3(self):
+        _, y = blue_matrices(k=3, lam=1.0)
+        expected = np.array(
+            [
+                [2.0, 1.0],
+                [2.0 - 3.0, 1.0],
+                [2.0 - 3.0, 1.0 - 3.0],
+            ]
+        )
+        np.testing.assert_allclose(y, expected)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            blue_matrices(0, 1.0)
+        with pytest.raises(ValueError):
+            blue_matrices(3, 0.0)
+
+
+class TestBlueEstimate:
+    def test_matches_matrix_formula(self):
+        rng = np.random.default_rng(0)
+        k, lam = 6, 1.7
+        alpha = rng.uniform(0, 100, k)
+        gaps = rng.uniform(0, 10, k - 1)
+        x, y = blue_matrices(k, lam)
+        expected = (x @ alpha + y @ gaps) / ((1 + lam) * k)
+        np.testing.assert_allclose(blue_top_k_estimate(alpha, gaps, lam), expected)
+
+    def test_k_equals_one_returns_measurement(self):
+        np.testing.assert_allclose(blue_top_k_estimate([42.0], []), [42.0])
+
+    def test_unbiasedness_zero_noise(self):
+        # With exact measurements and exact gaps, the estimate must recover
+        # the true values exactly (unbiasedness on noiseless inputs).
+        truths = np.array([100.0, 80.0, 50.0, 20.0])
+        gaps = -np.diff(truths)
+        np.testing.assert_allclose(
+            blue_top_k_estimate(truths, gaps, lam=1.0), truths, atol=1e-9
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            blue_top_k_estimate([1.0, 2.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            blue_top_k_estimate(np.zeros((2, 2)), [1.0])
+        with pytest.raises(ValueError):
+            blue_top_k_estimate([1.0, 2.0], [1.0], lam=0.0)
+        with pytest.raises(ValueError):
+            blue_top_k_estimate([], [])
+
+    def test_empirical_variance_reduction_matches_corollary1(self):
+        # Simulate the paper's setting: measurements with variance sigma^2 and
+        # gaps from noisy values with the same per-query variance (lambda=1).
+        rng = np.random.default_rng(1)
+        k = 8
+        truths = np.linspace(200, 60, k)
+        sigma = 5.0
+        trials = 4000
+        baseline_errors = np.zeros((trials, k))
+        fused_errors = np.zeros((trials, k))
+        for t in range(trials):
+            xi = rng.laplace(0, sigma / np.sqrt(2), k)
+            eta = rng.laplace(0, sigma / np.sqrt(2), k)
+            alpha = truths + xi
+            gaps = (truths[:-1] + eta[:-1]) - (truths[1:] + eta[1:])
+            beta = blue_top_k_estimate(alpha, gaps, lam=1.0)
+            baseline_errors[t] = (alpha - truths) ** 2
+            fused_errors[t] = (beta - truths) ** 2
+        ratio = fused_errors.mean() / baseline_errors.mean()
+        assert ratio == pytest.approx(blue_variance_ratio(k, 1.0), rel=0.05)
+
+    def test_estimates_preserve_gap_structure_direction(self):
+        # Fused estimates should remain (weakly) ordered when gaps are positive
+        # and measurements are consistent.
+        alpha = np.array([100.0, 90.0, 70.0])
+        gaps = np.array([10.0, 20.0])
+        beta = blue_top_k_estimate(alpha, gaps, lam=1.0)
+        assert beta[0] >= beta[1] >= beta[2]
+
+
+class TestVarianceRatio:
+    def test_counting_query_case(self):
+        assert blue_variance_ratio(10, 1.0) == pytest.approx(11.0 / 20.0)
+
+    def test_improvement_approaches_half(self):
+        assert 1 - blue_variance_ratio(1000, 1.0) == pytest.approx(0.5, abs=1e-3)
+
+    def test_k_one_gives_no_improvement(self):
+        assert blue_variance_ratio(1, 1.0) == pytest.approx(1.0)
+
+    def test_monotone_decreasing_in_k(self):
+        ratios = [blue_variance_ratio(k, 1.0) for k in range(1, 30)]
+        assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            blue_variance_ratio(0, 1.0)
+        with pytest.raises(ValueError):
+            blue_variance_ratio(5, -1.0)

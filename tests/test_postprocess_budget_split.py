@@ -1,0 +1,125 @@
+"""Tests for the selection/measurement budget-split analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.variance import measurement_variance
+from repro.postprocess.budget_split import (
+    fused_variance_for_split,
+    minimum_selection_fraction,
+    optimal_selection_fraction,
+    split_improvement_over_even,
+)
+
+
+class TestFusedVarianceForSplit:
+    def test_even_split_matches_corollary1(self):
+        # At the paper's even split on counting queries lambda = 1, so the
+        # fused variance is measurement_variance * (1 + k) / (2k).
+        epsilon, k = 0.7, 10
+        fused = fused_variance_for_split(epsilon, k, 0.5, monotonic=True)
+        expected = measurement_variance(epsilon, k) * (1 + k) / (2 * k)
+        assert fused == pytest.approx(expected)
+
+    def test_vectorised_input(self):
+        values = fused_variance_for_split(1.0, 5, np.array([0.3, 0.5, 0.7]))
+        assert values.shape == (3,)
+        assert np.all(values > 0)
+
+    def test_decreasing_in_measurement_budget(self):
+        # Under the pure variance model, shifting budget towards measurement
+        # (smaller rho) always reduces the fused variance -- the reason the
+        # optimisation must be constrained by selection accuracy.
+        values = fused_variance_for_split(1.0, 5, np.array([0.2, 0.5, 0.8]))
+        assert values[0] < values[1] < values[2]
+
+    def test_monotonic_beats_general_at_same_split(self):
+        assert fused_variance_for_split(1.0, 5, 0.5, True) < fused_variance_for_split(
+            1.0, 5, 0.5, False
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fused_variance_for_split(0.0, 5, 0.5)
+        with pytest.raises(ValueError):
+            fused_variance_for_split(1.0, 0, 0.5)
+        with pytest.raises(ValueError):
+            fused_variance_for_split(1.0, 5, 1.0)
+        with pytest.raises(ValueError):
+            fused_variance_for_split(1.0, 5, 0.0)
+
+    def test_simulation_confirms_formula_at_even_split(self):
+        # Cross-check the analytic fused variance against simulation of the
+        # BLUE estimator at the even split (monotonic counting queries).
+        from repro.postprocess.blue import blue_top_k_estimate
+
+        rng = np.random.default_rng(0)
+        epsilon, k = 1.0, 6
+        truths = np.linspace(1000, 400, k)
+        measurement_scale = k / (0.5 * epsilon)
+        selection_scale = k / (0.5 * epsilon)
+        errors = []
+        for _ in range(4000):
+            alpha = truths + rng.laplace(0, measurement_scale, k)
+            eta = rng.laplace(0, selection_scale, k)
+            gaps = (truths[:-1] + eta[:-1]) - (truths[1:] + eta[1:])
+            beta = blue_top_k_estimate(alpha, gaps, lam=1.0)
+            errors.append(np.mean((beta - truths) ** 2))
+        simulated = float(np.mean(errors))
+        analytic = fused_variance_for_split(epsilon, k, 0.5, monotonic=True)
+        assert simulated == pytest.approx(analytic, rel=0.1)
+
+
+class TestMinimumSelectionFraction:
+    def test_larger_separation_needs_less_selection_budget(self):
+        small = minimum_selection_fraction(
+            0.7, 10, separation=100.0, num_queries=1000
+        )
+        large = minimum_selection_fraction(
+            0.7, 10, separation=1000.0, num_queries=1000
+        )
+        assert large < small
+
+    def test_more_competitors_need_more_selection_budget(self):
+        few = minimum_selection_fraction(0.7, 10, separation=500.0, num_queries=100)
+        many = minimum_selection_fraction(0.7, 10, separation=500.0, num_queries=10000)
+        assert many > few
+
+    def test_clipped_to_unit_interval(self):
+        # A hopelessly small separation cannot be met even with all budget.
+        rho = minimum_selection_fraction(0.1, 25, separation=0.5, num_queries=10000)
+        assert rho == pytest.approx(0.999)
+        # A huge separation needs essentially nothing.
+        rho = minimum_selection_fraction(10.0, 2, separation=1e9, num_queries=10)
+        assert rho == pytest.approx(1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_selection_fraction(0.7, 10, separation=0.0, num_queries=100)
+        with pytest.raises(ValueError):
+            minimum_selection_fraction(
+                0.7, 10, separation=10.0, num_queries=1, target_probability=0.9
+            )
+
+
+class TestOptimalSplit:
+    def test_optimum_equals_minimum_feasible_fraction(self):
+        args = dict(
+            total_epsilon=0.7, k=10, separation=800.0, num_queries=1657
+        )
+        assert optimal_selection_fraction(**args) == pytest.approx(
+            minimum_selection_fraction(**args)
+        )
+
+    def test_improvement_positive_for_well_separated_workloads(self):
+        # BMS-POS-like top counts are separated by hundreds at full scale, so
+        # the constrained optimum spends less than half on selection and the
+        # fused MSE improves over the even split.
+        gain = split_improvement_over_even(
+            0.7, 10, separation=2000.0, num_queries=1657
+        )
+        assert gain > 0.0
+
+    def test_improvement_nonpositive_when_separation_is_tight(self):
+        gain = split_improvement_over_even(0.7, 10, separation=5.0, num_queries=1657)
+        assert gain <= 0.0

@@ -1,0 +1,148 @@
+"""Unit tests for the Lemma 5 confidence bounds."""
+
+import numpy as np
+import pytest
+
+from repro.postprocess.confidence import (
+    gap_lower_confidence_bound,
+    laplace_difference_cdf,
+    laplace_difference_pdf,
+    laplace_difference_tail,
+)
+
+
+class TestLaplaceDifferencePdf:
+    def test_symmetric(self):
+        assert laplace_difference_pdf(2.0, 1.0, 3.0) == pytest.approx(
+            laplace_difference_pdf(-2.0, 1.0, 3.0)
+        )
+
+    def test_integrates_to_one_unequal_scales(self):
+        xs = np.linspace(-80, 80, 400_001)
+        total = np.trapezoid(laplace_difference_pdf(xs, 0.8, 2.0), xs)
+        assert total == pytest.approx(1.0, abs=1e-4)
+
+    def test_integrates_to_one_equal_scales(self):
+        xs = np.linspace(-80, 80, 400_001)
+        total = np.trapezoid(laplace_difference_pdf(xs, 1.5, 1.5), xs)
+        assert total == pytest.approx(1.0, abs=1e-4)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        eps0, eps_star = 1.0, 2.5
+        samples = rng.laplace(0, 1 / eps_star, 300_000) - rng.laplace(
+            0, 1 / eps0, 300_000
+        )
+        hist, edges = np.histogram(samples, bins=80, range=(-4, 4), density=True)
+        centres = 0.5 * (edges[:-1] + edges[1:])
+        np.testing.assert_allclose(
+            hist, laplace_difference_pdf(centres, eps0, eps_star), atol=0.03
+        )
+
+    def test_rejects_bad_scales(self):
+        with pytest.raises(ValueError):
+            laplace_difference_pdf(0.0, 0.0, 1.0)
+
+
+class TestLaplaceDifferenceTail:
+    def test_tail_at_zero_is_half(self):
+        assert laplace_difference_tail(0.0, 1.0, 2.0) == pytest.approx(0.5)
+        assert laplace_difference_tail(0.0, 1.3, 1.3) == pytest.approx(0.5)
+
+    def test_tail_increases_to_one(self):
+        ts = np.linspace(0, 20, 50)
+        tails = laplace_difference_tail(ts, 1.0, 2.0)
+        assert np.all(np.diff(tails) >= 0)
+        assert tails[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_matches_monte_carlo_unequal(self):
+        rng = np.random.default_rng(1)
+        eps0, eps_star = 0.7, 1.9
+        samples = rng.laplace(0, 1 / eps_star, 400_000) - rng.laplace(
+            0, 1 / eps0, 400_000
+        )
+        for t in (0.5, 1.0, 2.0):
+            empirical = np.mean(samples >= -t)
+            assert empirical == pytest.approx(
+                laplace_difference_tail(t, eps0, eps_star), abs=0.01
+            )
+
+    def test_matches_monte_carlo_equal(self):
+        rng = np.random.default_rng(2)
+        eps = 1.1
+        samples = rng.laplace(0, 1 / eps, 400_000) - rng.laplace(0, 1 / eps, 400_000)
+        for t in (0.5, 1.5):
+            empirical = np.mean(samples >= -t)
+            assert empirical == pytest.approx(
+                laplace_difference_tail(t, eps, eps), abs=0.01
+            )
+
+    def test_consistent_with_pdf_integral(self):
+        eps0, eps_star = 1.0, 2.0
+        xs = np.linspace(-1.5, 60, 400_001)
+        integral = np.trapezoid(laplace_difference_pdf(xs, eps0, eps_star), xs)
+        assert integral == pytest.approx(
+            laplace_difference_tail(1.5, eps0, eps_star), abs=1e-4
+        )
+
+    def test_rejects_negative_t(self):
+        with pytest.raises(ValueError):
+            laplace_difference_tail(-1.0, 1.0, 1.0)
+
+
+class TestLaplaceDifferenceCdf:
+    def test_median_is_half(self):
+        assert laplace_difference_cdf(0.0, 1.0, 2.0) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        value = laplace_difference_cdf(1.2, 1.0, 2.0) + laplace_difference_cdf(
+            -1.2, 1.0, 2.0
+        )
+        assert value == pytest.approx(1.0)
+
+    def test_monotone(self):
+        xs = np.linspace(-10, 10, 101)
+        values = laplace_difference_cdf(xs, 0.9, 1.7)
+        assert np.all(np.diff(values) >= -1e-12)
+
+
+class TestGapLowerConfidenceBound:
+    def test_bound_below_point_estimate(self):
+        bound = gap_lower_confidence_bound(
+            gap=10.0, threshold=100.0, eps0=0.5, eps_star=1.0, confidence=0.95
+        )
+        assert bound < 110.0
+
+    def test_higher_confidence_gives_lower_bound(self):
+        b90 = gap_lower_confidence_bound(5.0, 100.0, 0.5, 1.0, confidence=0.90)
+        b99 = gap_lower_confidence_bound(5.0, 100.0, 0.5, 1.0, confidence=0.99)
+        assert b99 < b90
+
+    def test_coverage_empirically(self):
+        # The true answer should exceed the bound with (at least) the stated
+        # confidence.
+        rng = np.random.default_rng(3)
+        eps0, eps_star = 0.6, 1.2
+        truth, threshold = 300.0, 250.0
+        confidence = 0.9
+        covered = 0
+        trials = 4000
+        for _ in range(trials):
+            eta0 = rng.laplace(0, 1 / eps0)
+            eta = rng.laplace(0, 1 / eps_star)
+            gap = truth + eta - (threshold + eta0)
+            bound = gap_lower_confidence_bound(
+                gap, threshold, eps0, eps_star, confidence=confidence
+            )
+            covered += truth >= bound
+        assert covered / trials >= confidence - 0.02
+
+    def test_confidence_at_most_half_returns_point_estimate(self):
+        bound = gap_lower_confidence_bound(5.0, 100.0, 1.0, 1.0, confidence=0.5 - 1e-9)
+        assert bound == pytest.approx(105.0)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            gap_lower_confidence_bound(1.0, 0.0, 1.0, 1.0, confidence=1.0)
+        with pytest.raises(ValueError):
+            gap_lower_confidence_bound(1.0, 0.0, 1.0, 1.0, confidence=0.0)

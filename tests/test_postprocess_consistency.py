@@ -1,0 +1,124 @@
+"""Tests for the ordering-consistency post-processing (isotonic projection)."""
+
+import numpy as np
+import pytest
+
+from repro.postprocess.blue import blue_top_k_estimate
+from repro.postprocess.consistency import (
+    consistent_top_k_estimate,
+    isotonic_nonincreasing,
+    ordering_violations,
+)
+
+
+class TestIsotonicNonincreasing:
+    def test_already_monotone_unchanged(self):
+        values = [5.0, 4.0, 3.0, 1.0]
+        np.testing.assert_allclose(isotonic_nonincreasing(values), values)
+
+    def test_simple_inversion_pooled(self):
+        np.testing.assert_allclose(
+            isotonic_nonincreasing([3.0, 5.0, 1.0]), [4.0, 4.0, 1.0]
+        )
+
+    def test_output_is_nonincreasing(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            values = rng.normal(0, 10, rng.integers(1, 30))
+            projected = isotonic_nonincreasing(values)
+            assert np.all(np.diff(projected) <= 1e-9)
+
+    def test_projection_is_idempotent(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(0, 5, 20)
+        once = isotonic_nonincreasing(values)
+        twice = isotonic_nonincreasing(once)
+        np.testing.assert_allclose(once, twice)
+
+    def test_preserves_weighted_mean(self):
+        # Pooling preserves the (weighted) total, a standard PAVA property.
+        rng = np.random.default_rng(2)
+        values = rng.normal(0, 5, 15)
+        weights = rng.uniform(0.5, 2.0, 15)
+        projected = isotonic_nonincreasing(values, weights)
+        assert np.dot(projected, weights) == pytest.approx(np.dot(values, weights))
+
+    def test_weights_pull_towards_heavier_point(self):
+        light_first = isotonic_nonincreasing([0.0, 10.0], weights=[1.0, 9.0])
+        heavy_first = isotonic_nonincreasing([0.0, 10.0], weights=[9.0, 1.0])
+        assert light_first[0] > heavy_first[0]
+
+    def test_never_increases_distance_to_any_monotone_target(self):
+        # Projection onto a convex set is non-expansive towards members of
+        # the set; in particular the distance to the sorted truth never grows.
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            truth = np.sort(rng.uniform(0, 100, 10))[::-1]
+            noisy = truth + rng.normal(0, 5, 10)
+            projected = isotonic_nonincreasing(noisy)
+            assert np.sum((projected - truth) ** 2) <= np.sum((noisy - truth) ** 2) + 1e-9
+
+    def test_empty_and_singleton(self):
+        assert isotonic_nonincreasing([]).size == 0
+        np.testing.assert_allclose(isotonic_nonincreasing([7.0]), [7.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            isotonic_nonincreasing(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            isotonic_nonincreasing([1.0, 2.0], weights=[1.0])
+        with pytest.raises(ValueError):
+            isotonic_nonincreasing([1.0, 2.0], weights=[1.0, 0.0])
+
+
+class TestConsistentTopKEstimate:
+    def test_output_is_nonincreasing(self):
+        rng = np.random.default_rng(4)
+        for _ in range(30):
+            k = 8
+            measurements = rng.uniform(0, 100, k)
+            gaps = rng.uniform(0, 5, k - 1)
+            estimates = consistent_top_k_estimate(measurements, gaps)
+            assert ordering_violations(estimates) == 0
+
+    def test_matches_blue_when_projection_disabled(self):
+        measurements = [10.0, 30.0, 5.0]
+        gaps = [1.0, 2.0]
+        raw = blue_top_k_estimate(measurements, gaps)
+        unprojected = consistent_top_k_estimate(
+            measurements, gaps, enforce_nonnegative_gaps=False
+        )
+        np.testing.assert_allclose(unprojected, raw)
+
+    def test_error_not_worse_than_blue_on_sorted_truth(self):
+        rng = np.random.default_rng(5)
+        k = 10
+        truth = np.sort(rng.uniform(100, 1000, k))[::-1]
+        blue_errors, consistent_errors = [], []
+        for _ in range(300):
+            xi = rng.laplace(0, 5, k)
+            eta = rng.laplace(0, 5, k)
+            measurements = truth + xi
+            gaps = (truth[:-1] + eta[:-1]) - (truth[1:] + eta[1:])
+            blue = blue_top_k_estimate(measurements, gaps)
+            consistent = consistent_top_k_estimate(measurements, gaps)
+            blue_errors.append(np.sum((blue - truth) ** 2))
+            consistent_errors.append(np.sum((consistent - truth) ** 2))
+        assert np.mean(consistent_errors) <= np.mean(blue_errors) + 1e-9
+
+    def test_single_query_passthrough(self):
+        np.testing.assert_allclose(consistent_top_k_estimate([42.0], []), [42.0])
+
+
+class TestOrderingViolations:
+    def test_counts_adjacent_inversions(self):
+        assert ordering_violations([5.0, 6.0, 4.0, 4.5]) == 2
+        assert ordering_violations([5.0, 4.0, 3.0]) == 0
+
+    def test_short_sequences(self):
+        assert ordering_violations([]) == 0
+        assert ordering_violations([1.0]) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ordering_violations(np.zeros((2, 2)))

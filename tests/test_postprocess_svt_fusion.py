@@ -1,0 +1,117 @@
+"""Unit tests for the SVT gap/measurement fusion of Section 6.2."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
+from repro.mechanisms.sparse_vector import SparseVectorWithGap, SvtBranch
+from repro.postprocess.svt_fusion import (
+    fuse_gap_and_measurement,
+    fused_variance,
+    svt_gap_estimates,
+)
+
+
+class TestFuseGapAndMeasurement:
+    def test_equal_variances_give_simple_average(self):
+        fused = fuse_gap_and_measurement([10.0], [4.0], [20.0], 4.0)
+        assert fused[0] == pytest.approx(15.0)
+
+    def test_weights_favour_lower_variance(self):
+        fused = fuse_gap_and_measurement([10.0], [1.0], [20.0], 9.0)
+        assert fused[0] == pytest.approx((9 * 10 + 1 * 20) / 10.0)
+
+    def test_vectorised(self):
+        fused = fuse_gap_and_measurement([1.0, 2.0], [1.0, 1.0], [3.0, 4.0], 1.0)
+        np.testing.assert_allclose(fused, [2.0, 3.0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            fuse_gap_and_measurement([1.0, 2.0], [1.0, 1.0], [3.0], 1.0)
+        with pytest.raises(ValueError):
+            fuse_gap_and_measurement([1.0], [1.0, 2.0], [3.0], 1.0)
+
+    def test_variance_validation(self):
+        with pytest.raises(ValueError):
+            fuse_gap_and_measurement([1.0], [0.0], [3.0], 1.0)
+        with pytest.raises(ValueError):
+            fuse_gap_and_measurement([1.0], [1.0], [3.0], 0.0)
+
+    def test_empirical_variance_reduction(self):
+        # Combining two independent unbiased estimates must reduce variance to
+        # the harmonic mean value.
+        rng = np.random.default_rng(0)
+        truth = 50.0
+        var_a, var_b = 16.0, 4.0
+        n = 40_000
+        a = truth + rng.normal(0, np.sqrt(var_a), n)
+        b = truth + rng.normal(0, np.sqrt(var_b), n)
+        fused = fuse_gap_and_measurement(a, np.full(n, var_a), b, var_b)
+        assert np.var(fused) == pytest.approx(fused_variance(var_a, var_b), rel=0.05)
+        assert np.mean(fused) == pytest.approx(truth, abs=0.1)
+
+
+class TestFusedVariance:
+    def test_formula(self):
+        assert fused_variance(4.0, 4.0) == pytest.approx(2.0)
+
+    def test_always_below_both_inputs(self):
+        assert fused_variance(3.0, 10.0) < 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fused_variance(0.0, 1.0)
+
+
+class TestSvtGapEstimates:
+    def test_extracts_gap_plus_threshold(self):
+        values = np.full(10, 1000.0)
+        svt = SparseVectorWithGap(epsilon=2.0, threshold=100.0, k=3, monotonic=True)
+        result = svt.run(values, rng=0)
+        indices, estimates, variances = svt_gap_estimates(result)
+        assert len(indices) == result.num_answered
+        np.testing.assert_allclose(estimates, np.asarray(result.gaps) + 100.0)
+        assert np.all(variances > 0)
+
+    def test_uses_metadata_threshold_by_default(self):
+        values = np.full(5, 1000.0)
+        svt = SparseVectorWithGap(epsilon=2.0, threshold=50.0, k=2, monotonic=True)
+        result = svt.run(values, rng=0)
+        _, estimates_default, _ = svt_gap_estimates(result)
+        _, estimates_explicit, _ = svt_gap_estimates(result, threshold=50.0)
+        np.testing.assert_allclose(estimates_default, estimates_explicit)
+
+    def test_per_branch_variances_for_adaptive(self):
+        values = np.full(30, 1e6)
+        mech = AdaptiveSparseVectorWithGap(
+            epsilon=1.0, threshold=0.0, k=3, monotonic=True
+        )
+        result = mech.run(values, rng=0)
+        variance_map = {
+            SvtBranch.TOP: mech.gap_variance(SvtBranch.TOP),
+            SvtBranch.MIDDLE: mech.gap_variance(SvtBranch.MIDDLE),
+        }
+        _, _, variances = svt_gap_estimates(result, gap_variances=variance_map)
+        assert set(np.round(variances, 6)).issubset(
+            {round(v, 6) for v in variance_map.values()}
+        )
+
+    def test_missing_branch_variance_raises(self):
+        values = np.full(30, 1e6)
+        mech = AdaptiveSparseVectorWithGap(
+            epsilon=1.0, threshold=0.0, k=3, monotonic=True
+        )
+        result = mech.run(values, rng=0)
+        with pytest.raises(ValueError):
+            svt_gap_estimates(result, gap_variances={SvtBranch.MIDDLE: 1.0})
+
+    def test_missing_variance_information_raises(self):
+        values = np.full(30, 1e6)
+        mech = AdaptiveSparseVectorWithGap(
+            epsilon=1.0, threshold=0.0, k=3, monotonic=True
+        )
+        result = mech.run(values, rng=0)
+        # The adaptive mechanism does not write a single "gap_variance" key, so
+        # omitting the per-branch map must raise.
+        with pytest.raises(ValueError):
+            svt_gap_estimates(result)

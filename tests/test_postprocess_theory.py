@@ -1,0 +1,87 @@
+"""Unit tests for the closed-form expected-improvement curves."""
+
+import numpy as np
+import pytest
+
+from repro.postprocess.blue import blue_variance_ratio
+from repro.postprocess.theory import (
+    svt_expected_improvement,
+    svt_limit_improvement,
+    top_k_expected_improvement,
+    top_k_limit_improvement,
+)
+
+
+class TestTopKExpectedImprovement:
+    def test_counting_query_formula(self):
+        # For lambda = 1 the improvement is (k - 1) / 2k.
+        for k in (1, 2, 5, 10, 25):
+            assert top_k_expected_improvement(k, lam=1.0) == pytest.approx(
+                (k - 1) / (2.0 * k)
+            )
+
+    def test_consistent_with_variance_ratio(self):
+        for k in (2, 7, 20):
+            assert top_k_expected_improvement(k, 1.0) == pytest.approx(
+                1.0 - blue_variance_ratio(k, 1.0)
+            )
+
+    def test_zero_improvement_at_k_one(self):
+        assert top_k_expected_improvement(1) == pytest.approx(0.0)
+
+    def test_increasing_in_k(self):
+        values = top_k_expected_improvement(np.arange(1, 40), lam=1.0)
+        assert np.all(np.diff(values) > 0)
+
+    def test_limit_is_half_for_lambda_one(self):
+        assert top_k_limit_improvement(1.0) == pytest.approx(0.5)
+        assert top_k_expected_improvement(10_000) == pytest.approx(0.5, abs=1e-3)
+
+    def test_vectorised_input(self):
+        values = top_k_expected_improvement(np.array([2, 4, 8]))
+        assert values.shape == (3,)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            top_k_expected_improvement(0)
+        with pytest.raises(ValueError):
+            top_k_expected_improvement(5, lam=0.0)
+        with pytest.raises(ValueError):
+            top_k_limit_improvement(0.0)
+
+
+class TestSvtExpectedImprovement:
+    def test_monotonic_formula(self):
+        k = 10
+        c = k ** (2.0 / 3.0)
+        expected = 1.0 - (1.0 + c) ** 3 / ((1.0 + c) ** 3 + k**2)
+        assert svt_expected_improvement(k, monotonic=True) == pytest.approx(expected)
+
+    def test_general_formula(self):
+        k = 10
+        c = (2.0 * k) ** (2.0 / 3.0)
+        expected = 1.0 - (1.0 + c) ** 3 / ((1.0 + c) ** 3 + k**2)
+        assert svt_expected_improvement(k, monotonic=False) == pytest.approx(expected)
+
+    def test_limits(self):
+        assert svt_limit_improvement(True) == pytest.approx(0.5)
+        assert svt_limit_improvement(False) == pytest.approx(0.2)
+        assert svt_expected_improvement(10**7, monotonic=True) == pytest.approx(
+            0.5, abs=1e-2
+        )
+        assert svt_expected_improvement(10**7, monotonic=False) == pytest.approx(
+            0.2, abs=1e-2
+        )
+
+    def test_monotonic_better_than_general(self):
+        for k in (5, 10, 25):
+            assert svt_expected_improvement(k, True) > svt_expected_improvement(k, False)
+
+    def test_vectorised_input(self):
+        values = svt_expected_improvement(np.array([2, 10, 25]), monotonic=True)
+        assert values.shape == (3,)
+        assert np.all((values > 0) & (values < 0.5))
+
+    def test_rejects_k_below_one(self):
+        with pytest.raises(ValueError):
+            svt_expected_improvement(0)

@@ -1,0 +1,128 @@
+"""Unit tests for the discrete Laplace, geometric and staircase primitives."""
+
+import numpy as np
+import pytest
+
+from repro.primitives.discrete_laplace import DiscreteLaplaceNoise
+from repro.primitives.geometric import GeometricNoise
+from repro.primitives.staircase import StaircaseNoise
+
+
+class TestDiscreteLaplace:
+    def test_samples_lie_on_lattice(self):
+        noise = DiscreteLaplaceNoise(scale=2.0, base=0.5)
+        samples = noise.sample(size=1000, rng=0)
+        np.testing.assert_allclose(samples, np.round(samples / 0.5) * 0.5, atol=1e-12)
+
+    def test_scalar_sample(self):
+        value = DiscreteLaplaceNoise(scale=1.0).sample(rng=0)
+        assert isinstance(value, float)
+
+    def test_mass_sums_to_one(self):
+        noise = DiscreteLaplaceNoise(scale=1.0, base=1.0)
+        ks = np.arange(-200, 201, dtype=float)
+        assert np.sum(noise.density(ks)) == pytest.approx(1.0, abs=1e-10)
+
+    def test_off_lattice_has_zero_mass(self):
+        noise = DiscreteLaplaceNoise(scale=1.0, base=1.0)
+        assert noise.density(0.5) == pytest.approx(0.0)
+
+    def test_symmetric_mass(self):
+        noise = DiscreteLaplaceNoise(scale=1.3, base=1.0)
+        assert noise.density(4.0) == pytest.approx(noise.density(-4.0))
+
+    def test_empirical_variance_matches(self):
+        noise = DiscreteLaplaceNoise(scale=2.0, base=1.0)
+        samples = noise.sample(size=200_000, rng=1)
+        assert np.var(samples) == pytest.approx(noise.variance, rel=0.05)
+
+    def test_log_density_ratio_bounded(self):
+        noise = DiscreteLaplaceNoise(scale=2.0, base=1.0)
+        ratio = float(noise.log_density_ratio(3.0, 1.0))
+        assert ratio <= 2.0 / noise.alignment_scale + 1e-12
+
+    def test_tie_probability_bound_scales_with_n(self):
+        noise = DiscreteLaplaceNoise(scale=1.0, base=2**-52)
+        small = noise.tie_probability_bound(10)
+        large = noise.tie_probability_bound(1000)
+        assert small < large < 1e-6
+
+    def test_tie_probability_bound_clipped_at_one(self):
+        noise = DiscreteLaplaceNoise(scale=1.0, base=1.0)
+        assert noise.tie_probability_bound(10**6) == 1.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DiscreteLaplaceNoise(scale=0.0)
+        with pytest.raises(ValueError):
+            DiscreteLaplaceNoise(scale=1.0, base=0.0)
+        with pytest.raises(ValueError):
+            DiscreteLaplaceNoise(scale=1.0).tie_probability_bound(-1)
+
+
+class TestGeometricNoise:
+    def test_alpha_formula(self):
+        noise = GeometricNoise(epsilon=1.0)
+        assert noise.alpha == pytest.approx(np.exp(-1.0))
+
+    def test_samples_are_integers(self):
+        samples = GeometricNoise(epsilon=0.5).sample(size=1000, rng=0)
+        np.testing.assert_allclose(samples, np.round(samples))
+
+    def test_mass_sums_to_one(self):
+        noise = GeometricNoise(epsilon=0.5)
+        ks = np.arange(-400, 401, dtype=float)
+        assert np.sum(noise.density(ks)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_empirical_variance(self):
+        noise = GeometricNoise(epsilon=0.8)
+        samples = noise.sample(size=200_000, rng=2)
+        assert np.var(samples) == pytest.approx(noise.variance, rel=0.05)
+
+    def test_alignment_scale(self):
+        noise = GeometricNoise(epsilon=0.5, sensitivity=2.0)
+        assert noise.alignment_scale == pytest.approx(4.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            GeometricNoise(epsilon=0.0)
+        with pytest.raises(ValueError):
+            GeometricNoise(epsilon=1.0, sensitivity=0.0)
+
+
+class TestStaircaseNoise:
+    def test_default_gamma_is_optimal(self):
+        noise = StaircaseNoise(epsilon=1.0)
+        assert noise.gamma == pytest.approx(1.0 / (1.0 + np.exp(0.5)))
+
+    def test_density_integrates_to_one(self):
+        noise = StaircaseNoise(epsilon=1.0)
+        xs = np.linspace(-40, 40, 400_001)
+        assert np.trapezoid(noise.density(xs), xs) == pytest.approx(1.0, abs=1e-3)
+
+    def test_density_ratio_respects_epsilon_across_one_sensitivity(self):
+        noise = StaircaseNoise(epsilon=1.0, sensitivity=1.0)
+        xs = np.linspace(-5, 5, 101)
+        ratio = noise.log_density(xs) - noise.log_density(xs + 1.0)
+        assert np.max(np.abs(ratio)) <= 1.0 + 1e-9
+
+    def test_empirical_variance_close_to_formula(self):
+        noise = StaircaseNoise(epsilon=1.0)
+        samples = noise.sample(size=300_000, rng=4)
+        assert np.var(samples) == pytest.approx(noise.variance, rel=0.05)
+
+    def test_empirical_mean_zero(self):
+        noise = StaircaseNoise(epsilon=1.5)
+        samples = noise.sample(size=200_000, rng=5)
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.03)
+
+    def test_scalar_sample(self):
+        assert isinstance(StaircaseNoise(epsilon=1.0).sample(rng=0), float)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            StaircaseNoise(epsilon=0.0)
+        with pytest.raises(ValueError):
+            StaircaseNoise(epsilon=1.0, sensitivity=-1.0)
+        with pytest.raises(ValueError):
+            StaircaseNoise(epsilon=1.0, gamma=1.5)

@@ -1,0 +1,137 @@
+"""Unit tests for the continuous Laplace noise primitive."""
+
+import numpy as np
+import pytest
+
+from repro.primitives.laplace import (
+    LaplaceNoise,
+    laplace_cdf,
+    laplace_pdf,
+    laplace_quantile,
+)
+
+
+class TestLaplacePdf:
+    def test_peak_at_zero(self):
+        assert laplace_pdf(0.0, scale=1.0) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        assert laplace_pdf(3.0, scale=2.0) == pytest.approx(laplace_pdf(-3.0, scale=2.0))
+
+    def test_location_shift(self):
+        assert laplace_pdf(5.0, scale=1.0, loc=5.0) == pytest.approx(0.5)
+
+    def test_integrates_to_one(self):
+        xs = np.linspace(-60, 60, 200_001)
+        total = np.trapezoid(laplace_pdf(xs, scale=2.0), xs)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            laplace_pdf(0.0, scale=0.0)
+        with pytest.raises(ValueError):
+            laplace_pdf(0.0, scale=-1.0)
+
+
+class TestLaplaceCdf:
+    def test_median(self):
+        assert laplace_cdf(0.0, scale=1.0) == pytest.approx(0.5)
+
+    def test_monotone(self):
+        xs = np.linspace(-10, 10, 101)
+        values = laplace_cdf(xs, scale=1.5)
+        assert np.all(np.diff(values) >= 0)
+
+    def test_limits(self):
+        assert laplace_cdf(-100.0, scale=1.0) == pytest.approx(0.0, abs=1e-12)
+        assert laplace_cdf(100.0, scale=1.0) == pytest.approx(1.0, abs=1e-12)
+
+    def test_consistent_with_pdf(self):
+        xs = np.linspace(-20, 4.3, 400_001)
+        integral = np.trapezoid(laplace_pdf(xs, scale=1.3), xs)
+        assert integral == pytest.approx(laplace_cdf(4.3, scale=1.3), abs=1e-5)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            laplace_cdf(0.0, scale=0.0)
+
+
+class TestLaplaceQuantile:
+    def test_median_is_zero(self):
+        assert laplace_quantile(0.5, scale=3.0) == pytest.approx(0.0)
+
+    def test_round_trip_with_cdf(self):
+        for p in (0.01, 0.2, 0.5, 0.7, 0.99):
+            x = laplace_quantile(p, scale=2.0)
+            assert laplace_cdf(x, scale=2.0) == pytest.approx(p, abs=1e-12)
+
+    def test_rejects_out_of_range_probability(self):
+        with pytest.raises(ValueError):
+            laplace_quantile(0.0, scale=1.0)
+        with pytest.raises(ValueError):
+            laplace_quantile(1.0, scale=1.0)
+
+
+class TestLaplaceNoise:
+    def test_variance_formula(self):
+        assert LaplaceNoise(scale=2.0).variance == pytest.approx(8.0)
+
+    def test_alignment_scale_equals_scale(self):
+        noise = LaplaceNoise(scale=1.7)
+        assert noise.alignment_scale == pytest.approx(1.7)
+
+    def test_calibrated_scale(self):
+        noise = LaplaceNoise.calibrated(sensitivity=2.0, epsilon=0.5)
+        assert noise.scale == pytest.approx(4.0)
+
+    def test_calibrated_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            LaplaceNoise.calibrated(sensitivity=0.0, epsilon=1.0)
+        with pytest.raises(ValueError):
+            LaplaceNoise.calibrated(sensitivity=1.0, epsilon=0.0)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            LaplaceNoise(scale=0.0)
+
+    def test_sample_reproducible_with_seed(self):
+        noise = LaplaceNoise(scale=1.0)
+        a = noise.sample(size=5, rng=42)
+        b = noise.sample(size=5, rng=42)
+        np.testing.assert_allclose(a, b)
+
+    def test_sample_scalar_when_size_none(self):
+        value = LaplaceNoise(scale=1.0).sample(rng=0)
+        assert np.isscalar(value) or np.asarray(value).shape == ()
+
+    def test_sample_empirical_moments(self):
+        noise = LaplaceNoise(scale=2.0)
+        samples = noise.sample(size=200_000, rng=1)
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.05)
+        assert np.var(samples) == pytest.approx(noise.variance, rel=0.05)
+
+    def test_log_density_ratio_bounded_by_alignment_cost(self):
+        noise = LaplaceNoise(scale=1.5)
+        x, y = 3.7, -2.1
+        ratio = float(noise.log_density_ratio(x, y))
+        assert ratio <= abs(x - y) / noise.alignment_scale + 1e-12
+
+    def test_density_matches_pdf_helper(self):
+        noise = LaplaceNoise(scale=2.5)
+        xs = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(noise.density(xs), laplace_pdf(xs, scale=2.5))
+
+    def test_tail_probability(self):
+        noise = LaplaceNoise(scale=1.0)
+        assert noise.tail_probability(0.0) == pytest.approx(1.0)
+        samples = np.abs(noise.sample(size=100_000, rng=3))
+        empirical = np.mean(samples >= 2.0)
+        assert empirical == pytest.approx(noise.tail_probability(2.0), abs=0.01)
+
+    def test_tail_probability_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LaplaceNoise(scale=1.0).tail_probability(-0.5)
+
+    def test_quantile_cdf_round_trip(self):
+        noise = LaplaceNoise(scale=0.7)
+        assert noise.cdf(noise.quantile(0.9)) == pytest.approx(0.9)

@@ -1,0 +1,59 @@
+"""Unit tests for the RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.primitives.rng import RandomSource, ensure_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(3).uniform() == ensure_rng(3).uniform()
+
+    def test_generator_passed_through(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_random_source_unwrapped(self):
+        source = RandomSource(5)
+        assert ensure_rng(source) is source.generator
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestRandomSource:
+    def test_counts_scalar_draws(self):
+        source = RandomSource(0)
+        source.uniform()
+        source.laplace()
+        assert source.draws == 2
+
+    def test_counts_vector_draws(self):
+        source = RandomSource(0)
+        source.uniform(size=10)
+        source.exponential(size=5)
+        assert source.draws == 15
+
+    def test_counts_geometric_and_integers_and_choice(self):
+        source = RandomSource(0)
+        source.geometric(0.5, size=4)
+        source.integers(0, 10, size=3)
+        source.choice([1, 2, 3])
+        assert source.draws == 8
+
+    def test_spawn_gives_independent_child(self):
+        parent = RandomSource(1)
+        child = parent.spawn()
+        assert isinstance(child, RandomSource)
+        assert child is not parent
+        assert child.draws == 0
+
+    def test_deterministic_given_seed(self):
+        a = RandomSource(9).laplace(size=3)
+        b = RandomSource(9).laplace(size=3)
+        np.testing.assert_allclose(a, b)

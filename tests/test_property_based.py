@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accounting.budget import BudgetOdometer, PrivacyBudget
+from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
+from repro.core.noisy_top_k import NoisyTopKWithGap
+from repro.mechanisms.sparse_vector import SparseVector, svt_budget_allocation
+from repro.postprocess.blue import blue_matrices, blue_top_k_estimate, blue_variance_ratio
+from repro.postprocess.confidence import laplace_difference_tail
+from repro.postprocess.theory import svt_expected_improvement, top_k_expected_improvement
+
+
+# ----------------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------------
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+query_vectors = st.lists(finite_floats, min_size=3, max_size=30)
+epsilons = st.floats(min_value=0.01, max_value=5.0)
+ks = st.integers(min_value=1, max_value=10)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+# ----------------------------------------------------------------------------
+# Noisy-Top-K-with-Gap invariants
+# ----------------------------------------------------------------------------
+
+
+class TestTopKProperties:
+    @given(values=query_vectors, epsilon=epsilons, k=ks, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_selection_invariants(self, values, epsilon, k, seed):
+        values = np.asarray(values)
+        if values.size < k + 1:
+            return
+        mech = NoisyTopKWithGap(epsilon=epsilon, k=k, monotonic=True)
+        result = mech.select(values, rng=seed)
+        # Exactly k distinct valid indexes are returned.
+        assert len(result.indices) == k
+        assert len(set(result.indices)) == k
+        assert all(0 <= i < values.size for i in result.indices)
+        # Exactly k gaps, all non-negative and finite.
+        assert result.gaps.shape == (k,)
+        assert np.all(result.gaps >= 0)
+        assert np.all(np.isfinite(result.gaps))
+
+    @given(values=query_vectors, epsilon=epsilons, k=ks, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_noisy_values_reconstruct_ordering(self, values, epsilon, k, seed):
+        # The noisy value of the i-th selected query equals the noisy value of
+        # the (i+1)-th plus the released gap, hence noisy values of selected
+        # queries are non-increasing.
+        values = np.asarray(values)
+        if values.size < k + 1:
+            return
+        mech = NoisyTopKWithGap(epsilon=epsilon, k=k, monotonic=True)
+        result = mech.select(values, rng=seed)
+        noise = result.noise_trace.values
+        noisy = values + noise
+        selected_noisy = noisy[result.indices]
+        assert np.all(np.diff(selected_noisy) <= 1e-9)
+
+    @given(seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_gap_free_and_with_gap_agree_on_same_noise(self, seed):
+        from repro.mechanisms.noisy_max import NoisyTopK
+
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(0, 100, 12)
+        noise = rng.laplace(0, 5, 12)
+        with_gap = NoisyTopKWithGap(epsilon=1.0, k=3).select(values, noise=noise)
+        gap_free = NoisyTopK(epsilon=1.0, k=3).select(values, noise=noise)
+        assert with_gap.indices == gap_free.indices
+
+
+# ----------------------------------------------------------------------------
+# Sparse Vector invariants
+# ----------------------------------------------------------------------------
+
+
+class TestSvtProperties:
+    @given(values=query_vectors, epsilon=epsilons, k=ks, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_standard_svt_never_exceeds_k_or_budget(self, values, epsilon, k, seed):
+        values = np.asarray(values)
+        threshold = float(np.median(values))
+        mech = SparseVector(epsilon=epsilon, threshold=threshold, k=k, monotonic=True)
+        result = mech.run(values, rng=seed)
+        assert result.num_answered <= k
+        assert result.metadata.epsilon_spent <= epsilon + 1e-9
+        # Outcomes are a prefix of the stream in order.
+        assert [o.index for o in result.outcomes] == list(range(result.num_processed))
+
+    @given(values=query_vectors, epsilon=epsilons, k=ks, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_adaptive_svt_budget_and_gap_invariants(self, values, epsilon, k, seed):
+        values = np.asarray(values)
+        threshold = float(np.median(values))
+        mech = AdaptiveSparseVectorWithGap(
+            epsilon=epsilon, threshold=threshold, k=k, monotonic=True
+        )
+        result = mech.run(values, rng=seed)
+        assert result.metadata.epsilon_spent <= epsilon + 1e-9
+        for outcome in result.outcomes:
+            if outcome.above:
+                assert outcome.gap is not None and outcome.gap >= 0
+                assert outcome.budget_used > 0
+            else:
+                assert outcome.gap is None
+                assert outcome.budget_used == 0.0
+
+    @given(epsilon=epsilons, k=ks, theta=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=100, deadline=None)
+    def test_budget_allocation_partitions_epsilon(self, epsilon, k, theta):
+        eps_threshold, eps_queries = svt_budget_allocation(epsilon, k, True, theta)
+        assert eps_threshold > 0 and eps_queries > 0
+        assert eps_threshold + eps_queries == pytest.approx(epsilon)
+
+
+# ----------------------------------------------------------------------------
+# Post-processing invariants
+# ----------------------------------------------------------------------------
+
+
+class TestPostprocessProperties:
+    @given(
+        k=st.integers(min_value=2, max_value=15),
+        lam=st.floats(min_value=0.1, max_value=10.0),
+        seed=seeds,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_blue_streaming_matches_matrix_form(self, k, lam, seed):
+        rng = np.random.default_rng(seed)
+        alpha = rng.uniform(-100, 100, k)
+        gaps = rng.uniform(0, 50, k - 1)
+        x, y = blue_matrices(k, lam)
+        expected = (x @ alpha + y @ gaps) / ((1 + lam) * k)
+        np.testing.assert_allclose(blue_top_k_estimate(alpha, gaps, lam), expected)
+
+    @given(
+        k=st.integers(min_value=1, max_value=20),
+        lam=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_blue_unbiased_on_noiseless_inputs(self, k, lam):
+        truths = np.linspace(100, 100 - 5 * (k - 1), k)
+        gaps = -np.diff(truths) if k > 1 else np.asarray([])
+        np.testing.assert_allclose(
+            blue_top_k_estimate(truths, gaps, lam=lam), truths, atol=1e-8
+        )
+
+    @given(
+        k=st.integers(min_value=1, max_value=100),
+        lam=st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_variance_ratio_bounds(self, k, lam):
+        ratio = blue_variance_ratio(k, lam)
+        assert 0.0 < ratio <= 1.0
+
+    @given(k=st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_theory_curves_within_limits(self, k):
+        assert 0.0 <= top_k_expected_improvement(k) < 0.5
+        assert 0.0 <= svt_expected_improvement(k, True) < 0.5
+        assert 0.0 <= svt_expected_improvement(k, False) < 0.2
+
+    @given(
+        t=st.floats(min_value=0.0, max_value=50.0),
+        eps0=st.floats(min_value=0.05, max_value=5.0),
+        eps_star=st.floats(min_value=0.05, max_value=5.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_laplace_difference_tail_is_probability(self, t, eps0, eps_star):
+        value = float(laplace_difference_tail(t, eps0, eps_star))
+        assert 0.5 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+# ----------------------------------------------------------------------------
+# Accounting invariants
+# ----------------------------------------------------------------------------
+
+
+class TestAccountingProperties:
+    @given(
+        epsilon=st.floats(min_value=0.01, max_value=10.0),
+        charges=st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_odometer_conservation(self, epsilon, charges):
+        odometer = BudgetOdometer(epsilon)
+        applied = 0.0
+        for charge in charges:
+            if odometer.can_charge(charge):
+                odometer.charge(charge)
+                applied += charge
+        assert odometer.spent == pytest.approx(applied)
+        assert odometer.spent <= epsilon + 1e-9
+        assert odometer.remaining == pytest.approx(max(0.0, epsilon - applied), abs=1e-9)
+
+    @given(
+        epsilon=st.floats(min_value=0.01, max_value=10.0),
+        k=st.integers(min_value=1, max_value=50),
+        monotonic=st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_svt_allocation_helper_consistent(self, epsilon, k, monotonic):
+        threshold, queries = PrivacyBudget(epsilon).svt_allocation(k, monotonic)
+        assert threshold + queries == pytest.approx(epsilon)
+        assert 0 < threshold < epsilon

@@ -1,0 +1,199 @@
+"""Property-based tests for the extension modules (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.selection import probability_correct_max
+from repro.datasets.transactions import TransactionDatabase
+from repro.evaluation.plots import bar_chart, line_plot
+from repro.evaluation.reporting import ExperimentRecord, compare_series
+from repro.mechanisms.svt_variants import SvtVariant2
+from repro.postprocess.consistency import (
+    isotonic_nonincreasing,
+    ordering_violations,
+)
+
+finite_values = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(finite_values, min_size=1, max_size=40)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestIsotonicProperties:
+    @given(values=value_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_projection_is_nonincreasing_and_idempotent(self, values):
+        projected = isotonic_nonincreasing(values)
+        assert projected.shape == (len(values),)
+        assert np.all(np.diff(projected) <= 1e-9)
+        assert ordering_violations(projected) == 0
+        np.testing.assert_allclose(
+            isotonic_nonincreasing(projected), projected, atol=1e-9
+        )
+
+    @given(values=value_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_projection_preserves_total(self, values):
+        projected = isotonic_nonincreasing(values)
+        assert float(np.sum(projected)) == pytest.approx(float(np.sum(values)), abs=1e-6 * max(1.0, float(np.sum(np.abs(values)))))
+
+    @given(values=value_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_projection_never_expands_range(self, values):
+        projected = isotonic_nonincreasing(values)
+        assert projected.max() <= max(values) + 1e-9
+        assert projected.min() >= min(values) - 1e-9
+
+    @given(
+        values=st.lists(finite_values, min_size=2, max_size=20),
+        weights=st.lists(
+            st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+            min_size=2,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_weighted_projection_monotone(self, values, weights):
+        size = min(len(values), len(weights))
+        projected = isotonic_nonincreasing(values[:size], weights[:size])
+        assert np.all(np.diff(projected) <= 1e-9)
+
+
+class TestTransactionDatabaseProperties:
+    @given(
+        transactions=st.lists(
+            st.sets(st.integers(min_value=0, max_value=30), max_size=8),
+            min_size=1,
+            max_size=40,
+        ),
+        index=st.integers(min_value=0, max_value=39),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_removing_a_record_changes_counts_by_at_most_one(self, transactions, index):
+        database = TransactionDatabase(transactions)
+        index = index % len(database)
+        neighbour = database.remove_record(index)
+        items = database.unique_items()
+        diff = database.item_counts(items) - neighbour.item_counts(items)
+        assert np.all(diff >= 0)
+        assert np.all(diff <= 1)
+        # Exactly the items of the removed transaction changed.
+        assert int(diff.sum()) == len(database[index])
+
+    @given(
+        transactions=st.lists(
+            st.sets(st.integers(min_value=0, max_value=30), max_size=8),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_histogram_totals_match_transaction_lengths(self, transactions):
+        database = TransactionDatabase(transactions)
+        histogram = database.item_histogram()
+        assert sum(histogram.values()) == sum(len(t) for t in database)
+
+
+class TestSelectionProbabilityProperties:
+    @given(
+        values=st.lists(finite_values, min_size=2, max_size=10),
+        scale=st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_probability_is_a_probability_and_beats_uniform_floor(self, values, scale):
+        p = probability_correct_max(values, scale, grid_points=801)
+        assert 0.0 <= p <= 1.0 + 1e-9
+        # The true maximiser is always at least as likely as any fixed other
+        # index, so its win probability is at least 1/n (up to grid error).
+        assert p >= 1.0 / len(values) - 0.02
+
+
+class TestSvtVariant2Properties:
+    @given(
+        values=st.lists(finite_values, min_size=1, max_size=30),
+        epsilon=st.floats(min_value=0.05, max_value=3.0),
+        k=st.integers(min_value=1, max_value=5),
+        seed=seeds,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_budget_and_answer_bounds(self, values, epsilon, k, seed):
+        mech = SvtVariant2(
+            epsilon=epsilon,
+            threshold=float(np.median(values)),
+            k=k,
+            monotonic=True,
+        )
+        result = mech.run(values, rng=seed)
+        assert result.num_answered <= k
+        assert result.metadata.epsilon_spent <= epsilon + 1e-9
+
+
+class TestReportingProperties:
+    @given(
+        rows=st.lists(
+            st.fixed_dictionaries(
+                {
+                    "k": st.integers(min_value=1, max_value=100),
+                    "value": st.floats(
+                        min_value=-1e6, max_value=1e6, allow_nan=False
+                    ),
+                }
+            ),
+            min_size=1,
+            max_size=20,
+            unique_by=lambda row: row["k"],
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_record_dict_round_trip(self, rows):
+        record = ExperimentRecord(name="prop", parameters={"trials": 10})
+        record.add_series("series", rows)
+        rebuilt = ExperimentRecord.from_dict(record.to_dict())
+        assert rebuilt.series["series"] == record.series["series"]
+        assert compare_series(rows, rows, "k", "value", tolerance=0.0) == []
+
+
+class TestPlotProperties:
+    @given(
+        rows=st.lists(
+            st.fixed_dictionaries(
+                {
+                    "x": st.integers(min_value=0, max_value=1000),
+                    "y": st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                }
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_line_plot_always_renders(self, rows):
+        plot = line_plot(rows, "x", ["y"], width=40, height=10)
+        assert "legend" in plot
+        canvas_lines = [line for line in plot.splitlines() if line.startswith("|")]
+        assert len(canvas_lines) == 10
+
+    @given(
+        rows=st.lists(
+            st.fixed_dictionaries(
+                {
+                    "label": st.text(
+                        alphabet=st.characters(
+                            whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=127
+                        ),
+                        min_size=1,
+                        max_size=8,
+                    ),
+                    "value": st.floats(min_value=0, max_value=1e3, allow_nan=False),
+                }
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bar_chart_always_renders(self, rows):
+        chart = bar_chart(rows, "label", "value", width=30)
+        assert len(chart.splitlines()) == len(rows)

@@ -1,0 +1,193 @@
+"""Unit tests for the query and workload model."""
+
+import numpy as np
+import pytest
+
+from repro.queries.query import (
+    CountingQuery,
+    Query,
+    QueryResult,
+    evaluate_all,
+    infer_monotonicity,
+)
+from repro.queries.sensitivity import (
+    SensitivityError,
+    l1_sensitivity_upper_bound,
+    monotonicity_violations,
+    per_query_sensitivity_bound,
+    validate_sensitivity,
+)
+from repro.queries.workload import QueryWorkload, item_count_workload
+
+
+class TestQuery:
+    def test_call_evaluates_function(self):
+        query = Query(fn=lambda db: len(db), sensitivity=1.0)
+        assert query([1, 2, 3]) == 3.0
+
+    def test_rejects_nonpositive_sensitivity(self):
+        with pytest.raises(ValueError):
+            Query(fn=len, sensitivity=0.0)
+
+    def test_default_not_monotonic(self):
+        assert Query(fn=len).monotonic is False
+
+
+class TestCountingQuery:
+    def test_counts_matching_records(self):
+        query = CountingQuery(lambda record: record > 5)
+        assert query([1, 6, 7, 2]) == 2.0
+
+    def test_is_monotonic_and_sensitivity_one(self):
+        query = CountingQuery(lambda record: True)
+        assert query.monotonic is True
+        assert query.sensitivity == 1.0
+
+    def test_changes_by_at_most_one_when_record_added(self):
+        query = CountingQuery(lambda record: record % 2 == 0)
+        database = [1, 2, 3, 4]
+        assert abs(query(database + [6]) - query(database)) <= 1.0
+
+
+class TestInferMonotonicity:
+    def test_all_counting_queries_monotonic(self):
+        queries = [CountingQuery(lambda r: True) for _ in range(3)]
+        assert infer_monotonicity(queries) is True
+
+    def test_one_general_query_breaks_monotonicity(self):
+        queries = [CountingQuery(lambda r: True), Query(fn=len)]
+        assert infer_monotonicity(queries) is False
+
+    def test_empty_list_is_monotonic(self):
+        assert infer_monotonicity([]) is True
+
+
+class TestQueryResult:
+    def test_absolute_error(self):
+        result = QueryResult(name="q", true_value=10.0, released_value=12.5)
+        assert result.absolute_error() == pytest.approx(2.5)
+
+    def test_absolute_error_none_without_release(self):
+        assert QueryResult(name="q", true_value=10.0).absolute_error() is None
+
+
+class TestEvaluateAll:
+    def test_returns_all_answers(self):
+        queries = [Query(fn=lambda db: sum(db)), Query(fn=lambda db: max(db))]
+        assert evaluate_all(queries, [1, 2, 3]) == [6.0, 3.0]
+
+
+class TestQueryWorkload:
+    def _workload(self):
+        return QueryWorkload(
+            [CountingQuery(lambda r, i=i: i in r, name=f"q{i}") for i in range(4)]
+        )
+
+    def test_len_iter_getitem(self):
+        workload = self._workload()
+        assert len(workload) == 4
+        assert workload[0].name == "q0"
+        assert [q.name for q in workload] == ["q0", "q1", "q2", "q3"]
+
+    def test_monotonic_detection(self):
+        assert self._workload().monotonic is True
+
+    def test_requires_at_least_one_query(self):
+        with pytest.raises(ValueError):
+            QueryWorkload([])
+
+    def test_rejects_nonpositive_sensitivity(self):
+        with pytest.raises(ValueError):
+            QueryWorkload([CountingQuery(lambda r: True)], sensitivity=0.0)
+
+    def test_evaluate_returns_vector(self):
+        database = [{0, 1}, {1, 2}, {2, 3}]
+        answers = self._workload().evaluate(database)
+        np.testing.assert_allclose(answers, [1.0, 2.0, 2.0, 1.0])
+
+    def test_subset_preserves_order_and_sensitivity(self):
+        workload = self._workload()
+        sub = workload.subset([2, 0])
+        assert [q.name for q in sub] == ["q2", "q0"]
+        assert sub.sensitivity == workload.sensitivity
+
+    def test_names(self):
+        assert self._workload().names() == ["q0", "q1", "q2", "q3"]
+
+
+class TestItemCountWorkload:
+    def test_counts_items_in_transactions(self):
+        workload = item_count_workload(["a", "b"])
+        database = [{"a"}, {"a", "b"}, {"b"}, {"c"}]
+        np.testing.assert_allclose(workload.evaluate(database), [2.0, 2.0])
+
+    def test_late_binding_avoided(self):
+        workload = item_count_workload([0, 1, 2])
+        database = [{0}, {1}, {2}]
+        np.testing.assert_allclose(workload.evaluate(database), [1.0, 1.0, 1.0])
+
+    def test_workload_is_monotonic_sensitivity_one(self):
+        workload = item_count_workload(["x"])
+        assert workload.monotonic is True
+        assert workload.sensitivity == 1.0
+
+
+class TestSensitivityHelpers:
+    @staticmethod
+    def _count_queries(database):
+        return [
+            sum(1 for r in database if "a" in r),
+            sum(1 for r in database if "b" in r),
+        ]
+
+    def test_l1_bound_counts_both_coordinates(self):
+        d = [{"a", "b"}, {"a"}]
+        d_prime = [{"a"}]
+        bound = l1_sensitivity_upper_bound(self._count_queries, [(d, d_prime)])
+        assert bound == pytest.approx(2.0)
+
+    def test_per_query_bound_is_max_coordinate_change(self):
+        d = [{"a", "b"}, {"a"}]
+        d_prime = [{"a"}]
+        bound = per_query_sensitivity_bound(self._count_queries, [(d, d_prime)])
+        assert bound == pytest.approx(1.0)
+
+    def test_validate_accepts_correct_declaration(self):
+        d = [{"a"}, {"b"}]
+        observed = validate_sensitivity(
+            self._count_queries, [(d, d[:1])], declared=1.0, per_query=True
+        )
+        assert observed <= 1.0
+
+    def test_validate_rejects_underdeclared(self):
+        # Removing the {"a", "b"} record changes both counts, so the vector
+        # L1 sensitivity is 2 and a declaration of 1 must be rejected.
+        d = [{"a", "b"}, {"a"}]
+        d_prime = [{"a"}]
+        with pytest.raises(SensitivityError):
+            validate_sensitivity(
+                self._count_queries, [(d, d_prime)], declared=1.0, per_query=False
+            )
+
+    def test_validate_rejects_nonpositive_declaration(self):
+        with pytest.raises(ValueError):
+            validate_sensitivity(self._count_queries, [], declared=0.0)
+
+    def test_mismatched_lengths_raise(self):
+        def bad(db):
+            return [0.0] * len(db)
+
+        with pytest.raises(SensitivityError):
+            l1_sensitivity_upper_bound(bad, [([1, 2], [1])])
+
+    def test_monotonicity_violations_counting_queries(self):
+        d = [{"a"}, {"b"}]
+        d_prime = [{"a"}]
+        assert monotonicity_violations(self._count_queries, [(d, d_prime)]) == 0
+
+    def test_monotonicity_violation_detected(self):
+        def opposing(db):
+            total = sum(db)
+            return [total, -total]
+
+        assert monotonicity_violations(opposing, [([1, 2], [1])]) == 1

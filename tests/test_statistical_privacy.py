@@ -1,0 +1,126 @@
+"""Statistical checks of the paper's headline claims.
+
+These tests are slower than the unit tests (they are Monte-Carlo based) but
+still run in a few seconds each.  They verify the *quantitative* claims of
+the paper on synthetic data:
+
+* Corollary 1: the BLUE fusion reduces MSE by (k-1)/2k for counting queries.
+* Section 6.2: the SVT gap fusion reduces MSE towards 50 % for monotonic
+  queries.
+* Theorem 2 / Theorem 4 (indirectly): empirical output distributions on
+  adjacent databases respect the epsilon bound (via the Monte-Carlo
+  verifier), and the alignment checker accepts the mechanisms.
+* Figure 3/4 behaviour: the adaptive SVT answers more queries and retains
+  budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.alignment.verifier import EmpiricalDPVerifier
+from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
+from repro.core.noisy_top_k import NoisyTopKWithGap
+from repro.core.select_measure import select_and_measure_top_k
+from repro.evaluation.harness import (
+    run_adaptive_comparison,
+    run_remaining_budget,
+    run_svt_mse_improvement,
+)
+from repro.mechanisms.sparse_vector import SparseVector
+
+
+class TestCorollary1Claim:
+    def test_mse_reduction_tracks_k_minus_one_over_two_k(self):
+        # Corollary 1's rate assumes the selection identifies the true top k
+        # (as on the paper's large retail datasets, where the top counts are
+        # separated by far more than the selection noise), so use a
+        # well-separated count vector here; the dataset-level experiments in
+        # the benchmark harness exercise the realistic regime.
+        counts = np.linspace(5000.0, 200.0, 100)
+        rng = np.random.default_rng(0)
+        for k in (2, 5, 10):
+            baseline, fused = [], []
+            for _ in range(150):
+                run = select_and_measure_top_k(
+                    counts, epsilon=0.7, k=k, monotonic=True, rng=rng
+                )
+                baseline.extend(run.baseline_squared_errors())
+                fused.extend(run.fused_squared_errors())
+            improvement = 1.0 - np.mean(fused) / np.mean(baseline)
+            expected = (k - 1) / (2.0 * k)
+            assert improvement == pytest.approx(expected, abs=0.12)
+
+
+class TestSection62Claim:
+    def test_svt_gap_fusion_improvement_grows_with_k(self, item_counts):
+        small = run_svt_mse_improvement(
+            item_counts, epsilon=0.7, k=2, trials=150, rng=1
+        )
+        large = run_svt_mse_improvement(
+            item_counts, epsilon=0.7, k=15, trials=150, rng=1
+        )
+        assert large.improvement_percent > small.improvement_percent
+        assert large.improvement_percent > 25.0
+
+
+class TestAdaptivityClaims:
+    def test_adaptive_answers_more_with_same_budget(self, item_counts):
+        result = run_adaptive_comparison(
+            item_counts, epsilon=0.7, k=10, trials=40, rng=2
+        )
+        assert result.adaptive_answers > result.svt_answers
+        # Most adaptive answers should come from the cheap top branch on this
+        # well-separated data, as in Figure 3 of the paper.
+        assert result.adaptive_top_answers > result.adaptive_middle_answers
+
+    def test_remaining_budget_substantial(self, item_counts):
+        result = run_remaining_budget(item_counts, epsilon=0.7, k=10, trials=40, rng=3)
+        assert result.remaining_percent > 20.0
+
+    def test_standard_svt_uses_full_budget_at_k_answers(self, item_counts):
+        threshold = float(np.sort(item_counts)[-30])
+        svt = SparseVector(epsilon=0.7, threshold=threshold, k=5, monotonic=True)
+        result = svt.run(item_counts, rng=0)
+        if result.num_answered == 5:
+            assert result.remaining_budget == pytest.approx(0.0, abs=1e-9)
+
+
+class TestEmpiricalPrivacy:
+    def test_noisy_top_k_with_gap_index_distribution_respects_epsilon(self):
+        counts = np.array([15.0, 14.0, 13.0, 4.0, 2.0])
+        neighbour = counts - np.array([1.0, 0.0, 1.0, 1.0, 0.0])
+        epsilon = 0.5
+        mech = NoisyTopKWithGap(epsilon=epsilon, k=2, monotonic=True)
+        verifier = EmpiricalDPVerifier(epsilon=epsilon, trials=4000, slack=1.5)
+        report = verifier.check(
+            run_on_d=lambda g: mech.select(counts, rng=g),
+            run_on_d_prime=lambda g: mech.select(neighbour, rng=g),
+            event=lambda result: tuple(result.indices),
+            rng=0,
+        )
+        assert report.passed, (report.worst_event, report.worst_ratio)
+
+    def test_adaptive_svt_answer_pattern_respects_epsilon(self):
+        counts = np.array([30.0, 5.0, 28.0, 4.0, 26.0])
+        neighbour = counts - np.array([1.0, 1.0, 0.0, 1.0, 1.0])
+        epsilon = 0.5
+        verifier = EmpiricalDPVerifier(epsilon=epsilon, trials=4000, slack=1.5)
+
+        def runner(values):
+            def run(generator):
+                mech = AdaptiveSparseVectorWithGap(
+                    epsilon=epsilon, threshold=20.0, k=2, monotonic=True
+                )
+                return mech.run(values, rng=generator)
+
+            return run
+
+        report = verifier.check(
+            run_on_d=runner(counts),
+            run_on_d_prime=runner(neighbour),
+            event=lambda result: tuple(
+                (o.index, o.branch.value) for o in result.outcomes if o.above
+            ),
+            rng=1,
+        )
+        assert report.passed, (report.worst_event, report.worst_ratio)
