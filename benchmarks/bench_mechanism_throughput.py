@@ -4,6 +4,18 @@ Not a paper figure: these timings document the computational cost of one
 mechanism invocation on catalogue-sized query vectors, which matters for the
 Monte-Carlo experiment harness (10,000 repetitions per plotted point in the
 paper) and for downstream users embedding the mechanisms in query engines.
+
+Two benchmark groups:
+
+* ``throughput`` -- one per-trial mechanism invocation (the original seed
+  benchmarks, unchanged for run-to-run comparability);
+* ``throughput-batch`` -- the vectorized batch engine at ``BATCH_TRIALS``
+  trials per round, paired with a same-workload per-trial loop so the
+  speedup (trials/sec batch vs loop) is measurable run-to-run, plus
+  harness-level batch-vs-reference pairs at 1,000 Monte-Carlo trials.
+  Compare OPS within a pair after normalising by trials per round: the
+  batch benchmarks run ``BATCH_TRIALS`` trials per round, the loop
+  benchmarks ``LOOP_TRIALS``.
 """
 
 from __future__ import annotations
@@ -14,9 +26,26 @@ import pytest
 from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
 from repro.core.noisy_top_k import NoisyTopKWithGap
 from repro.core.select_measure import select_and_measure_top_k
+from repro.engine.batch import (
+    batch_adaptive_svt,
+    batch_noisy_top_k,
+    batch_sparse_vector,
+)
+from repro.evaluation.harness import run_svt_mse_improvement, run_top_k_mse_improvement
 from repro.mechanisms.sparse_vector import SparseVector
 
 NUM_QUERIES = 2_000
+#: Trials per round of the batch-engine benchmarks (the acceptance workload).
+BATCH_TRIALS = 1_000
+#: Trials per round of the paired per-trial-loop benchmarks (kept smaller so
+#: one round stays short; throughput comparisons are per trial).
+LOOP_TRIALS = 50
+#: Monte-Carlo trials of the harness-level benchmarks.
+HARNESS_TRIALS = 1_000
+#: SVT threshold for the batch group: roughly the top-100th of the uniform
+#: counts, i.e. the paper's top-2k..top-8k policy regime for k=25, where the
+#: mechanism scans a realistic few-hundred-query prefix per trial.
+BATCH_SVT_THRESHOLD = 9_500.0
 
 
 @pytest.fixture(scope="module")
@@ -57,3 +86,113 @@ def test_select_then_measure_throughput(benchmark, counts):
         lambda: select_and_measure_top_k(counts, epsilon=0.7, k=10, rng=rng)
     )
     assert len(result.indices) == 10
+
+
+# ---------------------------------------------------------------------------
+# batch engine vs per-trial loop (group "throughput-batch")
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="throughput-batch")
+def test_noisy_top_k_batch_throughput(benchmark, counts):
+    mech = NoisyTopKWithGap(epsilon=1.0, k=25, monotonic=True)
+    rng = np.random.default_rng(10)
+    result = benchmark(lambda: batch_noisy_top_k(mech, counts, BATCH_TRIALS, rng=rng))
+    assert result.indices.shape == (BATCH_TRIALS, 25)
+
+
+@pytest.mark.benchmark(group="throughput-batch")
+def test_noisy_top_k_loop_throughput(benchmark, counts):
+    mech = NoisyTopKWithGap(epsilon=1.0, k=25, monotonic=True)
+    rng = np.random.default_rng(10)
+    results = benchmark(
+        lambda: [mech.select(counts, rng=rng) for _ in range(LOOP_TRIALS)]
+    )
+    assert len(results) == LOOP_TRIALS
+
+
+@pytest.mark.benchmark(group="throughput-batch")
+def test_sparse_vector_batch_throughput(benchmark, counts):
+    mech = SparseVector(
+        epsilon=1.0, threshold=BATCH_SVT_THRESHOLD, k=25, monotonic=True
+    )
+    rng = np.random.default_rng(11)
+    result = benchmark(lambda: batch_sparse_vector(mech, counts, BATCH_TRIALS, rng=rng))
+    assert result.trials == BATCH_TRIALS
+
+
+@pytest.mark.benchmark(group="throughput-batch")
+def test_sparse_vector_loop_throughput(benchmark, counts):
+    mech = SparseVector(
+        epsilon=1.0, threshold=BATCH_SVT_THRESHOLD, k=25, monotonic=True
+    )
+    rng = np.random.default_rng(11)
+    results = benchmark(lambda: [mech.run(counts, rng=rng) for _ in range(LOOP_TRIALS)])
+    assert len(results) == LOOP_TRIALS
+
+
+@pytest.mark.benchmark(group="throughput-batch")
+def test_adaptive_svt_batch_throughput(benchmark, counts):
+    mech = AdaptiveSparseVectorWithGap(
+        epsilon=1.0, threshold=BATCH_SVT_THRESHOLD, k=25, monotonic=True
+    )
+    rng = np.random.default_rng(12)
+    result = benchmark(lambda: batch_adaptive_svt(mech, counts, BATCH_TRIALS, rng=rng))
+    assert result.trials == BATCH_TRIALS
+
+
+@pytest.mark.benchmark(group="throughput-batch")
+def test_adaptive_svt_loop_throughput(benchmark, counts):
+    mech = AdaptiveSparseVectorWithGap(
+        epsilon=1.0, threshold=BATCH_SVT_THRESHOLD, k=25, monotonic=True
+    )
+    rng = np.random.default_rng(12)
+    results = benchmark(lambda: [mech.run(counts, rng=rng) for _ in range(LOOP_TRIALS)])
+    assert len(results) == LOOP_TRIALS
+
+
+# ---------------------------------------------------------------------------
+# harness-level Monte-Carlo runs (group "throughput-harness")
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="throughput-harness")
+def test_harness_top_k_batch(benchmark, counts):
+    result = benchmark(
+        lambda: run_top_k_mse_improvement(
+            counts, epsilon=0.7, k=10, trials=HARNESS_TRIALS, rng=0, engine="batch"
+        )
+    )
+    assert result.trials == HARNESS_TRIALS
+
+
+@pytest.mark.benchmark(group="throughput-harness")
+def test_harness_top_k_reference(benchmark, counts):
+    result = benchmark(
+        lambda: run_top_k_mse_improvement(
+            counts, epsilon=0.7, k=10, trials=HARNESS_TRIALS, rng=0,
+            engine="reference",
+        )
+    )
+    assert result.trials == HARNESS_TRIALS
+
+
+@pytest.mark.benchmark(group="throughput-harness")
+def test_harness_svt_batch(benchmark, counts):
+    result = benchmark(
+        lambda: run_svt_mse_improvement(
+            counts, epsilon=0.7, k=10, trials=HARNESS_TRIALS, rng=0, engine="batch"
+        )
+    )
+    assert result.trials == HARNESS_TRIALS
+
+
+@pytest.mark.benchmark(group="throughput-harness")
+def test_harness_svt_reference(benchmark, counts):
+    result = benchmark(
+        lambda: run_svt_mse_improvement(
+            counts, epsilon=0.7, k=10, trials=HARNESS_TRIALS, rng=0,
+            engine="reference",
+        )
+    )
+    assert result.trials == HARNESS_TRIALS

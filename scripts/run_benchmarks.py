@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Run the mechanism-throughput benchmark suite and record the results.
+
+Runs ``benchmarks/bench_mechanism_throughput.py`` under ``pytest-benchmark``
+with JSON output, writes ``BENCH_throughput.json`` at the repository root
+(the perf-trajectory artifact), and prints a batch-vs-loop speedup summary
+in trials/sec derived from the paired benchmarks.
+
+Usage::
+
+    python scripts/run_benchmarks.py            # throughput groups only
+    python scripts/run_benchmarks.py --all      # every benchmark module
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_throughput.json"
+
+#: (label, batch benchmark, loop benchmark, trials per batch round, trials
+#: per loop round) -- must stay in sync with bench_mechanism_throughput.py.
+PAIRS = [
+    ("noisy-top-k-with-gap", "test_noisy_top_k_batch_throughput",
+     "test_noisy_top_k_loop_throughput", 1_000, 50),
+    ("sparse-vector", "test_sparse_vector_batch_throughput",
+     "test_sparse_vector_loop_throughput", 1_000, 50),
+    ("adaptive-svt", "test_adaptive_svt_batch_throughput",
+     "test_adaptive_svt_loop_throughput", 1_000, 50),
+    ("harness-top-k-mse", "test_harness_top_k_batch",
+     "test_harness_top_k_reference", 1_000, 1_000),
+    ("harness-svt-mse", "test_harness_svt_batch",
+     "test_harness_svt_reference", 1_000, 1_000),
+]
+
+
+def run_pytest(args: argparse.Namespace) -> int:
+    target = (
+        ["benchmarks"]
+        if args.all
+        else ["benchmarks/bench_mechanism_throughput.py"]
+    )
+    command = [
+        sys.executable, "-m", "pytest", *target,
+        "-q", "--benchmark-only", f"--benchmark-json={OUTPUT}",
+    ]
+    env_note = "PYTHONPATH must include src/ (see ROADMAP.md)"
+    print(f"$ {' '.join(command)}  # {env_note}")
+    return subprocess.call(command, cwd=REPO_ROOT)
+
+
+def summarize() -> None:
+    if not OUTPUT.exists():
+        print(f"no {OUTPUT.name} produced; nothing to summarize", file=sys.stderr)
+        return
+    with OUTPUT.open() as handle:
+        payload = json.load(handle)
+    by_name = {
+        bench["name"]: bench["stats"]["mean"] for bench in payload.get("benchmarks", [])
+    }
+    print()
+    print(f"{'workload':<24} {'batch trials/s':>16} {'loop trials/s':>16} {'speedup':>9}")
+    for label, batch_name, loop_name, batch_trials, loop_trials in PAIRS:
+        if batch_name not in by_name or loop_name not in by_name:
+            continue
+        batch_rate = batch_trials / by_name[batch_name]
+        loop_rate = loop_trials / by_name[loop_name]
+        print(
+            f"{label:<24} {batch_rate:>16,.0f} {loop_rate:>16,.0f} "
+            f"{batch_rate / loop_rate:>8.1f}x"
+        )
+    print(f"\nresults written to {OUTPUT.relative_to(REPO_ROOT)}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--all", action="store_true",
+        help="run every benchmark module, not just the throughput suite",
+    )
+    args = parser.parse_args()
+    status = run_pytest(args)
+    summarize()
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

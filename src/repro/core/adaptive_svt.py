@@ -205,6 +205,9 @@ class AdaptiveSparseVectorWithGap:
         self,
         true_values: Union[Sequence[float], np.ndarray],
         rng: RngLike = None,
+        threshold_noise: Optional[float] = None,
+        top_noise: Optional[np.ndarray] = None,
+        middle_noise: Optional[np.ndarray] = None,
     ) -> SvtResult:
         """Process the query stream ``true_values``.
 
@@ -212,6 +215,17 @@ class AdaptiveSparseVectorWithGap:
         could exceed the budget (the ``cost > epsilon - epsilon_1`` guard of
         Algorithm 2 line 16), (b) ``max_answers`` above-threshold answers
         have been produced, or (c) the stream ends.
+
+        Parameters
+        ----------
+        true_values:
+            Exact query answers, in stream order.
+        rng:
+            Seed or generator.
+        threshold_noise, top_noise, middle_noise:
+            Optional explicit noise used to replay an execution (the per-query
+            vectors must have one entry per stream query).  The batch
+            engine's equivalence tests and the alignment framework use these.
 
         Returns
         -------
@@ -223,30 +237,49 @@ class AdaptiveSparseVectorWithGap:
         values = np.asarray(true_values, dtype=float)
         if values.ndim != 1:
             raise ValueError("true_values must be a one-dimensional vector")
+        n = values.size
         generator = ensure_rng(rng)
         cfg = self.config
+        if top_noise is not None:
+            top_noise = np.asarray(top_noise, dtype=float)
+            if top_noise.shape != values.shape:
+                raise ValueError("explicit top_noise must match true_values in shape")
+        if middle_noise is not None:
+            middle_noise = np.asarray(middle_noise, dtype=float)
+            if middle_noise.shape != values.shape:
+                raise ValueError("explicit middle_noise must match true_values in shape")
 
         odometer = BudgetOdometer(self.epsilon)
         odometer.charge(cfg.epsilon_threshold, label="threshold")
 
-        noise_names: List[str] = ["threshold"]
-        noise_values: List[float] = []
-        noise_scales: List[float] = [cfg.threshold_scale]
-
-        threshold_noise = float(self._threshold_noise.sample(rng=generator))
-        noise_values.append(threshold_noise)
+        if threshold_noise is None:
+            threshold_noise = float(self._threshold_noise.sample(rng=generator))
+        else:
+            threshold_noise = float(threshold_noise)
         noisy_threshold = self.threshold + threshold_noise
+
+        # Preallocate the noise buffer (threshold + top/middle pair per
+        # query); labels and scales are materialised once after the loop.
+        noise_values = np.empty(2 * n + 1)
+        noise_values[0] = threshold_noise
 
         outcomes: List[SvtOutcome] = []
         answered = 0
         for index, value in enumerate(values):
-            top_noise = float(self._top_noise.sample(rng=generator))
-            middle_noise = float(self._middle_noise.sample(rng=generator))
-            noise_names.extend([f"top[{index}]", f"middle[{index}]"])
-            noise_values.extend([top_noise, middle_noise])
-            noise_scales.extend([cfg.top_scale, cfg.middle_scale])
+            tn = (
+                float(self._top_noise.sample(rng=generator))
+                if top_noise is None
+                else float(top_noise[index])
+            )
+            mn = (
+                float(self._middle_noise.sample(rng=generator))
+                if middle_noise is None
+                else float(middle_noise[index])
+            )
+            noise_values[2 * index + 1] = tn
+            noise_values[2 * index + 2] = mn
 
-            top_gap = value + top_noise - noisy_threshold
+            top_gap = value + tn - noisy_threshold
             if top_gap >= cfg.sigma:
                 outcomes.append(
                     SvtOutcome(
@@ -260,7 +293,7 @@ class AdaptiveSparseVectorWithGap:
                 odometer.charge(cfg.epsilon_top, label="top-branch")
                 answered += 1
             else:
-                middle_gap = value + middle_noise - noisy_threshold
+                middle_gap = value + mn - noisy_threshold
                 if middle_gap >= 0:
                     outcomes.append(
                         SvtOutcome(
@@ -310,9 +343,17 @@ class AdaptiveSparseVectorWithGap:
                 ),
             },
         )
+        processed = len(outcomes)
+        names: List[str] = ["threshold"]
+        for i in range(processed):
+            names.extend([f"top[{i}]", f"middle[{i}]"])
+        scales = np.empty(2 * processed + 1)
+        scales[0] = cfg.threshold_scale
+        scales[1::2] = cfg.top_scale
+        scales[2::2] = cfg.middle_scale
         trace = NoiseTrace(
-            names=noise_names,
-            values=np.asarray(noise_values),
-            scales=np.asarray(noise_scales),
+            names=names,
+            values=noise_values[: 2 * processed + 1].copy(),
+            scales=scales,
         )
         return SvtResult(outcomes=outcomes, metadata=metadata, noise_trace=trace)

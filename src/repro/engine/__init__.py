@@ -1,25 +1,75 @@
-"""A small private-analytics session engine.
+"""The private-analytics execution engine: sessions plus batch trials.
 
-The mechanisms in :mod:`repro.core` are stateless building blocks.  Real
-deployments (the database-querying systems cited in the paper's introduction)
-wrap such blocks in a *session* that owns the data, tracks the remaining
-privacy budget across questions, and refuses to answer once the budget is
-exhausted.  :class:`~repro.engine.session.PrivateAnalyticsSession` provides
-that layer for transaction databases:
+The mechanisms in :mod:`repro.core` are stateless building blocks.  This
+package wraps them in two execution layers:
 
-* ``top_k_items`` -- Noisy-Top-K-with-Gap selection over the item counts,
-  optionally followed by measurement and BLUE fusion;
-* ``items_above`` -- Adaptive-Sparse-Vector-with-Gap over the item counts,
-  with optional confidence bounds;
-* ``measure_items`` -- Laplace measurements of chosen items;
-* a per-session :class:`~repro.accounting.budget.BudgetOdometer` that every
-  call charges, so the total privacy loss of a session is explicit.
+* :class:`~repro.engine.session.PrivateAnalyticsSession` -- an interactive,
+  budget-tracked session over one transaction database (``top_k_items``,
+  ``items_above``, ``measure_items``), with budget-free ``simulate_*``
+  what-if planning powered by the batch engine;
+* :class:`~repro.engine.batch.BatchExecutionEngine` -- a vectorized runner
+  that executes ``B`` independent Monte-Carlo trials of a mechanism as
+  ``(B, n)`` NumPy matrix operations, which is what lets the evaluation
+  harness average thousands of trials per plotted point at hardware speed.
 
-Because unused budget from the adaptive mechanism is returned to the session,
-the engine demonstrates the practical value of the paper's Figure 4 result:
-the saved budget funds later questions in the same session.
+Batch semantics
+---------------
+What is vectorized, and how the sequential mechanisms are emulated:
+
+* **Noise**: each trial matrix is filled by ONE batched Laplace draw
+  (``sample_batch``).  By default the engine uses the fast inverse-CDF
+  sampler (``fast=True``) -- same distribution, roughly half the draw cost,
+  different variate stream.  With ``fast_noise=False`` the draw goes through
+  ``Generator.laplace``, and because NumPy generators fill arrays in C
+  (row-major) order a ``(B, n)`` draw then consumes exactly the same variate
+  stream as ``B`` sequential length-``n`` draws: row ``b`` is bit-identical
+  to what trial ``b`` of a per-trial Noisy-Max loop would have drawn.  (The
+  per-trial SVT reference draws lazily and stops early, so its stream
+  ordering is only reproduced when explicit noise matrices are supplied --
+  which is how the equivalence tests pin down bit-identical behaviour.)
+* **Noisy-Max family**: per-row ``argpartition`` restricts each trial to its
+  top ``k+1`` noisy candidates, which are then ordered with a stable sort
+  that reproduces the reference tie-breaking exactly; consecutive gaps come
+  from one gather.
+* **SVT early stopping**: the above/below (and top/middle/bottom branch)
+  decision of *every* stream position is computed eagerly for all trials,
+  then each trial's outputs are masked down to its stopping prefix.  The
+  "stop after ``k`` above-threshold answers" rule becomes a cumulative count
+  and the Algorithm 2 budget guard a cumulative cost; consumed budgets are
+  accumulated with ``cumsum`` so they match the reference's sequential
+  ``+=`` / odometer arithmetic bit-for-bit.
+* **Draw counting**: batched draws through a
+  :class:`~repro.primitives.rng.RandomSource` are counted one per *scalar*
+  variate (``B * n`` for a trial matrix), keeping the Lemma 1 condition (ii)
+  draw-count reasoning valid regardless of batching.
+
+The per-trial classes remain the reference implementation; the equivalence
+tests in ``tests/test_engine_batch.py`` assert that, under a shared noise
+matrix, the batch engine reproduces their selected indices, gaps, branches
+and consumed budgets exactly.
 """
 
+from repro.engine.batch import (
+    BatchExecutionEngine,
+    BatchSelectThenMeasure,
+    batch_adaptive_svt,
+    batch_noisy_top_k,
+    batch_pick_thresholds,
+    batch_select_and_measure_svt,
+    batch_select_and_measure_top_k,
+    batch_sparse_vector,
+)
 from repro.engine.session import PrivateAnalyticsSession, SessionReport
 
-__all__ = ["PrivateAnalyticsSession", "SessionReport"]
+__all__ = [
+    "BatchExecutionEngine",
+    "BatchSelectThenMeasure",
+    "PrivateAnalyticsSession",
+    "SessionReport",
+    "batch_adaptive_svt",
+    "batch_noisy_top_k",
+    "batch_pick_thresholds",
+    "batch_select_and_measure_svt",
+    "batch_select_and_measure_top_k",
+    "batch_sparse_vector",
+]

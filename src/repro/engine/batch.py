@@ -1,0 +1,817 @@
+"""Vectorized batch-trial execution of the gap mechanisms.
+
+The Monte-Carlo harness needs tens of thousands of independent trials per
+plotted point (the paper averages 10,000).  Running each trial through the
+per-object reference implementations costs a Python-level loop per query;
+this module instead runs ``B`` independent trials as ``(B, n)`` NumPy matrix
+operations:
+
+* one batched Laplace draw fills a whole trial matrix
+  (:meth:`~repro.primitives.base.NoiseDistribution.sample_batch`);
+* the Noisy-Max family uses ``argpartition``-based top-k selection per row,
+  with the consecutive gaps extracted by a single gather;
+* the SVT family emulates the sequential "stop after k above-threshold
+  answers" / "stop when the budget is exhausted" semantics with
+  cumulative-count (and cumulative-cost) masking -- the above/below decision
+  of every stream position is computed eagerly for all trials, then each
+  trial's outputs are restricted to its stopping prefix.
+
+Under a shared explicit noise matrix the batch runners are *bit-identical*
+to the per-trial reference classes: decisions use the same floating-point
+expressions in the same association order, and consumed budgets are
+accumulated with ``cumsum`` (sequential left-to-right addition, exactly like
+the reference's repeated ``+=`` / odometer charges).  The equivalence tests
+in ``tests/test_engine_batch.py`` pin this down.
+
+Tie-breaking note: the reference top-k sorts the full noisy vector with a
+stable sort and reverses it; the batch path partitions first and only sorts
+the top ``m`` candidates.  Ordering among *retained* candidates matches the
+reference exactly (including ties); a tie that straddles the partition
+boundary could in principle select a different-but-equally-noisy index, an
+event of probability zero under continuous noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
+from repro.core.noisy_top_k import NoisyTopKWithGap
+from repro.mechanisms.laplace_mechanism import LaplaceMechanism
+from repro.mechanisms.noisy_max import NoisyTopK
+from repro.mechanisms.results import BatchResult
+from repro.mechanisms.sparse_vector import SparseVector, SparseVectorWithGap
+from repro.postprocess.blue import blue_top_k_estimate_batch
+from repro.primitives.laplace import LaplaceNoise
+from repro.primitives.rng import RandomSource, RngLike, ensure_rng
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+#: Column-block width of the SVT stream scan.  The scan evaluates one block
+#: of stream positions for all trials at once and terminates as soon as every
+#: trial has stopped, so short-prefix workloads do not pay for the full
+#: stream; 256 columns keeps each block operation comfortably vectorized
+#: (B * 256 elements) without overshooting typical stopping prefixes.
+_SCAN_BLOCK = 256
+
+__all__ = [
+    "BatchExecutionEngine",
+    "BatchSelectThenMeasure",
+    "batch_adaptive_svt",
+    "batch_noisy_top_k",
+    "batch_pick_thresholds",
+    "batch_select_and_measure_svt",
+    "batch_select_and_measure_top_k",
+    "batch_sparse_vector",
+]
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _rng_handle(rng: RngLike):
+    """Resolve ``rng`` without discarding a RandomSource's draw counting.
+
+    ``ensure_rng`` unwraps a :class:`RandomSource` to its raw generator; the
+    batch runners must keep the wrapper so that every batched draw is counted
+    one per scalar variate (Lemma 1 condition (ii)).  A RandomSource exposes
+    the same ``uniform``/``laplace`` sampling signatures as a generator, so
+    the handle is drop-in for direct draws too.
+    """
+    if isinstance(rng, RandomSource):
+        return rng
+    return ensure_rng(rng)
+
+
+def _as_values(true_values: ArrayLike) -> np.ndarray:
+    values = np.asarray(true_values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("true_values must be a one-dimensional vector")
+    return values
+
+
+def _check_trials(trials: int) -> int:
+    trials = int(trials)
+    if trials < 1:
+        raise ValueError(f"trials must be at least 1, got {trials}")
+    return trials
+
+
+def _as_noise_matrix(noise, shape, name: str) -> np.ndarray:
+    noise = np.asarray(noise, dtype=float)
+    if noise.shape != shape:
+        raise ValueError(f"explicit {name} must have shape {shape}, got {noise.shape}")
+    return noise
+
+
+def _as_thresholds(thresholds, default: float, trials: int) -> np.ndarray:
+    if thresholds is None:
+        return np.full(trials, float(default))
+    thresholds = np.asarray(thresholds, dtype=float)
+    if thresholds.ndim == 0:
+        return np.full(trials, float(thresholds))
+    if thresholds.shape != (trials,):
+        raise ValueError(
+            f"per-trial thresholds must have shape ({trials},), got {thresholds.shape}"
+        )
+    return thresholds
+
+
+def _batch_top_indices(noisy: np.ndarray, m: int) -> np.ndarray:
+    """Per-row indexes of the ``m`` largest entries, in descending order.
+
+    Matches the reference ``np.argsort(row, kind="stable")[::-1][:m]``
+    ordering exactly for the retained candidates: candidates are pre-sorted
+    by ascending original index, so the stable value sort breaks ties the
+    same way the full-vector sort does (higher index first after reversal).
+    """
+    n = noisy.shape[1]
+    if m >= n:
+        order = np.argsort(noisy, axis=1, kind="stable")[:, ::-1]
+        return np.ascontiguousarray(order[:, :m])
+    part = np.argpartition(noisy, n - m, axis=1)[:, n - m :]
+    part = np.sort(part, axis=1)
+    vals = np.take_along_axis(noisy, part, axis=1)
+    order = np.argsort(vals, axis=1, kind="stable")[:, ::-1]
+    return np.take_along_axis(part, order, axis=1)
+
+
+def _pad_ragged(
+    mask: np.ndarray, width: int, payload: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Pack the True positions of each row of ``mask`` into ``width`` columns.
+
+    Returns a ``(B, width)`` matrix of column indexes right-padded with
+    ``-1``, or -- when ``payload`` is given -- the payload values at those
+    positions right-padded with ``NaN``.
+    """
+    trials = mask.shape[0]
+    rows, cols = np.nonzero(mask)
+    # np.nonzero walks the mask in row-major order, so the within-row rank of
+    # each hit is its running position minus the row's starting offset --
+    # O(hits) instead of a full (B, n) cumsum.
+    row_counts = np.count_nonzero(mask, axis=1)
+    starts = np.concatenate([[0], np.cumsum(row_counts[:-1])])
+    rank = np.arange(rows.size) - starts[rows]
+    if payload is None:
+        packed = np.full((trials, width), -1, dtype=np.int64)
+        packed[rows, rank] = cols
+    else:
+        packed = np.full((trials, width), np.nan)
+        packed[rows, rank] = payload[rows, cols]
+    return packed
+
+
+def batch_pick_thresholds(
+    counts: ArrayLike,
+    k: int,
+    trials: int,
+    rng: RngLike = None,
+    low_multiple: int = 2,
+    high_multiple: int = 8,
+) -> np.ndarray:
+    """Draw one per-trial threshold between the top-2k-th and top-8k-th counts.
+
+    The vectorized counterpart of
+    :func:`repro.evaluation.harness.pick_threshold`: one uniform draw per
+    trial from the same range, in one generator call.
+    """
+    trials = _check_trials(trials)
+    counts = np.sort(np.asarray(counts, dtype=float))[::-1]
+    generator = _rng_handle(rng)
+    lo_rank = min(low_multiple * k, counts.size) - 1
+    hi_rank = min(high_multiple * k, counts.size) - 1
+    if hi_rank <= lo_rank:
+        return np.full(trials, float(counts[lo_rank]))
+    return generator.uniform(counts[hi_rank], counts[lo_rank], trials)
+
+
+# ---------------------------------------------------------------------------
+# mechanism-level batch runners
+# ---------------------------------------------------------------------------
+
+
+def batch_noisy_top_k(
+    mechanism: NoisyTopK,
+    true_values: ArrayLike,
+    trials: int,
+    rng: RngLike = None,
+    noise: Optional[np.ndarray] = None,
+    fast_noise: bool = True,
+) -> BatchResult:
+    """Run ``trials`` independent executions of (with-gap) Noisy Top-K.
+
+    Parameters
+    ----------
+    mechanism:
+        A configured :class:`~repro.mechanisms.noisy_max.NoisyTopK` or
+        :class:`~repro.core.noisy_top_k.NoisyTopKWithGap`; supplies the noise
+        scale, ``k`` and the accounting.
+    true_values:
+        Exact query answers (shared by all trials).
+    trials:
+        Number of independent trials ``B``.
+    rng:
+        Seed or generator.  Row ``b`` of the single ``(B, n)`` Laplace draw
+        is bit-identical to what trial ``b`` of a sequential per-trial loop
+        would have drawn from the same generator state.
+    noise:
+        Optional explicit ``(B, n)`` noise matrix used to replay executions.
+    """
+    values = _as_values(true_values)
+    trials = _check_trials(trials)
+    n = values.size
+    k = mechanism.k
+    releases_gaps = bool(mechanism.releases_gaps)
+    need = k + 1 if releases_gaps else k
+    if n < need:
+        raise ValueError(f"need at least {need} queries for k={k}, got {n}")
+
+    if noise is None:
+        noise = LaplaceNoise(mechanism.scale).sample_batch(
+            (trials, n), rng=rng, fast=fast_noise
+        )
+        # The engine owns this buffer, so the noisy values can be formed
+        # in place instead of allocating a second (B, n) matrix.
+        noisy = np.add(noise, values[None, :], out=noise)
+    else:
+        noise = _as_noise_matrix(noise, (trials, n), "noise")
+        noisy = values[None, :] + noise
+    top = _batch_top_indices(noisy, min(need, n))
+    winners = np.ascontiguousarray(top[:, :k])
+    if releases_gaps:
+        top_vals = np.take_along_axis(noisy, top, axis=1)
+        gaps = top_vals[:, :k] - top_vals[:, 1 : k + 1]
+    else:
+        gaps = np.zeros((trials, 0))
+
+    return BatchResult(
+        mechanism=mechanism.name,
+        epsilon=mechanism.epsilon,
+        epsilon_spent=np.full(trials, mechanism.epsilon),
+        indices=winners,
+        gaps=gaps,
+        monotonic=mechanism.monotonic,
+        extra={"k": float(k), "scale": mechanism.scale},
+    )
+
+
+def batch_sparse_vector(
+    mechanism: SparseVector,
+    true_values: ArrayLike,
+    trials: int,
+    thresholds: Optional[ArrayLike] = None,
+    rng: RngLike = None,
+    threshold_noise: Optional[np.ndarray] = None,
+    query_noise: Optional[np.ndarray] = None,
+    fast_noise: bool = True,
+) -> BatchResult:
+    """Run ``trials`` independent (with-gap) Sparse Vector executions.
+
+    The sequential "stop after ``k`` above-threshold answers" semantics are
+    emulated without a Python loop: the above/below decision of every stream
+    position is computed for all trials at once, the per-trial stopping point
+    is the position of the ``k``-th above-threshold decision (found with a
+    cumulative count), and all outputs are masked to the stopping prefix.
+
+    Parameters
+    ----------
+    mechanism:
+        A configured :class:`~repro.mechanisms.sparse_vector.SparseVector` or
+        :class:`~repro.mechanisms.sparse_vector.SparseVectorWithGap`.
+    true_values:
+        Exact query answers, in stream order (shared by all trials).
+    trials:
+        Number of independent trials ``B``.
+    thresholds:
+        Optional per-trial public thresholds ``(B,)`` (the harness re-draws
+        the threshold every trial); defaults to ``mechanism.threshold``.
+    rng:
+        Seed or generator.
+    threshold_noise, query_noise:
+        Optional explicit ``(B,)`` / ``(B, n)`` noise used to replay
+        executions against the per-trial reference.
+    """
+    values = _as_values(true_values)
+    trials = _check_trials(trials)
+    n = values.size
+    k = mechanism.k
+    generator = _rng_handle(rng)
+    thresholds = _as_thresholds(thresholds, mechanism.threshold, trials)
+
+    if threshold_noise is None:
+        threshold_noise = LaplaceNoise(mechanism.threshold_scale).sample_batch(
+            (trials,), rng=generator, fast=fast_noise
+        )
+    else:
+        threshold_noise = _as_noise_matrix(threshold_noise, (trials,), "threshold_noise")
+    if query_noise is not None:
+        query_noise = _as_noise_matrix(query_noise, (trials, n), "query_noise")
+
+    noisy_threshold = thresholds + threshold_noise
+
+    # Blockwise stream scan with early termination and active-row
+    # compaction: decisions for a column block are evaluated only for the
+    # trials that are still running, and scanning stops as soon as every
+    # trial has produced its k-th above-threshold answer.  This is the
+    # data-skipping move that keeps the batch path fast even when the
+    # per-trial loop would stop after a short prefix.
+    above_raw = np.zeros((trials, n), dtype=bool)
+    # The released-gap buffer is only needed by the with-gap variant.
+    gap = np.empty((trials, n)) if mechanism.releases_gaps else None
+    processed = np.full(trials, n, dtype=np.int64)
+    answered_so_far = np.zeros(trials, dtype=np.int64)
+    # Running budget, accumulated sequentially (cumsum seeded with the
+    # running total) so it reproduces the reference's `spent +=` bit-for-bit.
+    spent = np.full(trials, mechanism.epsilon_threshold)
+    query_dist = LaplaceNoise(mechanism.query_scale)
+    act = np.arange(trials)
+    start = 0
+    while start < n and act.size:
+        stop_col = min(n, start + _SCAN_BLOCK)
+        if query_noise is None:
+            noise_block = query_dist.sample_batch(
+                (act.size, stop_col - start), rng=generator, fast=fast_noise
+            )
+        else:
+            noise_block = query_noise[act, start:stop_col]
+        # Same association order as the reference: (value + noise) - threshold.
+        gap_block = (
+            values[None, start:stop_col] + noise_block
+        ) - noisy_threshold[act, None]
+        above_block = gap_block >= 0.0
+        if gap is not None:
+            gap[act, start:stop_col] = gap_block
+        above_raw[act, start:stop_col] = above_block
+
+        cum_cost = np.cumsum(
+            np.concatenate(
+                [
+                    spent[act, None],
+                    np.where(above_block, mechanism.epsilon_per_query, 0.0),
+                ],
+                axis=1,
+            ),
+            axis=1,
+        )
+        cum_answered = answered_so_far[act, None] + np.cumsum(above_block, axis=1)
+        reached = cum_answered >= k
+        done = reached[:, -1]
+        local_stop = np.argmax(reached, axis=1)
+        processed[act[done]] = start + local_stop[done] + 1
+        # Trials stopping in this block take the budget at their stop column;
+        # still-running trials take the running total.
+        spent[act] = np.where(
+            done, cum_cost[np.arange(act.size), local_stop + 1], cum_cost[:, -1]
+        )
+        answered_so_far[act] = cum_answered[:, -1]
+        act = act[~done]
+        start = stop_col
+
+    valid = np.arange(n)[None, :] < processed[:, None]
+    above = above_raw & valid
+    epsilon_spent = np.minimum(spent, mechanism.epsilon)
+
+    indices = _pad_ragged(above, k)
+    if mechanism.releases_gaps:
+        gaps = _pad_ragged(above, k, payload=gap)
+    else:
+        gaps = np.zeros((trials, 0))
+
+    branches = np.where(above, BatchResult.BRANCH_MIDDLE, BatchResult.BRANCH_BOTTOM)
+    return BatchResult(
+        mechanism=mechanism.name,
+        epsilon=mechanism.epsilon,
+        epsilon_spent=epsilon_spent,
+        indices=indices,
+        gaps=gaps,
+        above=above,
+        branches=branches.astype(np.int8),
+        processed=processed,
+        monotonic=mechanism.monotonic,
+        extra={
+            "k": float(k),
+            "epsilon_threshold": mechanism.epsilon_threshold,
+            "epsilon_per_query": mechanism.epsilon_per_query,
+        },
+    )
+
+
+def batch_adaptive_svt(
+    mechanism: AdaptiveSparseVectorWithGap,
+    true_values: ArrayLike,
+    trials: int,
+    thresholds: Optional[ArrayLike] = None,
+    rng: RngLike = None,
+    threshold_noise: Optional[np.ndarray] = None,
+    top_noise: Optional[np.ndarray] = None,
+    middle_noise: Optional[np.ndarray] = None,
+    fast_noise: bool = True,
+) -> BatchResult:
+    """Run ``trials`` independent Adaptive-Sparse-Vector-with-Gap executions.
+
+    Branch decisions (top / middle / bottom) are evaluated for every stream
+    position of every trial at once; the Algorithm 2 line 16 budget guard and
+    the optional ``max_answers`` cap are emulated with cumulative-cost /
+    cumulative-count masking, and consumed budgets are accumulated with
+    ``cumsum`` so they match the reference odometer bit-for-bit.
+    """
+    values = _as_values(true_values)
+    trials = _check_trials(trials)
+    n = values.size
+    cfg = mechanism.config
+    generator = _rng_handle(rng)
+    thresholds = _as_thresholds(thresholds, mechanism.threshold, trials)
+
+    if threshold_noise is None:
+        threshold_noise = LaplaceNoise(cfg.threshold_scale).sample_batch(
+            (trials,), rng=generator, fast=fast_noise
+        )
+    else:
+        threshold_noise = _as_noise_matrix(threshold_noise, (trials,), "threshold_noise")
+    if top_noise is not None:
+        top_noise = _as_noise_matrix(top_noise, (trials, n), "top_noise")
+    if middle_noise is not None:
+        middle_noise = _as_noise_matrix(middle_noise, (trials, n), "middle_noise")
+
+    noisy_threshold = thresholds + threshold_noise
+    guard = mechanism.epsilon - cfg.epsilon_middle + 1e-12
+
+    # Blockwise stream scan with early termination and active-row compaction
+    # (see batch_sparse_vector): branch decisions for a column block are
+    # evaluated only for still-running trials; the Algorithm 2 line 16
+    # budget guard and the max_answers cap are checked per column via running
+    # cumulative cost / count.
+    top_above_raw = np.zeros((trials, n), dtype=bool)
+    middle_above_raw = np.zeros((trials, n), dtype=bool)
+    gap = np.empty((trials, n))
+    processed = np.full(trials, n, dtype=np.int64)
+    answered_so_far = np.zeros(trials, dtype=np.int64)
+    spent = np.full(trials, cfg.epsilon_threshold)
+    top_dist = LaplaceNoise(cfg.top_scale)
+    middle_dist = LaplaceNoise(cfg.middle_scale)
+    act = np.arange(trials)
+    start = 0
+    while start < n and act.size:
+        stop_col = min(n, start + _SCAN_BLOCK)
+        width_blk = stop_col - start
+        if top_noise is None:
+            top_block = top_dist.sample_batch(
+                (act.size, width_blk), rng=generator, fast=fast_noise
+            )
+        else:
+            top_block = top_noise[act, start:stop_col]
+        if middle_noise is None:
+            middle_block = middle_dist.sample_batch(
+                (act.size, width_blk), rng=generator, fast=fast_noise
+            )
+        else:
+            middle_block = middle_noise[act, start:stop_col]
+
+        top_gap_blk = (
+            values[None, start:stop_col] + top_block
+        ) - noisy_threshold[act, None]
+        middle_gap_blk = (
+            values[None, start:stop_col] + middle_block
+        ) - noisy_threshold[act, None]
+        top_blk = top_gap_blk >= cfg.sigma
+        middle_blk = ~top_blk & (middle_gap_blk >= 0.0)
+        top_above_raw[act, start:stop_col] = top_blk
+        middle_above_raw[act, start:stop_col] = middle_blk
+        gap[act, start:stop_col] = np.where(top_blk, top_gap_blk, middle_gap_blk)
+
+        cost_blk = np.where(
+            top_blk, cfg.epsilon_top, np.where(middle_blk, cfg.epsilon_middle, 0.0)
+        )
+        # cumsum seeded with the running total reproduces the reference
+        # odometer's sequential addition bit-for-bit.
+        cum_cost = np.cumsum(
+            np.concatenate([spent[act, None], cost_blk], axis=1), axis=1
+        )
+        cum_answered = answered_so_far[act, None] + np.cumsum(
+            top_blk | middle_blk, axis=1
+        )
+        stop_flag = cum_cost[:, 1:] > guard
+        if mechanism.max_answers is not None:
+            stop_flag |= cum_answered >= mechanism.max_answers
+        done = stop_flag.any(axis=1)
+        local_stop = np.argmax(stop_flag, axis=1)
+        processed[act[done]] = start + local_stop[done] + 1
+        spent[act] = np.where(
+            done, cum_cost[np.arange(act.size), local_stop + 1], cum_cost[:, -1]
+        )
+        answered_so_far[act] = cum_answered[:, -1]
+        act = act[~done]
+        start = stop_col
+
+    valid = np.arange(n)[None, :] < processed[:, None]
+    top_above = top_above_raw & valid
+    middle_above = middle_above_raw & valid
+    above = top_above | middle_above
+    epsilon_spent = spent
+
+    answered = np.count_nonzero(above, axis=1)
+    width = int(answered.max()) if trials else 0
+    indices = _pad_ragged(above, width)
+    gaps = _pad_ragged(above, width, payload=gap)
+
+    branches = np.full((trials, n), BatchResult.BRANCH_BOTTOM, dtype=np.int8)
+    branches[middle_above] = BatchResult.BRANCH_MIDDLE
+    branches[top_above] = BatchResult.BRANCH_TOP
+
+    return BatchResult(
+        mechanism=mechanism.name,
+        epsilon=mechanism.epsilon,
+        epsilon_spent=epsilon_spent,
+        indices=indices,
+        gaps=gaps,
+        above=above,
+        branches=branches,
+        processed=processed,
+        monotonic=mechanism.monotonic,
+        extra={
+            "k": float(mechanism.k),
+            "epsilon_threshold": cfg.epsilon_threshold,
+            "epsilon_middle": cfg.epsilon_middle,
+            "epsilon_top": cfg.epsilon_top,
+            "sigma": cfg.sigma,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# selection-then-measure protocols (the Section 7.2 drivers, batched)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchSelectThenMeasure:
+    """Per-trial arrays of a batched selection-then-measure experiment.
+
+    Attributes
+    ----------
+    indices:
+        ``(B, k)`` selected query indexes (``-1``-padded for the SVT family).
+    true_values, measurements, fused:
+        ``(B, k)`` matrices aligned with ``indices`` (padding positions hold
+        unspecified values -- use :attr:`mask`).
+    gaps:
+        The free gaps released by the selection step, aligned with
+        ``indices``.
+    mask:
+        ``(B, k)`` validity mask (``None`` means every position is valid).
+    total_epsilon:
+        Overall budget per trial (selection plus measurement).
+    epsilon_spent:
+        ``(B,)`` budget actually consumed per trial.
+    """
+
+    indices: np.ndarray
+    true_values: np.ndarray
+    measurements: np.ndarray
+    fused: np.ndarray
+    gaps: np.ndarray
+    mask: Optional[np.ndarray]
+    total_epsilon: float
+    epsilon_spent: np.ndarray
+
+    @property
+    def trials(self) -> int:
+        """Number of trials in the batch."""
+        return int(self.indices.shape[0])
+
+    def baseline_squared_errors(self) -> np.ndarray:
+        """Flat vector of squared errors of the direct measurements."""
+        errors = (self.measurements - self.true_values) ** 2
+        return errors[self.mask] if self.mask is not None else errors.ravel()
+
+    def fused_squared_errors(self) -> np.ndarray:
+        """Flat vector of squared errors of the gap-fused estimates."""
+        errors = (self.fused - self.true_values) ** 2
+        return errors[self.mask] if self.mask is not None else errors.ravel()
+
+
+def batch_select_and_measure_top_k(
+    true_values: ArrayLike,
+    epsilon: float,
+    k: int,
+    trials: int,
+    monotonic: bool = True,
+    rng: RngLike = None,
+) -> BatchSelectThenMeasure:
+    """Batched Noisy-Top-K-with-Gap selection-then-measure (Section 5.2).
+
+    The vectorized counterpart of
+    :func:`repro.core.select_measure.select_and_measure_top_k`: half the
+    budget funds a batched Noisy-Top-K-with-Gap selection, half funds one
+    batched Laplace measurement of the selected queries, and the BLUE
+    post-processing of Theorem 3 fuses the two, row by row.
+    """
+    values = _as_values(true_values)
+    trials = _check_trials(trials)
+    generator = _rng_handle(rng)
+    half = epsilon / 2.0
+
+    selector = NoisyTopKWithGap(epsilon=half, k=k, monotonic=monotonic)
+    selection = batch_noisy_top_k(selector, values, trials, rng=generator)
+
+    measurer = LaplaceMechanism(epsilon=half, l1_sensitivity=float(k))
+    measurement_noise = LaplaceNoise(measurer.scale).sample_batch(
+        (trials, k), rng=generator
+    )
+    selected_true = values[selection.indices]
+    measurements = selected_true + measurement_noise
+
+    lam = selector.gap_variance / 2.0 / measurer.variance
+    fused = blue_top_k_estimate_batch(measurements, selection.gaps[:, : k - 1], lam=lam)
+
+    return BatchSelectThenMeasure(
+        indices=selection.indices,
+        true_values=selected_true,
+        measurements=measurements,
+        fused=fused,
+        gaps=selection.gaps,
+        mask=None,
+        total_epsilon=float(epsilon),
+        epsilon_spent=np.full(trials, float(epsilon)),
+    )
+
+
+def batch_select_and_measure_svt(
+    true_values: ArrayLike,
+    epsilon: float,
+    k: int,
+    thresholds: ArrayLike,
+    trials: int,
+    monotonic: bool = True,
+    adaptive: bool = False,
+    rng: RngLike = None,
+) -> BatchSelectThenMeasure:
+    """Batched Sparse-Vector selection-then-measure (Section 6.2).
+
+    The vectorized counterpart of
+    :func:`repro.core.select_measure.select_and_measure_svt` over ``trials``
+    independent trials with per-trial thresholds.  Trials that answered no
+    queries carry an all-False row in :attr:`BatchSelectThenMeasure.mask`
+    and contribute no error terms, exactly like the per-trial driver skips
+    them.
+    """
+    values = _as_values(true_values)
+    trials = _check_trials(trials)
+    generator = _rng_handle(rng)
+    half = epsilon / 2.0
+    if thresholds is None:
+        raise ValueError(
+            "batch_select_and_measure_svt requires per-trial (or scalar) thresholds"
+        )
+    thresholds = _as_thresholds(thresholds, 0.0, trials)
+
+    if adaptive:
+        selector = AdaptiveSparseVectorWithGap(
+            epsilon=half, threshold=0.0, k=k, monotonic=monotonic
+        )
+        run = batch_adaptive_svt(
+            selector, values, trials, thresholds=thresholds, rng=generator
+        )
+        from repro.mechanisms.sparse_vector import SvtBranch
+
+        var_top = selector.gap_variance(SvtBranch.TOP)
+        var_middle = selector.gap_variance(SvtBranch.MIDDLE)
+    else:
+        selector = SparseVectorWithGap(
+            epsilon=half, threshold=0.0, k=k, monotonic=monotonic
+        )
+        run = batch_sparse_vector(
+            selector, values, trials, thresholds=thresholds, rng=generator
+        )
+        var_top = var_middle = selector.gap_variance
+
+    mask = run.indices >= 0
+    answered = np.count_nonzero(mask, axis=1)
+    width = mask.shape[1]
+    safe_idx = np.where(mask, run.indices, 0)
+    selected_true = values[safe_idx]
+
+    # Measurement: eps/2 split evenly over each trial's answered queries, so
+    # the per-trial Laplace scale is answered / (eps/2).
+    with np.errstate(divide="ignore", invalid="ignore"):
+        scale = answered / half
+    unit_noise = generator.laplace(0.0, 1.0, (trials, width)) if width else np.zeros(
+        (trials, 0)
+    )
+    measurements = selected_true + unit_noise * scale[:, None]
+    measurement_variance = 2.0 * scale**2
+
+    # Gap-based estimates and their per-branch variances.
+    gap_estimates = run.gaps + thresholds[:, None]
+    if adaptive and run.branches is not None:
+        rows = np.arange(trials)[:, None]
+        padded_branch = np.where(
+            mask, run.branches[rows, safe_idx], BatchResult.BRANCH_BOTTOM
+        )
+        gap_variances = np.where(
+            padded_branch == BatchResult.BRANCH_TOP, var_top, var_middle
+        )
+    else:
+        gap_variances = np.full((trials, width), var_middle)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        w_gap = 1.0 / gap_variances
+        w_meas = 1.0 / measurement_variance[:, None]
+        fused = (w_meas * measurements + w_gap * gap_estimates) / (w_meas + w_gap)
+
+    return BatchSelectThenMeasure(
+        indices=run.indices,
+        true_values=selected_true,
+        measurements=measurements,
+        fused=fused,
+        gaps=run.gaps,
+        mask=mask,
+        total_epsilon=float(epsilon),
+        # Trials that answered nothing perform no measurement release, so
+        # only the selection budget is consumed (as in the per-trial driver).
+        epsilon_spent=np.where(answered > 0, run.epsilon_spent + half, run.epsilon_spent),
+    )
+
+
+# ---------------------------------------------------------------------------
+# the engine facade
+# ---------------------------------------------------------------------------
+
+
+class BatchExecutionEngine:
+    """Runs ``B`` independent Monte-Carlo trials of a mechanism at once.
+
+    A thin facade over the module-level batch runners that owns a generator,
+    so repeated calls consume one RNG stream (like an interactive session).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.noisy_top_k import NoisyTopKWithGap
+    >>> engine = BatchExecutionEngine(rng=0)
+    >>> mech = NoisyTopKWithGap(epsilon=1.0, k=2, monotonic=True)
+    >>> batch = engine.run(mech, np.array([100.0, 50.0, 10.0, 5.0]), trials=64)
+    >>> batch.indices.shape
+    (64, 2)
+    """
+
+    def __init__(self, rng: RngLike = None) -> None:
+        self._generator = _rng_handle(rng)
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The engine's underlying numpy generator."""
+        return self._generator
+
+    def run(self, mechanism, true_values: ArrayLike, trials: int, **kwargs) -> BatchResult:
+        """Dispatch ``mechanism`` to the matching batch runner."""
+        if isinstance(mechanism, AdaptiveSparseVectorWithGap):
+            return batch_adaptive_svt(
+                mechanism, true_values, trials, rng=self._generator, **kwargs
+            )
+        if isinstance(mechanism, SparseVector):
+            return batch_sparse_vector(
+                mechanism, true_values, trials, rng=self._generator, **kwargs
+            )
+        if isinstance(mechanism, NoisyTopK):
+            return batch_noisy_top_k(
+                mechanism, true_values, trials, rng=self._generator, **kwargs
+            )
+        raise TypeError(
+            f"no batch runner for mechanism of type {type(mechanism).__name__}"
+        )
+
+    def select_and_measure_top_k(
+        self, true_values: ArrayLike, epsilon: float, k: int, trials: int,
+        monotonic: bool = True,
+    ) -> BatchSelectThenMeasure:
+        """Batched Section 5.2 selection-then-measure protocol."""
+        return batch_select_and_measure_top_k(
+            true_values, epsilon, k, trials, monotonic=monotonic, rng=self._generator
+        )
+
+    def select_and_measure_svt(
+        self, true_values: ArrayLike, epsilon: float, k: int, thresholds: ArrayLike,
+        trials: int, monotonic: bool = True, adaptive: bool = False,
+    ) -> BatchSelectThenMeasure:
+        """Batched Section 6.2 selection-then-measure protocol."""
+        return batch_select_and_measure_svt(
+            true_values, epsilon, k, thresholds, trials,
+            monotonic=monotonic, adaptive=adaptive, rng=self._generator,
+        )
+
+    def pick_thresholds(
+        self, counts: ArrayLike, k: int, trials: int,
+        low_multiple: int = 2, high_multiple: int = 8,
+    ) -> np.ndarray:
+        """Per-trial thresholds from the paper's top-2k..top-8k policy."""
+        return batch_pick_thresholds(
+            counts, k, trials, rng=self._generator,
+            low_multiple=low_multiple, high_multiple=high_multiple,
+        )

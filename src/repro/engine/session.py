@@ -10,6 +10,10 @@ import numpy as np
 from repro.accounting.budget import BudgetExceededError, BudgetOdometer
 from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
 from repro.core.noisy_top_k import NoisyTopKWithGap
+from repro.engine.batch import (
+    batch_adaptive_svt,
+    batch_select_and_measure_top_k,
+)
 from repro.mechanisms.laplace_mechanism import LaplaceMechanism
 from repro.mechanisms.sparse_vector import SvtBranch
 from repro.postprocess.blue import blue_top_k_estimate
@@ -282,6 +286,74 @@ class PrivateAnalyticsSession:
             lower_bounds=np.asarray(bounds) if confidence is not None else None,
             epsilon_charged=charged,
         )
+
+    # -- budget-free what-if simulation (batch engine) --------------------------
+
+    def simulate_top_k_items(
+        self,
+        k: int,
+        epsilon: Optional[float] = None,
+        trials: int = 512,
+        rng: RngLike = None,
+    ) -> Dict[str, float]:
+        """Predict the accuracy of a ``top_k_items(measure=True)`` question.
+
+        Runs ``trials`` vectorized Monte-Carlo trials of the
+        selection-then-measure protocol on the session's own counts via the
+        batch execution engine.  No privacy budget is consumed and the
+        session's RNG stream is untouched (DP composition covers releases,
+        not hypothetical computations kept inside the curator).
+
+        Returns a dict with ``baseline_mse``, ``fused_mse``,
+        ``improvement_percent`` and ``trials``.
+        """
+        if epsilon is None:
+            epsilon = self.total_epsilon / 4.0
+        batch = batch_select_and_measure_top_k(
+            self._counts, epsilon=epsilon, k=k, trials=trials,
+            monotonic=True, rng=rng,
+        )
+        baseline_mse = float(np.mean(batch.baseline_squared_errors()))
+        fused_mse = float(np.mean(batch.fused_squared_errors()))
+        return {
+            "baseline_mse": baseline_mse,
+            "fused_mse": fused_mse,
+            "improvement_percent": 100.0 * (1.0 - fused_mse / baseline_mse),
+            "trials": float(trials),
+        }
+
+    def simulate_items_above(
+        self,
+        threshold: float,
+        k: int,
+        epsilon: Optional[float] = None,
+        trials: int = 512,
+        rng: RngLike = None,
+    ) -> Dict[str, float]:
+        """Predict the behaviour of an ``items_above`` question.
+
+        Vectorized Monte-Carlo preview of the adaptive mechanism on the
+        session's counts: how many answers to expect, and how much of the
+        reserved budget will actually be charged.  Consumes no budget and
+        leaves the session's RNG stream untouched.
+
+        Returns a dict with ``expected_answers``, ``expected_epsilon_spent``,
+        ``expected_remaining_fraction`` and ``trials``.
+        """
+        if epsilon is None:
+            epsilon = self.total_epsilon / 4.0
+        mechanism = AdaptiveSparseVectorWithGap(
+            epsilon=epsilon, threshold=threshold, k=k, monotonic=True
+        )
+        batch = batch_adaptive_svt(mechanism, self._counts, trials, rng=rng)
+        return {
+            "expected_answers": float(np.mean(batch.num_answered)),
+            "expected_epsilon_spent": float(np.mean(batch.epsilon_spent)),
+            "expected_remaining_fraction": float(
+                np.mean(batch.remaining_budget_fraction)
+            ),
+            "trials": float(trials),
+        }
 
     def measure_items(
         self,

@@ -19,6 +19,13 @@ paper's (random threshold between the top-2k-th and top-8k-th counts), and a
 seeded generator, and averages over a configurable number of Monte-Carlo
 trials (the paper uses 10,000; the benchmarks default to fewer for speed and
 note it in EXPERIMENTS.md).
+
+All four runners are driven by the vectorized batch execution engine
+(:mod:`repro.engine.batch`) by default, which runs the whole trial batch as
+``(trials, n)`` matrix operations; pass ``engine="reference"`` to fall back
+to the original per-trial Python loop around the reference mechanism
+classes (bit-identical to the batch path under a shared noise matrix, and
+kept as the ground truth the equivalence tests compare against).
 """
 
 from __future__ import annotations
@@ -33,15 +40,51 @@ from repro.core.select_measure import (
     select_and_measure_svt,
     select_and_measure_top_k,
 )
+from repro.engine.batch import (
+    batch_adaptive_svt,
+    batch_pick_thresholds,
+    batch_select_and_measure_svt,
+    batch_select_and_measure_top_k,
+    batch_sparse_vector,
+)
 from repro.evaluation.metrics import (
     f_measure,
     improvement_percentage,
     precision_recall,
 )
+from repro.mechanisms.results import BatchResult
 from repro.mechanisms.sparse_vector import SparseVector, SvtBranch
 from repro.primitives.rng import RngLike, ensure_rng
 
 ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ("batch", "reference"):
+        raise ValueError(f"engine must be 'batch' or 'reference', got {engine!r}")
+
+
+def _batch_precision_recall_f(
+    reported: np.ndarray, actual: np.ndarray
+) -> tuple:
+    """Vectorized per-trial precision / recall / F-measure.
+
+    ``reported`` and ``actual`` are ``(trials, n)`` boolean masks; the
+    conventions match :func:`repro.evaluation.metrics.precision_recall`
+    (precision 1 when nothing reported, recall 1 when nothing actual).
+    """
+    true_positives = np.count_nonzero(reported & actual, axis=1)
+    reported_count = np.count_nonzero(reported, axis=1)
+    actual_count = np.count_nonzero(actual, axis=1)
+    precision = np.where(
+        reported_count > 0, true_positives / np.maximum(reported_count, 1), 1.0
+    )
+    recall = np.where(
+        actual_count > 0, true_positives / np.maximum(actual_count, 1), 1.0
+    )
+    total = precision + recall
+    f = np.where(total > 0, 2.0 * precision * recall / np.maximum(total, 1e-300), 0.0)
+    return precision, recall, f
 
 
 def pick_threshold(
@@ -104,6 +147,7 @@ def run_top_k_mse_improvement(
     monotonic: bool = True,
     rng: RngLike = None,
     theoretical_percent: Optional[float] = None,
+    engine: str = "batch",
 ) -> MseImprovementResult:
     """Figure 1b / 2b experiment: Noisy-Top-K-with-Gap with Measures.
 
@@ -124,21 +168,33 @@ def run_top_k_mse_improvement(
     theoretical_percent:
         Override for the theoretical curve value (computed from Corollary 1
         when omitted).
+    engine:
+        ``"batch"`` (default) runs all trials as one vectorized batch;
+        ``"reference"`` keeps the original per-trial loop.
     """
     from repro.postprocess.theory import top_k_expected_improvement
 
     counts = np.asarray(counts, dtype=float)
+    _check_engine(engine)
     generator = ensure_rng(rng)
-    baseline_errors: List[float] = []
-    fused_errors: List[float] = []
-    for _ in range(trials):
-        run = select_and_measure_top_k(
-            counts, epsilon=epsilon, k=k, monotonic=monotonic, rng=generator
+    if engine == "batch":
+        batch = batch_select_and_measure_top_k(
+            counts, epsilon=epsilon, k=k, trials=trials,
+            monotonic=monotonic, rng=generator,
         )
-        baseline_errors.extend(run.baseline_squared_errors())
-        fused_errors.extend(run.fused_squared_errors())
-    baseline_mse = float(np.mean(baseline_errors))
-    fused_mse = float(np.mean(fused_errors))
+        baseline_mse = float(np.mean(batch.baseline_squared_errors()))
+        fused_mse = float(np.mean(batch.fused_squared_errors()))
+    else:
+        baseline_errors: List[float] = []
+        fused_errors: List[float] = []
+        for _ in range(trials):
+            run = select_and_measure_top_k(
+                counts, epsilon=epsilon, k=k, monotonic=monotonic, rng=generator
+            )
+            baseline_errors.extend(run.baseline_squared_errors())
+            fused_errors.extend(run.fused_squared_errors())
+        baseline_mse = float(np.mean(baseline_errors))
+        fused_mse = float(np.mean(fused_errors))
     if theoretical_percent is None:
         theoretical_percent = 100.0 * top_k_expected_improvement(k, lam=1.0)
     return MseImprovementResult(
@@ -161,6 +217,7 @@ def run_svt_mse_improvement(
     adaptive: bool = False,
     rng: RngLike = None,
     theoretical_percent: Optional[float] = None,
+    engine: str = "batch",
 ) -> MseImprovementResult:
     """Figure 1a / 2a experiment: Sparse-Vector-with-Gap with Measures.
 
@@ -171,31 +228,43 @@ def run_svt_mse_improvement(
     from repro.postprocess.theory import svt_expected_improvement
 
     counts = np.asarray(counts, dtype=float)
+    _check_engine(engine)
     generator = ensure_rng(rng)
-    baseline_errors: List[float] = []
-    fused_errors: List[float] = []
-    for _ in range(trials):
-        threshold = pick_threshold(counts, k, rng=generator)
-        run = select_and_measure_svt(
-            counts,
-            epsilon=epsilon,
-            k=k,
-            threshold=threshold,
-            monotonic=monotonic,
-            adaptive=adaptive,
-            rng=generator,
+    if engine == "batch":
+        thresholds = batch_pick_thresholds(counts, k, trials, rng=generator)
+        batch = batch_select_and_measure_svt(
+            counts, epsilon=epsilon, k=k, thresholds=thresholds, trials=trials,
+            monotonic=monotonic, adaptive=adaptive, rng=generator,
         )
-        if len(run.indices) == 0:
-            continue
-        baseline_errors.extend(run.baseline_squared_errors())
-        fused_errors.extend(run.fused_squared_errors())
-    if not baseline_errors:
+        baseline_sq = batch.baseline_squared_errors()
+        fused_sq = batch.fused_squared_errors()
+    else:
+        baseline_errors: List[float] = []
+        fused_errors: List[float] = []
+        for _ in range(trials):
+            threshold = pick_threshold(counts, k, rng=generator)
+            run = select_and_measure_svt(
+                counts,
+                epsilon=epsilon,
+                k=k,
+                threshold=threshold,
+                monotonic=monotonic,
+                adaptive=adaptive,
+                rng=generator,
+            )
+            if len(run.indices) == 0:
+                continue
+            baseline_errors.extend(run.baseline_squared_errors())
+            fused_errors.extend(run.fused_squared_errors())
+        baseline_sq = np.asarray(baseline_errors)
+        fused_sq = np.asarray(fused_errors)
+    if baseline_sq.size == 0:
         raise RuntimeError(
             "no above-threshold answers were produced in any trial; "
             "check the threshold policy or increase trials"
         )
-    baseline_mse = float(np.mean(baseline_errors))
-    fused_mse = float(np.mean(fused_errors))
+    baseline_mse = float(np.mean(baseline_sq))
+    fused_mse = float(np.mean(fused_sq))
     if theoretical_percent is None:
         theoretical_percent = 100.0 * svt_expected_improvement(k, monotonic=monotonic)
     return MseImprovementResult(
@@ -251,6 +320,7 @@ def run_adaptive_comparison(
     trials: int = 100,
     monotonic: bool = True,
     rng: RngLike = None,
+    engine: str = "batch",
 ) -> AdaptiveComparisonResult:
     """Figure 3 experiment: Sparse Vector vs Adaptive-Sparse-Vector-with-Gap.
 
@@ -261,7 +331,43 @@ def run_adaptive_comparison(
     whose true counts exceed that threshold.
     """
     counts = np.asarray(counts, dtype=float)
+    _check_engine(engine)
     generator = ensure_rng(rng)
+
+    if engine == "batch":
+        thresholds = batch_pick_thresholds(counts, k, trials, rng=generator)
+        actual_above = counts[None, :] > thresholds[:, None]
+
+        svt = SparseVector(epsilon=epsilon, threshold=0.0, k=k, monotonic=monotonic)
+        svt_batch = batch_sparse_vector(
+            svt, counts, trials, thresholds=thresholds, rng=generator
+        )
+        svt_p, _, svt_f = _batch_precision_recall_f(svt_batch.above, actual_above)
+
+        adaptive = AdaptiveSparseVectorWithGap(
+            epsilon=epsilon, threshold=0.0, k=k, monotonic=monotonic
+        )
+        adaptive_batch = batch_adaptive_svt(
+            adaptive, counts, trials, thresholds=thresholds, rng=generator
+        )
+        ad_p, _, ad_f = _batch_precision_recall_f(adaptive_batch.above, actual_above)
+        branch_totals = adaptive_batch.branch_totals()
+
+        return AdaptiveComparisonResult(
+            k=k,
+            epsilon=epsilon,
+            svt_answers=float(np.mean(svt_batch.num_answered)),
+            adaptive_answers=float(np.mean(adaptive_batch.num_answered)),
+            adaptive_top_answers=float(np.mean(branch_totals[BatchResult.BRANCH_TOP])),
+            adaptive_middle_answers=float(
+                np.mean(branch_totals[BatchResult.BRANCH_MIDDLE])
+            ),
+            svt_precision=float(np.mean(svt_p)),
+            adaptive_precision=float(np.mean(ad_p)),
+            svt_f_measure=float(np.mean(svt_f)),
+            adaptive_f_measure=float(np.mean(ad_f)),
+            trials=trials,
+        )
 
     svt_answers: List[float] = []
     adaptive_answers: List[float] = []
@@ -340,25 +446,42 @@ def run_remaining_budget(
     trials: int = 100,
     monotonic: bool = True,
     rng: RngLike = None,
+    engine: str = "batch",
 ) -> RemainingBudgetResult:
     """Figure 4 experiment: leftover budget after k adaptive answers."""
     counts = np.asarray(counts, dtype=float)
+    _check_engine(engine)
     generator = ensure_rng(rng)
-    fractions: List[float] = []
-    for _ in range(trials):
-        threshold = pick_threshold(counts, k, rng=generator)
+    if engine == "batch":
+        thresholds = batch_pick_thresholds(counts, k, trials, rng=generator)
         mechanism = AdaptiveSparseVectorWithGap(
             epsilon=epsilon,
-            threshold=threshold,
+            threshold=0.0,
             k=k,
             monotonic=monotonic,
             max_answers=k,
         )
-        result = mechanism.run(counts, rng=generator)
-        fractions.append(result.remaining_budget_fraction)
+        batch = batch_adaptive_svt(
+            mechanism, counts, trials, thresholds=thresholds, rng=generator
+        )
+        mean_fraction = float(np.mean(batch.remaining_budget_fraction))
+    else:
+        fractions: List[float] = []
+        for _ in range(trials):
+            threshold = pick_threshold(counts, k, rng=generator)
+            mechanism = AdaptiveSparseVectorWithGap(
+                epsilon=epsilon,
+                threshold=threshold,
+                k=k,
+                monotonic=monotonic,
+                max_answers=k,
+            )
+            result = mechanism.run(counts, rng=generator)
+            fractions.append(result.remaining_budget_fraction)
+        mean_fraction = float(np.mean(fractions))
     return RemainingBudgetResult(
         k=k,
         epsilon=epsilon,
-        remaining_percent=100.0 * float(np.mean(fractions)),
+        remaining_percent=100.0 * mean_fraction,
         trials=trials,
     )

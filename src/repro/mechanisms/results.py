@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NoiseTrace:
     """Record of the noise a mechanism drew, for the alignment framework.
 
@@ -82,3 +82,104 @@ class MechanismMetadata:
     epsilon_spent: float
     monotonic: bool = False
     extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class BatchResult:
+    """Vectorized outcome of ``B`` independent trials of one mechanism.
+
+    The batch execution engine (:mod:`repro.engine.batch`) runs many
+    independent Monte-Carlo trials of a mechanism as single matrix
+    operations; this container is the array-of-structs counterpart of the
+    per-trial :class:`SelectionResult`/``SvtResult`` objects.  All fields are
+    arrays whose leading axis is the trial axis.
+
+    Attributes
+    ----------
+    mechanism:
+        Name of the mechanism that produced the trials.
+    epsilon:
+        Privacy budget each trial was charged against.
+    epsilon_spent:
+        ``(B,)`` -- budget actually consumed per trial (smaller than
+        ``epsilon`` for the adaptive variant).
+    indices:
+        ``(B, k)`` integer matrix of selected/above-threshold query indexes
+        per trial.  For the Noisy-Max family this is the selection order; for
+        the SVT family it is stream order, right-padded with ``-1`` for
+        trials that answered fewer than ``k`` queries.
+    gaps:
+        Released gaps aligned with ``indices`` (``NaN``-padded for the SVT
+        family); ``(B, 0)`` when the mechanism releases no gaps.
+    above:
+        SVT family only: ``(B, n)`` boolean above-threshold mask restricted
+        to each trial's processed prefix (``None`` for selection mechanisms).
+    branches:
+        SVT family only: ``(B, n)`` int8 branch codes within the processed
+        prefix (:attr:`BRANCH_BOTTOM`/:attr:`BRANCH_MIDDLE`/:attr:`BRANCH_TOP`).
+    processed:
+        SVT family only: ``(B,)`` number of stream queries examined before
+        each trial stopped.
+    monotonic:
+        Whether the monotonic-query accounting was applied.
+    extra:
+        Free-form additional fields (scales, thresholds, ...).
+    """
+
+    BRANCH_BOTTOM = 0
+    BRANCH_MIDDLE = 1
+    BRANCH_TOP = 2
+
+    mechanism: str
+    epsilon: float
+    epsilon_spent: np.ndarray
+    indices: np.ndarray
+    gaps: np.ndarray
+    above: Optional[np.ndarray] = None
+    branches: Optional[np.ndarray] = None
+    processed: Optional[np.ndarray] = None
+    monotonic: bool = False
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "epsilon_spent", np.asarray(self.epsilon_spent, dtype=float))
+        object.__setattr__(self, "indices", np.asarray(self.indices))
+        object.__setattr__(self, "gaps", np.asarray(self.gaps, dtype=float))
+        if self.indices.ndim != 2:
+            raise ValueError("indices must be a (trials, k) matrix")
+        if self.epsilon_spent.shape != (self.trials,):
+            raise ValueError("epsilon_spent must have one entry per trial")
+
+    @property
+    def trials(self) -> int:
+        """Number of independent trials in the batch (``B``)."""
+        return int(self.indices.shape[0])
+
+    @property
+    def num_answered(self) -> np.ndarray:
+        """``(B,)`` -- number of selected/above-threshold answers per trial."""
+        return np.count_nonzero(self.indices >= 0, axis=1)
+
+    @property
+    def remaining_budget_fraction(self) -> np.ndarray:
+        """``(B,)`` -- fraction of the budget left unused (Figure 4 metric)."""
+        return np.maximum(0.0, self.epsilon - self.epsilon_spent) / self.epsilon
+
+    def trial_indices(self, b: int) -> np.ndarray:
+        """Selected indexes of trial ``b`` with the ``-1`` padding stripped."""
+        row = self.indices[b]
+        return row[row >= 0]
+
+    def trial_gaps(self, b: int) -> np.ndarray:
+        """Released gaps of trial ``b`` with the ``NaN`` padding stripped."""
+        row = self.gaps[b]
+        return row[~np.isnan(row)]
+
+    def branch_totals(self) -> Dict[int, np.ndarray]:
+        """Per-trial above-threshold answer counts per branch code."""
+        if self.branches is None:
+            raise ValueError("this batch did not record branch information")
+        return {
+            code: np.count_nonzero(self.branches == code, axis=1)
+            for code in (self.BRANCH_TOP, self.BRANCH_MIDDLE)
+        }

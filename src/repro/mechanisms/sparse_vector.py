@@ -42,9 +42,12 @@ class SvtBranch(enum.Enum):
     BOTTOM = "bottom"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SvtOutcome:
     """Per-query outcome of a Sparse Vector run.
+
+    The class uses ``__slots__`` (one outcome is allocated per processed
+    stream query, so the Monte-Carlo harness creates millions of these).
 
     Attributes
     ----------
@@ -222,44 +225,76 @@ class SparseVector:
         """Variance of the (internal) query-minus-threshold gap."""
         return self._threshold_noise.variance + self._query_noise.variance
 
+    def _extra_metadata(self) -> dict:
+        return {
+            "k": float(self.k),
+            "threshold": self.threshold,
+            "epsilon_threshold": self.epsilon_threshold,
+            "epsilon_per_query": self.epsilon_per_query,
+        }
+
     def run(
         self,
         true_values: Union[Sequence[float], np.ndarray],
         rng: RngLike = None,
+        threshold_noise: Optional[float] = None,
+        query_noise: Optional[np.ndarray] = None,
     ) -> SvtResult:
         """Process the query stream ``true_values``.
 
         The stream is processed in order; the mechanism stops after ``k``
         above-threshold answers or at the end of the stream, whichever comes
         first.
+
+        Parameters
+        ----------
+        true_values:
+            Exact query answers, in stream order.
+        rng:
+            Seed or generator (unused coordinates are not drawn when explicit
+            noise is supplied).
+        threshold_noise, query_noise:
+            Optional explicit noise used to replay an execution (``query_noise``
+            must have one entry per stream query).  The batch engine's
+            equivalence tests and the alignment framework use these.
         """
         values = np.asarray(true_values, dtype=float)
         if values.ndim != 1:
             raise ValueError("true_values must be a one-dimensional vector")
+        n = values.size
         generator = ensure_rng(rng)
-
-        noise_names: List[str] = ["threshold"]
-        noise_values: List[float] = []
-        noise_scales: List[float] = [self.threshold_scale]
-
-        threshold_noise = float(self._threshold_noise.sample(rng=generator))
-        noise_values.append(threshold_noise)
+        if threshold_noise is None:
+            threshold_noise = float(self._threshold_noise.sample(rng=generator))
+        else:
+            threshold_noise = float(threshold_noise)
+        if query_noise is not None:
+            query_noise = np.asarray(query_noise, dtype=float)
+            if query_noise.shape != values.shape:
+                raise ValueError("explicit query_noise must match true_values in shape")
         noisy_threshold = self.threshold + threshold_noise
+
+        # Preallocate the noise buffer; labels and scales are materialised
+        # once after the loop instead of one append per query.
+        noise_values = np.empty(n + 1)
+        noise_values[0] = threshold_noise
 
         outcomes: List[SvtOutcome] = []
         answered = 0
         spent = self.epsilon_threshold
-        for index, value in enumerate(values):
-            query_noise = float(self._query_noise.sample(rng=generator))
-            noise_names.append(f"query[{index}]")
-            noise_values.append(query_noise)
-            noise_scales.append(self.query_scale)
-            if value + query_noise >= noisy_threshold:
+        release_gap = self.releases_gaps
+        for index in range(n):
+            if query_noise is None:
+                qn = float(self._query_noise.sample(rng=generator))
+            else:
+                qn = float(query_noise[index])
+            noise_values[index + 1] = qn
+            gap = values[index] + qn - noisy_threshold
+            if gap >= 0:
                 outcomes.append(
                     SvtOutcome(
                         index=index,
                         above=True,
-                        gap=None,
+                        gap=float(gap) if release_gap else None,
                         branch=SvtBranch.MIDDLE,
                         budget_used=self.epsilon_per_query,
                     )
@@ -279,22 +314,20 @@ class SparseVector:
                     )
                 )
 
+        processed = len(outcomes)
         metadata = MechanismMetadata(
             mechanism=self.name,
             epsilon=self.epsilon,
             epsilon_spent=min(spent, self.epsilon),
             monotonic=self.monotonic,
-            extra={
-                "k": float(self.k),
-                "threshold": self.threshold,
-                "epsilon_threshold": self.epsilon_threshold,
-                "epsilon_per_query": self.epsilon_per_query,
-            },
+            extra=self._extra_metadata(),
         )
         trace = NoiseTrace(
-            names=noise_names,
-            values=np.asarray(noise_values),
-            scales=np.asarray(noise_scales),
+            names=["threshold"] + [f"query[{i}]" for i in range(processed)],
+            values=noise_values[: processed + 1].copy(),
+            scales=np.concatenate(
+                [[self.threshold_scale], np.full(processed, self.query_scale)]
+            ),
         )
         return SvtResult(outcomes=outcomes, metadata=metadata, noise_trace=trace)
 
@@ -311,74 +344,7 @@ class SparseVectorWithGap(SparseVector):
     name = "sparse-vector-with-gap"
     releases_gaps = True
 
-    def run(
-        self,
-        true_values: Union[Sequence[float], np.ndarray],
-        rng: RngLike = None,
-    ) -> SvtResult:
-        values = np.asarray(true_values, dtype=float)
-        if values.ndim != 1:
-            raise ValueError("true_values must be a one-dimensional vector")
-        generator = ensure_rng(rng)
-
-        noise_names: List[str] = ["threshold"]
-        noise_values: List[float] = []
-        noise_scales: List[float] = [self.threshold_scale]
-
-        threshold_noise = float(self._threshold_noise.sample(rng=generator))
-        noise_values.append(threshold_noise)
-        noisy_threshold = self.threshold + threshold_noise
-
-        outcomes: List[SvtOutcome] = []
-        answered = 0
-        spent = self.epsilon_threshold
-        for index, value in enumerate(values):
-            query_noise = float(self._query_noise.sample(rng=generator))
-            noise_names.append(f"query[{index}]")
-            noise_values.append(query_noise)
-            noise_scales.append(self.query_scale)
-            gap = value + query_noise - noisy_threshold
-            if gap >= 0:
-                outcomes.append(
-                    SvtOutcome(
-                        index=index,
-                        above=True,
-                        gap=float(gap),
-                        branch=SvtBranch.MIDDLE,
-                        budget_used=self.epsilon_per_query,
-                    )
-                )
-                spent += self.epsilon_per_query
-                answered += 1
-                if answered >= self.k:
-                    break
-            else:
-                outcomes.append(
-                    SvtOutcome(
-                        index=index,
-                        above=False,
-                        gap=None,
-                        branch=SvtBranch.BOTTOM,
-                        budget_used=0.0,
-                    )
-                )
-
-        metadata = MechanismMetadata(
-            mechanism=self.name,
-            epsilon=self.epsilon,
-            epsilon_spent=min(spent, self.epsilon),
-            monotonic=self.monotonic,
-            extra={
-                "k": float(self.k),
-                "threshold": self.threshold,
-                "epsilon_threshold": self.epsilon_threshold,
-                "epsilon_per_query": self.epsilon_per_query,
-                "gap_variance": self.gap_variance,
-            },
-        )
-        trace = NoiseTrace(
-            names=noise_names,
-            values=np.asarray(noise_values),
-            scales=np.asarray(noise_scales),
-        )
-        return SvtResult(outcomes=outcomes, metadata=metadata, noise_trace=trace)
+    def _extra_metadata(self) -> dict:
+        extra = super()._extra_metadata()
+        extra["gap_variance"] = self.gap_variance
+        return extra

@@ -122,6 +122,56 @@ def blue_top_k_estimate(
     return beta
 
 
+def blue_top_k_estimate_batch(
+    measurements: ArrayLike,
+    gaps: ArrayLike,
+    lam: float = 1.0,
+) -> np.ndarray:
+    """Row-wise :func:`blue_top_k_estimate` over a batch of trials.
+
+    Parameters
+    ----------
+    measurements:
+        ``(B, k)`` matrix -- one row of direct measurements per trial.
+    gaps:
+        ``(B, k-1)`` matrix -- the matching consecutive between-selected
+        gaps per trial.
+    lam:
+        Ratio ``Var(gap noise per query) / Var(measurement noise)``, shared
+        by all trials.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(B, k)`` matrix of BLUE estimates; row ``b`` equals
+        ``blue_top_k_estimate(measurements[b], gaps[b], lam)``.
+    """
+    alpha = np.asarray(measurements, dtype=float)
+    g = np.asarray(gaps, dtype=float)
+    if alpha.ndim != 2:
+        raise ValueError("measurements must be a (trials, k) matrix")
+    trials, k = alpha.shape
+    if k < 1:
+        raise ValueError("need at least one measurement per trial")
+    if g.shape != (trials, k - 1):
+        raise ValueError(
+            f"expected a ({trials}, {k - 1}) gap matrix for {k} measurements, "
+            f"got {g.shape}"
+        )
+    if lam <= 0:
+        raise ValueError("lambda must be positive")
+    if k == 1:
+        return alpha.copy()
+
+    alpha_sum = alpha.sum(axis=1, keepdims=True)
+    weights = np.arange(k - 1, 0, -1, dtype=float)
+    p = g @ weights
+    prefix = np.concatenate(
+        [np.zeros((trials, 1)), np.cumsum(g, axis=1)], axis=1
+    )[:, :k]
+    return (alpha_sum + lam * k * alpha + p[:, None] - k * prefix) / ((1.0 + lam) * k)
+
+
 def blue_variance_ratio(k: int, lam: float = 1.0) -> float:
     """Corollary 1: ``Var(beta_i) / Var(alpha_i) = (1 + lam k) / (k + lam k)``.
 

@@ -14,7 +14,7 @@ that mechanisms can be written once and run with any of those distributions.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -44,6 +44,28 @@ class NoiseDistribution(abc.ABC):
     @abc.abstractmethod
     def sample(self, size: Optional[int] = None, rng: RngLike = None) -> ArrayLike:
         """Draw ``size`` independent samples (a scalar if ``size`` is None)."""
+
+    def sample_batch(self, shape: Tuple[int, ...], rng: RngLike = None) -> np.ndarray:
+        """Draw a matrix of independent samples in one generator call.
+
+        The batch execution engine (:mod:`repro.engine.batch`) uses this to
+        fill a whole ``(trials, queries)`` trial matrix at once.  The default
+        implementation draws ``prod(shape)`` samples and reshapes them in C
+        (row-major) order, so row ``b`` of the result contains exactly the
+        variates a per-trial loop would have drawn for trial ``b``;
+        subclasses may override with a direct shaped draw when the underlying
+        generator guarantees the same stream order (numpy's does).
+        """
+        from repro.primitives.rng import RandomSource
+
+        shape = tuple(int(s) for s in shape)
+        total = int(np.prod(shape, dtype=np.int64))
+        if isinstance(rng, RandomSource):
+            # `sample` implementations unwrap the source to its raw
+            # generator, so account for the draws here.
+            rng.record_draws(total)
+        flat = np.asarray(self.sample(size=total, rng=rng))
+        return flat.reshape(shape)
 
     @abc.abstractmethod
     def log_density(self, x: ArrayLike) -> ArrayLike:

@@ -102,6 +102,53 @@ class LaplaceNoise(NoiseDistribution):
         generator = self._resolve_rng(rng)
         return generator.laplace(0.0, self._scale, size)
 
+    def sample_batch(self, shape, rng: RngLike = None, fast: bool = False) -> np.ndarray:
+        """Draw a ``shape``-d matrix of Laplace samples in one generator call.
+
+        With ``fast=False`` (the default) the draw goes through
+        ``Generator.laplace``: numpy generators fill multi-dimensional draws
+        in C (row-major) order, so ``sample_batch((B, n))`` consumes the same
+        underlying stream as ``B`` sequential ``sample(size=n)`` calls -- row
+        ``b`` is bit-identical to what trial ``b`` of a per-trial loop would
+        have drawn.
+
+        With ``fast=True`` the matrix is filled from one uniform draw pushed
+        through the inverse CDF with in-place vectorized transforms, which is
+        roughly twice as fast at Monte-Carlo sizes.  The distribution is
+        identical but the variate stream differs from ``Generator.laplace``,
+        so seeded results are no longer replayable through the per-trial
+        ``sample`` path.  The batch engine uses this mode by default.
+
+        When ``rng`` is a :class:`~repro.primitives.rng.RandomSource` the
+        draw is counted as one scalar variate per matrix element either way.
+        """
+        from repro.primitives.rng import RandomSource
+
+        shape = tuple(int(s) for s in shape)
+        if not fast:
+            if isinstance(rng, RandomSource):
+                return np.asarray(rng.sample_batch(self._scale, shape))
+            generator = self._resolve_rng(rng)
+            return generator.laplace(0.0, self._scale, shape)
+
+        if isinstance(rng, RandomSource):
+            u = np.asarray(rng.uniform(size=shape))
+        else:
+            u = self._resolve_rng(rng).random(shape)
+        # Inverse CDF of Laplace(0, b): x = -b * sign(u - 1/2) * log1p(-2|u - 1/2|),
+        # computed in place on the uniform buffer.
+        u -= 0.5
+        out = np.abs(u)
+        out *= -2.0
+        # Generator.random() can return exactly 0.0, whose inverse-CDF image
+        # is -inf (numpy's own laplace sampler redraws that case); clamp to
+        # the largest representable argument instead.
+        np.maximum(out, np.nextafter(-1.0, 0.0), out=out)
+        np.log1p(out, out=out)
+        out *= -self._scale
+        np.copysign(out, u, out=out)
+        return out
+
     def log_density(self, x: ArrayLike) -> ArrayLike:
         z = np.abs(np.asarray(x, dtype=float))
         return -z / self._scale - np.log(2.0 * self._scale)

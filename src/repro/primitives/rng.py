@@ -16,11 +16,16 @@ replaying noise vectors through the alignment framework.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Tuple, Union
 
 import numpy as np
 
 RngLike = Union[None, int, np.random.Generator, "RandomSource"]
+
+#: A sample-shape argument: ``None`` for a scalar draw, an ``int`` for a
+#: vector, or a shape tuple such as ``(trials, queries)`` for the batch
+#: engine's trial matrices.
+SizeLike = Union[None, int, Tuple[int, ...]]
 
 
 def ensure_rng(rng: RngLike = None) -> np.random.Generator:
@@ -62,6 +67,11 @@ class RandomSource:
     been consumed.  Mechanisms report this count in their output records so
     that the alignment framework can check Lemma 1 condition (ii).
 
+    Batched draws (a tuple ``size`` such as the ``(trials, queries)`` matrices
+    used by :mod:`repro.engine.batch`) are counted as one variate per scalar
+    element -- ``np.prod(size)`` -- not one per call, so the Lemma 1
+    draw-count reasoning stays valid regardless of how the draws are batched.
+
     Parameters
     ----------
     rng:
@@ -82,37 +92,63 @@ class RandomSource:
         """Number of scalar variates drawn through this source so far."""
         return self._draws
 
-    def _count(self, n: int) -> None:
-        self._draws += int(n)
+    def _count(self, size: SizeLike) -> None:
+        # One count per *scalar* variate: a tuple shape consumes prod(shape)
+        # draws, not one draw per sample_batch call.
+        if size is None:
+            self._draws += 1
+        else:
+            self._draws += int(np.prod(size, dtype=np.int64))
 
-    def uniform(self, low: float = 0.0, high: float = 1.0, size: Optional[int] = None):
+    def uniform(self, low: float = 0.0, high: float = 1.0, size: SizeLike = None):
         """Draw uniform variates, counting them."""
-        self._count(1 if size is None else size)
+        self._count(size)
         return self._generator.uniform(low, high, size)
 
-    def exponential(self, scale: float = 1.0, size: Optional[int] = None):
+    def exponential(self, scale: float = 1.0, size: SizeLike = None):
         """Draw exponential variates, counting them."""
-        self._count(1 if size is None else size)
+        self._count(size)
         return self._generator.exponential(scale, size)
 
-    def laplace(self, loc: float = 0.0, scale: float = 1.0, size: Optional[int] = None):
+    def laplace(self, loc: float = 0.0, scale: float = 1.0, size: SizeLike = None):
         """Draw Laplace variates, counting them."""
-        self._count(1 if size is None else size)
+        self._count(size)
         return self._generator.laplace(loc, scale, size)
 
-    def geometric(self, p: float, size: Optional[int] = None):
+    def record_draws(self, size: SizeLike) -> None:
+        """Account for variates drawn from :attr:`generator` directly.
+
+        Noise distributions that sample through the raw generator (e.g. the
+        generic :meth:`~repro.primitives.base.NoiseDistribution.sample_batch`
+        fallback) call this so the per-scalar draw count stays correct.
+        """
+        self._count(size)
+
+    def sample_batch(self, scale: float, shape: Tuple[int, ...]):
+        """Draw a ``shape``-d matrix of zero-mean Laplace variates.
+
+        This is the :mod:`repro.engine.batch` entry point: one generator call
+        fills a whole ``(trials, queries)`` trial matrix.  NumPy generators
+        fill arrays in C (row-major) order, so row ``b`` contains exactly the
+        variates a per-trial loop drawing ``shape[1]`` scalars per trial would
+        have consumed for trial ``b`` -- the stream order is identical.
+        """
+        self._count(shape)
+        return self._generator.laplace(0.0, scale, shape)
+
+    def geometric(self, p: float, size: SizeLike = None):
         """Draw geometric variates (support {1, 2, ...}), counting them."""
-        self._count(1 if size is None else size)
+        self._count(size)
         return self._generator.geometric(p, size)
 
-    def integers(self, low: int, high: int, size: Optional[int] = None):
+    def integers(self, low: int, high: int, size: SizeLike = None):
         """Draw integers in ``[low, high)``, counting them."""
-        self._count(1 if size is None else size)
+        self._count(size)
         return self._generator.integers(low, high, size=size)
 
-    def choice(self, a, size: Optional[int] = None, replace: bool = True, p=None):
+    def choice(self, a, size: SizeLike = None, replace: bool = True, p=None):
         """Draw a random choice, counting the variates."""
-        self._count(1 if size is None else size)
+        self._count(size)
         return self._generator.choice(a, size=size, replace=replace, p=p)
 
     def spawn(self) -> "RandomSource":

@@ -1,0 +1,305 @@
+"""Equivalence and behaviour tests for the vectorized batch engine.
+
+The central contract: under a shared explicit noise matrix, the batch
+runners reproduce the per-trial reference implementations *exactly* --
+selected indices, released gaps, branch assignments, processed prefixes and
+consumed budgets are all bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
+from repro.core.noisy_top_k import NoisyTopKWithGap
+from repro.engine.batch import (
+    BatchExecutionEngine,
+    batch_adaptive_svt,
+    batch_noisy_top_k,
+    batch_pick_thresholds,
+    batch_select_and_measure_svt,
+    batch_select_and_measure_top_k,
+    batch_sparse_vector,
+)
+from repro.mechanisms.noisy_max import NoisyTopK
+from repro.mechanisms.results import BatchResult
+from repro.mechanisms.sparse_vector import (
+    SparseVector,
+    SparseVectorWithGap,
+    SvtBranch,
+)
+
+TRIALS = 64
+NUM_QUERIES = 120
+
+
+@pytest.fixture(scope="module")
+def values():
+    rng = np.random.default_rng(42)
+    return np.sort(rng.uniform(0.0, 500.0, NUM_QUERIES))[::-1].copy()
+
+
+@pytest.fixture(scope="module")
+def noise_rng():
+    return np.random.default_rng(7)
+
+
+class TestNoisyTopKEquivalence:
+    @pytest.mark.parametrize("monotonic", [True, False])
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_with_gap_matches_reference_exactly(self, values, k, monotonic):
+        mech = NoisyTopKWithGap(epsilon=0.5, k=k, monotonic=monotonic)
+        noise = np.random.default_rng(k).laplace(0.0, mech.scale, (TRIALS, values.size))
+        batch = batch_noisy_top_k(mech, values, TRIALS, noise=noise)
+        for b in range(TRIALS):
+            reference = mech.select(values, noise=noise[b])
+            assert batch.indices[b].tolist() == reference.indices
+            np.testing.assert_array_equal(batch.gaps[b], reference.gaps)
+            assert batch.epsilon_spent[b] == reference.metadata.epsilon_spent
+
+    def test_gap_free_variant_matches_reference(self, values):
+        mech = NoisyTopK(epsilon=1.0, k=10, monotonic=True)
+        noise = np.random.default_rng(3).laplace(0.0, mech.scale, (TRIALS, values.size))
+        batch = batch_noisy_top_k(mech, values, TRIALS, noise=noise)
+        assert batch.gaps.shape == (TRIALS, 0)
+        for b in range(TRIALS):
+            reference = mech.select(values, noise=noise[b])
+            assert batch.indices[b].tolist() == reference.indices
+
+    def test_seeded_rng_stream_matches_per_trial_loop(self, values):
+        """One (B, n) draw consumes the same stream as B sequential draws.
+
+        Holds in the stream-preserving mode (``fast_noise=False``); the
+        default fast sampler shares the distribution but not the stream.
+        """
+        mech = NoisyTopKWithGap(epsilon=0.5, k=5, monotonic=True)
+        batch = batch_noisy_top_k(mech, values, TRIALS, rng=123, fast_noise=False)
+        loop_rng = np.random.default_rng(123)
+        for b in range(TRIALS):
+            reference = mech.select(values, rng=loop_rng)
+            assert batch.indices[b].tolist() == reference.indices
+            np.testing.assert_array_equal(batch.gaps[b], reference.gaps)
+
+    def test_rejects_too_few_queries(self):
+        mech = NoisyTopKWithGap(epsilon=0.5, k=5)
+        with pytest.raises(ValueError):
+            batch_noisy_top_k(mech, np.arange(5.0), 4)
+
+
+class TestSparseVectorEquivalence:
+    @pytest.mark.parametrize("with_gap", [False, True])
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_matches_reference_exactly(self, values, noise_rng, k, with_gap):
+        cls = SparseVectorWithGap if with_gap else SparseVector
+        mech = cls(epsilon=0.7, threshold=250.0, k=k, monotonic=True)
+        threshold_noise = noise_rng.laplace(0.0, mech.threshold_scale, TRIALS)
+        query_noise = noise_rng.laplace(0.0, mech.query_scale, (TRIALS, values.size))
+        batch = batch_sparse_vector(
+            mech, values, TRIALS,
+            threshold_noise=threshold_noise, query_noise=query_noise,
+        )
+        for b in range(TRIALS):
+            reference = mech.run(
+                values, threshold_noise=threshold_noise[b], query_noise=query_noise[b]
+            )
+            assert batch.trial_indices(b).tolist() == reference.above_indices
+            assert batch.processed[b] == reference.num_processed
+            assert batch.epsilon_spent[b] == reference.metadata.epsilon_spent
+            if with_gap:
+                np.testing.assert_array_equal(batch.trial_gaps(b), reference.gaps)
+
+    def test_per_trial_thresholds(self, values, noise_rng):
+        mech = SparseVectorWithGap(epsilon=0.7, threshold=0.0, k=5, monotonic=True)
+        thresholds = np.linspace(100.0, 400.0, TRIALS)
+        threshold_noise = noise_rng.laplace(0.0, mech.threshold_scale, TRIALS)
+        query_noise = noise_rng.laplace(0.0, mech.query_scale, (TRIALS, values.size))
+        batch = batch_sparse_vector(
+            mech, values, TRIALS, thresholds=thresholds,
+            threshold_noise=threshold_noise, query_noise=query_noise,
+        )
+        for b in (0, TRIALS // 2, TRIALS - 1):
+            per_trial = SparseVectorWithGap(
+                epsilon=0.7, threshold=float(thresholds[b]), k=5, monotonic=True
+            )
+            reference = per_trial.run(
+                values, threshold_noise=threshold_noise[b], query_noise=query_noise[b]
+            )
+            assert batch.trial_indices(b).tolist() == reference.above_indices
+            np.testing.assert_array_equal(batch.trial_gaps(b), reference.gaps)
+
+    def test_answer_cap_respected(self, values):
+        mech = SparseVectorWithGap(epsilon=0.7, threshold=50.0, k=3, monotonic=True)
+        batch = batch_sparse_vector(mech, values, TRIALS, rng=0)
+        assert np.all(batch.num_answered <= 3)
+        assert np.all(batch.epsilon_spent <= mech.epsilon + 1e-12)
+
+
+class TestAdaptiveSvtEquivalence:
+    @pytest.mark.parametrize("max_answers", [None, 5])
+    @pytest.mark.parametrize("k", [3, 10])
+    def test_matches_reference_exactly(self, values, noise_rng, k, max_answers):
+        mech = AdaptiveSparseVectorWithGap(
+            epsilon=0.7, threshold=250.0, k=k, monotonic=True, max_answers=max_answers
+        )
+        cfg = mech.config
+        threshold_noise = noise_rng.laplace(0.0, cfg.threshold_scale, TRIALS)
+        top_noise = noise_rng.laplace(0.0, cfg.top_scale, (TRIALS, values.size))
+        middle_noise = noise_rng.laplace(0.0, cfg.middle_scale, (TRIALS, values.size))
+        batch = batch_adaptive_svt(
+            mech, values, TRIALS,
+            threshold_noise=threshold_noise,
+            top_noise=top_noise,
+            middle_noise=middle_noise,
+        )
+        branch_code = {
+            SvtBranch.TOP: BatchResult.BRANCH_TOP,
+            SvtBranch.MIDDLE: BatchResult.BRANCH_MIDDLE,
+            SvtBranch.BOTTOM: BatchResult.BRANCH_BOTTOM,
+        }
+        for b in range(TRIALS):
+            reference = mech.run(
+                values,
+                threshold_noise=threshold_noise[b],
+                top_noise=top_noise[b],
+                middle_noise=middle_noise[b],
+            )
+            assert batch.trial_indices(b).tolist() == reference.above_indices
+            assert batch.processed[b] == reference.num_processed
+            assert batch.epsilon_spent[b] == reference.metadata.epsilon_spent
+            np.testing.assert_array_equal(batch.trial_gaps(b), reference.gaps)
+            for outcome in reference.outcomes:
+                assert batch.branches[b, outcome.index] == branch_code[outcome.branch]
+
+    def test_budget_never_exceeded(self, values):
+        mech = AdaptiveSparseVectorWithGap(
+            epsilon=0.7, threshold=100.0, k=5, monotonic=True
+        )
+        batch = batch_adaptive_svt(mech, values, TRIALS, rng=1)
+        assert np.all(batch.epsilon_spent <= mech.epsilon + 1e-9)
+        assert np.all(batch.remaining_budget_fraction >= 0.0)
+
+
+class TestBatchResultContainer:
+    def test_padding_helpers(self, values):
+        mech = SparseVectorWithGap(epsilon=0.7, threshold=250.0, k=5, monotonic=True)
+        batch = batch_sparse_vector(mech, values, TRIALS, rng=5)
+        for b in range(TRIALS):
+            idx = batch.trial_indices(b)
+            gaps = batch.trial_gaps(b)
+            assert idx.size == gaps.size == batch.num_answered[b]
+        assert batch.trials == TRIALS
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BatchResult(
+                mechanism="x", epsilon=1.0,
+                epsilon_spent=np.ones(3), indices=np.zeros(3), gaps=np.zeros((3, 0)),
+            )
+        with pytest.raises(ValueError):
+            BatchResult(
+                mechanism="x", epsilon=1.0,
+                epsilon_spent=np.ones(2), indices=np.zeros((3, 1)),
+                gaps=np.zeros((3, 0)),
+            )
+
+
+class TestSelectAndMeasureBatch:
+    def test_top_k_statistics_match_reference_protocol(self, values):
+        from repro.core.select_measure import select_and_measure_top_k
+
+        batch = batch_select_and_measure_top_k(
+            values, epsilon=0.7, k=10, trials=400, rng=0
+        )
+        batch_improvement = 1.0 - np.mean(batch.fused_squared_errors()) / np.mean(
+            batch.baseline_squared_errors()
+        )
+        rng = np.random.default_rng(0)
+        baseline, fused = [], []
+        for _ in range(400):
+            run = select_and_measure_top_k(values, epsilon=0.7, k=10, rng=rng)
+            baseline.extend(run.baseline_squared_errors())
+            fused.extend(run.fused_squared_errors())
+        loop_improvement = 1.0 - np.mean(fused) / np.mean(baseline)
+        assert batch_improvement == pytest.approx(loop_improvement, abs=0.1)
+
+    def test_svt_requires_thresholds(self, values):
+        with pytest.raises(ValueError, match="thresholds"):
+            batch_select_and_measure_svt(
+                values, epsilon=0.7, k=5, thresholds=None, trials=8, rng=0
+            )
+
+    def test_svt_masks_empty_trials(self, values):
+        thresholds = np.full(TRIALS, 10_000.0)  # far above every count
+        batch = batch_select_and_measure_svt(
+            values, epsilon=0.7, k=5, thresholds=thresholds, trials=TRIALS, rng=0
+        )
+        assert batch.baseline_squared_errors().size == 0
+        assert batch.fused_squared_errors().size == 0
+
+    def test_svt_adaptive_produces_finite_estimates(self, values):
+        thresholds = batch_pick_thresholds(values, 5, TRIALS, rng=3)
+        batch = batch_select_and_measure_svt(
+            values, epsilon=0.7, k=5, thresholds=thresholds, trials=TRIALS,
+            adaptive=True, rng=4,
+        )
+        assert batch.mask is not None
+        assert np.isfinite(batch.fused[batch.mask]).all()
+        assert np.isfinite(batch.baseline_squared_errors()).all()
+
+
+class TestDrawCountingAndBudgets:
+    def test_svt_runner_counts_draws_through_random_source(self, values):
+        from repro.primitives.rng import RandomSource
+
+        source = RandomSource(0)
+        mech = SparseVectorWithGap(epsilon=0.7, threshold=250.0, k=5, monotonic=True)
+        result = batch_sparse_vector(mech, values, 8, rng=source)
+        # One threshold variate per trial plus one query variate per scanned
+        # stream position of each still-active trial.
+        assert source.draws >= 8 + int(result.processed.sum())
+
+    def test_adaptive_runner_counts_draws_through_random_source(self, values):
+        from repro.primitives.rng import RandomSource
+
+        source = RandomSource(0)
+        mech = AdaptiveSparseVectorWithGap(
+            epsilon=0.7, threshold=250.0, k=5, monotonic=True
+        )
+        result = batch_adaptive_svt(mech, values, 8, rng=source)
+        assert source.draws >= 8 + 2 * int(result.processed.sum())
+
+    def test_empty_trials_not_charged_for_measurement(self, values):
+        thresholds = np.full(TRIALS, 10_000.0)  # no trial answers anything
+        batch = batch_select_and_measure_svt(
+            values, epsilon=0.8, k=5, thresholds=thresholds, trials=TRIALS, rng=0
+        )
+        # Only the selection half's threshold charge is consumed; the
+        # measurement half is never released for empty runs.
+        assert np.all(batch.epsilon_spent < 0.4)
+
+
+class TestBatchExecutionEngine:
+    def test_dispatch(self, values):
+        engine = BatchExecutionEngine(rng=0)
+        top_k = engine.run(NoisyTopKWithGap(epsilon=0.5, k=3), values, trials=8)
+        assert top_k.indices.shape == (8, 3)
+        svt = engine.run(
+            SparseVector(epsilon=0.5, threshold=250.0, k=3), values, trials=8
+        )
+        assert svt.above.shape == (8, values.size)
+        adaptive = engine.run(
+            AdaptiveSparseVectorWithGap(epsilon=0.5, threshold=250.0, k=3),
+            values, trials=8,
+        )
+        assert adaptive.branches is not None
+
+    def test_dispatch_rejects_unknown(self, values):
+        engine = BatchExecutionEngine(rng=0)
+        with pytest.raises(TypeError):
+            engine.run(object(), values, trials=4)
+
+    def test_pick_thresholds_in_range(self, values):
+        engine = BatchExecutionEngine(rng=0)
+        thresholds = engine.pick_thresholds(values, k=10, trials=100)
+        sorted_desc = np.sort(values)[::-1]
+        assert np.all(thresholds >= sorted_desc[79])
+        assert np.all(thresholds <= sorted_desc[19])

@@ -132,3 +132,34 @@ class TestBudgetEnforcement:
         assert follow_up_budget > 0.5
         session.top_k_items(k=2, epsilon=follow_up_budget)
         assert session.spent_epsilon <= 1.0 + 1e-9
+
+
+class TestSimulation:
+    def test_simulate_top_k_consumes_no_budget(self, session):
+        report = session.simulate_top_k_items(k=3, trials=64, rng=0)
+        assert session.spent_epsilon == 0.0
+        assert report["trials"] == 64.0
+        assert report["baseline_mse"] > 0.0
+        assert report["fused_mse"] > 0.0
+
+    def test_simulate_top_k_predicts_improvement(self, session):
+        report = session.simulate_top_k_items(k=5, trials=400, rng=1)
+        # With the 50/50 budget split on counting queries the BLUE fusion
+        # improves the MSE by roughly (k-1)/2k; just require a clear gain.
+        assert report["improvement_percent"] > 10.0
+
+    def test_simulate_items_above_consumes_no_budget(self, session):
+        report = session.simulate_items_above(threshold=2.0, k=3, trials=64, rng=2)
+        assert session.spent_epsilon == 0.0
+        assert report["expected_answers"] >= 0.0
+        assert 0.0 <= report["expected_remaining_fraction"] <= 1.0
+        assert report["expected_epsilon_spent"] <= session.total_epsilon / 4.0 + 1e-9
+
+    def test_simulation_leaves_session_stream_untouched(self, small_database):
+        a = PrivateAnalyticsSession(small_database, total_epsilon=2.0, rng=7)
+        b = PrivateAnalyticsSession(small_database, total_epsilon=2.0, rng=7)
+        a.simulate_top_k_items(k=3, trials=16, rng=0)
+        answer_a = a.top_k_items(k=3)
+        answer_b = b.top_k_items(k=3)
+        assert answer_a.items == answer_b.items
+        np.testing.assert_array_equal(answer_a.gaps, answer_b.gaps)

@@ -135,3 +135,41 @@ class TestLaplaceNoise:
     def test_quantile_cdf_round_trip(self):
         noise = LaplaceNoise(scale=0.7)
         assert noise.cdf(noise.quantile(0.9)) == pytest.approx(0.9)
+
+
+class TestSampleBatch:
+    def test_stream_preserving_mode_matches_sequential_draws(self):
+        noise = LaplaceNoise(scale=2.0)
+        matrix = noise.sample_batch((5, 40), rng=9)
+        loop_rng = np.random.default_rng(9)
+        rows = [noise.sample(size=40, rng=loop_rng) for _ in range(5)]
+        np.testing.assert_array_equal(matrix, np.asarray(rows))
+
+    def test_fast_mode_has_correct_distribution(self):
+        noise = LaplaceNoise(scale=2.0)
+        samples = noise.sample_batch((200, 1_000), rng=1, fast=True)
+        assert samples.shape == (200, 1_000)
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.05)
+        assert np.var(samples) == pytest.approx(noise.variance, rel=0.05)
+        # Tail heaviness distinguishes Laplace from e.g. a Gaussian fit.
+        assert np.mean(np.abs(samples) >= 2.0 * noise.scale) == pytest.approx(
+            noise.tail_probability(2.0 * noise.scale), abs=0.01
+        )
+
+    def test_fast_mode_counts_draws_through_random_source(self):
+        from repro.primitives.rng import RandomSource
+
+        source = RandomSource(0)
+        LaplaceNoise(scale=1.0).sample_batch((6, 8), rng=source, fast=True)
+        assert source.draws == 48
+
+    def test_base_class_default_reshapes_and_counts(self):
+        from repro.primitives.geometric import GeometricNoise
+        from repro.primitives.rng import RandomSource
+
+        noise = GeometricNoise(epsilon=1.0)
+        matrix = noise.sample_batch((3, 11), rng=4)
+        assert matrix.shape == (3, 11)
+        source = RandomSource(4)
+        noise.sample_batch((3, 11), rng=source)
+        assert source.draws == 33

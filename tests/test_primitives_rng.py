@@ -46,6 +46,24 @@ class TestRandomSource:
         source.choice([1, 2, 3])
         assert source.draws == 8
 
+    def test_counts_matrix_draws_per_scalar(self):
+        """A (B, n) batched draw consumes B * n variates, not one."""
+        source = RandomSource(0)
+        source.laplace(size=(4, 10))
+        assert source.draws == 40
+        source.uniform(size=(2, 3, 5))
+        assert source.draws == 70
+
+    def test_sample_batch_counts_and_matches_stream(self):
+        source = RandomSource(11)
+        matrix = source.sample_batch(2.0, (3, 7))
+        assert matrix.shape == (3, 7)
+        assert source.draws == 21
+        # Row-major fill: same stream as sequential per-trial draws.
+        loop = RandomSource(11)
+        rows = [loop.laplace(0.0, 2.0, size=7) for _ in range(3)]
+        np.testing.assert_array_equal(matrix, np.asarray(rows))
+
     def test_spawn_gives_independent_child(self):
         parent = RandomSource(1)
         child = parent.spawn()
