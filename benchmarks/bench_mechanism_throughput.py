@@ -16,6 +16,11 @@ Two benchmark groups:
   Compare OPS within a pair after normalising by trials per round: the
   batch benchmarks run ``BATCH_TRIALS`` trials per round, the loop
   benchmarks ``LOOP_TRIALS``.
+* ``throughput-facade`` -- the unified mechanism API facade
+  (``repro.api.run``) against a direct ``batch_*`` call on the identical
+  workload; the pair measures the spec-validation + registry-dispatch
+  overhead, which must stay negligible (the two rates should be within a
+  few percent of each other).
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.api import NoisyTopKSpec, run as api_run
 from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
 from repro.core.noisy_top_k import NoisyTopKWithGap
 from repro.core.select_measure import select_and_measure_top_k
@@ -149,6 +155,31 @@ def test_adaptive_svt_loop_throughput(benchmark, counts):
     rng = np.random.default_rng(12)
     results = benchmark(lambda: [mech.run(counts, rng=rng) for _ in range(LOOP_TRIALS)])
     assert len(results) == LOOP_TRIALS
+
+
+# ---------------------------------------------------------------------------
+# facade dispatch overhead (group "throughput-facade")
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="throughput-facade")
+def test_facade_noisy_top_k_throughput(benchmark, counts):
+    """The full spec -> validate -> registry -> batch-executor path."""
+    spec = NoisyTopKSpec(queries=counts, epsilon=1.0, k=25, monotonic=True)
+    rng = np.random.default_rng(10)
+    result = benchmark(
+        lambda: api_run(spec, engine="batch", trials=BATCH_TRIALS, rng=rng)
+    )
+    assert result.indices.shape == (BATCH_TRIALS, 25)
+
+
+@pytest.mark.benchmark(group="throughput-facade")
+def test_facade_direct_batch_throughput(benchmark, counts):
+    """The identical workload via batch_noisy_top_k, bypassing the facade."""
+    mech = NoisyTopKWithGap(epsilon=1.0, k=25, monotonic=True)
+    rng = np.random.default_rng(10)
+    result = benchmark(lambda: batch_noisy_top_k(mech, counts, BATCH_TRIALS, rng=rng))
+    assert result.indices.shape == (BATCH_TRIALS, 25)
 
 
 # ---------------------------------------------------------------------------

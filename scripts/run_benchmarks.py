@@ -36,6 +36,11 @@ PAIRS = [
      "test_harness_top_k_reference", 1_000, 1_000),
     ("harness-svt-mse", "test_harness_svt_batch",
      "test_harness_svt_reference", 1_000, 1_000),
+    # Facade-dispatch overhead guard: identical workload through repro.api.run
+    # vs a direct batch_noisy_top_k call -- the "speedup" should stay ~1.0x
+    # (registry dispatch + spec validation must remain negligible).
+    ("facade-vs-direct-top-k", "test_facade_direct_batch_throughput",
+     "test_facade_noisy_top_k_throughput", 1_000, 1_000),
 ]
 
 

@@ -13,7 +13,13 @@ Sparse Vector and Noisy Max Mechanisms" (Ding, Wang, Zhang, Kifer; VLDB
   fusion, confidence bounds);
 * an executable randomness-alignment framework and an empirical DP verifier;
 * transaction-data substrates and the experiment harness that regenerates
-  every figure of the paper's evaluation.
+  every figure of the paper's evaluation;
+* the **unified mechanism API** (:mod:`repro.api`): declarative,
+  JSON-round-trippable specs (``NoisyTopKSpec``, ``SparseVectorSpec``,
+  ``AdaptiveSvtSpec``, ...), an executor registry mapping every spec to a
+  vectorized ``batch`` and a per-trial ``reference`` engine, and the single
+  :func:`repro.api.run` facade through which the harness, the analytics
+  session and the CLI all execute mechanisms and charge budgets.
 
 Quickstart
 ----------
@@ -23,9 +29,33 @@ Quickstart
 >>> result = NoisyTopKWithGap(epsilon=1.0, k=2, monotonic=True).select(counts, rng=0)
 >>> len(result.indices), len(result.gaps)
 (2, 2)
+
+The same release via the declarative API (spec -> registry -> facade):
+
+>>> from repro import NoisyTopKSpec, run
+>>> spec = NoisyTopKSpec(queries=counts, epsilon=1.0, k=2, monotonic=True)
+>>> run(spec, engine="reference", trials=1, rng=0).trial_indices().shape
+(2,)
 """
 
 from repro.accounting import BudgetOdometer, CompositionAccountant, PrivacyBudget
+from repro.api import (
+    AdaptiveSvtSpec,
+    Engine,
+    LaplaceSpec,
+    MechanismSpec,
+    NoisyTopKSpec,
+    Result,
+    SelectMeasureSpec,
+    SparseVectorSpec,
+    SpecValidationError,
+    SvtVariantSpec,
+    UnsupportedEngineError,
+    run,
+    spec_from_dict,
+    spec_from_json,
+    validate_engine,
+)
 from repro.core import (
     AdaptiveSparseVectorWithGap,
     AdaptiveSvtConfig,
@@ -61,6 +91,22 @@ from repro.queries import CountingQuery, Query, QueryWorkload, item_count_worklo
 __version__ = "1.0.0"
 
 __all__ = [
+    # unified mechanism API (spec -> registry -> facade)
+    "MechanismSpec",
+    "NoisyTopKSpec",
+    "SparseVectorSpec",
+    "AdaptiveSvtSpec",
+    "SelectMeasureSpec",
+    "LaplaceSpec",
+    "SvtVariantSpec",
+    "Result",
+    "Engine",
+    "run",
+    "spec_from_dict",
+    "spec_from_json",
+    "validate_engine",
+    "SpecValidationError",
+    "UnsupportedEngineError",
     # core mechanisms
     "NoisyTopKWithGap",
     "NoisyMaxWithGap",

@@ -1,0 +1,99 @@
+"""The unified mechanism API: declarative specs -> executor registry -> facade.
+
+This package is the single entry point through which every mechanism in the
+library is executed.  The flow has three layers:
+
+1. **Specs** (:mod:`repro.api.specs`) -- frozen, JSON-round-trippable
+   descriptions of *what* to run: :class:`NoisyTopKSpec`,
+   :class:`SparseVectorSpec`, :class:`AdaptiveSvtSpec`,
+   :class:`SelectMeasureSpec`, :class:`LaplaceSpec` and
+   :class:`SvtVariantSpec`, all sharing the :class:`MechanismSpec` base with
+   ``validate()`` / ``to_dict()`` / ``from_dict()``.  A spec that serializes
+   is a spec that can be queued, cached, or shipped to a worker.
+2. **Registry** (:mod:`repro.api.registry`) -- maps each spec type to a
+   ``batch`` executor (the vectorized ``(trials, n)`` engine) and a
+   ``reference`` executor (the per-trial ground truth).  The Lyu et al. SVT
+   catalogue variants are registered reference-only and raise
+   :class:`UnsupportedEngineError` for ``engine="batch"``.
+3. **Facade** (:func:`run`) -- validates the spec and the engine name (one
+   validator, :func:`validate_engine`, shared by harness, session and
+   facade), dispatches to the registered executor, optionally charges a
+   :class:`~repro.accounting.budget.BudgetOdometer`, and returns the uniform
+   :class:`Result` (indices, gaps, estimates, branches, consumed budget --
+   every per-trial field with a leading trial axis).
+
+The two engines are interchangeable: under a shared explicit noise matrix
+``run(spec, engine="batch")`` and ``run(spec, engine="reference")`` are
+bit-identical (``tests/test_api_facade.py``).
+
+Quickstart
+----------
+>>> from repro.api import NoisyTopKSpec, run
+>>> spec = NoisyTopKSpec(queries=[120.0, 90.0, 85.0, 30.0], epsilon=1.0,
+...                      k=2, monotonic=True)
+>>> result = run(spec, engine="batch", trials=64, rng=0)
+>>> result.indices.shape
+(64, 2)
+>>> run(spec.from_dict(spec.to_dict()), trials=1, rng=0).trial_indices().shape
+(2,)
+"""
+
+# NOTE: import order matters for cycle-freedom -- the spec/engine/registry/
+# facade modules import nothing from repro.engine or repro.mechanisms at
+# module scope (executors load lazily on first run()).
+from repro.api.engines import (
+    ENGINE_NAMES,
+    Engine,
+    UnsupportedEngineError,
+    validate_engine,
+)
+from repro.api.specs import (
+    AdaptiveSvtSpec,
+    LaplaceSpec,
+    MechanismSpec,
+    NoisyTopKSpec,
+    SelectMeasureSpec,
+    SparseVectorSpec,
+    SpecValidationError,
+    SvtVariantSpec,
+    spec_from_dict,
+    spec_from_json,
+    spec_kinds,
+)
+from repro.api.result import Result
+from repro.api.registry import (
+    get_executor,
+    register_executor,
+    registered_spec_types,
+    supported_engines,
+)
+from repro.api.facade import pick_thresholds, run
+
+__all__ = [
+    # engines
+    "ENGINE_NAMES",
+    "Engine",
+    "UnsupportedEngineError",
+    "validate_engine",
+    # specs
+    "AdaptiveSvtSpec",
+    "LaplaceSpec",
+    "MechanismSpec",
+    "NoisyTopKSpec",
+    "SelectMeasureSpec",
+    "SparseVectorSpec",
+    "SpecValidationError",
+    "SvtVariantSpec",
+    "spec_from_dict",
+    "spec_from_json",
+    "spec_kinds",
+    # registry
+    "get_executor",
+    "register_executor",
+    "registered_spec_types",
+    "supported_engines",
+    # facade
+    "Result",
+    "pick_thresholds",
+    "run",
+]

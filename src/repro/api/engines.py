@@ -1,0 +1,62 @@
+"""Execution-engine names: the one source of truth.
+
+Every layer that dispatches between the vectorized batch engine and the
+per-trial reference implementations (the facade's :func:`repro.api.run`, the
+Monte-Carlo harness runners, :class:`~repro.engine.session.PrivateAnalyticsSession`)
+validates its ``engine`` argument through :func:`validate_engine`, so there is
+exactly one set of engine names and one error message across the library.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+__all__ = [
+    "ENGINE_NAMES",
+    "Engine",
+    "UnsupportedEngineError",
+    "validate_engine",
+]
+
+
+class Engine(str, enum.Enum):
+    """The two execution engines every mechanism spec can target.
+
+    ``BATCH`` runs all requested trials as ``(trials, n)`` matrix operations
+    through :mod:`repro.engine.batch`; ``REFERENCE`` loops the per-trial
+    reference implementations (the ground truth the batch path is tested
+    against).  Members compare equal to their string values, so
+    ``Engine.BATCH == "batch"``.
+    """
+
+    BATCH = "batch"
+    REFERENCE = "reference"
+
+
+#: Canonical engine-name strings, in preference order.
+ENGINE_NAMES = tuple(engine.value for engine in Engine)
+
+
+class UnsupportedEngineError(ValueError):
+    """Raised when a spec type has no executor registered for an engine.
+
+    The name is deliberately specific: the engine *name* was valid, but the
+    requested spec/engine combination is not runnable (e.g. the Lyu et al.
+    SVT catalogue variants are registered reference-only).
+    """
+
+
+def validate_engine(engine: Union[str, Engine]) -> str:
+    """Normalise ``engine`` to its canonical string name.
+
+    Accepts an :class:`Engine` member or one of the strings in
+    :data:`ENGINE_NAMES`; anything else raises :class:`ValueError` with the
+    library's single canonical engine error message.
+    """
+    if isinstance(engine, Engine):
+        return engine.value
+    if isinstance(engine, str) and engine in ENGINE_NAMES:
+        return engine
+    names = ", ".join(repr(name) for name in ENGINE_NAMES)
+    raise ValueError(f"engine must be one of {names}; got {engine!r}")

@@ -1,0 +1,680 @@
+"""Built-in executors: one ``batch`` and one ``reference`` per spec type.
+
+Each executor turns a declarative :class:`~repro.api.specs.MechanismSpec`
+into concrete mechanism objects and runs ``trials`` independent executions,
+returning the uniform :class:`~repro.api.result.Result`:
+
+* the **batch** executors delegate to the vectorized runners in
+  :mod:`repro.engine.batch` (``(trials, n)`` matrix operations);
+* the **reference** executors loop the per-trial reference classes and pack
+  their outputs into the *same* array shapes and padding conventions, so the
+  two engines are directly comparable -- bit-identical under a shared
+  explicit noise matrix (``tests/test_api_facade.py``).
+
+Run-time options accepted by the SVT-family executors:
+
+``thresholds``
+    Per-trial public thresholds ``(trials,)`` overriding the spec's scalar
+    threshold (the harness re-draws the threshold every trial).
+``noise`` / ``threshold_noise`` / ``query_noise`` / ``top_noise`` / ``middle_noise``
+    Explicit noise matrices used to replay executions (equivalence tests,
+    alignment framework).
+
+The Lyu et al. SVT catalogue variants are registered **reference-only**;
+requesting ``engine="batch"`` for them raises
+:class:`~repro.api.engines.UnsupportedEngineError` via the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.api.engines import Engine
+from repro.api.registry import register_executor
+from repro.api.result import Result
+from repro.api.specs import (
+    AdaptiveSvtSpec,
+    LaplaceSpec,
+    NoisyTopKSpec,
+    SelectMeasureSpec,
+    SparseVectorSpec,
+    SvtVariantSpec,
+)
+from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
+from repro.core.noisy_top_k import NoisyTopKWithGap
+from repro.core.select_measure import (
+    select_and_measure_svt,
+    select_and_measure_top_k,
+)
+# The private helpers are shared deliberately: threshold broadcasting,
+# RandomSource handling and ragged padding must stay identical between the
+# batch runners and the reference executors, or the two engines would apply
+# different semantics to the same spec.
+from repro.engine.batch import (
+    _as_thresholds,
+    _pad_ragged,
+    _rng_handle,
+    batch_adaptive_svt,
+    batch_noisy_top_k,
+    batch_select_and_measure_svt,
+    batch_select_and_measure_top_k,
+    batch_sparse_vector,
+)
+from repro.mechanisms.laplace_mechanism import LaplaceMechanism
+from repro.mechanisms.noisy_max import NoisyTopK
+from repro.mechanisms.results import BatchResult
+from repro.mechanisms.sparse_vector import (
+    SparseVector,
+    SparseVectorWithGap,
+    SvtBranch,
+)
+from repro.mechanisms.svt_variants import make_svt_variant
+from repro.primitives.laplace import LaplaceNoise
+from repro.primitives.rng import RngLike
+
+
+def _row(matrix: Optional[np.ndarray], b: int) -> Optional[np.ndarray]:
+    return None if matrix is None else matrix[b]
+
+
+#: SvtBranch -> Result branch code, used when packing reference outcomes.
+_BRANCH_CODES = {
+    SvtBranch.TOP: Result.BRANCH_TOP,
+    SvtBranch.MIDDLE: Result.BRANCH_MIDDLE,
+    SvtBranch.BOTTOM: Result.BRANCH_BOTTOM,
+}
+
+
+def _pack_svt_reference(run_trial, trials: int, n: int, width: Optional[int] = None):
+    """Run ``trials`` per-trial SVT executions and pack them batch-style.
+
+    ``run_trial(b)`` must return the trial's
+    :class:`~repro.mechanisms.sparse_vector.SvtResult`; each run is packed
+    into the batch engine's array conventions immediately and then dropped,
+    so peak memory stays one run's outcomes.  ``width`` fixes the padded
+    column count (the non-adaptive mechanisms stop after ``k`` answers);
+    ``None`` uses the longest trial, matching ``batch_adaptive_svt``.
+
+    Returns ``(above, branches, processed, epsilon_consumed, indices, gaps)``.
+    """
+    above = np.zeros((trials, n), dtype=bool)
+    branches = np.full((trials, n), Result.BRANCH_BOTTOM, dtype=np.int8)
+    gap_payload = np.full((trials, n), np.nan)
+    processed = np.empty(trials, dtype=np.int64)
+    epsilon_consumed = np.empty(trials)
+    for b in range(trials):
+        run = run_trial(b)
+        for outcome in run.outcomes:
+            if outcome.above:
+                above[b, outcome.index] = True
+                branches[b, outcome.index] = _BRANCH_CODES[outcome.branch]
+                if outcome.gap is not None:
+                    gap_payload[b, outcome.index] = outcome.gap
+        processed[b] = run.num_processed
+        epsilon_consumed[b] = run.metadata.epsilon_spent
+    if width is None:
+        answered = np.count_nonzero(above, axis=1)
+        width = int(answered.max()) if trials else 0
+    indices = _pad_ragged(above, width)
+    gaps = _pad_ragged(above, width, payload=gap_payload)
+    return above, branches, processed, epsilon_consumed, indices, gaps
+
+
+def _result_from_batch(spec, engine: str, batch: BatchResult) -> Result:
+    return Result(
+        mechanism=batch.mechanism,
+        engine=engine,
+        trials=batch.trials,
+        epsilon=batch.epsilon,
+        epsilon_consumed=batch.epsilon_spent,
+        indices=batch.indices,
+        gaps=batch.gaps,
+        above=batch.above,
+        branches=batch.branches,
+        processed=batch.processed,
+        monotonic=batch.monotonic,
+        extra=dict(batch.extra),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Noisy Top-K
+# ---------------------------------------------------------------------------
+
+
+def _top_k_mechanism(spec: NoisyTopKSpec) -> NoisyTopK:
+    cls = NoisyTopKWithGap if spec.with_gap else NoisyTopK
+    return cls(
+        epsilon=spec.epsilon,
+        k=spec.k,
+        monotonic=spec.monotonic,
+        sensitivity=spec.sensitivity,
+    )
+
+
+def run_noisy_top_k_batch(
+    spec: NoisyTopKSpec,
+    *,
+    trials: int,
+    rng: RngLike = None,
+    noise: Optional[np.ndarray] = None,
+    fast_noise: bool = True,
+) -> Result:
+    """Batch executor for :class:`NoisyTopKSpec`."""
+    mechanism = _top_k_mechanism(spec)
+    batch = batch_noisy_top_k(
+        mechanism, spec.values(), trials, rng=rng, noise=noise, fast_noise=fast_noise
+    )
+    return _result_from_batch(spec, Engine.BATCH.value, batch)
+
+
+def run_noisy_top_k_reference(
+    spec: NoisyTopKSpec,
+    *,
+    trials: int,
+    rng: RngLike = None,
+    noise: Optional[np.ndarray] = None,
+) -> Result:
+    """Reference executor for :class:`NoisyTopKSpec` (per-trial loop)."""
+    mechanism = _top_k_mechanism(spec)
+    values = spec.values()
+    generator = _rng_handle(rng)
+    indices = np.empty((trials, spec.k), dtype=np.int64)
+    gaps = np.empty((trials, spec.k)) if spec.with_gap else np.zeros((trials, 0))
+    for b in range(trials):
+        selection = mechanism.select(values, rng=generator, noise=_row(noise, b))
+        indices[b] = selection.indices
+        if spec.with_gap:
+            gaps[b] = selection.gaps
+    return Result(
+        mechanism=mechanism.name,
+        engine=Engine.REFERENCE.value,
+        trials=trials,
+        epsilon=mechanism.epsilon,
+        epsilon_consumed=np.full(trials, mechanism.epsilon),
+        indices=indices,
+        gaps=gaps,
+        monotonic=mechanism.monotonic,
+        extra={"k": float(spec.k), "scale": mechanism.scale},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sparse Vector
+# ---------------------------------------------------------------------------
+
+
+def _sparse_vector_mechanism(spec: SparseVectorSpec, threshold: float) -> SparseVector:
+    cls = SparseVectorWithGap if spec.with_gap else SparseVector
+    return cls(
+        epsilon=spec.epsilon,
+        threshold=threshold,
+        k=spec.k,
+        monotonic=spec.monotonic,
+        theta=spec.theta,
+        sensitivity=spec.sensitivity,
+    )
+
+
+def run_sparse_vector_batch(
+    spec: SparseVectorSpec,
+    *,
+    trials: int,
+    rng: RngLike = None,
+    thresholds=None,
+    threshold_noise: Optional[np.ndarray] = None,
+    query_noise: Optional[np.ndarray] = None,
+    fast_noise: bool = True,
+) -> Result:
+    """Batch executor for :class:`SparseVectorSpec`."""
+    mechanism = _sparse_vector_mechanism(spec, spec.threshold)
+    batch = batch_sparse_vector(
+        mechanism,
+        spec.values(),
+        trials,
+        thresholds=thresholds,
+        rng=rng,
+        threshold_noise=threshold_noise,
+        query_noise=query_noise,
+        fast_noise=fast_noise,
+    )
+    return _result_from_batch(spec, Engine.BATCH.value, batch)
+
+
+def run_sparse_vector_reference(
+    spec: SparseVectorSpec,
+    *,
+    trials: int,
+    rng: RngLike = None,
+    thresholds=None,
+    threshold_noise: Optional[np.ndarray] = None,
+    query_noise: Optional[np.ndarray] = None,
+) -> Result:
+    """Reference executor for :class:`SparseVectorSpec` (per-trial loop)."""
+    values = spec.values()
+    n = values.size
+    generator = _rng_handle(rng)
+    thresholds = _as_thresholds(thresholds, spec.threshold, trials)
+    template = _sparse_vector_mechanism(spec, spec.threshold)
+
+    def run_trial(b: int):
+        mechanism = _sparse_vector_mechanism(spec, float(thresholds[b]))
+        return mechanism.run(
+            values,
+            rng=generator,
+            threshold_noise=_row(threshold_noise, b),
+            query_noise=_row(query_noise, b),
+        )
+
+    above, branches, processed, epsilon_consumed, indices, gaps = _pack_svt_reference(
+        run_trial, trials, n, width=spec.k
+    )
+    if not spec.with_gap:
+        gaps = np.zeros((trials, 0))
+    return Result(
+        mechanism=template.name,
+        engine=Engine.REFERENCE.value,
+        trials=trials,
+        epsilon=template.epsilon,
+        epsilon_consumed=epsilon_consumed,
+        indices=indices,
+        gaps=gaps,
+        above=above,
+        branches=branches,
+        processed=processed,
+        monotonic=template.monotonic,
+        extra={
+            "k": float(spec.k),
+            "epsilon_threshold": template.epsilon_threshold,
+            "epsilon_per_query": template.epsilon_per_query,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Adaptive SVT
+# ---------------------------------------------------------------------------
+
+
+def _adaptive_svt_mechanism(
+    spec: AdaptiveSvtSpec, threshold: float
+) -> AdaptiveSparseVectorWithGap:
+    return AdaptiveSparseVectorWithGap(
+        epsilon=spec.epsilon,
+        threshold=threshold,
+        k=spec.k,
+        monotonic=spec.monotonic,
+        theta=spec.theta,
+        sigma_multiplier=spec.sigma_multiplier,
+        sensitivity=spec.sensitivity,
+        max_answers=spec.max_answers,
+    )
+
+
+def run_adaptive_svt_batch(
+    spec: AdaptiveSvtSpec,
+    *,
+    trials: int,
+    rng: RngLike = None,
+    thresholds=None,
+    threshold_noise: Optional[np.ndarray] = None,
+    top_noise: Optional[np.ndarray] = None,
+    middle_noise: Optional[np.ndarray] = None,
+    fast_noise: bool = True,
+) -> Result:
+    """Batch executor for :class:`AdaptiveSvtSpec`."""
+    mechanism = _adaptive_svt_mechanism(spec, spec.threshold)
+    batch = batch_adaptive_svt(
+        mechanism,
+        spec.values(),
+        trials,
+        thresholds=thresholds,
+        rng=rng,
+        threshold_noise=threshold_noise,
+        top_noise=top_noise,
+        middle_noise=middle_noise,
+        fast_noise=fast_noise,
+    )
+    return _result_from_batch(spec, Engine.BATCH.value, batch)
+
+
+def run_adaptive_svt_reference(
+    spec: AdaptiveSvtSpec,
+    *,
+    trials: int,
+    rng: RngLike = None,
+    thresholds=None,
+    threshold_noise: Optional[np.ndarray] = None,
+    top_noise: Optional[np.ndarray] = None,
+    middle_noise: Optional[np.ndarray] = None,
+) -> Result:
+    """Reference executor for :class:`AdaptiveSvtSpec` (per-trial loop)."""
+    values = spec.values()
+    n = values.size
+    generator = _rng_handle(rng)
+    thresholds = _as_thresholds(thresholds, spec.threshold, trials)
+    template = _adaptive_svt_mechanism(spec, spec.threshold)
+
+    def run_trial(b: int):
+        mechanism = _adaptive_svt_mechanism(spec, float(thresholds[b]))
+        tn = _row(threshold_noise, b)
+        return mechanism.run(
+            values,
+            rng=generator,
+            threshold_noise=None if tn is None else float(tn),
+            top_noise=_row(top_noise, b),
+            middle_noise=_row(middle_noise, b),
+        )
+
+    above, branches, processed, epsilon_consumed, indices, gaps = _pack_svt_reference(
+        run_trial, trials, n
+    )
+    cfg = template.config
+    return Result(
+        mechanism=template.name,
+        engine=Engine.REFERENCE.value,
+        trials=trials,
+        epsilon=template.epsilon,
+        epsilon_consumed=epsilon_consumed,
+        indices=indices,
+        gaps=gaps,
+        above=above,
+        branches=branches,
+        processed=processed,
+        monotonic=template.monotonic,
+        extra={
+            "k": float(spec.k),
+            "epsilon_threshold": cfg.epsilon_threshold,
+            "epsilon_middle": cfg.epsilon_middle,
+            "epsilon_top": cfg.epsilon_top,
+            "sigma": cfg.sigma,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# selection-then-measure
+# ---------------------------------------------------------------------------
+
+
+def _select_measure_name(spec: SelectMeasureSpec) -> str:
+    if spec.mechanism == "top-k":
+        return "select-measure-top-k"
+    return "select-measure-adaptive-svt" if spec.adaptive else "select-measure-svt"
+
+
+def run_select_measure_batch(
+    spec: SelectMeasureSpec,
+    *,
+    trials: int,
+    rng: RngLike = None,
+    thresholds=None,
+) -> Result:
+    """Batch executor for :class:`SelectMeasureSpec`."""
+    values = spec.values()
+    if spec.mechanism == "top-k":
+        batch = batch_select_and_measure_top_k(
+            values, spec.epsilon, spec.k, trials, monotonic=spec.monotonic, rng=rng
+        )
+    else:
+        thresholds = _as_thresholds(thresholds, spec.threshold, trials)
+        batch = batch_select_and_measure_svt(
+            values,
+            spec.epsilon,
+            spec.k,
+            thresholds,
+            trials,
+            monotonic=spec.monotonic,
+            adaptive=spec.adaptive,
+            rng=rng,
+        )
+    return Result(
+        mechanism=_select_measure_name(spec),
+        engine=Engine.BATCH.value,
+        trials=trials,
+        epsilon=batch.total_epsilon,
+        epsilon_consumed=batch.epsilon_spent,
+        indices=batch.indices,
+        gaps=batch.gaps,
+        estimates=batch.fused,
+        measurements=batch.measurements,
+        true_values=batch.true_values,
+        mask=batch.mask,
+        monotonic=spec.monotonic,
+        extra={"k": float(spec.k)},
+    )
+
+
+def run_select_measure_reference(
+    spec: SelectMeasureSpec,
+    *,
+    trials: int,
+    rng: RngLike = None,
+    thresholds=None,
+) -> Result:
+    """Reference executor for :class:`SelectMeasureSpec` (per-trial loop)."""
+    values = spec.values()
+    generator = _rng_handle(rng)
+    top_k = spec.mechanism == "top-k"
+    if not top_k:
+        thresholds = _as_thresholds(thresholds, spec.threshold, trials)
+
+    runs = []
+    for b in range(trials):
+        if top_k:
+            runs.append(
+                select_and_measure_top_k(
+                    values,
+                    epsilon=spec.epsilon,
+                    k=spec.k,
+                    monotonic=spec.monotonic,
+                    rng=generator,
+                )
+            )
+        else:
+            runs.append(
+                select_and_measure_svt(
+                    values,
+                    epsilon=spec.epsilon,
+                    k=spec.k,
+                    threshold=float(thresholds[b]),
+                    monotonic=spec.monotonic,
+                    adaptive=spec.adaptive,
+                    rng=generator,
+                )
+            )
+
+    if top_k:
+        width = spec.k
+    else:
+        # Match the batch widths: k columns for the non-adaptive selector
+        # (it stops after k answers), the longest trial for the adaptive one.
+        width = spec.k if not spec.adaptive else max(
+            (len(run.indices) for run in runs), default=0
+        )
+    indices = np.full((trials, width), -1, dtype=np.int64)
+    gaps = np.full((trials, width), np.nan)
+    estimates = np.full((trials, width), np.nan)
+    measurements = np.full((trials, width), np.nan)
+    true_values = np.full((trials, width), np.nan)
+    mask = np.zeros((trials, width), dtype=bool)
+    epsilon_consumed = np.empty(trials)
+    for b, run in enumerate(runs):
+        answered = len(run.indices)
+        indices[b, :answered] = run.indices
+        gaps[b, : run.gaps.size] = run.gaps
+        estimates[b, :answered] = run.fused
+        measurements[b, :answered] = run.measurements
+        true_values[b, :answered] = run.true_values
+        mask[b, :answered] = True
+        epsilon_consumed[b] = run.details.get("epsilon_spent", run.total_epsilon)
+
+    return Result(
+        mechanism=_select_measure_name(spec),
+        engine=Engine.REFERENCE.value,
+        trials=trials,
+        epsilon=float(spec.epsilon),
+        epsilon_consumed=epsilon_consumed,
+        indices=indices,
+        gaps=gaps,
+        estimates=estimates,
+        measurements=measurements,
+        true_values=true_values,
+        mask=None if top_k else mask,
+        monotonic=spec.monotonic,
+        extra={"k": float(spec.k)},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Laplace measurement
+# ---------------------------------------------------------------------------
+
+
+def _laplace_mechanism(spec: LaplaceSpec) -> LaplaceMechanism:
+    return LaplaceMechanism(
+        epsilon=spec.epsilon, l1_sensitivity=spec.effective_l1_sensitivity
+    )
+
+
+def run_laplace_batch(
+    spec: LaplaceSpec,
+    *,
+    trials: int,
+    rng: RngLike = None,
+    noise: Optional[np.ndarray] = None,
+    fast_noise: bool = True,
+) -> Result:
+    """Batch executor for :class:`LaplaceSpec`: one (trials, n) noise draw."""
+    mechanism = _laplace_mechanism(spec)
+    values = spec.values()
+    n = values.size
+    if noise is None:
+        noise = LaplaceNoise(mechanism.scale).sample_batch(
+            (trials, n), rng=rng, fast=fast_noise
+        )
+    else:
+        noise = np.asarray(noise, dtype=float)
+        if noise.shape != (trials, n):
+            raise ValueError(f"explicit noise must have shape {(trials, n)}")
+    measurements = values[None, :] + noise
+    return Result(
+        mechanism=mechanism.name,
+        engine=Engine.BATCH.value,
+        trials=trials,
+        epsilon=mechanism.epsilon,
+        epsilon_consumed=np.full(trials, mechanism.epsilon),
+        indices=np.tile(np.arange(n, dtype=np.int64), (trials, 1)),
+        gaps=np.zeros((trials, 0)),
+        estimates=measurements,
+        measurements=measurements,
+        true_values=np.tile(values, (trials, 1)),
+        extra={"scale": mechanism.scale, "l1_sensitivity": mechanism.l1_sensitivity},
+    )
+
+
+def run_laplace_reference(
+    spec: LaplaceSpec,
+    *,
+    trials: int,
+    rng: RngLike = None,
+    noise: Optional[np.ndarray] = None,
+) -> Result:
+    """Reference executor for :class:`LaplaceSpec` (per-trial release)."""
+    mechanism = _laplace_mechanism(spec)
+    values = spec.values()
+    n = values.size
+    generator = _rng_handle(rng)
+    measurements = np.empty((trials, n))
+    for b in range(trials):
+        released = mechanism.release(values, rng=generator, noise=_row(noise, b))
+        measurements[b] = released.values
+    return Result(
+        mechanism=mechanism.name,
+        engine=Engine.REFERENCE.value,
+        trials=trials,
+        epsilon=mechanism.epsilon,
+        epsilon_consumed=np.full(trials, mechanism.epsilon),
+        indices=np.tile(np.arange(n, dtype=np.int64), (trials, 1)),
+        gaps=np.zeros((trials, 0)),
+        estimates=measurements,
+        measurements=measurements,
+        true_values=np.tile(values, (trials, 1)),
+        extra={"scale": mechanism.scale, "l1_sensitivity": mechanism.l1_sensitivity},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lyu et al. SVT catalogue variants (reference-only)
+# ---------------------------------------------------------------------------
+
+
+def _svt_variant_mechanism(spec: SvtVariantSpec):
+    kwargs = dict(
+        epsilon=spec.epsilon,
+        threshold=spec.threshold,
+        k=spec.k,
+        sensitivity=spec.sensitivity,
+    )
+    if spec.variant in (1, 2):
+        kwargs["monotonic"] = spec.monotonic
+    return make_svt_variant(spec.variant, **kwargs)
+
+
+def run_svt_variant_reference(
+    spec: SvtVariantSpec, *, trials: int, rng: RngLike = None
+) -> Result:
+    """Reference executor for :class:`SvtVariantSpec`.
+
+    The catalogue variants have no vectorized counterpart (they exist as
+    baselines and negative fixtures), so this is the only executor
+    registered for them; ``engine="batch"`` raises
+    :class:`~repro.api.engines.UnsupportedEngineError`.
+    """
+    values = spec.values()
+    n = values.size
+    generator = _rng_handle(rng)
+    mechanism = _svt_variant_mechanism(spec)
+
+    above, branches, processed, epsilon_consumed, indices, gaps = _pack_svt_reference(
+        lambda b: mechanism.run(values, rng=generator), trials, n, width=spec.k
+    )
+    return Result(
+        mechanism=mechanism.name,
+        engine=Engine.REFERENCE.value,
+        trials=trials,
+        epsilon=mechanism.epsilon,
+        epsilon_consumed=epsilon_consumed,
+        indices=indices,
+        gaps=gaps,
+        above=above,
+        branches=branches,
+        processed=processed,
+        monotonic=bool(getattr(mechanism, "monotonic", False)),
+        extra={
+            "k": float(spec.k),
+            "variant": float(spec.variant),
+            "claimed_private": float(mechanism.claimed_private),
+            "actually_private": float(mechanism.actually_private),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# registration
+# ---------------------------------------------------------------------------
+
+register_executor(NoisyTopKSpec, Engine.BATCH.value, run_noisy_top_k_batch)
+register_executor(NoisyTopKSpec, Engine.REFERENCE.value, run_noisy_top_k_reference)
+register_executor(SparseVectorSpec, Engine.BATCH.value, run_sparse_vector_batch)
+register_executor(SparseVectorSpec, Engine.REFERENCE.value, run_sparse_vector_reference)
+register_executor(AdaptiveSvtSpec, Engine.BATCH.value, run_adaptive_svt_batch)
+register_executor(AdaptiveSvtSpec, Engine.REFERENCE.value, run_adaptive_svt_reference)
+register_executor(SelectMeasureSpec, Engine.BATCH.value, run_select_measure_batch)
+register_executor(SelectMeasureSpec, Engine.REFERENCE.value, run_select_measure_reference)
+register_executor(LaplaceSpec, Engine.BATCH.value, run_laplace_batch)
+register_executor(LaplaceSpec, Engine.REFERENCE.value, run_laplace_reference)
+# Reference-only: the catalogue variants have no vectorized runners.
+register_executor(SvtVariantSpec, Engine.REFERENCE.value, run_svt_variant_reference)

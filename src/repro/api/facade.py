@@ -1,0 +1,171 @@
+"""``run(spec, ...)``: the single entry point for executing mechanisms.
+
+The facade joins the three pieces of the unified mechanism API::
+
+    spec (repro.api.specs)  --declares-->  what to run
+    registry (repro.api.registry)  --maps-->  (spec type, engine) -> executor
+    run()  --executes-->  uniform Result, optional budget charge
+
+Every consumer in the library -- the Monte-Carlo harness, the interactive
+analytics session, the CLI, the benchmarks -- goes through this function, so
+engine dispatch and spec marshalling live in exactly one place.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+from repro.accounting.budget import BudgetExceededError
+from repro.api.engines import Engine, validate_engine
+from repro.api.registry import get_executor
+from repro.api.result import Result
+from repro.api.specs import MechanismSpec
+
+__all__ = ["pick_thresholds", "run"]
+
+#: Cache of (accepts-anything, accepted-option-names) per executor, so the
+#: per-call option check costs a dict lookup, not an inspect.signature().
+_OPTION_NAMES: Dict[object, Tuple[bool, Tuple[str, ...]]] = {}
+
+
+def _check_options(executor, spec_type: type, engine_name: str, options: dict) -> None:
+    """Reject options the resolved executor does not accept, by name.
+
+    Without this, a documented option that one engine supports and the other
+    does not (e.g. ``fast_noise`` on the reference engine) would surface as
+    an opaque ``TypeError`` from deep inside the executor call.
+    """
+    if not options:
+        return
+    cached = _OPTION_NAMES.get(executor)
+    if cached is None:
+        parameters = inspect.signature(executor).parameters.values()
+        accepts_any = any(p.kind is p.VAR_KEYWORD for p in parameters)
+        names = tuple(
+            p.name
+            for p in parameters
+            if p.kind in (p.KEYWORD_ONLY, p.POSITIONAL_OR_KEYWORD)
+            and p.name not in ("spec", "trials", "rng")
+        )
+        cached = _OPTION_NAMES[executor] = (accepts_any, names)
+    accepts_any, names = cached
+    if accepts_any:
+        return
+    unsupported = sorted(set(options) - set(names))
+    if unsupported:
+        supported = ", ".join(repr(n) for n in names) or "none"
+        raise ValueError(
+            f"option(s) {', '.join(repr(n) for n in unsupported)} are not "
+            f"accepted by the {engine_name!r} executor for "
+            f"{spec_type.__name__}; supported option(s): {supported}"
+        )
+
+
+def run(
+    spec: MechanismSpec,
+    *,
+    engine: Union[str, Engine] = Engine.BATCH,
+    trials: int = 1,
+    rng=None,
+    budget=None,
+    **options,
+) -> Result:
+    """Execute ``trials`` independent runs of ``spec`` on the chosen engine.
+
+    Parameters
+    ----------
+    spec:
+        A validated mechanism specification (``spec.validate()`` is called
+        again here, so deserialized specs cannot slip through unchecked).
+    engine:
+        ``"batch"`` (default) for the vectorized ``(trials, n)`` engine,
+        ``"reference"`` for the per-trial reference implementations.  Spec
+        types without an executor for the requested engine raise
+        :class:`~repro.api.engines.UnsupportedEngineError`.
+    trials:
+        Number of independent executions.  The result's per-trial arrays
+        always carry the trial axis; for ``trials=1`` use the result's
+        ``trial_*`` accessors for the squeezed view.
+    rng:
+        Seed, generator or :class:`~repro.primitives.rng.RandomSource`
+        threaded through to every noise draw.
+    budget:
+        Optional :class:`~repro.accounting.budget.BudgetOdometer`.  When
+        given, the run is *reserved* up front (``epsilon * trials``, the
+        worst case -- each trial is an independent release on the same data,
+        so sequential composition applies) and refused with
+        :class:`~repro.accounting.budget.BudgetExceededError` **before any
+        noise is drawn** if it cannot fit; afterwards only the budget the
+        trials actually consumed is charged, in one ledger entry labelled
+        with the spec's ``kind``.  Leave ``None`` for what-if simulations
+        that release nothing.
+    options:
+        Engine/mechanism-specific run-time options forwarded to the
+        executor: per-trial ``thresholds`` for the SVT family, explicit
+        noise matrices (``noise``, ``threshold_noise``, ``query_noise``,
+        ``top_noise``, ``middle_noise``) for replay, ``fast_noise`` for the
+        batch samplers.  Options are checked against the resolved executor's
+        signature up front, so an option the chosen spec/engine combination
+        does not accept fails with a clear :class:`ValueError` naming the
+        supported options instead of an opaque ``TypeError``.
+
+    Returns
+    -------
+    Result
+        The uniform result; bit-identical across engines under a shared
+        explicit noise matrix.
+    """
+    if not isinstance(spec, MechanismSpec):
+        raise TypeError(
+            f"spec must be a MechanismSpec, got {type(spec).__name__}; "
+            "build one from repro.api.specs or spec_from_dict()"
+        )
+    spec.validate()
+    engine_name = validate_engine(engine)
+    trials = int(trials)
+    if trials < 1:
+        raise ValueError(f"trials must be at least 1, got {trials}")
+    executor = get_executor(type(spec), engine_name)
+    _check_options(executor, type(spec), engine_name, options)
+    if budget is not None:
+        # Refuse before executing (and before consuming any randomness): the
+        # worst case is every trial spending its full epsilon.
+        reservation = spec.epsilon * trials
+        if not budget.can_charge(reservation):
+            raise BudgetExceededError(
+                f"running {spec.kind!r} for {trials} trial(s) may consume up "
+                f"to epsilon={reservation:g} but only {budget.remaining:g} of "
+                "the budget remains"
+            )
+    result = executor(spec, trials=trials, rng=rng, **options)
+    if budget is not None:
+        budget.charge(float(np.sum(result.epsilon_consumed)), label=spec.kind)
+    return result
+
+
+def pick_thresholds(
+    counts,
+    k: int,
+    trials: int,
+    rng=None,
+    low_multiple: int = 2,
+    high_multiple: int = 8,
+) -> np.ndarray:
+    """Per-trial thresholds from the paper's top-2k..top-8k policy.
+
+    A thin facade over the vectorized threshold policy (one uniform draw per
+    trial between the top-``2k``-th and top-``8k``-th counts), exposed here
+    so facade consumers never need to touch :mod:`repro.engine.batch`
+    directly.  The result is what the SVT-family specs accept as their
+    ``thresholds`` run-time option.
+    """
+    # Imported lazily for the same acyclicity reason as the registry's
+    # deferred executor loading.
+    from repro.engine.batch import batch_pick_thresholds
+
+    return batch_pick_thresholds(
+        counts, k, trials, rng=rng, low_multiple=low_multiple, high_multiple=high_multiple
+    )

@@ -1,0 +1,123 @@
+"""The executor registry: (spec type, engine) -> executor callable.
+
+An *executor* is a callable with the signature::
+
+    executor(spec, *, trials, rng, **options) -> Result
+
+The registry maps every :class:`~repro.api.specs.MechanismSpec` subclass to
+(up to) one executor per engine name.  The built-in executors for the
+library's mechanisms live in :mod:`repro.api.executors` and are loaded
+lazily on first lookup -- which also keeps the import graph acyclic: the
+facade can be imported from anywhere (including mid-initialisation of
+:mod:`repro.engine`) without dragging the heavy mechanism modules in.
+
+Third parties (and tests) can plug in their own executors with
+:func:`register_executor`; a spec type registered for only one engine raises
+:class:`~repro.api.engines.UnsupportedEngineError` for the other, naming the
+engines that *are* supported.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.api.engines import UnsupportedEngineError, validate_engine
+from repro.api.result import Result
+
+__all__ = [
+    "get_executor",
+    "register_executor",
+    "registered_spec_types",
+    "supported_engines",
+]
+
+#: An executor runs ``trials`` executions of one spec and returns a Result.
+Executor = Callable[..., Result]
+
+_REGISTRY: Dict[Tuple[type, str], Executor] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtin_executors() -> None:
+    # Deferred so that importing repro.api never triggers the mechanism /
+    # engine modules at import time (repro.engine.session itself imports the
+    # facade; eager loading here would make that import circular).  The flag
+    # flips only after a *successful* import: if the import fails once, the
+    # next lookup retries and surfaces the real ImportError instead of a
+    # misleading empty-registry error.  (Re-entrant imports are handled by
+    # Python's import machinery via sys.modules.)
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        import repro.api.executors  # noqa: F401  (registers the built-ins)
+
+        _BUILTINS_LOADED = True
+
+
+def register_executor(
+    spec_type: type, engine: str, executor: Executor, *, replace: bool = False
+) -> None:
+    """Register ``executor`` for ``(spec_type, engine)``.
+
+    Parameters
+    ----------
+    spec_type:
+        A :class:`~repro.api.specs.MechanismSpec` subclass.
+    engine:
+        One of the canonical engine names (validated through
+        :func:`~repro.api.engines.validate_engine`).
+    executor:
+        Callable ``executor(spec, *, trials, rng, **options) -> Result``.
+    replace:
+        Allow overwriting an existing registration (default: refuse).
+    """
+    engine = validate_engine(engine)
+    key = (spec_type, engine)
+    if key in _REGISTRY and not replace:
+        raise ValueError(
+            f"an executor for ({spec_type.__name__}, {engine!r}) is already "
+            "registered; pass replace=True to overwrite it"
+        )
+    _REGISTRY[key] = executor
+
+
+def supported_engines(spec_type: type) -> Tuple[str, ...]:
+    """Engine names with a registered executor for ``spec_type``, sorted."""
+    _ensure_builtin_executors()
+    return tuple(
+        sorted(engine for (registered, engine) in _REGISTRY if registered is spec_type)
+    )
+
+
+def registered_spec_types() -> Tuple[type, ...]:
+    """Every spec type with at least one registered executor."""
+    _ensure_builtin_executors()
+    return tuple(
+        sorted({registered for (registered, _) in _REGISTRY}, key=lambda t: t.__name__)
+    )
+
+
+def get_executor(spec_type: type, engine: str) -> Executor:
+    """Look up the executor for ``(spec_type, engine)``.
+
+    Raises
+    ------
+    UnsupportedEngineError
+        When the spec type has executors but not for this engine (the message
+        names the supported engines), or when the spec type is entirely
+        unregistered.
+    """
+    _ensure_builtin_executors()
+    engine = validate_engine(engine)
+    try:
+        return _REGISTRY[(spec_type, engine)]
+    except KeyError:
+        supported = supported_engines(spec_type)
+        if supported:
+            names = ", ".join(repr(name) for name in supported)
+            raise UnsupportedEngineError(
+                f"spec type {spec_type.__name__} has no {engine!r} executor; "
+                f"supported engine(s): {names}"
+            ) from None
+        raise UnsupportedEngineError(
+            f"no executors are registered for spec type {spec_type.__name__}"
+        ) from None

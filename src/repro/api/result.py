@@ -1,0 +1,125 @@
+"""The uniform result of running a mechanism spec through the facade.
+
+Whatever the mechanism family and whichever engine executed it, the facade
+returns one :class:`Result` whose per-trial fields all share a leading trial
+axis.  The batch and reference executors populate the same fields with the
+same shapes and padding conventions, which is what makes the two engines
+directly comparable (the equivalence tests assert bit-identical results under
+a shared explicit noise matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.mechanisms.results import BatchTrialViews
+
+__all__ = ["Result"]
+
+
+@dataclass(frozen=True)
+class Result(BatchTrialViews):
+    """Uniform outcome of ``trials`` executions of one mechanism spec.
+
+    All per-trial arrays carry a leading trial axis of length
+    :attr:`trials` -- for a single execution (``trials=1``) use the
+    ``trial_*`` accessors for the squeezed, padding-free view.
+
+    Attributes
+    ----------
+    mechanism:
+        Name of the mechanism that produced the trials.
+    engine:
+        Canonical engine name that executed them (``"batch"`` or
+        ``"reference"``).
+    trials:
+        Number of independent trials.
+    epsilon:
+        Privacy budget each trial was charged against.
+    epsilon_consumed:
+        ``(B,)`` -- budget actually consumed per trial (smaller than
+        ``epsilon`` for the adaptive variant).
+    indices:
+        ``(B, w)`` selected / above-threshold query indexes, right-padded
+        with ``-1`` for trials that answered fewer than ``w`` queries.
+    gaps:
+        Released gaps aligned with ``indices`` (``NaN``-padded); ``(B, 0)``
+        when the mechanism releases no gaps.
+    estimates:
+        Selection-then-measure and Laplace specs: fused / released count
+        estimates aligned with ``indices``; ``None`` otherwise.
+    measurements:
+        Direct noisy measurements aligned with ``indices`` (``None`` when
+        the spec performs no measurement step).
+    true_values:
+        Exact answers of the selected queries, aligned with ``indices``.
+    mask:
+        ``(B, w)`` validity mask for the measurement matrices (``None`` means
+        every position is valid).
+    above:
+        SVT family: ``(B, n)`` above-threshold mask over the full stream,
+        restricted to each trial's processed prefix.
+    branches:
+        SVT family: ``(B, n)`` int8 branch codes
+        (:attr:`BRANCH_BOTTOM`/:attr:`BRANCH_MIDDLE`/:attr:`BRANCH_TOP`).
+    processed:
+        SVT family: ``(B,)`` stream positions examined before stopping.
+    monotonic:
+        Whether monotonic-query accounting was applied.
+    extra:
+        Mechanism-specific scalars (noise scales, branch budgets, ...).
+    """
+
+    mechanism: str
+    engine: str
+    trials: int
+    epsilon: float
+    epsilon_consumed: np.ndarray
+    indices: np.ndarray
+    gaps: np.ndarray
+    estimates: Optional[np.ndarray] = None
+    measurements: Optional[np.ndarray] = None
+    true_values: Optional[np.ndarray] = None
+    mask: Optional[np.ndarray] = None
+    above: Optional[np.ndarray] = None
+    branches: Optional[np.ndarray] = None
+    processed: Optional[np.ndarray] = None
+    monotonic: bool = False
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "epsilon_consumed", np.asarray(self.epsilon_consumed, dtype=float)
+        )
+        object.__setattr__(self, "indices", np.asarray(self.indices))
+        object.__setattr__(self, "gaps", np.asarray(self.gaps, dtype=float))
+        if self.indices.ndim != 2 or self.indices.shape[0] != self.trials:
+            raise ValueError("indices must be a (trials, width) matrix")
+        if self.epsilon_consumed.shape != (self.trials,):
+            raise ValueError("epsilon_consumed must have one entry per trial")
+
+    # -- aggregate views --------------------------------------------------------
+    # num_answered / remaining_budget_fraction / branch_totals / trial_indices /
+    # trial_gaps come from BatchTrialViews, shared with BatchResult.
+
+    @property
+    def epsilon_spent(self) -> np.ndarray:
+        """Alias of :attr:`epsilon_consumed` (the BatchTrialViews name)."""
+        return self.epsilon_consumed
+
+    def baseline_squared_errors(self) -> np.ndarray:
+        """Flat vector of squared errors of the direct measurements."""
+        if self.measurements is None or self.true_values is None:
+            raise ValueError("this result carries no measurement step")
+        errors = (self.measurements - self.true_values) ** 2
+        return errors[self.mask] if self.mask is not None else errors.ravel()
+
+    def fused_squared_errors(self) -> np.ndarray:
+        """Flat vector of squared errors of the gap-fused estimates."""
+        if self.estimates is None or self.true_values is None:
+            raise ValueError("this result carries no fused estimates")
+        errors = (self.estimates - self.true_values) ** 2
+        return errors[self.mask] if self.mask is not None else errors.ravel()

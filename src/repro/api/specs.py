@@ -1,0 +1,577 @@
+"""Declarative, JSON-round-trippable mechanism specifications.
+
+A :class:`MechanismSpec` is a frozen description of *what* to run -- the query
+answers, the privacy budget, the mechanism parameters -- with no opinion about
+*how* it runs.  The executor registry (:mod:`repro.api.registry`) maps each
+spec type to batch and reference executors, and the facade
+(:func:`repro.api.run`) is the single entry point that joins the two.
+
+Because a spec is plain data (``to_dict``/``from_dict``/``to_json`` round-trip
+losslessly), it can be stored in a file, queued for a worker, cached under a
+hash, or shipped across a process boundary -- which is exactly what the
+production-scale roadmap (sharding, async execution, request services) needs.
+
+Every spec type carries a ``validate()`` method; deserialization rejects
+unknown fields and invalid parameter values with :class:`SpecValidationError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "AdaptiveSvtSpec",
+    "LaplaceSpec",
+    "MechanismSpec",
+    "NoisyTopKSpec",
+    "SelectMeasureSpec",
+    "SparseVectorSpec",
+    "SpecValidationError",
+    "SvtVariantSpec",
+    "spec_from_dict",
+    "spec_from_json",
+    "spec_kinds",
+]
+
+
+class SpecValidationError(ValueError):
+    """Raised when a spec's parameters (or serialized payload) are invalid."""
+
+
+#: Registry of spec classes by their ``kind`` string (filled by
+#: ``MechanismSpec.__init_subclass__``); drives :func:`spec_from_dict`.
+_SPEC_KINDS: Dict[str, type] = {}
+
+
+def spec_kinds() -> Tuple[str, ...]:
+    """The ``kind`` strings of every registered spec type, sorted."""
+    return tuple(sorted(_SPEC_KINDS))
+
+
+def _coerce_queries(queries) -> Tuple[float, ...]:
+    if isinstance(queries, np.ndarray):
+        if queries.ndim != 1:
+            raise SpecValidationError("queries must be a one-dimensional vector")
+        queries = queries.tolist()
+    try:
+        return tuple(float(q) for q in queries)
+    except (TypeError, ValueError) as exc:
+        raise SpecValidationError(f"queries must be a sequence of numbers: {exc}") from None
+
+
+def _coerce_float(name: str, value) -> float:
+    # OverflowError: float(10**400)-style inputs from deserialized payloads.
+    try:
+        return float(value)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise SpecValidationError(f"{name} must be a number: {exc}") from None
+
+
+def _coerce_optional_float(name: str, value) -> Optional[float]:
+    return None if value is None else _coerce_float(name, value)
+
+
+def _coerce_int(name: str, value) -> int:
+    # OverflowError: int(float("inf")) from JSON payloads like {"k": 1e400}.
+    try:
+        coerced = int(value)
+        exact = float(coerced) == float(value)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise SpecValidationError(f"{name} must be an integer: {exc}") from None
+    if not exact:
+        raise SpecValidationError(f"{name} must be an integer, got {value!r}")
+    return coerced
+
+
+def _coerce_bool(name: str, value) -> bool:
+    # Strict: bool() would turn any non-empty string truthy, so a JSON
+    # payload with "monotonic": "false" would silently *enable* monotonic
+    # accounting (halved noise scales) and void the DP guarantee.  Only real
+    # booleans and exact 0/1 are accepted.
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)) and value in (0, 1):
+        return bool(value)
+    raise SpecValidationError(f"{name} must be a boolean, got {value!r}")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SpecValidationError(message)
+
+
+@dataclass(frozen=True)
+class MechanismSpec:
+    """Base class / protocol of all mechanism specifications.
+
+    Attributes
+    ----------
+    queries:
+        The exact query answers the mechanism consumes, as an immutable tuple
+        (any one-dimensional sequence or array is accepted and coerced).
+    epsilon:
+        Total privacy budget of one execution of the spec.
+
+    Notes
+    -----
+    Subclasses set the class attribute ``kind`` (the serialization tag) and
+    extend :meth:`validate`.  ``to_dict``/``from_dict`` round-trip every spec
+    through plain JSON-compatible dictionaries; ``from_dict`` rejects unknown
+    fields and invalid parameter values.
+    """
+
+    queries: Tuple[float, ...]
+    epsilon: float
+
+    #: Serialization tag; also the default odometer charge label.
+    kind: ClassVar[str] = ""
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        tag = cls.__dict__.get("kind", "")
+        if tag:
+            _SPEC_KINDS[tag] = cls
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "queries", _coerce_queries(self.queries))
+        object.__setattr__(self, "epsilon", _coerce_float("epsilon", self.epsilon))
+        # Cache the array view once: specs are immutable, and executors read
+        # the query vector on every run() call (the facade-dispatch benchmark
+        # guards this path).  Read-only so nothing can mutate it in place.
+        values = np.asarray(self.queries, dtype=float)
+        values.flags.writeable = False
+        object.__setattr__(self, "_values", values)
+
+    # -- validation -------------------------------------------------------------
+
+    def validate(self) -> "MechanismSpec":
+        """Check parameter values, raising :class:`SpecValidationError`.
+
+        Returns the spec itself so call sites can chain
+        ``spec.validate()``.
+        """
+        _require(len(self.queries) >= 1, "at least one query is required")
+        _require(
+            bool(np.all(np.isfinite(self.values()))), "queries must all be finite"
+        )
+        _require(
+            np.isfinite(self.epsilon) and self.epsilon > 0,
+            f"epsilon must be positive and finite, got {self.epsilon}",
+        )
+        return self
+
+    # -- array view -------------------------------------------------------------
+
+    def values(self) -> np.ndarray:
+        """The query answers as a float vector (the executors' input).
+
+        The returned array is a cached, read-only view; callers that need to
+        mutate it must copy.
+        """
+        return self._values
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-compatible dictionary with a leading ``"kind"`` tag."""
+        payload = {"kind": self.kind}
+        for spec_field in dataclasses.fields(self):
+            value = getattr(self, spec_field.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            payload[spec_field.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MechanismSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Called on :class:`MechanismSpec` itself this dispatches on the
+        ``"kind"`` tag; called on a concrete subclass the tag must match.
+        Unknown fields and invalid parameter values raise
+        :class:`SpecValidationError`.
+        """
+        if not isinstance(data, dict):
+            raise SpecValidationError("spec payload must be a mapping")
+        if cls is MechanismSpec:
+            return spec_from_dict(data)
+        payload = dict(data)
+        kind = payload.pop("kind", cls.kind)
+        if kind != cls.kind:
+            raise SpecValidationError(f"expected kind {cls.kind!r}, got {kind!r}")
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - field_names)
+        if unknown:
+            raise SpecValidationError(
+                f"unknown field(s) for {cls.kind!r} spec: {', '.join(unknown)}"
+            )
+        try:
+            spec = cls(**payload)
+        except TypeError as exc:
+            raise SpecValidationError(f"invalid {cls.kind!r} spec: {exc}") from None
+        spec.validate()
+        return spec
+
+    def to_json(self, **kwargs) -> str:
+        """Serialize to a JSON string (kwargs pass through to ``json.dumps``)."""
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MechanismSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecValidationError(f"spec is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+
+def spec_from_dict(data: dict) -> MechanismSpec:
+    """Rebuild any registered spec type from its ``to_dict`` payload."""
+    if not isinstance(data, dict):
+        raise SpecValidationError("spec payload must be a mapping")
+    kind = data.get("kind")
+    if kind not in _SPEC_KINDS:
+        known = ", ".join(spec_kinds())
+        raise SpecValidationError(f"unknown spec kind {kind!r}; known kinds: {known}")
+    return _SPEC_KINDS[kind].from_dict(data)
+
+
+def spec_from_json(text: str) -> MechanismSpec:
+    """Rebuild any registered spec type from its ``to_json`` string."""
+    return MechanismSpec.from_json(text)
+
+
+# ---------------------------------------------------------------------------
+# concrete spec types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NoisyTopKSpec(MechanismSpec):
+    """(With-gap) Noisy Top-K selection (Algorithm 1 of the paper).
+
+    Attributes
+    ----------
+    k:
+        Number of queries to select.
+    monotonic:
+        Whether the query list is monotonic (Definition 7).
+    with_gap:
+        Release the free consecutive gaps (requires ``k + 1`` queries);
+        ``False`` selects the classical gap-free baseline.
+    sensitivity:
+        Per-query sensitivity.
+    """
+
+    k: int = 1
+    monotonic: bool = False
+    with_gap: bool = True
+    sensitivity: float = 1.0
+
+    kind: ClassVar[str] = "noisy-top-k"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "k", _coerce_int("k", self.k))
+        object.__setattr__(self, "monotonic", _coerce_bool("monotonic", self.monotonic))
+        object.__setattr__(self, "with_gap", _coerce_bool("with_gap", self.with_gap))
+        object.__setattr__(self, "sensitivity", _coerce_float("sensitivity", self.sensitivity))
+
+    def validate(self) -> "NoisyTopKSpec":
+        super().validate()
+        _require(self.k >= 1, f"k must be at least 1, got {self.k}")
+        _require(
+            np.isfinite(self.sensitivity) and self.sensitivity > 0,
+            f"sensitivity must be positive, got {self.sensitivity}",
+        )
+        need = self.k + 1 if self.with_gap else self.k
+        _require(
+            len(self.queries) >= need,
+            f"need at least {need} queries for k={self.k}"
+            + (" (with-gap requires k+1)" if self.with_gap else ""),
+        )
+        return self
+
+
+@dataclass(frozen=True)
+class SparseVectorSpec(MechanismSpec):
+    """(With-gap) Sparse Vector over a query stream.
+
+    Attributes
+    ----------
+    threshold:
+        The public threshold ``T`` (a per-trial override can be supplied at
+        run time via the facade's ``thresholds`` option).
+    k:
+        Maximum number of above-threshold answers before stopping.
+    monotonic:
+        Whether the stream is monotonic.
+    with_gap:
+        Release the noisy gap of every above-threshold answer for free;
+        ``False`` selects the indicator-only standard SVT.
+    theta:
+        Optional threshold/query budget-allocation hyper-parameter in (0, 1);
+        ``None`` selects the Lyu et al. ratio.
+    sensitivity:
+        Per-query sensitivity.
+    """
+
+    threshold: float = 0.0
+    k: int = 1
+    monotonic: bool = False
+    with_gap: bool = True
+    theta: Optional[float] = None
+    sensitivity: float = 1.0
+
+    kind: ClassVar[str] = "sparse-vector"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "threshold", _coerce_float("threshold", self.threshold))
+        object.__setattr__(self, "k", _coerce_int("k", self.k))
+        object.__setattr__(self, "monotonic", _coerce_bool("monotonic", self.monotonic))
+        object.__setattr__(self, "with_gap", _coerce_bool("with_gap", self.with_gap))
+        object.__setattr__(self, "theta", _coerce_optional_float("theta", self.theta))
+        object.__setattr__(self, "sensitivity", _coerce_float("sensitivity", self.sensitivity))
+
+    def validate(self) -> "SparseVectorSpec":
+        super().validate()
+        _require(self.k >= 1, f"k must be at least 1, got {self.k}")
+        _require(np.isfinite(self.threshold), "threshold must be finite")
+        if self.theta is not None:
+            _require(0.0 < self.theta < 1.0, f"theta must lie in (0, 1), got {self.theta}")
+        _require(
+            np.isfinite(self.sensitivity) and self.sensitivity > 0,
+            f"sensitivity must be positive, got {self.sensitivity}",
+        )
+        return self
+
+
+@dataclass(frozen=True)
+class AdaptiveSvtSpec(MechanismSpec):
+    """Adaptive-Sparse-Vector-with-Gap (Algorithm 2 of the paper).
+
+    Attributes
+    ----------
+    threshold:
+        The public threshold ``T`` (per-trial override via the facade's
+        ``thresholds`` option).
+    k:
+        Minimum number of above-threshold answers the budget must fund.
+    monotonic:
+        Whether the stream is monotonic (halves the per-query noise scales).
+    theta:
+        Optional budget-allocation hyper-parameter in (0, 1).
+    sigma_multiplier:
+        Top-branch margin in standard deviations of the top-branch noise.
+    sensitivity:
+        Per-query sensitivity.
+    max_answers:
+        Optional hard cap on above-threshold answers (the Figure 4 stop).
+    """
+
+    threshold: float = 0.0
+    k: int = 1
+    monotonic: bool = False
+    theta: Optional[float] = None
+    sigma_multiplier: float = 2.0
+    sensitivity: float = 1.0
+    max_answers: Optional[int] = None
+
+    kind: ClassVar[str] = "adaptive-svt"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "threshold", _coerce_float("threshold", self.threshold))
+        object.__setattr__(self, "k", _coerce_int("k", self.k))
+        object.__setattr__(self, "monotonic", _coerce_bool("monotonic", self.monotonic))
+        object.__setattr__(self, "theta", _coerce_optional_float("theta", self.theta))
+        object.__setattr__(
+            self, "sigma_multiplier", _coerce_float("sigma_multiplier", self.sigma_multiplier)
+        )
+        object.__setattr__(self, "sensitivity", _coerce_float("sensitivity", self.sensitivity))
+        if self.max_answers is not None:
+            object.__setattr__(self, "max_answers", _coerce_int("max_answers", self.max_answers))
+
+    def validate(self) -> "AdaptiveSvtSpec":
+        super().validate()
+        _require(self.k >= 1, f"k must be at least 1, got {self.k}")
+        _require(np.isfinite(self.threshold), "threshold must be finite")
+        if self.theta is not None:
+            _require(0.0 < self.theta < 1.0, f"theta must lie in (0, 1), got {self.theta}")
+        _require(
+            np.isfinite(self.sigma_multiplier) and self.sigma_multiplier > 0,
+            f"sigma_multiplier must be positive, got {self.sigma_multiplier}",
+        )
+        _require(
+            np.isfinite(self.sensitivity) and self.sensitivity > 0,
+            f"sensitivity must be positive, got {self.sensitivity}",
+        )
+        if self.max_answers is not None:
+            _require(self.max_answers >= 1, "max_answers must be at least 1 when given")
+        return self
+
+
+@dataclass(frozen=True)
+class SelectMeasureSpec(MechanismSpec):
+    """Selection-then-measure protocol (Sections 5.2 / 6.2 of the paper).
+
+    Half of ``epsilon`` funds a with-gap selection, half funds direct Laplace
+    measurements of the selected queries, and the free gaps are fused with the
+    measurements (BLUE for Top-K, inverse-variance for SVT).
+
+    Attributes
+    ----------
+    k:
+        Number of queries to select (Top-K) / target answer count (SVT).
+    mechanism:
+        ``"top-k"`` or ``"svt"``.
+    threshold:
+        Public threshold, required for ``mechanism="svt"`` (per-trial
+        override via the facade's ``thresholds`` option).
+    monotonic:
+        Whether the queries are monotonic (counting queries -- the paper's
+        experiments use ``True``).
+    adaptive:
+        SVT only: select with Adaptive-Sparse-Vector-with-Gap instead of the
+        non-adaptive variant.
+    """
+
+    k: int = 1
+    mechanism: str = "top-k"
+    threshold: Optional[float] = None
+    monotonic: bool = True
+    adaptive: bool = False
+
+    kind: ClassVar[str] = "select-measure"
+
+    #: Valid values of :attr:`mechanism`.
+    MECHANISMS: ClassVar[Tuple[str, ...]] = ("top-k", "svt")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "k", _coerce_int("k", self.k))
+        object.__setattr__(self, "threshold", _coerce_optional_float("threshold", self.threshold))
+        object.__setattr__(self, "monotonic", _coerce_bool("monotonic", self.monotonic))
+        object.__setattr__(self, "adaptive", _coerce_bool("adaptive", self.adaptive))
+
+    def validate(self) -> "SelectMeasureSpec":
+        super().validate()
+        _require(self.k >= 1, f"k must be at least 1, got {self.k}")
+        _require(
+            self.mechanism in self.MECHANISMS,
+            f"mechanism must be one of {self.MECHANISMS}, got {self.mechanism!r}",
+        )
+        if self.mechanism == "top-k":
+            _require(
+                len(self.queries) >= self.k + 1,
+                f"top-k selection-then-measure needs at least k+1={self.k + 1} queries",
+            )
+            _require(not self.adaptive, "adaptive selection only applies to mechanism='svt'")
+            _require(self.threshold is None, "threshold only applies to mechanism='svt'")
+        else:
+            _require(
+                self.threshold is not None and np.isfinite(self.threshold),
+                "mechanism='svt' requires a finite threshold",
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class LaplaceSpec(MechanismSpec):
+    """Direct Laplace measurement of a query vector (Theorem 1).
+
+    Attributes
+    ----------
+    l1_sensitivity:
+        L1 sensitivity of the query vector; ``None`` defaults to the number
+        of queries (the counting-query convention of Sections 5.2/6.2).
+    """
+
+    l1_sensitivity: Optional[float] = None
+
+    kind: ClassVar[str] = "laplace"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(
+            self, "l1_sensitivity", _coerce_optional_float("l1_sensitivity", self.l1_sensitivity)
+        )
+
+    @property
+    def effective_l1_sensitivity(self) -> float:
+        """The sensitivity actually used (defaults to the query count)."""
+        if self.l1_sensitivity is None:
+            return float(len(self.queries))
+        return self.l1_sensitivity
+
+    def validate(self) -> "LaplaceSpec":
+        super().validate()
+        if self.l1_sensitivity is not None:
+            _require(
+                np.isfinite(self.l1_sensitivity) and self.l1_sensitivity > 0,
+                f"l1_sensitivity must be positive, got {self.l1_sensitivity}",
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class SvtVariantSpec(MechanismSpec):
+    """One of the six Lyu et al. SVT catalogue variants.
+
+    The variants (including the deliberately broken ones kept as negative
+    fixtures) are registered **reference-only**: running them with
+    ``engine="batch"`` raises
+    :class:`~repro.api.engines.UnsupportedEngineError`.
+
+    Attributes
+    ----------
+    variant:
+        Catalogue index 1-6 (Lyu et al. numbering).
+    threshold:
+        The public threshold ``T``.
+    k:
+        Maximum number of above-threshold answers before stopping.
+    monotonic:
+        Only meaningful for the correct variants 1 and 2; the broken variants
+        3-6 do not implement monotonic accounting.
+    sensitivity:
+        Per-query sensitivity.
+    """
+
+    variant: int = 1
+    threshold: float = 0.0
+    k: int = 1
+    monotonic: bool = False
+    sensitivity: float = 1.0
+
+    kind: ClassVar[str] = "svt-variant"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "variant", _coerce_int("variant", self.variant))
+        object.__setattr__(self, "threshold", _coerce_float("threshold", self.threshold))
+        object.__setattr__(self, "k", _coerce_int("k", self.k))
+        object.__setattr__(self, "monotonic", _coerce_bool("monotonic", self.monotonic))
+        object.__setattr__(self, "sensitivity", _coerce_float("sensitivity", self.sensitivity))
+
+    def validate(self) -> "SvtVariantSpec":
+        super().validate()
+        _require(1 <= self.variant <= 6, f"variant must be 1-6, got {self.variant}")
+        _require(self.k >= 1, f"k must be at least 1, got {self.k}")
+        _require(np.isfinite(self.threshold), "threshold must be finite")
+        _require(
+            np.isfinite(self.sensitivity) and self.sensitivity > 0,
+            f"sensitivity must be positive, got {self.sensitivity}",
+        )
+        _require(
+            not (self.monotonic and self.variant >= 3),
+            f"variant {self.variant} does not implement monotonic accounting",
+        )
+        return self

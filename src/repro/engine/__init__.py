@@ -12,6 +12,14 @@ package wraps them in two execution layers:
   ``(B, n)`` NumPy matrix operations, which is what lets the evaluation
   harness average thousands of trials per plotted point at hardware speed.
 
+Consumers normally reach both layers through the unified mechanism API
+(:mod:`repro.api`): a declarative spec executed via ``run(spec,
+engine="batch" | "reference")`` dispatches to the batch runners in
+:mod:`repro.engine.batch` or to the per-trial reference classes through the
+executor registry -- the session's question methods are themselves thin
+facade consumers.  The module-level ``batch_*`` functions remain public for
+code that wants direct, allocation-free access to the vectorized kernels.
+
 Batch semantics
 ---------------
 What is vectorized, and how the sequential mechanisms are emulated:

@@ -1,4 +1,12 @@
-"""Budget-tracked private analytics sessions over transaction databases."""
+"""Budget-tracked private analytics sessions over transaction databases.
+
+Every question a session answers is expressed as a declarative mechanism
+spec and executed through the :func:`repro.api.run` facade: live questions
+run one trial on the ``reference`` engine (charging the session's budget
+odometer through the facade), while the ``simulate_*`` what-ifs run many
+trials on the vectorized ``batch`` engine without touching the budget or the
+session's RNG stream.
+"""
 
 from __future__ import annotations
 
@@ -8,15 +16,15 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.accounting.budget import BudgetExceededError, BudgetOdometer
-from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
-from repro.core.noisy_top_k import NoisyTopKWithGap
-from repro.engine.batch import (
-    batch_adaptive_svt,
-    batch_select_and_measure_top_k,
+from repro.api.engines import Engine
+from repro.api.facade import run as api_run
+from repro.api.result import Result
+from repro.api.specs import (
+    AdaptiveSvtSpec,
+    LaplaceSpec,
+    NoisyTopKSpec,
+    SelectMeasureSpec,
 )
-from repro.mechanisms.laplace_mechanism import LaplaceMechanism
-from repro.mechanisms.sparse_vector import SvtBranch
-from repro.postprocess.blue import blue_top_k_estimate
 from repro.postprocess.confidence import gap_lower_confidence_bound
 from repro.primitives.rng import RngLike, ensure_rng
 
@@ -160,9 +168,23 @@ class PrivateAnalyticsSession:
                 f"{self.remaining_epsilon:g} of the session budget remains"
             )
 
-    def _charge(self, epsilon: float, label: str) -> None:
-        self._odometer.charge(epsilon, label=label)
-        self._questions.append({"label": label, "epsilon": float(epsilon)})
+    def _ask(self, spec, label: str) -> Result:
+        """Execute one live question through the facade.
+
+        The facade charges the session odometer with the budget the run
+        actually consumed (labelled by spec kind); the session additionally
+        records a per-question ledger entry under the question label.
+        """
+        result = api_run(
+            spec,
+            engine=Engine.REFERENCE,
+            trials=1,
+            rng=self._generator,
+            budget=self._odometer,
+        )
+        charged = float(result.epsilon_consumed[0])
+        self._questions.append({"label": label, "epsilon": charged})
+        return result
 
     # -- questions --------------------------------------------------------------
 
@@ -192,28 +214,27 @@ class PrivateAnalyticsSession:
         label = f"top_{k}_items"
         self._reserve(epsilon, label)
 
-        selection_epsilon = epsilon / 2.0 if measure else epsilon
-        selector = NoisyTopKWithGap(epsilon=selection_epsilon, k=k, monotonic=True)
-        selection = selector.select(self._counts, rng=self._generator)
-        items = [self._items[i] for i in selection.indices]
-
-        estimates = None
         if measure:
-            measurer = LaplaceMechanism(epsilon=epsilon / 2.0, l1_sensitivity=float(k))
-            measured = measurer.release(
-                self._counts[selection.indices], rng=self._generator
+            spec = SelectMeasureSpec(
+                queries=self._counts,
+                epsilon=epsilon,
+                k=k,
+                mechanism="top-k",
+                monotonic=True,
             )
-            lam = (2.0 * selector.scale**2) / measured.variance
-            estimates = blue_top_k_estimate(
-                measured.values, selection.gaps[: k - 1], lam=lam
+        else:
+            spec = NoisyTopKSpec(
+                queries=self._counts, epsilon=epsilon, k=k, monotonic=True, with_gap=True
             )
+        result = self._ask(spec, label)
 
-        self._charge(epsilon, label)
+        items = [self._items[i] for i in result.trial_indices(0)]
+        estimates = np.asarray(result.estimates[0]) if measure else None
         return TopKAnswer(
             items=items,
-            gaps=np.asarray(selection.gaps),
+            gaps=np.asarray(result.gaps[0]),
             estimates=estimates,
-            epsilon_charged=epsilon,
+            epsilon_charged=float(result.epsilon_consumed[0]),
         )
 
     def items_above(
@@ -249,42 +270,46 @@ class PrivateAnalyticsSession:
         label = f"items_above_{threshold:g}"
         self._reserve(epsilon, label)
 
-        mechanism = AdaptiveSparseVectorWithGap(
-            epsilon=epsilon, threshold=threshold, k=k, monotonic=True
+        spec = AdaptiveSvtSpec(
+            queries=self._counts,
+            epsilon=epsilon,
+            threshold=threshold,
+            k=k,
+            monotonic=True,
         )
-        result = mechanism.run(self._counts, rng=self._generator)
+        result = self._ask(spec, label)
 
-        items: List[int] = []
-        estimates: List[float] = []
-        bounds: List[float] = []
-        for outcome in result.outcomes:
-            if not outcome.above or outcome.gap is None:
-                continue
-            items.append(self._items[outcome.index])
-            estimates.append(outcome.gap + threshold)
-            if confidence is not None:
+        indices = result.trial_indices(0)
+        gaps = result.trial_gaps(0)
+        items = [self._items[i] for i in indices]
+        estimates = gaps + threshold
+
+        bounds: Optional[np.ndarray] = None
+        if confidence is not None:
+            branch_row = result.branches[0]
+            bound_values = []
+            for index, gap in zip(indices, gaps):
                 eps_star = (
-                    mechanism.epsilon_top
-                    if outcome.branch is SvtBranch.TOP
-                    else mechanism.epsilon_middle
+                    result.extra["epsilon_top"]
+                    if branch_row[index] == Result.BRANCH_TOP
+                    else result.extra["epsilon_middle"]
                 )
-                bounds.append(
+                bound_values.append(
                     gap_lower_confidence_bound(
-                        outcome.gap,
+                        float(gap),
                         threshold,
-                        eps0=mechanism.epsilon_threshold,
+                        eps0=result.extra["epsilon_threshold"],
                         eps_star=eps_star,
                         confidence=confidence,
                     )
                 )
+            bounds = np.asarray(bound_values)
 
-        charged = float(result.metadata.epsilon_spent)
-        self._charge(charged, label)
         return AboveThresholdAnswer(
             items=items,
             estimates=np.asarray(estimates),
-            lower_bounds=np.asarray(bounds) if confidence is not None else None,
-            epsilon_charged=charged,
+            lower_bounds=bounds,
+            epsilon_charged=float(result.epsilon_consumed[0]),
         )
 
     # -- budget-free what-if simulation (batch engine) --------------------------
@@ -300,7 +325,7 @@ class PrivateAnalyticsSession:
 
         Runs ``trials`` vectorized Monte-Carlo trials of the
         selection-then-measure protocol on the session's own counts via the
-        batch execution engine.  No privacy budget is consumed and the
+        facade's batch engine.  No privacy budget is consumed and the
         session's RNG stream is untouched (DP composition covers releases,
         not hypothetical computations kept inside the curator).
 
@@ -309,10 +334,10 @@ class PrivateAnalyticsSession:
         """
         if epsilon is None:
             epsilon = self.total_epsilon / 4.0
-        batch = batch_select_and_measure_top_k(
-            self._counts, epsilon=epsilon, k=k, trials=trials,
-            monotonic=True, rng=rng,
+        spec = SelectMeasureSpec(
+            queries=self._counts, epsilon=epsilon, k=k, mechanism="top-k", monotonic=True
         )
+        batch = api_run(spec, engine=Engine.BATCH, trials=trials, rng=rng)
         baseline_mse = float(np.mean(batch.baseline_squared_errors()))
         fused_mse = float(np.mean(batch.fused_squared_errors()))
         return {
@@ -342,13 +367,17 @@ class PrivateAnalyticsSession:
         """
         if epsilon is None:
             epsilon = self.total_epsilon / 4.0
-        mechanism = AdaptiveSparseVectorWithGap(
-            epsilon=epsilon, threshold=threshold, k=k, monotonic=True
+        spec = AdaptiveSvtSpec(
+            queries=self._counts,
+            epsilon=epsilon,
+            threshold=threshold,
+            k=k,
+            monotonic=True,
         )
-        batch = batch_adaptive_svt(mechanism, self._counts, trials, rng=rng)
+        batch = api_run(spec, engine=Engine.BATCH, trials=trials, rng=rng)
         return {
             "expected_answers": float(np.mean(batch.num_answered)),
-            "expected_epsilon_spent": float(np.mean(batch.epsilon_spent)),
+            "expected_epsilon_spent": float(np.mean(batch.epsilon_consumed)),
             "expected_remaining_fraction": float(
                 np.mean(batch.remaining_budget_fraction)
             ),
@@ -373,7 +402,8 @@ class PrivateAnalyticsSession:
         """
         if not items:
             raise ValueError("at least one item must be requested")
-        missing = [item for item in items if item not in set(self._items)]
+        position_of = {item: i for i, item in enumerate(self._items)}
+        missing = [item for item in items if item not in position_of]
         if missing:
             raise KeyError(f"items not present in the database: {missing}")
         if epsilon is None:
@@ -381,8 +411,14 @@ class PrivateAnalyticsSession:
         label = f"measure_{len(items)}_items"
         self._reserve(epsilon, label)
 
-        positions = [self._items.index(item) for item in items]
-        mechanism = LaplaceMechanism(epsilon=epsilon, l1_sensitivity=float(len(items)))
-        released = mechanism.release(self._counts[positions], rng=self._generator)
-        self._charge(epsilon, label)
-        return {item: float(value) for item, value in zip(items, released.values)}
+        positions = [position_of[item] for item in items]
+        spec = LaplaceSpec(
+            queries=self._counts[positions],
+            epsilon=epsilon,
+            l1_sensitivity=float(len(items)),
+        )
+        result = self._ask(spec, label)
+        return {
+            item: float(value)
+            for item, value in zip(items, result.measurements[0])
+        }

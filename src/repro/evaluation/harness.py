@@ -20,48 +20,32 @@ seeded generator, and averages over a configurable number of Monte-Carlo
 trials (the paper uses 10,000; the benchmarks default to fewer for speed and
 note it in EXPERIMENTS.md).
 
-All four runners are driven by the vectorized batch execution engine
-(:mod:`repro.engine.batch`) by default, which runs the whole trial batch as
-``(trials, n)`` matrix operations; pass ``engine="reference"`` to fall back
-to the original per-trial Python loop around the reference mechanism
-classes (bit-identical to the batch path under a shared noise matrix, and
-kept as the ground truth the equivalence tests compare against).
+All four runners are thin consumers of the unified mechanism API: they build
+a declarative spec (:mod:`repro.api.specs`) and execute it through the
+:func:`repro.api.run` facade, which dispatches to the vectorized batch
+engine by default (``engine="batch"``) or to the per-trial reference
+implementations (``engine="reference"`` -- bit-identical to the batch path
+under a shared noise matrix, and kept as the ground truth the equivalence
+tests compare against).  Either way the aggregation code below is a single
+engine-agnostic path over the uniform :class:`~repro.api.result.Result`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
-from repro.core.select_measure import (
-    select_and_measure_svt,
-    select_and_measure_top_k,
-)
-from repro.engine.batch import (
-    batch_adaptive_svt,
-    batch_pick_thresholds,
-    batch_select_and_measure_svt,
-    batch_select_and_measure_top_k,
-    batch_sparse_vector,
-)
-from repro.evaluation.metrics import (
-    f_measure,
-    improvement_percentage,
-    precision_recall,
-)
-from repro.mechanisms.results import BatchResult
-from repro.mechanisms.sparse_vector import SparseVector, SvtBranch
+from repro.api.engines import validate_engine
+from repro.api.facade import pick_thresholds as api_pick_thresholds
+from repro.api.facade import run as api_run
+from repro.api.result import Result
+from repro.api.specs import AdaptiveSvtSpec, SelectMeasureSpec, SparseVectorSpec
+from repro.evaluation.metrics import improvement_percentage
 from repro.primitives.rng import RngLike, ensure_rng
 
 ArrayLike = Union[Sequence[float], np.ndarray]
-
-
-def _check_engine(engine: str) -> None:
-    if engine not in ("batch", "reference"):
-        raise ValueError(f"engine must be 'batch' or 'reference', got {engine!r}")
 
 
 def _batch_precision_recall_f(
@@ -98,7 +82,8 @@ def pick_threshold(
 
     This mirrors the paper's experimental protocol (Section 7.2): "the
     threshold is randomly picked from the top 2k to top 8k in each dataset
-    for each run".
+    for each run".  The per-trial vectorized counterpart is
+    :func:`repro.api.pick_thresholds`.
     """
     counts = np.sort(np.asarray(counts, dtype=float))[::-1]
     generator = ensure_rng(rng)
@@ -170,31 +155,19 @@ def run_top_k_mse_improvement(
         when omitted).
     engine:
         ``"batch"`` (default) runs all trials as one vectorized batch;
-        ``"reference"`` keeps the original per-trial loop.
+        ``"reference"`` loops the per-trial reference implementations.
     """
     from repro.postprocess.theory import top_k_expected_improvement
 
     counts = np.asarray(counts, dtype=float)
-    _check_engine(engine)
+    engine = validate_engine(engine)
     generator = ensure_rng(rng)
-    if engine == "batch":
-        batch = batch_select_and_measure_top_k(
-            counts, epsilon=epsilon, k=k, trials=trials,
-            monotonic=monotonic, rng=generator,
-        )
-        baseline_mse = float(np.mean(batch.baseline_squared_errors()))
-        fused_mse = float(np.mean(batch.fused_squared_errors()))
-    else:
-        baseline_errors: List[float] = []
-        fused_errors: List[float] = []
-        for _ in range(trials):
-            run = select_and_measure_top_k(
-                counts, epsilon=epsilon, k=k, monotonic=monotonic, rng=generator
-            )
-            baseline_errors.extend(run.baseline_squared_errors())
-            fused_errors.extend(run.fused_squared_errors())
-        baseline_mse = float(np.mean(baseline_errors))
-        fused_mse = float(np.mean(fused_errors))
+    spec = SelectMeasureSpec(
+        queries=counts, epsilon=epsilon, k=k, mechanism="top-k", monotonic=monotonic
+    )
+    result = api_run(spec, engine=engine, trials=trials, rng=generator)
+    baseline_mse = float(np.mean(result.baseline_squared_errors()))
+    fused_mse = float(np.mean(result.fused_squared_errors()))
     if theoretical_percent is None:
         theoretical_percent = 100.0 * top_k_expected_improvement(k, lam=1.0)
     return MseImprovementResult(
@@ -228,36 +201,23 @@ def run_svt_mse_improvement(
     from repro.postprocess.theory import svt_expected_improvement
 
     counts = np.asarray(counts, dtype=float)
-    _check_engine(engine)
+    engine = validate_engine(engine)
     generator = ensure_rng(rng)
-    if engine == "batch":
-        thresholds = batch_pick_thresholds(counts, k, trials, rng=generator)
-        batch = batch_select_and_measure_svt(
-            counts, epsilon=epsilon, k=k, thresholds=thresholds, trials=trials,
-            monotonic=monotonic, adaptive=adaptive, rng=generator,
-        )
-        baseline_sq = batch.baseline_squared_errors()
-        fused_sq = batch.fused_squared_errors()
-    else:
-        baseline_errors: List[float] = []
-        fused_errors: List[float] = []
-        for _ in range(trials):
-            threshold = pick_threshold(counts, k, rng=generator)
-            run = select_and_measure_svt(
-                counts,
-                epsilon=epsilon,
-                k=k,
-                threshold=threshold,
-                monotonic=monotonic,
-                adaptive=adaptive,
-                rng=generator,
-            )
-            if len(run.indices) == 0:
-                continue
-            baseline_errors.extend(run.baseline_squared_errors())
-            fused_errors.extend(run.fused_squared_errors())
-        baseline_sq = np.asarray(baseline_errors)
-        fused_sq = np.asarray(fused_errors)
+    thresholds = api_pick_thresholds(counts, k, trials, rng=generator)
+    spec = SelectMeasureSpec(
+        queries=counts,
+        epsilon=epsilon,
+        k=k,
+        mechanism="svt",
+        threshold=0.0,
+        monotonic=monotonic,
+        adaptive=adaptive,
+    )
+    result = api_run(
+        spec, engine=engine, trials=trials, rng=generator, thresholds=thresholds
+    )
+    baseline_sq = result.baseline_squared_errors()
+    fused_sq = result.fused_squared_errors()
     if baseline_sq.size == 0:
         raise RuntimeError(
             "no above-threshold answers were produced in any trial; "
@@ -324,96 +284,53 @@ def run_adaptive_comparison(
 ) -> AdaptiveComparisonResult:
     """Figure 3 experiment: Sparse Vector vs Adaptive-Sparse-Vector-with-Gap.
 
-    Both mechanisms process the item-count stream in descending-count order
-    restricted to... no -- in the stream order of the counts as supplied.
-    The threshold is drawn per trial from the top-2k..top-8k range and the
-    recall underlying the F-measure is computed against the set of items
-    whose true counts exceed that threshold.
+    Both mechanisms process the item-count stream in the order of the counts
+    as supplied.  The threshold is drawn per trial from the top-2k..top-8k
+    range and the recall underlying the F-measure is computed against the set
+    of items whose true counts exceed that threshold.  One engine-agnostic
+    aggregation path serves both engines: the facade returns the same
+    ``(trials, n)`` above/branch masks either way.
     """
     counts = np.asarray(counts, dtype=float)
-    _check_engine(engine)
+    engine = validate_engine(engine)
     generator = ensure_rng(rng)
 
-    if engine == "batch":
-        thresholds = batch_pick_thresholds(counts, k, trials, rng=generator)
-        actual_above = counts[None, :] > thresholds[:, None]
+    thresholds = api_pick_thresholds(counts, k, trials, rng=generator)
+    actual_above = counts[None, :] > thresholds[:, None]
 
-        svt = SparseVector(epsilon=epsilon, threshold=0.0, k=k, monotonic=monotonic)
-        svt_batch = batch_sparse_vector(
-            svt, counts, trials, thresholds=thresholds, rng=generator
-        )
-        svt_p, _, svt_f = _batch_precision_recall_f(svt_batch.above, actual_above)
+    svt_spec = SparseVectorSpec(
+        queries=counts,
+        epsilon=epsilon,
+        threshold=0.0,
+        k=k,
+        monotonic=monotonic,
+        with_gap=False,
+    )
+    svt_result = api_run(
+        svt_spec, engine=engine, trials=trials, rng=generator, thresholds=thresholds
+    )
+    svt_p, _, svt_f = _batch_precision_recall_f(svt_result.above, actual_above)
 
-        adaptive = AdaptiveSparseVectorWithGap(
-            epsilon=epsilon, threshold=0.0, k=k, monotonic=monotonic
-        )
-        adaptive_batch = batch_adaptive_svt(
-            adaptive, counts, trials, thresholds=thresholds, rng=generator
-        )
-        ad_p, _, ad_f = _batch_precision_recall_f(adaptive_batch.above, actual_above)
-        branch_totals = adaptive_batch.branch_totals()
-
-        return AdaptiveComparisonResult(
-            k=k,
-            epsilon=epsilon,
-            svt_answers=float(np.mean(svt_batch.num_answered)),
-            adaptive_answers=float(np.mean(adaptive_batch.num_answered)),
-            adaptive_top_answers=float(np.mean(branch_totals[BatchResult.BRANCH_TOP])),
-            adaptive_middle_answers=float(
-                np.mean(branch_totals[BatchResult.BRANCH_MIDDLE])
-            ),
-            svt_precision=float(np.mean(svt_p)),
-            adaptive_precision=float(np.mean(ad_p)),
-            svt_f_measure=float(np.mean(svt_f)),
-            adaptive_f_measure=float(np.mean(ad_f)),
-            trials=trials,
-        )
-
-    svt_answers: List[float] = []
-    adaptive_answers: List[float] = []
-    adaptive_top: List[float] = []
-    adaptive_middle: List[float] = []
-    svt_precisions: List[float] = []
-    adaptive_precisions: List[float] = []
-    svt_fs: List[float] = []
-    adaptive_fs: List[float] = []
-
-    for _ in range(trials):
-        threshold = pick_threshold(counts, k, rng=generator)
-        actual_above = [int(i) for i in np.nonzero(counts > threshold)[0]]
-
-        svt = SparseVector(
-            epsilon=epsilon, threshold=threshold, k=k, monotonic=monotonic
-        )
-        svt_result = svt.run(counts, rng=generator)
-        svt_answers.append(float(svt_result.num_answered))
-        p, r = precision_recall(svt_result.above_indices, actual_above)
-        svt_precisions.append(p)
-        svt_fs.append(f_measure(p, r))
-
-        adaptive = AdaptiveSparseVectorWithGap(
-            epsilon=epsilon, threshold=threshold, k=k, monotonic=monotonic
-        )
-        adaptive_result = adaptive.run(counts, rng=generator)
-        adaptive_answers.append(float(adaptive_result.num_answered))
-        branches = adaptive_result.branch_counts()
-        adaptive_top.append(float(branches[SvtBranch.TOP]))
-        adaptive_middle.append(float(branches[SvtBranch.MIDDLE]))
-        p, r = precision_recall(adaptive_result.above_indices, actual_above)
-        adaptive_precisions.append(p)
-        adaptive_fs.append(f_measure(p, r))
+    adaptive_spec = AdaptiveSvtSpec(
+        queries=counts, epsilon=epsilon, threshold=0.0, k=k, monotonic=monotonic
+    )
+    adaptive_result = api_run(
+        adaptive_spec, engine=engine, trials=trials, rng=generator, thresholds=thresholds
+    )
+    ad_p, _, ad_f = _batch_precision_recall_f(adaptive_result.above, actual_above)
+    branch_totals = adaptive_result.branch_totals()
 
     return AdaptiveComparisonResult(
         k=k,
         epsilon=epsilon,
-        svt_answers=float(np.mean(svt_answers)),
-        adaptive_answers=float(np.mean(adaptive_answers)),
-        adaptive_top_answers=float(np.mean(adaptive_top)),
-        adaptive_middle_answers=float(np.mean(adaptive_middle)),
-        svt_precision=float(np.mean(svt_precisions)),
-        adaptive_precision=float(np.mean(adaptive_precisions)),
-        svt_f_measure=float(np.mean(svt_fs)),
-        adaptive_f_measure=float(np.mean(adaptive_fs)),
+        svt_answers=float(np.mean(svt_result.num_answered)),
+        adaptive_answers=float(np.mean(adaptive_result.num_answered)),
+        adaptive_top_answers=float(np.mean(branch_totals[Result.BRANCH_TOP])),
+        adaptive_middle_answers=float(np.mean(branch_totals[Result.BRANCH_MIDDLE])),
+        svt_precision=float(np.mean(svt_p)),
+        adaptive_precision=float(np.mean(ad_p)),
+        svt_f_measure=float(np.mean(svt_f)),
+        adaptive_f_measure=float(np.mean(ad_f)),
         trials=trials,
     )
 
@@ -450,35 +367,21 @@ def run_remaining_budget(
 ) -> RemainingBudgetResult:
     """Figure 4 experiment: leftover budget after k adaptive answers."""
     counts = np.asarray(counts, dtype=float)
-    _check_engine(engine)
+    engine = validate_engine(engine)
     generator = ensure_rng(rng)
-    if engine == "batch":
-        thresholds = batch_pick_thresholds(counts, k, trials, rng=generator)
-        mechanism = AdaptiveSparseVectorWithGap(
-            epsilon=epsilon,
-            threshold=0.0,
-            k=k,
-            monotonic=monotonic,
-            max_answers=k,
-        )
-        batch = batch_adaptive_svt(
-            mechanism, counts, trials, thresholds=thresholds, rng=generator
-        )
-        mean_fraction = float(np.mean(batch.remaining_budget_fraction))
-    else:
-        fractions: List[float] = []
-        for _ in range(trials):
-            threshold = pick_threshold(counts, k, rng=generator)
-            mechanism = AdaptiveSparseVectorWithGap(
-                epsilon=epsilon,
-                threshold=threshold,
-                k=k,
-                monotonic=monotonic,
-                max_answers=k,
-            )
-            result = mechanism.run(counts, rng=generator)
-            fractions.append(result.remaining_budget_fraction)
-        mean_fraction = float(np.mean(fractions))
+    thresholds = api_pick_thresholds(counts, k, trials, rng=generator)
+    spec = AdaptiveSvtSpec(
+        queries=counts,
+        epsilon=epsilon,
+        threshold=0.0,
+        k=k,
+        monotonic=monotonic,
+        max_answers=k,
+    )
+    result = api_run(
+        spec, engine=engine, trials=trials, rng=generator, thresholds=thresholds
+    )
+    mean_fraction = float(np.mean(result.remaining_budget_fraction))
     return RemainingBudgetResult(
         k=k,
         epsilon=epsilon,

@@ -84,8 +84,56 @@ class MechanismMetadata:
     extra: Dict[str, float] = field(default_factory=dict)
 
 
+class BatchTrialViews:
+    """Shared accessors over batched, padded per-trial result arrays.
+
+    Mixed into every container whose fields follow the batch conventions --
+    ``indices`` ``(B, w)`` right-padded with ``-1``, ``gaps`` ``(B, w)``
+    ``NaN``-padded, optional ``branches`` ``(B, n)`` with the ``BRANCH_*``
+    codes, scalar ``epsilon`` and per-trial ``epsilon_spent`` -- so the
+    padding/branch semantics live in exactly one place
+    (:class:`BatchResult` here and :class:`repro.api.result.Result` both use
+    it).
+    """
+
+    __slots__ = ()
+
+    BRANCH_BOTTOM = 0
+    BRANCH_MIDDLE = 1
+    BRANCH_TOP = 2
+
+    @property
+    def num_answered(self) -> np.ndarray:
+        """``(B,)`` -- number of selected/above-threshold answers per trial."""
+        return np.count_nonzero(self.indices >= 0, axis=1)
+
+    @property
+    def remaining_budget_fraction(self) -> np.ndarray:
+        """``(B,)`` -- fraction of the budget left unused (Figure 4 metric)."""
+        return np.maximum(0.0, self.epsilon - self.epsilon_spent) / self.epsilon
+
+    def trial_indices(self, b: int = 0) -> np.ndarray:
+        """Selected indexes of trial ``b`` with the ``-1`` padding stripped."""
+        row = self.indices[b]
+        return row[row >= 0]
+
+    def trial_gaps(self, b: int = 0) -> np.ndarray:
+        """Released gaps of trial ``b`` with the ``NaN`` padding stripped."""
+        row = self.gaps[b]
+        return row[~np.isnan(row)]
+
+    def branch_totals(self) -> Dict[int, np.ndarray]:
+        """Per-trial above-threshold answer counts per branch code."""
+        if self.branches is None:
+            raise ValueError("this batch did not record branch information")
+        return {
+            code: np.count_nonzero(self.branches == code, axis=1)
+            for code in (self.BRANCH_TOP, self.BRANCH_MIDDLE)
+        }
+
+
 @dataclass(frozen=True, slots=True)
-class BatchResult:
+class BatchResult(BatchTrialViews):
     """Vectorized outcome of ``B`` independent trials of one mechanism.
 
     The batch execution engine (:mod:`repro.engine.batch`) runs many
@@ -126,10 +174,6 @@ class BatchResult:
         Free-form additional fields (scales, thresholds, ...).
     """
 
-    BRANCH_BOTTOM = 0
-    BRANCH_MIDDLE = 1
-    BRANCH_TOP = 2
-
     mechanism: str
     epsilon: float
     epsilon_spent: np.ndarray
@@ -154,32 +198,3 @@ class BatchResult:
     def trials(self) -> int:
         """Number of independent trials in the batch (``B``)."""
         return int(self.indices.shape[0])
-
-    @property
-    def num_answered(self) -> np.ndarray:
-        """``(B,)`` -- number of selected/above-threshold answers per trial."""
-        return np.count_nonzero(self.indices >= 0, axis=1)
-
-    @property
-    def remaining_budget_fraction(self) -> np.ndarray:
-        """``(B,)`` -- fraction of the budget left unused (Figure 4 metric)."""
-        return np.maximum(0.0, self.epsilon - self.epsilon_spent) / self.epsilon
-
-    def trial_indices(self, b: int) -> np.ndarray:
-        """Selected indexes of trial ``b`` with the ``-1`` padding stripped."""
-        row = self.indices[b]
-        return row[row >= 0]
-
-    def trial_gaps(self, b: int) -> np.ndarray:
-        """Released gaps of trial ``b`` with the ``NaN`` padding stripped."""
-        row = self.gaps[b]
-        return row[~np.isnan(row)]
-
-    def branch_totals(self) -> Dict[int, np.ndarray]:
-        """Per-trial above-threshold answer counts per branch code."""
-        if self.branches is None:
-            raise ValueError("this batch did not record branch information")
-        return {
-            code: np.count_nonzero(self.branches == code, axis=1)
-            for code in (self.BRANCH_TOP, self.BRANCH_MIDDLE)
-        }

@@ -1,0 +1,307 @@
+"""Facade and registry tests: engine equivalence, dispatch, budget charging.
+
+The central acceptance contract: under a shared explicit noise matrix,
+``run(spec, engine="batch")`` and ``run(spec, engine="reference")`` are
+*bit-identical* for Noisy-Top-K, Sparse Vector and Adaptive SVT -- same
+selected indices, gaps, branches, processed prefixes and consumed budgets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accounting.budget import BudgetExceededError, BudgetOdometer
+from repro.api import (
+    AdaptiveSvtSpec,
+    Engine,
+    LaplaceSpec,
+    NoisyTopKSpec,
+    Result,
+    SelectMeasureSpec,
+    SparseVectorSpec,
+    SvtVariantSpec,
+    UnsupportedEngineError,
+    get_executor,
+    register_executor,
+    run,
+    supported_engines,
+    validate_engine,
+)
+from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
+from repro.mechanisms.sparse_vector import SparseVectorWithGap
+
+TRIALS = 48
+NUM_QUERIES = 100
+
+
+@pytest.fixture(scope="module")
+def values():
+    rng = np.random.default_rng(11)
+    return np.sort(rng.uniform(0.0, 500.0, NUM_QUERIES))[::-1].copy()
+
+
+def assert_results_identical(batch: Result, reference: Result) -> None:
+    """Bit-identical equality of every populated per-trial field."""
+    assert batch.mechanism == reference.mechanism
+    assert batch.trials == reference.trials
+    np.testing.assert_array_equal(batch.indices, reference.indices)
+    np.testing.assert_array_equal(batch.gaps, reference.gaps)
+    np.testing.assert_array_equal(batch.epsilon_consumed, reference.epsilon_consumed)
+    for name in ("above", "branches", "processed"):
+        b_field, r_field = getattr(batch, name), getattr(reference, name)
+        assert (b_field is None) == (r_field is None)
+        if b_field is not None:
+            np.testing.assert_array_equal(b_field, r_field)
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("monotonic", [True, False])
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_noisy_top_k_bit_identical(self, values, k, monotonic):
+        spec = NoisyTopKSpec(queries=values, epsilon=0.5, k=k, monotonic=monotonic)
+        scale = (k if monotonic else 2 * k) / 0.5
+        noise = np.random.default_rng(k).laplace(0.0, scale, (TRIALS, values.size))
+        batch = run(spec, engine="batch", trials=TRIALS, noise=noise)
+        reference = run(spec, engine="reference", trials=TRIALS, noise=noise)
+        assert_results_identical(batch, reference)
+
+    @pytest.mark.parametrize("with_gap", [False, True])
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_sparse_vector_bit_identical(self, values, k, with_gap):
+        spec = SparseVectorSpec(
+            queries=values, epsilon=0.7, threshold=250.0, k=k, monotonic=True,
+            with_gap=with_gap,
+        )
+        mech = SparseVectorWithGap(epsilon=0.7, threshold=250.0, k=k, monotonic=True)
+        rng = np.random.default_rng(k + 100)
+        threshold_noise = rng.laplace(0.0, mech.threshold_scale, TRIALS)
+        query_noise = rng.laplace(0.0, mech.query_scale, (TRIALS, values.size))
+        batch = run(
+            spec, engine="batch", trials=TRIALS,
+            threshold_noise=threshold_noise, query_noise=query_noise,
+        )
+        reference = run(
+            spec, engine="reference", trials=TRIALS,
+            threshold_noise=threshold_noise, query_noise=query_noise,
+        )
+        assert_results_identical(batch, reference)
+
+    @pytest.mark.parametrize("max_answers", [None, 3])
+    def test_adaptive_svt_bit_identical(self, values, max_answers):
+        spec = AdaptiveSvtSpec(
+            queries=values, epsilon=0.7, threshold=250.0, k=5, monotonic=True,
+            max_answers=max_answers,
+        )
+        cfg = AdaptiveSparseVectorWithGap(
+            epsilon=0.7, threshold=250.0, k=5, monotonic=True
+        ).config
+        rng = np.random.default_rng(5)
+        threshold_noise = rng.laplace(0.0, cfg.threshold_scale, TRIALS)
+        top_noise = rng.laplace(0.0, cfg.top_scale, (TRIALS, values.size))
+        middle_noise = rng.laplace(0.0, cfg.middle_scale, (TRIALS, values.size))
+        batch = run(
+            spec, engine="batch", trials=TRIALS, threshold_noise=threshold_noise,
+            top_noise=top_noise, middle_noise=middle_noise,
+        )
+        reference = run(
+            spec, engine="reference", trials=TRIALS, threshold_noise=threshold_noise,
+            top_noise=top_noise, middle_noise=middle_noise,
+        )
+        assert_results_identical(batch, reference)
+
+    def test_per_trial_thresholds_bit_identical(self, values):
+        spec = SparseVectorSpec(
+            queries=values, epsilon=0.7, threshold=0.0, k=5, monotonic=True
+        )
+        mech = SparseVectorWithGap(epsilon=0.7, threshold=0.0, k=5, monotonic=True)
+        rng = np.random.default_rng(9)
+        thresholds = np.linspace(100.0, 400.0, TRIALS)
+        threshold_noise = rng.laplace(0.0, mech.threshold_scale, TRIALS)
+        query_noise = rng.laplace(0.0, mech.query_scale, (TRIALS, values.size))
+        batch = run(
+            spec, engine="batch", trials=TRIALS, thresholds=thresholds,
+            threshold_noise=threshold_noise, query_noise=query_noise,
+        )
+        reference = run(
+            spec, engine="reference", trials=TRIALS, thresholds=thresholds,
+            threshold_noise=threshold_noise, query_noise=query_noise,
+        )
+        assert_results_identical(batch, reference)
+
+    def test_laplace_bit_identical(self, values):
+        spec = LaplaceSpec(queries=values[:10], epsilon=0.5, l1_sensitivity=10.0)
+        noise = np.random.default_rng(2).laplace(0.0, 10.0 / 0.5, (TRIALS, 10))
+        batch = run(spec, engine="batch", trials=TRIALS, noise=noise)
+        reference = run(spec, engine="reference", trials=TRIALS, noise=noise)
+        np.testing.assert_array_equal(batch.measurements, reference.measurements)
+
+    @pytest.mark.parametrize("mechanism,adaptive", [("top-k", False), ("svt", False), ("svt", True)])
+    def test_select_measure_runs_on_both_engines(self, values, mechanism, adaptive):
+        # The measurement step draws noise differently per engine (one batched
+        # draw vs per-trial releases), so here the contract is statistical:
+        # same estimator, same shapes, comparable error levels.
+        threshold = None if mechanism == "top-k" else 250.0
+        spec = SelectMeasureSpec(
+            queries=values, epsilon=0.9, k=5, mechanism=mechanism,
+            threshold=threshold, adaptive=adaptive,
+        )
+        batch = run(spec, engine="batch", trials=256, rng=0)
+        reference = run(spec, engine="reference", trials=256, rng=0)
+        assert batch.indices.shape[1] == reference.indices.shape[1] or adaptive
+        for result in (batch, reference):
+            assert result.baseline_squared_errors().size > 0
+            assert result.fused_squared_errors().size > 0
+        # The gap fusion improves the MSE on both engines.
+        assert np.mean(batch.fused_squared_errors()) < np.mean(
+            batch.baseline_squared_errors()
+        )
+        assert np.mean(reference.fused_squared_errors()) < np.mean(
+            reference.baseline_squared_errors()
+        )
+
+
+class TestDispatchAndValidation:
+    def test_engine_enum_and_string_accepted(self, values):
+        spec = NoisyTopKSpec(queries=values, epsilon=1.0, k=2, monotonic=True)
+        a = run(spec, engine=Engine.REFERENCE, trials=1, rng=0)
+        b = run(spec, engine="reference", trials=1, rng=0)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_invalid_engine_name(self, values):
+        spec = NoisyTopKSpec(queries=values, epsilon=1.0, k=2)
+        with pytest.raises(ValueError, match="engine must be one of"):
+            run(spec, engine="gpu", trials=1)
+
+    def test_engine_validator_is_shared(self):
+        # Harness, session and facade all reject with the same message.
+        with pytest.raises(ValueError, match="engine must be one of"):
+            validate_engine("loop")
+        from repro.evaluation.harness import run_top_k_mse_improvement
+
+        with pytest.raises(ValueError, match="engine must be one of"):
+            run_top_k_mse_improvement([1.0, 2.0, 3.0], 1.0, 1, trials=1, engine="loop")
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(TypeError, match="MechanismSpec"):
+            run({"kind": "noisy-top-k"}, trials=1)
+
+    def test_invalid_trials_rejected(self, values):
+        spec = NoisyTopKSpec(queries=values, epsilon=1.0, k=2)
+        with pytest.raises(ValueError, match="trials"):
+            run(spec, trials=0)
+
+    def test_unsupported_option_rejected_by_name(self, values):
+        # fast_noise only exists on the batch samplers; the reference
+        # executor must refuse it with a clear message, not a TypeError.
+        spec = NoisyTopKSpec(queries=values, epsilon=1.0, k=2)
+        with pytest.raises(ValueError, match="fast_noise.*reference"):
+            run(spec, engine="reference", trials=1, rng=0, fast_noise=False)
+        with pytest.raises(ValueError, match="threshold_noise"):
+            run(
+                SelectMeasureSpec(queries=values, epsilon=1.0, k=2, mechanism="top-k"),
+                trials=1, rng=0, threshold_noise=np.zeros(1),
+            )
+        # Supported options still pass through.
+        run(spec, engine="batch", trials=1, rng=0, fast_noise=False)
+
+    def test_svt_variants_run_reference_only(self, values):
+        for variant in range(1, 7):
+            spec = SvtVariantSpec(
+                queries=values, epsilon=0.7, variant=variant, threshold=250.0, k=5
+            )
+            result = run(spec, engine="reference", trials=8, rng=variant)
+            assert result.trials == 8
+            assert result.epsilon_consumed.shape == (8,)
+            with pytest.raises(UnsupportedEngineError, match="reference"):
+                run(spec, engine="batch", trials=8, rng=variant)
+
+    def test_supported_engines_listing(self):
+        assert supported_engines(SvtVariantSpec) == ("reference",)
+        assert supported_engines(NoisyTopKSpec) == ("batch", "reference")
+
+    def test_unregistered_spec_type(self):
+        # A plain class (not a MechanismSpec subclass) so the spec-kind
+        # registry stays untouched; the executor registry has no entry for it.
+        class OrphanSpec:
+            pass
+
+        with pytest.raises(UnsupportedEngineError, match="no executors"):
+            get_executor(OrphanSpec, "batch")
+
+    def test_duplicate_registration_refused(self):
+        executor = get_executor(NoisyTopKSpec, "batch")
+        with pytest.raises(ValueError, match="already"):
+            register_executor(NoisyTopKSpec, "batch", executor)
+        # replace=True round-trips back to the same executor.
+        register_executor(NoisyTopKSpec, "batch", executor, replace=True)
+
+    def test_facade_revalidates_spec(self, values):
+        spec = NoisyTopKSpec(queries=values, epsilon=1.0, k=2)
+        object.__setattr__(spec, "epsilon", -1.0)
+        with pytest.raises(ValueError, match="epsilon"):
+            run(spec, trials=1)
+
+
+class TestBudgetCharging:
+    def test_full_budget_charged_for_top_k(self, values):
+        odometer = BudgetOdometer(10.0)
+        spec = NoisyTopKSpec(queries=values, epsilon=0.5, k=2, monotonic=True)
+        run(spec, engine="batch", trials=4, rng=0, budget=odometer)
+        # Four independent releases compose sequentially.
+        assert odometer.spent == pytest.approx(2.0)
+        assert odometer.breakdown() == {"noisy-top-k": pytest.approx(2.0)}
+
+    def test_adaptive_charges_only_consumed_budget(self, values):
+        odometer = BudgetOdometer(10.0)
+        spec = AdaptiveSvtSpec(
+            queries=values, epsilon=1.0, threshold=1.0, k=5, monotonic=True
+        )
+        result = run(spec, engine="reference", trials=1, rng=3, budget=odometer)
+        assert odometer.spent == pytest.approx(float(result.epsilon_consumed[0]))
+        assert odometer.spent < 1.0
+
+    def test_overdraft_refused_before_any_noise_is_drawn(self, values):
+        odometer = BudgetOdometer(1.0)
+        spec = NoisyTopKSpec(queries=values, epsilon=0.4, k=2, monotonic=True)
+        rng = np.random.default_rng(0)
+        state_before = rng.bit_generator.state
+        with pytest.raises(BudgetExceededError):
+            run(spec, engine="batch", trials=4, rng=rng, budget=odometer)
+        # The refusal happens up front: no DP release was computed, so the
+        # generator state is untouched and nothing was charged.
+        assert rng.bit_generator.state == state_before
+        assert odometer.spent == 0.0
+
+    def test_no_budget_means_no_charge(self, values):
+        spec = NoisyTopKSpec(queries=values, epsilon=0.4, k=2, monotonic=True)
+        result = run(spec, engine="batch", trials=4, rng=0)
+        assert result.epsilon_consumed.shape == (4,)
+
+
+class TestResultViews:
+    def test_trial_accessors_strip_padding(self, values):
+        spec = SparseVectorSpec(
+            queries=values, epsilon=0.7, threshold=250.0, k=5, monotonic=True
+        )
+        result = run(spec, engine="batch", trials=8, rng=0)
+        for b in range(result.trials):
+            stripped = result.trial_indices(b)
+            assert stripped.size == result.num_answered[b]
+            assert np.all(stripped >= 0)
+            assert result.trial_gaps(b).size == stripped.size
+            assert not np.any(np.isnan(result.trial_gaps(b)))
+
+    def test_branch_totals_requires_branches(self, values):
+        spec = NoisyTopKSpec(queries=values, epsilon=0.7, k=2)
+        result = run(spec, engine="batch", trials=2, rng=0)
+        with pytest.raises(ValueError, match="branch"):
+            result.branch_totals()
+
+    def test_remaining_budget_fraction(self, values):
+        spec = AdaptiveSvtSpec(
+            queries=values, epsilon=0.7, threshold=250.0, k=5, monotonic=True,
+            max_answers=5,
+        )
+        result = run(spec, engine="batch", trials=32, rng=0)
+        fractions = result.remaining_budget_fraction
+        assert fractions.shape == (32,)
+        assert np.all((0.0 <= fractions) & (fractions <= 1.0))

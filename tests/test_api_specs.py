@@ -1,0 +1,206 @@
+"""JSON round-trip and validation tests for the declarative mechanism specs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AdaptiveSvtSpec,
+    LaplaceSpec,
+    MechanismSpec,
+    NoisyTopKSpec,
+    SelectMeasureSpec,
+    SparseVectorSpec,
+    SpecValidationError,
+    SvtVariantSpec,
+    spec_from_dict,
+    spec_from_json,
+    spec_kinds,
+)
+
+QUERIES = [120.0, 90.0, 85.0, 30.0, 5.0, 2.0]
+
+#: One representative instance per spec type (non-default values on purpose,
+#: so a field dropped from the serialization would be caught).
+SPEC_EXAMPLES = [
+    NoisyTopKSpec(queries=QUERIES, epsilon=0.7, k=2, monotonic=True, with_gap=True),
+    NoisyTopKSpec(
+        queries=QUERIES, epsilon=1.2, k=3, monotonic=False, with_gap=False,
+        sensitivity=2.0,
+    ),
+    SparseVectorSpec(
+        queries=QUERIES, epsilon=0.7, threshold=50.0, k=2, monotonic=True,
+        with_gap=True, theta=0.25,
+    ),
+    AdaptiveSvtSpec(
+        queries=QUERIES, epsilon=0.9, threshold=40.0, k=2, monotonic=True,
+        sigma_multiplier=1.5, max_answers=3,
+    ),
+    SelectMeasureSpec(queries=QUERIES, epsilon=0.8, k=2, mechanism="top-k"),
+    SelectMeasureSpec(
+        queries=QUERIES, epsilon=0.8, k=2, mechanism="svt", threshold=50.0,
+        adaptive=True,
+    ),
+    LaplaceSpec(queries=QUERIES[:3], epsilon=0.5, l1_sensitivity=3.0),
+    SvtVariantSpec(queries=QUERIES, epsilon=0.7, variant=2, threshold=50.0, k=2,
+                   monotonic=True),
+    SvtVariantSpec(queries=QUERIES, epsilon=0.7, variant=5, threshold=50.0, k=2),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", SPEC_EXAMPLES, ids=lambda s: s.kind + "-" + str(id(s))[-4:])
+    def test_dict_round_trip_is_lossless(self, spec):
+        rebuilt = spec_from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert type(rebuilt) is type(spec)
+
+    @pytest.mark.parametrize("spec", SPEC_EXAMPLES, ids=lambda s: s.kind + "-" + str(id(s))[-4:])
+    def test_json_round_trip_is_lossless(self, spec):
+        text = spec.to_json()
+        json.loads(text)  # valid JSON
+        assert spec_from_json(text) == spec
+
+    def test_from_dict_on_concrete_class(self):
+        spec = SPEC_EXAMPLES[0]
+        assert NoisyTopKSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_on_base_class_dispatches(self):
+        spec = SPEC_EXAMPLES[3]
+        assert MechanismSpec.from_dict(spec.to_dict()) == spec
+
+    def test_every_registered_kind_is_covered(self):
+        covered = {spec.kind for spec in SPEC_EXAMPLES}
+        assert covered == set(spec_kinds())
+
+    def test_numpy_queries_coerce_to_tuple(self):
+        spec = NoisyTopKSpec(queries=np.asarray(QUERIES), epsilon=1.0, k=2)
+        assert spec.queries == tuple(QUERIES)
+        np.testing.assert_array_equal(spec.values(), np.asarray(QUERIES))
+
+
+class TestRejection:
+    def test_unknown_kind(self):
+        with pytest.raises(SpecValidationError, match="unknown spec kind"):
+            spec_from_dict({"kind": "noisy-median", "queries": QUERIES, "epsilon": 1.0})
+
+    def test_missing_kind(self):
+        with pytest.raises(SpecValidationError, match="unknown spec kind"):
+            spec_from_dict({"queries": QUERIES, "epsilon": 1.0})
+
+    def test_unknown_field_rejected(self):
+        payload = SPEC_EXAMPLES[0].to_dict()
+        payload["delta"] = 1e-6
+        with pytest.raises(SpecValidationError, match="unknown field"):
+            spec_from_dict(payload)
+
+    def test_mismatched_kind_on_concrete_class(self):
+        payload = SPEC_EXAMPLES[0].to_dict()
+        with pytest.raises(SpecValidationError, match="expected kind"):
+            SparseVectorSpec.from_dict(payload)
+
+    def test_missing_required_field(self):
+        with pytest.raises(SpecValidationError, match="invalid"):
+            spec_from_dict({"kind": "noisy-top-k", "epsilon": 1.0})
+
+    def test_invalid_json_text(self):
+        with pytest.raises(SpecValidationError, match="not valid JSON"):
+            spec_from_json("{not json")
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"epsilon": 0.0},
+            {"epsilon": -1.0},
+            {"epsilon": float("nan")},
+            {"k": 0},
+            {"k": 2.5},
+            {"k": 1e400},  # JSON "1e400" parses as inf; int(inf) overflows
+            {"k": 10**400},
+            {"queries": []},
+            {"queries": [1.0, float("inf")]},
+            {"queries": "abc"},
+            {"sensitivity": -1.0},
+        ],
+    )
+    def test_bad_top_k_parameters(self, overrides):
+        payload = {**SPEC_EXAMPLES[0].to_dict(), **overrides}
+        with pytest.raises(SpecValidationError):
+            spec_from_dict(payload)
+
+    def test_with_gap_needs_k_plus_one_queries(self):
+        with pytest.raises(SpecValidationError, match="k\\+1"):
+            NoisyTopKSpec(queries=[1.0, 2.0], epsilon=1.0, k=2, with_gap=True).validate()
+        # The gap-free baseline only needs k queries.
+        NoisyTopKSpec(queries=[1.0, 2.0], epsilon=1.0, k=2, with_gap=False).validate()
+
+    @pytest.mark.parametrize("theta", [0.0, 1.0, -0.3, 1.7])
+    def test_bad_theta_rejected(self, theta):
+        with pytest.raises(SpecValidationError, match="theta"):
+            SparseVectorSpec(
+                queries=QUERIES, epsilon=1.0, threshold=10.0, k=2, theta=theta
+            ).validate()
+
+    def test_adaptive_max_answers_must_be_positive(self):
+        with pytest.raises(SpecValidationError, match="max_answers"):
+            AdaptiveSvtSpec(
+                queries=QUERIES, epsilon=1.0, threshold=10.0, k=2, max_answers=0
+            ).validate()
+
+    def test_select_measure_svt_requires_threshold(self):
+        with pytest.raises(SpecValidationError, match="threshold"):
+            SelectMeasureSpec(
+                queries=QUERIES, epsilon=1.0, k=2, mechanism="svt"
+            ).validate()
+
+    def test_select_measure_rejects_unknown_mechanism(self):
+        with pytest.raises(SpecValidationError, match="mechanism"):
+            SelectMeasureSpec(
+                queries=QUERIES, epsilon=1.0, k=2, mechanism="exponential"
+            ).validate()
+
+    def test_select_measure_top_k_rejects_svt_options(self):
+        with pytest.raises(SpecValidationError, match="adaptive"):
+            SelectMeasureSpec(
+                queries=QUERIES, epsilon=1.0, k=2, mechanism="top-k", adaptive=True
+            ).validate()
+        with pytest.raises(SpecValidationError, match="threshold"):
+            SelectMeasureSpec(
+                queries=QUERIES, epsilon=1.0, k=2, mechanism="top-k", threshold=5.0
+            ).validate()
+
+    @pytest.mark.parametrize("variant", [0, 7, -1])
+    def test_variant_out_of_catalogue_rejected(self, variant):
+        with pytest.raises(SpecValidationError, match="variant"):
+            SvtVariantSpec(
+                queries=QUERIES, epsilon=1.0, variant=variant, threshold=10.0
+            ).validate()
+
+    def test_broken_variants_reject_monotonic(self):
+        with pytest.raises(SpecValidationError, match="monotonic"):
+            SvtVariantSpec(
+                queries=QUERIES, epsilon=1.0, variant=4, threshold=10.0, monotonic=True
+            ).validate()
+
+    def test_laplace_sensitivity_must_be_positive(self):
+        with pytest.raises(SpecValidationError, match="l1_sensitivity"):
+            LaplaceSpec(queries=QUERIES, epsilon=1.0, l1_sensitivity=0.0).validate()
+
+    def test_laplace_default_sensitivity_is_query_count(self):
+        spec = LaplaceSpec(queries=QUERIES, epsilon=1.0)
+        assert spec.effective_l1_sensitivity == len(QUERIES)
+
+    @pytest.mark.parametrize("value", ["false", "true", "", 2, -1, 0.5, None, [True]])
+    def test_non_boolean_flags_rejected(self, value):
+        # bool("false") is True -- a string flag would silently enable
+        # monotonic accounting (halved noise), so only real booleans and
+        # exact 0/1 deserialize.
+        payload = {**SPEC_EXAMPLES[0].to_dict(), "monotonic": value}
+        with pytest.raises(SpecValidationError, match="boolean"):
+            spec_from_dict(payload)
+
+    def test_zero_one_flags_accepted(self):
+        payload = {**SPEC_EXAMPLES[0].to_dict(), "monotonic": 1, "with_gap": 0}
+        spec = spec_from_dict(payload)
+        assert spec.monotonic is True and spec.with_gap is False

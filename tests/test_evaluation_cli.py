@@ -1,9 +1,11 @@
 """Tests for the command-line experiment runner."""
 
 import io
+import json
 
 import pytest
 
+from repro.api import AdaptiveSvtSpec, NoisyTopKSpec
 from repro.evaluation.cli import build_parser, main
 
 
@@ -86,3 +88,99 @@ class TestExecution:
         assert "dataset" in target.read_text()
         # Nothing is printed to stdout when --output is used.
         assert capsys.readouterr().out == ""
+
+
+class TestRunSpec:
+    @pytest.fixture
+    def top_k_spec_file(self, tmp_path):
+        spec = NoisyTopKSpec(
+            queries=[120.0, 90.0, 85.0, 30.0, 5.0], epsilon=1.0, k=2, monotonic=True
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        return path
+
+    @pytest.mark.parametrize("engine", ["batch", "reference"])
+    def test_executes_spec_file_via_facade(self, top_k_spec_file, capsys, engine):
+        exit_code = main(
+            [
+                "run-spec",
+                str(top_k_spec_file),
+                "--engine",
+                engine,
+                "--trials",
+                "16",
+                "--seed",
+                "0",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert f"run-spec: noisy-top-k via {engine}" in captured
+        assert "noisy-top-k-with-gap" in captured
+        assert "mean_epsilon_consumed" in captured
+        assert "trial 0 answered indices" in captured
+
+    def test_adaptive_spec_reports_consumed_budget(self, tmp_path, capsys):
+        spec = AdaptiveSvtSpec(
+            queries=[120.0, 90.0, 85.0, 30.0, 5.0],
+            epsilon=1.0,
+            threshold=10.0,
+            k=2,
+            monotonic=True,
+        )
+        path = tmp_path / "adaptive.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        exit_code = main(["run-spec", str(path), "--trials", "8", "--seed", "1"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "adaptive-sparse-vector-with-gap" in captured
+
+    def test_requires_spec_path(self):
+        with pytest.raises(SystemExit):
+            main(["run-spec"])
+
+    def test_spec_path_only_valid_for_run_spec(self, top_k_spec_file):
+        with pytest.raises(SystemExit):
+            main(["figure1", str(top_k_spec_file)])
+
+    def test_rejects_unknown_engine(self, top_k_spec_file):
+        with pytest.raises(SystemExit):
+            main(["run-spec", str(top_k_spec_file), "--engine", "gpu"])
+
+    def test_engine_flag_only_valid_for_run_spec(self):
+        # The figure runners always use the batch engine; accepting --engine
+        # and ignoring it would silently run the wrong engine.
+        with pytest.raises(SystemExit):
+            main(["figure1", "--engine", "reference"])
+
+    def test_rejects_invalid_spec_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "no-such-mechanism"}))
+        with pytest.raises(SystemExit):
+            main(["run-spec", str(path)])
+
+    def test_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run-spec", str(tmp_path / "absent.json")])
+
+    def test_rejects_malformed_json_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text('{"kind": "noisy-top-k", ')
+        with pytest.raises(SystemExit):
+            main(["run-spec", str(path)])
+        assert "error:" in capsys.readouterr().err
+
+    def test_reference_only_spec_on_batch_engine_exits_cleanly(self, tmp_path, capsys):
+        from repro.api import SvtVariantSpec
+
+        spec = SvtVariantSpec(
+            queries=[120.0, 90.0, 85.0], epsilon=1.0, variant=3, threshold=10.0, k=1
+        )
+        path = tmp_path / "variant.json"
+        path.write_text(spec.to_json())
+        with pytest.raises(SystemExit):
+            main(["run-spec", str(path), "--engine", "batch"])
+        assert "error:" in capsys.readouterr().err
+        # The reference engine runs it fine.
+        assert main(["run-spec", str(path), "--engine", "reference", "--seed", "0"]) == 0
