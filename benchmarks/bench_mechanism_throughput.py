@@ -21,14 +21,34 @@ Two benchmark groups:
   workload; the pair measures the spec-validation + registry-dispatch
   overhead, which must stay negligible (the two rates should be within a
   few percent of each other).
+* ``throughput-sharded`` -- a very large batch (``SHARDED_TRIALS`` >= 10,000
+  trials) as one single-process ``(B, n)`` run versus the same workload
+  through the dispatch layer (``shards=`` on a worker pool).  The sharded
+  path wins twice: chunked execution keeps the trial matrices
+  cache-resident (a large single batch falls off a memory cliff even on one
+  core), and the chunks spread across however many cores the machine has.
+* ``throughput-cache`` -- the same seeded request against a warm versus a
+  cold content-addressed disk cache; a hit is an ``.npz`` load and must be
+  orders of magnitude faster than recomputing.
+
+Setting the environment variable ``REPRO_BENCH_SMOKE=1`` (what
+``scripts/run_benchmarks.py --smoke`` does) shrinks every workload to
+seconds-total sizes so CI can exercise the benchmark code paths on every PR
+without producing meaningful numbers.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
-from repro.api import NoisyTopKSpec, run as api_run
+from repro.api import AdaptiveSvtSpec, NoisyTopKSpec, run as api_run
+from repro.dispatch import DiskResultCache, WorkerPool
+
+#: CI smoke mode: tiny sizes, same code paths (see run_benchmarks.py --smoke).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
 from repro.core.noisy_top_k import NoisyTopKWithGap
 from repro.core.select_measure import select_and_measure_top_k
@@ -40,14 +60,21 @@ from repro.engine.batch import (
 from repro.evaluation.harness import run_svt_mse_improvement, run_top_k_mse_improvement
 from repro.mechanisms.sparse_vector import SparseVector
 
-NUM_QUERIES = 2_000
+NUM_QUERIES = 64 if SMOKE else 2_000
 #: Trials per round of the batch-engine benchmarks (the acceptance workload).
-BATCH_TRIALS = 1_000
+BATCH_TRIALS = 32 if SMOKE else 1_000
 #: Trials per round of the paired per-trial-loop benchmarks (kept smaller so
 #: one round stays short; throughput comparisons are per trial).
-LOOP_TRIALS = 50
+LOOP_TRIALS = 4 if SMOKE else 50
 #: Monte-Carlo trials of the harness-level benchmarks.
-HARNESS_TRIALS = 1_000
+HARNESS_TRIALS = 32 if SMOKE else 1_000
+#: Trials of the sharded-vs-single-process pairs.  The acceptance criterion
+#: targets B >= 10,000 -- the regime where one monolithic ``(B, n)`` batch
+#: outgrows the memory hierarchy and sharded chunks win even on one core.
+SHARDED_TRIALS = 128 if SMOKE else 50_000
+#: Trials of the cache hit-vs-miss pair (each miss executes and stores this
+#: many trials; each hit loads them back).
+CACHE_TRIALS = 64 if SMOKE else 10_000
 #: SVT threshold for the batch group: roughly the top-100th of the uniform
 #: counts, i.e. the paper's top-2k..top-8k policy regime for k=25, where the
 #: mechanism scans a realistic few-hundred-query prefix per trial.
@@ -227,3 +254,104 @@ def test_harness_svt_reference(benchmark, counts):
         )
     )
     assert result.trials == HARNESS_TRIALS
+
+
+# ---------------------------------------------------------------------------
+# sharded dispatch vs one monolithic batch (group "throughput-sharded")
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sharded_spec(counts):
+    return NoisyTopKSpec(queries=counts, epsilon=1.0, k=25, monotonic=True)
+
+
+@pytest.fixture(scope="module")
+def sharded_adaptive_spec(counts):
+    return AdaptiveSvtSpec(
+        queries=counts, epsilon=1.0, threshold=BATCH_SVT_THRESHOLD, k=25,
+        monotonic=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def worker_pool():
+    # One long-lived pool for the whole module: the benchmark measures
+    # steady-state dispatch (how a service would run), not process startup.
+    with WorkerPool() as pool:
+        yield pool
+
+
+@pytest.mark.benchmark(group="throughput-sharded")
+def test_sharded_single_process_batch(benchmark, sharded_spec):
+    """Baseline: the whole trial axis as one in-process (B, n) batch."""
+    result = benchmark(lambda: api_run(sharded_spec, trials=SHARDED_TRIALS, rng=0))
+    assert result.trials == SHARDED_TRIALS
+
+
+@pytest.mark.benchmark(group="throughput-sharded")
+def test_sharded_worker_pool(benchmark, sharded_spec, worker_pool):
+    """The same workload fanned out over the dispatch layer's worker pool."""
+    result = benchmark(
+        lambda: api_run(
+            sharded_spec,
+            trials=SHARDED_TRIALS,
+            rng=0,
+            shards=worker_pool.workers,
+            pool=worker_pool,
+        )
+    )
+    assert result.trials == SHARDED_TRIALS
+
+
+@pytest.mark.benchmark(group="throughput-sharded")
+def test_sharded_single_process_adaptive(benchmark, sharded_adaptive_spec):
+    """Adaptive-SVT baseline: the blockwise stream scan over one giant batch
+    suffers hardest from the large-B memory cliff."""
+    result = benchmark(
+        lambda: api_run(sharded_adaptive_spec, trials=SHARDED_TRIALS, rng=0)
+    )
+    assert result.trials == SHARDED_TRIALS
+
+
+@pytest.mark.benchmark(group="throughput-sharded")
+def test_sharded_worker_pool_adaptive(benchmark, sharded_adaptive_spec, worker_pool):
+    result = benchmark(
+        lambda: api_run(
+            sharded_adaptive_spec,
+            trials=SHARDED_TRIALS,
+            rng=0,
+            shards=worker_pool.workers,
+            pool=worker_pool,
+        )
+    )
+    assert result.trials == SHARDED_TRIALS
+
+
+# ---------------------------------------------------------------------------
+# content-addressed result cache, hit vs miss (group "throughput-cache")
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="throughput-cache")
+def test_cache_hit(benchmark, sharded_spec, tmp_path):
+    """A warm cache serves the seeded request as one metadata + npz load."""
+    cache = DiskResultCache(tmp_path / "warm")
+    api_run(sharded_spec, trials=CACHE_TRIALS, rng=0, cache=cache)
+    result = benchmark(
+        lambda: api_run(sharded_spec, trials=CACHE_TRIALS, rng=0, cache=cache)
+    )
+    assert result.trials == CACHE_TRIALS
+
+
+@pytest.mark.benchmark(group="throughput-cache")
+def test_cache_miss(benchmark, sharded_spec, tmp_path):
+    """Every round is a distinct seed: full execution plus a cache store."""
+    cache = DiskResultCache(tmp_path / "cold")
+    seeds = iter(range(10_000_000))
+    result = benchmark(
+        lambda: api_run(
+            sharded_spec, trials=CACHE_TRIALS, rng=next(seeds), cache=cache
+        )
+    )
+    assert result.trials == CACHE_TRIALS

@@ -10,18 +10,27 @@ Usage::
 
     python scripts/run_benchmarks.py            # throughput groups only
     python scripts/run_benchmarks.py --all      # every benchmark module
+    python scripts/run_benchmarks.py --smoke    # tiny sizes, throwaway output
+
+``--smoke`` shrinks every workload (``REPRO_BENCH_SMOKE=1``, see
+``benchmarks/bench_mechanism_throughput.py``) and writes the JSON to a
+scratch file instead of ``BENCH_throughput.json`` -- it exercises the
+benchmark code paths in seconds (CI runs it on every PR) without
+overwriting the recorded performance numbers.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_throughput.json"
+SMOKE_OUTPUT = REPO_ROOT / "BENCH_throughput.smoke.json"
 
 #: (label, batch benchmark, loop benchmark, trials per batch round, trials
 #: per loop round) -- must stay in sync with bench_mechanism_throughput.py.
@@ -41,6 +50,14 @@ PAIRS = [
     # (registry dispatch + spec validation must remain negligible).
     ("facade-vs-direct-top-k", "test_facade_direct_batch_throughput",
      "test_facade_noisy_top_k_throughput", 1_000, 1_000),
+    # Dispatch-layer pairs: the sharded worker pool vs one monolithic
+    # single-process batch at B=50,000, and a warm vs cold result cache at
+    # B=10,000.  Trials per round must match SHARDED_TRIALS / CACHE_TRIALS.
+    ("sharded-vs-single-top-k", "test_sharded_worker_pool",
+     "test_sharded_single_process_batch", 50_000, 50_000),
+    ("sharded-vs-single-adaptive", "test_sharded_worker_pool_adaptive",
+     "test_sharded_single_process_adaptive", 50_000, 50_000),
+    ("cache-hit-vs-miss", "test_cache_hit", "test_cache_miss", 10_000, 10_000),
 ]
 
 
@@ -50,20 +67,24 @@ def run_pytest(args: argparse.Namespace) -> int:
         if args.all
         else ["benchmarks/bench_mechanism_throughput.py"]
     )
+    output = SMOKE_OUTPUT if args.smoke else OUTPUT
     command = [
         sys.executable, "-m", "pytest", *target,
-        "-q", "--benchmark-only", f"--benchmark-json={OUTPUT}",
+        "-q", "--benchmark-only", f"--benchmark-json={output}",
     ]
+    env = dict(os.environ)
+    if args.smoke:
+        env["REPRO_BENCH_SMOKE"] = "1"
     env_note = "PYTHONPATH must include src/ (see ROADMAP.md)"
     print(f"$ {' '.join(command)}  # {env_note}")
-    return subprocess.call(command, cwd=REPO_ROOT)
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
 
 
-def summarize() -> None:
-    if not OUTPUT.exists():
-        print(f"no {OUTPUT.name} produced; nothing to summarize", file=sys.stderr)
+def summarize(output: Path) -> None:
+    if not output.exists():
+        print(f"no {output.name} produced; nothing to summarize", file=sys.stderr)
         return
-    with OUTPUT.open() as handle:
+    with output.open() as handle:
         payload = json.load(handle)
     by_name = {
         bench["name"]: bench["stats"]["mean"] for bench in payload.get("benchmarks", [])
@@ -79,7 +100,7 @@ def summarize() -> None:
             f"{label:<24} {batch_rate:>16,.0f} {loop_rate:>16,.0f} "
             f"{batch_rate / loop_rate:>8.1f}x"
         )
-    print(f"\nresults written to {OUTPUT.relative_to(REPO_ROOT)}")
+    print(f"\nresults written to {output.relative_to(REPO_ROOT)}")
 
 
 def main() -> int:
@@ -88,9 +109,16 @@ def main() -> int:
         "--all", action="store_true",
         help="run every benchmark module, not just the throughput suite",
     )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workloads + scratch output file: exercises the benchmark "
+        "code paths in seconds without touching BENCH_throughput.json",
+    )
     args = parser.parse_args()
     status = run_pytest(args)
-    summarize()
+    summarize(SMOKE_OUTPUT if args.smoke else OUTPUT)
+    if args.smoke:
+        print("(smoke mode: sizes are tiny, the rates above are meaningless)")
     return status
 
 

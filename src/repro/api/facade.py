@@ -64,6 +64,29 @@ def _check_options(executor, spec_type: type, engine_name: str, options: dict) -
         )
 
 
+def _as_cache_seed(rng) -> int:
+    """The integer root seed of a deterministic run, for content addressing."""
+    if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
+        return int(rng)
+    raise ValueError(
+        "cache= requires a reproducible run: pass rng=<int seed> so the "
+        "result has a stable content address (got "
+        f"{type(rng).__name__})"
+    )
+
+
+def _as_shard_seed(rng):
+    """The root seed of a sharded run (``None`` draws fresh OS entropy)."""
+    if rng is None:
+        return None
+    if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
+        return int(rng)
+    raise ValueError(
+        "shards= derives per-chunk seeds from an integer root seed; pass "
+        f"rng=<int seed> or rng=None, not a {type(rng).__name__}"
+    )
+
+
 def run(
     spec: MechanismSpec,
     *,
@@ -71,6 +94,10 @@ def run(
     trials: int = 1,
     rng=None,
     budget=None,
+    shards=None,
+    cache=None,
+    chunk_trials=None,
+    pool=None,
     **options,
 ) -> Result:
     """Execute ``trials`` independent runs of ``spec`` on the chosen engine.
@@ -91,7 +118,10 @@ def run(
         ``trial_*`` accessors for the squeezed view.
     rng:
         Seed, generator or :class:`~repro.primitives.rng.RandomSource`
-        threaded through to every noise draw.
+        threaded through to every noise draw.  The dispatch features
+        constrain it: ``shards=`` needs an integer seed (or ``None``) to
+        derive per-chunk seeds from, and ``cache=`` needs an integer seed so
+        the run has a stable content address.
     budget:
         Optional :class:`~repro.accounting.budget.BudgetOdometer`.  When
         given, the run is *reserved* up front (``epsilon * trials``, the
@@ -111,6 +141,29 @@ def run(
         signature up front, so an option the chosen spec/engine combination
         does not accept fails with a clear :class:`ValueError` naming the
         supported options instead of an opaque ``TypeError``.
+    shards:
+        ``None`` (default) executes in-process.  An integer fans the trial
+        axis out over that many workers via :mod:`repro.dispatch`: the
+        trials are split into fixed-size chunks with deterministically
+        derived per-chunk seeds, so a seeded run is bit-identical however
+        many shards (or which pool) execute it.
+    cache:
+        ``None``, a :class:`~repro.dispatch.cache.ResultCache`, or a cache
+        directory path.  The run is content-addressed
+        (:func:`~repro.dispatch.hashing.run_key`) and served from the cache
+        on a hit; on a miss it executes and is stored.  The budget (when
+        given) is charged either way -- a replayed release is still a
+        release as far as accounting is concerned.
+    chunk_trials:
+        Trials per dispatch chunk (default
+        :data:`~repro.dispatch.sharding.DEFAULT_CHUNK_TRIALS`).  Part of a
+        sharded run's deterministic identity -- changing it changes the
+        per-chunk seed derivation, hence the sample.
+    pool:
+        Sharded runs only: ``None`` (serial for one shard, a fresh process
+        pool otherwise), ``"serial"``, ``"process"``, or a caller-managed
+        pool instance (e.g. a long-lived
+        :class:`~repro.dispatch.pool.WorkerPool`).
 
     Returns
     -------
@@ -128,6 +181,16 @@ def run(
     trials = int(trials)
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
+    if shards is None and (pool is not None or chunk_trials is not None):
+        raise ValueError(
+            "pool= and chunk_trials= only apply to sharded runs; pass shards="
+        )
+    if chunk_trials is not None:
+        # Validate before the cache key is computed: an invalid chunk size
+        # must fail identically on warm and cold caches.
+        chunk_trials = int(chunk_trials)
+        if chunk_trials < 1:
+            raise ValueError(f"chunk_trials must be at least 1, got {chunk_trials}")
     executor = get_executor(type(spec), engine_name)
     _check_options(executor, type(spec), engine_name, options)
     if budget is not None:
@@ -140,7 +203,55 @@ def run(
                 f"to epsilon={reservation:g} but only {budget.remaining:g} of "
                 "the budget remains"
             )
-    result = executor(spec, trials=trials, rng=rng, **options)
+
+    if shards is None and cache is None:
+        result = executor(spec, trials=trials, rng=rng, **options)
+    else:
+        # Deferred import: repro.dispatch imports this module (its workers
+        # execute chunks through run()), so the dependency must stay
+        # one-directional at import time.
+        import repro.dispatch as dispatch
+
+        cache_store = dispatch.as_result_cache(cache)
+        key = None
+        if cache_store is not None:
+            key = dispatch.run_key(
+                spec,
+                engine=engine_name,
+                trials=trials,
+                seed=_as_cache_seed(rng),
+                chunk_trials=None
+                if shards is None
+                else (
+                    dispatch.DEFAULT_CHUNK_TRIALS
+                    if chunk_trials is None
+                    else chunk_trials
+                ),
+                options=options,
+            )
+            result = cache_store.get(key)
+            if result is not None:
+                if budget is not None:
+                    budget.charge(
+                        float(np.sum(result.epsilon_consumed)), label=spec.kind
+                    )
+                return result
+        if shards is None:
+            result = executor(spec, trials=trials, rng=rng, **options)
+        else:
+            result = dispatch.run_sharded(
+                spec,
+                engine=engine_name,
+                trials=trials,
+                seed=_as_shard_seed(rng),
+                shards=shards,
+                chunk_trials=chunk_trials,
+                pool=pool,
+                **options,
+            )
+        if cache_store is not None:
+            cache_store.put(key, result)
+
     if budget is not None:
         budget.charge(float(np.sum(result.epsilon_consumed)), label=spec.kind)
     return result

@@ -1,0 +1,125 @@
+"""Sharded spec execution and content-addressed result caching.
+
+This package ships serialized mechanism specs to workers -- the step the
+unified API was built for ("a spec can be queued, hashed, or shipped to a
+worker as-is").  Four pieces:
+
+* :mod:`~repro.dispatch.hashing` -- canonical spec / execution-request
+  hashing (:func:`spec_hash`, :func:`run_key`): stable across process
+  restarts and dict key order.
+* :mod:`~repro.dispatch.cache` -- content-addressed :class:`ResultCache`
+  backends (:class:`MemoryResultCache`, :class:`DiskResultCache`), so a
+  ``(spec, engine, trials, seed)`` request is never recomputed.
+* :mod:`~repro.dispatch.sharding` -- deterministic splitting of the trial
+  axis into :class:`ShardTask` chunks (per-chunk seeds via
+  ``SeedSequence.spawn``) and :func:`merge_results` to reassemble them.
+* :mod:`~repro.dispatch.pool` -- :class:`WorkerPool`
+  (``ProcessPoolExecutor``) and :class:`SerialPool`, both consuming queued
+  task JSON.
+
+Most callers never import this package directly: the facade grew
+``run(spec, ..., shards=, cache=)`` and the CLI ``run-spec --shards N
+--cache DIR``, both of which route through :func:`run_sharded` below.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.engines import validate_engine
+from repro.api.registry import get_executor
+from repro.api.result import Result
+from repro.api.specs import MechanismSpec
+from repro.dispatch.cache import (
+    DiskResultCache,
+    MemoryResultCache,
+    ResultCache,
+    as_result_cache,
+)
+from repro.dispatch.hashing import canonical_json, run_key, spec_hash
+from repro.dispatch.pool import SerialPool, WorkerPool, resolve_pool
+from repro.dispatch.sharding import (
+    DEFAULT_CHUNK_TRIALS,
+    ShardMergeError,
+    ShardTask,
+    execute_task,
+    execute_task_json,
+    make_tasks,
+    merge_results,
+    plan_chunks,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_TRIALS",
+    "DiskResultCache",
+    "MemoryResultCache",
+    "ResultCache",
+    "SerialPool",
+    "ShardMergeError",
+    "ShardTask",
+    "WorkerPool",
+    "as_result_cache",
+    "canonical_json",
+    "execute_task",
+    "execute_task_json",
+    "make_tasks",
+    "merge_results",
+    "plan_chunks",
+    "resolve_pool",
+    "run_key",
+    "run_sharded",
+    "spec_hash",
+]
+
+
+def run_sharded(
+    spec: MechanismSpec,
+    *,
+    engine: str = "batch",
+    trials: int = 1,
+    seed=None,
+    shards: int = 1,
+    chunk_trials: Optional[int] = None,
+    pool=None,
+    **options,
+) -> Result:
+    """Execute ``trials`` runs of ``spec`` sharded across workers.
+
+    The trial axis is split into deterministic chunks
+    (:func:`~repro.dispatch.sharding.make_tasks`), executed on ``shards``
+    workers of ``pool``, and merged back
+    (:func:`~repro.dispatch.sharding.merge_results`).  The result is a pure
+    function of ``(spec, engine, trials, seed, chunk_trials)`` -- never of
+    the shard count or pool type.
+
+    Most callers should use ``repro.api.run(spec, shards=...)`` instead,
+    which adds budget accounting and result caching on top.
+    """
+    if not isinstance(spec, MechanismSpec):
+        raise TypeError(
+            f"spec must be a MechanismSpec, got {type(spec).__name__}"
+        )
+    spec.validate()
+    engine_name = validate_engine(engine)
+    # Resolve the executor up front: an unsupported (spec, engine) pair --
+    # e.g. the reference-only SVT catalogue variants on engine="batch" --
+    # raises UnsupportedEngineError before any worker is spawned.
+    get_executor(type(spec), engine_name)
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError(f"shards must be at least 1, got {shards}")
+    tasks = make_tasks(
+        spec,
+        engine=engine_name,
+        trials=trials,
+        seed=seed,
+        chunk_trials=chunk_trials,
+        options=options,
+    )
+    pool, owned = resolve_pool(pool, shards)
+    try:
+        results = pool.run_tasks(tasks)
+    finally:
+        if owned:
+            pool.close()
+    return merge_results(results)

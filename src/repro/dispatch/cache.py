@@ -1,0 +1,183 @@
+"""Content-addressed result caches keyed by :func:`repro.dispatch.run_key`.
+
+A cache stores the uniform :class:`~repro.api.result.Result` of one
+deterministic execution request under its content address, so a ``(spec,
+engine, trials, seed)`` pair is never recomputed.  Two backends:
+
+* :class:`MemoryResultCache` -- a process-local dict, for sessions and tests;
+* :class:`DiskResultCache` -- one ``<key>.npz`` (the result's arrays, exact
+  dtypes) plus one ``<key>.json`` (the scalar metadata) per entry, surviving
+  process restarts and shareable between workers on a common filesystem.
+
+Robustness contract: a corrupted, truncated or half-written entry is
+**treated as a miss, never an error** -- the caller recomputes and rewrites.
+Writes are atomic (temp file + ``os.replace``) and ordered arrays-first, so a
+crash between the two files leaves either no entry or a payload without its
+metadata marker; neither ever serves a partial result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.api.result import Result
+
+__all__ = [
+    "DiskResultCache",
+    "MemoryResultCache",
+    "ResultCache",
+    "as_result_cache",
+]
+
+#: Result fields stored as arrays in the ``.npz`` payload (in declaration
+#: order); optional fields that are ``None`` are simply absent.
+_ARRAY_FIELDS = (
+    "epsilon_consumed",
+    "indices",
+    "gaps",
+    "estimates",
+    "measurements",
+    "true_values",
+    "mask",
+    "above",
+    "branches",
+    "processed",
+)
+
+
+class ResultCache:
+    """Interface of a content-addressed result store.
+
+    ``get`` returns the stored :class:`Result` or ``None`` on a miss (which
+    includes unreadable entries); ``put`` stores a result under a key,
+    overwriting silently (content addressing makes overwrites idempotent).
+    """
+
+    def get(self, key: str) -> Optional[Result]:
+        raise NotImplementedError
+
+    def put(self, key: str, result: Result) -> None:
+        raise NotImplementedError
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+
+class MemoryResultCache(ResultCache):
+    """A process-local in-memory cache (dict of key -> Result)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Result] = {}
+
+    def get(self, key: str) -> Optional[Result]:
+        return self._entries.get(key)
+
+    def put(self, key: str, result: Result) -> None:
+        if not isinstance(result, Result):
+            raise TypeError(f"can only cache Result objects, got {type(result).__name__}")
+        self._entries[key] = result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    handle, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(handle, "wb") as tmp:
+            tmp.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class DiskResultCache(ResultCache):
+    """An on-disk cache: ``<key>.npz`` arrays + ``<key>.json`` metadata.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; created (with parents) if missing.
+    """
+
+    def __init__(self, directory: Union[str, os.PathLike]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _paths(self, key: str) -> tuple:
+        if not key or any(ch in key for ch in "/\\.") or key.startswith("~"):
+            raise ValueError(f"invalid cache key {key!r}")
+        return self.directory / f"{key}.json", self.directory / f"{key}.npz"
+
+    def put(self, key: str, result: Result) -> None:
+        if not isinstance(result, Result):
+            raise TypeError(f"can only cache Result objects, got {type(result).__name__}")
+        meta_path, array_path = self._paths(key)
+        arrays = {
+            name: getattr(result, name)
+            for name in _ARRAY_FIELDS
+            if getattr(result, name) is not None
+        }
+        metadata = {
+            "mechanism": result.mechanism,
+            "engine": result.engine,
+            "trials": result.trials,
+            "epsilon": result.epsilon,
+            "monotonic": result.monotonic,
+            "extra": dict(result.extra),
+            "arrays": sorted(arrays),
+        }
+        # Arrays first, metadata last: the .json file is the commit marker,
+        # so get() never observes metadata pointing at a missing payload.
+        import io
+
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        _atomic_write_bytes(array_path, buffer.getvalue())
+        _atomic_write_bytes(meta_path, json.dumps(metadata).encode("utf-8"))
+
+    def get(self, key: str) -> Optional[Result]:
+        meta_path, array_path = self._paths(key)
+        try:
+            metadata = json.loads(meta_path.read_text(encoding="utf-8"))
+            with np.load(array_path, allow_pickle=False) as payload:
+                arrays = {name: payload[name] for name in metadata["arrays"]}
+            return Result(
+                mechanism=metadata["mechanism"],
+                engine=metadata["engine"],
+                trials=int(metadata["trials"]),
+                epsilon=float(metadata["epsilon"]),
+                monotonic=bool(metadata["monotonic"]),
+                extra=dict(metadata["extra"]),
+                **{name: None for name in _ARRAY_FIELDS if name not in arrays},
+                **arrays,
+            )
+        except Exception:
+            # Missing, truncated, corrupted or shape-inconsistent entries
+            # (np.load raises anything from OSError to zipfile.BadZipFile to
+            # pickle errors; Result.__post_init__ raises ValueError) are all
+            # equivalent to "not cached" -- the caller recomputes.
+            return None
+
+
+def as_result_cache(cache) -> Optional[ResultCache]:
+    """Coerce a cache argument: ``None``, a :class:`ResultCache`, or a
+    directory path (which selects :class:`DiskResultCache`)."""
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    if isinstance(cache, (str, os.PathLike)):
+        return DiskResultCache(cache)
+    raise TypeError(
+        "cache must be None, a ResultCache instance or a directory path; "
+        f"got {type(cache).__name__}"
+    )

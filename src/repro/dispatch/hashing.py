@@ -1,0 +1,147 @@
+"""Canonical hashing of mechanism specs and execution requests.
+
+A frozen :class:`~repro.api.specs.MechanismSpec` serializes losslessly, so an
+*execution request* -- the spec plus everything else that determines the
+outcome of a seeded :func:`repro.api.run` call (engine, trial count, seed,
+chunking, run-time options) -- can be reduced to a stable content address.
+The result cache (:mod:`repro.dispatch.cache`) stores results under that
+address; two requests collide exactly when they would produce bit-identical
+results.
+
+Stability requirements, all load-bearing:
+
+* **Key order must not matter** -- ``canonical_json`` sorts keys, so a spec
+  payload that went through a round-trip (or was written by hand in a
+  different order) hashes the same.
+* **Process restarts must not matter** -- no ``id()``-, ``hash()``- or
+  environment-dependent state enters the digest; floats are rendered with
+  ``repr`` (shortest round-trip form, stable across CPython builds).
+* **Equal specs hash equal, unequal specs hash unequal** -- the property
+  tests in ``tests/test_property_based.py`` pin this down, including the
+  one genuine subtlety: ``-0.0 == 0.0`` in Python, so negative zero is
+  normalised to positive zero before hashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.api.engines import validate_engine
+from repro.api.specs import MechanismSpec
+
+__all__ = ["canonical_json", "run_key", "spec_hash"]
+
+#: Version tag mixed into every run key.  Bump when the execution semantics
+#: behind a key change (e.g. a different per-chunk seed derivation), so stale
+#: on-disk caches miss instead of replaying results of the old semantics.
+KEY_VERSION = 1
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to JSON-safe primitives with deterministic identity."""
+    if value is None or isinstance(value, str):
+        return value
+    # bool before int: bool is an int subclass but "true" != "1" in JSON.
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError("cannot hash non-finite numbers")
+        # -0.0 == 0.0 must hash identically for hash-equality to track
+        # spec equality.
+        return 0.0 if value == 0.0 else value
+    if isinstance(value, np.ndarray):
+        return _canonical(value.tolist())
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in value.items()}
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for hashing")
+
+
+def canonical_json(payload: Any) -> str:
+    """A stable JSON serialization: sorted keys, no whitespace, exact floats."""
+    return json.dumps(
+        _canonical(payload), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def _digest(payload: Any) -> str:
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def spec_hash(spec: MechanismSpec) -> str:
+    """Content address of a spec alone (sha256 hex of its canonical payload).
+
+    Equal specs hash equal; specs differing in any field (including the
+    ``kind`` tag) hash differently.  Specs are frozen, so the digest is
+    memoized on the instance -- repeated cache lookups for the same spec
+    (the hot path of a warm cache) do not re-serialize the query vector.
+    """
+    if not isinstance(spec, MechanismSpec):
+        raise TypeError(f"spec must be a MechanismSpec, got {type(spec).__name__}")
+    cached = spec.__dict__.get("_content_hash")
+    if cached is None:
+        cached = _digest(spec.to_dict())
+        object.__setattr__(spec, "_content_hash", cached)
+    return cached
+
+
+def run_key(
+    spec: MechanismSpec,
+    *,
+    engine: str,
+    trials: int,
+    seed: int,
+    chunk_trials: Optional[int] = None,
+    options: Optional[dict] = None,
+) -> str:
+    """Content address of one deterministic execution request.
+
+    Parameters
+    ----------
+    spec:
+        The mechanism spec to execute.
+    engine:
+        Canonical engine name (validated here, so ``"batch"`` and
+        ``Engine.BATCH`` produce the same key).
+    trials:
+        Number of independent trials.
+    seed:
+        The integer root seed.  Only deterministic requests are addressable:
+        an OS-seeded run has no stable identity to cache under.
+    chunk_trials:
+        ``None`` for a plain unsharded run (the seed feeds one generator for
+        the whole trial axis); an integer for the dispatch layer's chunked
+        execution, whose per-chunk derived seeds produce a *different*
+        (equally valid) sample -- the two must never share a key.
+    options:
+        Run-time options forwarded to the executor (per-trial thresholds,
+        explicit noise matrices, ``fast_noise``).  Arrays are canonicalized
+        element-exactly, so an option change of any kind changes the key.
+    """
+    if not isinstance(seed, (int, np.integer)) or isinstance(seed, bool):
+        raise TypeError(
+            f"seed must be an integer for content addressing, got {seed!r}"
+        )
+    payload = {
+        "version": KEY_VERSION,
+        # The spec enters by its (memoized) content hash, not its full
+        # payload: sha256 composition is just as collision-resistant and
+        # keeps warm-cache lookups O(1) in the query-vector length.
+        "spec": spec_hash(spec),
+        "engine": validate_engine(engine),
+        "trials": int(trials),
+        "seed": int(seed),
+        "chunk_trials": None if chunk_trials is None else int(chunk_trials),
+        "options": options or {},
+    }
+    return _digest(payload)

@@ -1,0 +1,120 @@
+"""Worker pools that consume queued shard-task JSON and execute it.
+
+Two interchangeable executors behind one tiny protocol
+(``run_tasks(tasks) -> [Result]``, results in task order):
+
+* :class:`SerialPool` -- runs every task in-process, in order.  The debug /
+  test executor, and the fastest choice for single-chunk runs (no process
+  startup, no pickling).
+* :class:`WorkerPool` -- a ``concurrent.futures.ProcessPoolExecutor`` fan-out
+  across CPU cores.
+
+Both pools feed workers the *serialized* task (``ShardTask.to_json``), not
+the live object: what crosses the queue is exactly the JSON a future
+service/broker layer would enqueue, so serial-vs-process equivalence tests
+also prove the JSON envelope is lossless.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Union
+
+from repro.api.result import Result
+from repro.dispatch.sharding import ShardTask, execute_task_json
+
+__all__ = ["SerialPool", "WorkerPool", "resolve_pool"]
+
+
+class SerialPool:
+    """Executes shard tasks in-process, in order (tests, debugging, and the
+    no-parallelism fast path)."""
+
+    def run_tasks(self, tasks: Sequence[ShardTask]) -> List[Result]:
+        """Execute every task and return results in task order."""
+        return [execute_task_json(task.to_json()) for task in tasks]
+
+    def close(self) -> None:
+        """Nothing to release; present for pool-protocol symmetry."""
+
+    def __enter__(self) -> "SerialPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class WorkerPool:
+    """A process pool executing queued shard-task JSON across CPU cores.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``None`` uses ``os.cpu_count()``.
+
+    The underlying ``ProcessPoolExecutor`` is created lazily on first use and
+    reused across ``run_tasks`` calls, so a long-lived pool amortises worker
+    startup over many runs (the ``throughput-sharded`` benchmarks measure
+    this steady state).  Use as a context manager -- or call :meth:`close` --
+    to release the workers.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None:
+            workers = int(workers)
+            if workers < 1:
+                raise ValueError(f"workers must be at least 1, got {workers}")
+        self._workers = workers or os.cpu_count() or 1
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def workers(self) -> int:
+        """Number of worker processes the pool runs."""
+        return self._workers
+
+    def run_tasks(self, tasks: Sequence[ShardTask]) -> List[Result]:
+        """Execute every task across the workers; results in task order."""
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self._workers)
+        payloads = [task.to_json() for task in tasks]
+        return list(self._executor.map(execute_task_json, payloads))
+
+    def close(self) -> None:
+        """Shut the worker processes down."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def resolve_pool(pool: Union[None, str, SerialPool, WorkerPool], shards: int):
+    """Resolve a facade ``pool=`` argument to a pool instance.
+
+    Returns ``(pool, owned)`` -- ``owned`` tells the caller whether it
+    created the pool (and must close it) or borrowed a caller-managed one.
+
+    ``None`` picks :class:`SerialPool` for one shard and a
+    :class:`WorkerPool` with ``shards`` workers otherwise; the strings
+    ``"serial"`` / ``"process"`` force a choice; any object with a
+    ``run_tasks`` method is used as-is.
+    """
+    if pool is None:
+        pool = "serial" if shards <= 1 else "process"
+    if isinstance(pool, str):
+        if pool == "serial":
+            return SerialPool(), True
+        if pool == "process":
+            return WorkerPool(workers=shards), True
+        raise ValueError(f"pool must be 'serial' or 'process', got {pool!r}")
+    if hasattr(pool, "run_tasks"):
+        return pool, False
+    raise TypeError(
+        "pool must be None, 'serial', 'process', or an object with a "
+        f"run_tasks method; got {type(pool).__name__}"
+    )

@@ -1,0 +1,332 @@
+"""Sharded execution of a spec's trial axis, with deterministic seeding.
+
+The trial axis of a :func:`repro.api.run` call is split into fixed-size
+**chunks** (:func:`plan_chunks`), each of which becomes one self-contained
+:class:`ShardTask`: the spec as JSON, the engine name, the chunk's trial
+count, a deterministically derived seed, and the chunk's slice of any
+per-trial run-time options.  A worker pool (:mod:`repro.dispatch.pool`)
+executes tasks in any order and on any number of workers;
+:func:`merge_results` reassembles the per-chunk :class:`Result` objects into
+one, in chunk order.
+
+Determinism contract
+--------------------
+Chunk seeds come from ``numpy.random.SeedSequence(seed).spawn(num_chunks)``.
+Because the chunk layout depends only on ``(trials, chunk_trials)`` -- never
+on how many workers execute them -- a seeded sharded run is a pure function
+of ``(spec, engine, trials, seed, chunk_trials)``:
+
+* the same run on 1, 2 or 8 shards, on a serial or a process pool, is
+  **bit-identical**;
+* with a single chunk (``trials <= chunk_trials``) it is bit-identical to
+  the plain unsharded ``run(spec, trials=trials,
+  rng=numpy.random.default_rng(SeedSequence(seed).spawn(1)[0]))``.
+
+``tests/test_dispatch_sharding.py`` asserts both.
+
+Tasks cross the process boundary as JSON (``ShardTask.to_json``), which is
+also what a future queue/service layer would enqueue: a task is executable
+by any worker that can import :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.result import Result
+from repro.api.specs import MechanismSpec, spec_from_json
+
+__all__ = [
+    "DEFAULT_CHUNK_TRIALS",
+    "ShardTask",
+    "execute_task",
+    "execute_task_json",
+    "make_tasks",
+    "merge_results",
+    "plan_chunks",
+]
+
+#: Default trials per chunk.  Large enough that each chunk amortises the
+#: facade/dispatch overhead and runs fully vectorized; small enough that the
+#: batch engine's ``(B, n)`` trial matrices stay cache-resident (the very
+#: large single-batch runs fall off a memory cliff -- see the
+#: ``throughput-sharded`` benchmark group).
+DEFAULT_CHUNK_TRIALS = 1024
+
+#: Options whose leading axis is the trial axis; their rows are split across
+#: chunks so the sharded run consumes exactly the per-trial inputs the
+#: unsharded run would.  Everything else (``fast_noise``) passes through.
+PER_TRIAL_OPTIONS = (
+    "thresholds",
+    "noise",
+    "threshold_noise",
+    "query_noise",
+    "top_noise",
+    "middle_noise",
+)
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One self-contained unit of sharded work: a chunk of a run's trials.
+
+    Attributes
+    ----------
+    spec_json:
+        The mechanism spec, serialized (``MechanismSpec.to_json``).
+    engine:
+        Canonical engine name to execute on.
+    trials:
+        Number of trials in this chunk.
+    entropy:
+        Root entropy of the run's ``SeedSequence`` (shared by every chunk).
+    spawn_key:
+        The chunk's spawn key; ``SeedSequence(entropy=..., spawn_key=...)``
+        reconstructs the chunk's generator identically in any process.
+    options:
+        Run-time executor options for this chunk (per-trial options already
+        sliced to the chunk's rows).
+    index:
+        Position of the chunk on the trial axis (merge order).
+    """
+
+    spec_json: str
+    engine: str
+    trials: int
+    entropy: int
+    spawn_key: Tuple[int, ...]
+    options: Dict = field(default_factory=dict)
+    index: int = 0
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """The chunk's deterministic seed, identical in every process."""
+        return np.random.SeedSequence(
+            entropy=self.entropy, spawn_key=tuple(self.spawn_key)
+        )
+
+    def to_payload(self) -> dict:
+        """A JSON-compatible dict (arrays in options become nested lists)."""
+        options = {
+            name: value.tolist() if isinstance(value, np.ndarray) else value
+            for name, value in self.options.items()
+        }
+        return {
+            "spec": json.loads(self.spec_json),
+            "engine": self.engine,
+            "trials": self.trials,
+            "entropy": self.entropy,
+            "spawn_key": list(self.spawn_key),
+            "options": options,
+            "index": self.index,
+        }
+
+    def to_json(self) -> str:
+        """Serialize the task for a queue or a worker process."""
+        return json.dumps(self.to_payload())
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardTask":
+        return cls(
+            spec_json=json.dumps(payload["spec"]),
+            engine=payload["engine"],
+            trials=int(payload["trials"]),
+            entropy=int(payload["entropy"]),
+            spawn_key=tuple(int(k) for k in payload["spawn_key"]),
+            options=dict(payload.get("options", {})),
+            index=int(payload.get("index", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardTask":
+        return cls.from_payload(json.loads(text))
+
+
+def plan_chunks(trials: int, chunk_trials: Optional[int] = None) -> List[int]:
+    """Chunk sizes covering ``trials``: full chunks plus one remainder.
+
+    The layout depends only on ``(trials, chunk_trials)`` -- never on the
+    worker count -- which is what makes sharded runs partition-independent.
+    """
+    trials = int(trials)
+    if trials < 1:
+        raise ValueError(f"trials must be at least 1, got {trials}")
+    chunk_trials = DEFAULT_CHUNK_TRIALS if chunk_trials is None else int(chunk_trials)
+    if chunk_trials < 1:
+        raise ValueError(f"chunk_trials must be at least 1, got {chunk_trials}")
+    full, remainder = divmod(trials, chunk_trials)
+    return [chunk_trials] * full + ([remainder] if remainder else [])
+
+
+def _slice_options(options: Dict, trials: int, start: int, stop: int) -> Dict:
+    """The chunk's view of the run-time options (per-trial rows sliced)."""
+    sliced = {}
+    for name, value in options.items():
+        if name in PER_TRIAL_OPTIONS and value is not None and not np.isscalar(value):
+            value = np.asarray(value)
+            if value.ndim == 0:
+                value = value[()]  # scalar threshold: broadcast per chunk
+            elif value.shape[0] != trials:
+                raise ValueError(
+                    f"per-trial option {name!r} must have leading axis {trials}, "
+                    f"got shape {value.shape}"
+                )
+            else:
+                value = value[start:stop]
+        sliced[name] = value
+    return sliced
+
+
+def make_tasks(
+    spec: MechanismSpec,
+    *,
+    engine: str,
+    trials: int,
+    seed=None,
+    chunk_trials: Optional[int] = None,
+    options: Optional[Dict] = None,
+) -> List[ShardTask]:
+    """Split one run request into deterministic, self-contained chunk tasks.
+
+    ``seed`` is anything ``numpy.random.SeedSequence`` accepts as entropy
+    (``None`` draws fresh OS entropy -- the run is then unique but still
+    internally consistent: every chunk derives from the same root).
+    """
+    root = np.random.SeedSequence(seed)
+    sizes = plan_chunks(trials, chunk_trials)
+    children = root.spawn(len(sizes))
+    spec_json = spec.to_json()
+    options = options or {}
+    tasks = []
+    start = 0
+    for index, (size, child) in enumerate(zip(sizes, children)):
+        tasks.append(
+            ShardTask(
+                spec_json=spec_json,
+                engine=engine,
+                trials=size,
+                entropy=child.entropy,
+                spawn_key=tuple(int(k) for k in child.spawn_key),
+                options=_slice_options(options, trials, start, start + size),
+                index=index,
+            )
+        )
+        start += size
+    return tasks
+
+
+def execute_task(task: ShardTask) -> Result:
+    """Run one chunk through the facade with its derived generator."""
+    # Imported here, not at module scope: the facade imports this package
+    # lazily for the same reason (dispatch and facade reference each other).
+    from repro.api.facade import run
+
+    spec = spec_from_json(task.spec_json)
+    rng = np.random.default_rng(task.seed_sequence())
+    # Options that crossed a JSON boundary arrive as nested lists; the
+    # executors coerce array-likes themselves, so they pass through as-is.
+    return run(spec, engine=task.engine, trials=task.trials, rng=rng, **task.options)
+
+
+def execute_task_json(payload: str) -> Result:
+    """Worker entry point: execute a task from its queued JSON form."""
+    return execute_task(ShardTask.from_json(payload))
+
+
+def _concat_padded(arrays: Sequence[np.ndarray], pad) -> np.ndarray:
+    """Concatenate ``(B_i, w_i)`` matrices on the trial axis, right-padding
+    narrower ones with ``pad`` to the widest ``w`` (the unsharded padding
+    convention: a merged run's width is the maximum over all trials)."""
+    width = max(a.shape[1] for a in arrays)
+    if all(a.shape[1] == width for a in arrays):
+        return np.concatenate(arrays, axis=0)
+    padded = []
+    for a in arrays:
+        if a.shape[1] < width:
+            filler = np.full((a.shape[0], width - a.shape[1]), pad, dtype=a.dtype)
+            a = np.concatenate([a, filler], axis=1)
+        padded.append(a)
+    return np.concatenate(padded, axis=0)
+
+
+#: Padding value per optional (B, w) matrix field, matching the executors'
+#: own conventions (indices -1, measurement-family NaN, mask False).
+_PAD_VALUES = {
+    "indices": -1,
+    "gaps": np.nan,
+    "estimates": np.nan,
+    "measurements": np.nan,
+    "true_values": np.nan,
+    "mask": False,
+}
+
+
+class ShardMergeError(ValueError):
+    """Raised when per-shard results are not slices of one coherent run."""
+
+
+def merge_results(results: Sequence[Result]) -> Result:
+    """Reassemble per-chunk results into one, in the given (chunk) order.
+
+    Trial-axis arrays are concatenated (width-padded where chunks answered
+    fewer queries than the widest chunk); scalar metadata must agree across
+    chunks.  Budget accounting composes additively: the merged
+    ``epsilon_consumed`` is the concatenation, so facade-level odometer
+    charges (``sum(epsilon_consumed)``) equal the sum over shards.
+    """
+    results = list(results)
+    if not results:
+        raise ShardMergeError("cannot merge zero shard results")
+    if len(results) == 1:
+        return results[0]
+    first = results[0]
+    for other in results[1:]:
+        for name in ("mechanism", "engine", "epsilon", "monotonic"):
+            if getattr(other, name) != getattr(first, name):
+                raise ShardMergeError(
+                    f"shard results disagree on {name}: "
+                    f"{getattr(first, name)!r} vs {getattr(other, name)!r}"
+                )
+        for name in ("estimates", "measurements", "true_values", "mask",
+                     "above", "branches", "processed"):
+            if (getattr(other, name) is None) != (getattr(first, name) is None):
+                raise ShardMergeError(
+                    f"shard results disagree on presence of field {name!r}"
+                )
+
+    def merged(name):
+        value = getattr(first, name)
+        if value is None:
+            return None
+        arrays = [getattr(r, name) for r in results]
+        if arrays[0].ndim == 1:
+            return np.concatenate(arrays)
+        if name in _PAD_VALUES:
+            return _concat_padded(arrays, _PAD_VALUES[name])
+        # (B, n) stream-axis fields: widths are the stream length, equal by
+        # construction (same spec); a mismatch means incompatible runs.
+        if len({a.shape[1] for a in arrays}) != 1:
+            raise ShardMergeError(f"shard results disagree on {name} width")
+        return np.concatenate(arrays, axis=0)
+
+    return Result(
+        mechanism=first.mechanism,
+        engine=first.engine,
+        trials=sum(r.trials for r in results),
+        epsilon=first.epsilon,
+        epsilon_consumed=merged("epsilon_consumed"),
+        indices=merged("indices"),
+        gaps=merged("gaps"),
+        estimates=merged("estimates"),
+        measurements=merged("measurements"),
+        true_values=merged("true_values"),
+        mask=merged("mask"),
+        above=merged("above"),
+        branches=merged("branches"),
+        processed=merged("processed"),
+        monotonic=first.monotonic,
+        extra=dict(first.extra),
+    )

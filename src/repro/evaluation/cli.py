@@ -19,7 +19,13 @@ The ``run-spec`` sub-command executes an arbitrary serialized mechanism spec
 
 making the CLI a thin consumer of the spec -> registry -> facade flow: any
 mechanism registered in :mod:`repro.api` is runnable from a file with no
-CLI changes.
+CLI changes.  ``--shards N`` fans the trial axis out over ``N`` worker
+processes (bit-identical to fewer or more shards at the same seed), and
+``--cache DIR`` serves repeated requests from a content-addressed on-disk
+result cache::
+
+    python -m repro.evaluation.cli run-spec spec.json --trials 100000 \\
+        --seed 0 --shards 4 --cache ./results-cache
 """
 
 from __future__ import annotations
@@ -151,7 +157,13 @@ def _run_run_spec(args, stream) -> None:
     with open(args.spec, "r", encoding="utf-8") as handle:
         spec = spec_from_json(handle.read())
     result = api_run(
-        spec, engine=args.engine, trials=args.trials, rng=args.seed
+        spec,
+        engine=args.engine,
+        trials=args.trials,
+        rng=args.seed,
+        shards=args.shards,
+        cache=args.cache,
+        chunk_trials=args.chunk_trials,
     )
     rows = [
         {
@@ -215,6 +227,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution engine for run-spec (default: batch)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="run-spec only: fan the trials out over this many worker "
+        "processes (bit-identical to any other shard count at the same seed)",
+    )
+    parser.add_argument(
+        "--cache",
+        type=str,
+        default=None,
+        help="run-spec only: directory of a content-addressed result cache; "
+        "a repeated (spec, engine, trials, seed) request is served from it",
+    )
+    parser.add_argument(
+        "--chunk-trials",
+        type=int,
+        default=None,
+        help="run-spec only: trials per dispatch chunk for sharded runs "
+        "(part of the run's deterministic identity)",
+    )
+    parser.add_argument(
         "--dataset",
         choices=DATASET_CHOICES,
         default="BMS-POS",
@@ -268,21 +301,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command != "run-spec":
         if args.spec is not None:
             parser.error(f"command {args.command!r} takes no spec file argument")
-        if args.engine is not None:
-            # Refuse rather than silently run the figures on the default
-            # engine: the figure runners always use engine="batch".
-            parser.error("--engine only applies to the run-spec command")
+        # Refuse rather than silently ignore: the figure runners always use
+        # the in-process batch engine, no sharding, no cache.
+        for flag in ("engine", "shards", "cache", "chunk_trials"):
+            if getattr(args, flag) is not None:
+                parser.error(
+                    f"--{flag.replace('_', '-')} only applies to the run-spec command"
+                )
     if args.engine is None:
         args.engine = "batch"
+    if args.shards is not None and args.shards < 1:
+        parser.error("--shards must be at least 1")
+    if args.chunk_trials is not None and args.chunk_trials < 1:
+        parser.error("--chunk-trials must be at least 1")
 
     runner = _COMMANDS[args.command]
+    # One-line diagnosis, exit code 2, for anything the user can cause: a
+    # missing/unreadable spec or output file (OSError covers
+    # FileNotFoundError, IsADirectoryError, PermissionError), a malformed or
+    # unknown spec payload (SpecValidationError), an engine without an
+    # executor for the spec (UnsupportedEngineError).  ValueError is only
+    # user-reachable through run-spec's facade arguments -- for the figure
+    # commands it would mean an internal bug, whose traceback must survive.
+    recoverable = (SpecValidationError, UnsupportedEngineError, OSError)
+    if args.command == "run-spec":
+        recoverable += (ValueError,)
     try:
         if args.output is None:
             runner(args, sys.stdout)
         else:
             with open(args.output, "w", encoding="utf-8") as handle:
                 runner(args, handle)
-    except (SpecValidationError, UnsupportedEngineError, FileNotFoundError) as exc:
+    except recoverable as exc:
         parser.exit(2, f"error: {exc}\n")
     return 0
 

@@ -1,0 +1,272 @@
+"""Tests for canonical hashing and the content-addressed result cache.
+
+The cache contract: a round-trip preserves every :class:`Result` field
+exactly (values *and* dtypes); a change to any request ingredient (seed,
+trials, engine, any spec field, chunking, options) changes the key; keys are
+stable across process restarts and dict key order; and corrupted on-disk
+entries degrade to misses, never to crashes.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AdaptiveSvtSpec,
+    NoisyTopKSpec,
+    SelectMeasureSpec,
+    SparseVectorSpec,
+    run,
+    spec_from_dict,
+)
+from repro.dispatch import (
+    DiskResultCache,
+    MemoryResultCache,
+    as_result_cache,
+    canonical_json,
+    run_key,
+    spec_hash,
+)
+
+TRIALS = 16
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return np.sort(np.random.default_rng(8).uniform(0.0, 500.0, 40))[::-1].copy()
+
+
+@pytest.fixture(scope="module")
+def specs(queries):
+    median = float(np.median(queries))
+    return {
+        # Covers all three result shapes: selection-only, SVT stream fields
+        # (above/branches/processed), and measurement fields
+        # (estimates/measurements/true_values/mask).
+        "top-k": NoisyTopKSpec(queries=queries, epsilon=1.0, k=3, monotonic=True),
+        "adaptive": AdaptiveSvtSpec(
+            queries=queries, epsilon=1.0, threshold=median, k=3, monotonic=True
+        ),
+        "select-measure": SelectMeasureSpec(
+            queries=queries, epsilon=1.0, k=3, mechanism="svt", threshold=median
+        ),
+    }
+
+
+_ARRAY_FIELDS = (
+    "epsilon_consumed",
+    "indices",
+    "gaps",
+    "estimates",
+    "measurements",
+    "true_values",
+    "mask",
+    "above",
+    "branches",
+    "processed",
+)
+
+
+def assert_results_identical(a, b):
+    assert a.mechanism == b.mechanism
+    assert a.engine == b.engine
+    assert a.trials == b.trials
+    assert a.epsilon == b.epsilon
+    assert a.monotonic == b.monotonic
+    assert a.extra == b.extra
+    for name in _ARRAY_FIELDS:
+        left, right = getattr(a, name), getattr(b, name)
+        assert (left is None) == (right is None), name
+        if left is not None:
+            assert left.dtype == right.dtype, name
+            np.testing.assert_array_equal(left, right, err_msg=name)
+
+
+# ---------------------------------------------------------------------------
+# canonical hashing
+# ---------------------------------------------------------------------------
+
+
+class TestHashing:
+    def test_hash_is_stable_across_process_restarts(self):
+        # Pinned digests: these must never change without bumping
+        # repro.dispatch.hashing.KEY_VERSION, or on-disk caches written by
+        # older processes would silently go stale (or worse, collide).
+        spec = NoisyTopKSpec(
+            queries=[120.0, 90.0, 85.0, 30.0, 5.0], epsilon=1.0, k=2, monotonic=True
+        )
+        assert spec_hash(spec) == (
+            "bf8382b0be773c6bcdec7096dceb6652bbb3e4af12e8367d106189c0a865f0ed"
+        )
+        assert run_key(spec, engine="batch", trials=64, seed=7) == (
+            "7db65dd80476f0374d32bd2754b8ad372383eb044949909ce4f77280f4cbafab"
+        )
+
+    def test_hash_ignores_dict_key_order(self, specs):
+        for spec in specs.values():
+            payload = spec.to_dict()
+            reordered = dict(reversed(list(payload.items())))
+            assert spec_hash(spec_from_dict(reordered)) == spec_hash(spec)
+
+    def test_every_spec_field_changes_the_hash(self, queries):
+        base = SparseVectorSpec(
+            queries=queries, epsilon=1.0, threshold=10.0, k=3, monotonic=True
+        )
+        variants = [
+            SparseVectorSpec(queries=queries[:-1], epsilon=1.0, threshold=10.0, k=3, monotonic=True),
+            SparseVectorSpec(queries=queries, epsilon=2.0, threshold=10.0, k=3, monotonic=True),
+            SparseVectorSpec(queries=queries, epsilon=1.0, threshold=11.0, k=3, monotonic=True),
+            SparseVectorSpec(queries=queries, epsilon=1.0, threshold=10.0, k=4, monotonic=True),
+            SparseVectorSpec(queries=queries, epsilon=1.0, threshold=10.0, k=3, monotonic=False),
+            SparseVectorSpec(queries=queries, epsilon=1.0, threshold=10.0, k=3, monotonic=True, with_gap=False),
+            SparseVectorSpec(queries=queries, epsilon=1.0, threshold=10.0, k=3, monotonic=True, theta=0.5),
+            SparseVectorSpec(queries=queries, epsilon=1.0, threshold=10.0, k=3, monotonic=True, sensitivity=2.0),
+        ]
+        hashes = {spec_hash(base)} | {spec_hash(v) for v in variants}
+        assert len(hashes) == 1 + len(variants)
+
+    def test_run_key_distinguishes_every_request_ingredient(self, specs):
+        spec = specs["top-k"]
+        base = run_key(spec, engine="batch", trials=TRIALS, seed=0)
+        assert run_key(spec, engine="batch", trials=TRIALS, seed=1) != base
+        assert run_key(spec, engine="batch", trials=TRIALS + 1, seed=0) != base
+        assert run_key(spec, engine="reference", trials=TRIALS, seed=0) != base
+        assert run_key(spec, engine="batch", trials=TRIALS, seed=0, chunk_trials=8) != base
+        assert (
+            run_key(spec, engine="batch", trials=TRIALS, seed=0, options={"fast_noise": False})
+            != base
+        )
+        other = NoisyTopKSpec(
+            queries=spec.queries, epsilon=spec.epsilon, k=spec.k + 1, monotonic=True
+        )
+        assert run_key(other, engine="batch", trials=TRIALS, seed=0) != base
+
+    def test_run_key_requires_integer_seed(self, specs):
+        with pytest.raises(TypeError):
+            run_key(specs["top-k"], engine="batch", trials=4, seed=None)
+        with pytest.raises(TypeError):
+            run_key(specs["top-k"], engine="batch", trials=4, seed=True)
+
+    def test_canonical_json_normalises_negative_zero(self):
+        assert canonical_json({"x": -0.0}) == canonical_json({"x": 0.0})
+
+    def test_canonical_json_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+# ---------------------------------------------------------------------------
+# cache round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestCacheRoundTrip:
+    @pytest.mark.parametrize("kind", ["top-k", "adaptive", "select-measure"])
+    def test_disk_round_trip_preserves_every_field(self, specs, tmp_path, kind):
+        spec = specs[kind]
+        cache = DiskResultCache(tmp_path)
+        fresh = run(spec, trials=TRIALS, rng=3, cache=cache)
+        # A *new* cache object over the same directory simulates a process
+        # restart: the hit must reproduce the result exactly.
+        replayed = run(spec, trials=TRIALS, rng=3, cache=DiskResultCache(tmp_path))
+        assert_results_identical(replayed, fresh)
+
+    def test_memory_cache_hit_returns_the_stored_result(self, specs):
+        cache = MemoryResultCache()
+        first = run(specs["top-k"], trials=TRIALS, rng=3, cache=cache)
+        assert run(specs["top-k"], trials=TRIALS, rng=3, cache=cache) is first
+        assert len(cache) == 1
+
+    def test_changed_request_misses(self, specs):
+        cache = MemoryResultCache()
+        run(specs["top-k"], trials=TRIALS, rng=3, cache=cache)
+        run(specs["top-k"], trials=TRIALS, rng=4, cache=cache)  # seed changed
+        run(specs["top-k"], trials=TRIALS + 1, rng=3, cache=cache)  # trials changed
+        run(specs["top-k"], trials=TRIALS, rng=3, engine="reference", cache=cache)
+        assert len(cache) == 4
+
+    def test_sharded_and_unsharded_runs_never_share_an_entry(self, specs):
+        # Same (spec, trials, seed) but different execution semantics: the
+        # chunked run derives per-chunk seeds, so its sample differs and the
+        # two must live under different keys.
+        cache = MemoryResultCache()
+        plain = run(specs["top-k"], trials=TRIALS, rng=3, cache=cache)
+        sharded = run(
+            specs["top-k"], trials=TRIALS, rng=3, cache=cache, shards=2, chunk_trials=4
+        )
+        assert len(cache) == 2
+        assert not np.array_equal(plain.gaps, sharded.gaps)
+
+    def test_cache_requires_integer_seed(self, specs):
+        with pytest.raises(ValueError, match="stable content address"):
+            run(specs["top-k"], trials=4, rng=None, cache=MemoryResultCache())
+        with pytest.raises(ValueError, match="stable content address"):
+            run(
+                specs["top-k"],
+                trials=4,
+                rng=np.random.default_rng(0),
+                cache=MemoryResultCache(),
+            )
+
+    def test_cache_path_argument_builds_a_disk_cache(self, specs, tmp_path):
+        target = tmp_path / "nested" / "cache"
+        run(specs["top-k"], trials=4, rng=0, cache=str(target))
+        assert any(target.glob("*.npz")) and any(target.glob("*.json"))
+        assert isinstance(as_result_cache(str(target)), DiskResultCache)
+
+    def test_as_result_cache_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_result_cache(42)
+
+
+# ---------------------------------------------------------------------------
+# corruption handling
+# ---------------------------------------------------------------------------
+
+
+class TestCacheCorruption:
+    def _populate(self, spec, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        result = run(spec, trials=TRIALS, rng=3, cache=cache)
+        key = run_key(spec, engine="batch", trials=TRIALS, seed=3)
+        assert cache.get(key) is not None
+        return cache, key, result
+
+    def test_truncated_npz_is_a_miss_not_a_crash(self, specs, tmp_path):
+        cache, key, result = self._populate(specs["adaptive"], tmp_path)
+        payload = tmp_path / f"{key}.npz"
+        payload.write_bytes(payload.read_bytes()[:40])
+        assert cache.get(key) is None
+        # The facade recomputes through the damaged entry and heals it.
+        recomputed = run(specs["adaptive"], trials=TRIALS, rng=3, cache=cache)
+        assert_results_identical(recomputed, result)
+        assert cache.get(key) is not None
+
+    def test_garbage_metadata_is_a_miss(self, specs, tmp_path):
+        cache, key, _ = self._populate(specs["top-k"], tmp_path)
+        (tmp_path / f"{key}.json").write_text("{not json at all")
+        assert cache.get(key) is None
+
+    def test_metadata_without_payload_is_a_miss(self, specs, tmp_path):
+        cache, key, _ = self._populate(specs["top-k"], tmp_path)
+        (tmp_path / f"{key}.npz").unlink()
+        assert cache.get(key) is None
+
+    def test_inconsistent_metadata_is_a_miss(self, specs, tmp_path):
+        cache, key, _ = self._populate(specs["top-k"], tmp_path)
+        meta_path = tmp_path / f"{key}.json"
+        metadata = json.loads(meta_path.read_text())
+        metadata["trials"] = TRIALS + 5  # no longer matches the arrays
+        meta_path.write_text(json.dumps(metadata))
+        assert cache.get(key) is None
+
+    def test_unknown_key_is_a_miss(self, tmp_path):
+        assert DiskResultCache(tmp_path).get("0" * 64) is None
+
+    def test_path_traversal_keys_are_rejected(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.get("../escape")
+        with pytest.raises(ValueError):
+            cache.get("a/b")

@@ -1,0 +1,475 @@
+"""Determinism / equivalence tests for sharded spec execution.
+
+The dispatch layer's contract: a seeded sharded run is a pure function of
+``(spec, engine, trials, seed, chunk_trials)`` -- bit-identical on 1, 2 or 8
+shards, on a serial or a process pool, and (in the single-chunk case)
+bit-identical to a plain unsharded ``run()`` with the derived chunk seed.
+The multi-chunk merge is checked non-circularly: every chunk of the merged
+result must equal an independent plain ``run()`` of that chunk, with
+convention-correct padding beyond the chunk's own width.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AdaptiveSvtSpec,
+    LaplaceSpec,
+    NoisyTopKSpec,
+    SelectMeasureSpec,
+    SparseVectorSpec,
+    SvtVariantSpec,
+    UnsupportedEngineError,
+    run,
+)
+from repro.dispatch import (
+    ShardMergeError,
+    ShardTask,
+    SerialPool,
+    WorkerPool,
+    make_tasks,
+    merge_results,
+    plan_chunks,
+    run_sharded,
+)
+
+NUM_QUERIES = 40
+TRIALS = 24
+CHUNK = 5  # -> chunks of 5,5,5,5,4: exercises the remainder and ragged widths
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return np.sort(np.random.default_rng(3).uniform(0.0, 500.0, NUM_QUERIES))[::-1].copy()
+
+
+def shardable_specs(queries):
+    """One spec per (kind, engine) pair the sharded path must reproduce."""
+    median = float(np.median(queries))
+    return {
+        "noisy-top-k": (NoisyTopKSpec(queries=queries, epsilon=1.0, k=3, monotonic=True), "batch"),
+        "sparse-vector": (
+            SparseVectorSpec(queries=queries, epsilon=1.0, threshold=median, k=3, monotonic=True),
+            "batch",
+        ),
+        "adaptive-svt": (
+            AdaptiveSvtSpec(queries=queries, epsilon=1.0, threshold=median, k=3, monotonic=True),
+            "batch",
+        ),
+        "select-measure-top-k": (
+            SelectMeasureSpec(queries=queries, epsilon=1.0, k=3, mechanism="top-k"),
+            "batch",
+        ),
+        "select-measure-svt": (
+            SelectMeasureSpec(
+                queries=queries, epsilon=1.0, k=3, mechanism="svt", threshold=median
+            ),
+            "batch",
+        ),
+        "laplace": (LaplaceSpec(queries=queries, epsilon=1.0), "batch"),
+        "svt-variant-reference": (
+            SvtVariantSpec(queries=queries, epsilon=1.0, variant=1, threshold=median, k=3),
+            "reference",
+        ),
+    }
+
+
+SPEC_KEYS = (
+    "noisy-top-k",
+    "sparse-vector",
+    "adaptive-svt",
+    "select-measure-top-k",
+    "select-measure-svt",
+    "laplace",
+    "svt-variant-reference",
+)
+
+_ARRAY_FIELDS = (
+    "epsilon_consumed",
+    "indices",
+    "gaps",
+    "estimates",
+    "measurements",
+    "true_values",
+    "mask",
+    "above",
+    "branches",
+    "processed",
+)
+
+#: Padding conventions of the (B, w) matrix fields (what a merged result must
+#: contain beyond a narrow chunk's own width).
+_PADS = {
+    "indices": -1,
+    "gaps": np.nan,
+    "estimates": np.nan,
+    "measurements": np.nan,
+    "true_values": np.nan,
+    "mask": False,
+}
+
+
+def assert_results_identical(a, b):
+    """Bit-identical equality of every Result field, dtypes included."""
+    assert a.mechanism == b.mechanism
+    assert a.engine == b.engine
+    assert a.trials == b.trials
+    assert a.epsilon == b.epsilon
+    assert a.monotonic == b.monotonic
+    assert a.extra == b.extra
+    for name in _ARRAY_FIELDS:
+        left, right = getattr(a, name), getattr(b, name)
+        assert (left is None) == (right is None), name
+        if left is not None:
+            assert left.dtype == right.dtype, name
+            np.testing.assert_array_equal(left, right, err_msg=name)
+
+
+def assert_is_padding(block: np.ndarray, pad) -> None:
+    if isinstance(pad, float) and np.isnan(pad):
+        assert np.all(np.isnan(block))
+    else:
+        assert np.all(block == pad)
+
+
+def chunk_layout(trials, chunk):
+    sizes, remaining = [], trials
+    while remaining > 0:
+        size = min(chunk, remaining)
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+def plain_chunk_runs(spec, engine, trials, seed, chunk, options=None):
+    """The oracle: each chunk executed by a plain unsharded ``run()`` call
+    with the chunk's spawned seed -- no dispatch code involved."""
+    sizes = chunk_layout(trials, chunk)
+    children = np.random.SeedSequence(seed).spawn(len(sizes))
+    runs, start = [], 0
+    for size, child in zip(sizes, children):
+        opts = {}
+        for name, value in (options or {}).items():
+            value = np.asarray(value)
+            opts[name] = value[start : start + size] if value.ndim else value
+        runs.append(
+            run(spec, engine=engine, trials=size, rng=np.random.default_rng(child), **opts)
+        )
+        start += size
+    return runs
+
+
+def assert_merged_matches_chunks(merged, chunk_runs):
+    """Each trial block of the merged result equals its oracle chunk run,
+    and columns beyond a chunk's own width hold the padding convention."""
+    assert merged.trials == sum(r.trials for r in chunk_runs)
+    start = 0
+    for chunk_run in chunk_runs:
+        stop = start + chunk_run.trials
+        np.testing.assert_array_equal(
+            merged.epsilon_consumed[start:stop], chunk_run.epsilon_consumed
+        )
+        for name in ("above", "branches"):
+            if getattr(chunk_run, name) is not None:
+                np.testing.assert_array_equal(
+                    getattr(merged, name)[start:stop], getattr(chunk_run, name)
+                )
+        if chunk_run.processed is not None:
+            np.testing.assert_array_equal(
+                merged.processed[start:stop], chunk_run.processed
+            )
+        for name, pad in _PADS.items():
+            chunk_field = getattr(chunk_run, name)
+            merged_field = getattr(merged, name)
+            assert (chunk_field is None) == (merged_field is None)
+            if chunk_field is None:
+                continue
+            width = chunk_field.shape[1]
+            np.testing.assert_array_equal(
+                merged_field[start:stop, :width], chunk_field, err_msg=name
+            )
+            if merged_field.shape[1] > width:
+                assert_is_padding(merged_field[start:stop, width:], pad)
+        start = stop
+
+
+# ---------------------------------------------------------------------------
+# bit-identical sharded execution
+# ---------------------------------------------------------------------------
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("key", SPEC_KEYS)
+    def test_single_chunk_bit_identical_to_unsharded_run(self, queries, key):
+        """With one chunk, any shard count reproduces the plain unsharded
+        batch run under the derived chunk seed, bit for bit."""
+        spec, engine = shardable_specs(queries)[key]
+        child = np.random.SeedSequence(11).spawn(1)[0]
+        unsharded = run(
+            spec, engine=engine, trials=TRIALS, rng=np.random.default_rng(child)
+        )
+        for shards in (1, 2, 8):
+            sharded = run(
+                spec,
+                engine=engine,
+                trials=TRIALS,
+                rng=11,
+                shards=shards,
+                chunk_trials=TRIALS,
+            )
+            assert_results_identical(sharded, unsharded)
+
+    @pytest.mark.parametrize("key", SPEC_KEYS)
+    def test_shard_count_and_pool_type_do_not_change_results(self, queries, key):
+        """Multi-chunk runs: 1, 2 and 8 shards on serial and process pools
+        are bit-identical."""
+        spec, engine = shardable_specs(queries)[key]
+        baseline = run(
+            spec, engine=engine, trials=TRIALS, rng=7, shards=1, chunk_trials=CHUNK
+        )
+        for shards in (1, 2, 8):
+            serial = run(
+                spec,
+                engine=engine,
+                trials=TRIALS,
+                rng=7,
+                shards=shards,
+                chunk_trials=CHUNK,
+                pool="serial",
+            )
+            assert_results_identical(serial, baseline)
+        process = run(
+            spec,
+            engine=engine,
+            trials=TRIALS,
+            rng=7,
+            shards=2,
+            chunk_trials=CHUNK,
+            pool="process",
+        )
+        assert_results_identical(process, baseline)
+
+    @pytest.mark.parametrize("key", SPEC_KEYS)
+    def test_merged_chunks_match_independent_plain_runs(self, queries, key):
+        """Non-circular merge check: every chunk of the merged result equals
+        a plain facade run of that chunk, padding included."""
+        spec, engine = shardable_specs(queries)[key]
+        merged = run(
+            spec, engine=engine, trials=TRIALS, rng=5, shards=2, chunk_trials=CHUNK
+        )
+        oracle = plain_chunk_runs(spec, engine, TRIALS, 5, CHUNK)
+        assert_merged_matches_chunks(merged, oracle)
+
+    def test_eight_shards_process_pool_many_chunks(self, queries):
+        spec, engine = shardable_specs(queries)["adaptive-svt"]
+        baseline = run(
+            spec, engine=engine, trials=TRIALS, rng=2, shards=1, chunk_trials=3
+        )
+        with WorkerPool(workers=8) as pool:
+            fanned = run(
+                spec,
+                engine=engine,
+                trials=TRIALS,
+                rng=2,
+                shards=8,
+                chunk_trials=3,
+                pool=pool,
+            )
+        assert_results_identical(fanned, baseline)
+
+    def test_per_trial_thresholds_split_across_chunks(self, queries):
+        spec = SparseVectorSpec(
+            queries=queries, epsilon=1.0, threshold=0.0, k=3, monotonic=True
+        )
+        thresholds = np.linspace(50.0, 450.0, TRIALS)
+        sharded = run(
+            spec,
+            trials=TRIALS,
+            rng=13,
+            shards=2,
+            chunk_trials=CHUNK,
+            thresholds=thresholds,
+        )
+        oracle = plain_chunk_runs(
+            spec, "batch", TRIALS, 13, CHUNK, options={"thresholds": thresholds}
+        )
+        assert_merged_matches_chunks(sharded, oracle)
+
+    def test_same_seed_reproduces_different_seed_differs(self, queries):
+        spec, engine = shardable_specs(queries)["noisy-top-k"]
+        first = run(spec, trials=TRIALS, rng=21, shards=2, chunk_trials=CHUNK)
+        again = run(spec, trials=TRIALS, rng=21, shards=2, chunk_trials=CHUNK)
+        other = run(spec, trials=TRIALS, rng=22, shards=2, chunk_trials=CHUNK)
+        assert_results_identical(first, again)
+        assert not np.array_equal(first.gaps, other.gaps)
+
+    def test_unseeded_sharded_run_is_internally_consistent(self, queries):
+        spec, engine = shardable_specs(queries)["noisy-top-k"]
+        result = run(spec, trials=TRIALS, rng=None, shards=2, chunk_trials=CHUNK)
+        assert result.trials == TRIALS
+        assert result.indices.shape == (TRIALS, 3)
+
+
+# ---------------------------------------------------------------------------
+# unsupported engines and argument validation
+# ---------------------------------------------------------------------------
+
+
+class TestShardedErrors:
+    def test_svt_variant_batch_raises_unsupported_through_sharded_path(self, queries):
+        spec = SvtVariantSpec(
+            queries=queries, epsilon=1.0, variant=3, threshold=250.0, k=1
+        )
+        with pytest.raises(UnsupportedEngineError):
+            run(spec, engine="batch", trials=8, rng=0, shards=2)
+        with pytest.raises(UnsupportedEngineError):
+            run_sharded(spec, engine="batch", trials=8, seed=0, shards=2)
+
+    def test_sharded_run_requires_integer_seed(self, queries):
+        spec, _ = shardable_specs(queries)["noisy-top-k"]
+        with pytest.raises(ValueError, match="integer root seed"):
+            run(spec, trials=8, rng=np.random.default_rng(0), shards=2)
+
+    def test_pool_and_chunk_trials_require_shards(self, queries):
+        spec, _ = shardable_specs(queries)["noisy-top-k"]
+        with pytest.raises(ValueError, match="only apply to sharded runs"):
+            run(spec, trials=8, rng=0, chunk_trials=4)
+        with pytest.raises(ValueError, match="only apply to sharded runs"):
+            run(spec, trials=8, rng=0, pool="serial")
+
+    def test_invalid_shard_and_pool_arguments(self, queries):
+        spec, _ = shardable_specs(queries)["noisy-top-k"]
+        with pytest.raises(ValueError, match="shards must be at least 1"):
+            run(spec, trials=8, rng=0, shards=0)
+        with pytest.raises(ValueError, match="pool must be"):
+            run(spec, trials=8, rng=0, shards=2, pool="gpu")
+        with pytest.raises(TypeError, match="run_tasks"):
+            run(spec, trials=8, rng=0, shards=2, pool=object())
+
+    def test_invalid_chunk_trials_rejected_even_on_a_warm_cache(self, queries):
+        # chunk_trials=0 must fail identically whether or not the cache
+        # already holds the default-chunking entry (a falsy-zero bug once
+        # made it alias the default key and succeed on warm caches).
+        from repro.dispatch import MemoryResultCache
+
+        spec, _ = shardable_specs(queries)["noisy-top-k"]
+        cache = MemoryResultCache()
+        run(spec, trials=8, rng=0, shards=2, cache=cache)
+        with pytest.raises(ValueError, match="chunk_trials must be at least 1"):
+            run(spec, trials=8, rng=0, shards=2, chunk_trials=0, cache=cache)
+
+
+# ---------------------------------------------------------------------------
+# chunk planning, task serialization, merging
+# ---------------------------------------------------------------------------
+
+
+class TestChunkPlanning:
+    def test_plan_chunks_layouts(self):
+        assert plan_chunks(24, 5) == [5, 5, 5, 5, 4]
+        assert plan_chunks(10, 5) == [5, 5]
+        assert plan_chunks(3, 5) == [3]
+        assert plan_chunks(1, 1) == [1]
+
+    def test_plan_chunks_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            plan_chunks(0, 5)
+        with pytest.raises(ValueError):
+            plan_chunks(5, 0)
+
+    def test_layout_is_independent_of_worker_count(self):
+        # The whole determinism story rests on this: the chunk layout is a
+        # function of (trials, chunk_trials) only.
+        assert plan_chunks(24, 5) == chunk_layout(24, 5)
+
+
+class TestShardTasks:
+    def test_task_json_round_trip(self, queries):
+        spec, _ = shardable_specs(queries)["sparse-vector"]
+        tasks = make_tasks(
+            spec,
+            engine="batch",
+            trials=TRIALS,
+            seed=9,
+            chunk_trials=CHUNK,
+            options={"thresholds": np.linspace(1.0, 2.0, TRIALS)},
+        )
+        assert [t.trials for t in tasks] == [5, 5, 5, 5, 4]
+        for task in tasks:
+            restored = ShardTask.from_json(task.to_json())
+            assert restored.engine == task.engine
+            assert restored.trials == task.trials
+            assert restored.entropy == task.entropy
+            assert restored.spawn_key == task.spawn_key
+            assert restored.index == task.index
+            np.testing.assert_array_equal(
+                np.asarray(restored.options["thresholds"]),
+                np.asarray(task.options["thresholds"]),
+            )
+
+    def test_tasks_share_root_entropy_with_distinct_spawn_keys(self, queries):
+        spec, _ = shardable_specs(queries)["laplace"]
+        tasks = make_tasks(spec, engine="batch", trials=10, seed=4, chunk_trials=3)
+        assert len({t.entropy for t in tasks}) == 1
+        assert len({t.spawn_key for t in tasks}) == len(tasks)
+
+    def test_serial_pool_consumes_queued_json(self, queries):
+        spec, _ = shardable_specs(queries)["noisy-top-k"]
+        tasks = make_tasks(spec, engine="batch", trials=10, seed=4, chunk_trials=5)
+        results = SerialPool().run_tasks(tasks)
+        assert [r.trials for r in results] == [5, 5]
+
+    def test_mismatched_per_trial_option_is_rejected(self, queries):
+        spec, _ = shardable_specs(queries)["sparse-vector"]
+        with pytest.raises(ValueError, match="leading axis"):
+            make_tasks(
+                spec,
+                engine="batch",
+                trials=10,
+                seed=0,
+                chunk_trials=5,
+                options={"thresholds": np.zeros(7)},
+            )
+
+
+class TestMergeResults:
+    def test_merge_of_incompatible_results_is_rejected(self, queries):
+        spec_a, _ = shardable_specs(queries)["noisy-top-k"]
+        spec_b, _ = shardable_specs(queries)["laplace"]
+        a = run(spec_a, trials=4, rng=0)
+        b = run(spec_b, trials=4, rng=0)
+        with pytest.raises(ShardMergeError):
+            merge_results([a, b])
+
+    def test_merge_of_nothing_is_rejected(self):
+        with pytest.raises(ShardMergeError):
+            merge_results([])
+
+    def test_merge_single_result_is_identity(self, queries):
+        spec, _ = shardable_specs(queries)["noisy-top-k"]
+        result = run(spec, trials=4, rng=0)
+        assert merge_results([result]) is result
+
+    def test_merge_sums_epsilon_accounting(self, queries):
+        spec, engine = shardable_specs(queries)["adaptive-svt"]
+        chunks = plain_chunk_runs(spec, engine, TRIALS, 5, CHUNK)
+        merged = merge_results(chunks)
+        assert np.sum(merged.epsilon_consumed) == pytest.approx(
+            sum(float(np.sum(r.epsilon_consumed)) for r in chunks)
+        )
+
+    def test_budget_charge_matches_sum_over_shards(self, queries):
+        from repro.accounting.budget import BudgetOdometer
+
+        spec, engine = shardable_specs(queries)["adaptive-svt"]
+        budget = BudgetOdometer(float(TRIALS) * spec.epsilon)
+        result = run(
+            spec,
+            engine=engine,
+            trials=TRIALS,
+            rng=1,
+            shards=2,
+            chunk_trials=CHUNK,
+            budget=budget,
+        )
+        assert budget.spent == pytest.approx(float(np.sum(result.epsilon_consumed)))

@@ -154,21 +154,46 @@ class TestRunSpec:
         with pytest.raises(SystemExit):
             main(["figure1", "--engine", "reference"])
 
-    def test_rejects_invalid_spec_payload(self, tmp_path):
+    def test_rejects_invalid_spec_payload(self, tmp_path, capsys):
         path = tmp_path / "bad.json"
         path.write_text(json.dumps({"kind": "no-such-mechanism"}))
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as excinfo:
             main(["run-spec", str(path)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and len(err.strip().splitlines()) == 1
+        assert "no-such-mechanism" in err
 
-    def test_rejects_missing_file(self, tmp_path):
-        with pytest.raises(SystemExit):
+    def test_rejects_missing_file(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             main(["run-spec", str(tmp_path / "absent.json")])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and len(err.strip().splitlines()) == 1
+
+    def test_rejects_directory_spec_path_cleanly(self, tmp_path, capsys):
+        # IsADirectoryError is an OSError but not a FileNotFoundError; it
+        # must exit 2 with a one-line message, not a traceback.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run-spec", str(tmp_path)])
+        assert excinfo.value.code == 2
+        assert capsys.readouterr().err.startswith("error:")
 
     def test_rejects_malformed_json_cleanly(self, tmp_path, capsys):
         path = tmp_path / "broken.json"
         path.write_text('{"kind": "noisy-top-k", ')
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as excinfo:
             main(["run-spec", str(path)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and len(err.strip().splitlines()) == 1
+
+    def test_rejects_non_mapping_payload_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run-spec", str(path)])
+        assert excinfo.value.code == 2
         assert "error:" in capsys.readouterr().err
 
     def test_reference_only_spec_on_batch_engine_exits_cleanly(self, tmp_path, capsys):
@@ -184,3 +209,59 @@ class TestRunSpec:
         assert "error:" in capsys.readouterr().err
         # The reference engine runs it fine.
         assert main(["run-spec", str(path), "--engine", "reference", "--seed", "0"]) == 0
+
+
+class TestRunSpecDispatch:
+    """run-spec --shards / --cache: the CLI face of repro.dispatch."""
+
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        spec = NoisyTopKSpec(
+            queries=[120.0, 90.0, 85.0, 30.0, 5.0], epsilon=1.0, k=2, monotonic=True
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        return path
+
+    def test_sharded_run_matches_single_shard_run(self, spec_file, capsys):
+        argv = ["run-spec", str(spec_file), "--trials", "32", "--seed", "0",
+                "--chunk-trials", "8"]
+        assert main(argv + ["--shards", "1"]) == 0
+        single = capsys.readouterr().out
+        assert main(argv + ["--shards", "3"]) == 0
+        assert capsys.readouterr().out == single
+
+    def test_cached_rerun_reproduces_the_output(self, spec_file, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "run-spec", str(spec_file), "--trials", "16", "--seed", "1",
+            "--cache", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert any(cache_dir.glob("*.npz")), "miss should have stored an entry"
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_dispatch_flags_only_valid_for_run_spec(self):
+        for flag, value in (("--shards", "2"), ("--cache", "dir"), ("--chunk-trials", "8")):
+            with pytest.raises(SystemExit):
+                main(["figure1", flag, value])
+
+    def test_rejects_invalid_shard_and_chunk_counts(self, spec_file):
+        with pytest.raises(SystemExit):
+            main(["run-spec", str(spec_file), "--shards", "0"])
+        with pytest.raises(SystemExit):
+            main(["run-spec", str(spec_file), "--chunk-trials", "0"])
+
+    def test_internal_errors_in_figure_commands_are_not_swallowed(self, monkeypatch):
+        # The one-line exit-2 handling is for user-caused errors; an internal
+        # ValueError in a figure runner must keep its traceback.
+        from repro.evaluation import cli as cli_module
+
+        def broken(args, stream):
+            raise ValueError("internal bug")
+
+        monkeypatch.setitem(cli_module._COMMANDS, "figure1", broken)
+        with pytest.raises(ValueError, match="internal bug"):
+            main(["figure1"])

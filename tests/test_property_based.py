@@ -5,8 +5,19 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.accounting.budget import BudgetOdometer, PrivacyBudget
+from repro.api import (
+    AdaptiveSvtSpec,
+    LaplaceSpec,
+    NoisyTopKSpec,
+    SelectMeasureSpec,
+    SparseVectorSpec,
+    SvtVariantSpec,
+    spec_from_dict,
+    spec_from_json,
+)
 from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
 from repro.core.noisy_top_k import NoisyTopKWithGap
+from repro.dispatch import spec_hash
 from repro.mechanisms.sparse_vector import SparseVector, svt_budget_allocation
 from repro.postprocess.blue import blue_matrices, blue_top_k_estimate, blue_variance_ratio
 from repro.postprocess.confidence import laplace_difference_tail
@@ -24,6 +35,109 @@ query_vectors = st.lists(finite_floats, min_size=3, max_size=30)
 epsilons = st.floats(min_value=0.01, max_value=5.0)
 ks = st.integers(min_value=1, max_value=10)
 seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+# Ingredients of random *valid* mechanism specs (validate() must accept every
+# drawn spec, so ranges mirror the validators' constraints).
+spec_epsilons = st.floats(min_value=0.01, max_value=5.0, allow_subnormal=False)
+sensitivities = st.floats(min_value=0.01, max_value=10.0, allow_subnormal=False)
+thresholds = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+thetas = st.one_of(st.none(), st.floats(min_value=0.01, max_value=0.99))
+
+
+@st.composite
+def noisy_top_k_specs(draw):
+    k = draw(st.integers(min_value=1, max_value=5))
+    with_gap = draw(st.booleans())
+    need = k + 1 if with_gap else k
+    queries = draw(st.lists(finite_floats, min_size=need, max_size=need + 8))
+    return NoisyTopKSpec(
+        queries=queries,
+        epsilon=draw(spec_epsilons),
+        k=k,
+        monotonic=draw(st.booleans()),
+        with_gap=with_gap,
+        sensitivity=draw(sensitivities),
+    )
+
+
+@st.composite
+def sparse_vector_specs(draw):
+    return SparseVectorSpec(
+        queries=draw(query_vectors),
+        epsilon=draw(spec_epsilons),
+        threshold=draw(thresholds),
+        k=draw(st.integers(min_value=1, max_value=5)),
+        monotonic=draw(st.booleans()),
+        with_gap=draw(st.booleans()),
+        theta=draw(thetas),
+        sensitivity=draw(sensitivities),
+    )
+
+
+@st.composite
+def adaptive_svt_specs(draw):
+    return AdaptiveSvtSpec(
+        queries=draw(query_vectors),
+        epsilon=draw(spec_epsilons),
+        threshold=draw(thresholds),
+        k=draw(st.integers(min_value=1, max_value=5)),
+        monotonic=draw(st.booleans()),
+        theta=draw(thetas),
+        sigma_multiplier=draw(st.floats(min_value=0.1, max_value=5.0)),
+        sensitivity=draw(sensitivities),
+        max_answers=draw(st.one_of(st.none(), st.integers(min_value=1, max_value=5))),
+    )
+
+
+@st.composite
+def select_measure_specs(draw):
+    k = draw(st.integers(min_value=1, max_value=5))
+    mechanism = draw(st.sampled_from(SelectMeasureSpec.MECHANISMS))
+    queries = draw(st.lists(finite_floats, min_size=k + 1, max_size=k + 8))
+    return SelectMeasureSpec(
+        queries=queries,
+        epsilon=draw(spec_epsilons),
+        k=k,
+        mechanism=mechanism,
+        threshold=draw(thresholds) if mechanism == "svt" else None,
+        monotonic=draw(st.booleans()),
+        adaptive=draw(st.booleans()) if mechanism == "svt" else False,
+    )
+
+
+@st.composite
+def laplace_specs(draw):
+    return LaplaceSpec(
+        queries=draw(query_vectors),
+        epsilon=draw(spec_epsilons),
+        l1_sensitivity=draw(st.one_of(st.none(), sensitivities)),
+    )
+
+
+@st.composite
+def svt_variant_specs(draw):
+    variant = draw(st.integers(min_value=1, max_value=6))
+    return SvtVariantSpec(
+        queries=draw(query_vectors),
+        epsilon=draw(spec_epsilons),
+        variant=variant,
+        threshold=draw(thresholds),
+        k=draw(st.integers(min_value=1, max_value=5)),
+        monotonic=draw(st.booleans()) if variant <= 2 else False,
+        sensitivity=draw(sensitivities),
+    )
+
+
+mechanism_specs = st.one_of(
+    noisy_top_k_specs(),
+    sparse_vector_specs(),
+    adaptive_svt_specs(),
+    select_measure_specs(),
+    laplace_specs(),
+    svt_variant_specs(),
+)
 
 
 # ----------------------------------------------------------------------------
@@ -213,3 +327,45 @@ class TestAccountingProperties:
         threshold, queries = PrivacyBudget(epsilon).svt_allocation(k, monotonic)
         assert threshold + queries == pytest.approx(epsilon)
         assert 0 < threshold < epsilon
+
+
+# ----------------------------------------------------------------------------
+# Mechanism-spec serialization / content-address invariants
+# ----------------------------------------------------------------------------
+
+
+class TestSpecSerializationProperties:
+    @given(spec=mechanism_specs)
+    @settings(max_examples=120, deadline=None)
+    def test_dict_round_trip_is_identity(self, spec):
+        restored = spec_from_dict(spec.to_dict())
+        assert type(restored) is type(spec)
+        assert restored == spec
+
+    @given(spec=mechanism_specs)
+    @settings(max_examples=120, deadline=None)
+    def test_json_round_trip_is_identity(self, spec):
+        # Stronger than the dict round-trip: every float must survive its
+        # textual JSON form exactly (repr round-trips in Python).
+        assert spec_from_json(spec.to_json()) == spec
+
+    @given(spec=mechanism_specs)
+    @settings(max_examples=120, deadline=None)
+    def test_every_drawn_spec_validates(self, spec):
+        assert spec.validate() is spec
+
+    @given(spec=mechanism_specs)
+    @settings(max_examples=120, deadline=None)
+    def test_hash_is_invariant_under_round_trip_and_key_order(self, spec):
+        digest = spec_hash(spec)
+        assert spec_hash(spec_from_dict(spec.to_dict())) == digest
+        reordered = dict(reversed(list(spec.to_dict().items())))
+        assert spec_hash(spec_from_dict(reordered)) == digest
+
+    @given(first=mechanism_specs, second=mechanism_specs)
+    @settings(max_examples=120, deadline=None)
+    def test_hash_equality_matches_spec_equality(self, first, second):
+        # Content addressing must agree with value semantics in both
+        # directions: equal specs share a hash, unequal specs (including the
+        # -0.0 == 0.0 edge) never collide in practice.
+        assert (spec_hash(first) == spec_hash(second)) == (first == second)
