@@ -30,6 +30,15 @@ Two benchmark groups:
 * ``throughput-cache`` -- the same seeded request against a warm versus a
   cold content-addressed disk cache; a hit is an ``.npz`` load and must be
   orders of magnitude faster than recomputing.
+* ``throughput-service`` -- the full job-queue service round trip (submit ->
+  N workers draining the durable file queue -> merged result) against the
+  identical workload through the in-process ``run(..., shards=N)`` path.
+  The service arm's workers are *threads* (the numpy kernels release the
+  GIL, but pure-Python portions serialize) while the baseline uses a
+  process pool, so the ratio bundles queue/broker/manifest overhead with
+  that execution difference -- read it as a conservative lower bound on
+  service throughput, not a pure queue-overhead measurement.  The service
+  result is asserted bit-identical to the in-process one.
 
 Setting the environment variable ``REPRO_BENCH_SMOKE=1`` (what
 ``scripts/run_benchmarks.py --smoke`` does) shrinks every workload to
@@ -75,6 +84,12 @@ SHARDED_TRIALS = 128 if SMOKE else 50_000
 #: Trials of the cache hit-vs-miss pair (each miss executes and stores this
 #: many trials; each hit loads them back).
 CACHE_TRIALS = 64 if SMOKE else 10_000
+#: Trials per job of the service-vs-inprocess pair, and the worker count
+#: draining the queue.  The chunk size is pinned (not the default) so the
+#: smoke run still produces a multi-task queue.
+SERVICE_TRIALS = 64 if SMOKE else 20_000
+SERVICE_WORKERS = 2
+SERVICE_CHUNK = 16 if SMOKE else 1_024
 #: SVT threshold for the batch group: roughly the top-100th of the uniform
 #: counts, i.e. the paper's top-2k..top-8k policy regime for k=25, where the
 #: mechanism scans a realistic few-hundred-query prefix per trial.
@@ -355,3 +370,65 @@ def test_cache_miss(benchmark, sharded_spec, tmp_path):
         )
     )
     assert result.trials == CACHE_TRIALS
+
+
+# ---------------------------------------------------------------------------
+# job-queue service vs in-process sharded run (group "throughput-service")
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="throughput-service")
+def test_service_inprocess_sharded(benchmark, sharded_spec):
+    """Baseline: the identical workload through run(..., shards=N).  Seeds
+    advance per round to mirror the queue arm (fresh compute every round)."""
+    seeds = iter(range(10_000_000))
+    result = benchmark(
+        lambda: api_run(
+            sharded_spec,
+            trials=SERVICE_TRIALS,
+            rng=next(seeds),
+            shards=SERVICE_WORKERS,
+            chunk_trials=SERVICE_CHUNK,
+        )
+    )
+    assert result.trials == SERVICE_TRIALS
+
+
+@pytest.mark.benchmark(group="throughput-service")
+def test_service_queue_workers(benchmark, sharded_spec, tmp_path):
+    """submit -> N workers draining the durable file queue -> merged result.
+
+    Every round is a fresh job under a distinct seed (so no round is served
+    from the shared result cache); the last round's result is asserted
+    bit-identical to the in-process ``run(..., shards=N)`` reference.
+    """
+    from repro.service import JobClient, run_workers
+
+    client = JobClient(tmp_path / "service")
+    seeds = iter(range(10_000_000))
+    last = {}
+
+    def one_job():
+        seed = next(seeds)
+        handle = client.submit(
+            sharded_spec,
+            trials=SERVICE_TRIALS,
+            seed=seed,
+            chunk_trials=SERVICE_CHUNK,
+        )
+        run_workers(client.broker, SERVICE_WORKERS, timeout=600.0)
+        last["seed"] = seed
+        return handle.result()
+
+    result = benchmark(one_job)
+    assert result.trials == SERVICE_TRIALS
+    reference = api_run(
+        sharded_spec,
+        trials=SERVICE_TRIALS,
+        rng=last["seed"],
+        shards=SERVICE_WORKERS,
+        chunk_trials=SERVICE_CHUNK,
+    )
+    np.testing.assert_array_equal(result.indices, reference.indices)
+    np.testing.assert_array_equal(result.gaps, reference.gaps)
+    np.testing.assert_array_equal(result.epsilon_consumed, reference.epsilon_consumed)

@@ -58,6 +58,14 @@ PAIRS = [
     ("sharded-vs-single-adaptive", "test_sharded_worker_pool_adaptive",
      "test_sharded_single_process_adaptive", 50_000, 50_000),
     ("cache-hit-vs-miss", "test_cache_hit", "test_cache_miss", 10_000, 10_000),
+    # Job-queue service round trip (submit -> thread workers -> merged
+    # result) vs the identical workload through in-process run(...,
+    # shards=N) on a process pool; the gap bundles queue/broker/manifest
+    # overhead with the thread-vs-process execution difference (a
+    # conservative bound on service throughput).  Trials per round must
+    # match SERVICE_TRIALS.
+    ("service-vs-inprocess", "test_service_queue_workers",
+     "test_service_inprocess_sharded", 20_000, 20_000),
 ]
 
 

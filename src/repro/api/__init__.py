@@ -67,7 +67,7 @@ from repro.api.registry import (
     registered_spec_types,
     supported_engines,
 )
-from repro.api.facade import pick_thresholds, run
+from repro.api.facade import pick_thresholds, run, submit
 
 __all__ = [
     # engines
@@ -96,4 +96,5 @@ __all__ = [
     "Result",
     "pick_thresholds",
     "run",
+    "submit",
 ]

@@ -24,7 +24,7 @@ from repro.api.registry import get_executor
 from repro.api.result import Result
 from repro.api.specs import MechanismSpec
 
-__all__ = ["pick_thresholds", "run"]
+__all__ = ["pick_thresholds", "run", "submit"]
 
 #: Cache of (accepts-anything, accepted-option-names) per executor, so the
 #: per-call option check costs a dict lookup, not an inspect.signature().
@@ -151,9 +151,14 @@ def run(
         ``None``, a :class:`~repro.dispatch.cache.ResultCache`, or a cache
         directory path.  The run is content-addressed
         (:func:`~repro.dispatch.hashing.run_key`) and served from the cache
-        on a hit; on a miss it executes and is stored.  The budget (when
-        given) is charged either way -- a replayed release is still a
-        release as far as accounting is concerned.
+        on a hit; on a miss it executes and is stored.  ``cache=`` requires
+        ``rng`` to be a plain integer seed, and the requirement is enforced
+        **before any work happens** -- before any noise is drawn, any
+        executor runs or any budget is charged -- so a non-addressable
+        request fails identically on warm and cold caches.  The budget
+        (when given) is charged on hits and misses alike, and by the same
+        amount -- a replayed release is still a release as far as
+        accounting is concerned.
     chunk_trials:
         Trials per dispatch chunk (default
         :data:`~repro.dispatch.sharding.DEFAULT_CHUNK_TRIALS`).  Part of a
@@ -255,6 +260,55 @@ def run(
     if budget is not None:
         budget.charge(float(np.sum(result.epsilon_consumed)), label=spec.kind)
     return result
+
+
+def submit(
+    spec: MechanismSpec,
+    *,
+    root,
+    engine: Union[str, Engine] = Engine.BATCH,
+    trials: int = 1,
+    rng: int = 0,
+    chunk_trials=None,
+    options=None,
+    job_id=None,
+):
+    """Submit ``spec`` to a job-queue service root; the async ``run()``.
+
+    Where :func:`run` executes synchronously in-process, ``submit`` enqueues
+    the request on the service layer (:mod:`repro.service`) and returns a
+    :class:`~repro.service.client.JobHandle` immediately; workers serving
+    the same root (``python -m repro.evaluation.cli serve-worker --root
+    ...``) execute the chunks, and ``handle.result(timeout=...)`` fetches
+    the merged :class:`Result`.
+
+    The determinism contract carries over: the job's result is bit-identical
+    to ``run(spec, engine=engine, trials=trials, rng=rng, shards=N,
+    chunk_trials=chunk_trials)`` for any worker count ``N``.  ``rng`` must
+    therefore be a plain integer seed (the job needs a stable content
+    address), and everything a worker could reject -- spec, engine,
+    executor registration -- is validated here, before anything is queued.
+
+    Parameters mirror :func:`run` where they overlap; ``root`` is the
+    service directory (queue + job manifests + shared result cache) and
+    ``options`` carries the run-time executor options as a dict (they cross
+    a JSON boundary, so explicit noise matrices and per-trial thresholds
+    serialize losslessly).
+    """
+    # Deferred import for the same reason as the dispatch import in run():
+    # the service executes chunks through run(), so the dependency must stay
+    # one-directional at import time.
+    from repro.service.client import JobClient
+
+    return JobClient(root).submit(
+        spec,
+        engine=validate_engine(engine),
+        trials=trials,
+        seed=rng,
+        chunk_trials=chunk_trials,
+        options=options,
+        job_id=job_id,
+    )
 
 
 def pick_thresholds(

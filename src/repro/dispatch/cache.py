@@ -33,7 +33,20 @@ __all__ = [
     "MemoryResultCache",
     "ResultCache",
     "as_result_cache",
+    "atomic_write_bytes",
+    "check_safe_name",
 ]
+
+
+def check_safe_name(value: str, kind: str = "cache key") -> str:
+    """Reject names that could escape their directory.
+
+    The one copy of the rule for every name that becomes a filename in this
+    system: cache keys here, task ids and job ids in the service layer.
+    """
+    if not value or any(ch in value for ch in "/\\.") or value.startswith("~"):
+        raise ValueError(f"invalid {kind} {value!r}")
+    return value
 
 #: Result fields stored as arrays in the ``.npz`` payload (in declaration
 #: order); optional fields that are ``None`` are simply absent.
@@ -65,8 +78,26 @@ class ResultCache:
     def put(self, key: str, result: Result) -> None:
         raise NotImplementedError
 
-    def __contains__(self, key: str) -> bool:
+    def contains(self, key: str) -> bool:
+        """Cheap existence probe (counts as a use for LRU purposes).
+
+        Backends override this where existence can be checked without
+        deserializing the stored arrays.  Like ``get``, an unreadable entry
+        reports ``False``.
+        """
         return self.get(key) is not None
+
+    def evict(self, key: str) -> None:
+        """Drop an entry (missing keys are a no-op).
+
+        Callers use this to purge an entry they found unreadable, so
+        existence probes stop reporting it and the next writer recomputes.
+        The default is a no-op, so pre-existing get/put-only backends keep
+        working (they just cannot purge).
+        """
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
 
 
 class MemoryResultCache(ResultCache):
@@ -83,11 +114,17 @@ class MemoryResultCache(ResultCache):
             raise TypeError(f"can only cache Result objects, got {type(result).__name__}")
         self._entries[key] = result
 
+    def evict(self, key: str) -> None:
+        self._entries.pop(key, None)
+
     def __len__(self) -> int:
         return len(self._entries)
 
 
-def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+def atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write bytes via temp file + ``os.replace``; the temp file is removed
+    on any failure.  The one copy of the idiom for the cache's entries and
+    the service layer's queue entries, manifests and markers."""
     handle, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
     try:
         with os.fdopen(handle, "wb") as tmp:
@@ -108,15 +145,32 @@ class DiskResultCache(ResultCache):
     ----------
     directory:
         Cache root; created (with parents) if missing.
+    max_bytes:
+        ``None`` (default) for an unbounded cache.  An integer caps the total
+        on-disk size with an LRU policy: every hit touches the entry's mtimes
+        (so recently-read entries stay resident), and every ``put`` evicts the
+        oldest entries until the cache fits the cap again.  The entry just
+        written is never evicted by its own ``put``, so a single oversized
+        result can transiently exceed the cap rather than thrash.  Long-lived
+        workers sharing one cache directory set this so the cache cannot grow
+        unboundedly; hits on retained keys stay exact.
     """
 
-    def __init__(self, directory: Union[str, os.PathLike]) -> None:
+    def __init__(
+        self,
+        directory: Union[str, os.PathLike],
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        if max_bytes is not None:
+            max_bytes = int(max_bytes)
+            if max_bytes < 1:
+                raise ValueError(f"max_bytes must be at least 1, got {max_bytes}")
+        self.max_bytes = max_bytes
 
     def _paths(self, key: str) -> tuple:
-        if not key or any(ch in key for ch in "/\\.") or key.startswith("~"):
-            raise ValueError(f"invalid cache key {key!r}")
+        check_safe_name(key)
         return self.directory / f"{key}.json", self.directory / f"{key}.npz"
 
     def put(self, key: str, result: Result) -> None:
@@ -143,8 +197,10 @@ class DiskResultCache(ResultCache):
 
         buffer = io.BytesIO()
         np.savez(buffer, **arrays)
-        _atomic_write_bytes(array_path, buffer.getvalue())
-        _atomic_write_bytes(meta_path, json.dumps(metadata).encode("utf-8"))
+        atomic_write_bytes(array_path, buffer.getvalue())
+        atomic_write_bytes(meta_path, json.dumps(metadata).encode("utf-8"))
+        if self.max_bytes is not None:
+            self._evict(keep=key)
 
     def get(self, key: str) -> Optional[Result]:
         meta_path, array_path = self._paths(key)
@@ -152,6 +208,14 @@ class DiskResultCache(ResultCache):
             metadata = json.loads(meta_path.read_text(encoding="utf-8"))
             with np.load(array_path, allow_pickle=False) as payload:
                 arrays = {name: payload[name] for name in metadata["arrays"]}
+            # Touch-on-get: a hit refreshes both mtimes so LRU eviction (see
+            # max_bytes) removes cold entries, not recently-served ones.  A
+            # failed touch (e.g. a concurrent eviction) never fails the hit.
+            for path in (array_path, meta_path):
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass
             return Result(
                 mechanism=metadata["mechanism"],
                 engine=metadata["engine"],
@@ -168,6 +232,85 @@ class DiskResultCache(ResultCache):
             # pickle errors; Result.__post_init__ raises ValueError) are all
             # equivalent to "not cached" -- the caller recomputes.
             return None
+
+    def contains(self, key: str) -> bool:
+        """Existence probe without deserializing the arrays.
+
+        Parses the metadata and opens the ``.npz`` zip directory (which
+        lives at the end of the file, so truncation is caught) but never
+        decompresses the array payloads -- the hot path of a worker
+        checking whether a task's result already exists.  A positive probe
+        touches the entry's mtimes like a hit.
+        """
+        meta_path, array_path = self._paths(key)
+        try:
+            metadata = json.loads(meta_path.read_text(encoding="utf-8"))
+            with np.load(array_path, allow_pickle=False) as payload:
+                if not set(metadata["arrays"]) <= set(payload.files):
+                    return False
+        except Exception:
+            return False
+        for path in (array_path, meta_path):
+            try:
+                os.utime(path)
+            except OSError:
+                pass
+        return True
+
+    def evict(self, key: str) -> None:
+        """Remove both files of an entry (metadata first, as in eviction)."""
+        meta_path, array_path = self._paths(key)
+        for path in (meta_path, array_path):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def size_bytes(self) -> int:
+        """Total on-disk bytes of committed entries (payloads + metadata)."""
+        return sum(size for _, _, _, size in self._entries())
+
+    def _entries(self):
+        """``(mtime, key, (meta_path, array_path), size)`` per committed
+        entry -- entries are enumerated by their ``.json`` commit marker, so
+        in-flight temp files and orphaned payloads are not counted."""
+        entries = []
+        for meta_path in self.directory.glob("*.json"):
+            key = meta_path.name[: -len(".json")]
+            array_path = self.directory / f"{key}.npz"
+            try:
+                meta_stat = meta_path.stat()
+            except OSError:  # evicted or replaced concurrently
+                continue
+            size = meta_stat.st_size
+            try:
+                size += array_path.stat().st_size
+            except OSError:
+                pass
+            entries.append((meta_stat.st_mtime, key, (meta_path, array_path), size))
+        return entries
+
+    def _evict(self, keep: str) -> None:
+        """Remove least-recently-used entries until the cap fits.
+
+        ``keep`` (the key just written) is exempt.  The ``.json`` commit
+        marker is removed first, so a reader racing an eviction observes a
+        miss, never a metadata file pointing at a vanished payload mid-read.
+        Already-vanished files (a concurrent eviction won) are skipped.
+        """
+        entries = sorted(self._entries(), key=lambda entry: entry[:2])
+        total = sum(entry[3] for entry in entries)
+        for _, key, paths, size in entries:
+            if total <= self.max_bytes:
+                break
+            if key == keep:
+                continue
+            for path in paths:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            total -= size
 
 
 def as_result_cache(cache) -> Optional[ResultCache]:

@@ -80,10 +80,18 @@ class WorkerPool:
         payloads = [task.to_json() for task in tasks]
         return list(self._executor.map(execute_task_json, payloads))
 
-    def close(self) -> None:
-        """Shut the worker processes down."""
+    def close(self, cancel_futures: bool = True) -> None:
+        """Shut the worker processes down.
+
+        ``cancel_futures`` (default ``True``) drops still-queued tasks
+        instead of waiting for them: when one chunk of a sharded run raises,
+        ``run_sharded``'s ``finally`` must propagate the error immediately,
+        not after every remaining queued chunk has executed.  Running tasks
+        always complete either way; after a normal ``run_tasks`` there is
+        nothing queued, so cancelling is a no-op.
+        """
         if self._executor is not None:
-            self._executor.shutdown()
+            self._executor.shutdown(wait=True, cancel_futures=cancel_futures)
             self._executor = None
 
     def __enter__(self) -> "WorkerPool":

@@ -70,6 +70,21 @@ PER_TRIAL_OPTIONS = (
 )
 
 
+def _json_safe_option(value):
+    """An option value ``json.dumps`` can serialize.
+
+    Arrays become nested lists; numpy *scalars* -- a user-passed
+    ``np.float64``, or the 0-d ``thresholds`` array that ``_slice_options``
+    unwraps to ``value[()]`` -- become plain Python scalars via ``.item()``
+    (``json.dumps`` raises ``TypeError`` on numpy scalar types).
+    """
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
 @dataclass(frozen=True)
 class ShardTask:
     """One self-contained unit of sharded work: a chunk of a run's trials.
@@ -109,10 +124,10 @@ class ShardTask:
         )
 
     def to_payload(self) -> dict:
-        """A JSON-compatible dict (arrays in options become nested lists)."""
+        """A JSON-compatible dict (arrays in options become nested lists,
+        numpy scalars become Python scalars)."""
         options = {
-            name: value.tolist() if isinstance(value, np.ndarray) else value
-            for name, value in self.options.items()
+            name: _json_safe_option(value) for name, value in self.options.items()
         }
         return {
             "spec": json.loads(self.spec_json),
@@ -290,6 +305,15 @@ def merge_results(results: Sequence[Result]) -> Result:
                     f"shard results disagree on {name}: "
                     f"{getattr(first, name)!r} vs {getattr(other, name)!r}"
                 )
+        # ``extra`` holds spec-derived scalars (noise scales, branch
+        # budgets), so coherent shards of one run must agree on it exactly
+        # -- silently keeping only the first shard's copy would mask a merge
+        # of incompatible runs.
+        if other.extra != first.extra:
+            raise ShardMergeError(
+                f"shard results disagree on extra: "
+                f"{first.extra!r} vs {other.extra!r}"
+            )
         for name in ("estimates", "measurements", "true_values", "mask",
                      "above", "branches", "processed"):
             if (getattr(other, name) is None) != (getattr(first, name) is None):

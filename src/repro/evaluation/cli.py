@@ -26,6 +26,18 @@ result cache::
 
     python -m repro.evaluation.cli run-spec spec.json --trials 100000 \\
         --seed 0 --shards 4 --cache ./results-cache
+
+The service sub-commands are the CLI face of the job-queue layer
+(:mod:`repro.service`): ``submit`` enqueues a spec execution on a service
+root and prints the job id, ``serve-worker`` runs the long-lived worker
+loop against the same root (start as many as you want, on any machine
+sharing the directory), and ``job-status`` / ``job-result`` poll and fetch::
+
+    python -m repro.evaluation.cli submit spec.json --root ./svc \\
+        --trials 100000 --seed 0
+    python -m repro.evaluation.cli serve-worker --root ./svc &
+    python -m repro.evaluation.cli job-status job-abc123 --root ./svc
+    python -m repro.evaluation.cli job-result job-abc123 --root ./svc --wait 60
 """
 
 from __future__ import annotations
@@ -152,19 +164,13 @@ def _run_all(args, stream) -> None:
     _run_figure4(args, stream)
 
 
-def _run_run_spec(args, stream) -> None:
-    """Load a spec JSON file and execute it through the facade."""
-    with open(args.spec, "r", encoding="utf-8") as handle:
-        spec = spec_from_json(handle.read())
-    result = api_run(
-        spec,
-        engine=args.engine,
-        trials=args.trials,
-        rng=args.seed,
-        shards=args.shards,
-        cache=args.cache,
-        chunk_trials=args.chunk_trials,
-    )
+def _load_spec_file(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return spec_from_json(handle.read())
+
+
+def _print_result(title: str, result, stream) -> None:
+    """The uniform result report shared by run-spec and job-result."""
     rows = [
         {
             "mechanism": result.mechanism,
@@ -175,11 +181,7 @@ def _run_run_spec(args, stream) -> None:
             "mean_epsilon_consumed": float(np.mean(result.epsilon_consumed)),
         }
     ]
-    _emit(
-        f"run-spec: {spec.kind} via {result.engine}",
-        render_series_table(rows),
-        stream,
-    )
+    _emit(title, render_series_table(rows), stream)
     first = result.trial_indices(0)
     stream.write(f"trial 0 answered indices: {first.tolist()}\n")
     gaps = result.trial_gaps(0)
@@ -191,6 +193,77 @@ def _run_run_spec(args, stream) -> None:
         )
 
 
+def _run_run_spec(args, stream) -> None:
+    """Load a spec JSON file and execute it through the facade."""
+    spec = _load_spec_file(args.spec)
+    result = api_run(
+        spec,
+        engine=args.engine,
+        trials=args.trials,
+        rng=args.seed,
+        shards=args.shards,
+        cache=args.cache,
+        chunk_trials=args.chunk_trials,
+    )
+    _print_result(f"run-spec: {spec.kind} via {result.engine}", result, stream)
+
+
+def _run_submit(args, stream) -> None:
+    """Submit a spec execution to a service root and print the job id."""
+    from repro.service import JobClient
+
+    spec = _load_spec_file(args.spec)
+    handle = JobClient(args.root).submit(
+        spec,
+        engine=args.engine,
+        trials=args.trials,
+        seed=args.seed,
+        chunk_trials=args.chunk_trials,
+    )
+    status = handle.status()
+    stream.write(
+        f"submitted {spec.kind} for {args.trials} trial(s) as "
+        f"{status.total_tasks} task(s)\n"
+    )
+    stream.write(f"job id: {handle.job_id}\n")
+
+
+def _run_job_status(args, stream) -> None:
+    """Print one job's state and progress."""
+    from repro.service import JobClient
+
+    status = JobClient(args.root).status(args.spec)
+    stream.write(
+        f"job {status.job_id}: {status.state} "
+        f"({status.done_tasks}/{status.total_tasks} tasks done)\n"
+    )
+    for index, error in sorted(status.failed_tasks.items()):
+        stream.write(f"  chunk {index} failed: {error}\n")
+
+
+def _run_job_result(args, stream) -> None:
+    """Fetch (optionally waiting for) a job's merged result."""
+    from repro.service import JobClient
+
+    client = JobClient(args.root)
+    result = client.result(args.spec, timeout=args.wait)
+    spec = client.broker.spec(args.spec)
+    _print_result(f"job-result: {spec.kind} via {result.engine}", result, stream)
+
+
+def _run_serve_worker(args, stream) -> None:
+    """Run the long-lived worker loop against a service root."""
+    from repro.service import Worker
+
+    worker = Worker(args.root)
+    stream.write(f"worker {worker.worker_id} serving {args.root}\n")
+    processed = worker.serve(max_tasks=args.max_tasks, idle_exit=args.idle_exit)
+    stream.write(
+        f"worker {worker.worker_id} exiting: {processed} task(s) processed, "
+        f"{worker.cache_hits} cache hit(s), {worker.failures} failure(s)\n"
+    )
+
+
 _COMMANDS: Dict[str, Callable] = {
     "datasets": _run_datasets,
     "figure1": _run_figure1,
@@ -199,7 +272,18 @@ _COMMANDS: Dict[str, Callable] = {
     "figure4": _run_figure4,
     "all": _run_all,
     "run-spec": _run_run_spec,
+    "submit": _run_submit,
+    "job-status": _run_job_status,
+    "job-result": _run_job_result,
+    "serve-worker": _run_serve_worker,
 }
+
+#: Commands that operate on a job-queue service root (--root).
+_SERVICE_COMMANDS = ("submit", "job-status", "job-result", "serve-worker")
+#: Commands whose positional argument is a spec JSON file.
+_SPEC_FILE_COMMANDS = ("run-spec", "submit")
+#: Commands whose positional argument is a job id.
+_JOB_ID_COMMANDS = ("job-status", "job-result")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -212,19 +296,23 @@ def build_parser() -> argparse.ArgumentParser:
         "command",
         choices=sorted(_COMMANDS),
         help="which experiment to run ('all' runs every figure; 'run-spec' "
-        "executes a serialized mechanism spec through the repro.api facade)",
+        "executes a serialized mechanism spec through the repro.api facade; "
+        "'submit'/'serve-worker'/'job-status'/'job-result' drive the "
+        "job-queue service layer)",
     )
     parser.add_argument(
         "spec",
         nargs="?",
         default=None,
-        help="path to a mechanism-spec JSON file (run-spec only)",
+        metavar="spec-or-job-id",
+        help="path to a mechanism-spec JSON file (run-spec, submit) or a "
+        "job id (job-status, job-result)",
     )
     parser.add_argument(
         "--engine",
         choices=ENGINE_NAMES,
         default=None,
-        help="execution engine for run-spec (default: batch)",
+        help="execution engine for run-spec / submit (default: batch)",
     )
     parser.add_argument(
         "--shards",
@@ -244,8 +332,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-trials",
         type=int,
         default=None,
-        help="run-spec only: trials per dispatch chunk for sharded runs "
+        help="run-spec / submit: trials per dispatch chunk "
         "(part of the run's deterministic identity)",
+    )
+    parser.add_argument(
+        "--root",
+        type=str,
+        default=None,
+        help="service commands: the job-queue service root directory "
+        "(task queue + job manifests + shared result cache)",
+    )
+    parser.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="serve-worker only: exit after processing this many tasks "
+        "(default: serve until interrupted)",
+    )
+    parser.add_argument(
+        "--idle-exit",
+        action="store_true",
+        help="serve-worker only: exit once the queue is fully drained "
+        "instead of polling forever",
+    )
+    parser.add_argument(
+        "--wait",
+        type=float,
+        default=None,
+        help="job-result only: poll up to this many seconds for the job to "
+        "finish (default: the job must already be done)",
     )
     parser.add_argument(
         "--dataset",
@@ -296,24 +411,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--epsilon must be positive")
     if args.k < 1:
         parser.error("--k must be at least 1")
-    if args.command == "run-spec" and args.spec is None:
-        parser.error("run-spec requires a path to a spec JSON file")
-    if args.command != "run-spec":
-        if args.spec is not None:
-            parser.error(f"command {args.command!r} takes no spec file argument")
-        # Refuse rather than silently ignore: the figure runners always use
-        # the in-process batch engine, no sharding, no cache.
-        for flag in ("engine", "shards", "cache", "chunk_trials"):
-            if getattr(args, flag) is not None:
-                parser.error(
-                    f"--{flag.replace('_', '-')} only applies to the run-spec command"
-                )
+    if args.command in _SPEC_FILE_COMMANDS and args.spec is None:
+        parser.error(f"{args.command} requires a path to a spec JSON file")
+    if args.command in _JOB_ID_COMMANDS and args.spec is None:
+        parser.error(f"{args.command} requires a job id")
+    if (
+        args.command not in _SPEC_FILE_COMMANDS
+        and args.command not in _JOB_ID_COMMANDS
+        and args.spec is not None
+    ):
+        parser.error(f"command {args.command!r} takes no spec file argument")
+    # Refuse rather than silently ignore flags a command does not consume:
+    # the figure runners always use the in-process batch engine, no
+    # sharding, no cache, no service root.
+    allowed = {
+        "run-spec": {"engine", "shards", "cache", "chunk_trials"},
+        "submit": {"engine", "chunk_trials", "root"},
+        "job-status": {"root"},
+        "job-result": {"root", "wait"},
+        "serve-worker": {"root", "max_tasks"},
+    }.get(args.command, set())
+    for flag in ("engine", "shards", "cache", "chunk_trials", "root",
+                 "max_tasks", "wait"):
+        if flag not in allowed and getattr(args, flag) is not None:
+            parser.error(
+                f"--{flag.replace('_', '-')} does not apply to the "
+                f"{args.command} command"
+            )
+    if args.idle_exit and args.command != "serve-worker":
+        parser.error("--idle-exit only applies to the serve-worker command")
+    if args.command in _SERVICE_COMMANDS and args.root is None:
+        parser.error(f"{args.command} requires --root (the service directory)")
     if args.engine is None:
         args.engine = "batch"
     if args.shards is not None and args.shards < 1:
         parser.error("--shards must be at least 1")
     if args.chunk_trials is not None and args.chunk_trials < 1:
         parser.error("--chunk-trials must be at least 1")
+    if args.max_tasks is not None and args.max_tasks < 1:
+        parser.error("--max-tasks must be at least 1")
 
     runner = _COMMANDS[args.command]
     # One-line diagnosis, exit code 2, for anything the user can cause: a
@@ -321,11 +457,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     # FileNotFoundError, IsADirectoryError, PermissionError), a malformed or
     # unknown spec payload (SpecValidationError), an engine without an
     # executor for the spec (UnsupportedEngineError).  ValueError is only
-    # user-reachable through run-spec's facade arguments -- for the figure
-    # commands it would mean an internal bug, whose traceback must survive.
+    # user-reachable through run-spec's/submit's facade arguments and
+    # through malformed job ids -- for the figure commands it would mean an
+    # internal bug, whose traceback must survive.  Service commands
+    # additionally surface ServiceError (unknown job id, failed job, result
+    # not ready); job-result --wait timeouts raise TimeoutError, an OSError
+    # subclass the base tuple already covers.
     recoverable = (SpecValidationError, UnsupportedEngineError, OSError)
-    if args.command == "run-spec":
+    if args.command in _SPEC_FILE_COMMANDS or args.command in _JOB_ID_COMMANDS:
         recoverable += (ValueError,)
+    if args.command in _SERVICE_COMMANDS:
+        from repro.service import ServiceError
+
+        recoverable += (ServiceError,)
     try:
         if args.output is None:
             runner(args, sys.stdout)

@@ -1,0 +1,75 @@
+"""The job-queue service: an async front-end over ShardTask JSON.
+
+The dispatch layer (:mod:`repro.dispatch`) proved that a run's chunks cross
+process boundaries losslessly as :class:`ShardTask` JSON.  This package
+turns that envelope into a **service**: clients submit execution requests to
+a broker, long-lived workers pull task JSON off a durable queue and execute
+it through the same :func:`execute_task_json` entry the worker pool uses,
+and clients poll status and fetch the merged result -- with every worker
+sharing one content-addressed :class:`DiskResultCache`.
+
+Four pieces::
+
+    queue  (service.queue)   durable FileJobQueue (atomic rename claims,
+                             ack/nack, lease expiry, dead-lettering) and a
+                             MemoryJobQueue for tests
+    broker (service.broker)  job lifecycle: submitted -> running -> done /
+                             failed / cancelled, per-job manifests, merged
+                             results via dispatch.merge_results
+    worker (service.worker)  claim -> cache lookup -> execute -> cache put
+                             -> done marker -> ack; run_workers() drains a
+                             queue with N threads
+    client (service.client)  JobClient / JobHandle: submit, status, result
+                             (with polling), cancel
+
+Determinism contract (asserted end-to-end in ``tests/test_service.py``): a
+job's merged result is bit-identical to ``run(spec, trials=B, rng=seed,
+shards=N, chunk_trials=C)`` for any number of workers, because both paths
+execute the same ``make_tasks`` chunk layout and merge in chunk order.
+
+The CLI front-end lives in ``repro.evaluation.cli``::
+
+    python -m repro.evaluation.cli submit spec.json --root SRV --trials 100000 --seed 0
+    python -m repro.evaluation.cli serve-worker --root SRV
+    python -m repro.evaluation.cli job-status  <job-id> --root SRV
+    python -m repro.evaluation.cli job-result  <job-id> --root SRV
+
+and :func:`repro.api.submit` is the facade-level async entry alongside
+``run()``.
+"""
+
+from repro.service.broker import (
+    Broker,
+    JobFailedError,
+    JobNotFoundError,
+    JobStatus,
+    ServiceError,
+    task_key,
+)
+from repro.service.client import JobClient, JobHandle
+from repro.service.queue import (
+    ClaimedTask,
+    FileJobQueue,
+    JobQueue,
+    MemoryJobQueue,
+    QueueError,
+)
+from repro.service.worker import Worker, run_workers
+
+__all__ = [
+    "Broker",
+    "ClaimedTask",
+    "FileJobQueue",
+    "JobClient",
+    "JobFailedError",
+    "JobHandle",
+    "JobNotFoundError",
+    "JobQueue",
+    "JobStatus",
+    "MemoryJobQueue",
+    "QueueError",
+    "ServiceError",
+    "Worker",
+    "run_workers",
+    "task_key",
+]

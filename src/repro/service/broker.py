@@ -1,0 +1,519 @@
+"""The broker: job lifecycle over a task queue and a shared result cache.
+
+A **job** is one facade-shaped execution request -- ``(spec, engine, trials,
+seed, chunk_trials, options)`` -- that clients submit asynchronously instead
+of calling :func:`repro.api.run`.  The broker:
+
+* chunks the request into the dispatch layer's :class:`ShardTask` envelopes
+  (:func:`repro.dispatch.make_tasks` -- exactly what ``run(spec, shards=N)``
+  executes in-process, which is what makes the service deterministic);
+* enqueues each task's JSON on a :class:`~repro.service.queue.JobQueue`;
+* records a per-job **manifest** (the request plus every task's id, chunk
+  index and content-addressed result key);
+* derives job state from per-task completion markers that workers write
+  (``done/<index>.json`` / ``failed/<index>.json``), so status needs no
+  broker process to be running -- any reader of the service root can compute
+  it;
+* reassembles the merged :class:`~repro.api.result.Result` from the shared
+  cache with :func:`repro.dispatch.merge_results`.
+
+Determinism contract: a job's merged result is **bit-identical** to
+``run(spec, engine=engine, trials=trials, rng=seed, shards=N,
+chunk_trials=chunk_trials)`` for any worker count ``N``, because both sides
+execute the same chunk layout under the same derived per-chunk seeds and
+merge in the same chunk order (``tests/test_service.py`` asserts this
+end-to-end).
+
+Job lifecycle::
+
+    submitted --(tasks claimed & executed)--> running --> done
+        |                                        |
+        +--> cancelled                           +--> failed (a task
+                                                      exhausted its retries)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.api.engines import validate_engine
+from repro.api.facade import _check_options
+from repro.api.registry import get_executor
+from repro.api.result import Result
+from repro.api.specs import MechanismSpec, spec_from_dict
+from repro.dispatch.cache import DiskResultCache, ResultCache, as_result_cache
+from repro.dispatch.hashing import KEY_VERSION, canonical_json, run_key
+from repro.dispatch.sharding import (
+    DEFAULT_CHUNK_TRIALS,
+    ShardTask,
+    make_tasks,
+    merge_results,
+)
+from repro.service.queue import (
+    DEFAULT_LEASE_SECONDS,
+    DEFAULT_MAX_ATTEMPTS,
+    FileJobQueue,
+    JobQueue,
+    QueueError,
+    atomic_write_json,
+    check_safe_id,
+)
+
+__all__ = [
+    "Broker",
+    "JobFailedError",
+    "JobNotFoundError",
+    "JobStatus",
+    "ServiceError",
+    "task_key",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base error of the job-queue service layer."""
+
+
+class JobNotFoundError(ServiceError):
+    """Raised when a job id has no manifest under the service root."""
+
+
+class JobFailedError(ServiceError):
+    """Raised when a result is requested for a failed or cancelled job."""
+
+
+def task_key(task: ShardTask) -> str:
+    """Content address of one shard task's result, for the shared cache.
+
+    Everything that determines the chunk's outcome enters the digest -- the
+    spec payload, engine, chunk trial count, derived seed (entropy +
+    spawn key) and sliced options -- plus the dispatch layer's
+    ``KEY_VERSION``, so a semantics bump invalidates service caches exactly
+    when it invalidates facade caches.  Two workers that execute the same
+    task (a retry after a lease expiry) therefore write the same cache
+    entry: duplicate execution is idempotent.
+    """
+    return _key_of_task_payload(task.to_payload())
+
+
+def _key_of_task_payload(task_payload: dict) -> str:
+    """The digest behind :func:`task_key`, for callers (the broker's submit
+    loop) that already built the payload and must not serialize it twice."""
+    payload = {"version": KEY_VERSION, "task": task_payload}
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """A point-in-time view of one job's progress."""
+
+    job_id: str
+    state: str  # submitted | running | done | failed | cancelled
+    total_tasks: int
+    done_tasks: int
+    failed_tasks: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        """True when the job can make no further progress."""
+        return self.state in ("done", "failed", "cancelled")
+
+
+def _check_job_id(job_id: str) -> str:
+    return check_safe_id(job_id, kind="job id")
+
+
+class Broker:
+    """Submit, track and reassemble jobs under one service root directory.
+
+    Parameters
+    ----------
+    root:
+        Service root.  Defaults place the queue under ``root/queue``, job
+        manifests under ``root/jobs`` and the shared result cache under
+        ``root/cache`` -- one directory a fleet of workers (and clients) on
+        a common filesystem can point at.
+    queue:
+        Override the queue backend (e.g. :class:`MemoryJobQueue` for
+        in-process tests).
+    cache:
+        Override the shared result cache: a :class:`ResultCache`, a
+        directory path, or ``None`` for the default
+        ``DiskResultCache(root/cache, max_bytes=cache_max_bytes)``.
+    cache_max_bytes:
+        LRU size cap for the default disk cache (``None`` = unbounded);
+        ignored when ``cache`` is given.  Size the cap to comfortably
+        exceed the largest expected job's total chunk footprint: a cap
+        smaller than one job's own chunks lets later puts evict earlier
+        chunks before ``result()`` can merge them, leaving a "done" job
+        that cannot be served until it is resubmitted against a larger cap.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        *,
+        queue: Optional[JobQueue] = None,
+        cache: Union[None, str, os.PathLike, ResultCache] = None,
+        cache_max_bytes: Optional[int] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    ) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.queue = queue if queue is not None else FileJobQueue(
+            self.root / "queue",
+            max_attempts=max_attempts,
+            lease_seconds=lease_seconds,
+        )
+        if cache is None:
+            self.cache: ResultCache = DiskResultCache(
+                self.root / "cache", max_bytes=cache_max_bytes
+            )
+        else:
+            self.cache = as_result_cache(cache)
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self,
+        spec: MechanismSpec,
+        *,
+        engine: str = "batch",
+        trials: int = 1,
+        seed: int = 0,
+        chunk_trials: Optional[int] = None,
+        options: Optional[dict] = None,
+        job_id: Optional[str] = None,
+    ) -> str:
+        """Validate one execution request, chunk it, and enqueue its tasks.
+
+        Everything a worker could reject is validated here, *before* any
+        task is queued: the spec, the engine name, the (spec, engine)
+        executor registration, the trial counts, and the seed -- which must
+        be a plain integer, both for the determinism contract (the job must
+        reproduce ``run(spec, trials=..., rng=seed, shards=N)``) and because
+        the per-task results are content-addressed in the shared cache.
+        """
+        if not isinstance(spec, MechanismSpec):
+            raise TypeError(
+                f"spec must be a MechanismSpec, got {type(spec).__name__}"
+            )
+        spec.validate()
+        engine_name = validate_engine(engine)
+        executor = get_executor(type(spec), engine_name)  # unsupported pairs fail
+        trials = int(trials)
+        if trials < 1:
+            raise ValueError(f"trials must be at least 1, got {trials}")
+        # Same seed contract (and coercion) as run(cache=) / run(shards=).
+        if not isinstance(seed, (int, np.integer)) or isinstance(seed, bool):
+            raise ValueError(
+                "submit() requires a reproducible run: pass an integer "
+                "seed (the rng= argument of repro.api.submit) so the job "
+                "has a stable content address and a deterministic result "
+                f"(got {type(seed).__name__})"
+            )
+        seed = int(seed)
+        resolved_chunk = (
+            DEFAULT_CHUNK_TRIALS if chunk_trials is None else int(chunk_trials)
+        )
+        if resolved_chunk < 1:
+            raise ValueError(
+                f"chunk_trials must be at least 1, got {resolved_chunk}"
+            )
+        options = dict(options or {})
+        # Options the executor does not accept fail here, exactly as run()
+        # rejects them -- not after every chunk has been executed and
+        # retried to exhaustion on the workers.
+        _check_options(executor, type(spec), engine_name, options)
+        job_id = _check_job_id(job_id or f"job-{uuid.uuid4().hex[:12]}")
+        job_dir = self.jobs_dir / job_id
+        # Existence is defined by the manifest (the commit marker below),
+        # not the directory: a submit that crashed mid-enqueue leaves dirs
+        # but no manifest, and must not block a clean resubmission.
+        if (job_dir / "manifest.json").exists():
+            raise ServiceError(f"job {job_id!r} already exists")
+
+        tasks = make_tasks(
+            spec,
+            engine=engine_name,
+            trials=trials,
+            seed=seed,
+            chunk_trials=resolved_chunk,
+            options=options,
+        )
+        entries = []
+        payloads = []  # built once per task; hashed here, enqueued below
+        for task in tasks:
+            payload = task.to_payload()
+            payloads.append(payload)
+            entries.append(
+                {
+                    "task_id": f"{job_id}-{task.index:06d}",
+                    "index": task.index,
+                    "trials": task.trials,
+                    "key": _key_of_task_payload(payload),
+                }
+            )
+        manifest = {
+            "version": 1,
+            "job_id": job_id,
+            "spec": json.loads(spec.to_json()),
+            "engine": engine_name,
+            "trials": trials,
+            "seed": seed,
+            "chunk_trials": resolved_chunk,
+            # The facade key of the equivalent run(spec, shards=..., cache=)
+            # request: result() stores the merged result under it, so a
+            # warm service cache also serves in-process facade callers.
+            "run_key": run_key(
+                spec,
+                engine=engine_name,
+                trials=trials,
+                seed=seed,
+                chunk_trials=resolved_chunk,
+                options=options,
+            ),
+            "submitted_at": time.time(),
+            "tasks": entries,
+        }
+        # Marker dirs first, tasks second, manifest LAST: the manifest is
+        # the commit marker.  A submit that crashes mid-enqueue leaves only
+        # orphan tasks (workers execute them into the content-addressed
+        # cache -- wasted but harmless), never a committed job that can no
+        # longer complete; the client sees "no such job" and resubmits.
+        (job_dir / "done").mkdir(parents=True, exist_ok=True)
+        (job_dir / "failed").mkdir(exist_ok=True)
+        # A previously crashed (uncommitted) submission may have left
+        # completion markers from its orphan tasks; inheriting them would
+        # make the fresh job report done/failed states it never earned.
+        for stale in (
+            *(job_dir / "done").glob("*.json"),
+            *(job_dir / "failed").glob("*.json"),
+            job_dir / "cancelled.json",
+        ):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        for payload, entry in zip(payloads, entries):
+            envelope = {
+                "job_id": job_id,
+                "index": entry["index"],
+                "key": entry["key"],
+                "task": payload,
+            }
+            # Drop any pending orphan of a previously crashed submit under
+            # the same task id -- and its dead-letter record, which would
+            # otherwise make a later reaper pass spuriously fail the fresh
+            # job -- so the resubmission's envelope is the one that runs.
+            # An orphan a worker has *claimed* cannot be replaced
+            # mid-flight: surface that as a service-level conflict instead
+            # of letting the raw QueueError escape.
+            self.queue.remove(entry["task_id"])
+            self.queue.clear_failed(entry["task_id"])
+            try:
+                self.queue.put(json.dumps(envelope), task_id=entry["task_id"])
+            except QueueError as exc:
+                raise ServiceError(
+                    f"task {entry['task_id']!r} from a previous uncommitted "
+                    f"submission of job {job_id!r} is still claimed by a "
+                    "worker; wait for its lease to resolve or submit under "
+                    "a fresh job id"
+                ) from exc
+        atomic_write_json(job_dir / "manifest.json", manifest)
+        return job_id
+
+    # -- status -------------------------------------------------------------
+
+    def manifest(self, job_id: str) -> dict:
+        """The job's manifest, or :class:`JobNotFoundError`."""
+        path = self.jobs_dir / _check_job_id(job_id) / "manifest.json"
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except OSError:
+            raise JobNotFoundError(
+                f"no job {job_id!r} under {os.fspath(self.jobs_dir)}"
+            ) from None
+
+    def status(self, job_id: str) -> JobStatus:
+        """Derive the job's state from its completion markers.
+
+        Stateless by design: any process that can read the service root
+        computes the same answer, whether or not a broker/worker is alive.
+        """
+        return self._status_from_manifest(job_id, self.manifest(job_id))
+
+    def _status_from_manifest(self, job_id: str, manifest: dict) -> JobStatus:
+        # Split out so result() can reuse an already-loaded manifest
+        # instead of re-reading it from disk for the status check.
+        job_dir = self.jobs_dir / job_id
+        total = len(manifest["tasks"])
+        # Only markers for indexes this manifest actually owns count: a
+        # crashed prior submission's orphan tasks may write markers for
+        # chunk indexes the committed job does not have, and counting them
+        # would wedge the done==total comparison (or fail a healthy job).
+        valid = {int(entry["index"]) for entry in manifest["tasks"]}
+        done = set()
+        for path in (job_dir / "done").glob("*.json"):
+            try:
+                index = int(path.name[: -len(".json")])
+            except ValueError:
+                continue  # stray non-marker file; same policy as failed/
+            if index in valid:
+                done.add(index)
+        failed: Dict[int, str] = {}
+        for path in (job_dir / "failed").glob("*.json"):
+            try:
+                index = int(path.name[: -len(".json")])
+                if index not in valid:
+                    continue
+                failed[index] = json.loads(
+                    path.read_text(encoding="utf-8")
+                ).get("error", "")
+            except (OSError, ValueError):
+                continue
+        # A fully-completed job stays "done" even if a cancel raced the last
+        # task: the result exists, so serving it beats discarding it.
+        if len(done) == total:
+            state = "done"
+        elif (job_dir / "cancelled.json").exists():
+            state = "cancelled"
+        elif failed:
+            state = "failed"
+        elif done:
+            state = "running"
+        else:
+            state = "submitted"
+        return JobStatus(
+            job_id=job_id,
+            state=state,
+            total_tasks=total,
+            done_tasks=len(done),
+            failed_tasks=failed,
+        )
+
+    # -- completion markers (written by workers) ----------------------------
+
+    def is_cancelled(self, job_id: str) -> bool:
+        """Cheap cancellation probe (one stat; workers call it per task)."""
+        return (self.jobs_dir / _check_job_id(job_id) / "cancelled.json").exists()
+
+    def mark_done(self, job_id: str, index: int, key: str) -> None:
+        """Record that a task's result is in the shared cache under ``key``."""
+        job_dir = self.jobs_dir / _check_job_id(job_id)
+        atomic_write_json(
+            job_dir / "done" / f"{int(index)}.json",
+            {"key": key, "completed_at": time.time()},
+        )
+
+    def mark_failed(self, job_id: str, index: int, error: str) -> None:
+        """Record that a task exhausted its retries; the job is failed."""
+        job_dir = self.jobs_dir / _check_job_id(job_id)
+        atomic_write_json(
+            job_dir / "failed" / f"{int(index)}.json",
+            {"error": str(error), "failed_at": time.time()},
+        )
+
+    # -- results ------------------------------------------------------------
+
+    def result(self, job_id: str) -> Result:
+        """The merged :class:`Result` of a finished job.
+
+        Per-task results are fetched from the shared cache in chunk order
+        and merged exactly as ``run(spec, shards=N)`` merges them.  The
+        merged result is additionally stored under the job's facade
+        ``run_key``, so the service warms the same cache entries an
+        in-process ``run(spec, ..., shards=, cache=)`` call would consult --
+        and repeated ``result()`` calls are served straight from that entry
+        instead of re-merging (and re-writing) the chunks every time.
+        """
+        manifest = self.manifest(job_id)  # read once; status reuses it
+        status = self._status_from_manifest(job_id, manifest)
+        if status.state == "cancelled":
+            raise JobFailedError(f"job {job_id!r} was cancelled")
+        if status.state == "failed":
+            detail = "; ".join(
+                f"chunk {index}: {error}"
+                for index, error in sorted(status.failed_tasks.items())
+            )
+            raise JobFailedError(f"job {job_id!r} failed ({detail})")
+        if status.state != "done":
+            raise ServiceError(
+                f"job {job_id!r} is not done yet "
+                f"({status.done_tasks}/{status.total_tasks} tasks, "
+                f"state {status.state!r})"
+            )
+        merged = self.cache.get(manifest["run_key"])
+        if merged is not None:
+            return merged
+        results = []
+        missing = []
+        for entry in sorted(manifest["tasks"], key=lambda e: e["index"]):
+            chunk = self.cache.get(entry["key"])
+            if chunk is None:
+                # Self-heal: purge whatever unreadable remnant made this a
+                # miss (e.g. a payload contains() would still probe as
+                # present), so the resubmission's workers recompute the
+                # chunk instead of marking it done off the corrupt entry.
+                # Keep scanning rather than raising at the first miss --
+                # healing all the bad chunks at once means one resubmission
+                # recovers the job, not one cycle per bad chunk.
+                self.cache.evict(entry["key"])
+                missing.append(entry["index"])
+                continue
+            results.append(chunk)
+        if missing:
+            raise ServiceError(
+                f"result of chunk(s) {missing} of job {job_id!r} "
+                "missing from the shared cache (evicted or deleted); "
+                "resubmit the request under a fresh job id to recompute "
+                "them -- and if the cache has a max_bytes cap smaller than "
+                "the job's total chunk footprint, raise the cap first or "
+                "the recomputation will be evicted the same way"
+            )
+        merged = merge_results(results)
+        self.cache.put(manifest["run_key"], merged)
+        return merged
+
+    def spec(self, job_id: str) -> MechanismSpec:
+        """The job's mechanism spec, reconstructed from the manifest."""
+        return spec_from_dict(self.manifest(job_id)["spec"])
+
+    # -- cancellation -------------------------------------------------------
+
+    def cancel(self, job_id: str) -> JobStatus:
+        """Stop a job: drop its still-pending tasks and mark it cancelled.
+
+        Tasks a worker already claimed finish their in-flight execution
+        (their results are content-addressed, so letting them finish is
+        harmless), but any later claim of a cancelled job's task -- a
+        retry, or a lease expiry requeue -- is discarded by the workers
+        without executing.  Cancelling a finished job is a no-op beyond
+        writing the marker.
+        """
+        manifest = self.manifest(job_id)
+        job_dir = self.jobs_dir / job_id
+        for entry in manifest["tasks"]:
+            self.queue.remove(entry["task_id"])
+        atomic_write_json(
+            job_dir / "cancelled.json", {"cancelled_at": time.time()}
+        )
+        return self.status(job_id)
+
+    def list_jobs(self) -> List[str]:
+        """All job ids under the service root, sorted."""
+        return sorted(
+            path.name
+            for path in self.jobs_dir.iterdir()
+            if (path / "manifest.json").exists()
+        )

@@ -1,0 +1,125 @@
+"""The client face of the service: submit, poll, fetch, cancel.
+
+A :class:`JobClient` is a thin, stateless wrapper over the
+:class:`~repro.service.broker.Broker` read/write protocol -- anything that
+can see the service root directory (same process, another process, another
+machine on the shared filesystem) is a fully-capable client::
+
+    client = JobClient("/srv/repro")
+    handle = client.submit(spec, trials=100_000, seed=0)
+    ...                       # workers drain the queue elsewhere
+    result = handle.result(timeout=60.0)   # the merged Result
+
+:meth:`JobClient.submit` returns a :class:`JobHandle`, the async counterpart
+of :func:`repro.api.run`'s return value: ``status()`` / ``result()`` /
+``cancel()`` bound to the job id.  ``result`` polls until the job finishes
+(or a timeout expires) and raises
+:class:`~repro.service.broker.JobFailedError` with the per-chunk errors when
+it cannot succeed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional, Union
+
+from repro.api.result import Result
+from repro.api.specs import MechanismSpec
+from repro.service.broker import Broker, JobStatus
+
+__all__ = ["JobClient", "JobHandle"]
+
+
+class JobHandle:
+    """An in-flight job: the async analogue of a :class:`Result`."""
+
+    def __init__(self, client: "JobClient", job_id: str) -> None:
+        self.client = client
+        self.job_id = job_id
+
+    def status(self) -> JobStatus:
+        return self.client.status(self.job_id)
+
+    def result(
+        self, *, timeout: Optional[float] = None, poll_interval: float = 0.5
+    ) -> Result:
+        return self.client.result(
+            self.job_id, timeout=timeout, poll_interval=poll_interval
+        )
+
+    def cancel(self) -> JobStatus:
+        return self.client.cancel(self.job_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JobHandle({self.job_id!r})"
+
+
+class JobClient:
+    """Submit jobs to, and read results from, one service root."""
+
+    def __init__(
+        self, root: Union[Broker, str, os.PathLike], **broker_kwargs
+    ) -> None:
+        self.broker = root if isinstance(root, Broker) else Broker(root, **broker_kwargs)
+
+    def submit(
+        self,
+        spec: MechanismSpec,
+        *,
+        engine: str = "batch",
+        trials: int = 1,
+        seed: int = 0,
+        chunk_trials: Optional[int] = None,
+        options: Optional[dict] = None,
+        job_id: Optional[str] = None,
+    ) -> JobHandle:
+        """Enqueue one execution request; returns immediately with a handle."""
+        job_id = self.broker.submit(
+            spec,
+            engine=engine,
+            trials=trials,
+            seed=seed,
+            chunk_trials=chunk_trials,
+            options=options,
+            job_id=job_id,
+        )
+        return JobHandle(self, job_id)
+
+    def status(self, job_id: str) -> JobStatus:
+        return self.broker.status(job_id)
+
+    def result(
+        self,
+        job_id: str,
+        *,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.5,
+    ) -> Result:
+        """The merged result, polling until the job finishes.
+
+        ``timeout=None`` fetches exactly once (raising
+        :class:`ServiceError` if the job is still in flight); a float polls
+        until the job reaches a terminal state or the timeout expires
+        (``TimeoutError``).  Each poll re-reads the job's markers, so the
+        default interval is deliberately coarse (0.5s) -- waiting clients
+        on a shared filesystem should be metadata-cheap; lower it for
+        latency-sensitive local tests.  A failed or cancelled job raises
+        :class:`JobFailedError` immediately, with per-chunk errors.
+        """
+        if timeout is None:
+            return self.broker.result(job_id)
+        deadline = time.monotonic() + float(timeout)
+        while True:
+            status = self.broker.status(job_id)
+            if status.finished:
+                return self.broker.result(job_id)  # raises on failed/cancelled
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id!r} not finished after {timeout}s "
+                    f"({status.done_tasks}/{status.total_tasks} tasks done)"
+                )
+            time.sleep(poll_interval)
+
+    def cancel(self, job_id: str) -> JobStatus:
+        return self.broker.cancel(job_id)

@@ -1,0 +1,610 @@
+"""Job queues: durable, atomically-claimed task storage for the service.
+
+A queue stores opaque JSON payloads (the broker enqueues ``ShardTask``
+envelopes) and hands them to workers with **at-least-once** semantics:
+
+* ``put`` enqueues a payload under a task id;
+* ``claim`` atomically transfers one pending task to the claiming worker --
+  two workers racing for the same task can never both win;
+* ``ack`` removes a completed task;
+* ``nack`` returns a failed task to the queue (or dead-letters it once its
+  attempts are exhausted);
+* ``requeue_expired`` returns tasks whose worker crashed mid-task (claimed
+  longer ago than the lease) to the pending state.
+
+Two interchangeable backends behind the same interface:
+
+* :class:`MemoryJobQueue` -- process-local dicts under a lock, for tests and
+  in-process worker threads;
+* :class:`FileJobQueue` -- a directory tree (``pending/`` / ``claimed/`` /
+  ``failed/`` JSON files) shared by any number of worker processes or
+  machines on a common filesystem.  A claim is one ``os.rename`` from
+  ``pending/`` to ``claimed/`` -- atomic on POSIX, so exactly one claimer
+  wins and losers simply move on to the next file.
+
+At-least-once, not exactly-once: a lease can expire while its worker is
+still alive (slow task), in which case two workers may execute the same
+task.  That is safe by construction here -- task results are
+content-addressed in the shared result cache, so duplicate executions write
+the same entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.dispatch.cache import atomic_write_bytes, check_safe_name
+
+__all__ = [
+    "ClaimedTask",
+    "FileJobQueue",
+    "JobQueue",
+    "MemoryJobQueue",
+    "QueueError",
+    "atomic_write_json",
+    "check_safe_id",
+]
+
+#: Default attempts before a task is dead-lettered (first try + retries).
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Default seconds a claim stays valid before ``requeue_expired`` may
+#: return the task to the queue (the worker is presumed crashed).
+DEFAULT_LEASE_SECONDS = 300.0
+
+
+class QueueError(RuntimeError):
+    """Raised on queue-protocol violations (e.g. acking an unclaimed task)."""
+
+
+@dataclass(frozen=True)
+class ClaimedTask:
+    """One task handed to a worker: payload plus claim bookkeeping.
+
+    ``attempts`` counts executions *including* this one, so a worker can
+    tell a first try (1) from a retry (>1).  It doubles as the claim's
+    **fencing token**: pass it back to ``ack``/``nack`` so a worker whose
+    lease expired mid-execution (its task reclaimed by someone else at a
+    higher attempt count) cannot revoke the new owner's live claim.
+    """
+
+    task_id: str
+    payload: str
+    attempts: int
+
+
+class JobQueue:
+    """Interface shared by the queue backends (see module docstring)."""
+
+    def put(self, payload: str, *, task_id: Optional[str] = None) -> str:
+        raise NotImplementedError
+
+    def claim(self, worker_id: Optional[str] = None) -> Optional[ClaimedTask]:
+        raise NotImplementedError
+
+    def ack(self, task_id: str, *, token: Optional[int] = None) -> bool:
+        raise NotImplementedError
+
+    def nack(
+        self,
+        task_id: str,
+        error: Optional[str] = None,
+        *,
+        token: Optional[int] = None,
+    ) -> str:
+        raise NotImplementedError
+
+    def requeue_expired(self, lease_seconds: Optional[float] = None) -> List[str]:
+        raise NotImplementedError
+
+    def remove(self, task_id: str) -> bool:
+        raise NotImplementedError
+
+    def failed_error(self, task_id: str) -> Optional[str]:
+        """The recorded error of a dead-lettered task (None if not failed)."""
+        raise NotImplementedError
+
+    def failed_payload(self, task_id: str) -> Optional[str]:
+        """The payload of a dead-lettered task (None if not failed)."""
+        raise NotImplementedError
+
+    def clear_failed(self, task_id: str) -> bool:
+        """Drop a dead-letter entry (a resubmission reuses the task id)."""
+        raise NotImplementedError
+
+    def counts(self) -> Dict[str, int]:
+        raise NotImplementedError
+
+    @property
+    def is_idle(self) -> bool:
+        """True when nothing is pending or claimed (failed tasks may remain)."""
+        counts = self.counts()
+        return counts["pending"] == 0 and counts["claimed"] == 0
+
+
+def _new_task_id() -> str:
+    return uuid.uuid4().hex
+
+
+def check_safe_id(value: str, kind: str = "task id") -> str:
+    """Reject ids that could escape their directory (used for task ids here
+    and job ids in the broker; delegates to the dispatch layer's one copy
+    of the rule)."""
+    return check_safe_name(value, kind=kind)
+
+
+def atomic_write_json(path: Path, payload: dict) -> None:
+    """Write JSON via temp file + ``os.replace``: readers (and claim
+    renames) never observe a half-written file, and a failed write leaves
+    no temp behind.  Shared by the queue's entries and the broker's
+    manifests/markers."""
+    atomic_write_bytes(path, json.dumps(payload).encode("utf-8"))
+
+
+def _check_task_id(task_id: str) -> str:
+    return check_safe_id(task_id)
+
+
+class MemoryJobQueue(JobQueue):
+    """A process-local queue: dicts under one lock, FIFO by enqueue order.
+
+    The reference backend for tests and same-process worker threads; the
+    semantics (atomic claim, ack/nack, lease expiry, dead-lettering) are
+    identical to :class:`FileJobQueue`.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    ) -> None:
+        self.max_attempts = int(max_attempts)
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be at least 1, got {max_attempts}")
+        self.lease_seconds = float(lease_seconds)
+        self._lock = threading.Lock()
+        self._pending: Dict[str, dict] = {}  # insertion-ordered
+        self._claimed: Dict[str, dict] = {}
+        self._failed: Dict[str, dict] = {}
+
+    def put(self, payload: str, *, task_id: Optional[str] = None) -> str:
+        task_id = _check_task_id(task_id or _new_task_id())
+        with self._lock:
+            if task_id in self._pending or task_id in self._claimed:
+                raise QueueError(f"task {task_id!r} is already queued")
+            self._pending[task_id] = {"payload": str(payload), "attempts": 0}
+        return task_id
+
+    def claim(self, worker_id: Optional[str] = None) -> Optional[ClaimedTask]:
+        with self._lock:
+            for task_id in self._pending:
+                entry = self._pending.pop(task_id)
+                entry["attempts"] += 1
+                entry["claimed_at"] = time.time()
+                entry["worker_id"] = worker_id
+                self._claimed[task_id] = entry
+                return ClaimedTask(
+                    task_id=task_id,
+                    payload=entry["payload"],
+                    attempts=entry["attempts"],
+                )
+        return None
+
+    def ack(self, task_id: str, *, token: Optional[int] = None) -> bool:
+        with self._lock:
+            entry = self._claimed.get(task_id)
+            if entry is None:
+                return False
+            if token is not None and entry["attempts"] != token:
+                return False  # stale ack: the task was reclaimed meanwhile
+            del self._claimed[task_id]
+            return True
+
+    def nack(
+        self,
+        task_id: str,
+        error: Optional[str] = None,
+        *,
+        token: Optional[int] = None,
+    ) -> str:
+        with self._lock:
+            entry = self._claimed.get(task_id)
+            if entry is None:
+                raise QueueError(f"cannot nack unclaimed task {task_id!r}")
+            if token is not None and entry["attempts"] != token:
+                raise QueueError(
+                    f"stale nack of task {task_id!r}: the claim was "
+                    "reclaimed by another worker"
+                )
+            del self._claimed[task_id]
+            return self._retire_or_requeue(task_id, entry, error)
+
+    def _retire_or_requeue(self, task_id: str, entry: dict, error) -> str:
+        # Caller holds the lock.
+        if entry["attempts"] >= self.max_attempts:
+            entry["error"] = None if error is None else str(error)
+            self._failed[task_id] = entry
+            return "failed"
+        entry.pop("claimed_at", None)
+        entry.pop("worker_id", None)
+        self._pending[task_id] = entry
+        return "requeued"
+
+    def requeue_expired(self, lease_seconds: Optional[float] = None) -> List[str]:
+        lease = self.lease_seconds if lease_seconds is None else float(lease_seconds)
+        deadline = time.time() - lease
+        moved = []
+        with self._lock:
+            for task_id in [
+                tid
+                for tid, entry in self._claimed.items()
+                if entry["claimed_at"] <= deadline
+            ]:
+                entry = self._claimed.pop(task_id)
+                self._retire_or_requeue(task_id, entry, error="lease expired")
+                moved.append(task_id)
+        return moved
+
+    def remove(self, task_id: str) -> bool:
+        with self._lock:
+            return self._pending.pop(task_id, None) is not None
+
+    def failed_error(self, task_id: str) -> Optional[str]:
+        with self._lock:
+            entry = self._failed.get(task_id)
+            return None if entry is None else entry.get("error")
+
+    def failed_payload(self, task_id: str) -> Optional[str]:
+        with self._lock:
+            entry = self._failed.get(task_id)
+            return None if entry is None else entry.get("payload")
+
+    def clear_failed(self, task_id: str) -> bool:
+        with self._lock:
+            return self._failed.pop(task_id, None) is not None
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "pending": len(self._pending),
+                "claimed": len(self._claimed),
+                "failed": len(self._failed),
+            }
+
+
+class FileJobQueue(JobQueue):
+    """A durable queue on a shared filesystem.
+
+    Layout under ``directory``::
+
+        pending/<task_id>.json    waiting for a worker
+        claimed/<task_id>.json    leased to a worker (mtime = claim time)
+        failed/<task_id>.json     dead-lettered after ``max_attempts``
+
+    Every state transition is a single atomic ``os.rename`` (claim,
+    requeue) or ``os.replace``-committed rewrite, so workers on different
+    machines sharing the directory need no further coordination.  A loser
+    of a claim race gets ``FileNotFoundError`` from the rename and tries
+    the next pending file.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, os.PathLike],
+        *,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    ) -> None:
+        self.max_attempts = int(max_attempts)
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be at least 1, got {max_attempts}")
+        self.lease_seconds = float(lease_seconds)
+        self.directory = Path(directory)
+        self._pending = self.directory / "pending"
+        self._claimed = self.directory / "claimed"
+        self._failed = self.directory / "failed"
+        for sub in (self._pending, self._claimed, self._failed):
+            sub.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def _write_entry(path: Path, entry: dict) -> None:
+        atomic_write_json(path, entry)
+
+    @staticmethod
+    def _read_entry(path: Path) -> dict:
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def put(self, payload: str, *, task_id: Optional[str] = None) -> str:
+        task_id = _check_task_id(task_id or _new_task_id())
+        target = self._pending / f"{task_id}.json"
+        if (self._claimed / f"{task_id}.json").exists():
+            raise QueueError(f"task {task_id!r} is already queued")
+        # Publish via hardlink from a temp file: os.link refuses an existing
+        # target, so two concurrent puts of the same task id cannot both
+        # succeed (an exists() pre-check would be check-then-act).  The
+        # claimed-state check above remains a pre-check -- a claim that
+        # races it yields at worst a duplicate execution, which
+        # content-addressed results make harmless.
+        tmp = target.with_name(f".{target.name}.{uuid.uuid4().hex}")
+        tmp.write_text(
+            json.dumps({"payload": str(payload), "attempts": 0}), encoding="utf-8"
+        )
+        try:
+            os.link(tmp, target)
+        except FileExistsError:
+            raise QueueError(f"task {task_id!r} is already queued") from None
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        return task_id
+
+    def claim(self, worker_id: Optional[str] = None) -> Optional[ClaimedTask]:
+        # Sorted for deterministic FIFO-ish order (the broker's task ids sort
+        # by job and chunk index); correctness never depends on the order.
+        for path in sorted(self._pending.glob("*.json")):
+            target = self._claimed / path.name
+            try:
+                os.rename(path, target)
+            except OSError:
+                continue  # another worker won the race; try the next task
+            # Start the lease clock *immediately*: rename preserves the old
+            # mtime, and until the rewrite below lands the entry has no
+            # claimed_at -- without this touch, a concurrent reaper reading
+            # the freshly-renamed file would see an apparently ancient claim
+            # and spuriously requeue it.
+            try:
+                os.utime(target)
+            except OSError:
+                pass
+            try:
+                entry = self._read_entry(target)
+            except (OSError, ValueError):
+                # Lost a race with a reaper that requeued the entry in the
+                # window before the utime landed (or the file is mid-rewrite
+                # elsewhere): not our claim anymore, try the next task.
+                continue
+            entry["attempts"] = int(entry.get("attempts", 0)) + 1
+            entry["claimed_at"] = time.time()
+            if worker_id is not None:
+                entry["worker_id"] = str(worker_id)
+            self._write_entry(target, entry)
+            return ClaimedTask(
+                task_id=path.name[: -len(".json")],
+                payload=entry["payload"],
+                attempts=entry["attempts"],
+            )
+        return None
+
+    def _take_claim(self, path: Path):
+        """Atomically take exclusive ownership of a claimed entry.
+
+        Renames the claim file to a private temp name -- exactly one of any
+        racing actors (an acking worker, a nacking worker, a reaper) wins
+        the rename, which is what makes the token check that follows free
+        of check-then-act races.  Returns ``(tmp_path, entry, claim_mtime)``
+        -- ``claim_mtime`` is the claim file's pre-take mtime (the lease
+        clock) -- or ``None`` when someone else already took (or acked) the
+        claim.  Callers must either consume the tmp file (unlink) or
+        restore it (rename back).
+        """
+        tmp = path.with_name(f".take.{path.name}.{uuid.uuid4().hex}")
+        try:
+            os.rename(path, tmp)
+        except OSError:
+            return None
+        try:
+            claim_mtime = tmp.stat().st_mtime  # preserved by the rename
+        except OSError:
+            claim_mtime = 0.0
+        try:
+            # Freshen the mtime: a live take is microseconds old, which is
+            # how the orphan-recovery sweep tells it apart from a take
+            # whose owner crashed mid-retire.
+            os.utime(tmp)
+        except OSError:
+            pass
+        try:
+            return tmp, self._read_entry(tmp), claim_mtime
+        except (OSError, ValueError):
+            try:
+                os.unlink(tmp)  # unreadable entry: drop it
+            except OSError:
+                pass
+            return None
+
+    @staticmethod
+    def _restore_claim(tmp: Path, path: Path) -> None:
+        try:
+            os.rename(tmp, path)
+        except OSError:
+            pass
+
+    def ack(self, task_id: str, *, token: Optional[int] = None) -> bool:
+        path = self._claimed / f"{_check_task_id(task_id)}.json"
+        taken = self._take_claim(path)
+        if taken is None:
+            # Benign: the lease expired and a reaper already moved the task.
+            return False
+        tmp, entry, _ = taken
+        if token is not None and int(entry.get("attempts", 0)) != token:
+            # Stale ack: the task was reclaimed meanwhile; hand it back.
+            self._restore_claim(tmp, path)
+            return False
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return True
+
+    def nack(
+        self,
+        task_id: str,
+        error: Optional[str] = None,
+        *,
+        token: Optional[int] = None,
+    ) -> str:
+        path = self._claimed / f"{_check_task_id(task_id)}.json"
+        taken = self._take_claim(path)
+        if taken is None:
+            raise QueueError(f"cannot nack unclaimed task {task_id!r}")
+        tmp, entry, _ = taken
+        if token is not None and int(entry.get("attempts", 0)) != token:
+            self._restore_claim(tmp, path)
+            raise QueueError(
+                f"stale nack of task {task_id!r}: the claim was reclaimed "
+                "by another worker"
+            )
+        return self._retire_or_requeue(tmp, path.name, entry, error)
+
+    def _retire_or_requeue(
+        self, owned_path: Path, name: str, entry: dict, error
+    ) -> str:
+        """Move an exclusively-owned (taken) entry to pending/ or failed/.
+
+        ``owned_path`` is the private temp file its taker holds; ``name``
+        is the task's canonical ``<task_id>.json`` filename.
+        """
+        entry.pop("claimed_at", None)
+        entry.pop("worker_id", None)
+        if int(entry.get("attempts", 0)) >= self.max_attempts:
+            entry["error"] = None if error is None else str(error)
+            self._write_entry(self._failed / name, entry)
+            disposition = "failed"
+        else:
+            self._write_entry(self._pending / name, entry)
+            disposition = "requeued"
+        try:
+            os.unlink(owned_path)
+        except OSError:
+            pass
+        return disposition
+
+    def requeue_expired(self, lease_seconds: Optional[float] = None) -> List[str]:
+        """Return crashed workers' tasks to the queue (or dead-letter them).
+
+        A claim is expired when its recorded ``claimed_at`` is older than the
+        lease.  Any worker (or the broker) may call this; racing reapers are
+        safe because the pending rewrite is atomic and double-requeueing a
+        task id just overwrites the same pending file.
+        """
+        lease = self.lease_seconds if lease_seconds is None else float(lease_seconds)
+        deadline = time.time() - lease
+        self._recover_orphaned_takes(lease)
+        moved = []
+        for path in sorted(self._claimed.glob("*.json")):
+            try:
+                entry = self._read_entry(path)
+                mtime = path.stat().st_mtime
+            except (OSError, ValueError):
+                continue  # acked concurrently, or mid-rewrite by its claimer
+            # The lease clock is the later of the recorded claim time and
+            # the file mtime (touched at rename, refreshed by the claim
+            # rewrite): a claim whose metadata rewrite has not landed yet
+            # must not look ancient to a racing reaper.
+            if max(float(entry.get("claimed_at", 0.0)), mtime) > deadline:
+                continue
+            # Looks expired; take it atomically and re-check from the
+            # authoritative taken entry (the owner may have rewritten it,
+            # or another reaper may have won).
+            taken = self._take_claim(path)
+            if taken is None:
+                continue
+            tmp, entry, claim_mtime = taken
+            if max(float(entry.get("claimed_at", 0.0)), claim_mtime) > deadline:
+                self._restore_claim(tmp, path)
+                continue
+            self._retire_or_requeue(tmp, path.name, entry, error="lease expired")
+            moved.append(path.name[: -len(".json")])
+        return moved
+
+    def _recover_orphaned_takes(self, lease: float) -> None:
+        """Restore ``.take.*`` files whose taker crashed mid-retire.
+
+        A live take exists for microseconds (its mtime is freshened at the
+        take), so a ``.take.*`` older than the lease -- floored at one
+        second so ``lease_seconds=0`` configurations don't thrash live
+        takers -- is an orphan: its task would otherwise be lost forever
+        (no glob in claim/reap/counts matches the temp name).  If the task
+        progressed elsewhere meanwhile, the orphan is stale and dropped;
+        otherwise it is restored to ``claimed/`` where the normal expiry
+        path requeues it.
+        """
+        orphan_deadline = time.time() - max(lease, 1.0)
+        for tmp in self._claimed.glob(".take.*"):
+            try:
+                if tmp.stat().st_mtime > orphan_deadline:
+                    continue
+            except OSError:
+                continue
+            name = tmp.name[len(".take.") :].rsplit(".", 1)[0]
+            if not name.endswith(".json"):
+                continue
+            try:
+                if any(
+                    (where / name).exists()
+                    for where in (self._claimed, self._pending, self._failed)
+                ):
+                    tmp.unlink()
+                else:
+                    os.rename(tmp, self._claimed / name)
+            except OSError:
+                continue
+        # Aged dotted temp files from crashed atomic writes (a put killed
+        # between write and link, an entry rewrite killed before its
+        # os.replace) have no task to recover -- just janitor them so a
+        # long-lived queue directory doesn't accumulate junk.  Live temps
+        # exist for milliseconds, far inside the deadline.
+        for where in (self._pending, self._claimed, self._failed):
+            for tmp in where.glob(".*"):
+                if tmp.name.startswith(".take."):
+                    continue  # handled above
+                try:
+                    if tmp.stat().st_mtime <= orphan_deadline:
+                        tmp.unlink()
+                except OSError:
+                    continue
+
+    def remove(self, task_id: str) -> bool:
+        try:
+            os.unlink(self._pending / f"{_check_task_id(task_id)}.json")
+            return True
+        except OSError:
+            return False
+
+    def failed_error(self, task_id: str) -> Optional[str]:
+        try:
+            entry = self._read_entry(self._failed / f"{_check_task_id(task_id)}.json")
+        except (OSError, ValueError):
+            return None
+        return entry.get("error")
+
+    def failed_payload(self, task_id: str) -> Optional[str]:
+        try:
+            entry = self._read_entry(self._failed / f"{_check_task_id(task_id)}.json")
+        except (OSError, ValueError):
+            return None
+        return entry.get("payload")
+
+    def clear_failed(self, task_id: str) -> bool:
+        try:
+            os.unlink(self._failed / f"{_check_task_id(task_id)}.json")
+            return True
+        except OSError:
+            return False
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "pending": sum(1 for _ in self._pending.glob("*.json")),
+            "claimed": sum(1 for _ in self._claimed.glob("*.json")),
+            "failed": sum(1 for _ in self._failed.glob("*.json")),
+        }

@@ -1,0 +1,272 @@
+"""Workers: claim queued shard tasks, execute them, share one result cache.
+
+A :class:`Worker` is the service's execution loop::
+
+    requeue expired leases -> claim -> cache lookup -> execute -> cache put
+        -> done marker -> ack
+
+Every step is crash-safe:
+
+* a worker that dies mid-task never acks, so the lease expires and the task
+  is claimed again (the queue's at-least-once contract);
+* results are **content-addressed** (:func:`~repro.service.broker.task_key`),
+  so the retry -- or a second worker racing an expired-but-alive one --
+  recomputes bit-identical bytes and the double write is idempotent;
+* a task whose execution keeps raising is retried up to the queue's
+  ``max_attempts`` and then dead-lettered, with the error recorded in the
+  job's ``failed/`` marker so clients see *why* the job failed.
+
+The cache lookup before execution is what makes a worker fleet scale on
+repeated work: a resubmitted job (or one sharing chunks with a previous
+job) is served from the shared :class:`DiskResultCache` without recomputing,
+and the cache's ``max_bytes`` LRU cap keeps long-lived workers from growing
+it unboundedly.
+
+:func:`run_workers` drains a queue with N concurrent worker threads in one
+call -- the in-process stand-in for N worker processes/machines that tests
+and benchmarks use (`python -m repro.evaluation.cli serve-worker` runs the
+real long-lived loop).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from typing import List, Optional, Union
+
+from repro.dispatch.sharding import execute_task_json
+from repro.service.broker import Broker, ServiceError
+from repro.service.queue import ClaimedTask, QueueError
+
+__all__ = ["Worker", "run_workers"]
+
+
+class Worker:
+    """One service worker bound to a broker (hence a queue and a cache).
+
+    Parameters
+    ----------
+    broker:
+        A :class:`Broker` instance or a service root path.
+    worker_id:
+        Recorded on claims for observability; defaults to ``pid-hex``.
+    poll_interval:
+        Seconds :meth:`serve` sleeps when the queue is empty.
+    """
+
+    def __init__(
+        self,
+        broker: Union[Broker, str, os.PathLike],
+        *,
+        worker_id: Optional[str] = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.broker = broker if isinstance(broker, Broker) else Broker(broker)
+        self.worker_id = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        self.poll_interval = float(poll_interval)
+        # Reap expired leases at most this often, not on every loop
+        # iteration: the reaper scans (and JSON-parses) the whole claimed/
+        # directory, and expiry can only matter on the lease timescale -- a
+        # polling fleet hammering a shared filesystem 20x/second per worker
+        # for a once-per-lease event is pure metadata traffic.
+        lease = getattr(self.broker.queue, "lease_seconds", 0.0)
+        self._reap_interval = max(float(lease) / 10.0, self.poll_interval)
+        self._next_reap = 0.0  # monotonic deadline; 0 = reap on first loop
+        #: Tasks this worker completed (cache hits included).
+        self.tasks_done = 0
+        #: Completed tasks that were served from the shared cache.
+        self.cache_hits = 0
+        #: Task executions that raised (each one is a nack).
+        self.failures = 0
+        #: Claimed tasks dropped because their job was cancelled.
+        self.tasks_discarded = 0
+
+    # -- one task -----------------------------------------------------------
+
+    def run_once(self) -> bool:
+        """Claim and process at most one task; False when the queue is empty."""
+        queue = self.broker.queue
+        now = time.monotonic()
+        if now >= self._next_reap:
+            self._next_reap = now + self._reap_interval
+            for task_id in queue.requeue_expired():
+                self._record_reaper_dead_letter(task_id)
+        claimed = queue.claim(worker_id=self.worker_id)
+        if claimed is None:
+            return False
+        self._process(claimed)
+        return True
+
+    def _record_reaper_dead_letter(self, task_id: str) -> None:
+        """Write the job's failed marker for a task the reaper dead-lettered.
+
+        ``requeue_expired`` is queue-level: when a crash-looping task
+        exhausts its attempts through lease expiry (no worker ever survives
+        to nack it), the queue dead-letters it without anyone telling the
+        job.  Without this hook the job would report "running" forever
+        while its task sat in the dead-letter directory.
+        """
+        error = self.broker.queue.failed_error(task_id)
+        if error is None:
+            return  # requeued for retry, not dead-lettered
+        payload = self.broker.queue.failed_payload(task_id)
+        try:
+            envelope = json.loads(payload)
+            self.broker.mark_failed(
+                envelope["job_id"], int(envelope["index"]), error
+            )
+        except Exception:  # noqa: BLE001 -- an unparseable envelope has no job
+            pass
+
+    def _process(self, claimed: ClaimedTask) -> None:
+        # Envelope parsing stays inside the failure path: a corrupt payload
+        # (truncated file, producer bug) must be nacked and eventually
+        # dead-lettered like any other failing task -- never allowed to
+        # escape run_once and kill the serve loop, where it would poison
+        # every worker that claims it in turn.
+        job_id = index = None
+        try:
+            envelope = json.loads(claimed.payload)
+            job_id = envelope["job_id"]
+            index = int(envelope["index"])
+            key = envelope["key"]
+            # A cancelled job's tasks are discarded, not executed: without
+            # this check, a requeued task of a cancelled job (its worker
+            # nacked or its lease expired after the cancel) would keep
+            # burning fleet compute until dead-lettered.
+            if self.broker.is_cancelled(job_id):
+                self.tasks_discarded += 1
+                self.broker.queue.ack(claimed.task_id, token=claimed.attempts)
+                return
+            # contains() is the cheap existence probe (metadata + npz
+            # directory check, LRU touch) -- a hit must not pay a full
+            # deserialization of a result nobody here consumes.
+            if self.broker.cache.contains(key):
+                self.cache_hits += 1
+            else:
+                result = execute_task_json(json.dumps(envelope["task"]))
+                self.broker.cache.put(key, result)
+            self.broker.mark_done(job_id, index, key)
+        except Exception as exc:  # noqa: BLE001 -- any failure means retry
+            self.failures += 1
+            try:
+                disposition = self.broker.queue.nack(
+                    claimed.task_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                    token=claimed.attempts,
+                )
+            except QueueError:
+                # The lease expired while we were executing and the task was
+                # reclaimed (or already requeued); the fencing token keeps
+                # this stale nack from revoking the new owner's claim, and
+                # the retry proceeds without us.
+                return
+            if disposition == "failed" and job_id is not None and index is not None:
+                # An unparseable envelope has no job to mark; it is still
+                # recorded in the queue's dead-letter directory.  The marker
+                # write itself must not escape either (the job dir may have
+                # been pruned) -- the dead-letter entry already records the
+                # failure.
+                try:
+                    self.broker.mark_failed(
+                        job_id, index, f"{type(exc).__name__}: {exc}"
+                    )
+                except Exception:  # noqa: BLE001
+                    pass
+            return
+        self.tasks_done += 1
+        # A failed ack means the lease expired mid-execution and the task
+        # was reclaimed: the fencing token refuses the stale ack, the done
+        # marker is already written, and the retry recomputes the identical
+        # content-addressed entry, so no harm.
+        self.broker.queue.ack(claimed.task_id, token=claimed.attempts)
+
+    # -- loops --------------------------------------------------------------
+
+    def run_until_idle(self) -> int:
+        """Process tasks until the queue has nothing claimable; return count."""
+        processed = 0
+        while self.run_once():
+            processed += 1
+        return processed
+
+    def serve(
+        self,
+        *,
+        max_tasks: Optional[int] = None,
+        idle_exit: bool = False,
+        deadline: Optional[float] = None,
+    ) -> int:
+        """The long-lived worker loop.
+
+        Polls the queue every ``poll_interval`` seconds.  Exits after
+        ``max_tasks`` processed tasks, when ``idle_exit`` is set and the
+        queue is fully idle (nothing pending *or* claimed -- claimed tasks
+        may yet expire back into the queue), or past ``deadline``
+        (``time.monotonic()`` value).  With no exit condition it serves
+        forever (the ``serve-worker`` CLI mode).
+        """
+        processed = 0
+        while True:
+            if max_tasks is not None and processed >= max_tasks:
+                return processed
+            if deadline is not None and time.monotonic() >= deadline:
+                return processed
+            if self.run_once():
+                processed += 1
+                continue
+            if idle_exit and self.broker.queue.is_idle:
+                return processed
+            time.sleep(self.poll_interval)
+
+
+def run_workers(
+    broker: Union[Broker, str, os.PathLike],
+    count: int = 2,
+    *,
+    timeout: float = 60.0,
+) -> List[Worker]:
+    """Drain the queue with ``count`` concurrent worker threads.
+
+    Each thread runs a :class:`Worker` until the queue is idle; the call
+    returns the workers (for their stats) once all threads have joined.
+    ``timeout`` bounds the *total* wall-clock of the drain as a safety net
+    -- a hung worker raises :class:`ServiceError` rather than blocking the
+    caller forever -- and a worker thread that dies on an unexpected
+    exception re-raises it here instead of silently reporting a
+    "successful" drain the caller would only discover as a confusing
+    not-done job.
+    """
+    count = int(count)
+    if count < 1:
+        raise ValueError(f"count must be at least 1, got {count}")
+    broker = broker if isinstance(broker, Broker) else Broker(broker)
+    workers = [
+        Worker(broker, worker_id=f"thread-{i}", poll_interval=0.005)
+        for i in range(count)
+    ]
+    errors: List[BaseException] = []
+
+    def drain(worker: Worker) -> None:
+        try:
+            worker.run_until_idle()
+        except BaseException as exc:  # noqa: BLE001 -- reported to the caller
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=drain, args=(worker,), daemon=True)
+        for worker in workers
+    ]
+    for thread in threads:
+        thread.start()
+    deadline = time.monotonic() + float(timeout)
+    for thread in threads:
+        thread.join(max(0.0, deadline - time.monotonic()))
+        if thread.is_alive():
+            raise ServiceError(f"worker threads did not finish within {timeout}s")
+    if errors:
+        raise ServiceError(f"a worker thread crashed: {errors[0]!r}") from errors[0]
+    return workers

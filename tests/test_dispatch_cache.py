@@ -270,3 +270,215 @@ class TestCacheCorruption:
             cache.get("../escape")
         with pytest.raises(ValueError):
             cache.get("a/b")
+
+
+# ---------------------------------------------------------------------------
+# overwrites and mixed generations
+# ---------------------------------------------------------------------------
+
+
+class TestCacheOverwrite:
+    """Concurrent writers and racing readers must never observe a *mixed*
+    entry (one generation's arrays with another's metadata): either a
+    coherent result or a miss."""
+
+    def test_concurrent_put_of_the_same_key_stays_coherent(self, specs, tmp_path):
+        # Two caches over one directory model two workers racing a put of
+        # the same content-addressed key: writes are idempotent byte-wise,
+        # and the surviving entry round-trips exactly.
+        key = run_key(specs["top-k"], engine="batch", trials=TRIALS, seed=3)
+        result = run(specs["top-k"], trials=TRIALS, rng=3)
+        writer_a = DiskResultCache(tmp_path)
+        writer_b = DiskResultCache(tmp_path)
+        writer_a.put(key, result)
+        writer_b.put(key, result)
+        assert_results_identical(writer_a.get(key), result)
+        assert_results_identical(writer_b.get(key), result)
+
+    def test_new_npz_with_stale_json_degrades_to_a_miss(self, specs, tmp_path):
+        """A reader that catches a fresh ``.npz`` under metadata from the
+        previous generation must miss, never return a mixed result."""
+        cache = DiskResultCache(tmp_path)
+        stale_key = run_key(specs["top-k"], engine="batch", trials=TRIALS, seed=3)
+        cache.put(stale_key, run(specs["top-k"], trials=TRIALS, rng=3))
+        other_key = run_key(
+            specs["top-k"], engine="batch", trials=TRIALS + 5, seed=4
+        )
+        cache.put(other_key, run(specs["top-k"], trials=TRIALS + 5, rng=4))
+        # Simulate the half-replaced state: the new generation's arrays have
+        # landed, its metadata has not (writes are arrays-first).
+        payload = (tmp_path / f"{other_key}.npz").read_bytes()
+        (tmp_path / f"{stale_key}.npz").write_bytes(payload)
+        assert cache.get(stale_key) is None
+        # The facade recomputes through it and heals the entry.
+        healed = run(specs["top-k"], trials=TRIALS, rng=3, cache=cache)
+        assert_results_identical(healed, cache.get(stale_key))
+
+    def test_cache_hit_charges_the_budget_like_a_miss(self, specs):
+        """A replayed release is still a release: the hit-path odometer
+        charge must equal the miss-path charge to the last bit."""
+        from repro.accounting.budget import BudgetOdometer
+
+        spec = specs["adaptive"]  # epsilon_consumed varies per trial
+        cache = MemoryResultCache()
+        miss_budget = BudgetOdometer(spec.epsilon * TRIALS)
+        run(spec, trials=TRIALS, rng=3, cache=cache, budget=miss_budget)
+        hit_budget = BudgetOdometer(spec.epsilon * TRIALS)
+        run(spec, trials=TRIALS, rng=3, cache=cache, budget=hit_budget)
+        assert hit_budget.spent == miss_budget.spent
+        assert len(cache) == 1  # the second run really was a hit
+
+
+# ---------------------------------------------------------------------------
+# LRU eviction (max_bytes)
+# ---------------------------------------------------------------------------
+
+
+class TestCacheEviction:
+    def _fill(self, cache, spec, seeds):
+        """One entry per seed; returns {key: result}, oldest mtime first."""
+        import os
+        import time
+
+        entries = {}
+        base = time.time() - 1_000.0
+        for offset, seed in enumerate(seeds):
+            key = run_key(spec, engine="batch", trials=TRIALS, seed=seed)
+            result = run(spec, trials=TRIALS, rng=seed)
+            cache.put(key, result)
+            # Deterministic LRU order regardless of filesystem timestamp
+            # resolution: stamp each entry with its own second.
+            stamp = (base + offset, base + offset)
+            os.utime(cache.directory / f"{key}.json", stamp)
+            os.utime(cache.directory / f"{key}.npz", stamp)
+            entries[key] = result
+        return entries
+
+    def _entry_bytes(self, spec, tmp_path):
+        probe = DiskResultCache(tmp_path / "probe")
+        key = run_key(spec, engine="batch", trials=TRIALS, seed=999)
+        probe.put(key, run(spec, trials=TRIALS, rng=999))
+        return probe.size_bytes()
+
+    def test_put_evicts_oldest_beyond_max_bytes(self, specs, tmp_path):
+        spec = specs["top-k"]
+        entry = self._entry_bytes(spec, tmp_path)
+        cache = DiskResultCache(tmp_path / "lru", max_bytes=int(2.5 * entry))
+        entries = self._fill(cache, spec, seeds=(0, 1, 2))
+        newest = run_key(spec, engine="batch", trials=TRIALS, seed=3)
+        cache.put(newest, run(spec, trials=TRIALS, rng=3))
+        assert cache.size_bytes() <= cache.max_bytes
+        keys = [run_key(spec, engine="batch", trials=TRIALS, seed=s) for s in (0, 1, 2)]
+        assert cache.get(keys[0]) is None  # oldest evicted
+        # Retained entries still hit, bit-exactly.
+        assert_results_identical(cache.get(keys[2]), entries[keys[2]])
+        assert cache.get(newest) is not None
+
+    def test_touch_on_get_protects_recently_read_entries(self, specs, tmp_path):
+        spec = specs["top-k"]
+        entry = self._entry_bytes(spec, tmp_path)
+        cache = DiskResultCache(tmp_path / "lru", max_bytes=int(2.5 * entry))
+        entries = self._fill(cache, spec, seeds=(0, 1))
+        keys = [run_key(spec, engine="batch", trials=TRIALS, seed=s) for s in (0, 1)]
+        # Reading the oldest entry refreshes its mtime ...
+        assert_results_identical(cache.get(keys[0]), entries[keys[0]])
+        # ... so the next eviction removes the *unread* entry instead.
+        newest = run_key(spec, engine="batch", trials=TRIALS, seed=5)
+        cache.put(newest, run(spec, trials=TRIALS, rng=5))
+        assert cache.get(keys[1]) is None
+        assert_results_identical(cache.get(keys[0]), entries[keys[0]])
+
+    def test_just_written_entry_survives_its_own_put(self, specs, tmp_path):
+        cache = DiskResultCache(tmp_path / "tiny", max_bytes=1)
+        key = run_key(specs["top-k"], engine="batch", trials=TRIALS, seed=0)
+        result = run(specs["top-k"], trials=TRIALS, rng=0)
+        cache.put(key, result)
+        assert_results_identical(cache.get(key), result)
+        # The next put takes its place.
+        other = run_key(specs["top-k"], engine="batch", trials=TRIALS, seed=1)
+        cache.put(other, run(specs["top-k"], trials=TRIALS, rng=1))
+        assert cache.get(key) is None
+        assert cache.get(other) is not None
+
+    def test_unbounded_cache_never_evicts(self, specs, tmp_path):
+        cache = DiskResultCache(tmp_path / "unbounded")
+        self._fill(cache, specs["top-k"], seeds=range(4))
+        assert cache.max_bytes is None
+        assert len(list(cache.directory.glob("*.npz"))) == 4
+
+    def test_max_bytes_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            DiskResultCache(tmp_path, max_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# cheap existence probe
+# ---------------------------------------------------------------------------
+
+
+class TestCacheContains:
+    def test_contains_without_deserializing(self, specs, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        key = run_key(specs["top-k"], engine="batch", trials=TRIALS, seed=3)
+        assert cache.contains(key) is False
+        run(specs["top-k"], trials=TRIALS, rng=3, cache=cache)
+        assert cache.contains(key) is True
+        assert key in cache  # the operator form delegates to contains()
+
+    def test_contains_detects_truncated_payload(self, specs, tmp_path):
+        # The zip directory sits at the end of the .npz, so a truncated
+        # payload fails the probe just like it fails get().
+        cache = DiskResultCache(tmp_path)
+        key = run_key(specs["top-k"], engine="batch", trials=TRIALS, seed=3)
+        run(specs["top-k"], trials=TRIALS, rng=3, cache=cache)
+        payload = tmp_path / f"{key}.npz"
+        payload.write_bytes(payload.read_bytes()[:40])
+        assert cache.contains(key) is False
+
+    def test_contains_counts_as_a_use_for_lru(self, specs, tmp_path):
+        import os
+        import time
+
+        spec = specs["top-k"]
+        probe = DiskResultCache(tmp_path / "probe")
+        probe_key = run_key(spec, engine="batch", trials=TRIALS, seed=99)
+        probe.put(probe_key, run(spec, trials=TRIALS, rng=99))
+        entry = probe.size_bytes()
+
+        cache = DiskResultCache(tmp_path / "lru", max_bytes=int(2.5 * entry))
+        keys = []
+        base = time.time() - 1_000.0
+        for offset, seed in enumerate((0, 1)):
+            key = run_key(spec, engine="batch", trials=TRIALS, seed=seed)
+            cache.put(key, run(spec, trials=TRIALS, rng=seed))
+            stamp = (base + offset, base + offset)
+            os.utime(cache.directory / f"{key}.json", stamp)
+            os.utime(cache.directory / f"{key}.npz", stamp)
+            keys.append(key)
+        # Probing the oldest entry refreshes it; the eviction takes the
+        # unprobed one.
+        assert cache.contains(keys[0]) is True
+        newest = run_key(spec, engine="batch", trials=TRIALS, seed=5)
+        cache.put(newest, run(spec, trials=TRIALS, rng=5))
+        assert cache.contains(keys[1]) is False
+        assert cache.get(keys[0]) is not None
+
+    def test_memory_cache_contains(self, specs):
+        cache = MemoryResultCache()
+        key = run_key(specs["top-k"], engine="batch", trials=TRIALS, seed=3)
+        assert cache.contains(key) is False
+        run(specs["top-k"], trials=TRIALS, rng=3, cache=cache)
+        assert cache.contains(key) is True and key in cache
+
+    @pytest.mark.parametrize("backend", ["memory", "disk"])
+    def test_evict_drops_the_entry(self, specs, tmp_path, backend):
+        cache = MemoryResultCache() if backend == "memory" else DiskResultCache(tmp_path)
+        key = run_key(specs["top-k"], engine="batch", trials=TRIALS, seed=3)
+        cache.evict(key)  # missing key: no-op, no error
+        run(specs["top-k"], trials=TRIALS, rng=3, cache=cache)
+        assert cache.contains(key)
+        cache.evict(key)
+        assert not cache.contains(key)
+        assert cache.get(key) is None
+        if backend == "disk":
+            assert not list(tmp_path.glob(f"{key}.*"))

@@ -431,6 +431,48 @@ class TestShardTasks:
                 options={"thresholds": np.zeros(7)},
             )
 
+    @pytest.mark.parametrize(
+        "threshold",
+        [np.float64(250.0), np.asarray(250.0)],
+        ids=["numpy-scalar", "zero-d-array"],
+    )
+    def test_numpy_scalar_options_serialize_and_execute(self, queries, threshold):
+        """Regression: numpy scalar option values (a user-passed np.float64,
+        or the value[()] a 0-d thresholds array becomes in _slice_options)
+        used to reach json.dumps unconverted and raise TypeError."""
+        spec = SparseVectorSpec(
+            queries=queries, epsilon=1.0, threshold=0.0, k=3, monotonic=True
+        )
+        tasks = make_tasks(
+            spec,
+            engine="batch",
+            trials=10,
+            seed=6,
+            chunk_trials=5,
+            options={"thresholds": threshold},
+        )
+        for task in tasks:
+            restored = ShardTask.from_json(task.to_json())  # used to raise
+            value = restored.options["thresholds"]
+            assert isinstance(value, float) and value == 250.0
+        # And the whole round trip executes: through the process pool, the
+        # scalar-threshold run is bit-identical to its plain-float oracle.
+        with WorkerPool(workers=2) as pool:
+            sharded = merge_results(pool.run_tasks(tasks))
+        oracle = merge_results(
+            SerialPool().run_tasks(
+                make_tasks(
+                    spec,
+                    engine="batch",
+                    trials=10,
+                    seed=6,
+                    chunk_trials=5,
+                    options={"thresholds": 250.0},
+                )
+            )
+        )
+        assert_results_identical(sharded, oracle)
+
 
 class TestMergeResults:
     def test_merge_of_incompatible_results_is_rejected(self, queries):
@@ -458,6 +500,25 @@ class TestMergeResults:
             sum(float(np.sum(r.epsilon_consumed)) for r in chunks)
         )
 
+    def test_merge_rejects_extra_disagreement(self, queries):
+        """Regression: merge_results silently kept only the first shard's
+        ``extra``, masking merges of incompatible runs; every other scalar
+        field was already checked."""
+        import dataclasses
+
+        spec, _ = shardable_specs(queries)["noisy-top-k"]
+        a = run(spec, trials=4, rng=0)
+        b = run(spec, trials=4, rng=1)
+        tampered = dataclasses.replace(b, extra={**b.extra, "scale": -1.0})
+        with pytest.raises(ShardMergeError, match="extra"):
+            merge_results([a, tampered])
+
+    def test_merge_keeps_agreeing_extra(self, queries):
+        spec, engine = shardable_specs(queries)["adaptive-svt"]
+        chunks = plain_chunk_runs(spec, engine, TRIALS, 5, CHUNK)
+        merged = merge_results(chunks)
+        assert merged.extra == chunks[0].extra
+
     def test_budget_charge_matches_sum_over_shards(self, queries):
         from repro.accounting.budget import BudgetOdometer
 
@@ -473,3 +534,66 @@ class TestMergeResults:
             budget=budget,
         )
         assert budget.spent == pytest.approx(float(np.sum(result.epsilon_consumed)))
+
+
+# ---------------------------------------------------------------------------
+# worker-pool shutdown semantics
+# ---------------------------------------------------------------------------
+
+
+class TestPoolFailFast:
+    """Regression: WorkerPool.close() used to call shutdown() without
+    cancel_futures, so a failing chunk made run_sharded's ``finally`` wait
+    for every still-queued chunk before propagating the error."""
+
+    def test_close_cancels_queued_futures(self, queries, monkeypatch):
+        from concurrent.futures import ProcessPoolExecutor
+
+        recorded = {}
+        real_shutdown = ProcessPoolExecutor.shutdown
+
+        def spy(self, wait=True, *, cancel_futures=False):
+            recorded["cancel_futures"] = cancel_futures
+            return real_shutdown(self, wait=wait, cancel_futures=cancel_futures)
+
+        monkeypatch.setattr(ProcessPoolExecutor, "shutdown", spy)
+        spec, _ = shardable_specs(queries)["noisy-top-k"]
+        pool = WorkerPool(workers=1)
+        pool.run_tasks(make_tasks(spec, engine="batch", trials=4, seed=0))
+        pool.close()
+        assert recorded["cancel_futures"] is True
+
+    def test_failing_chunk_propagates_without_draining_the_queue(self, queries):
+        """A first chunk with an invalid engine raises immediately; the 32
+        slow queued chunks behind it must be dropped, not awaited, on the
+        error path."""
+        import dataclasses
+        import time
+
+        counts = np.random.default_rng(0).uniform(0, 10_000, 2_000)
+        spec = AdaptiveSvtSpec(
+            queries=counts, epsilon=1.0, threshold=9_500.0, k=25, monotonic=True
+        )
+        slow_tasks = make_tasks(
+            spec, engine="batch", trials=64_000, seed=0, chunk_trials=2_000
+        )
+        # Calibrate against this machine instead of a wall-clock constant:
+        # one in-process chunk approximates a worker-side chunk, so the
+        # bound below scales with however slow the runner is.
+        start = time.monotonic()
+        run(spec, trials=2_000, rng=0)
+        chunk_cost = time.monotonic() - start
+        bad_first = dataclasses.replace(slow_tasks[0], engine="gpu")
+        start = time.monotonic()
+        with pytest.raises(ValueError, match="engine"):
+            run_sharded_tasks = [bad_first] + slow_tasks
+            with WorkerPool(workers=1) as pool:
+                pool.run_tasks(run_sharded_tasks)
+        elapsed = time.monotonic() - start
+        # Failing fast pays pool startup plus at most a couple of in-flight
+        # chunks; draining the queue would pay all 32.  The bound sits far
+        # from both: generous startup allowance + 6 chunks' compute.
+        assert elapsed < 3.0 + 6 * chunk_cost, (
+            f"error path drained the queue ({elapsed:.1f}s, "
+            f"one chunk costs {chunk_cost:.2f}s)"
+        )

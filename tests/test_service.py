@@ -1,0 +1,1094 @@
+"""End-to-end tests of the job-queue service layer (:mod:`repro.service`).
+
+The load-bearing property is the service determinism contract: a job
+submitted through the queue and executed by any number of concurrent
+workers produces a :class:`Result` **bit-identical** to
+``run(spec, trials=B, rng=seed, shards=N, chunk_trials=C)``.  Around it,
+the operational guarantees: atomic claims (no task executes under two
+live leases), crash-retry via lease expiry, dead-lettering after
+``max_attempts``, a shared content-addressed disk cache between workers,
+and clean client/CLI error surfaces.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AdaptiveSvtSpec,
+    NoisyTopKSpec,
+    SparseVectorSpec,
+    SvtVariantSpec,
+    UnsupportedEngineError,
+    run,
+    submit,
+)
+from repro.dispatch import DiskResultCache, MemoryResultCache
+from repro.service import (
+    Broker,
+    FileJobQueue,
+    JobClient,
+    JobFailedError,
+    JobNotFoundError,
+    MemoryJobQueue,
+    QueueError,
+    ServiceError,
+    Worker,
+    run_workers,
+    task_key,
+)
+
+NUM_QUERIES = 40
+TRIALS = 24
+CHUNK = 5  # -> tasks of 5,5,5,5,4 trials: remainder + ragged widths
+
+_ARRAY_FIELDS = (
+    "epsilon_consumed",
+    "indices",
+    "gaps",
+    "estimates",
+    "measurements",
+    "true_values",
+    "mask",
+    "above",
+    "branches",
+    "processed",
+)
+
+
+def assert_results_identical(a, b):
+    assert a.mechanism == b.mechanism
+    assert a.engine == b.engine
+    assert a.trials == b.trials
+    assert a.epsilon == b.epsilon
+    assert a.monotonic == b.monotonic
+    assert a.extra == b.extra
+    for name in _ARRAY_FIELDS:
+        left, right = getattr(a, name), getattr(b, name)
+        assert (left is None) == (right is None), name
+        if left is not None:
+            assert left.dtype == right.dtype, name
+            np.testing.assert_array_equal(left, right, err_msg=name)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return np.sort(np.random.default_rng(3).uniform(0.0, 500.0, NUM_QUERIES))[::-1].copy()
+
+
+@pytest.fixture
+def top_k_spec(queries):
+    return NoisyTopKSpec(queries=queries, epsilon=1.0, k=3, monotonic=True)
+
+
+@pytest.fixture
+def adaptive_spec(queries):
+    return AdaptiveSvtSpec(
+        queries=queries,
+        epsilon=1.0,
+        threshold=float(np.median(queries)),
+        k=3,
+        monotonic=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# queue semantics (both backends)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(params=["memory", "file"])
+def make_queue(request, tmp_path):
+    def factory(**kwargs):
+        if request.param == "memory":
+            return MemoryJobQueue(**kwargs)
+        return FileJobQueue(tmp_path / "queue", **kwargs)
+
+    return factory
+
+
+class TestQueueSemantics:
+    def test_put_claim_ack_lifecycle(self, make_queue):
+        queue = make_queue()
+        task_id = queue.put("payload-a")
+        assert queue.counts() == {"pending": 1, "claimed": 0, "failed": 0}
+        claimed = queue.claim(worker_id="w0")
+        assert claimed.task_id == task_id
+        assert claimed.payload == "payload-a"
+        assert claimed.attempts == 1
+        assert queue.counts() == {"pending": 0, "claimed": 1, "failed": 0}
+        assert queue.ack(task_id) is True
+        assert queue.counts() == {"pending": 0, "claimed": 0, "failed": 0}
+        assert queue.is_idle
+
+    def test_claim_on_empty_queue_returns_none(self, make_queue):
+        assert make_queue().claim() is None
+
+    def test_duplicate_task_id_is_rejected(self, make_queue):
+        queue = make_queue()
+        queue.put("x", task_id="t1")
+        with pytest.raises(QueueError):
+            queue.put("y", task_id="t1")
+
+    def test_claims_are_exclusive_under_contention(self, make_queue):
+        """N racing threads over M tasks: every task claimed exactly once."""
+        queue = make_queue()
+        total = 20
+        for i in range(total):
+            queue.put(f"payload-{i}", task_id=f"task-{i:03d}")
+        claimed, lock = [], threading.Lock()
+
+        def drain(worker_id):
+            while True:
+                task = queue.claim(worker_id=worker_id)
+                if task is None:
+                    return
+                with lock:
+                    claimed.append(task.task_id)
+                queue.ack(task.task_id)
+
+        threads = [
+            threading.Thread(target=drain, args=(f"w{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert sorted(claimed) == [f"task-{i:03d}" for i in range(total)]
+        assert len(set(claimed)) == total  # nobody double-claimed
+        assert queue.is_idle
+
+    def test_nack_requeues_and_increments_attempts(self, make_queue):
+        queue = make_queue(max_attempts=3)
+        task_id = queue.put("flaky")
+        first = queue.claim()
+        assert queue.nack(task_id, error="boom") == "requeued"
+        second = queue.claim()
+        assert second.task_id == first.task_id
+        assert second.attempts == 2
+
+    def test_nack_dead_letters_after_max_attempts(self, make_queue):
+        queue = make_queue(max_attempts=2)
+        task_id = queue.put("doomed")
+        queue.claim()
+        assert queue.nack(task_id, error="first failure") == "requeued"
+        queue.claim()
+        assert queue.nack(task_id, error="second failure") == "failed"
+        assert queue.counts() == {"pending": 0, "claimed": 0, "failed": 1}
+        assert queue.failed_error(task_id) == "second failure"
+        assert queue.claim() is None  # dead-lettered tasks are not claimable
+
+    def test_nack_of_unclaimed_task_is_an_error(self, make_queue):
+        queue = make_queue()
+        queue.put("x", task_id="t1")
+        with pytest.raises(QueueError):
+            queue.nack("t1")
+
+    def test_expired_lease_is_requeued_for_another_worker(self, make_queue):
+        queue = make_queue(max_attempts=3)
+        task_id = queue.put("crashy")
+        queue.claim(worker_id="crasher")  # crashes: never acks
+        assert queue.requeue_expired(lease_seconds=0.0) == [task_id]
+        retry = queue.claim(worker_id="survivor")
+        assert retry.task_id == task_id
+        assert retry.attempts == 2
+        # The crashed worker's late ack is benign, not an error.
+        assert queue.ack(task_id) in (True, False)
+
+    def test_fresh_lease_is_not_requeued(self, make_queue):
+        queue = make_queue(lease_seconds=300.0)
+        queue.put("healthy")
+        queue.claim()
+        assert queue.requeue_expired() == []
+        assert queue.counts()["claimed"] == 1
+
+    def test_stale_ack_and_nack_cannot_revoke_a_live_claim(self, make_queue):
+        """The fencing token: a worker whose lease expired mid-execution
+        (task since reclaimed at a higher attempt count) must not ack or
+        nack the new owner's claim out from under it."""
+        queue = make_queue(max_attempts=5)
+        queue.put("x", task_id="t")
+        first = queue.claim(worker_id="slow")
+        queue.requeue_expired(lease_seconds=0.0)
+        second = queue.claim(worker_id="fast")
+        assert second.attempts == first.attempts + 1
+        # The slow worker wakes up and tries to report its stale outcome.
+        assert queue.ack("t", token=first.attempts) is False
+        with pytest.raises(QueueError, match="stale"):
+            queue.nack("t", error="late failure", token=first.attempts)
+        assert queue.counts()["claimed"] == 1  # fast's claim is intact
+        assert queue.ack("t", token=second.attempts) is True
+
+    def test_repeated_expiry_dead_letters(self, make_queue):
+        queue = make_queue(max_attempts=2)
+        task_id = queue.put("always-crashes")
+        queue.claim()
+        queue.requeue_expired(lease_seconds=0.0)
+        queue.claim()
+        assert queue.requeue_expired(lease_seconds=0.0) == [task_id]
+        assert queue.counts() == {"pending": 0, "claimed": 0, "failed": 1}
+        assert queue.failed_error(task_id) == "lease expired"
+
+    def test_remove_drops_pending_tasks_only(self, make_queue):
+        queue = make_queue()
+        queue.put("a", task_id="t1")
+        queue.put("b", task_id="t2")
+        assert queue.claim().task_id == "t1"  # FIFO in both backends
+        assert queue.remove("t2") is True
+        assert queue.remove("t1") is False  # claimed, not pending
+        assert queue.counts() == {"pending": 0, "claimed": 1, "failed": 0}
+
+    def test_invalid_ids_rejected(self, make_queue):
+        queue = make_queue()
+        for bad in ("a/b", "a.b", "..", "~x"):
+            with pytest.raises(ValueError):
+                queue.put("x", task_id=bad)
+
+
+class TestFileQueueClaimRaces:
+    def test_claim_survives_losing_the_entry_to_a_racing_reaper(
+        self, tmp_path, monkeypatch
+    ):
+        """If a reaper requeues a freshly-renamed claim before its metadata
+        rewrite lands, the claimer's entry read fails -- that is a lost
+        race to skip, never an exception out of claim()."""
+        queue = FileJobQueue(tmp_path / "q")
+        queue.put("a", task_id="t1")
+        queue.put("b", task_id="t2")
+        real_read = FileJobQueue._read_entry
+        raised = {"count": 0}
+
+        def flaky_read(path):
+            if raised["count"] == 0:
+                raised["count"] += 1
+                raise FileNotFoundError(path)
+            return real_read(path)
+
+        monkeypatch.setattr(FileJobQueue, "_read_entry", staticmethod(flaky_read))
+        claimed = queue.claim(worker_id="w0")
+        assert claimed is not None  # moved on to the next pending task
+        assert claimed.task_id == "t2"
+        assert raised["count"] == 1
+
+
+    def test_orphaned_take_from_a_crashed_retirer_is_recovered(self, tmp_path):
+        """A worker killed between _take_claim's rename and the
+        pending/failed rewrite leaves a .take.* file no glob matches; the
+        reaper must restore it or the task is lost forever."""
+        import os
+        import time
+
+        queue = FileJobQueue(tmp_path / "q", max_attempts=3)
+        task_id = queue.put("survivor")
+        queue.claim(worker_id="doomed")
+        # Simulate the crash window: the retire rename happened, the owner
+        # died before writing pending/failed.
+        claimed_path = tmp_path / "q" / "claimed" / f"{task_id}.json"
+        orphan = claimed_path.with_name(f".take.{claimed_path.name}.deadbeef")
+        os.rename(claimed_path, orphan)
+        old = time.time() - 3_600.0
+        os.utime(orphan, (old, old))
+        assert queue.counts() == {"pending": 0, "claimed": 0, "failed": 0}
+        moved = queue.requeue_expired(lease_seconds=0.0)
+        assert moved == [task_id]  # recovered and requeued in one pass
+        retry = queue.claim(worker_id="survivor")
+        assert retry is not None and retry.payload == "survivor"
+
+    def test_stale_orphaned_take_is_dropped_when_task_progressed(self, tmp_path):
+        import os
+        import time
+
+        queue = FileJobQueue(tmp_path / "q")
+        task_id = queue.put("x")
+        claimed = queue.claim()
+        # Fabricate an ancient orphan of an earlier take while the task is
+        # legitimately claimed again: the orphan must be dropped, not
+        # restored over the live claim.
+        claimed_path = tmp_path / "q" / "claimed" / f"{task_id}.json"
+        orphan = claimed_path.with_name(f".take.{claimed_path.name}.cafe01")
+        orphan.write_text(claimed_path.read_text())
+        old = time.time() - 3_600.0
+        os.utime(orphan, (old, old))
+        queue.requeue_expired(lease_seconds=3_000.0)  # claim itself is fresh
+        assert not orphan.exists()
+        assert queue.counts()["claimed"] == 1
+        assert queue.ack(task_id, token=claimed.attempts) is True
+
+
+class TestFileQueueDurability:
+    def test_queue_state_survives_a_process_restart(self, tmp_path):
+        """A fresh FileJobQueue over the same directory sees everything."""
+        first = FileJobQueue(tmp_path / "q")
+        first.put("payload-a", task_id="t1")
+        first.put("payload-b", task_id="t2")
+        first.claim()
+        reopened = FileJobQueue(tmp_path / "q")
+        assert reopened.counts() == {"pending": 1, "claimed": 1, "failed": 0}
+        remaining = reopened.claim()
+        assert remaining is not None
+        assert remaining.payload in ("payload-a", "payload-b")
+
+
+# ---------------------------------------------------------------------------
+# broker lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestBrokerLifecycle:
+    def test_submit_validates_before_queueing(self, tmp_path, top_k_spec, queries):
+        broker = Broker(tmp_path / "svc")
+        with pytest.raises(TypeError):
+            broker.submit({"kind": "noisy-top-k"}, trials=4, seed=0)
+        with pytest.raises(ValueError, match="engine"):
+            broker.submit(top_k_spec, engine="gpu", trials=4, seed=0)
+        variant = SvtVariantSpec(
+            queries=queries, epsilon=1.0, variant=3, threshold=250.0, k=1
+        )
+        with pytest.raises(UnsupportedEngineError):
+            broker.submit(variant, engine="batch", trials=4, seed=0)
+        with pytest.raises(ValueError, match="trials"):
+            broker.submit(top_k_spec, trials=0, seed=0)
+        with pytest.raises(ValueError, match="seed"):
+            broker.submit(top_k_spec, trials=4, seed=None)
+        with pytest.raises(ValueError, match="seed"):
+            broker.submit(top_k_spec, trials=4, seed=True)
+        with pytest.raises(ValueError, match="chunk_trials"):
+            broker.submit(top_k_spec, trials=4, seed=0, chunk_trials=0)
+        # Nothing was queued by any of the rejected submissions.
+        assert broker.queue.counts()["pending"] == 0
+
+    def test_duplicate_job_id_is_rejected(self, tmp_path, top_k_spec):
+        broker = Broker(tmp_path / "svc")
+        broker.submit(top_k_spec, trials=4, seed=0, job_id="job-a")
+        with pytest.raises(ServiceError, match="already exists"):
+            broker.submit(top_k_spec, trials=4, seed=0, job_id="job-a")
+
+    def test_unknown_job_raises_not_found(self, tmp_path):
+        broker = Broker(tmp_path / "svc")
+        with pytest.raises(JobNotFoundError):
+            broker.status("job-nope")
+        with pytest.raises(JobNotFoundError):
+            broker.result("job-nope")
+
+    def test_job_progresses_submitted_running_done(self, tmp_path, top_k_spec):
+        broker = Broker(tmp_path / "svc")
+        job_id = broker.submit(
+            top_k_spec, trials=TRIALS, seed=7, chunk_trials=CHUNK
+        )
+        status = broker.status(job_id)
+        assert (status.state, status.total_tasks, status.done_tasks) == (
+            "submitted",
+            5,
+            0,
+        )
+        worker = Worker(broker)
+        assert worker.run_once() is True
+        assert broker.status(job_id).state == "running"
+        worker.run_until_idle()
+        status = broker.status(job_id)
+        assert (status.state, status.done_tasks) == ("done", 5)
+        assert status.finished
+
+    def test_manifest_records_the_request_and_task_keys(self, tmp_path, top_k_spec):
+        broker = Broker(tmp_path / "svc")
+        job_id = broker.submit(
+            top_k_spec, trials=TRIALS, seed=7, chunk_trials=CHUNK
+        )
+        manifest = broker.manifest(job_id)
+        assert manifest["engine"] == "batch"
+        assert manifest["trials"] == TRIALS
+        assert manifest["seed"] == 7
+        assert manifest["chunk_trials"] == CHUNK
+        assert [entry["trials"] for entry in manifest["tasks"]] == [5, 5, 5, 5, 4]
+        assert len({entry["key"] for entry in manifest["tasks"]}) == 5
+        assert broker.spec(job_id) == top_k_spec
+
+    def test_cancel_drops_pending_tasks(self, tmp_path, top_k_spec):
+        broker = Broker(tmp_path / "svc")
+        job_id = broker.submit(
+            top_k_spec, trials=TRIALS, seed=7, chunk_trials=CHUNK
+        )
+        status = broker.cancel(job_id)
+        assert status.state == "cancelled"
+        assert broker.queue.counts()["pending"] == 0
+        with pytest.raises(JobFailedError, match="cancelled"):
+            broker.result(job_id)
+        # Workers find nothing to do.
+        assert Worker(broker).run_until_idle() == 0
+
+    def test_crashed_submit_is_uncommitted_and_retryable(
+        self, tmp_path, top_k_spec, monkeypatch
+    ):
+        """The manifest is the commit marker: a submit that dies mid-enqueue
+        leaves no job (status says not-found, not stuck-forever), and the
+        same job id can be resubmitted cleanly afterwards."""
+        broker = Broker(tmp_path / "svc")
+        real_put = type(broker.queue).put
+        calls = {"n": 0}
+
+        def dying_put(self, payload, *, task_id=None):
+            if calls["n"] >= 2:
+                raise OSError("disk full")  # the crash, mid-enqueue
+            calls["n"] += 1
+            return real_put(self, payload, task_id=task_id)
+
+        monkeypatch.setattr(type(broker.queue), "put", dying_put)
+        with pytest.raises(OSError, match="disk full"):
+            broker.submit(
+                top_k_spec, trials=TRIALS, seed=7, chunk_trials=CHUNK,
+                job_id="job-retry",
+            )
+        monkeypatch.undo()
+        with pytest.raises(JobNotFoundError):
+            broker.status("job-retry")  # never committed
+        # An orphan of the crashed submit dead-letters and writes a failed
+        # marker before the resubmission: the fresh job must not inherit it.
+        broker.mark_failed("job-retry", 0, "poison orphan")
+        # Resubmission under the same id succeeds and completes exactly.
+        job_id = broker.submit(
+            top_k_spec, trials=TRIALS, seed=7, chunk_trials=CHUNK,
+            job_id="job-retry",
+        )
+        assert broker.status(job_id).state == "submitted"  # stale marker gone
+        Worker(broker).run_until_idle()
+        assert_results_identical(
+            broker.result(job_id),
+            run(top_k_spec, trials=TRIALS, rng=7, shards=1, chunk_trials=CHUNK),
+        )
+
+    def test_resubmission_over_a_claimed_orphan_is_a_clear_conflict(
+        self, tmp_path, top_k_spec, monkeypatch
+    ):
+        """An orphan task a worker is mid-executing cannot be replaced: the
+        resubmission fails with a ServiceError (CLI exit 2), not a raw
+        QueueError traceback."""
+        broker = Broker(tmp_path / "svc")
+        real_put = type(broker.queue).put
+        calls = {"n": 0}
+
+        def dying_put(self, payload, *, task_id=None):
+            if calls["n"] >= 2:
+                raise OSError("disk full")
+            calls["n"] += 1
+            return real_put(self, payload, task_id=task_id)
+
+        monkeypatch.setattr(type(broker.queue), "put", dying_put)
+        with pytest.raises(OSError):
+            broker.submit(
+                top_k_spec, trials=TRIALS, seed=7, chunk_trials=CHUNK,
+                job_id="job-conflict",
+            )
+        monkeypatch.undo()
+        assert broker.queue.claim(worker_id="busy") is not None  # orphan in flight
+        with pytest.raises(ServiceError, match="still claimed"):
+            broker.submit(
+                top_k_spec, trials=TRIALS, seed=7, chunk_trials=CHUNK,
+                job_id="job-conflict",
+            )
+
+    def test_stray_files_in_marker_dirs_are_ignored(self, tmp_path, top_k_spec):
+        """Non-numeric filenames in done/ or failed/ (editor backups,
+        tooling artifacts) must be skipped, not crash status()."""
+        broker = Broker(tmp_path / "svc")
+        job_id = broker.submit(
+            top_k_spec, trials=TRIALS, seed=7, chunk_trials=CHUNK
+        )
+        job_dir = broker.jobs_dir / job_id
+        (job_dir / "done" / "backup~.json").write_text("{}")
+        (job_dir / "failed" / "notes.json").write_text("{}")
+        status = broker.status(job_id)
+        assert (status.state, status.done_tasks) == ("submitted", 0)
+        assert status.failed_tasks == {}
+
+    def test_orphan_markers_outside_the_manifest_are_ignored(
+        self, tmp_path, top_k_spec
+    ):
+        """Markers for chunk indexes the committed manifest does not own
+        (left by a crashed prior submission's orphan tasks under a
+        different chunking) must not wedge or fail the job's status."""
+        broker = Broker(tmp_path / "svc")
+        job_id = broker.submit(
+            top_k_spec, trials=TRIALS, seed=7, chunk_trials=CHUNK  # 5 tasks
+        )
+        broker.mark_done(job_id, 7, "bogus-orphan-key")  # index outside 0..4
+        broker.mark_failed(job_id, 9, "orphan failure")
+        status = broker.status(job_id)
+        assert (status.state, status.done_tasks) == ("submitted", 0)
+        assert status.failed_tasks == {}
+        Worker(broker).run_until_idle()
+        status = broker.status(job_id)
+        assert (status.state, status.done_tasks) == ("done", 5)
+        assert_results_identical(
+            broker.result(job_id),
+            run(top_k_spec, trials=TRIALS, rng=7, shards=1, chunk_trials=CHUNK),
+        )
+
+    def test_result_before_done_is_a_service_error(self, tmp_path, top_k_spec):
+        broker = Broker(tmp_path / "svc")
+        job_id = broker.submit(top_k_spec, trials=TRIALS, seed=7)
+        with pytest.raises(ServiceError, match="not done"):
+            broker.result(job_id)
+
+    def test_task_keys_are_content_addresses(self, top_k_spec, adaptive_spec):
+        from repro.dispatch import make_tasks
+
+        tasks_a = make_tasks(top_k_spec, engine="batch", trials=8, seed=0, chunk_trials=4)
+        tasks_b = make_tasks(top_k_spec, engine="batch", trials=8, seed=0, chunk_trials=4)
+        assert [task_key(t) for t in tasks_a] == [task_key(t) for t in tasks_b]
+        # Any ingredient change changes the key.
+        different_seed = make_tasks(
+            top_k_spec, engine="batch", trials=8, seed=1, chunk_trials=4
+        )
+        different_spec = make_tasks(
+            adaptive_spec, engine="batch", trials=8, seed=0, chunk_trials=4
+        )
+        keys = {task_key(t) for t in tasks_a}
+        assert keys.isdisjoint(task_key(t) for t in different_seed)
+        assert keys.isdisjoint(task_key(t) for t in different_spec)
+
+
+# ---------------------------------------------------------------------------
+# the determinism contract, end to end
+# ---------------------------------------------------------------------------
+
+
+class TestServiceDeterminism:
+    @pytest.mark.parametrize("kind", ["top-k", "adaptive"])
+    def test_multi_worker_job_bit_identical_to_sharded_run(
+        self, tmp_path, top_k_spec, adaptive_spec, kind
+    ):
+        """The acceptance criterion: submit -> >=2 concurrent workers ->
+        merged result == run(spec, trials=B, rng=seed, shards=N)."""
+        spec = {"top-k": top_k_spec, "adaptive": adaptive_spec}[kind]
+        client = JobClient(tmp_path / "svc")
+        handle = client.submit(spec, trials=TRIALS, seed=11, chunk_trials=CHUNK)
+        workers = run_workers(client.broker, 3)
+        assert sum(w.tasks_done for w in workers) == 5
+        via_service = handle.result()
+        in_process = run(
+            spec, trials=TRIALS, rng=11, shards=3, chunk_trials=CHUNK
+        )
+        assert_results_identical(via_service, in_process)
+
+    def test_worker_count_does_not_change_the_result(self, tmp_path, top_k_spec):
+        results = []
+        for count in (1, 4):
+            client = JobClient(tmp_path / f"svc-{count}")
+            handle = client.submit(
+                top_k_spec, trials=TRIALS, seed=5, chunk_trials=CHUNK
+            )
+            run_workers(client.broker, count)
+            results.append(handle.result())
+        assert_results_identical(results[0], results[1])
+
+    def test_facade_submit_is_the_async_run(self, tmp_path, top_k_spec):
+        handle = submit(
+            top_k_spec, root=tmp_path / "svc", trials=TRIALS, rng=3,
+            chunk_trials=CHUNK,
+        )
+        assert handle.status().state == "submitted"
+        run_workers(tmp_path / "svc", 2)
+        assert_results_identical(
+            handle.result(),
+            run(top_k_spec, trials=TRIALS, rng=3, shards=2, chunk_trials=CHUNK),
+        )
+
+    def test_facade_submit_requires_integer_seed(self, tmp_path, top_k_spec):
+        with pytest.raises(ValueError, match="seed"):
+            submit(top_k_spec, root=tmp_path / "svc", trials=4, rng=None)
+
+    def test_per_trial_options_cross_the_queue_losslessly(self, tmp_path, queries):
+        spec = SparseVectorSpec(
+            queries=queries, epsilon=1.0, threshold=0.0, k=3, monotonic=True
+        )
+        thresholds = np.linspace(50.0, 450.0, TRIALS)
+        client = JobClient(tmp_path / "svc")
+        handle = client.submit(
+            spec,
+            trials=TRIALS,
+            seed=13,
+            chunk_trials=CHUNK,
+            options={"thresholds": thresholds},
+        )
+        run_workers(client.broker, 2)
+        assert_results_identical(
+            handle.result(),
+            run(
+                spec,
+                trials=TRIALS,
+                rng=13,
+                shards=2,
+                chunk_trials=CHUNK,
+                thresholds=thresholds,
+            ),
+        )
+
+    def test_worker_crash_mid_task_is_retried_and_result_exact(
+        self, tmp_path, top_k_spec
+    ):
+        """A claimed-but-never-acked task (the crash) expires back into the
+        queue; the retry recomputes the identical content-addressed chunk."""
+        client = JobClient(tmp_path / "svc")
+        handle = client.submit(
+            top_k_spec, trials=TRIALS, seed=17, chunk_trials=CHUNK
+        )
+        queue = client.broker.queue
+        crashed = queue.claim(worker_id="crasher")  # dies here: no ack
+        assert crashed is not None
+        assert queue.requeue_expired(lease_seconds=0.0) == [crashed.task_id]
+        run_workers(client.broker, 2)
+        assert handle.status().state == "done"
+        assert_results_identical(
+            handle.result(),
+            run(top_k_spec, trials=TRIALS, rng=17, shards=2, chunk_trials=CHUNK),
+        )
+
+    def test_two_workers_share_one_disk_cache(self, tmp_path, top_k_spec):
+        """A resubmitted request is served from the shared cache: the second
+        job's tasks are all hits and its result is byte-identical."""
+        root = tmp_path / "svc"
+        client = JobClient(root)
+        first = client.submit(top_k_spec, trials=TRIALS, seed=23, chunk_trials=CHUNK)
+        cold_workers = run_workers(client.broker, 2)
+        assert sum(w.cache_hits for w in cold_workers) == 0
+        second = client.submit(top_k_spec, trials=TRIALS, seed=23, chunk_trials=CHUNK)
+        warm_workers = run_workers(client.broker, 2)
+        assert sum(w.tasks_done for w in warm_workers) == 5
+        assert sum(w.cache_hits for w in warm_workers) == 5
+        assert_results_identical(first.result(), second.result())
+        assert isinstance(client.broker.cache, DiskResultCache)
+
+    def test_repeated_result_is_served_from_the_merged_entry(
+        self, tmp_path, top_k_spec
+    ):
+        """After the first fetch, result() reads the merged run_key entry
+        directly -- it neither re-merges nor rewrites the chunks (deleting a
+        chunk after the first fetch proves the second never touches it)."""
+        broker = Broker(tmp_path / "svc")
+        job_id = broker.submit(
+            top_k_spec, trials=TRIALS, seed=31, chunk_trials=CHUNK
+        )
+        Worker(broker).run_until_idle()
+        first = broker.result(job_id)
+        victim = broker.manifest(job_id)["tasks"][0]["key"]
+        for path in broker.cache.directory.glob(f"{victim}.*"):
+            path.unlink()
+        assert_results_identical(broker.result(job_id), first)
+
+    def test_merged_result_warms_the_facade_cache(self, tmp_path, top_k_spec):
+        """result() stores the merged Result under the facade run_key, so an
+        in-process run(..., shards=, cache=) over the same directory hits."""
+        client = JobClient(tmp_path / "svc")
+        handle = client.submit(
+            top_k_spec, trials=TRIALS, seed=29, chunk_trials=CHUNK
+        )
+        run_workers(client.broker, 2)
+        via_service = handle.result()
+        via_facade = run(
+            top_k_spec,
+            trials=TRIALS,
+            rng=29,
+            shards=2,
+            chunk_trials=CHUNK,
+            cache=client.broker.cache,
+        )
+        assert_results_identical(via_facade, via_service)
+
+
+# ---------------------------------------------------------------------------
+# failure propagation
+# ---------------------------------------------------------------------------
+
+
+class TestJobFailure:
+    def test_task_that_keeps_raising_dead_letters_and_fails_the_job(
+        self, tmp_path, queries
+    ):
+        # A threshold *value* the executor cannot coerce passes submit-side
+        # validation (options are checked by name, like run()) but raises in
+        # the worker -- the canonical "bad request reaches execution" path.
+        # max_attempts=2 keeps the retry cycle short.
+        spec = SparseVectorSpec(
+            queries=queries, epsilon=1.0, threshold=0.0, k=3, monotonic=True
+        )
+        broker = Broker(tmp_path / "svc", max_attempts=2)
+        job_id = broker.submit(
+            spec,
+            trials=6,
+            seed=0,
+            chunk_trials=3,
+            options={"thresholds": "not-a-number"},
+        )
+        workers = run_workers(broker, 2)
+        assert sum(w.failures for w in workers) == 4  # 2 tasks x 2 attempts
+        status = broker.status(job_id)
+        assert status.state == "failed"
+        assert set(status.failed_tasks) == {0, 1}
+        assert "ValueError" in status.failed_tasks[0]
+        with pytest.raises(JobFailedError, match="chunk 0"):
+            broker.result(job_id)
+        assert broker.queue.counts()["failed"] == 2
+
+    def test_submit_rejects_unknown_options_like_run_does(
+        self, tmp_path, top_k_spec
+    ):
+        """An option the executor does not accept fails at submission --
+        never after the workers have retried every chunk to exhaustion."""
+        broker = Broker(tmp_path / "svc")
+        with pytest.raises(ValueError, match="bogus_option"):
+            broker.submit(
+                top_k_spec, trials=6, seed=0, options={"bogus_option": 1.0}
+            )
+        assert broker.queue.counts()["pending"] == 0
+
+    def test_corrupt_queue_payload_is_dead_lettered_not_fatal(self, tmp_path):
+        """A poison-pill payload (truncated file, producer bug) must cycle
+        through nack/dead-letter like any failing task, not crash the
+        worker loop and serially kill the fleet."""
+        broker = Broker(tmp_path / "svc", max_attempts=2)
+        broker.queue.put("{not json", task_id="poison")
+        worker = Worker(broker)
+        assert worker.run_until_idle() == 2  # two claim -> fail cycles
+        assert worker.tasks_done == 0  # nothing completed successfully
+        assert worker.failures == 2
+        assert broker.queue.counts() == {"pending": 0, "claimed": 0, "failed": 1}
+        assert "JSONDecodeError" in broker.queue.failed_error("poison")
+
+    def test_crash_looped_task_fails_the_job_via_the_reaper(
+        self, tmp_path, top_k_spec
+    ):
+        """A task whose worker crashes on every attempt is dead-lettered by
+        lease expiry alone -- no surviving worker ever nacks it.  The next
+        worker's reaper pass must still write the job's failed marker, or
+        the job would report running forever."""
+        broker = Broker(tmp_path / "svc", max_attempts=1, lease_seconds=0.0)
+        job_id = broker.submit(top_k_spec, trials=8, seed=0, chunk_trials=8)
+        assert broker.queue.claim(worker_id="crasher") is not None  # dies here
+        assert Worker(broker).run_until_idle() == 0  # reaper pass only
+        status = broker.status(job_id)
+        assert status.state == "failed"
+        assert status.failed_tasks == {0: "lease expired"}
+        with pytest.raises(JobFailedError, match="lease expired"):
+            broker.result(job_id)
+
+    def test_numpy_integer_seeds_are_accepted(self, tmp_path, top_k_spec):
+        """Parity with run(): a np.int64 from an experiment sweep content-
+        addresses identically to the plain int."""
+        broker = Broker(tmp_path / "svc")
+        job_id = broker.submit(
+            top_k_spec, trials=TRIALS, seed=np.int64(7), chunk_trials=CHUNK
+        )
+        Worker(broker).run_until_idle()
+        assert_results_identical(
+            broker.result(job_id),
+            run(top_k_spec, trials=TRIALS, rng=7, shards=1, chunk_trials=CHUNK),
+        )
+
+    def test_evicted_chunk_result_is_a_clear_error(self, tmp_path, top_k_spec):
+        broker = Broker(tmp_path / "svc")
+        job_id = broker.submit(
+            top_k_spec, trials=TRIALS, seed=7, chunk_trials=CHUNK
+        )
+        Worker(broker).run_until_idle()
+        # Simulate the LRU cap having evicted one chunk between completion
+        # and fetch.
+        victim = broker.manifest(job_id)["tasks"][2]["key"]
+        for path in broker.cache.directory.glob(f"{victim}.*"):
+            path.unlink()
+        with pytest.raises(ServiceError, match="missing from the shared cache"):
+            broker.result(job_id)
+
+    def test_unreadable_chunk_is_purged_so_resubmission_recomputes(
+        self, tmp_path, top_k_spec
+    ):
+        """result() must evict whatever unreadable remnant caused the miss:
+        otherwise a remnant the workers' contains() probe still accepts
+        would make every resubmission mark the chunk done without
+        recomputing -- permanently unservable."""
+        broker = Broker(tmp_path / "svc")
+        job_id = broker.submit(
+            top_k_spec, trials=TRIALS, seed=7, chunk_trials=CHUNK
+        )
+        Worker(broker).run_until_idle()
+        victim = broker.manifest(job_id)["tasks"][2]["key"]
+        (broker.cache.directory / f"{victim}.npz").unlink()  # payload lost
+        with pytest.raises(ServiceError, match="missing from the shared cache"):
+            broker.result(job_id)
+        # The orphaned metadata was purged with it ...
+        assert not (broker.cache.directory / f"{victim}.json").exists()
+        # ... so a resubmission really recomputes the chunk and serves.
+        retry = broker.submit(
+            top_k_spec, trials=TRIALS, seed=7, chunk_trials=CHUNK
+        )
+        worker = Worker(broker)
+        worker.run_until_idle()
+        assert worker.cache_hits == 4  # every chunk but the purged one
+        assert_results_identical(
+            broker.result(retry),
+            run(top_k_spec, trials=TRIALS, rng=7, shards=1, chunk_trials=CHUNK),
+        )
+
+    def test_stale_dead_letter_does_not_fail_a_resubmitted_job(
+        self, tmp_path, top_k_spec, monkeypatch
+    ):
+        """A dead-letter record left by a crashed submission's orphan must
+        not make a later reaper pass fail the fresh job that reuses the
+        task id."""
+        broker = Broker(tmp_path / "svc", max_attempts=3, lease_seconds=0.0)
+        real_put = type(broker.queue).put
+        calls = {"n": 0}
+
+        def dying_put(self, payload, *, task_id=None):
+            if calls["n"] >= 1:
+                raise OSError("crash")
+            calls["n"] += 1
+            return real_put(self, payload, task_id=task_id)
+
+        monkeypatch.setattr(type(broker.queue), "put", dying_put)
+        with pytest.raises(OSError):
+            broker.submit(
+                top_k_spec, trials=16, seed=0, chunk_trials=8, job_id="job-z"
+            )
+        monkeypatch.undo()
+        # The orphan crash-loops to the dead-letter directory.
+        for _ in range(3):
+            assert broker.queue.claim(worker_id="crasher") is not None
+            broker.queue.requeue_expired(lease_seconds=0.0)
+        assert broker.queue.failed_error("job-z-000000") is not None
+        # Resubmit; the fresh task expires once (attempts < max) and is
+        # requeued -- the reaper hook must not resurrect the stale record.
+        job_id = broker.submit(
+            top_k_spec, trials=16, seed=0, chunk_trials=8, job_id="job-z"
+        )
+        assert broker.queue.failed_error("job-z-000000") is None  # cleared
+        assert broker.queue.claim(worker_id="slowpoke") is not None
+        worker = Worker(broker)
+        worker.run_until_idle()  # reaper requeues, then this worker finishes
+        status = broker.status(job_id)
+        assert status.state == "done"
+        assert status.failed_tasks == {}
+
+
+# ---------------------------------------------------------------------------
+# client polling
+# ---------------------------------------------------------------------------
+
+
+class TestClientPolling:
+    def test_result_timeout_expires_cleanly(self, tmp_path, top_k_spec):
+        client = JobClient(tmp_path / "svc")
+        handle = client.submit(top_k_spec, trials=TRIALS, seed=7)
+        with pytest.raises(TimeoutError, match="not finished"):
+            handle.result(timeout=0.05, poll_interval=0.01)
+
+    def test_result_polls_until_a_background_worker_finishes(
+        self, tmp_path, top_k_spec
+    ):
+        client = JobClient(tmp_path / "svc")
+        handle = client.submit(
+            top_k_spec, trials=TRIALS, seed=7, chunk_trials=CHUNK
+        )
+        worker = Worker(client.broker, poll_interval=0.01)
+        thread = threading.Thread(
+            target=worker.serve, kwargs={"idle_exit": True}, daemon=True
+        )
+        thread.start()
+        result = handle.result(timeout=30.0, poll_interval=0.01)
+        thread.join(30.0)
+        assert_results_identical(
+            result,
+            run(top_k_spec, trials=TRIALS, rng=7, shards=1, chunk_trials=CHUNK),
+        )
+
+    def test_cancelled_jobs_requeued_tasks_are_discarded_not_executed(
+        self, tmp_path, top_k_spec
+    ):
+        """After a cancel, a task that re-enters the queue (nack or lease
+        expiry of an in-flight claim) must be dropped by the next worker,
+        not executed and retried until dead-lettered."""
+        client = JobClient(tmp_path / "svc")
+        handle = client.submit(
+            top_k_spec, trials=TRIALS, seed=7, chunk_trials=CHUNK
+        )
+        queue = client.broker.queue
+        assert queue.claim(worker_id="in-flight") is not None
+        handle.cancel()  # removes the 4 pending tasks
+        queue.requeue_expired(lease_seconds=0.0)  # the claim re-enters
+        worker = Worker(client.broker)
+        worker.run_until_idle()
+        assert worker.tasks_discarded == 1
+        assert worker.tasks_done == 0
+        assert queue.is_idle
+        job_dir = client.broker.jobs_dir / handle.job_id
+        assert not list((job_dir / "done").glob("*.json"))
+
+    def test_cancelled_job_raises_job_failed_from_result(self, tmp_path, top_k_spec):
+        client = JobClient(tmp_path / "svc")
+        handle = client.submit(top_k_spec, trials=TRIALS, seed=7)
+        handle.cancel()
+        with pytest.raises(JobFailedError, match="cancelled"):
+            handle.result(timeout=1.0)
+
+    def test_reaper_runs_are_throttled_to_the_lease_timescale(
+        self, tmp_path, top_k_spec, monkeypatch
+    ):
+        """With a 300s lease the claimed-directory scan must not run on
+        every loop iteration -- once per run_until_idle drain here."""
+        broker = Broker(tmp_path / "svc")  # default lease: 300s
+        broker.submit(top_k_spec, trials=TRIALS, seed=7, chunk_trials=CHUNK)
+        calls = {"n": 0}
+        real = type(broker.queue).requeue_expired
+
+        def counting(self, lease_seconds=None):
+            calls["n"] += 1
+            return real(self, lease_seconds)
+
+        monkeypatch.setattr(type(broker.queue), "requeue_expired", counting)
+        worker = Worker(broker)
+        assert worker.run_until_idle() == 5  # six run_once calls (last idle)
+        assert calls["n"] == 1
+
+    def test_worker_serve_respects_max_tasks(self, tmp_path, top_k_spec):
+        client = JobClient(tmp_path / "svc")
+        client.submit(top_k_spec, trials=TRIALS, seed=7, chunk_trials=CHUNK)
+        worker = Worker(client.broker, poll_interval=0.01)
+        assert worker.serve(max_tasks=2) == 2
+        assert client.broker.queue.counts()["pending"] == 3
+
+
+# ---------------------------------------------------------------------------
+# CLI front-end
+# ---------------------------------------------------------------------------
+
+
+class TestServiceCLI:
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        spec = NoisyTopKSpec(
+            queries=[120.0, 90.0, 85.0, 30.0, 5.0], epsilon=1.0, k=2, monotonic=True
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        return path
+
+    def test_full_cycle_matches_run_spec_sharded(self, spec_file, tmp_path, capsys):
+        from repro.evaluation.cli import main
+
+        root = str(tmp_path / "svc")
+        shared = [
+            "--trials", "32", "--seed", "0", "--chunk-trials", "8",
+        ]
+        assert main(["run-spec", str(spec_file), "--shards", "2"] + shared) == 0
+        reference = capsys.readouterr().out.split("===\n", 1)[1]
+
+        assert main(["submit", str(spec_file), "--root", root] + shared) == 0
+        out = capsys.readouterr().out
+        assert "submitted noisy-top-k for 32 trial(s) as 4 task(s)" in out
+        job_id = out.rsplit("job id: ", 1)[1].strip()
+
+        assert main(["job-status", job_id, "--root", root]) == 0
+        assert "submitted (0/4 tasks done)" in capsys.readouterr().out
+
+        assert main(["serve-worker", "--root", root, "--idle-exit"]) == 0
+        assert "4 task(s) processed" in capsys.readouterr().out
+
+        assert main(["job-status", job_id, "--root", root]) == 0
+        assert "done (4/4 tasks done)" in capsys.readouterr().out
+
+        assert main(["job-result", job_id, "--root", root]) == 0
+        served = capsys.readouterr().out.split("===\n", 1)[1]
+        # The service result table and trial lines are byte-identical to the
+        # in-process sharded run's (only the title differs).
+        assert served == reference
+
+    def test_job_result_wait_times_out_cleanly(self, spec_file, tmp_path, capsys):
+        from repro.evaluation.cli import main
+
+        root = str(tmp_path / "svc")
+        assert main(["submit", str(spec_file), "--root", root, "--seed", "0"]) == 0
+        job_id = capsys.readouterr().out.rsplit("job id: ", 1)[1].strip()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["job-result", job_id, "--root", root, "--wait", "0.05"])
+        assert excinfo.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_job_id_exits_two_with_one_line(self, tmp_path, capsys):
+        from repro.evaluation.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["job-status", "job-nope", "--root", str(tmp_path / "svc")])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and len(err.strip().splitlines()) == 1
+
+    def test_malformed_job_id_exits_two_with_one_line(self, tmp_path, capsys):
+        # A pasted path where the job id belongs (ValueError from the job-id
+        # check) is user-caused: one-line diagnosis, never a traceback.
+        from repro.evaluation.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["job-status", "some/spec.json", "--root", str(tmp_path / "svc")])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and len(err.strip().splitlines()) == 1
+        assert "invalid job id" in err
+
+    def test_service_commands_require_root(self, spec_file):
+        from repro.evaluation.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["submit", str(spec_file)])
+        with pytest.raises(SystemExit):
+            main(["serve-worker"])
+        with pytest.raises(SystemExit):
+            main(["job-status", "job-x"])
+
+    def test_job_commands_require_an_id(self, tmp_path):
+        from repro.evaluation.cli import main
+
+        for command in ("job-status", "job-result"):
+            with pytest.raises(SystemExit):
+                main([command, "--root", str(tmp_path)])
+
+    def test_service_flags_rejected_elsewhere(self, spec_file):
+        from repro.evaluation.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["figure1", "--root", "x"])
+        with pytest.raises(SystemExit):
+            main(["run-spec", str(spec_file), "--max-tasks", "2"])
+        with pytest.raises(SystemExit):
+            main(["submit", str(spec_file), "--root", "x", "--wait", "1"])
+        with pytest.raises(SystemExit):
+            main(["job-status", "j", "--root", "x", "--idle-exit"])
+
+
+# ---------------------------------------------------------------------------
+# service-level cache eviction plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestServiceCacheCap:
+    def test_broker_wires_the_lru_cap_through(self, tmp_path):
+        broker = Broker(tmp_path / "svc", cache_max_bytes=1 << 20)
+        assert isinstance(broker.cache, DiskResultCache)
+        assert broker.cache.max_bytes == 1 << 20
+
+    def test_memory_backends_keep_the_service_disk_free(self, tmp_path, top_k_spec):
+        broker = Broker(
+            tmp_path / "svc",
+            queue=MemoryJobQueue(),
+            cache=MemoryResultCache(),
+        )
+        job_id = broker.submit(
+            top_k_spec, trials=TRIALS, seed=3, chunk_trials=CHUNK
+        )
+        Worker(broker).run_until_idle()
+        assert_results_identical(
+            broker.result(job_id),
+            run(top_k_spec, trials=TRIALS, rng=3, shards=1, chunk_trials=CHUNK),
+        )
+        assert not (tmp_path / "svc" / "queue").exists()
