@@ -39,6 +39,11 @@ Two benchmark groups:
   that execution difference -- read it as a conservative lower bound on
   service throughput, not a pure queue-overhead measurement.  The service
   result is asserted bit-identical to the in-process one.
+* ``throughput-tenancy`` -- fill-and-drain of the durable file queue with
+  multi-tenant, multi-priority tagged tasks through the fair-share claim
+  scheduler versus the identical untagged drain through the plain FIFO
+  path (``scheduler="fifo"``); the ratio is the per-claim cost of the
+  control plane's scheduling.
 
 Setting the environment variable ``REPRO_BENCH_SMOKE=1`` (what
 ``scripts/run_benchmarks.py --smoke`` does) shrinks every workload to
@@ -90,6 +95,10 @@ CACHE_TRIALS = 64 if SMOKE else 10_000
 SERVICE_TRIALS = 64 if SMOKE else 20_000
 SERVICE_WORKERS = 2
 SERVICE_CHUNK = 16 if SMOKE else 1_024
+#: Tasks per round of the tenancy claim-overhead pair, spread over this many
+#: tenants and priority classes in the fair-share arm.
+TENANCY_TASKS = 16 if SMOKE else 256
+TENANCY_TENANTS = 8
 #: SVT threshold for the batch group: roughly the top-100th of the uniform
 #: counts, i.e. the paper's top-2k..top-8k policy regime for k=25, where the
 #: mechanism scans a realistic few-hundred-query prefix per trial.
@@ -432,3 +441,62 @@ def test_service_queue_workers(benchmark, sharded_spec, tmp_path):
     np.testing.assert_array_equal(result.indices, reference.indices)
     np.testing.assert_array_equal(result.gaps, reference.gaps)
     np.testing.assert_array_equal(result.epsilon_consumed, reference.epsilon_consumed)
+
+
+# ---------------------------------------------------------------------------
+# fair-share claim overhead vs plain FIFO (group "throughput-tenancy")
+# ---------------------------------------------------------------------------
+
+
+def _drain_queue(queue, expected: int) -> int:
+    claimed_count = 0
+    while True:
+        claimed = queue.claim()
+        if claimed is None:
+            break
+        queue.ack(claimed.task_id, token=claimed.attempts)
+        claimed_count += 1
+    assert claimed_count == expected
+    return claimed_count
+
+
+@pytest.mark.benchmark(group="throughput-tenancy")
+def test_tenancy_fair_claim(benchmark, tmp_path):
+    """Fill a durable queue with tasks tagged across tenants and priority
+    classes, then drain it through the fair-share scheduler -- the cost of
+    multi-tenant claim ordering (metadata reads + deficit round-robin) on
+    top of the baseline below."""
+    from repro.service import FileJobQueue
+
+    rounds = iter(range(10_000_000))
+
+    def fill_and_drain():
+        queue = FileJobQueue(tmp_path / f"fair-{next(rounds)}")
+        for index in range(TENANCY_TASKS):
+            queue.put(
+                f"payload-{index}",
+                task_id=f"task-{index:06d}",
+                priority=index % 3,
+                tenant=f"tenant-{index % TENANCY_TENANTS}",
+            )
+        return _drain_queue(queue, TENANCY_TASKS)
+
+    assert benchmark(fill_and_drain) == TENANCY_TASKS
+
+
+@pytest.mark.benchmark(group="throughput-tenancy")
+def test_tenancy_fifo_claim(benchmark, tmp_path):
+    """Baseline: the identical fill-and-drain through the plain FIFO claim
+    path (``scheduler="fifo"``, untagged tasks) -- what the queue did
+    before the control plane existed."""
+    from repro.service import FileJobQueue
+
+    rounds = iter(range(10_000_000))
+
+    def fill_and_drain():
+        queue = FileJobQueue(tmp_path / f"fifo-{next(rounds)}", scheduler="fifo")
+        for index in range(TENANCY_TASKS):
+            queue.put(f"payload-{index}", task_id=f"task-{index:06d}")
+        return _drain_queue(queue, TENANCY_TASKS)
+
+    assert benchmark(fill_and_drain) == TENANCY_TASKS

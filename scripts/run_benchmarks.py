@@ -66,6 +66,12 @@ PAIRS = [
     # match SERVICE_TRIALS.
     ("service-vs-inprocess", "test_service_queue_workers",
      "test_service_inprocess_sharded", 20_000, 20_000),
+    # Multi-tenant control plane: fill-and-drain of the durable queue
+    # through the fair-share claim scheduler vs the plain FIFO path.  The
+    # "trials" here are claimed tasks per round (must match TENANCY_TASKS);
+    # the ratio is the per-claim overhead of tenancy scheduling.
+    ("tenancy-fair-vs-fifo", "test_tenancy_fair_claim",
+     "test_tenancy_fifo_claim", 256, 256),
 ]
 
 

@@ -23,6 +23,7 @@ from repro.api.engines import Engine, validate_engine
 from repro.api.registry import get_executor
 from repro.api.result import Result
 from repro.api.specs import MechanismSpec
+from repro.tenancy.scheduler import DEFAULT_PRIORITY, DEFAULT_TENANT
 
 __all__ = ["pick_thresholds", "run", "submit"]
 
@@ -272,6 +273,8 @@ def submit(
     chunk_trials=None,
     options=None,
     job_id=None,
+    tenant: str = DEFAULT_TENANT,
+    priority: int = DEFAULT_PRIORITY,
 ):
     """Submit ``spec`` to a job-queue service root; the async ``run()``.
 
@@ -294,6 +297,12 @@ def submit(
     ``options`` carries the run-time executor options as a dict (they cross
     a JSON boundary, so explicit noise matrices and per-trial thresholds
     serialize losslessly).
+
+    ``tenant`` and ``priority`` place the job in the service's multi-tenant
+    control plane (:mod:`repro.tenancy`): the job is admitted only if the
+    tenant's remaining epsilon budget (when one is granted on the service
+    root's ledger) covers its worst case, and its tasks are claimed by
+    priority class with fair shares across tenants.
     """
     # Deferred import for the same reason as the dispatch import in run():
     # the service executes chunks through run(), so the dependency must stay
@@ -308,6 +317,8 @@ def submit(
         chunk_trials=chunk_trials,
         options=options,
         job_id=job_id,
+        tenant=tenant,
+        priority=priority,
     )
 
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
+import time
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -154,7 +156,19 @@ class DiskResultCache(ResultCache):
         result can transiently exceed the cap rather than thrash.  Long-lived
         workers sharing one cache directory set this so the cache cannot grow
         unboundedly; hits on retained keys stay exact.
+
+        Cap enforcement is O(1) per put: a running byte total (persisted to
+        a ``.size`` sidecar index, lazily reconciled by the periodic and
+        eviction-time scans) decides whether eviction is needed, so only
+        the rare over-cap put pays a directory scan.
     """
+
+    #: Incremental mutations between two full reconciling rescans.  The
+    #: running byte total drifts only when *other* processes share the
+    #: directory (their puts/evictions are invisible to this process's
+    #: counter), so an occasional rescan re-anchors it; between rescans
+    #: every capped put is O(1).
+    RECONCILE_EVERY = 128
 
     def __init__(
         self,
@@ -162,12 +176,27 @@ class DiskResultCache(ResultCache):
         max_bytes: Optional[int] = None,
     ) -> None:
         self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            # Read-only root: gets/probes over an existing (or absent)
+            # directory still work; the first put fails with the real error.
+            pass
         if max_bytes is not None:
             max_bytes = int(max_bytes)
             if max_bytes < 1:
                 raise ValueError(f"max_bytes must be at least 1, got {max_bytes}")
         self.max_bytes = max_bytes
+        # O(1) size accounting: a running byte total maintained on every
+        # put/evict, persisted to a sidecar index (".size" -- no .json/.npz
+        # suffix, so entry globs never see it) as a warm start for the next
+        # process, and lazily reconciled against a real directory scan --
+        # at construction-miss, every RECONCILE_EVERY mutations, and
+        # whenever an eviction pass scans the directory anyway.
+        self._size_lock = threading.Lock()
+        self._size_bytes: Optional[int] = None
+        self._mutations = 0
+        self._index_path = self.directory / ".size"
 
     def _paths(self, key: str) -> tuple:
         check_safe_name(key)
@@ -197,10 +226,22 @@ class DiskResultCache(ResultCache):
 
         buffer = io.BytesIO()
         np.savez(buffer, **arrays)
-        atomic_write_bytes(array_path, buffer.getvalue())
-        atomic_write_bytes(meta_path, json.dumps(metadata).encode("utf-8"))
+        payload = buffer.getvalue()
+        meta_bytes = json.dumps(metadata).encode("utf-8")
+        old_bytes = (
+            self._stat_bytes(meta_path) + self._stat_bytes(array_path)
+            if self.max_bytes is not None
+            else 0
+        )
+        atomic_write_bytes(array_path, payload)
+        atomic_write_bytes(meta_path, meta_bytes)
         if self.max_bytes is not None:
-            self._evict(keep=key)
+            self._account(len(payload) + len(meta_bytes) - old_bytes)
+            # O(1) cap check: the running total decides whether an eviction
+            # pass (the only remaining directory scan) is needed at all --
+            # an under-cap put never rescans the cache directory.
+            if self._total_bytes() > self.max_bytes:
+                self._evict(keep=key)
 
     def get(self, key: str) -> Optional[Result]:
         meta_path, array_path = self._paths(key)
@@ -260,15 +301,108 @@ class DiskResultCache(ResultCache):
     def evict(self, key: str) -> None:
         """Remove both files of an entry (metadata first, as in eviction)."""
         meta_path, array_path = self._paths(key)
+        freed = 0
         for path in (meta_path, array_path):
+            if self.max_bytes is not None:
+                freed += self._stat_bytes(path)
             try:
                 path.unlink()
             except OSError:
                 pass
+        if freed:
+            self._account(-freed)
+
+    # -- size accounting ----------------------------------------------------
+
+    @staticmethod
+    def _stat_bytes(path: Path) -> int:
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
+
+    def _load_index(self) -> Optional[int]:
+        try:
+            payload = json.loads(self._index_path.read_text(encoding="utf-8"))
+            return max(0, int(payload["bytes"]))
+        except (OSError, TypeError, KeyError, ValueError):
+            return None
+
+    def _account(self, delta: int) -> None:
+        """Fold one mutation into the running total and the sidecar index.
+
+        Only capped caches maintain the machinery: an unbounded cache never
+        consults the total, so charging its hot path stats and a sidecar
+        write per mutation would be pure overhead.
+        """
+        if self.max_bytes is None:
+            return
+        with self._size_lock:
+            if self._size_bytes is None:
+                # Establish from the persisted sidecar so this very
+                # mutation is not lost: anchoring to the stale sidecar
+                # *after* dropping the delta would hide the new entry from
+                # the cap check until the next reconcile.  With no sidecar
+                # either, stay unestablished -- the next _total_bytes()
+                # scan runs after the write and already includes it.
+                loaded = self._load_index()
+                if loaded is None:
+                    return
+                self._size_bytes = loaded
+            self._size_bytes = max(0, self._size_bytes + int(delta))
+            self._mutations += 1
+            self._write_index(self._size_bytes)
+
+    def _write_index(self, total: int) -> None:
+        # Best effort: a lost sidecar only costs the next process one scan.
+        try:
+            atomic_write_bytes(
+                self._index_path,
+                json.dumps({"bytes": int(total), "at": time.time()}).encode(
+                    "utf-8"
+                ),
+            )
+        except OSError:
+            pass
+
+    def _total_bytes(self) -> int:
+        """The cache's byte total in O(1) where possible.
+
+        Resolution order: the in-process running total (unless it is due
+        for its periodic reconcile), then the persisted sidecar index (a
+        previous process's running total), then -- lazily, only when
+        neither exists -- a real directory scan.  Concurrent writers
+        sharing the directory make the cheap answers drift; the periodic
+        and eviction-time rescans bound that drift.
+        """
+        with self._size_lock:
+            if (
+                self._size_bytes is not None
+                and self._mutations < self.RECONCILE_EVERY
+            ):
+                return self._size_bytes
+            if self._size_bytes is None:
+                loaded = self._load_index()
+                if loaded is not None:
+                    self._size_bytes = loaded
+                    return self._size_bytes
+                # no (or torn) sidecar: fall through to the scan
+        return self.size_bytes()
 
     def size_bytes(self) -> int:
-        """Total on-disk bytes of committed entries (payloads + metadata)."""
-        return sum(size for _, _, _, size in self._entries())
+        """Total on-disk bytes of committed entries (payloads + metadata).
+
+        Always a real directory scan -- the exact, reconciling answer that
+        also re-anchors the running total (and sidecar) the capped ``put``
+        fast path consults.
+        """
+        total = sum(size for _, _, _, size in self._entries())
+        if self.max_bytes is not None:
+            with self._size_lock:
+                self._size_bytes = total
+                self._mutations = 0
+                self._write_index(total)
+        return total
 
     def _entries(self):
         """``(mtime, key, (meta_path, array_path), size)`` per committed
@@ -297,6 +431,10 @@ class DiskResultCache(ResultCache):
         marker is removed first, so a reader racing an eviction observes a
         miss, never a metadata file pointing at a vanished payload mid-read.
         Already-vanished files (a concurrent eviction won) are skipped.
+
+        The directory scan this needs for LRU order doubles as the lazy
+        reconcile of the running byte total: eviction is the rare, already
+        O(N) episode, so anchoring the O(1) fast path here is free.
         """
         entries = sorted(self._entries(), key=lambda entry: entry[:2])
         total = sum(entry[3] for entry in entries)
@@ -311,6 +449,10 @@ class DiskResultCache(ResultCache):
                 except OSError:
                     pass
             total -= size
+        with self._size_lock:
+            self._size_bytes = total
+            self._mutations = 0
+            self._write_index(total)
 
 
 def as_result_cache(cache) -> Optional[ResultCache]:

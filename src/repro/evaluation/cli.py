@@ -31,19 +31,32 @@ The service sub-commands are the CLI face of the job-queue layer
 (:mod:`repro.service`): ``submit`` enqueues a spec execution on a service
 root and prints the job id, ``serve-worker`` runs the long-lived worker
 loop against the same root (start as many as you want, on any machine
-sharing the directory), and ``job-status`` / ``job-result`` poll and fetch::
+sharing the directory), ``job-status`` / ``job-result`` poll and fetch, and
+``job-cancel`` stops a job::
 
     python -m repro.evaluation.cli submit spec.json --root ./svc \\
-        --trials 100000 --seed 0
+        --trials 100000 --seed 0 --tenant alice --priority 5
     python -m repro.evaluation.cli serve-worker --root ./svc &
     python -m repro.evaluation.cli job-status job-abc123 --root ./svc
     python -m repro.evaluation.cli job-result job-abc123 --root ./svc --wait 60
+    python -m repro.evaluation.cli job-cancel job-abc123 --root ./svc
+
+The tenancy verbs drive the control plane (:mod:`repro.tenancy`):
+``tenant-budget`` grants (or shows) a tenant's epsilon budget on the root's
+persistent ledger -- once granted, a submit whose worst case does not fit
+the tenant's remaining budget is refused -- and ``metrics`` prints the
+operator snapshot (queue depth per state, jobs per state, cache hit rate,
+per-tenant budgets, worker counters)::
+
+    python -m repro.evaluation.cli tenant-budget alice --root ./svc --grant 2.5
+    python -m repro.evaluation.cli metrics --root ./svc
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -211,6 +224,7 @@ def _run_run_spec(args, stream) -> None:
 def _run_submit(args, stream) -> None:
     """Submit a spec execution to a service root and print the job id."""
     from repro.service import JobClient
+    from repro.tenancy.scheduler import DEFAULT_PRIORITY, DEFAULT_TENANT
 
     spec = _load_spec_file(args.spec)
     handle = JobClient(args.root).submit(
@@ -219,6 +233,8 @@ def _run_submit(args, stream) -> None:
         trials=args.trials,
         seed=args.seed,
         chunk_trials=args.chunk_trials,
+        tenant=args.tenant if args.tenant is not None else DEFAULT_TENANT,
+        priority=args.priority if args.priority is not None else DEFAULT_PRIORITY,
     )
     status = handle.status()
     stream.write(
@@ -251,6 +267,48 @@ def _run_job_result(args, stream) -> None:
     _print_result(f"job-result: {spec.kind} via {result.engine}", result, stream)
 
 
+def _run_job_cancel(args, stream) -> None:
+    """Cancel a job: drop its pending tasks and mark it cancelled."""
+    from repro.service import JobClient
+
+    status = JobClient(args.root).cancel(args.spec)
+    stream.write(
+        f"job {status.job_id}: {status.state} "
+        f"({status.done_tasks}/{status.total_tasks} tasks done)\n"
+    )
+
+
+def _run_metrics(args, stream) -> None:
+    """Print the operator metrics snapshot of a service root."""
+    from repro.tenancy import collect_metrics, render_metrics
+
+    stream.write(render_metrics(collect_metrics(args.root)))
+
+
+def _run_tenant_budget(args, stream) -> None:
+    """Grant (--grant), manually refund (--refund) and report one tenant's
+    epsilon budget."""
+    from repro.tenancy import BudgetLedger
+
+    ledger = BudgetLedger(Path(args.root) / "tenants")
+    if args.grant is not None:
+        ledger.grant(args.spec, args.grant)
+    if args.refund is not None:
+        ledger.refund(args.spec, args.refund)
+    total = ledger.total(args.spec)
+    if total is None:
+        stream.write(
+            f"tenant {args.spec}: unbounded (no budget granted); "
+            f"epsilon charged so far: {ledger.charged(args.spec):g}\n"
+        )
+    else:
+        stream.write(
+            f"tenant {args.spec}: total epsilon {total:g}, "
+            f"spent {ledger.spent(args.spec):g}, "
+            f"remaining {ledger.remaining(args.spec):g}\n"
+        )
+
+
 def _run_serve_worker(args, stream) -> None:
     """Run the long-lived worker loop against a service root."""
     from repro.service import Worker
@@ -275,15 +333,28 @@ _COMMANDS: Dict[str, Callable] = {
     "submit": _run_submit,
     "job-status": _run_job_status,
     "job-result": _run_job_result,
+    "job-cancel": _run_job_cancel,
     "serve-worker": _run_serve_worker,
+    "metrics": _run_metrics,
+    "tenant-budget": _run_tenant_budget,
 }
 
 #: Commands that operate on a job-queue service root (--root).
-_SERVICE_COMMANDS = ("submit", "job-status", "job-result", "serve-worker")
+_SERVICE_COMMANDS = (
+    "submit",
+    "job-status",
+    "job-result",
+    "job-cancel",
+    "serve-worker",
+    "metrics",
+    "tenant-budget",
+)
 #: Commands whose positional argument is a spec JSON file.
 _SPEC_FILE_COMMANDS = ("run-spec", "submit")
 #: Commands whose positional argument is a job id.
-_JOB_ID_COMMANDS = ("job-status", "job-result")
+_JOB_ID_COMMANDS = ("job-status", "job-result", "job-cancel")
+#: Commands whose positional argument is a tenant name.
+_TENANT_COMMANDS = ("tenant-budget",)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -297,16 +368,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(_COMMANDS),
         help="which experiment to run ('all' runs every figure; 'run-spec' "
         "executes a serialized mechanism spec through the repro.api facade; "
-        "'submit'/'serve-worker'/'job-status'/'job-result' drive the "
-        "job-queue service layer)",
+        "'submit'/'serve-worker'/'job-status'/'job-result'/'job-cancel' "
+        "drive the job-queue service layer; 'tenant-budget'/'metrics' "
+        "drive the multi-tenant control plane)",
     )
     parser.add_argument(
         "spec",
         nargs="?",
         default=None,
-        metavar="spec-or-job-id",
-        help="path to a mechanism-spec JSON file (run-spec, submit) or a "
-        "job id (job-status, job-result)",
+        metavar="spec-or-job-id-or-tenant",
+        help="path to a mechanism-spec JSON file (run-spec, submit), a "
+        "job id (job-status, job-result, job-cancel) or a tenant name "
+        "(tenant-budget)",
     )
     parser.add_argument(
         "--engine",
@@ -363,6 +436,36 @@ def build_parser() -> argparse.ArgumentParser:
         "finish (default: the job must already be done)",
     )
     parser.add_argument(
+        "--tenant",
+        type=str,
+        default=None,
+        help="submit only: the tenant the job runs (and is budgeted/"
+        "fair-shared) under (default: 'default')",
+    )
+    parser.add_argument(
+        "--priority",
+        type=int,
+        default=None,
+        help="submit only: the job's scheduling class; bigger numbers are "
+        "claimed strictly earlier (default: 0)",
+    )
+    parser.add_argument(
+        "--grant",
+        type=float,
+        default=None,
+        help="tenant-budget only: set the tenant's total epsilon budget "
+        "on the service root's persistent ledger (absolute, not a delta; "
+        "caps lifetime consumption, so epsilon already metered while the "
+        "tenant ran unbudgeted counts against it)",
+    )
+    parser.add_argument(
+        "--refund",
+        type=float,
+        default=None,
+        help="tenant-budget only: manually return epsilon to the tenant "
+        "(the operator repair for a reservation a crashed submit leaked)",
+    )
+    parser.add_argument(
         "--dataset",
         choices=DATASET_CHOICES,
         default="BMS-POS",
@@ -415,9 +518,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"{args.command} requires a path to a spec JSON file")
     if args.command in _JOB_ID_COMMANDS and args.spec is None:
         parser.error(f"{args.command} requires a job id")
+    if args.command in _TENANT_COMMANDS and args.spec is None:
+        parser.error(f"{args.command} requires a tenant name")
     if (
         args.command not in _SPEC_FILE_COMMANDS
         and args.command not in _JOB_ID_COMMANDS
+        and args.command not in _TENANT_COMMANDS
         and args.spec is not None
     ):
         parser.error(f"command {args.command!r} takes no spec file argument")
@@ -426,13 +532,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     # sharding, no cache, no service root.
     allowed = {
         "run-spec": {"engine", "shards", "cache", "chunk_trials"},
-        "submit": {"engine", "chunk_trials", "root"},
+        "submit": {"engine", "chunk_trials", "root", "tenant", "priority"},
         "job-status": {"root"},
         "job-result": {"root", "wait"},
+        "job-cancel": {"root"},
         "serve-worker": {"root", "max_tasks"},
+        "metrics": {"root"},
+        "tenant-budget": {"root", "grant", "refund"},
     }.get(args.command, set())
     for flag in ("engine", "shards", "cache", "chunk_trials", "root",
-                 "max_tasks", "wait"):
+                 "max_tasks", "wait", "tenant", "priority", "grant",
+                 "refund"):
         if flag not in allowed and getattr(args, flag) is not None:
             parser.error(
                 f"--{flag.replace('_', '-')} does not apply to the "
@@ -467,9 +577,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command in _SPEC_FILE_COMMANDS or args.command in _JOB_ID_COMMANDS:
         recoverable += (ValueError,)
     if args.command in _SERVICE_COMMANDS:
+        # Unknown job ids, failed jobs, not-ready results (ServiceError);
+        # an over-budget submission refused at admission
+        # (BudgetExceededError); bad tenant names or a wedged ledger lock
+        # (LedgerError) -- all user-reachable, all one-line exit-2 errors.
+        from repro.accounting.budget import BudgetExceededError
         from repro.service import ServiceError
+        from repro.tenancy import LedgerError
 
-        recoverable += (ServiceError,)
+        recoverable += (ServiceError, BudgetExceededError, LedgerError)
     try:
         if args.output is None:
             runner(args, sys.stdout)

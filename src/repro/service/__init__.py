@@ -36,6 +36,13 @@ The CLI front-end lives in ``repro.evaluation.cli``::
 
 and :func:`repro.api.submit` is the facade-level async entry alongside
 ``run()``.
+
+The multi-tenant control plane on top of this data plane -- the persistent
+per-tenant :class:`~repro.tenancy.ledger.BudgetLedger` consulted at submit,
+the :class:`~repro.tenancy.scheduler.TenantScheduler` that orders claims
+(strict priorities, fair shares across tenants, FIFO within one), and the
+operator metrics surface behind the ``metrics`` CLI verb -- lives in
+:mod:`repro.tenancy`.
 """
 
 from repro.service.broker import (

@@ -67,6 +67,8 @@ from repro.service.queue import (
     atomic_write_json,
     check_safe_id,
 )
+from repro.tenancy.ledger import BudgetLedger
+from repro.tenancy.scheduler import DEFAULT_PRIORITY, DEFAULT_TENANT
 
 __all__ = [
     "Broker",
@@ -155,6 +157,18 @@ class Broker:
         smaller than one job's own chunks lets later puts evict earlier
         chunks before ``result()`` can merge them, leaving a "done" job
         that cannot be served until it is resubmitted against a larger cap.
+    ledger:
+        Override the tenant budget ledger: a
+        :class:`~repro.tenancy.ledger.BudgetLedger`, a directory path, or
+        ``None`` for the default ``BudgetLedger(root/tenants)`` every
+        broker sharing the root also sees.  Tenants without a granted
+        budget are unbounded (charges are recorded for the metrics surface
+        but never refused), so single-tenant deployments need no setup.
+    scheduler:
+        Claim-order policy for the default queue (ignored when ``queue`` is
+        given): ``None`` for the fair-share default, ``"fifo"`` for plain
+        enqueue order, or a configured
+        :class:`~repro.tenancy.scheduler.TenantScheduler`.
     """
 
     def __init__(
@@ -166,14 +180,23 @@ class Broker:
         cache_max_bytes: Optional[int] = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        ledger: Union[None, str, os.PathLike, BudgetLedger] = None,
+        scheduler=None,
     ) -> None:
         self.root = Path(root)
         self.jobs_dir = self.root / "jobs"
-        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            # Read-only root: status/list/result reads (and the metrics
+            # verb, which constructs a Broker purely to read) still work;
+            # submit fails at its first write with the real error.
+            pass
         self.queue = queue if queue is not None else FileJobQueue(
             self.root / "queue",
             max_attempts=max_attempts,
             lease_seconds=lease_seconds,
+            scheduler=scheduler,
         )
         if cache is None:
             self.cache: ResultCache = DiskResultCache(
@@ -181,6 +204,12 @@ class Broker:
             )
         else:
             self.cache = as_result_cache(cache)
+        if isinstance(ledger, BudgetLedger):
+            self.ledger = ledger
+        else:
+            self.ledger = BudgetLedger(
+                self.root / "tenants" if ledger is None else ledger
+            )
 
     # -- submission ---------------------------------------------------------
 
@@ -194,6 +223,8 @@ class Broker:
         chunk_trials: Optional[int] = None,
         options: Optional[dict] = None,
         job_id: Optional[str] = None,
+        tenant: str = DEFAULT_TENANT,
+        priority: int = DEFAULT_PRIORITY,
     ) -> str:
         """Validate one execution request, chunk it, and enqueue its tasks.
 
@@ -203,6 +234,20 @@ class Broker:
         be a plain integer, both for the determinism contract (the job must
         reproduce ``run(spec, trials=..., rng=seed, shards=N)``) and because
         the per-task results are content-addressed in the shared cache.
+
+        **Admission control**: the job's worst-case consumption
+        (``spec.epsilon * trials``, every trial spending its full budget --
+        the same reservation ``run(budget=)`` makes) is charged to
+        ``tenant`` on the shared :class:`BudgetLedger` before anything is
+        queued.  A tenant with a granted budget that cannot absorb the
+        reservation is refused with
+        :class:`~repro.accounting.budget.BudgetExceededError` and nothing
+        is enqueued or recorded.  The unused part of the reservation is
+        refunded when the job settles (``result()`` / ``cancel()``).
+
+        ``priority`` (bigger = more urgent) and ``tenant`` also tag every
+        queued task for the claim scheduler: strict priority classes,
+        fair shares across tenants inside a class, FIFO within a tenant.
         """
         if not isinstance(spec, MechanismSpec):
             raise TypeError(
@@ -235,6 +280,8 @@ class Broker:
         # rejects them -- not after every chunk has been executed and
         # retried to exhaustion on the workers.
         _check_options(executor, type(spec), engine_name, options)
+        tenant = str(tenant)
+        priority = int(priority)
         job_id = _check_job_id(job_id or f"job-{uuid.uuid4().hex[:12]}")
         job_dir = self.jobs_dir / job_id
         # Existence is defined by the manifest (the commit marker below),
@@ -272,6 +319,11 @@ class Broker:
             "trials": trials,
             "seed": seed,
             "chunk_trials": resolved_chunk,
+            "tenant": tenant,
+            "priority": priority,
+            # Worst-case consumption, reserved on the ledger at admission
+            # and settled (actual charged, rest refunded) on completion.
+            "reserved_epsilon": float(spec.epsilon) * trials,
             # The facade key of the equivalent run(spec, shards=..., cache=)
             # request: result() stores the merged result under it, so a
             # warm service cache also serves in-process facade callers.
@@ -286,51 +338,91 @@ class Broker:
             "submitted_at": time.time(),
             "tasks": entries,
         }
-        # Marker dirs first, tasks second, manifest LAST: the manifest is
-        # the commit marker.  A submit that crashes mid-enqueue leaves only
-        # orphan tasks (workers execute them into the content-addressed
-        # cache -- wasted but harmless), never a committed job that can no
-        # longer complete; the client sees "no such job" and resubmits.
-        (job_dir / "done").mkdir(parents=True, exist_ok=True)
-        (job_dir / "failed").mkdir(exist_ok=True)
-        # A previously crashed (uncommitted) submission may have left
-        # completion markers from its orphan tasks; inheriting them would
-        # make the fresh job report done/failed states it never earned.
-        for stale in (
-            *(job_dir / "done").glob("*.json"),
-            *(job_dir / "failed").glob("*.json"),
-            job_dir / "cancelled.json",
-        ):
-            try:
-                stale.unlink()
-            except OSError:
-                pass
-        for payload, entry in zip(payloads, entries):
-            envelope = {
-                "job_id": job_id,
-                "index": entry["index"],
-                "key": entry["key"],
-                "task": payload,
-            }
-            # Drop any pending orphan of a previously crashed submit under
-            # the same task id -- and its dead-letter record, which would
-            # otherwise make a later reaper pass spuriously fail the fresh
-            # job -- so the resubmission's envelope is the one that runs.
-            # An orphan a worker has *claimed* cannot be replaced
-            # mid-flight: surface that as a service-level conflict instead
-            # of letting the raw QueueError escape.
-            self.queue.remove(entry["task_id"])
-            self.queue.clear_failed(entry["task_id"])
-            try:
-                self.queue.put(json.dumps(envelope), task_id=entry["task_id"])
-            except QueueError as exc:
-                raise ServiceError(
-                    f"task {entry['task_id']!r} from a previous uncommitted "
-                    f"submission of job {job_id!r} is still claimed by a "
-                    "worker; wait for its lease to resolve or submit under "
-                    "a fresh job id"
-                ) from exc
-        atomic_write_json(job_dir / "manifest.json", manifest)
+        # Admission control: reserve the worst case on the shared ledger
+        # *before* anything is queued.  An over-budget tenant is refused
+        # here (BudgetExceededError), with no queue or disk side effects;
+        # any failure between this charge and the manifest commit refunds
+        # the reservation, so an aborted submit leaves the ledger balanced.
+        self.ledger.charge(tenant, manifest["reserved_epsilon"], job_id=job_id)
+        try:
+            # Marker dirs first, tasks second, manifest LAST: the manifest is
+            # the commit marker.  A submit that crashes mid-enqueue leaves
+            # only orphan tasks (workers execute them into the
+            # content-addressed cache -- wasted but harmless), never a
+            # committed job that can no longer complete; the client sees "no
+            # such job" and resubmits.
+            (job_dir / "done").mkdir(parents=True, exist_ok=True)
+            (job_dir / "failed").mkdir(exist_ok=True)
+            # A previously crashed (uncommitted) submission may have left
+            # completion markers from its orphan tasks; inheriting them would
+            # make the fresh job report done/failed states it never earned.
+            for stale in (
+                *(job_dir / "done").glob("*.json"),
+                *(job_dir / "failed").glob("*.json"),
+                job_dir / "cancelled.json",
+            ):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
+            for payload, entry in zip(payloads, entries):
+                envelope = {
+                    "job_id": job_id,
+                    "index": entry["index"],
+                    "key": entry["key"],
+                    "tenant": tenant,
+                    "priority": priority,
+                    "task": payload,
+                }
+                # Drop any pending orphan of a previously crashed submit
+                # under the same task id -- and its dead-letter record,
+                # which would otherwise make a later reaper pass spuriously
+                # fail the fresh job -- so the resubmission's envelope is
+                # the one that runs.  An orphan a worker has *claimed*
+                # cannot be replaced mid-flight: surface that as a
+                # service-level conflict instead of letting the raw
+                # QueueError escape.
+                self.queue.remove(entry["task_id"])
+                self.queue.clear_failed(entry["task_id"])
+                try:
+                    self.queue.put(
+                        json.dumps(envelope),
+                        task_id=entry["task_id"],
+                        priority=priority,
+                        tenant=tenant,
+                    )
+                except QueueError as exc:
+                    raise ServiceError(
+                        f"task {entry['task_id']!r} from a previous "
+                        f"uncommitted submission of job {job_id!r} is still "
+                        "claimed by a worker; wait for its lease to resolve "
+                        "or submit under a fresh job id"
+                    ) from exc
+            atomic_write_json(job_dir / "manifest.json", manifest)
+        except BaseException as submit_error:
+            # Compensate the reservation.  The refund itself can fail (the
+            # same full disk that broke the enqueue, a wedged ledger lock):
+            # retry briefly, and if it still cannot land, surface the
+            # leaked amount loudly -- an operator repairs it with
+            # `tenant-budget <tenant> --root ... --refund <eps>`.
+            reserved = manifest["reserved_epsilon"]
+            for attempt in range(3):
+                try:
+                    self.ledger.refund(tenant, reserved, job_id=job_id)
+                    break
+                except Exception:  # noqa: BLE001 -- compensation best effort
+                    if attempt == 2:
+                        raise ServiceError(
+                            f"submission of job {job_id!r} failed AND the "
+                            f"compensating refund of epsilon={reserved:g} "
+                            f"to tenant {tenant!r} could not be journalled; "
+                            "the reservation is leaked -- repair it with "
+                            f"`tenant-budget {tenant} --refund {reserved:g}` "
+                            f"once the ledger is writable "
+                            f"(original error: {submit_error})"
+                        ) from submit_error
+                    time.sleep(0.05)
+            raise
         return job_id
 
     # -- status -------------------------------------------------------------
@@ -424,6 +516,68 @@ class Broker:
             {"error": str(error), "failed_at": time.time()},
         )
 
+    # -- budget settlement --------------------------------------------------
+
+    def _consumed_epsilon(
+        self, job_id: str, manifest: dict, *, never_ran=()
+    ) -> float:
+        """Epsilon a terminal (cancelled/failed) job consumed, conservatively.
+
+        Per chunk: a **done** chunk counts its actual consumption read back
+        from the shared cache; a chunk in ``never_ran`` (cancel() proved it
+        -- it was removed from the pending queue, and any later requeue of a
+        cancelled job's task is discarded by the workers unexecuted) counts
+        zero; every other chunk -- claimed and possibly mid-execution,
+        failed after drawing noise, or done but evicted before settlement --
+        counts its worst case, ``spec.epsilon * chunk trials``.  Ambiguity
+        always rounds toward *spent*: the ledger may strand a little budget
+        on a crashed fleet, but it never under-counts a release.
+        """
+        job_dir = self.jobs_dir / job_id
+        epsilon = float(manifest["spec"]["epsilon"])
+        never_ran = set(never_ran)
+        total = 0.0
+        for entry in manifest["tasks"]:
+            worst = epsilon * int(entry["trials"])
+            if (job_dir / "done" / f"{int(entry['index'])}.json").exists():
+                chunk = self.cache.get(entry["key"])
+                total += (
+                    float(np.sum(chunk.epsilon_consumed))
+                    if chunk is not None
+                    else worst
+                )
+            elif entry["task_id"] in never_ran:
+                pass
+            else:
+                total += worst
+        return total
+
+    def _settle(self, manifest: dict, consumed_fn) -> None:
+        """Refund the unused part of the job's reservation, exactly once.
+
+        ``consumed_fn`` computes the consumed epsilon lazily -- it may cost
+        per-chunk cache reads, so it only runs on the one settling call.
+        Idempotent by the ledger's settled-job set, so repeated ``result()``
+        calls (or a ``cancel()`` racing a ``result()``) never double-refund.
+        Manifests from before the ledger era carry no reservation and are
+        left alone.
+        """
+        if "reserved_epsilon" not in manifest:
+            return
+        # Lock-free pre-check: repeated result() fetches of a settled job
+        # (the common warm path) must stay pure reads -- no journal lock
+        # contention, no lock-timeout failure mode.  settle() re-checks
+        # under the lock, so a racing first-settle stays exactly-once.
+        if self.ledger.is_settled(manifest["job_id"]):
+            return
+        reserved = float(manifest["reserved_epsilon"])
+        refund = max(0.0, reserved - max(0.0, float(consumed_fn())))
+        self.ledger.settle(
+            manifest.get("tenant", DEFAULT_TENANT),
+            refund,
+            job_id=manifest["job_id"],
+        )
+
     # -- results ------------------------------------------------------------
 
     def result(self, job_id: str) -> Result:
@@ -440,8 +594,16 @@ class Broker:
         manifest = self.manifest(job_id)  # read once; status reuses it
         status = self._status_from_manifest(job_id, manifest)
         if status.state == "cancelled":
+            self._settle(
+                manifest,
+                lambda: self._consumed_epsilon(job_id, manifest),
+            )
             raise JobFailedError(f"job {job_id!r} was cancelled")
         if status.state == "failed":
+            self._settle(
+                manifest,
+                lambda: self._consumed_epsilon(job_id, manifest),
+            )
             detail = "; ".join(
                 f"chunk {index}: {error}"
                 for index, error in sorted(status.failed_tasks.items())
@@ -455,6 +617,9 @@ class Broker:
             )
         merged = self.cache.get(manifest["run_key"])
         if merged is not None:
+            self._settle(
+                manifest, lambda: float(np.sum(merged.epsilon_consumed))
+            )
             return merged
         results = []
         missing = []
@@ -483,6 +648,9 @@ class Broker:
             )
         merged = merge_results(results)
         self.cache.put(manifest["run_key"], merged)
+        self._settle(
+            manifest, lambda: float(np.sum(merged.epsilon_consumed))
+        )
         return merged
 
     def spec(self, job_id: str) -> MechanismSpec:
@@ -499,14 +667,36 @@ class Broker:
         harmless), but any later claim of a cancelled job's task -- a
         retry, or a lease expiry requeue -- is discarded by the workers
         without executing.  Cancelling a finished job is a no-op beyond
-        writing the marker.
+        writing the marker.  Either way the job's budget reservation is
+        settled here: the tenant gets back whatever its completed chunks
+        did not actually consume, without waiting for a ``result()`` call
+        that may never come.
         """
         manifest = self.manifest(job_id)
         job_dir = self.jobs_dir / job_id
+        never_ran = set()
         for entry in manifest["tasks"]:
-            self.queue.remove(entry["task_id"])
+            # "Never ran" requires removing the task from pending *and*
+            # seeing attempts == 0 in the removed entry itself: a
+            # nacked-and-requeued retry already drew noise on its earlier
+            # attempt, so its budget stays spent even though it was
+            # pending.  take_pending is atomic (remove-then-read), so no
+            # claim + nack cycle can slip in between; a queue backend
+            # without it falls back to plain removal, conservatively
+            # counting the chunk as consumed.
+            try:
+                taken = self.queue.take_pending(entry["task_id"])
+            except NotImplementedError:
+                self.queue.remove(entry["task_id"])
+                taken = None
+            if taken is not None and int(taken.get("attempts", 0)) == 0:
+                never_ran.add(entry["task_id"])
         atomic_write_json(
             job_dir / "cancelled.json", {"cancelled_at": time.time()}
+        )
+        self._settle(
+            manifest,
+            lambda: self._consumed_epsilon(job_id, manifest, never_ran=never_ran),
         )
         return self.status(job_id)
 

@@ -27,6 +27,7 @@ from typing import Optional, Union
 from repro.api.result import Result
 from repro.api.specs import MechanismSpec
 from repro.service.broker import Broker, JobStatus
+from repro.tenancy.scheduler import DEFAULT_PRIORITY, DEFAULT_TENANT
 
 __all__ = ["JobClient", "JobHandle"]
 
@@ -73,8 +74,16 @@ class JobClient:
         chunk_trials: Optional[int] = None,
         options: Optional[dict] = None,
         job_id: Optional[str] = None,
+        tenant: str = DEFAULT_TENANT,
+        priority: int = DEFAULT_PRIORITY,
     ) -> JobHandle:
-        """Enqueue one execution request; returns immediately with a handle."""
+        """Enqueue one execution request; returns immediately with a handle.
+
+        ``tenant`` names the budget/fair-share bucket the job runs under
+        (admission is refused when the tenant's granted epsilon budget
+        cannot absorb the job's worst case) and ``priority`` its scheduling
+        class (bigger = claimed earlier) -- see :mod:`repro.tenancy`.
+        """
         job_id = self.broker.submit(
             spec,
             engine=engine,
@@ -83,6 +92,8 @@ class JobClient:
             chunk_trials=chunk_trials,
             options=options,
             job_id=job_id,
+            tenant=tenant,
+            priority=priority,
         )
         return JobHandle(self, job_id)
 

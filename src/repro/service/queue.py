@@ -3,9 +3,16 @@
 A queue stores opaque JSON payloads (the broker enqueues ``ShardTask``
 envelopes) and hands them to workers with **at-least-once** semantics:
 
-* ``put`` enqueues a payload under a task id;
+* ``put`` enqueues a payload under a task id, tagged with the submitting
+  ``tenant`` and a ``priority`` class;
 * ``claim`` atomically transfers one pending task to the claiming worker --
-  two workers racing for the same task can never both win;
+  two workers racing for the same task can never both win.  Claim *order*
+  is delegated to a :class:`~repro.tenancy.scheduler.TenantScheduler`
+  (strict priority classes, deficit-weighted round-robin across tenants,
+  FIFO within a tenant), so a flooding tenant cannot starve the queue;
+  pass ``scheduler="fifo"`` for the plain enqueue-order behaviour;
+* ``heartbeat`` renews a live worker's lease mid-task, so the reaper can
+  tell a long-running chunk from a crashed worker;
 * ``ack`` removes a completed task;
 * ``nack`` returns a failed task to the queue (or dead-letters it once its
   attempts are exhausted);
@@ -41,6 +48,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.dispatch.cache import atomic_write_bytes, check_safe_name
+from repro.tenancy.scheduler import (
+    DEFAULT_PRIORITY,
+    DEFAULT_TENANT,
+    ScheduledEntry,
+    TenantScheduler,
+)
 
 __all__ = [
     "ClaimedTask",
@@ -80,13 +93,42 @@ class ClaimedTask:
     attempts: int
 
 
+def _resolve_scheduler(scheduler) -> Optional[TenantScheduler]:
+    """The queue constructors' shared ``scheduler=`` coercion: ``None``
+    (default) builds a fresh fair-share scheduler, ``"fifo"`` disables
+    scheduling (plain enqueue order), and an instance is used as-is (e.g.
+    one with per-tenant weights)."""
+    if scheduler is None:
+        return TenantScheduler()
+    if scheduler == "fifo":
+        return None
+    if isinstance(scheduler, TenantScheduler):
+        return scheduler
+    raise TypeError(
+        "scheduler must be None, 'fifo' or a TenantScheduler instance; "
+        f"got {type(scheduler).__name__}"
+    )
+
+
 class JobQueue:
     """Interface shared by the queue backends (see module docstring)."""
 
-    def put(self, payload: str, *, task_id: Optional[str] = None) -> str:
+    def put(
+        self,
+        payload: str,
+        *,
+        task_id: Optional[str] = None,
+        priority: int = DEFAULT_PRIORITY,
+        tenant: str = DEFAULT_TENANT,
+    ) -> str:
         raise NotImplementedError
 
     def claim(self, worker_id: Optional[str] = None) -> Optional[ClaimedTask]:
+        raise NotImplementedError
+
+    def heartbeat(self, task_id: str, *, token: Optional[int] = None) -> bool:
+        """Renew a live claim's lease; False when the claim is gone (or the
+        fencing token is stale)."""
         raise NotImplementedError
 
     def ack(self, task_id: str, *, token: Optional[int] = None) -> bool:
@@ -105,6 +147,17 @@ class JobQueue:
         raise NotImplementedError
 
     def remove(self, task_id: str) -> bool:
+        raise NotImplementedError
+
+    def take_pending(self, task_id: str) -> Optional[dict]:
+        """Atomically remove a pending task and return its entry (with its
+        ``attempts`` count), or None when the task is not pending.  The
+        broker's cancel() uses the returned attempts to tell a never-ran
+        chunk (refundable) from a requeued retry that already drew noise --
+        atomicity matters: a separate probe-then-remove would race a
+        claim + nack cycle in between.  Backends without it fall back to
+        :meth:`remove` (the broker then conservatively counts the chunk as
+        consumed)."""
         raise NotImplementedError
 
     def failed_error(self, task_id: str) -> Optional[str]:
@@ -165,38 +218,86 @@ class MemoryJobQueue(JobQueue):
         *,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        scheduler=None,
     ) -> None:
         self.max_attempts = int(max_attempts)
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be at least 1, got {max_attempts}")
         self.lease_seconds = float(lease_seconds)
+        self._scheduler = _resolve_scheduler(scheduler)
         self._lock = threading.Lock()
+        self._seq = 0  # enqueue stamp: FIFO key within a tenant
         self._pending: Dict[str, dict] = {}  # insertion-ordered
         self._claimed: Dict[str, dict] = {}
         self._failed: Dict[str, dict] = {}
 
-    def put(self, payload: str, *, task_id: Optional[str] = None) -> str:
+    def put(
+        self,
+        payload: str,
+        *,
+        task_id: Optional[str] = None,
+        priority: int = DEFAULT_PRIORITY,
+        tenant: str = DEFAULT_TENANT,
+    ) -> str:
         task_id = _check_task_id(task_id or _new_task_id())
         with self._lock:
             if task_id in self._pending or task_id in self._claimed:
                 raise QueueError(f"task {task_id!r} is already queued")
-            self._pending[task_id] = {"payload": str(payload), "attempts": 0}
+            self._seq += 1
+            self._pending[task_id] = {
+                "payload": str(payload),
+                "attempts": 0,
+                "priority": int(priority),
+                "tenant": str(tenant),
+                "seq": self._seq,
+            }
         return task_id
 
     def claim(self, worker_id: Optional[str] = None) -> Optional[ClaimedTask]:
         with self._lock:
-            for task_id in self._pending:
-                entry = self._pending.pop(task_id)
-                entry["attempts"] += 1
-                entry["claimed_at"] = time.time()
-                entry["worker_id"] = worker_id
-                self._claimed[task_id] = entry
-                return ClaimedTask(
-                    task_id=task_id,
-                    payload=entry["payload"],
-                    attempts=entry["attempts"],
-                )
-        return None
+            if not self._pending:
+                return None
+            if self._scheduler is None:
+                task_id = next(iter(self._pending))
+            else:
+                entries = [
+                    ScheduledEntry(
+                        entry_id=tid,
+                        priority=int(entry.get("priority", DEFAULT_PRIORITY)),
+                        tenant=str(entry.get("tenant", DEFAULT_TENANT)),
+                        seq=float(entry.get("seq", 0.0)),
+                    )
+                    for tid, entry in self._pending.items()
+                ]
+                # Lazy: only the first candidate is ever needed here (the
+                # lock guarantees it is still pending).
+                chosen = next(self._scheduler.arrange_iter(entries))
+                self._scheduler.record(chosen.priority, chosen.tenant)
+                task_id = chosen.entry_id
+            entry = self._pending.pop(task_id)
+            entry["attempts"] += 1
+            entry["claimed_at"] = time.time()
+            entry["worker_id"] = worker_id
+            self._claimed[task_id] = entry
+            return ClaimedTask(
+                task_id=task_id,
+                payload=entry["payload"],
+                attempts=entry["attempts"],
+            )
+
+    def heartbeat(self, task_id: str, *, token: Optional[int] = None) -> bool:
+        with self._lock:
+            entry = self._claimed.get(task_id)
+            if entry is None:
+                return False
+            if token is not None and entry["attempts"] != token:
+                return False  # reclaimed meanwhile: the new owner's lease rules
+            entry["claimed_at"] = time.time()
+            return True
+
+    def take_pending(self, task_id: str) -> Optional[dict]:
+        with self._lock:
+            return self._pending.pop(task_id, None)
 
     def ack(self, task_id: str, *, token: Optional[int] = None) -> bool:
         with self._lock:
@@ -302,17 +403,35 @@ class FileJobQueue(JobQueue):
         *,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        scheduler=None,
     ) -> None:
         self.max_attempts = int(max_attempts)
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be at least 1, got {max_attempts}")
         self.lease_seconds = float(lease_seconds)
+        self._scheduler = _resolve_scheduler(scheduler)
+        #: Pending-file scheduling metadata (priority, tenant, seq) by
+        #: filename, so repeated claims read each pending file's JSON once,
+        #: not once per claim.  Safe to cache across requeues -- a retry
+        #: keeps its task's tenant/priority/seq -- and local staleness after
+        #: another process resubmits the same task id only perturbs claim
+        #: *order*, never correctness.  Claims prune it to the live pending
+        #: set; a put-only process (a broker that never claims) is bounded
+        #: by the size cap below instead.
+        self._claim_meta: Dict[str, tuple] = {}
+        self._claim_meta_max = 8192
         self.directory = Path(directory)
         self._pending = self.directory / "pending"
         self._claimed = self.directory / "claimed"
         self._failed = self.directory / "failed"
         for sub in (self._pending, self._claimed, self._failed):
-            sub.mkdir(parents=True, exist_ok=True)
+            try:
+                sub.mkdir(parents=True, exist_ok=True)
+            except OSError:
+                # Read-only root (an operator inspecting a snapshot):
+                # reads (counts, claims over empty globs) still work; the
+                # first write surfaces the real error.
+                pass
 
     @staticmethod
     def _write_entry(path: Path, entry: dict) -> None:
@@ -322,11 +441,21 @@ class FileJobQueue(JobQueue):
     def _read_entry(path: Path) -> dict:
         return json.loads(path.read_text(encoding="utf-8"))
 
-    def put(self, payload: str, *, task_id: Optional[str] = None) -> str:
+    def put(
+        self,
+        payload: str,
+        *,
+        task_id: Optional[str] = None,
+        priority: int = DEFAULT_PRIORITY,
+        tenant: str = DEFAULT_TENANT,
+    ) -> str:
         task_id = _check_task_id(task_id or _new_task_id())
         target = self._pending / f"{task_id}.json"
         if (self._claimed / f"{task_id}.json").exists():
             raise QueueError(f"task {task_id!r} is already queued")
+        priority = int(priority)
+        tenant = str(tenant)
+        seq = time.time()
         # Publish via hardlink from a temp file: os.link refuses an existing
         # target, so two concurrent puts of the same task id cannot both
         # succeed (an exists() pre-check would be check-then-act).  The
@@ -335,7 +464,16 @@ class FileJobQueue(JobQueue):
         # content-addressed results make harmless.
         tmp = target.with_name(f".{target.name}.{uuid.uuid4().hex}")
         tmp.write_text(
-            json.dumps({"payload": str(payload), "attempts": 0}), encoding="utf-8"
+            json.dumps(
+                {
+                    "payload": str(payload),
+                    "attempts": 0,
+                    "priority": priority,
+                    "tenant": tenant,
+                    "seq": seq,
+                }
+            ),
+            encoding="utf-8",
         )
         try:
             os.link(tmp, target)
@@ -346,44 +484,123 @@ class FileJobQueue(JobQueue):
                 os.unlink(tmp)
             except OSError:
                 pass
+        if self._scheduler is not None:
+            # Prime the claim-order cache (pointless under plain FIFO).  A
+            # process that only ever puts never reaches the claim-side
+            # pruning, so past the cap the cache is dropped wholesale --
+            # it is an optimization, rebuilt from one read per file at the
+            # next claim.
+            if len(self._claim_meta) >= self._claim_meta_max:
+                self._claim_meta = {}
+            self._claim_meta[target.name] = (priority, tenant, seq)
         return task_id
 
+    def _refresh_claim_meta(self, names) -> Dict[str, tuple]:
+        """(priority, tenant, seq) per pending filename, reading only files
+        not seen before; entries for vanished files are dropped."""
+        cache = self._claim_meta
+        live: Dict[str, tuple] = {}
+        for name in names:
+            info = cache.get(name)
+            if info is None:
+                try:
+                    entry = self._read_entry(self._pending / name)
+                    info = (
+                        int(entry.get("priority", DEFAULT_PRIORITY)),
+                        str(entry.get("tenant", DEFAULT_TENANT)),
+                        float(entry.get("seq", 0.0)),
+                    )
+                except (OSError, TypeError, ValueError):
+                    continue  # claimed mid-scan (or torn): try next round
+            live[name] = info
+        self._claim_meta = live
+        return live
+
     def claim(self, worker_id: Optional[str] = None) -> Optional[ClaimedTask]:
-        # Sorted for deterministic FIFO-ish order (the broker's task ids sort
-        # by job and chunk index); correctness never depends on the order.
-        for path in sorted(self._pending.glob("*.json")):
-            target = self._claimed / path.name
-            try:
-                os.rename(path, target)
-            except OSError:
-                continue  # another worker won the race; try the next task
-            # Start the lease clock *immediately*: rename preserves the old
-            # mtime, and until the rewrite below lands the entry has no
-            # claimed_at -- without this touch, a concurrent reaper reading
-            # the freshly-renamed file would see an apparently ancient claim
-            # and spuriously requeue it.
-            try:
-                os.utime(target)
-            except OSError:
-                pass
-            try:
-                entry = self._read_entry(target)
-            except (OSError, ValueError):
-                # Lost a race with a reaper that requeued the entry in the
-                # window before the utime landed (or the file is mid-rewrite
-                # elsewhere): not our claim anymore, try the next task.
-                continue
-            entry["attempts"] = int(entry.get("attempts", 0)) + 1
-            entry["claimed_at"] = time.time()
-            if worker_id is not None:
-                entry["worker_id"] = str(worker_id)
-            self._write_entry(target, entry)
-            return ClaimedTask(
-                task_id=path.name[: -len(".json")],
-                payload=entry["payload"],
-                attempts=entry["attempts"],
+        # Sorted names give a deterministic base order (the broker's task
+        # ids sort by job and chunk index); the scheduler reorders them by
+        # priority class and tenant fair share.  Correctness never depends
+        # on the order -- a loser of any rename race just tries the next
+        # candidate.
+        names = sorted(path.name for path in self._pending.glob("*.json"))
+        if self._scheduler is None:
+            candidates = ((name, None) for name in names)
+        else:
+            meta = self._refresh_claim_meta(names)
+            entries = [
+                ScheduledEntry(name, *meta[name]) for name in names if name in meta
+            ]
+            # Lazy: a claim usually wins its first rename, so the full
+            # interleave (and every lower priority class) is never
+            # materialized unless earlier candidates lose their races.
+            candidates = (
+                (entry.entry_id, entry)
+                for entry in self._scheduler.arrange_iter(entries)
             )
+        for name, entry in candidates:
+            claimed = self._try_claim(name, worker_id)
+            if claimed is not None:
+                if entry is not None:
+                    self._scheduler.record(entry.priority, entry.tenant)
+                return claimed
         return None
+
+    def _try_claim(
+        self, name: str, worker_id: Optional[str]
+    ) -> Optional[ClaimedTask]:
+        """Attempt the atomic pending -> claimed transition of one task;
+        None when another actor (claimer, reaper) won the race."""
+        path = self._pending / name
+        target = self._claimed / name
+        try:
+            os.rename(path, target)
+        except OSError:
+            return None  # another worker won the race
+        # Start the lease clock *immediately*: rename preserves the old
+        # mtime, and until the rewrite below lands the entry has no
+        # claimed_at -- without this touch, a concurrent reaper reading
+        # the freshly-renamed file would see an apparently ancient claim
+        # and spuriously requeue it.
+        try:
+            os.utime(target)
+        except OSError:
+            pass
+        try:
+            entry = self._read_entry(target)
+        except (OSError, ValueError):
+            # Lost a race with a reaper that requeued the entry in the
+            # window before the utime landed (or the file is mid-rewrite
+            # elsewhere): not our claim anymore.
+            return None
+        entry["attempts"] = int(entry.get("attempts", 0)) + 1
+        entry["claimed_at"] = time.time()
+        if worker_id is not None:
+            entry["worker_id"] = str(worker_id)
+        self._write_entry(target, entry)
+        return ClaimedTask(
+            task_id=name[: -len(".json")],
+            payload=entry["payload"],
+            attempts=entry["attempts"],
+        )
+
+    def heartbeat(self, task_id: str, *, token: Optional[int] = None) -> bool:
+        """Touch the claimed file so the lease clock restarts (the reaper
+        reads ``max(claimed_at, mtime)``).  A heartbeat that loses any race
+        -- the task was acked, reaped or reclaimed -- reports False and
+        changes nothing the fencing token does not already guard."""
+        path = self._claimed / f"{_check_task_id(task_id)}.json"
+        if token is not None:
+            try:
+                entry = self._read_entry(path)
+            except (OSError, ValueError):
+                return False
+            if int(entry.get("attempts", 0)) != token:
+                return False
+        try:
+            os.utime(path)
+        except OSError:
+            return False
+        return True
 
     def _take_claim(self, path: Path):
         """Atomically take exclusive ownership of a claimed entry.
@@ -575,11 +792,37 @@ class FileJobQueue(JobQueue):
                     continue
 
     def remove(self, task_id: str) -> bool:
+        name = f"{_check_task_id(task_id)}.json"
+        self._claim_meta.pop(name, None)  # a resubmission may retag the id
         try:
-            os.unlink(self._pending / f"{_check_task_id(task_id)}.json")
+            os.unlink(self._pending / name)
             return True
         except OSError:
             return False
+
+    def take_pending(self, task_id: str) -> Optional[dict]:
+        name = f"{_check_task_id(task_id)}.json"
+        self._claim_meta.pop(name, None)
+        # Rename-then-read: the rename is the atomic removal (exactly one
+        # of a racing claimer and this take wins), so the attempts count
+        # read afterwards is authoritative -- no claim + nack cycle can
+        # slip between a probe and the removal.
+        tmp = (self._pending / name).with_name(
+            f".taken.{name}.{uuid.uuid4().hex}"
+        )
+        try:
+            os.rename(self._pending / name, tmp)
+        except OSError:
+            return None
+        try:
+            entry = self._read_entry(tmp)
+        except (OSError, ValueError):
+            entry = None
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return entry if isinstance(entry, dict) else None
 
     def failed_error(self, task_id: str) -> Optional[str]:
         try:

@@ -22,6 +22,16 @@ job) is served from the shared :class:`DiskResultCache` without recomputing,
 and the cache's ``max_bytes`` LRU cap keeps long-lived workers from growing
 it unboundedly.
 
+Long chunks are kept alive by **heartbeats**: while a task executes, a
+sidecar thread periodically renews its lease (``queue.heartbeat``), so the
+reaper can tell a slow-but-healthy worker from a crashed one -- leases can
+stay tight (fast crash recovery) without spuriously retrying long chunks.
+
+Every worker also publishes its counters (claims, completed tasks, cache
+hits/misses, failures, dead-letters, heartbeats) to ``<root>/metrics/``
+after each processed task, feeding the operator ``metrics`` CLI verb
+(:mod:`repro.tenancy.metrics`).
+
 :func:`run_workers` drains a queue with N concurrent worker threads in one
 call -- the in-process stand-in for N worker processes/machines that tests
 and benchmarks use (`python -m repro.evaluation.cli serve-worker` runs the
@@ -40,6 +50,7 @@ from typing import List, Optional, Union
 from repro.dispatch.sharding import execute_task_json
 from repro.service.broker import Broker, ServiceError
 from repro.service.queue import ClaimedTask, QueueError
+from repro.tenancy.metrics import WORKER_COUNTER_FIELDS, write_worker_metrics
 
 __all__ = ["Worker", "run_workers"]
 
@@ -55,6 +66,11 @@ class Worker:
         Recorded on claims for observability; defaults to ``pid-hex``.
     poll_interval:
         Seconds :meth:`serve` sleeps when the queue is empty.
+    heartbeat_seconds:
+        Lease-renewal period while a task executes.  ``None`` (default)
+        derives a third of the queue's lease -- three missed beats before
+        the reaper may act; ``0`` disables heartbeats (the pre-renewal
+        behaviour: a chunk longer than the lease gets retried).
     """
 
     def __init__(
@@ -63,6 +79,7 @@ class Worker:
         *,
         worker_id: Optional[str] = None,
         poll_interval: float = 0.05,
+        heartbeat_seconds: Optional[float] = None,
     ) -> None:
         self.broker = broker if isinstance(broker, Broker) else Broker(broker)
         self.worker_id = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
@@ -75,14 +92,44 @@ class Worker:
         lease = getattr(self.broker.queue, "lease_seconds", 0.0)
         self._reap_interval = max(float(lease) / 10.0, self.poll_interval)
         self._next_reap = 0.0  # monotonic deadline; 0 = reap on first loop
+        if heartbeat_seconds is None:
+            heartbeat_seconds = float(lease) / 3.0 if lease > 0 else 0.0
+        self.heartbeat_seconds = float(heartbeat_seconds)
+        #: Tasks this worker claimed (successful claims, any outcome).
+        self.claims = 0
         #: Tasks this worker completed (cache hits included).
         self.tasks_done = 0
         #: Completed tasks that were served from the shared cache.
         self.cache_hits = 0
+        #: Completed tasks that had to execute (shared-cache misses).
+        self.cache_misses = 0
         #: Task executions that raised (each one is a nack).
         self.failures = 0
+        #: Dead-letter markers this worker wrote (nack-exhausted or reaped).
+        self.dead_letters = 0
         #: Claimed tasks dropped because their job was cancelled.
         self.tasks_discarded = 0
+        #: Lease renewals sent while executing long tasks.
+        self.heartbeats = 0
+
+    def counters(self) -> dict:
+        """The published metrics view of this worker's counters.
+
+        Derived from :data:`WORKER_COUNTER_FIELDS` (each name is an
+        attribute of this class), so the worker and the metrics reader
+        cannot drift apart: a counter added to the shared tuple without a
+        matching attribute fails loudly here instead of being silently
+        dropped from the published files.
+        """
+        return {name: getattr(self, name) for name in WORKER_COUNTER_FIELDS}
+
+    def flush_metrics(self) -> None:
+        """Publish the counters under the service root (never raises: a
+        full metrics disk must not take the fleet down with it)."""
+        try:
+            write_worker_metrics(self.broker.root, self.worker_id, self.counters())
+        except Exception:  # noqa: BLE001 -- observability is best effort
+            pass
 
     # -- one task -----------------------------------------------------------
 
@@ -97,8 +144,55 @@ class Worker:
         claimed = queue.claim(worker_id=self.worker_id)
         if claimed is None:
             return False
-        self._process(claimed)
+        self.claims += 1
+        stop_heartbeat = self._start_heartbeat(claimed)
+        try:
+            self._process(claimed)
+        finally:
+            stop_heartbeat()
+            self.flush_metrics()
         return True
+
+    def _start_heartbeat(self, claimed: ClaimedTask):
+        """Renew the claim's lease every ``heartbeat_seconds`` until the
+        returned stop callable runs.  The beat carries the claim's fencing
+        token, so a beat that outlives its lease (the task was reclaimed)
+        is refused by the queue instead of stretching the new owner's
+        clock."""
+        if self.heartbeat_seconds <= 0:
+            return lambda: None
+        stop = threading.Event()
+
+        def beat() -> None:
+            while not stop.wait(self.heartbeat_seconds):
+                try:
+                    alive = self.broker.queue.heartbeat(
+                        claimed.task_id, token=claimed.attempts
+                    )
+                except NotImplementedError:
+                    return  # backend without heartbeats: renewal is optional
+                except Exception:  # noqa: BLE001 -- transient I/O (a shared
+                    continue  # filesystem hiccup) must not end renewal early
+                if alive:
+                    self.heartbeats += 1
+                # A failed beat is NOT a reason to stand down: the backend
+                # cannot distinguish "claim acked/reclaimed" from a claim
+                # file momentarily absent mid-reaper-take (restored right
+                # after) or a transient utime error -- and one such blip
+                # ending renewal for a still-running chunk is exactly the
+                # spurious-retry failure heartbeats exist to prevent.
+                # Beating a truly-gone claim until the task finishes costs
+                # one cheap failed utime per interval; beating a reclaimed
+                # one merely freshens the new owner's live lease.
+
+        thread = threading.Thread(target=beat, daemon=True)
+        thread.start()
+
+        def stopper() -> None:
+            stop.set()
+            thread.join()
+
+        return stopper
 
     def _record_reaper_dead_letter(self, task_id: str) -> None:
         """Write the job's failed marker for a task the reaper dead-lettered.
@@ -113,6 +207,7 @@ class Worker:
         if error is None:
             return  # requeued for retry, not dead-lettered
         payload = self.broker.queue.failed_payload(task_id)
+        self.dead_letters += 1
         try:
             envelope = json.loads(payload)
             self.broker.mark_failed(
@@ -147,6 +242,7 @@ class Worker:
             if self.broker.cache.contains(key):
                 self.cache_hits += 1
             else:
+                self.cache_misses += 1
                 result = execute_task_json(json.dumps(envelope["task"]))
                 self.broker.cache.put(key, result)
             self.broker.mark_done(job_id, index, key)
@@ -164,6 +260,8 @@ class Worker:
                 # this stale nack from revoking the new owner's claim, and
                 # the retry proceeds without us.
                 return
+            if disposition == "failed":
+                self.dead_letters += 1
             if disposition == "failed" and job_id is not None and index is not None:
                 # An unparseable envelope has no job to mark; it is still
                 # recorded in the queue's dead-letter directory.  The marker
@@ -210,17 +308,20 @@ class Worker:
         forever (the ``serve-worker`` CLI mode).
         """
         processed = 0
-        while True:
-            if max_tasks is not None and processed >= max_tasks:
-                return processed
-            if deadline is not None and time.monotonic() >= deadline:
-                return processed
-            if self.run_once():
-                processed += 1
-                continue
-            if idle_exit and self.broker.queue.is_idle:
-                return processed
-            time.sleep(self.poll_interval)
+        try:
+            while True:
+                if max_tasks is not None and processed >= max_tasks:
+                    return processed
+                if deadline is not None and time.monotonic() >= deadline:
+                    return processed
+                if self.run_once():
+                    processed += 1
+                    continue
+                if idle_exit and self.broker.queue.is_idle:
+                    return processed
+                time.sleep(self.poll_interval)
+        finally:
+            self.flush_metrics()  # final counters survive the exit
 
 
 def run_workers(

@@ -1,0 +1,49 @@
+"""The multi-tenant control plane: budgets, fair scheduling, metrics.
+
+The service layer (:mod:`repro.service`) executes whatever it is given; this
+package decides *whether* and *in what order*, and shows operators what
+happened -- the control plane over the service's data plane:
+
+* :mod:`repro.tenancy.ledger` -- :class:`BudgetLedger`, the persistent
+  per-tenant epsilon ledger (append-only JSON journal, atomic appends,
+  crash-safe replay) that :meth:`Broker.submit` consults for admission
+  control: a job whose worst-case epsilon exceeds its tenant's remaining
+  budget is refused before anything is queued, and the unused part of the
+  reservation is settled back when the job completes, fails, or is
+  cancelled.
+* :mod:`repro.tenancy.scheduler` -- :class:`TenantScheduler`, claim-order
+  policy for both queue backends: strict priority classes, deficit-weighted
+  round-robin across tenants inside a class, FIFO within a tenant; a
+  flooding tenant cannot starve anyone.  Scheduling reorders execution
+  only -- results stay bit-identical per job.
+* :mod:`repro.tenancy.metrics` -- the operator surface: workers publish
+  counters under ``<root>/metrics/``, and :func:`collect_metrics` /
+  :func:`render_metrics` derive queue depth, job states, cache hit rate and
+  per-tenant budget consumption from the service root for the ``metrics``
+  CLI verb.
+
+Dependency direction: :mod:`repro.service` imports this package (and this
+package only imports service modules lazily, inside functions), so the
+control plane stays importable on its own.
+"""
+
+from repro.tenancy.ledger import BudgetLedger, LedgerError, LedgerLockTimeout
+from repro.tenancy.metrics import (
+    collect_metrics,
+    read_worker_metrics,
+    render_metrics,
+    write_worker_metrics,
+)
+from repro.tenancy.scheduler import ScheduledEntry, TenantScheduler
+
+__all__ = [
+    "BudgetLedger",
+    "LedgerError",
+    "LedgerLockTimeout",
+    "ScheduledEntry",
+    "TenantScheduler",
+    "collect_metrics",
+    "read_worker_metrics",
+    "render_metrics",
+    "write_worker_metrics",
+]

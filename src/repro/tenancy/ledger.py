@@ -1,0 +1,615 @@
+"""The persistent per-tenant privacy-budget ledger.
+
+The facade's :class:`~repro.accounting.budget.BudgetOdometer` accounts for
+epsilon inside one process and vanishes with it.  A :class:`BudgetLedger` is
+its durable, multi-process counterpart: an **append-only JSON journal**
+(one record per line) under a service root that any number of concurrent
+brokers share, so budget enforcement survives restarts and applies across
+the whole fleet.
+
+Concurrency follows the service queue's discipline -- every mutation happens
+under an exclusive lock acquired by an atomic filesystem operation
+(``O_CREAT | O_EXCL``, the create-flavoured sibling of
+:class:`~repro.service.queue.FileJobQueue`'s claim rename; a crashed
+holder's stale lock is broken by an atomic rename, so exactly one breaker
+wins).  Under the lock a writer first replays any records other processes
+appended, then checks, then appends its own -- check-then-append is race-free
+because nobody else can append in between.
+
+Crash recovery is the journal's reason to be append-only: a record is one
+``os.write`` of one ``\\n``-terminated line, so a crash mid-append leaves at
+most one trailing partial line.  Replay consumes only complete lines (and
+skips lines that fail to parse), and the next locked writer repairs the tail
+by terminating the partial line before appending -- the partial record is
+permanently ignored, never half-applied.
+
+Record semantics (amounts are epsilon):
+
+* ``grant``  -- set a tenant's **total** budget (absolute, not a delta);
+* ``charge`` -- consume budget (a job's worst-case reservation at submit);
+* ``refund`` -- return budget (an aborted submission);
+* ``settle`` -- return a job's unused reservation exactly once: replay keeps
+  the set of settled job ids, so the refund of ``reserved - consumed`` is
+  idempotent however many times a client fetches the result.
+
+A tenant with no ``grant`` record is **unbounded**: charges are recorded
+(so operators still see per-tenant consumption in the metrics surface) but
+never refused.  That keeps single-tenant deployments zero-configuration;
+enforcement begins the moment an operator grants a budget -- against the
+tenant's *lifetime* consumption, including what it metered while
+unbudgeted (see :meth:`BudgetLedger.grant`).
+
+Replay stays bounded on long-lived roots: past ``COMPACT_EVERY`` records a
+locked writer folds the journal into a single ``snapshot`` record
+(atomically swapped in with ``os.replace``); readers detect the swap by
+the journal's changed inode and restart from the snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, Optional, Set, Union
+
+from repro.accounting.budget import BudgetExceededError
+
+__all__ = ["BudgetLedger", "LedgerError", "LedgerLockTimeout"]
+
+#: Tolerance of the overdraft check (mirrors BudgetOdometer.can_charge).
+_EPS = 1e-12
+
+
+class LedgerError(RuntimeError):
+    """Raised on ledger-protocol violations (bad tenants, bad amounts)."""
+
+
+class LedgerLockTimeout(LedgerError):
+    """Raised when the journal lock cannot be acquired in time."""
+
+
+def _check_tenant(tenant: str) -> str:
+    if not isinstance(tenant, str) or not tenant or len(tenant) > 200:
+        raise LedgerError(f"invalid tenant name {tenant!r}")
+    if any(ch in tenant for ch in "/\\\n\r\t ") or tenant.startswith("."):
+        raise LedgerError(f"invalid tenant name {tenant!r}")
+    return tenant
+
+
+#: Byte prefix of the generation marker a compacted journal starts with
+#: (json.dumps with sorted keys puts "gen" first); the 32 hex chars that
+#: follow are the generation id.
+_GEN_PREFIX = b'{"gen": "'
+
+
+def _write_all(fd: int, payload: bytes) -> None:
+    """``os.write`` until every byte lands: a short write that went
+    unnoticed would tear (or drop) a journal record while the mutation
+    reports success -- a silently unenforced grant or unrecorded charge.
+    A partial write followed by an exception is the torn-tail case replay
+    and repair already handle."""
+    view = memoryview(payload)
+    while view:
+        view = view[os.write(fd, view):]
+
+
+def _check_amount(amount, kind: str) -> float:
+    amount = float(amount)
+    if not amount >= 0.0 or amount != amount or amount == float("inf"):
+        raise LedgerError(f"{kind} amount must be finite and >= 0, got {amount}")
+    return amount
+
+
+class BudgetLedger:
+    """Durable per-tenant epsilon accounting over one journal file.
+
+    Parameters
+    ----------
+    directory:
+        Ledger directory (created if missing); holds ``ledger.jsonl`` (the
+        journal) and ``ledger.lock`` (the writers' mutual exclusion).
+    lock_timeout:
+        Seconds to wait for the journal lock before
+        :class:`LedgerLockTimeout`.
+    stale_lock_seconds:
+        A lock file older than this belongs to a crashed writer and is
+        broken (mutations are a replay + one append -- milliseconds -- so
+        the default is generous).
+    """
+
+    #: Journal records a locked writer tolerates before compacting the
+    #: journal into one snapshot record: keeps replay (hence first-mutation
+    #: latency of every fresh process, e.g. each CLI invocation) bounded on
+    #: long-lived roots instead of growing with total jobs ever submitted.
+    COMPACT_EVERY = 10_000
+
+    def __init__(
+        self,
+        directory: Union[str, os.PathLike],
+        *,
+        lock_timeout: float = 10.0,
+        stale_lock_seconds: float = 30.0,
+    ) -> None:
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            # A read-only root (a snapshot an operator is inspecting, a
+            # pre-tenancy service directory): reads degrade to an empty
+            # ledger; the first mutation fails with the real error.
+            pass
+        self.journal_path = self.directory / "ledger.jsonl"
+        self._lock_path = self.directory / "ledger.lock"
+        self.lock_timeout = float(lock_timeout)
+        self.stale_lock_seconds = float(stale_lock_seconds)
+        self._mutex = threading.Lock()  # thread-safety within one process
+        self._offset = 0  # journal bytes already replayed (complete lines)
+        self._journal_gen: Optional[str] = None  # compaction detection
+        self._records = 0  # records behind the current offset
+        self._totals: Dict[str, float] = {}
+        self._spent: Dict[str, float] = {}
+        self._charged: Dict[str, float] = {}  # gross charges, refunds ignored
+        self._settled: Set[str] = set()
+
+    def _reset_state(self) -> None:
+        self._offset = 0
+        self._records = 0
+        self._totals = {}
+        self._spent = {}
+        self._charged = {}
+        self._settled = set()
+
+    # -- journal replay -----------------------------------------------------
+
+    def _apply(self, record: dict) -> None:
+        if record.get("op") == "snapshot":
+            # A compaction summary: the whole state up to this record.
+            try:
+                totals = {
+                    str(t): float(v) for t, v in record["totals"].items()
+                }
+                spent = {str(t): float(v) for t, v in record["spent"].items()}
+                charged = {
+                    str(t): float(v) for t, v in record["charged"].items()
+                }
+                settled = {str(j) for j in record["settled"]}
+            except (KeyError, TypeError, ValueError, AttributeError):
+                return  # malformed snapshot: skip, never half-apply
+            self._totals, self._spent = totals, spent
+            self._charged, self._settled = charged, settled
+            return
+        try:
+            op = record["op"]
+            tenant = record["tenant"]
+            amount = float(record.get("epsilon", 0.0))
+        except (KeyError, TypeError, ValueError):
+            return  # malformed record: skip, never half-apply
+        if op == "grant":
+            self._totals[tenant] = amount
+        elif op == "charge":
+            self._spent[tenant] = self._spent.get(tenant, 0.0) + amount
+            self._charged[tenant] = self._charged.get(tenant, 0.0) + amount
+        elif op == "refund":
+            # Floor at zero: an over-refund (an operator repairing twice, a
+            # refund of a reservation that already settled) must not bank
+            # negative consumption that would inflate remaining() past the
+            # grant and over-admit later jobs.
+            self._spent[tenant] = max(
+                0.0, self._spent.get(tenant, 0.0) - amount
+            )
+        elif op == "settle":
+            job_id = record.get("job_id")
+            if job_id is not None:
+                if job_id in self._settled:
+                    return  # duplicate settle records are inert on replay
+                self._settled.add(job_id)
+            self._spent[tenant] = max(
+                0.0, self._spent.get(tenant, 0.0) - amount
+            )
+        # Unknown ops are skipped: a newer writer's records must not wedge
+        # an older reader's replay.
+
+    def _replay(self) -> None:
+        """Consume complete journal lines appended since the last replay.
+
+        A trailing line without its ``\\n`` terminator (a writer crashed
+        mid-append, or -- outside the lock -- is appending right now) is
+        left unconsumed: the offset only ever advances past complete lines,
+        so a partial record is never applied.  A compacted journal (the
+        file was atomically replaced with a snapshot) is detected by the
+        generation marker compaction writes as the file's first line --
+        read under the same descriptor as the tail, so marker and content
+        always belong to the same file version (an inode comparison would
+        not do: filesystems reuse the old journal's inode for the new file
+        immediately, which a live reader would mistake for "unchanged" and
+        keep enforcing stale budgets from a stale offset).  A size below
+        the offset is caught as a belt-and-braces reset too.
+        """
+        try:
+            journal = open(self.journal_path, "rb")
+        except OSError:
+            return  # no journal yet: empty ledger
+        with journal:
+            head = journal.read(len(_GEN_PREFIX) + 32)
+            generation = None
+            if head.startswith(_GEN_PREFIX):
+                generation = head[len(_GEN_PREFIX):].decode("ascii", "replace")
+            stat = os.fstat(journal.fileno())
+            if generation != self._journal_gen or stat.st_size < self._offset:
+                self._reset_state()
+                self._journal_gen = generation
+            journal.seek(self._offset)
+            tail = journal.read()
+        end = tail.rfind(b"\n")
+        if end < 0:
+            return
+        for line in tail[: end + 1].splitlines():
+            self._records += 1
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                continue  # torn or corrupt line: permanently ignored
+            if isinstance(record, dict):
+                self._apply(record)
+        self._offset += end + 1
+
+    def refresh(self) -> None:
+        """Fold in records other processes appended (read-only, no lock)."""
+        with self._mutex:
+            self._replay()
+
+    # -- locking ------------------------------------------------------------
+
+    def _acquire_lock(self) -> None:
+        deadline = time.monotonic() + self.lock_timeout
+        while True:
+            try:
+                fd = os.open(
+                    self._lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                self._break_stale_lock()
+                if time.monotonic() >= deadline:
+                    raise LedgerLockTimeout(
+                        f"could not lock {self.journal_path} within "
+                        f"{self.lock_timeout}s (held by a concurrent broker? "
+                        f"remove {self._lock_path} if its owner is gone)"
+                    )
+                time.sleep(0.002)
+                continue
+            # The stamp doubles as the ownership token: release only
+            # unlinks a lock that still carries it, so a holder stalled
+            # past the stale threshold (whose lock a breaker replaced)
+            # cannot delete the *next* writer's lock on resume.
+            self._lock_token = f"{os.getpid()}.{uuid.uuid4().hex}"
+            try:
+                _write_all(
+                    fd, f"{self._lock_token} {time.time()}\n".encode("ascii")
+                )
+            except BaseException:
+                # The stamp failed (e.g. ENOSPC) after the lock file was
+                # created: take it down again, or every writer fleet-wide
+                # stalls on a lock nobody holds until the stale break.
+                os.close(fd)
+                try:
+                    os.unlink(self._lock_path)
+                except OSError:
+                    pass
+                raise
+            os.close(fd)
+            return
+
+    def _break_stale_lock(self) -> None:
+        """Take a crashed writer's lock down; an atomic rename picks the one
+        winner among racing breakers, exactly like a queue claim."""
+        try:
+            age = time.time() - self._lock_path.stat().st_mtime
+        except OSError:
+            return  # released meanwhile
+        if age <= self.stale_lock_seconds:
+            return
+        doomed = self._lock_path.with_name(
+            f".stale.{self._lock_path.name}.{os.getpid()}.{time.monotonic_ns()}"
+        )
+        try:
+            os.rename(self._lock_path, doomed)
+        except OSError:
+            return  # another breaker (or the owner's release) won
+        try:
+            os.unlink(doomed)
+        except OSError:
+            pass
+
+    def _release_lock(self) -> None:
+        try:
+            stamp = self._lock_path.read_text(encoding="ascii")
+        except (OSError, UnicodeDecodeError):
+            return  # already broken/released: nothing of ours to remove
+        if not stamp.startswith(f"{getattr(self, '_lock_token', '')} "):
+            return  # a breaker replaced our lock while we were stalled
+        try:
+            os.unlink(self._lock_path)
+        except OSError:
+            pass
+
+    # -- appending ----------------------------------------------------------
+
+    def _repair_tail(self) -> None:
+        """Terminate a crashed writer's partial trailing line (lock held).
+
+        Appending ``\\n`` turns the torn bytes into one complete line that
+        fails to parse -- which replay skips -- instead of letting the next
+        record concatenate onto it and corrupt both.
+        """
+        try:
+            size = self.journal_path.stat().st_size
+        except OSError:
+            return
+        if size == 0 or size == self._offset:
+            return
+        with open(self.journal_path, "rb") as journal:
+            journal.seek(size - 1)
+            if journal.read(1) == b"\n":
+                return
+        fd = os.open(self.journal_path, os.O_WRONLY | os.O_APPEND)
+        try:
+            _write_all(fd, b"\n")
+        finally:
+            os.close(fd)
+
+    def _check_lock_ownership(self) -> None:
+        """Refuse to append under a lock a stale-break took from us.
+
+        A holder stalled past ``stale_lock_seconds`` (VM pause, NFS stall)
+        may have had its lock broken and re-acquired by another writer; its
+        admission check is then outdated, and appending anyway could
+        overdraft the tenant.  Re-reading the stamp immediately before the
+        write shrinks that window from the whole stall to microseconds.
+        """
+        try:
+            stamp = self._lock_path.read_text(encoding="ascii")
+        except (OSError, UnicodeDecodeError):
+            stamp = ""
+        if not stamp.startswith(f"{getattr(self, '_lock_token', '')} "):
+            raise LedgerError(
+                "lost the ledger lock mid-mutation (this writer stalled "
+                "past the stale-lock threshold and another broker broke "
+                "the lock); the mutation was NOT recorded -- retry it"
+            )
+
+    def _append(self, record: dict) -> None:
+        """Append one record (lock held) and fold it into the local state."""
+        self._check_lock_ownership()
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        fd = os.open(
+            self.journal_path, os.O_WRONLY | os.O_APPEND | os.O_CREAT
+        )
+        try:
+            _write_all(fd, line)
+        finally:
+            os.close(fd)
+        # Replay our own line (plus the repair newline, if any): the offset
+        # and the in-memory state stay exactly journal-consistent.
+        self._replay()
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Fold a long journal into one snapshot record (lock held).
+
+        Replay cost -- paid in full by every fresh process's first locked
+        mutation -- is proportional to journal length, so past
+        ``COMPACT_EVERY`` records the fully-replayed state is written as a
+        single ``snapshot`` line and atomically swapped in with
+        ``os.replace``.  Concurrent readers holding offsets into the old
+        file notice the inode change on their next replay and restart from
+        the snapshot; a reader mid-read keeps the old file alive via its
+        open descriptor, so nobody ever sees a torn journal.
+        """
+        if self._records <= self.COMPACT_EVERY:
+            return
+        generation = uuid.uuid4().hex
+        marker = (
+            json.dumps({"gen": generation, "op": "genmark"}, sort_keys=True)
+            + "\n"
+        ).encode("ascii")
+        assert marker.startswith(_GEN_PREFIX)
+        snapshot = {
+            "op": "snapshot",
+            "at": time.time(),
+            "totals": self._totals,
+            "spent": self._spent,
+            "charged": self._charged,
+            "settled": sorted(self._settled),
+        }
+        content = marker + (
+            json.dumps(snapshot, sort_keys=True) + "\n"
+        ).encode("utf-8")
+        tmp = self.journal_path.with_name(
+            f".compact.{self.journal_path.name}.{uuid.uuid4().hex}"
+        )
+        fd = os.open(tmp, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        try:
+            _write_all(fd, content)
+        except BaseException:
+            os.close(fd)
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        os.close(fd)
+        os.replace(tmp, self.journal_path)
+        self._offset = len(content)
+        self._records = 2  # the marker and the snapshot
+        self._journal_gen = generation
+
+    def _record(self, op: str, tenant: str, amount: float, job_id=None) -> dict:
+        record = {"op": op, "tenant": tenant, "epsilon": amount, "at": time.time()}
+        if job_id is not None:
+            record["job_id"] = str(job_id)
+        return record
+
+    class _Locked:
+        def __init__(self, ledger: "BudgetLedger") -> None:
+            self.ledger = ledger
+
+        def __enter__(self):
+            self.ledger._mutex.acquire()
+            try:
+                self.ledger._acquire_lock()
+            except BaseException:
+                self.ledger._mutex.release()
+                raise
+            try:
+                self.ledger._repair_tail()
+                self.ledger._replay()
+            except BaseException:
+                # A failed repair/replay (e.g. ENOSPC on the tail newline)
+                # must release both locks, or every later ledger call in
+                # this process deadlocks on the leaked mutex.
+                self.ledger._release_lock()
+                self.ledger._mutex.release()
+                raise
+            return self.ledger
+
+        def __exit__(self, *exc_info):
+            try:
+                self.ledger._release_lock()
+            finally:
+                self.ledger._mutex.release()
+            return False
+
+    def _locked(self) -> "BudgetLedger._Locked":
+        return BudgetLedger._Locked(self)
+
+    # -- mutations ----------------------------------------------------------
+
+    def grant(self, tenant: str, epsilon) -> None:
+        """Set ``tenant``'s total budget (absolute; a re-grant replaces it).
+
+        Consumption already metered while the tenant ran unbudgeted counts
+        against the new grant -- released information does not un-release,
+        so a grant is a cap on *lifetime* consumption, never a fresh
+        allowance.  An operator who really does intend to forgive history
+        refunds it explicitly (``tenant-budget <tenant> --refund <eps>``);
+        check ``spent`` before granting a long-active tenant a budget
+        smaller than what it has already consumed.
+        """
+        tenant = _check_tenant(tenant)
+        epsilon = float(epsilon)
+        if not epsilon > 0.0 or epsilon != epsilon or epsilon == float("inf"):
+            raise LedgerError(
+                f"granted budget must be finite and positive, got {epsilon}"
+            )
+        with self._locked():
+            self._append(self._record("grant", tenant, epsilon))
+
+    def charge(
+        self, tenant: str, epsilon, *, job_id: Optional[str] = None
+    ) -> None:
+        """Consume budget, refusing overdrafts for budgeted tenants.
+
+        Raises :class:`~repro.accounting.budget.BudgetExceededError` when the
+        tenant has a granted budget and the charge does not fit -- the
+        journal is never appended to, so a refused submission leaves no
+        trace to refund.
+        """
+        tenant = _check_tenant(tenant)
+        epsilon = _check_amount(epsilon, "charge")
+        with self._locked():
+            total = self._totals.get(tenant)
+            if total is not None:
+                spent = self._spent.get(tenant, 0.0)
+                if spent + epsilon > total + _EPS:
+                    raise BudgetExceededError(
+                        f"tenant {tenant!r} has epsilon="
+                        f"{max(0.0, total - spent):g} of {total:g} remaining "
+                        f"but this request may consume up to {epsilon:g}"
+                        + (f" (job {job_id!r})" if job_id else "")
+                    )
+            self._append(self._record("charge", tenant, epsilon, job_id))
+
+    def refund(
+        self, tenant: str, epsilon, *, job_id: Optional[str] = None
+    ) -> None:
+        """Return budget unconditionally (an aborted submission's reserve)."""
+        tenant = _check_tenant(tenant)
+        epsilon = _check_amount(epsilon, "refund")
+        with self._locked():
+            self._append(self._record("refund", tenant, epsilon, job_id))
+
+    def settle(self, tenant: str, epsilon, *, job_id: str) -> bool:
+        """Refund a job's unused reservation exactly once.
+
+        Returns False (appending nothing) when ``job_id`` was already
+        settled -- by this process or any other sharing the journal.
+        """
+        tenant = _check_tenant(tenant)
+        epsilon = _check_amount(epsilon, "settle")
+        job_id = str(job_id)
+        with self._locked():
+            if job_id in self._settled:
+                return False
+            self._append(self._record("settle", tenant, epsilon, job_id))
+            return True
+
+    # -- views --------------------------------------------------------------
+
+    def has_budget(self, tenant: str) -> bool:
+        """Whether ``tenant`` has a granted (hence enforced) budget."""
+        self.refresh()
+        return tenant in self._totals
+
+    def total(self, tenant: str) -> Optional[float]:
+        """The granted budget, or None for an unbounded tenant."""
+        self.refresh()
+        return self._totals.get(tenant)
+
+    def spent(self, tenant: str) -> float:
+        """Net consumption (charges minus refunds/settlements), floored at 0."""
+        self.refresh()
+        return max(0.0, self._spent.get(tenant, 0.0))
+
+    def charged(self, tenant: str) -> float:
+        """Gross epsilon ever charged (refunds do not subtract) -- the
+        operator-metrics view of a tenant's traffic."""
+        self.refresh()
+        return self._charged.get(tenant, 0.0)
+
+    def remaining(self, tenant: str) -> float:
+        """Budget still available; ``inf`` for an unbounded tenant."""
+        self.refresh()
+        total = self._totals.get(tenant)
+        if total is None:
+            return float("inf")
+        return max(0.0, total - self._spent.get(tenant, 0.0))
+
+    def is_settled(self, job_id: str) -> bool:
+        self.refresh()
+        return str(job_id) in self._settled
+
+    def tenants(self) -> Dict[str, Dict[str, Optional[float]]]:
+        """Per-tenant snapshot for the metrics surface (sorted by name)."""
+        self.refresh()
+        names = sorted(
+            set(self._totals) | set(self._spent) | set(self._charged)
+        )
+        snapshot = {}
+        for tenant in names:
+            total = self._totals.get(tenant)
+            spent = max(0.0, self._spent.get(tenant, 0.0))
+            snapshot[tenant] = {
+                "total": total,
+                "spent": spent,
+                "charged": self._charged.get(tenant, 0.0),
+                "remaining": None if total is None else max(0.0, total - spent),
+            }
+        return snapshot
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BudgetLedger({os.fspath(self.directory)!r})"

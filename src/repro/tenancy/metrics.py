@@ -1,0 +1,248 @@
+"""The operator metrics surface: counters, gauges, and the root snapshot.
+
+Three layers, from producer to consumer:
+
+* **Workers** keep plain in-process counters (claims, completed tasks, cache
+  hits/misses, retries, dead-letters, heartbeats, discarded tasks) and
+  publish them with :func:`write_worker_metrics` -- one small JSON file per
+  worker under ``<root>/metrics/``, atomically replaced after every
+  processed task, so a fleet's counters survive worker restarts and need no
+  metrics server.
+* **Gauges** are derived, not stored: queue depth per state, jobs per
+  lifecycle state, cache entry count/bytes and per-tenant budgets are all
+  recomputed from the service root's own files, exactly like
+  :meth:`Broker.status` derives job state -- any reader of the root computes
+  the same answer.
+* :func:`collect_metrics` joins both into one snapshot dict and
+  :func:`render_metrics` formats it for the ``metrics`` CLI verb::
+
+      python -m repro.evaluation.cli metrics --root ./svc
+
+Counter files are written with the same atomic-replace discipline as every
+other service artifact; a torn or missing worker file is skipped, never an
+error -- metrics must stay readable while the fleet is mid-crash, which is
+precisely when an operator wants them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.tenancy.scheduler import DEFAULT_TENANT
+
+__all__ = [
+    "collect_metrics",
+    "read_worker_metrics",
+    "render_metrics",
+    "write_worker_metrics",
+    "WORKER_COUNTER_FIELDS",
+]
+
+#: Counter names every worker publishes (missing ones read as 0, so older
+#: files and newer readers stay compatible in both directions).
+WORKER_COUNTER_FIELDS = (
+    "claims",
+    "tasks_done",
+    "cache_hits",
+    "cache_misses",
+    "failures",
+    "dead_letters",
+    "tasks_discarded",
+    "heartbeats",
+)
+
+
+def _metrics_dir(root: Union[str, os.PathLike]) -> Path:
+    return Path(root) / "metrics"
+
+
+def write_worker_metrics(
+    root: Union[str, os.PathLike], worker_id: str, counters: Dict[str, int]
+) -> None:
+    """Atomically publish one worker's counters under the service root."""
+    # Deferred import: repro.service imports this package, so the dependency
+    # must stay one-directional at import time.
+    from repro.service.queue import atomic_write_json, check_safe_id
+
+    directory = _metrics_dir(root)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {"worker_id": str(worker_id), "updated_at": time.time()}
+    payload.update({name: int(counters.get(name, 0)) for name in WORKER_COUNTER_FIELDS})
+    atomic_write_json(
+        directory / f"{check_safe_id(worker_id, kind='worker id')}.json", payload
+    )
+
+
+def read_worker_metrics(
+    root: Union[str, os.PathLike],
+) -> Dict[str, Dict[str, int]]:
+    """Every worker's published counters, keyed by worker id (torn or
+    unreadable files are skipped)."""
+    directory = _metrics_dir(root)
+    out: Dict[str, Dict[str, int]] = {}
+    if not directory.is_dir():
+        return out
+    for path in sorted(directory.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        if isinstance(payload, dict):
+            out[path.name[: -len(".json")]] = payload
+    return out
+
+
+def collect_metrics(root: Union[str, os.PathLike]) -> dict:
+    """One operator snapshot of a service root.
+
+    Everything is recomputed from the root's files at call time: no broker,
+    worker or metrics daemon needs to be alive.  Raises
+    :class:`FileNotFoundError` for a root that does not exist (a typo must
+    not silently report an empty, healthy-looking service).
+    """
+    # Deferred import (see write_worker_metrics).
+    from repro.service.broker import Broker
+
+    root = Path(root)
+    if not root.is_dir():
+        raise FileNotFoundError(
+            f"no service root at {os.fspath(root)!r} (nothing was ever "
+            "submitted there, or the path is wrong)"
+        )
+    broker = Broker(root)
+
+    queue_counts = broker.queue.counts()
+    pending_by_tenant: Dict[str, int] = {}
+    pending_dir = root / "queue" / "pending"
+    if pending_dir.is_dir():
+        for path in pending_dir.glob("*.json"):
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue  # claimed mid-scan, or mid-put
+            tenant = str(entry.get("tenant", DEFAULT_TENANT))
+            pending_by_tenant[tenant] = pending_by_tenant.get(tenant, 0) + 1
+
+    jobs_by_state: Dict[str, int] = {}
+    for job_id in broker.list_jobs():
+        try:
+            state = broker.status(job_id).state
+        except Exception:  # noqa: BLE001 -- a torn manifest is not a metric
+            continue
+        jobs_by_state[state] = jobs_by_state.get(state, 0) + 1
+
+    workers = read_worker_metrics(root)
+    totals = {
+        name: sum(int(payload.get(name, 0)) for payload in workers.values())
+        for name in WORKER_COUNTER_FIELDS
+    }
+    lookups = totals["cache_hits"] + totals["cache_misses"]
+    hit_rate = (totals["cache_hits"] / lookups) if lookups else None
+
+    # No max_bytes gauge: the LRU cap is per-worker-process configuration
+    # (never persisted to the root), so any value this read-only snapshot
+    # could report would be its own default, not what the fleet enforces.
+    cache = broker.cache
+    cache_section = {"entries": None, "bytes": None}
+    if hasattr(cache, "directory"):
+        cache_section["entries"] = sum(
+            1 for _ in Path(cache.directory).glob("*.json")
+        )
+    if hasattr(cache, "size_bytes"):
+        try:
+            cache_section["bytes"] = int(cache.size_bytes())
+        except OSError:
+            pass
+    cache_section["hits"] = totals["cache_hits"]
+    cache_section["misses"] = totals["cache_misses"]
+    cache_section["hit_rate"] = hit_rate
+
+    tenants = broker.ledger.tenants()
+    for tenant in pending_by_tenant:
+        tenants.setdefault(
+            tenant,
+            {"total": None, "spent": 0.0, "charged": 0.0, "remaining": None},
+        )
+    for tenant in tenants:
+        tenants[tenant]["pending_tasks"] = pending_by_tenant.get(tenant, 0)
+
+    return {
+        "root": os.fspath(root),
+        "collected_at": time.time(),
+        "queue": {**queue_counts, "pending_by_tenant": pending_by_tenant},
+        "jobs": jobs_by_state,
+        "cache": cache_section,
+        "tenants": tenants,
+        "workers": {"count": len(workers), "totals": totals, "each": workers},
+    }
+
+
+def _fmt(value, *, unbounded: str = "unbounded") -> str:
+    if value is None:
+        return unbounded
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def render_metrics(snapshot: dict) -> str:
+    """The ``metrics`` CLI verb's human-readable report."""
+    lines: List[str] = []
+    queue = snapshot["queue"]
+    lines.append("=== queue ===")
+    lines.append(
+        f"pending {queue.get('pending', 0)}  claimed {queue.get('claimed', 0)}"
+        f"  failed {queue.get('failed', 0)}"
+    )
+    lines.append("=== jobs ===")
+    jobs = snapshot["jobs"]
+    if jobs:
+        lines.append(
+            "  ".join(
+                f"{state} {jobs[state]}"
+                for state in ("submitted", "running", "done", "failed", "cancelled")
+                if state in jobs
+            )
+        )
+    else:
+        lines.append("none")
+    cache = snapshot["cache"]
+    lines.append("=== cache ===")
+    rate = cache.get("hit_rate")
+    lines.append(
+        f"entries {_fmt(cache.get('entries'), unbounded='?')}"
+        f"  bytes {_fmt(cache.get('bytes'), unbounded='?')}"
+        f"  hits {cache.get('hits', 0)}  misses {cache.get('misses', 0)}"
+        f"  hit_rate {'n/a' if rate is None else f'{100.0 * rate:.1f}%'}"
+    )
+    lines.append("=== tenants ===")
+    tenants = snapshot["tenants"]
+    if tenants:
+        header = f"{'tenant':<20} {'total':>10} {'spent':>10} {'remaining':>10} {'charged':>10} {'pending':>8}"
+        lines.append(header)
+        for tenant in sorted(tenants):
+            info = tenants[tenant]
+            lines.append(
+                f"{tenant:<20} {_fmt(info.get('total')):>10} "
+                f"{_fmt(info.get('spent', 0.0)):>10} "
+                f"{_fmt(info.get('remaining')):>10} "
+                f"{_fmt(info.get('charged', 0.0)):>10} "
+                f"{info.get('pending_tasks', 0):>8}"
+            )
+    else:
+        lines.append("none")
+    workers = snapshot["workers"]
+    totals = workers["totals"]
+    lines.append("=== workers ===")
+    lines.append(
+        f"reporting {workers['count']}  claims {totals['claims']}"
+        f"  done {totals['tasks_done']}  failures {totals['failures']}"
+        f"  dead_letters {totals['dead_letters']}"
+        f"  discarded {totals['tasks_discarded']}"
+        f"  heartbeats {totals['heartbeats']}"
+    )
+    return "\n".join(lines) + "\n"

@@ -429,11 +429,11 @@ class TestBrokerLifecycle:
         real_put = type(broker.queue).put
         calls = {"n": 0}
 
-        def dying_put(self, payload, *, task_id=None):
+        def dying_put(self, payload, *, task_id=None, **kwargs):
             if calls["n"] >= 2:
                 raise OSError("disk full")  # the crash, mid-enqueue
             calls["n"] += 1
-            return real_put(self, payload, task_id=task_id)
+            return real_put(self, payload, task_id=task_id, **kwargs)
 
         monkeypatch.setattr(type(broker.queue), "put", dying_put)
         with pytest.raises(OSError, match="disk full"):
@@ -469,11 +469,11 @@ class TestBrokerLifecycle:
         real_put = type(broker.queue).put
         calls = {"n": 0}
 
-        def dying_put(self, payload, *, task_id=None):
+        def dying_put(self, payload, *, task_id=None, **kwargs):
             if calls["n"] >= 2:
                 raise OSError("disk full")
             calls["n"] += 1
-            return real_put(self, payload, task_id=task_id)
+            return real_put(self, payload, task_id=task_id, **kwargs)
 
         monkeypatch.setattr(type(broker.queue), "put", dying_put)
         with pytest.raises(OSError):
@@ -841,11 +841,11 @@ class TestJobFailure:
         real_put = type(broker.queue).put
         calls = {"n": 0}
 
-        def dying_put(self, payload, *, task_id=None):
+        def dying_put(self, payload, *, task_id=None, **kwargs):
             if calls["n"] >= 1:
                 raise OSError("crash")
             calls["n"] += 1
-            return real_put(self, payload, task_id=task_id)
+            return real_put(self, payload, task_id=task_id, **kwargs)
 
         monkeypatch.setattr(type(broker.queue), "put", dying_put)
         with pytest.raises(OSError):

@@ -1,0 +1,818 @@
+"""Tests of the multi-tenant control plane (:mod:`repro.tenancy`).
+
+The load-bearing properties:
+
+* the :class:`BudgetLedger` is durable and crash-safe -- state is a pure
+  function of the journal, truncated trailing records are ignored, a broker
+  restart sees bit-identical state, and settlement is exactly-once;
+* admission control refuses a job whose worst case exceeds its tenant's
+  remaining budget *before* anything is queued;
+* the :class:`TenantScheduler` claims by strict priority class, fair-shares
+  tenants inside a class (a flooding tenant cannot starve anyone), and
+  keeps FIFO order within a tenant -- on both queue backends;
+* scheduling only reorders execution: every job's merged result stays
+  bit-identical to ``run(spec, trials=B, rng=seed, shards=N)``;
+* worker heartbeats renew leases, so a long chunk outlives a short lease
+  without being retried;
+* the capped :class:`DiskResultCache` enforces ``max_bytes`` without
+  rescanning the directory on under-cap puts;
+* the ``metrics`` / ``tenant-budget`` / ``job-cancel`` CLI verbs report and
+  steer all of the above.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.accounting.budget import BudgetExceededError
+from repro.api import AdaptiveSvtSpec, NoisyTopKSpec, run, submit
+from repro.dispatch import DiskResultCache
+from repro.evaluation.cli import main as cli_main
+from repro.service import (
+    Broker,
+    FileJobQueue,
+    JobClient,
+    JobFailedError,
+    MemoryJobQueue,
+    Worker,
+)
+from repro.tenancy import (
+    BudgetLedger,
+    LedgerError,
+    TenantScheduler,
+    collect_metrics,
+)
+
+TRIALS = 12
+CHUNK = 4  # -> 3 tasks per job
+
+
+@pytest.fixture()
+def top_k_spec():
+    return NoisyTopKSpec(
+        queries=[120.0, 90.0, 85.0, 30.0, 12.0, 4.0],
+        epsilon=1.0,
+        k=2,
+        monotonic=True,
+    )
+
+
+@pytest.fixture()
+def adaptive_spec():
+    # Adaptive SVT consumes strictly less than its worst case on typical
+    # trials, which is what makes settlement refunds observable.
+    return AdaptiveSvtSpec(
+        queries=[120.0, 90.0, 85.0, 30.0, 12.0, 4.0],
+        epsilon=1.0,
+        k=2,
+        threshold=50.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# BudgetLedger
+# ---------------------------------------------------------------------------
+
+
+class TestBudgetLedger:
+    def test_grant_charge_refund_remaining(self, tmp_path):
+        ledger = BudgetLedger(tmp_path)
+        ledger.grant("alice", 2.0)
+        assert ledger.total("alice") == 2.0
+        assert ledger.remaining("alice") == 2.0
+        ledger.charge("alice", 0.75, job_id="j1")
+        assert ledger.spent("alice") == pytest.approx(0.75)
+        assert ledger.remaining("alice") == pytest.approx(1.25)
+        ledger.refund("alice", 0.25, job_id="j1")
+        assert ledger.spent("alice") == pytest.approx(0.5)
+        # Gross charges are monotone: refunds do not subtract.
+        assert ledger.charged("alice") == pytest.approx(0.75)
+
+    def test_overdraft_is_refused_and_journal_untouched(self, tmp_path):
+        ledger = BudgetLedger(tmp_path)
+        ledger.grant("alice", 1.0)
+        before = ledger.journal_path.read_bytes()
+        with pytest.raises(BudgetExceededError, match="alice"):
+            ledger.charge("alice", 1.5, job_id="big")
+        assert ledger.journal_path.read_bytes() == before
+        assert ledger.remaining("alice") == 1.0
+
+    def test_unbudgeted_tenant_is_unbounded_but_recorded(self, tmp_path):
+        ledger = BudgetLedger(tmp_path)
+        assert not ledger.has_budget("drifter")
+        ledger.charge("drifter", 123.0)
+        assert ledger.remaining("drifter") == float("inf")
+        assert ledger.charged("drifter") == 123.0
+
+    def test_exact_budget_fits(self, tmp_path):
+        ledger = BudgetLedger(tmp_path)
+        ledger.grant("a", 1.0)
+        ledger.charge("a", 1.0)  # == total: allowed
+        assert ledger.remaining("a") == 0.0
+        with pytest.raises(BudgetExceededError):
+            ledger.charge("a", 1e-6)
+
+    def test_state_is_persistent_and_restart_bit_exact(self, tmp_path):
+        first = BudgetLedger(tmp_path)
+        first.grant("alice", 2.0)
+        first.grant("bob", 1.0)
+        first.charge("alice", 0.5, job_id="j1")
+        first.settle("alice", 0.2, job_id="j1")
+        journal = first.journal_path.read_bytes()
+        # A fresh instance (a restarted broker) replays to identical state
+        # without writing a byte.
+        second = BudgetLedger(tmp_path)
+        assert second.tenants() == first.tenants()
+        assert second.is_settled("j1")
+        assert second.journal_path.read_bytes() == journal
+
+    def test_truncated_trailing_record_is_ignored(self, tmp_path):
+        ledger = BudgetLedger(tmp_path)
+        ledger.grant("alice", 2.0)
+        ledger.charge("alice", 0.5)
+        # A writer crashed mid-append: a torn, newline-less trailing record.
+        with open(ledger.journal_path, "ab") as journal:
+            journal.write(b'{"op": "charge", "tenant": "alice", "epsi')
+        replayed = BudgetLedger(tmp_path)
+        assert replayed.spent("alice") == pytest.approx(0.5)
+        # The next locked write repairs the tail; the torn record stays
+        # permanently ignored and the journal keeps working.
+        replayed.charge("alice", 0.25)
+        final = BudgetLedger(tmp_path)
+        assert final.spent("alice") == pytest.approx(0.75)
+        assert final.remaining("alice") == pytest.approx(1.25)
+
+    def test_corrupt_middle_line_is_skipped(self, tmp_path):
+        ledger = BudgetLedger(tmp_path)
+        ledger.grant("alice", 2.0)
+        with open(ledger.journal_path, "ab") as journal:
+            journal.write(b"not json at all\n")
+        ledger2 = BudgetLedger(tmp_path)
+        ledger2.charge("alice", 1.0)
+        assert ledger2.remaining("alice") == pytest.approx(1.0)
+
+    def test_settle_is_exactly_once_across_instances(self, tmp_path):
+        a = BudgetLedger(tmp_path)
+        b = BudgetLedger(tmp_path)  # a second broker sharing the journal
+        a.grant("t", 4.0)
+        a.charge("t", 2.0, job_id="job-x")
+        assert a.settle("t", 1.5, job_id="job-x") is True
+        assert b.settle("t", 1.5, job_id="job-x") is False  # replayed, refused
+        assert a.settle("t", 1.5, job_id="job-x") is False
+        assert b.spent("t") == pytest.approx(0.5)
+
+    def test_concurrent_charges_from_many_instances(self, tmp_path):
+        BudgetLedger(tmp_path).grant("t", 1000.0)
+        errors = []
+
+        def hammer():
+            try:
+                ledger = BudgetLedger(tmp_path)
+                for _ in range(10):
+                    ledger.charge("t", 1.0)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert BudgetLedger(tmp_path).spent("t") == pytest.approx(40.0)
+
+    def test_invalid_inputs(self, tmp_path):
+        ledger = BudgetLedger(tmp_path)
+        with pytest.raises(LedgerError):
+            ledger.grant("", 1.0)
+        with pytest.raises(LedgerError):
+            ledger.grant("has space", 1.0)
+        with pytest.raises(LedgerError):
+            ledger.grant("a/b", 1.0)
+        with pytest.raises(LedgerError):
+            ledger.grant("t", -1.0)
+        with pytest.raises(LedgerError):
+            ledger.grant("t", float("inf"))
+        with pytest.raises(LedgerError):
+            ledger.charge("t", -0.5)
+
+    def test_long_journal_compacts_to_a_snapshot(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(BudgetLedger, "COMPACT_EVERY", 10)
+        writer = BudgetLedger(tmp_path)
+        reader = BudgetLedger(tmp_path)  # holds offsets into the old file
+        writer.grant("t", 1000.0)
+        reader.refresh()  # reader has replayed the pre-compaction journal
+        for index in range(15):
+            writer.charge("t", 1.0, job_id=f"j{index}")
+            writer.settle("t", 0.5, job_id=f"j{index}")
+        # The journal was folded into one snapshot (plus at most the few
+        # records appended after the swap), far below the 31 raw records.
+        lines = writer.journal_path.read_bytes().splitlines()
+        assert len(lines) < 10
+        # A compacted journal leads with its generation marker -- what a
+        # live reader keys replacement detection on (inodes are reused by
+        # the filesystem, so they cannot be) -- then the snapshot.
+        assert lines[0].startswith(b'{"gen": "')
+        assert b'"snapshot"' in lines[1]
+        # A fresh process replays the compacted journal to identical state.
+        fresh = BudgetLedger(tmp_path)
+        assert fresh.spent("t") == pytest.approx(7.5)
+        assert fresh.is_settled("j0") and fresh.is_settled("j14")
+        # The pre-compaction reader notices the inode swap and re-anchors.
+        assert reader.spent("t") == pytest.approx(7.5)
+        assert reader.remaining("t") == pytest.approx(992.5)
+        # ...and the journal keeps accepting mutations afterwards.
+        fresh.charge("t", 2.0)
+        assert writer.spent("t") == pytest.approx(9.5)
+
+    def test_stale_reader_cannot_over_admit_after_compaction(
+        self, tmp_path, monkeypatch
+    ):
+        """Admission control must see post-compaction state even in a
+        ledger instance whose offset predates the compaction -- the inode-
+        reuse scenario where a stale offset into the replaced journal would
+        otherwise enforce stale budgets."""
+        monkeypatch.setattr(BudgetLedger, "COMPACT_EVERY", 5)
+        stale = BudgetLedger(tmp_path)
+        stale.grant("t", 10.0)
+        stale.charge("t", 1.0)  # stale's view: spent 1.0 of 10
+        other = BudgetLedger(tmp_path)
+        for index in range(8):  # crosses COMPACT_EVERY: journal replaced
+            other.charge("t", 1.0, job_id=f"j{index}")
+        assert b'"gen"' in other.journal_path.read_bytes().splitlines()[0]
+        # The stale instance re-anchors on the generation marker: 9.0 spent
+        # means an 8.0 charge must be refused, not admitted off spent=1.0.
+        with pytest.raises(BudgetExceededError):
+            stale.charge("t", 8.0)
+        assert stale.spent("t") == pytest.approx(9.0)
+
+    def test_failed_tail_repair_releases_the_locks(self, tmp_path, monkeypatch):
+        """An I/O error while repairing a torn tail must release both the
+        in-process mutex and the on-disk lock -- a leaked mutex would
+        deadlock every later ledger call in the process."""
+        import os as os_mod
+
+        ledger = BudgetLedger(tmp_path)
+        ledger.grant("t", 5.0)
+        with open(ledger.journal_path, "ab") as journal:
+            journal.write(b'{"op": "charge"')  # torn tail: repair will run
+        fresh = BudgetLedger(tmp_path)
+        real_write = os_mod.write
+
+        def failing_write(fd, data):
+            if bytes(data) == b"\n":
+                raise OSError(28, "No space left on device")
+            return real_write(fd, data)
+
+        monkeypatch.setattr(os_mod, "write", failing_write)
+        with pytest.raises(OSError, match="No space left"):
+            fresh.charge("t", 1.0)
+        monkeypatch.undo()
+        # Both locks were released: the same instance keeps working.
+        fresh.charge("t", 1.0)
+        assert fresh.remaining("t") == pytest.approx(4.0)
+        assert not fresh._lock_path.exists()
+
+    def test_append_refused_after_lock_break(self, tmp_path):
+        """A writer whose lock was stale-broken mid-mutation must refuse to
+        append (its admission check is outdated), not overdraft silently."""
+        ledger = BudgetLedger(tmp_path)
+        ledger.grant("t", 10.0)
+        with ledger._locked():
+            # A breaker replaced our lock while we were stalled.
+            ledger._lock_path.write_text("intruder-token 0\n")
+            with pytest.raises(LedgerError, match="lost the ledger lock"):
+                ledger._append(ledger._record("charge", "t", 1.0))
+        # Release left the foreign lock alone (not ours to remove).
+        assert ledger._lock_path.read_text().startswith("intruder-token")
+        ledger._lock_path.unlink()
+        assert ledger.spent("t") == 0.0  # nothing was journalled
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        ledger = BudgetLedger(tmp_path, stale_lock_seconds=0.0)
+        # A crashed writer left its lock behind...
+        ledger._lock_path.write_text("999999 0\n")
+        past = time.time() - 60.0
+        import os
+
+        os.utime(ledger._lock_path, (past, past))
+        # ...and the next mutation still goes through.
+        ledger.grant("t", 1.0)
+        assert ledger.total("t") == 1.0
+
+
+# ---------------------------------------------------------------------------
+# TenantScheduler + queue backends
+# ---------------------------------------------------------------------------
+
+
+def _make_queues(tmp_path):
+    return [
+        MemoryJobQueue(),
+        FileJobQueue(tmp_path / "fq"),
+    ]
+
+
+def _drain_ids(queue):
+    order = []
+    while True:
+        claimed = queue.claim()
+        if claimed is None:
+            return order
+        order.append(claimed.task_id)
+        queue.ack(claimed.task_id, token=claimed.attempts)
+
+
+class TestScheduling:
+    def test_fifo_within_a_tenant(self, tmp_path):
+        for queue in _make_queues(tmp_path):
+            for index in range(8):
+                queue.put(f"p{index}", task_id=f"t{index}", tenant="a")
+            assert _drain_ids(queue) == [f"t{index}" for index in range(8)]
+
+    def test_strict_priority_classes(self, tmp_path):
+        for queue in _make_queues(tmp_path):
+            queue.put("low", task_id="low-0", priority=0, tenant="a")
+            queue.put("low", task_id="low-1", priority=0, tenant="b")
+            queue.put("high", task_id="high-0", priority=5, tenant="c")
+            queue.put("mid", task_id="mid-0", priority=2, tenant="a")
+            order = _drain_ids(queue)
+            assert order[0] == "high-0"
+            assert order[1] == "mid-0"
+            assert set(order[2:]) == {"low-0", "low-1"}
+
+    def test_flooding_tenant_cannot_starve_another(self, tmp_path):
+        for queue in _make_queues(tmp_path):
+            for index in range(40):
+                queue.put("flood", task_id=f"flood-{index:03d}", tenant="hog")
+            for index in range(3):
+                queue.put("small", task_id=f"small-{index}", tenant="mouse")
+            order = _drain_ids(queue)
+            # Fair share: the mouse's 3 tasks all finish within the first
+            # 2*3 claims despite 40 queued ahead of them.
+            assert {f"small-{index}" for index in range(3)} <= set(order[:6])
+            # ...and the hog's own tasks stayed FIFO.
+            floods = [tid for tid in order if tid.startswith("flood-")]
+            assert floods == sorted(floods)
+
+    def test_no_starvation_soak(self, tmp_path):
+        # Many tenants with very different loads: every tenant's first task
+        # must be claimed within one round of the tenant count.
+        queue = FileJobQueue(tmp_path / "soak")
+        loads = {"a": 30, "b": 1, "c": 7, "d": 2, "e": 16}
+        for tenant, count in loads.items():
+            for index in range(count):
+                queue.put("x", task_id=f"{tenant}-{index:03d}", tenant=tenant)
+        order = _drain_ids(queue)
+        assert len(order) == sum(loads.values())
+        first_claim = {
+            tenant: order.index(f"{tenant}-000") for tenant in loads
+        }
+        assert max(first_claim.values()) < len(loads)
+        # Per tenant, FIFO held.
+        for tenant in loads:
+            mine = [tid for tid in order if tid.startswith(f"{tenant}-")]
+            assert mine == sorted(mine)
+
+    def test_weighted_shares(self):
+        queue = MemoryJobQueue(
+            scheduler=TenantScheduler(weights={"heavy": 2.0})
+        )
+        for index in range(20):
+            queue.put("x", task_id=f"heavy-{index:02d}", tenant="heavy")
+            queue.put("x", task_id=f"light-{index:02d}", tenant="light")
+        order = _drain_ids(queue)
+        prefix = order[:12]
+        heavy = sum(1 for tid in prefix if tid.startswith("heavy"))
+        assert heavy == 8  # 2:1 share -> 8 of the first 12
+
+    def test_fifo_scheduler_opt_out(self, tmp_path):
+        queue = FileJobQueue(tmp_path / "fifo", scheduler="fifo")
+        queue.put("x", task_id="b-task", priority=9, tenant="b")
+        queue.put("x", task_id="a-task", priority=0, tenant="a")
+        # Plain name-sorted order: priorities are ignored entirely.
+        assert _drain_ids(queue) == ["a-task", "b-task"]
+
+    def test_requeued_task_keeps_its_fifo_slot(self, tmp_path):
+        queue = FileJobQueue(tmp_path / "rq", max_attempts=3)
+        for index in range(3):
+            queue.put("x", task_id=f"t{index}", tenant="a")
+        claimed = queue.claim()
+        assert claimed.task_id == "t0"
+        queue.nack(claimed.task_id, "boom", token=claimed.attempts)
+        # The retry goes back to the head of its tenant's FIFO.
+        assert _drain_ids(queue) == ["t0", "t1", "t2"]
+
+
+# ---------------------------------------------------------------------------
+# Heartbeats
+# ---------------------------------------------------------------------------
+
+
+class TestHeartbeats:
+    def test_heartbeat_renews_the_lease(self, tmp_path):
+        for queue in (
+            MemoryJobQueue(lease_seconds=0.3),
+            FileJobQueue(tmp_path / "hb", lease_seconds=0.3),
+        ):
+            queue.put("x", task_id="t0")
+            claimed = queue.claim()
+            for _ in range(3):
+                time.sleep(0.15)
+                assert queue.heartbeat("t0", token=claimed.attempts)
+                # Well past the original lease by the second beat, yet the
+                # reaper never takes the task.
+                assert queue.requeue_expired() == []
+            # Stop beating: the lease finally expires.
+            time.sleep(0.45)
+            assert queue.requeue_expired() == ["t0"]
+
+    def test_heartbeat_fencing_and_missing_claims(self, tmp_path):
+        queue = FileJobQueue(tmp_path / "hb2", lease_seconds=60.0)
+        assert queue.heartbeat("ghost") is False
+        queue.put("x", task_id="t0")
+        claimed = queue.claim()
+        assert queue.heartbeat("t0", token=claimed.attempts + 1) is False
+        assert queue.heartbeat("t0", token=claimed.attempts) is True
+
+    def test_long_task_survives_a_short_lease(self, tmp_path, monkeypatch, top_k_spec):
+        """A chunk slower than the lease completes exactly once: the
+        heartbeat thread keeps the lease alive, so no reaper retries it."""
+        import repro.service.worker as worker_mod
+
+        broker = Broker(tmp_path / "svc", lease_seconds=0.4)
+        handle = JobClient(broker).submit(
+            top_k_spec, trials=4, seed=3, chunk_trials=4
+        )
+        real_execute = worker_mod.execute_task_json
+
+        def slow_execute(payload):
+            time.sleep(1.0)  # 2.5x the lease
+            return real_execute(payload)
+
+        monkeypatch.setattr(worker_mod, "execute_task_json", slow_execute)
+        worker = Worker(broker, heartbeat_seconds=0.1, poll_interval=0.01)
+        worker.run_until_idle()
+        assert worker.heartbeats >= 2
+        assert worker.tasks_done == 1
+        assert worker.failures == 0
+        status = handle.status()
+        assert status.state == "done"
+        # And the slow result is still the deterministic one.
+        reference = run(top_k_spec, trials=4, rng=3, shards=1, chunk_trials=4)
+        merged = handle.result()
+        np.testing.assert_array_equal(merged.indices, reference.indices)
+
+    def test_heartbeats_disabled_by_zero(self, tmp_path, top_k_spec):
+        broker = Broker(tmp_path / "svc", lease_seconds=300.0)
+        worker = Worker(broker, heartbeat_seconds=0)
+        JobClient(broker).submit(top_k_spec, trials=4, seed=0, chunk_trials=4)
+        worker.run_until_idle()
+        assert worker.heartbeats == 0
+        assert worker.tasks_done == 1
+
+
+# ---------------------------------------------------------------------------
+# DiskResultCache O(1) size accounting
+# ---------------------------------------------------------------------------
+
+
+class TestCacheSizeAccounting:
+    def _result(self, spec, seed):
+        return run(spec, trials=4, rng=seed)
+
+    def test_running_total_matches_scan(self, tmp_path, top_k_spec):
+        cache = DiskResultCache(tmp_path / "c", max_bytes=10**9)
+        cache.size_bytes()  # establish the running total
+        for seed in range(5):
+            cache.put(f"k{seed}", self._result(top_k_spec, seed))
+        running = cache._total_bytes()
+        assert running == sum(
+            p.stat().st_size
+            for p in (tmp_path / "c").iterdir()
+            if p.suffix in (".json", ".npz")
+        )
+        cache.evict("k0")
+        assert cache._total_bytes() == cache.size_bytes()
+
+    def test_under_cap_put_never_rescans(self, tmp_path, top_k_spec, monkeypatch):
+        cache = DiskResultCache(tmp_path / "c", max_bytes=10**9)
+        cache.put("k0", self._result(top_k_spec, 0))  # anchors via scan/sidecar
+        cache.size_bytes()
+        scans = {"n": 0}
+        real_entries = DiskResultCache._entries
+
+        def counting_entries(self):
+            scans["n"] += 1
+            return real_entries(self)
+
+        monkeypatch.setattr(DiskResultCache, "_entries", counting_entries)
+        for seed in range(1, 6):
+            cache.put(f"k{seed}", self._result(top_k_spec, seed))
+        assert scans["n"] == 0  # the O(1) fast path: no directory scans
+
+    def test_sidecar_warm_start(self, tmp_path, top_k_spec):
+        first = DiskResultCache(tmp_path / "c", max_bytes=10**9)
+        first.put("k0", self._result(top_k_spec, 0))
+        total = first.size_bytes()  # persists the sidecar index
+        second = DiskResultCache(tmp_path / "c", max_bytes=10**9)
+        assert second._total_bytes() == total  # read from ".size", no scan
+        # The sidecar never collides with entry globs.
+        assert ".size" not in {p.stem for p in (tmp_path / "c").glob("*.json")}
+
+    def test_eviction_still_enforces_the_cap(self, tmp_path, top_k_spec):
+        sample = self._result(top_k_spec, 0)
+        cache = DiskResultCache(tmp_path / "c")
+        cache.put("probe", sample)
+        entry_bytes = cache.size_bytes()
+        capped = DiskResultCache(tmp_path / "d", max_bytes=int(entry_bytes * 2.5))
+        for seed in range(6):
+            capped.put(f"k{seed}", self._result(top_k_spec, seed))
+            time.sleep(0.01)  # distinct mtimes for deterministic LRU order
+        assert capped.size_bytes() <= entry_bytes * 2.5
+        assert capped.get("k5") is not None  # the newest entry survived
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: admission, fair progress, settlement, restart, determinism
+# ---------------------------------------------------------------------------
+
+
+class TestControlPlaneEndToEnd:
+    def test_overbudget_submit_is_rejected_before_queueing(
+        self, tmp_path, top_k_spec
+    ):
+        broker = Broker(tmp_path / "svc")
+        broker.ledger.grant("bob", 5.0)
+        with pytest.raises(BudgetExceededError, match="bob"):
+            broker.submit(
+                top_k_spec, trials=6, seed=0, tenant="bob"
+            )  # worst case 6.0 > 5.0
+        assert broker.queue.counts() == {"pending": 0, "claimed": 0, "failed": 0}
+        assert broker.list_jobs() == []
+        assert broker.ledger.remaining("bob") == 5.0
+
+    def test_flooding_tenant_cannot_starve_another_end_to_end(
+        self, tmp_path, top_k_spec
+    ):
+        """Two tenants, one worker: the hog floods 4 jobs before the mouse
+        submits one, yet the mouse's job finishes first -- and every job's
+        result is still bit-identical to the in-process sharded run."""
+        broker = Broker(tmp_path / "svc")
+        client = JobClient(broker)
+        hog_handles = [
+            client.submit(
+                top_k_spec,
+                trials=TRIALS,
+                seed=seed,
+                chunk_trials=CHUNK,
+                tenant="hog",
+            )
+            for seed in range(4)
+        ]
+        mouse = client.submit(
+            top_k_spec, trials=TRIALS, seed=99, chunk_trials=CHUNK,
+            tenant="mouse",
+        )
+        worker = Worker(broker, poll_interval=0.001)
+        steps = 0
+        while mouse.status().state != "done":
+            assert worker.run_once(), "queue drained before the mouse finished"
+            steps += 1
+        # The mouse needed 3 chunks; fair sharing means it never waits for
+        # the hog's 12 queued chunks -- about one hog chunk per mouse chunk.
+        assert steps <= 2 * 3 + 1
+        assert any(h.status().state != "done" for h in hog_handles)
+        worker.run_until_idle()
+        for seed, handle in enumerate(hog_handles):
+            reference = run(
+                top_k_spec, trials=TRIALS, rng=seed, shards=2,
+                chunk_trials=CHUNK,
+            )
+            merged = handle.result()
+            np.testing.assert_array_equal(merged.indices, reference.indices)
+            np.testing.assert_array_equal(merged.gaps, reference.gaps)
+            np.testing.assert_array_equal(
+                merged.epsilon_consumed, reference.epsilon_consumed
+            )
+
+    def test_settlement_refunds_unused_reservation(self, tmp_path, adaptive_spec):
+        broker = Broker(tmp_path / "svc")
+        broker.ledger.grant("alice", 100.0)
+        handle = JobClient(broker).submit(
+            adaptive_spec, trials=TRIALS, seed=5, chunk_trials=CHUNK,
+            tenant="alice",
+        )
+        reserved = float(adaptive_spec.epsilon) * TRIALS
+        assert broker.ledger.spent("alice") == pytest.approx(reserved)
+        Worker(broker).run_until_idle()
+        merged = handle.result()
+        consumed = float(np.sum(merged.epsilon_consumed))
+        assert consumed < reserved  # adaptive SVT leaves budget on the table
+        assert broker.ledger.spent("alice") == pytest.approx(consumed)
+        # Settlement is exactly-once: repeated fetches change nothing.
+        handle.result()
+        handle.result()
+        assert broker.ledger.spent("alice") == pytest.approx(consumed)
+
+    def test_cancel_refunds_never_ran_chunks(self, tmp_path, top_k_spec):
+        broker = Broker(tmp_path / "svc")
+        broker.ledger.grant("alice", 50.0)
+        handle = JobClient(broker).submit(
+            top_k_spec, trials=TRIALS, seed=1, chunk_trials=CHUNK,
+            tenant="alice",
+        )
+        assert broker.ledger.spent("alice") == pytest.approx(float(TRIALS))
+        handle.cancel()  # nothing ran: the whole reservation comes back
+        assert broker.ledger.spent("alice") == pytest.approx(0.0)
+        with pytest.raises(JobFailedError):
+            handle.result()
+
+    def test_over_refund_clamps_at_zero(self, tmp_path):
+        ledger = BudgetLedger(tmp_path)
+        ledger.grant("t", 10.0)
+        ledger.charge("t", 4.0)
+        ledger.refund("t", 8.0)  # an operator repairing too enthusiastically
+        ledger.refund("t", 8.0)
+        assert ledger.spent("t") == 0.0
+        assert ledger.remaining("t") == 10.0  # never inflated past the grant
+        with pytest.raises(BudgetExceededError):
+            ledger.charge("t", 10.5)
+
+    def test_cancel_does_not_refund_a_retried_chunk(self, tmp_path, top_k_spec):
+        """A chunk that executed once and was nacked back to pending drew
+        its noise: cancelling must keep its budget spent, even though the
+        task sits in the pending queue at cancel time."""
+        broker = Broker(tmp_path / "svc")
+        broker.ledger.grant("alice", 50.0)
+        handle = JobClient(broker).submit(
+            top_k_spec, trials=TRIALS, seed=4, chunk_trials=CHUNK,
+            tenant="alice",
+        )
+        claimed = broker.queue.claim()
+        assert broker.queue.nack(
+            claimed.task_id, "transient", token=claimed.attempts
+        ) == "requeued"
+        handle.cancel()
+        # 3 chunks of 4 trials: two never ran (refunded), the nacked one
+        # already drew noise and stays charged at its worst case.
+        assert broker.ledger.spent("alice") == pytest.approx(4.0)
+
+    def test_crashed_submit_refunds_its_reservation(
+        self, tmp_path, top_k_spec, monkeypatch
+    ):
+        broker = Broker(tmp_path / "svc")
+        broker.ledger.grant("alice", 50.0)
+        real_put = type(broker.queue).put
+        calls = {"n": 0}
+
+        def dying_put(self, payload, *, task_id=None, **kwargs):
+            if calls["n"] >= 1:
+                raise OSError("disk full")
+            calls["n"] += 1
+            return real_put(self, payload, task_id=task_id, **kwargs)
+
+        monkeypatch.setattr(type(broker.queue), "put", dying_put)
+        with pytest.raises(OSError, match="disk full"):
+            broker.submit(
+                top_k_spec, trials=TRIALS, seed=0, chunk_trials=CHUNK,
+                tenant="alice",
+            )
+        # The compensating refund landed: the ledger is balanced again.
+        assert broker.ledger.spent("alice") == pytest.approx(0.0)
+        assert broker.ledger.remaining("alice") == pytest.approx(50.0)
+
+    def test_tenant_budget_cli_manual_refund(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        assert cli_main(
+            ["tenant-budget", "t", "--root", str(root), "--grant", "10"]
+        ) == 0
+        BudgetLedger(root / "tenants").charge("t", 4.0, job_id="leaked")
+        capsys.readouterr()
+        assert cli_main(
+            ["tenant-budget", "t", "--root", str(root), "--refund", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "remaining 10" in out
+
+    def test_ledger_survives_broker_restart_bit_exactly(
+        self, tmp_path, top_k_spec
+    ):
+        root = tmp_path / "svc"
+        broker = Broker(root)
+        broker.ledger.grant("alice", 30.0)
+        JobClient(broker).submit(
+            top_k_spec, trials=TRIALS, seed=2, chunk_trials=CHUNK,
+            tenant="alice",
+        )
+        journal = broker.ledger.journal_path.read_bytes()
+        snapshot = broker.ledger.tenants()
+        del broker
+        rebooted = Broker(root)  # a fresh process over the same root
+        assert rebooted.ledger.journal_path.read_bytes() == journal
+        assert rebooted.ledger.tenants() == snapshot
+        # ...and enforcement continues where it left off.
+        with pytest.raises(BudgetExceededError):
+            rebooted.submit(
+                top_k_spec, trials=19, seed=3, tenant="alice"
+            )  # 19 > 30 - 12 remaining
+
+    def test_submit_facade_carries_tenant_and_priority(
+        self, tmp_path, top_k_spec
+    ):
+        handle = submit(
+            top_k_spec,
+            root=tmp_path / "svc",
+            trials=TRIALS,
+            rng=0,
+            chunk_trials=CHUNK,
+            tenant="alice",
+            priority=7,
+        )
+        manifest = handle.client.broker.manifest(handle.job_id)
+        assert manifest["tenant"] == "alice"
+        assert manifest["priority"] == 7
+        assert manifest["reserved_epsilon"] == pytest.approx(float(TRIALS))
+
+    def test_metrics_cli_reports_the_run(self, tmp_path, top_k_spec, capsys):
+        root = tmp_path / "svc"
+        assert cli_main(
+            ["tenant-budget", "alice", "--root", str(root), "--grant", "30"]
+        ) == 0
+        broker = Broker(root)
+        client = JobClient(broker)
+        handle = client.submit(
+            top_k_spec, trials=TRIALS, seed=0, chunk_trials=CHUNK,
+            tenant="alice",
+        )
+        # Same request twice: the second job's chunks are all cache hits.
+        rerun = client.submit(
+            top_k_spec, trials=TRIALS, seed=0, chunk_trials=CHUNK,
+            tenant="alice", job_id="job-warm",
+        )
+        worker = Worker(broker)
+        worker.run_until_idle()
+        handle.result()
+        rerun.result()
+        snapshot = collect_metrics(root)
+        assert snapshot["queue"] == {
+            "pending": 0, "claimed": 0, "failed": 0, "pending_by_tenant": {},
+        }
+        assert snapshot["jobs"] == {"done": 2}
+        assert snapshot["cache"]["hits"] == 3
+        assert snapshot["cache"]["misses"] == 3
+        assert snapshot["cache"]["hit_rate"] == pytest.approx(0.5)
+        alice = snapshot["tenants"]["alice"]
+        assert alice["total"] == 30.0
+        assert alice["charged"] == pytest.approx(2.0 * TRIALS)
+        # Both jobs settled at the identical (replayed) consumption.
+        assert alice["spent"] == pytest.approx(2.0 * TRIALS)
+        capsys.readouterr()
+        assert cli_main(["metrics", "--root", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "pending 0  claimed 0  failed 0" in out
+        assert "done 2" in out
+        assert "hit_rate 50.0%" in out
+        assert "alice" in out
+
+    def test_metrics_cli_missing_root_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["metrics", "--root", str(tmp_path / "nope")])
+        assert excinfo.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_job_cancel_cli(self, tmp_path, top_k_spec, capsys):
+        root = tmp_path / "svc"
+        handle = JobClient(root).submit(
+            top_k_spec, trials=TRIALS, seed=0, chunk_trials=CHUNK
+        )
+        assert cli_main(["job-cancel", handle.job_id, "--root", str(root)]) == 0
+        assert "cancelled" in capsys.readouterr().out
+        assert handle.status().state == "cancelled"
+
+    def test_job_cancel_cli_unknown_job_exits_2(self, tmp_path, capsys):
+        Broker(tmp_path / "svc")  # a root with no such job
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["job-cancel", "job-nope", "--root", str(tmp_path / "svc")])
+        assert excinfo.value.code == 2
+        assert "no job" in capsys.readouterr().err
+
+    def test_overbudget_submit_cli_exits_2(self, tmp_path, top_k_spec, capsys):
+        root = tmp_path / "svc"
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(top_k_spec.to_json())
+        assert cli_main(
+            ["tenant-budget", "alice", "--root", str(root), "--grant", "0.5"]
+        ) == 0
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(
+                [
+                    "submit", str(spec_file), "--root", str(root),
+                    "--trials", "8", "--seed", "0", "--tenant", "alice",
+                ]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "alice" in err and "remaining" in err
