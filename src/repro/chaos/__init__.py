@@ -1,0 +1,54 @@
+"""Deterministic fault injection and contract checking for the service stack.
+
+The package has three faces:
+
+* :mod:`repro.chaos.faults` -- a seeded :class:`FaultPlan` (a pure function
+  of its seed) and the :class:`FaultInjector` hook the queue, broker,
+  worker and ledger accept via their optional ``injector=`` parameter;
+* :mod:`repro.chaos.harness` -- a multi-process chaos campaign: real
+  subprocess workers under a kill/restart schedule, client threads
+  submitting multi-tenant jobs, every job driven to a terminal state;
+* :mod:`repro.chaos.invariants` -- the AWDIT-style post-hoc checker that
+  replays the surviving root files alone and verdicts the stack's
+  contracts (ledger conservation, exactly-once settlement, no lost jobs,
+  dead-letter consistency, cache integrity, oracle-identical results).
+
+``python -m repro.evaluation.cli chaos --root DIR --seed N`` runs a
+campaign and prints the verdict table.
+"""
+
+from repro.chaos.faults import (
+    SITES,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    read_fired,
+)
+from repro.chaos.harness import (
+    CampaignConfig,
+    CampaignReport,
+    render_report,
+    run_campaign,
+)
+from repro.chaos.invariants import (
+    Verdict,
+    check_invariants,
+    render_verdicts,
+    result_digest,
+)
+
+__all__ = [
+    "SITES",
+    "CampaignConfig",
+    "CampaignReport",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedCrash",
+    "Verdict",
+    "check_invariants",
+    "read_fired",
+    "render_report",
+    "render_verdicts",
+    "result_digest",
+    "run_campaign",
+]

@@ -1,0 +1,310 @@
+"""Seeded fault plans and the injector hook the service layers accept.
+
+Determinism is the whole design: a :class:`FaultPlan` is a pure function of
+its seed, and whether a given *occurrence* of an injection site fires is a
+pure function of ``(seed, scope, site, occurrence count)`` -- no wall
+clock, no global RNG.  Real concurrency still perturbs *which wall-clock
+moment* an occurrence happens at, but the schedule of faults each actor
+sees is identical run to run, which is what makes a failing campaign seed
+replayable.
+
+Each actor (a worker process incarnation, a client thread) owns one
+:class:`FaultInjector` with a distinct ``scope`` string; the injector
+counts occurrences per site and fires when::
+
+    count % period(site) == offset(scope, site)
+
+with the period derived from the seed and the offset from
+``sha256(seed:scope:site)`` -- different actors fault at different points
+of their own timelines, so one seed explores many interleavings at once.
+
+Fired faults are appended (single ``O_APPEND`` write per line, the
+journal discipline) to ``<log_dir>/fired.jsonl`` so the harness can prove
+site coverage after the dust settles; :func:`read_fired` aggregates it.
+
+The injection sites (:data:`SITES`):
+
+``crash-before-ack``
+    Worker dies after the done marker, before acking -- the duplicate
+    delivery case idempotent results must absorb.
+``crash-after-put``
+    Worker dies between the cache put and the done marker -- a cached
+    chunk the job does not know about yet.
+``torn-journal-write``
+    Ledger writer crashes mid-append, leaving a partial trailing line the
+    next locked writer must repair.
+``torn-queue-write``
+    Queue producer crashes mid-put, leaving a torn temp file (never a
+    torn published entry -- publication is the atomic link).
+``delayed-ack``
+    Worker stalls past its lease before acking, exercising the fencing
+    token against a reaper's requeue.
+``claim-io-error``
+    Transient ``OSError`` from the claim path (an NFS hiccup).
+``cache-put-io-error``
+    Transient ``OSError`` from the result-cache put.
+``stale-lock``
+    Ledger lock holder "crashes" without releasing; the next writer must
+    break the stale lock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+__all__ = [
+    "SITES",
+    "DEFAULT_PERIOD_RANGES",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedCrash",
+    "derive_fraction",
+    "read_fired",
+]
+
+#: Every named injection site, in the order the verdict table reports them.
+SITES = (
+    "crash-before-ack",
+    "crash-after-put",
+    "torn-journal-write",
+    "torn-queue-write",
+    "delayed-ack",
+    "claim-io-error",
+    "cache-put-io-error",
+    "stale-lock",
+)
+
+#: Inclusive ``(lo, hi)`` bounds the seeded period of each site is drawn
+#: from.  Queue/worker sites occur dozens of times per campaign (every
+#: claim poll counts), so they afford long periods; ledger sites only occur
+#: a handful of times per client (one append per mutation), so their
+#: periods stay short enough to fire within one campaign.
+DEFAULT_PERIOD_RANGES: Mapping[str, tuple] = {
+    "crash-before-ack": (4, 6),
+    "crash-after-put": (5, 7),
+    # Torn-write and stale-lock periods must exceed the writes one retried
+    # operation performs (a submit puts chunk-count files and appends one
+    # journal record per attempt), or the "transient" fault becomes
+    # permanent: every retry tears again and nothing ever commits.
+    "torn-journal-write": (4, 6),
+    "torn-queue-write": (6, 9),
+    "delayed-ack": (5, 7),
+    "claim-io-error": (4, 6),
+    "cache-put-io-error": (3, 5),
+    "stale-lock": (5, 8),
+}
+
+
+class InjectedCrash(BaseException):
+    """A simulated worker death.
+
+    Deliberately **not** an ``Exception``: the worker's per-task failure
+    handling catches ``Exception`` (a failing task is nacked and retried),
+    but a crash must take the whole actor down -- exactly like the
+    ``os._exit`` a subprocess injector uses.
+    """
+
+
+def _digest(*parts) -> int:
+    """A stable 64-bit integer from the given parts (the plan's only
+    source of randomness -- no global RNG, no wall clock)."""
+    text = ":".join(str(part) for part in parts)
+    raw = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(raw[:8], "big")
+
+
+def derive_fraction(seed: int, *labels) -> float:
+    """A deterministic float in ``[0, 1)`` -- the harness derives its
+    kill-schedule delays from these instead of ``random``."""
+    return _digest(seed, *labels) / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which faults a seed injects, and how often.
+
+    ``periods`` maps each site to its firing period (``0`` disables the
+    site).  Two plans built from the same seed are equal, and
+    :meth:`should_fire` is a pure function of its arguments -- the
+    foundations of run-to-run reproducibility.
+    """
+
+    seed: int
+    periods: Mapping[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        *,
+        disable: Iterable[str] = (),
+        overrides: Optional[Mapping[str, int]] = None,
+    ) -> "FaultPlan":
+        """Derive every site's period from the seed.
+
+        ``disable`` names sites to switch off; ``overrides`` pins explicit
+        periods (tests use period 1 to make a site fire on its first
+        occurrence).
+        """
+        unknown = set(disable) - set(SITES)
+        unknown |= set(overrides or {}) - set(SITES)
+        if unknown:
+            raise ValueError(f"unknown injection site(s): {sorted(unknown)}")
+        periods: Dict[str, int] = {}
+        for site in SITES:
+            lo, hi = DEFAULT_PERIOD_RANGES[site]
+            periods[site] = lo + _digest(seed, "period", site) % (hi - lo + 1)
+        for site in disable:
+            periods[site] = 0
+        if overrides:
+            periods.update({site: int(n) for site, n in overrides.items()})
+        return cls(seed=int(seed), periods=periods)
+
+    def offset(self, scope: str, site: str) -> int:
+        """This actor's phase within the site's period."""
+        period = int(self.periods.get(site, 0))
+        if period <= 0:
+            return 0
+        return _digest(self.seed, "offset", scope, site) % period
+
+    def should_fire(self, scope: str, site: str, count: int) -> bool:
+        """Whether occurrence ``count`` (0-based) of ``site`` fires for the
+        actor named ``scope``."""
+        period = int(self.periods.get(site, 0))
+        if period <= 0:
+            return False
+        return count % period == self.offset(scope, site)
+
+
+class FaultInjector:
+    """One actor's per-site occurrence counter over a :class:`FaultPlan`.
+
+    Behaviour methods (what an instrumented call site invokes):
+
+    * :meth:`fire` -- count the occurrence; True when it fires (the caller
+      implements the fault, e.g. skipping a lock release);
+    * :meth:`crash` -- raise :class:`InjectedCrash` (``crash_mode="raise"``)
+      or ``os._exit(23)`` (``crash_mode="exit"``, subprocess workers);
+    * :meth:`io_error` -- raise a transient ``OSError``;
+    * :meth:`delay` -- sleep (a stall past a lease, never an exception);
+    * :meth:`torn_write` -- True when the caller should tear its write and
+      raise.
+
+    Not thread-safe by design: one injector per actor (the per-site counts
+    ARE the actor's timeline, and sharing them across threads would make
+    the schedule race-dependent).
+    """
+
+    #: The subprocess exit status of an injected crash, so the harness can
+    #: tell a planned death from a real bug in the worker process.
+    CRASH_EXIT_STATUS = 23
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        scope: str,
+        *,
+        log_dir: Union[str, os.PathLike, None] = None,
+        crash_mode: str = "raise",
+    ) -> None:
+        if crash_mode not in ("raise", "exit"):
+            raise ValueError(f"crash_mode must be 'raise' or 'exit', got {crash_mode!r}")
+        self.plan = plan
+        self.scope = str(scope)
+        self.crash_mode = crash_mode
+        self.log_path = None if log_dir is None else Path(log_dir) / "fired.jsonl"
+        self.counts: Dict[str, int] = {}
+        self.fired: Dict[str, int] = {}
+
+    def _step(self, site: str) -> bool:
+        if site not in SITES:
+            raise ValueError(f"unknown injection site {site!r}")
+        count = self.counts.get(site, 0)
+        self.counts[site] = count + 1
+        if not self.plan.should_fire(self.scope, site, count):
+            return False
+        self.fired[site] = self.fired.get(site, 0) + 1
+        self._log(site, count)
+        return True
+
+    def _log(self, site: str, count: int) -> None:
+        if self.log_path is None:
+            return
+        record = {
+            "site": site,
+            "scope": self.scope,
+            "count": count,
+            "at": time.time(),
+        }
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        # One O_APPEND write per line, like the ledger journal: concurrent
+        # actors sharing the log cannot interleave mid-record.  Best
+        # effort -- the log proves coverage, it must never *cause* a fault.
+        try:
+            self.log_path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(self.log_path, os.O_WRONLY | os.O_APPEND | os.O_CREAT)
+            try:
+                os.write(fd, line)
+            finally:
+                os.close(fd)
+        except OSError:
+            pass
+
+    # -- behaviours ---------------------------------------------------------
+
+    def fire(self, site: str) -> bool:
+        """Count one occurrence; the caller implements the fault on True."""
+        return self._step(site)
+
+    def crash(self, site: str) -> None:
+        """Die here (when the occurrence fires)."""
+        if not self._step(site):
+            return
+        if self.crash_mode == "exit":
+            os._exit(self.CRASH_EXIT_STATUS)
+        raise InjectedCrash(f"injected crash at {site} (scope {self.scope})")
+
+    def io_error(self, site: str) -> None:
+        """Raise a transient OSError (when the occurrence fires)."""
+        if self._step(site):
+            raise OSError(f"injected transient I/O error at {site} (scope {self.scope})")
+
+    def delay(self, site: str, seconds: float) -> None:
+        """Stall for ``seconds`` (when the occurrence fires)."""
+        if self._step(site) and seconds > 0:
+            time.sleep(seconds)
+
+    def torn_write(self, site: str) -> bool:
+        """True when the caller should write a torn prefix and raise."""
+        return self._step(site)
+
+
+def read_fired(log_dir: Union[str, os.PathLike]) -> Dict[str, int]:
+    """Aggregate ``fired.jsonl``: total fires per site (absent sites 0).
+
+    Torn trailing lines (an actor killed mid-log) are skipped, like every
+    other journal reader in this codebase.
+    """
+    totals: Dict[str, int] = {site: 0 for site in SITES}
+    path = Path(log_dir) / "fired.jsonl"
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return totals
+    end = raw.rfind(b"\n")
+    if end < 0:
+        return totals
+    for line in raw[: end + 1].splitlines():
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            continue
+        if isinstance(record, dict) and record.get("site") in totals:
+            totals[record["site"]] += 1
+    return totals

@@ -1,0 +1,452 @@
+"""The chaos campaign: subprocess workers, client threads, one verdict.
+
+A campaign drives the real multi-process stack -- no mocks -- against one
+service root:
+
+1. **Setup**: write the campaign config under ``<root>/chaos/`` (the
+   worker subprocesses read their fault plan from it) and grant the
+   budgeted tenant enough epsilon that admission control never refuses a
+   campaign job (refusals would make the job set schedule-dependent).
+2. **Chaos phase**: spawn real worker subprocesses
+   (``python -m repro.chaos.worker_main``), each with its own seeded
+   injector scope, under a derived kill/restart schedule (SIGKILL -- no
+   cleanup handlers get to run); meanwhile N client threads submit
+   multi-tenant jobs through injector-wrapped brokers, retrying the
+   transient faults their own submissions hit.
+3. **Recovery phase**: kill whatever still runs, then drive every
+   committed job to a terminal state with injector-free in-process
+   workers (leases expire, the reaper requeues, retries drain), sweep
+   settlements, and fetch every done job's result exactly as a client
+   would.
+4. **Verdict**: aggregate the fired-fault log and run the
+   :mod:`repro.chaos.invariants` checker over the surviving root files.
+
+Reproducibility: the job set, every actor's fault schedule and the kill
+delays are pure functions of the seed.  OS scheduling still varies *when*
+things interleave, so per-job terminal states may differ run to run --
+what must hold every run is the full invariant suite, and that any job
+that completes does so with the oracle-identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.api.specs import NoisyTopKSpec, SparseVectorSpec
+from repro.chaos.faults import FaultInjector, FaultPlan, derive_fraction, read_fired
+from repro.chaos.invariants import (
+    Verdict,
+    check_invariants,
+    render_verdicts,
+    result_digest,
+)
+from repro.service.broker import Broker, ServiceError
+from repro.service.queue import FileJobQueue
+from repro.service.worker import Worker
+from repro.tenancy.ledger import BudgetLedger
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "render_report",
+    "run_campaign",
+]
+
+#: The budgeted tenant (admission-controlled) and the unbounded ones.
+BUDGETED_TENANT = "acme"
+TENANTS = (BUDGETED_TENANT, "free", "burst")
+
+#: The fixed query answers every campaign job selects over (well
+#: separated, so the mechanisms behave; the *jobs* differ in spec type,
+#: epsilon and seed, which is what the determinism contract exercises).
+_QUERIES = (
+    980.0, 850.0, 720.0, 610.0, 540.0, 420.0,
+    310.0, 250.0, 180.0, 120.0, 60.0, 25.0,
+)
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything a campaign derives from (and nothing else).
+
+    The config is persisted to ``<root>/chaos/config.json`` so the worker
+    subprocesses rebuild the identical :class:`FaultPlan` and queue/ledger
+    parameters from the root alone.
+    """
+
+    seed: int = 0
+    clients: int = 2
+    jobs_per_client: int = 3
+    workers: int = 2
+    worker_restarts: int = 2
+    trials: int = 180
+    chunk_trials: int = 45
+    max_attempts: int = 4
+    lease_seconds: float = 1.0
+    stale_lock_seconds: float = 1.0
+    lock_timeout: float = 20.0
+    kill_after: Tuple[float, float] = (0.6, 1.8)
+    extra_chaos_seconds: float = 1.0
+    worker_deadline_seconds: float = 120.0
+    recovery_timeout: float = 90.0
+    include_poison: bool = True
+    include_cancel: bool = True
+    disable: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["kill_after"] = list(self.kill_after)
+        payload["disable"] = list(self.disable)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignConfig":
+        payload = dict(payload)
+        payload["kill_after"] = tuple(payload.get("kill_after", (0.6, 1.8)))
+        payload["disable"] = tuple(payload.get("disable", ()))
+        return cls(**payload)
+
+    def plan(self) -> FaultPlan:
+        return FaultPlan.from_seed(self.seed, disable=self.disable)
+
+
+@dataclass
+class CampaignReport:
+    """What one campaign observed, judged and concluded."""
+
+    seed: int
+    verdicts: List[Verdict]
+    fired: Dict[str, int]
+    job_states: Dict[str, str]
+    result_digests: Dict[str, str]
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(v.passed for v in self.verdicts)
+
+
+def _job_requests(config: CampaignConfig, client: int) -> List[dict]:
+    """Client ``client``'s deterministic submission list (a pure function
+    of the seed -- the campaign's workload is part of its identity)."""
+    from repro.chaos.faults import _digest
+
+    requests = []
+    for j in range(config.jobs_per_client):
+        stamp = _digest(config.seed, "job", client, j)
+        epsilon = 0.5 + (stamp % 4) * 0.25
+        monotonic = bool((stamp >> 8) % 2)
+        if stamp % 2:
+            spec = NoisyTopKSpec(
+                queries=_QUERIES, epsilon=epsilon, k=3, monotonic=monotonic
+            )
+        else:
+            spec = SparseVectorSpec(
+                queries=_QUERIES,
+                epsilon=epsilon,
+                threshold=400.0,
+                k=3,
+                monotonic=monotonic,
+            )
+        requests.append(
+            {
+                "spec": spec,
+                "trials": config.trials,
+                "seed": int(stamp % 100_000),
+                "chunk_trials": config.chunk_trials,
+                "job_id": f"chaos-{config.seed}-c{client}-j{j}",
+                "tenant": TENANTS[(client + j) % len(TENANTS)],
+                "priority": j % 2,
+            }
+        )
+    if client == 0 and config.include_poison:
+        # One guaranteed dead-letter: 'thresholds' passes submit-side
+        # validation (the executor accepts the keyword) but raises in the
+        # worker on every attempt, so the job exhausts max_attempts and
+        # permanently fails -- the stranded-budget scenario the
+        # dead-letter settlement exists for.
+        requests.append(
+            {
+                "spec": SparseVectorSpec(
+                    queries=_QUERIES, epsilon=0.75, threshold=400.0, k=2
+                ),
+                "trials": config.chunk_trials * 2,
+                "seed": 7,
+                "chunk_trials": config.chunk_trials,
+                "options": {"thresholds": "not-a-number"},
+                "job_id": f"chaos-{config.seed}-poison",
+                "tenant": BUDGETED_TENANT,
+                "priority": 0,
+            }
+        )
+    return requests
+
+
+def _worst_case_epsilon(requests: List[dict]) -> float:
+    return sum(r["spec"].epsilon * r["trials"] for r in requests)
+
+
+def _build_broker(root: Path, config: CampaignConfig, injector=None) -> Broker:
+    queue = FileJobQueue(
+        root / "queue",
+        max_attempts=config.max_attempts,
+        lease_seconds=config.lease_seconds,
+        injector=injector,
+    )
+    ledger = BudgetLedger(
+        root / "tenants",
+        lock_timeout=config.lock_timeout,
+        stale_lock_seconds=config.stale_lock_seconds,
+        injector=injector,
+    )
+    return Broker(root, queue=queue, ledger=ledger)
+
+
+def _client_thread(
+    root: Path,
+    config: CampaignConfig,
+    client: int,
+    chaos_dir: Path,
+    committed: List[str],
+    notes: List[str],
+) -> None:
+    injector = FaultInjector(
+        config.plan(), f"client-{client}", log_dir=chaos_dir, crash_mode="raise"
+    )
+    broker = _build_broker(root, config, injector=injector)
+    cancelled_target: Optional[str] = None
+    for j, request in enumerate(_job_requests(config, client)):
+        job_id = request["job_id"]
+        for attempt in range(8):
+            try:
+                broker.submit(**request)
+                committed.append(job_id)
+                break
+            except ServiceError as exc:
+                if "already exists" in str(exc):
+                    committed.append(job_id)  # a prior attempt committed
+                    break
+                time.sleep(0.1 * (attempt + 1))
+            except Exception:  # noqa: BLE001 -- injected faults; retry
+                time.sleep(0.1 * (attempt + 1))
+        else:
+            notes.append(f"client-{client}: job {job_id!r} never committed")
+            continue
+        if config.include_cancel and client == 1 and j == 0:
+            cancelled_target = job_id
+    if cancelled_target is not None:
+        # A client changing its mind mid-flight: cancellation must settle
+        # whatever the job consumed, whether or not chunks already ran.
+        time.sleep(0.2)
+        for attempt in range(6):
+            try:
+                broker.cancel(cancelled_target)
+                break
+            except Exception:  # noqa: BLE001 -- injected faults; retry
+                time.sleep(0.1 * (attempt + 1))
+        else:
+            notes.append(
+                f"client-{client}: cancel of {cancelled_target!r} never landed"
+            )
+
+
+def _spawn_worker(
+    root: Path, logs_dir: Path, slot: int, incarnation: int, config: CampaignConfig
+) -> dict:
+    scope = f"worker-{slot}i{incarnation}"
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    log = open(logs_dir / f"{scope}.log", "ab")
+    try:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.chaos.worker_main", str(root), scope],
+            env=env,
+            stdout=log,
+            stderr=subprocess.STDOUT,
+        )
+    finally:
+        log.close()  # the child holds its own copy of the fd
+    lo, hi = config.kill_after
+    delay = lo + derive_fraction(config.seed, "kill", scope) * max(0.0, hi - lo)
+    return {
+        "proc": proc,
+        "incarnation": incarnation,
+        "kill_at": time.monotonic() + delay,
+    }
+
+
+def run_campaign(
+    root: Union[str, os.PathLike], config: CampaignConfig
+) -> CampaignReport:
+    """Run one seeded campaign against ``root``; return the report."""
+    root = Path(root)
+    chaos_dir = root / "chaos"
+    logs_dir = chaos_dir / "logs"
+    logs_dir.mkdir(parents=True, exist_ok=True)
+    (chaos_dir / "config.json").write_text(
+        json.dumps(config.to_dict(), indent=2, sort_keys=True), encoding="utf-8"
+    )
+
+    # Grant the budgeted tenant comfortably more than every campaign job's
+    # worst case combined: admission control stays *armed* (the ledger
+    # still enforces the overdraft check on every charge) but never
+    # refuses, so the committed job set is schedule-independent.
+    all_requests = [
+        request
+        for client in range(config.clients)
+        for request in _job_requests(config, client)
+    ]
+    worst = _worst_case_epsilon(
+        [r for r in all_requests if r["tenant"] == BUDGETED_TENANT]
+    )
+    setup_ledger = BudgetLedger(
+        root / "tenants",
+        lock_timeout=config.lock_timeout,
+        stale_lock_seconds=config.stale_lock_seconds,
+    )
+    setup_ledger.grant(BUDGETED_TENANT, max(worst * 2.0, 1.0))
+
+    notes: List[str] = []
+    committed: List[str] = []
+    clients = [
+        threading.Thread(
+            target=_client_thread,
+            args=(root, config, client, chaos_dir, committed, notes),
+            daemon=True,
+        )
+        for client in range(config.clients)
+    ]
+
+    # -- chaos phase --------------------------------------------------------
+    slots = {
+        slot: _spawn_worker(root, logs_dir, slot, 0, config)
+        for slot in range(config.workers)
+    }
+    for thread in clients:
+        thread.start()
+
+    def tend_workers() -> None:
+        for slot, state in list(slots.items()):
+            proc = state["proc"]
+            died = proc.poll() is not None
+            if not died and time.monotonic() < state["kill_at"]:
+                continue
+            if not died:
+                proc.kill()
+            proc.wait()
+            if state["incarnation"] < config.worker_restarts:
+                slots[slot] = _spawn_worker(
+                    root, logs_dir, slot, state["incarnation"] + 1, config
+                )
+            else:
+                del slots[slot]
+
+    for thread in clients:
+        while thread.is_alive():
+            tend_workers()
+            thread.join(timeout=0.05)
+    chaos_until = time.monotonic() + config.extra_chaos_seconds
+    while time.monotonic() < chaos_until:
+        tend_workers()
+        time.sleep(0.05)
+    for state in slots.values():
+        state["proc"].kill()
+        state["proc"].wait()
+
+    # -- recovery phase -----------------------------------------------------
+    broker = _build_broker(root, config)  # injector-free
+    worker = Worker(broker, worker_id="recovery", poll_interval=0.01)
+    committed = sorted(set(committed))
+    deadline = time.monotonic() + config.recovery_timeout
+    job_states: Dict[str, str] = {}
+    while True:
+        worker.run_until_idle()
+        job_states = {
+            job_id: broker.status(job_id).state for job_id in committed
+        }
+        counts = broker.queue.counts()
+        # Terminal jobs are not enough: a duplicate claim a SIGKILLed
+        # worker left behind can outlive the moment its job turns done --
+        # keep driving until its lease expires, the reaper requeues it and
+        # the worker retires it, or the checker would (rightly) flag an
+        # orphaned claim.
+        if (
+            all(
+                state in ("done", "failed", "cancelled")
+                for state in job_states.values()
+            )
+            and counts["pending"] == 0
+            and counts["claimed"] == 0
+        ):
+            break
+        if time.monotonic() >= deadline:
+            stuck = {j: s for j, s in job_states.items() if s not in ("done", "failed", "cancelled")}
+            notes.append(f"recovery timeout: non-terminal jobs {stuck}")
+            break
+        time.sleep(0.1)
+
+    # Settlement sweep + client-side fetch: done jobs are fetched exactly
+    # as a client would (which also settles and warms the merged entry);
+    # failed/cancelled jobs get the idempotent settle_terminal sweep -- a
+    # no-op when mark_failed/cancel already settled them, the repair when
+    # a chaos-time settle was torn away.
+    result_digests: Dict[str, str] = {}
+    for job_id, state in sorted(job_states.items()):
+        try:
+            if state == "done":
+                result_digests[job_id] = result_digest(broker.result(job_id))
+            else:
+                broker.settle_terminal(job_id)
+        except Exception as exc:  # noqa: BLE001 -- the checker will judge it
+            notes.append(f"post-recovery {job_id!r} ({state}): {exc}")
+
+    verdicts = check_invariants(
+        root, stale_lock_seconds=config.stale_lock_seconds
+    )
+    if any(state not in ("done", "failed", "cancelled") for state in job_states.values()):
+        verdicts.insert(
+            0,
+            Verdict(
+                "all-jobs-terminal",
+                False,
+                f"non-terminal: {job_states}",
+            ),
+        )
+    return CampaignReport(
+        seed=config.seed,
+        verdicts=verdicts,
+        fired=read_fired(chaos_dir),
+        job_states=job_states,
+        result_digests=result_digests,
+        notes=notes,
+    )
+
+
+def render_report(report: CampaignReport) -> str:
+    """The chaos CLI verb's verdict table."""
+    lines = [f"chaos campaign seed={report.seed}", ""]
+    lines.append("injection sites fired:")
+    for site, count in sorted(report.fired.items()):
+        lines.append(f"  {site:<22} {count}")
+    lines.append("")
+    lines.append("job outcomes:")
+    for job_id, state in sorted(report.job_states.items()):
+        lines.append(f"  {job_id:<28} {state}")
+    lines.append("")
+    lines.append("contract verdicts:")
+    for line in render_verdicts(report.verdicts).splitlines():
+        lines.append(f"  {line}")
+    for note in report.notes:
+        lines.append(f"note: {note}")
+    lines.append("")
+    lines.append("VERDICT: " + ("PASS" if report.passed else "FAIL"))
+    return "\n".join(lines) + "\n"

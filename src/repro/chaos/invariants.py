@@ -1,0 +1,435 @@
+"""The AWDIT-style post-hoc contract checker.
+
+Everything is judged from the service root's **surviving files alone** --
+the queue directories, the job manifests and markers, the ledger journal,
+the cache entries -- never from what any actor *claims* happened.  That is
+the point: a fleet that crashed, restarted, tore writes and abandoned
+locks must still leave a root whose observable history satisfies the
+stack's contracts.
+
+The checks (one :class:`Verdict` each):
+
+``ledger-conservation``
+    An independent raw replay of the journal bytes agrees with
+    :class:`BudgetLedger`'s own replay, ``granted == spent + remaining``
+    for every budgeted tenant, and no budgeted tenant overdrafted.
+``exactly-once-settlement``
+    No job id carries two effective settle records; per job, refunds plus
+    settles never exceed charges (no budget minted from thin air).
+``terminal-jobs-settled``
+    Every terminal job that reserved budget is settled -- the invariant
+    that catches a dead-lettered job stranding its admission charge.
+``no-lost-jobs``
+    Every committed job is terminal, done jobs have every done marker,
+    and nothing is left pending or claimed.
+``no-orphaned-claims``
+    The claimed directory holds no entries and no abandoned ``.take.*``
+    temp files.
+``dead-letter-consistency``
+    Every dead-letter entry with a parseable envelope maps to a chunk its
+    (terminal) job actually owns, or to an uncommitted submission's
+    orphan task.
+``cache-integrity``
+    Every done marker's content-addressed chunk (or the job's merged
+    ``run_key`` entry) loads from the cache.
+``result-oracle``
+    Every done job's merged result is byte-identical to the in-process
+    ``run(spec, ..., shards=N)`` oracle at the same seed and chunk layout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.api import run as api_run, spec_from_dict
+from repro.dispatch.cache import _ARRAY_FIELDS
+from repro.dispatch.hashing import run_key
+from repro.service.broker import Broker
+from repro.tenancy.ledger import BudgetLedger, _GEN_PREFIX
+
+__all__ = ["Verdict", "check_invariants", "render_verdicts", "result_digest"]
+
+#: Floating-point slack of the conservation checks (sums of journal
+#: records accumulate rounding).
+_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One contract's pass/fail outcome with its evidence."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+def result_digest(result) -> str:
+    """A byte-exact digest of a :class:`~repro.api.result.Result`.
+
+    Hashes every array field's name, dtype, shape and raw bytes plus the
+    scalar metadata -- two results digest equal iff they are
+    bit-identical, which is the determinism contract's currency.
+    """
+    digest = hashlib.sha256()
+    metadata = {
+        "mechanism": result.mechanism,
+        "engine": result.engine,
+        "trials": result.trials,
+        "epsilon": result.epsilon,
+        "monotonic": result.monotonic,
+        "extra": dict(result.extra),
+    }
+    digest.update(json.dumps(metadata, sort_keys=True).encode("utf-8"))
+    for name in _ARRAY_FIELDS:
+        value = getattr(result, name)
+        if value is None:
+            digest.update(f"|{name}:none".encode("ascii"))
+            continue
+        array = np.ascontiguousarray(value)
+        digest.update(
+            f"|{name}:{array.dtype.str}:{array.shape}".encode("ascii")
+        )
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def _read_journal_records(path: Path) -> List[dict]:
+    """Raw journal replay, independent of :class:`BudgetLedger`'s code
+    path: complete lines only, torn/corrupt lines skipped, the
+    compaction generation marker ignored (its snapshot record is what
+    carries state)."""
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return []
+    end = raw.rfind(b"\n")
+    if end < 0:
+        return []
+    records = []
+    for line in raw[: end + 1].splitlines():
+        if line.startswith(_GEN_PREFIX):
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+class _JournalReplay:
+    """Independent fold of the journal records (mirrors the ledger's
+    replay semantics, reimplemented so a ledger bug cannot vouch for
+    itself)."""
+
+    def __init__(self, records: List[dict]) -> None:
+        self.totals: Dict[str, float] = {}
+        self.spent: Dict[str, float] = {}
+        self.settled: Dict[str, int] = {}  # job_id -> effective settles
+        self.duplicate_settles: List[str] = []
+        self.overdrafts: List[str] = []
+        #: Per-job sums since the last snapshot (a snapshot folds job
+        #: history away, so per-job checks only cover what follows it).
+        self.job_charged: Dict[str, float] = {}
+        self.job_returned: Dict[str, float] = {}
+        self.compacted = False
+        for record in records:
+            self._apply(record)
+
+    def _apply(self, record: dict) -> None:
+        op = record.get("op")
+        if op == "snapshot":
+            try:
+                self.totals = {str(t): float(v) for t, v in record["totals"].items()}
+                self.spent = {str(t): float(v) for t, v in record["spent"].items()}
+                settled = {str(j): 1 for j in record["settled"]}
+            except (KeyError, TypeError, ValueError, AttributeError):
+                return
+            self.settled = settled
+            self.job_charged = {}
+            self.job_returned = {}
+            self.compacted = True
+            return
+        if op == "genmark":
+            return
+        try:
+            tenant = str(record["tenant"])
+            amount = float(record.get("epsilon", 0.0))
+        except (KeyError, TypeError, ValueError):
+            return
+        job_id = record.get("job_id")
+        if op == "grant":
+            self.totals[tenant] = amount
+        elif op == "charge":
+            spent = self.spent.get(tenant, 0.0) + amount
+            total = self.totals.get(tenant)
+            if total is not None and spent > total + _TOL:
+                self.overdrafts.append(
+                    f"tenant {tenant!r} spent {spent:g} of {total:g}"
+                )
+            self.spent[tenant] = spent
+            if job_id is not None:
+                self.job_charged[str(job_id)] = (
+                    self.job_charged.get(str(job_id), 0.0) + amount
+                )
+        elif op == "refund":
+            self.spent[tenant] = max(0.0, self.spent.get(tenant, 0.0) - amount)
+            if job_id is not None:
+                self.job_returned[str(job_id)] = (
+                    self.job_returned.get(str(job_id), 0.0) + amount
+                )
+        elif op == "settle":
+            if job_id is not None:
+                job_id = str(job_id)
+                if job_id in self.settled:
+                    self.duplicate_settles.append(job_id)
+                    return  # inert on replay, exactly like the ledger
+                self.settled[job_id] = 1
+                self.job_returned[job_id] = (
+                    self.job_returned.get(job_id, 0.0) + amount
+                )
+            self.spent[tenant] = max(0.0, self.spent.get(tenant, 0.0) - amount)
+
+
+def check_invariants(
+    root: Union[str, os.PathLike],
+    *,
+    oracle: bool = True,
+    oracle_shards: int = 2,
+    stale_lock_seconds: float = 30.0,
+) -> List[Verdict]:
+    """Run every contract check against a service root; return verdicts.
+
+    ``oracle=False`` skips the (recomputing, hence slow) result-oracle
+    check.  ``stale_lock_seconds`` configures the checker's own ledger
+    handle -- a chaos campaign that abandoned a ledger lock wants the
+    checker to break it on the campaign's (short) threshold, not the
+    30 s production default.
+    """
+    root = Path(root)
+    ledger = BudgetLedger(root / "tenants", stale_lock_seconds=stale_lock_seconds)
+    broker = Broker(root, ledger=ledger)
+    verdicts: List[Verdict] = []
+
+    jobs: Dict[str, tuple] = {}
+    for job_id in broker.list_jobs():
+        manifest = broker.manifest(job_id)
+        jobs[job_id] = (manifest, broker._status_from_manifest(job_id, manifest))
+
+    replay = _JournalReplay(_read_journal_records(root / "tenants" / "ledger.jsonl"))
+
+    # -- ledger-conservation ------------------------------------------------
+    problems: List[str] = []
+    snapshot = ledger.tenants()
+    for tenant in sorted(set(replay.totals) | set(replay.spent) | set(snapshot)):
+        view = snapshot.get(tenant)
+        if view is None:
+            problems.append(f"tenant {tenant!r} missing from the ledger view")
+            continue
+        raw_total = replay.totals.get(tenant)
+        raw_spent = max(0.0, replay.spent.get(tenant, 0.0))
+        if (view["total"] is None) != (raw_total is None) or (
+            raw_total is not None
+            and abs(view["total"] - raw_total) > _TOL
+        ):
+            problems.append(
+                f"tenant {tenant!r}: ledger total {view['total']} != "
+                f"raw replay {raw_total}"
+            )
+        if abs(view["spent"] - raw_spent) > _TOL:
+            problems.append(
+                f"tenant {tenant!r}: ledger spent {view['spent']:g} != "
+                f"raw replay {raw_spent:g}"
+            )
+        if view["total"] is not None:
+            remaining = view["remaining"] if view["remaining"] is not None else 0.0
+            if abs(view["total"] - (view["spent"] + remaining)) > _TOL:
+                problems.append(
+                    f"tenant {tenant!r}: total {view['total']:g} != spent "
+                    f"{view['spent']:g} + remaining {remaining:g}"
+                )
+    problems.extend(replay.overdrafts)
+    verdicts.append(
+        Verdict("ledger-conservation", not problems, "; ".join(problems))
+    )
+
+    # -- exactly-once-settlement --------------------------------------------
+    problems = []
+    if replay.duplicate_settles:
+        problems.append(
+            f"duplicate settle records for job(s) {sorted(set(replay.duplicate_settles))}"
+        )
+    for job_id, returned in sorted(replay.job_returned.items()):
+        charged = replay.job_charged.get(job_id, 0.0)
+        # A job charged before a snapshot but settled after it shows
+        # returned > charged here without any violation; only flag jobs
+        # whose full history is in view.
+        if not replay.compacted and returned > charged + _TOL:
+            problems.append(
+                f"job {job_id!r}: returned {returned:g} > charged {charged:g}"
+            )
+    verdicts.append(
+        Verdict("exactly-once-settlement", not problems, "; ".join(problems))
+    )
+
+    # -- terminal-jobs-settled ----------------------------------------------
+    problems = []
+    for job_id, (manifest, status) in sorted(jobs.items()):
+        if not status.finished:
+            continue
+        if float(manifest.get("reserved_epsilon", 0.0)) <= 0.0:
+            continue
+        if not ledger.is_settled(job_id):
+            problems.append(
+                f"terminal job {job_id!r} ({status.state}) never settled its "
+                f"reservation of {manifest['reserved_epsilon']:g}"
+            )
+    verdicts.append(
+        Verdict("terminal-jobs-settled", not problems, "; ".join(problems))
+    )
+
+    # -- no-lost-jobs -------------------------------------------------------
+    problems = []
+    counts = broker.queue.counts()
+    if counts["pending"] or counts["claimed"]:
+        problems.append(
+            f"queue not drained: {counts['pending']} pending, "
+            f"{counts['claimed']} claimed"
+        )
+    for job_id, (manifest, status) in sorted(jobs.items()):
+        if not status.finished:
+            problems.append(f"job {job_id!r} stuck in state {status.state!r}")
+        elif status.state == "done" and status.done_tasks != status.total_tasks:
+            problems.append(
+                f"done job {job_id!r} has {status.done_tasks}/"
+                f"{status.total_tasks} done markers"
+            )
+    verdicts.append(Verdict("no-lost-jobs", not problems, "; ".join(problems)))
+
+    # -- no-orphaned-claims -------------------------------------------------
+    problems = []
+    claimed_dir = root / "queue" / "claimed"
+    if claimed_dir.is_dir():
+        leftovers = sorted(p.name for p in claimed_dir.glob("*.json"))
+        takes = sorted(p.name for p in claimed_dir.glob(".take.*"))
+        if leftovers:
+            problems.append(f"claimed entries remain: {leftovers}")
+        if takes:
+            problems.append(f"abandoned take files remain: {takes}")
+    verdicts.append(
+        Verdict("no-orphaned-claims", not problems, "; ".join(problems))
+    )
+
+    # -- dead-letter-consistency --------------------------------------------
+    problems = []
+    failed_dir = root / "queue" / "failed"
+    if failed_dir.is_dir():
+        for path in sorted(failed_dir.glob("*.json")):
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+                envelope = json.loads(entry["payload"])
+                job_id = envelope["job_id"]
+                index = int(envelope["index"])
+            except (OSError, KeyError, TypeError, ValueError):
+                problems.append(f"unparseable dead-letter entry {path.name}")
+                continue
+            if job_id not in jobs:
+                # An uncommitted submission's orphan task: the producer
+                # crashed before the manifest landed, so there is no job to
+                # attribute the dead letter to.  Documented as harmless.
+                continue
+            manifest, status = jobs[job_id]
+            owned = {int(e["index"]) for e in manifest["tasks"]}
+            if index not in owned:
+                problems.append(
+                    f"dead letter {path.name} names chunk {index} job "
+                    f"{job_id!r} does not own"
+                )
+            elif not status.finished:
+                problems.append(
+                    f"dead letter {path.name} but job {job_id!r} is "
+                    f"non-terminal ({status.state})"
+                )
+    verdicts.append(
+        Verdict("dead-letter-consistency", not problems, "; ".join(problems))
+    )
+
+    # -- cache-integrity ----------------------------------------------------
+    problems = []
+    for job_id, (manifest, status) in sorted(jobs.items()):
+        if status.state != "done":
+            continue
+        merged_ok = broker.cache.get(manifest["run_key"]) is not None
+        for entry in manifest["tasks"]:
+            if broker.cache.get(entry["key"]) is None and not merged_ok:
+                problems.append(
+                    f"done job {job_id!r}: chunk {entry['index']} missing "
+                    "from the cache and no merged entry to serve it"
+                )
+    verdicts.append(
+        Verdict("cache-integrity", not problems, "; ".join(problems))
+    )
+
+    # -- result-oracle ------------------------------------------------------
+    if oracle:
+        problems = []
+        for job_id, (manifest, status) in sorted(jobs.items()):
+            if status.state != "done":
+                continue
+            try:
+                merged = broker.result(job_id)
+            except Exception as exc:  # noqa: BLE001 -- a verdict, not a crash
+                problems.append(f"job {job_id!r}: result() failed: {exc}")
+                continue
+            spec = spec_from_dict(manifest["spec"])
+            if run_key(
+                spec,
+                engine=manifest["engine"],
+                trials=int(manifest["trials"]),
+                seed=int(manifest["seed"]),
+                chunk_trials=int(manifest["chunk_trials"]),
+                options={},
+            ) != manifest["run_key"]:
+                # The job was submitted with run-time options the manifest
+                # does not record (only the sliced per-chunk views exist),
+                # so the facade oracle cannot be reconstructed for it.
+                continue
+            expected = api_run(
+                spec,
+                engine=manifest["engine"],
+                trials=int(manifest["trials"]),
+                rng=int(manifest["seed"]),
+                shards=int(oracle_shards),
+                chunk_trials=int(manifest["chunk_trials"]),
+            )
+            if result_digest(merged) != result_digest(expected):
+                problems.append(
+                    f"job {job_id!r}: merged result diverges from the "
+                    f"run(shards={oracle_shards}) oracle"
+                )
+        verdicts.append(
+            Verdict("result-oracle", not problems, "; ".join(problems))
+        )
+
+    return verdicts
+
+
+def render_verdicts(verdicts: List[Verdict]) -> str:
+    """The pass/fail table the ``chaos`` CLI verb prints."""
+    width = max(len(v.name) for v in verdicts) if verdicts else 8
+    lines = []
+    for verdict in verdicts:
+        status = "PASS" if verdict.passed else "FAIL"
+        line = f"{verdict.name:<{width}}  {status}"
+        if verdict.detail and not verdict.passed:
+            line += f"  {verdict.detail}"
+        lines.append(line)
+    return "\n".join(lines) + "\n"

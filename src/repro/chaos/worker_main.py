@@ -1,0 +1,56 @@
+"""Subprocess entry point for chaos-campaign workers.
+
+``python -m repro.chaos.worker_main <root> <scope>`` rebuilds the
+campaign's fault plan from ``<root>/chaos/config.json`` (so the harness
+passes nothing but the root and this incarnation's injector scope on the
+command line), wires an injector in ``exit`` crash mode through the
+queue, ledger and worker, and serves until killed.
+
+Crash mode matters: in a real process the crash sites must end the
+*process* (``os._exit`` -- no ``finally`` blocks, no atexit, no flushing),
+because that is the failure the recovery machinery has to survive.  The
+in-process ``raise`` mode exists for unit tests only.
+
+The scope encodes the worker slot *and* incarnation (``worker-0i2``): a
+restarted worker is a new actor with its own deterministic fault
+schedule, not a resumption of the dead one's counters.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.chaos.faults import FaultInjector
+from repro.chaos.harness import CampaignConfig, _build_broker
+from repro.service.worker import Worker
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print("usage: python -m repro.chaos.worker_main <root> <scope>", file=sys.stderr)
+        return 2
+    root = Path(argv[0])
+    scope = argv[1]
+    chaos_dir = root / "chaos"
+    config = CampaignConfig.from_dict(
+        json.loads((chaos_dir / "config.json").read_text(encoding="utf-8"))
+    )
+    injector = FaultInjector(
+        config.plan(), scope, log_dir=chaos_dir, crash_mode="exit"
+    )
+    broker = _build_broker(root, config, injector=injector)
+    worker = Worker(
+        broker, worker_id=scope, poll_interval=0.02, injector=injector
+    )
+    # The deadline is a safety net against a harness that dies without
+    # killing its children; the normal end of life is SIGKILL.
+    worker.serve(deadline=time.monotonic() + config.worker_deadline_seconds)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

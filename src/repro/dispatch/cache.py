@@ -271,7 +271,12 @@ class DiskResultCache(ResultCache):
             # Missing, truncated, corrupted or shape-inconsistent entries
             # (np.load raises anything from OSError to zipfile.BadZipFile to
             # pickle errors; Result.__post_init__ raises ValueError) are all
-            # equivalent to "not cached" -- the caller recomputes.
+            # equivalent to "not cached" -- the caller recomputes.  A
+            # *committed* entry that fails to load is additionally
+            # quarantined, so the corrupt bytes cannot shadow the key (a
+            # contains() probe reporting a payload get() cannot serve) or
+            # pollute the byte accounting until eviction.
+            self._quarantine(key)
             return None
 
     def contains(self, key: str) -> bool:
@@ -297,6 +302,33 @@ class DiskResultCache(ResultCache):
             except OSError:
                 pass
         return True
+
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt *committed* entry aside as ``*.corrupt``.
+
+        Only acts when the ``.json`` commit marker exists: a payload
+        without metadata is an in-flight arrays-first ``put`` (or a clean
+        miss), and quarantining it would destroy a healthy write in
+        progress.  The renames overwrite any previous quarantine of the
+        same key (``os.replace``), so repeated corruption is bounded at
+        one ``.corrupt`` pair per key, and the freed bytes are folded out
+        of the running size total -- quarantined files no longer shadow
+        the key (entry scans glob ``*.json``/``*.npz``) nor count against
+        the cap.
+        """
+        meta_path, array_path = self._paths(key)
+        if not meta_path.exists():
+            return
+        freed = 0
+        for path in (meta_path, array_path):
+            size = self._stat_bytes(path) if self.max_bytes is not None else 0
+            try:
+                os.replace(path, path.with_name(f"{path.name}.corrupt"))
+            except OSError:
+                continue  # vanished concurrently (eviction/overwrite won)
+            freed += size
+        if freed:
+            self._account(-freed)
 
     def evict(self, key: str) -> None:
         """Remove both files of an entry (metadata first, as in eviction)."""

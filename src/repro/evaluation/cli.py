@@ -50,6 +50,14 @@ per-tenant budgets, worker counters)::
 
     python -m repro.evaluation.cli tenant-budget alice --root ./svc --grant 2.5
     python -m repro.evaluation.cli metrics --root ./svc
+
+``chaos`` runs a seeded fault-injection soak (:mod:`repro.chaos`) against a
+**fresh** root: real subprocess workers under a kill/restart schedule,
+client threads submitting multi-tenant jobs through injected faults, then
+the post-hoc contract checker over the surviving files.  Exit 0 iff every
+invariant holds::
+
+    python -m repro.evaluation.cli chaos --root ./chaos-root --seed 3
 """
 
 from __future__ import annotations
@@ -322,6 +330,26 @@ def _run_serve_worker(args, stream) -> None:
     )
 
 
+def _run_chaos(args, stream) -> None:
+    """Run one seeded chaos campaign against a fresh service root."""
+    from repro.chaos import CampaignConfig, render_report, run_campaign
+    from repro.service import ServiceError
+
+    root = Path(args.root)
+    if root.exists() and any(root.iterdir()):
+        # A campaign kills workers and injects I/O faults into whatever
+        # lives at the root -- never point it at a root holding real jobs.
+        raise ServiceError(
+            f"chaos requires a fresh root, but {args.root!r} is not empty"
+        )
+    report = run_campaign(root, CampaignConfig(seed=args.seed))
+    stream.write(render_report(report))
+    if not report.passed:
+        raise ServiceError(
+            f"chaos campaign seed={args.seed} failed its contract checks"
+        )
+
+
 _COMMANDS: Dict[str, Callable] = {
     "datasets": _run_datasets,
     "figure1": _run_figure1,
@@ -337,6 +365,7 @@ _COMMANDS: Dict[str, Callable] = {
     "serve-worker": _run_serve_worker,
     "metrics": _run_metrics,
     "tenant-budget": _run_tenant_budget,
+    "chaos": _run_chaos,
 }
 
 #: Commands that operate on a job-queue service root (--root).
@@ -348,6 +377,7 @@ _SERVICE_COMMANDS = (
     "serve-worker",
     "metrics",
     "tenant-budget",
+    "chaos",
 )
 #: Commands whose positional argument is a spec JSON file.
 _SPEC_FILE_COMMANDS = ("run-spec", "submit")
@@ -370,7 +400,8 @@ def build_parser() -> argparse.ArgumentParser:
         "executes a serialized mechanism spec through the repro.api facade; "
         "'submit'/'serve-worker'/'job-status'/'job-result'/'job-cancel' "
         "drive the job-queue service layer; 'tenant-budget'/'metrics' "
-        "drive the multi-tenant control plane)",
+        "drive the multi-tenant control plane; 'chaos' runs a seeded "
+        "fault-injection soak against a fresh root)",
     )
     parser.add_argument(
         "spec",
@@ -539,6 +570,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve-worker": {"root", "max_tasks"},
         "metrics": {"root"},
         "tenant-budget": {"root", "grant", "refund"},
+        "chaos": {"root"},
     }.get(args.command, set())
     for flag in ("engine", "shards", "cache", "chunk_trials", "root",
                  "max_tasks", "wait", "tenant", "priority", "grant",

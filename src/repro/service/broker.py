@@ -169,6 +169,11 @@ class Broker:
         given): ``None`` for the fair-share default, ``"fifo"`` for plain
         enqueue order, or a configured
         :class:`~repro.tenancy.scheduler.TenantScheduler`.
+    injector:
+        Optional chaos hook (:class:`repro.chaos.FaultInjector`), passed
+        through to the default-constructed queue and ledger; explicit
+        ``queue=``/``ledger=`` instances carry their own.  ``None``
+        (production) is a strict no-op.
     """
 
     def __init__(
@@ -182,6 +187,7 @@ class Broker:
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
         ledger: Union[None, str, os.PathLike, BudgetLedger] = None,
         scheduler=None,
+        injector=None,
     ) -> None:
         self.root = Path(root)
         self.jobs_dir = self.root / "jobs"
@@ -192,11 +198,13 @@ class Broker:
             # verb, which constructs a Broker purely to read) still work;
             # submit fails at its first write with the real error.
             pass
+        self.injector = injector
         self.queue = queue if queue is not None else FileJobQueue(
             self.root / "queue",
             max_attempts=max_attempts,
             lease_seconds=lease_seconds,
             scheduler=scheduler,
+            injector=injector,
         )
         if cache is None:
             self.cache: ResultCache = DiskResultCache(
@@ -208,7 +216,8 @@ class Broker:
             self.ledger = ledger
         else:
             self.ledger = BudgetLedger(
-                self.root / "tenants" if ledger is None else ledger
+                self.root / "tenants" if ledger is None else ledger,
+                injector=injector,
             )
 
     # -- submission ---------------------------------------------------------
@@ -509,12 +518,27 @@ class Broker:
         )
 
     def mark_failed(self, job_id: str, index: int, error: str) -> None:
-        """Record that a task exhausted its retries; the job is failed."""
+        """Record that a task exhausted its retries; the job is failed.
+
+        Writing the marker is what turns the job terminal, so the job's
+        budget reservation is settled here too -- symmetric with
+        ``result()``/``cancel()``.  Without this, a permanently failed job
+        nobody ever fetches (the fire-and-forget client) would strand its
+        worst-case admission charge forever.  Settlement failure (a wedged
+        ledger lock on a crashing fleet) must not lose the marker write
+        that already happened: it is swallowed, and any later
+        :meth:`settle_terminal`/:meth:`result` retries the exactly-once
+        settle.
+        """
         job_dir = self.jobs_dir / _check_job_id(job_id)
         atomic_write_json(
             job_dir / "failed" / f"{int(index)}.json",
             {"error": str(error), "failed_at": time.time()},
         )
+        try:
+            self.settle_terminal(job_id)
+        except Exception:  # noqa: BLE001 -- marker durability over settlement
+            pass
 
     # -- budget settlement --------------------------------------------------
 
@@ -577,6 +601,34 @@ class Broker:
             refund,
             job_id=manifest["job_id"],
         )
+
+    def settle_terminal(self, job_id: str) -> bool:
+        """Ensure a finished job's reservation is settled; idempotent.
+
+        Returns True when the job is terminal (done/failed/cancelled --
+        its settlement now recorded, or already was), False when it can
+        still make progress.  This is the settlement sweep behind
+        :meth:`mark_failed` and the repair for a fleet whose settling
+        writer crashed between a job's last marker and its ledger record:
+        any later caller (a reaper's next dead-letter, an operator script,
+        the chaos harness's recovery pass) lands the exactly-once settle
+        from the root files alone.
+        """
+        manifest = self.manifest(job_id)
+        status = self._status_from_manifest(job_id, manifest)
+        if not status.finished:
+            return False
+        if status.state == "done":
+            # Prefer the merged result's actual consumption (one cache
+            # read); fall back to the per-chunk walk result() also uses.
+            merged = self.cache.get(manifest.get("run_key", "")) if manifest.get("run_key") else None
+            if merged is not None:
+                self._settle(
+                    manifest, lambda: float(np.sum(merged.epsilon_consumed))
+                )
+                return True
+        self._settle(manifest, lambda: self._consumed_epsilon(job_id, manifest))
+        return True
 
     # -- results ------------------------------------------------------------
 

@@ -404,12 +404,17 @@ class FileJobQueue(JobQueue):
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
         scheduler=None,
+        injector=None,
     ) -> None:
         self.max_attempts = int(max_attempts)
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be at least 1, got {max_attempts}")
         self.lease_seconds = float(lease_seconds)
         self._scheduler = _resolve_scheduler(scheduler)
+        #: Optional chaos hook (:class:`repro.chaos.FaultInjector`): claim
+        #: raises transient OSErrors and put tears its temp write when the
+        #: injector says so.  None (production) costs one attribute test.
+        self._injector = injector
         #: Pending-file scheduling metadata (priority, tenant, seq) by
         #: filename, so repeated claims read each pending file's JSON once,
         #: not once per claim.  Safe to cache across requeues -- a retry
@@ -463,18 +468,25 @@ class FileJobQueue(JobQueue):
         # races it yields at worst a duplicate execution, which
         # content-addressed results make harmless.
         tmp = target.with_name(f".{target.name}.{uuid.uuid4().hex}")
-        tmp.write_text(
-            json.dumps(
-                {
-                    "payload": str(payload),
-                    "attempts": 0,
-                    "priority": priority,
-                    "tenant": tenant,
-                    "seq": seq,
-                }
-            ),
-            encoding="utf-8",
+        content = json.dumps(
+            {
+                "payload": str(payload),
+                "attempts": 0,
+                "priority": priority,
+                "tenant": tenant,
+                "seq": seq,
+            }
         )
+        if self._injector is not None and self._injector.torn_write(
+            "torn-queue-write"
+        ):
+            # A producer crash mid-put: the torn bytes land in the dotted
+            # temp file (janitored by the reaper sweep), never in pending/
+            # -- publication below is the atomic link, so a torn *published*
+            # entry cannot exist.  The raise is the producer's death.
+            tmp.write_text(content[: max(1, len(content) // 2)], encoding="utf-8")
+            raise OSError(f"injected torn queue write for task {task_id!r}")
+        tmp.write_text(content, encoding="utf-8")
         try:
             os.link(tmp, target)
         except FileExistsError:
@@ -517,6 +529,8 @@ class FileJobQueue(JobQueue):
         return live
 
     def claim(self, worker_id: Optional[str] = None) -> Optional[ClaimedTask]:
+        if self._injector is not None:
+            self._injector.io_error("claim-io-error")
         # Sorted names give a deterministic base order (the broker's task
         # ids sort by job and chunk index); the scheduler reorders them by
         # priority class and tenant fair share.  Correctness never depends

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import threading
 import time
 import uuid
@@ -71,7 +72,25 @@ class Worker:
         derives a third of the queue's lease -- three missed beats before
         the reaper may act; ``0`` disables heartbeats (the pre-renewal
         behaviour: a chunk longer than the lease gets retried).
+    max_poll_interval:
+        Cap of the idle backoff: an empty :meth:`serve` poll doubles the
+        sleep (with per-worker jitter, so a fleet woken together does not
+        stampede the shared directory) up to this cap, and any processed
+        task resets it to ``poll_interval``.  ``None`` derives
+        ``poll_interval * 40`` (2 s at the default poll).
+    injector:
+        Optional chaos hook (:class:`repro.chaos.FaultInjector`) firing
+        the worker-side injection sites (crash-before-ack,
+        crash-after-put, delayed-ack, cache-put-io-error).  ``None``
+        (production) is a strict no-op.
     """
+
+    #: Transient-I/O retry policy: a claim/put/marker/ack that raises
+    #: OSError (PermissionError included -- shared-filesystem hiccups often
+    #: surface as EACCES) is retried this many times with a doubling
+    #: backoff before the failure is allowed to count.
+    TRANSIENT_RETRIES = 3
+    TRANSIENT_BACKOFF_SECONDS = 0.02
 
     def __init__(
         self,
@@ -80,10 +99,21 @@ class Worker:
         worker_id: Optional[str] = None,
         poll_interval: float = 0.05,
         heartbeat_seconds: Optional[float] = None,
+        max_poll_interval: Optional[float] = None,
+        injector=None,
     ) -> None:
         self.broker = broker if isinstance(broker, Broker) else Broker(broker)
         self.worker_id = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
         self.poll_interval = float(poll_interval)
+        self.max_poll_interval = (
+            self.poll_interval * 40.0
+            if max_poll_interval is None
+            else max(float(max_poll_interval), self.poll_interval)
+        )
+        # Seeded per worker id: the jitter de-synchronizes a fleet without
+        # making any single worker's schedule run-to-run random.
+        self._jitter = random.Random(self.worker_id)
+        self._injector = injector
         # Reap expired leases at most this often, not on every loop
         # iteration: the reaper scans (and JSON-parses) the whole claimed/
         # directory, and expiry can only matter on the lease timescale -- a
@@ -111,6 +141,26 @@ class Worker:
         self.tasks_discarded = 0
         #: Lease renewals sent while executing long tasks.
         self.heartbeats = 0
+        #: Transient I/O errors absorbed by the bounded retry loop.
+        self.io_retries = 0
+
+    def _retry_transient(self, operation):
+        """Run ``operation`` with bounded retries on transient I/O errors.
+
+        OSError (PermissionError included) is what a flaky shared
+        filesystem throws; one hiccup must not fail a healthy chunk.  The
+        final attempt's error propagates -- the caller decides whether
+        exhaustion means "treat as empty poll" (claim) or "nack" (the
+        execution path).
+        """
+        for attempt in range(self.TRANSIENT_RETRIES):
+            try:
+                return operation()
+            except OSError:
+                self.io_retries += 1
+                if attempt == self.TRANSIENT_RETRIES - 1:
+                    raise
+                time.sleep(self.TRANSIENT_BACKOFF_SECONDS * (2 ** attempt))
 
     def counters(self) -> dict:
         """The published metrics view of this worker's counters.
@@ -141,7 +191,15 @@ class Worker:
             self._next_reap = now + self._reap_interval
             for task_id in queue.requeue_expired():
                 self._record_reaper_dead_letter(task_id)
-        claimed = queue.claim(worker_id=self.worker_id)
+        try:
+            claimed = self._retry_transient(
+                lambda: queue.claim(worker_id=self.worker_id)
+            )
+        except OSError:
+            # Retries exhausted: report an empty poll rather than crash the
+            # serve loop -- the task (if any) is still pending and the next
+            # poll tries again.
+            return False
         if claimed is None:
             return False
         self.claims += 1
@@ -244,21 +302,39 @@ class Worker:
             else:
                 self.cache_misses += 1
                 result = execute_task_json(json.dumps(envelope["task"]))
-                self.broker.cache.put(key, result)
-            self.broker.mark_done(job_id, index, key)
+
+                def put_result():
+                    if self._injector is not None:
+                        self._injector.io_error("cache-put-io-error")
+                    self.broker.cache.put(key, result)
+
+                self._retry_transient(put_result)
+            if self._injector is not None:
+                # Die between the cache put and the done marker: the chunk's
+                # bytes exist but the job does not know -- the retry after
+                # lease expiry must turn them into a cache hit.
+                self._injector.crash("crash-after-put")
+            self._retry_transient(lambda: self.broker.mark_done(job_id, index, key))
         except Exception as exc:  # noqa: BLE001 -- any failure means retry
             self.failures += 1
             try:
-                disposition = self.broker.queue.nack(
-                    claimed.task_id,
-                    error=f"{type(exc).__name__}: {exc}",
-                    token=claimed.attempts,
+                disposition = self._retry_transient(
+                    lambda: self.broker.queue.nack(
+                        claimed.task_id,
+                        error=f"{type(exc).__name__}: {exc}",
+                        token=claimed.attempts,
+                    )
                 )
             except QueueError:
                 # The lease expired while we were executing and the task was
                 # reclaimed (or already requeued); the fencing token keeps
                 # this stale nack from revoking the new owner's claim, and
                 # the retry proceeds without us.
+                return
+            except OSError:
+                # Transient retries exhausted: leave the claim to expire --
+                # the reaper requeues (or dead-letters) it, which is the
+                # same at-least-once outcome a crashed worker produces.
                 return
             if disposition == "failed":
                 self.dead_letters += 1
@@ -276,11 +352,33 @@ class Worker:
                     pass
             return
         self.tasks_done += 1
+        if self._injector is not None:
+            # Stall past the lease (the reaper may requeue mid-delay; the
+            # fencing token then refuses the stale ack below), or die with
+            # the done marker written but the task unacked -- the duplicate
+            # delivery idempotent results must absorb.
+            self._injector.delay("delayed-ack", self._ack_delay_seconds())
+            self._injector.crash("crash-before-ack")
         # A failed ack means the lease expired mid-execution and the task
         # was reclaimed: the fencing token refuses the stale ack, the done
         # marker is already written, and the retry recomputes the identical
-        # content-addressed entry, so no harm.
-        self.broker.queue.ack(claimed.task_id, token=claimed.attempts)
+        # content-addressed entry, so no harm.  The same holds for an ack
+        # whose transient-I/O retries exhaust: the un-acked claim expires
+        # and the requeued duplicate is idempotent, so it must not crash a
+        # worker that just completed the task.
+        try:
+            self._retry_transient(
+                lambda: self.broker.queue.ack(claimed.task_id, token=claimed.attempts)
+            )
+        except OSError:
+            pass
+
+    def _ack_delay_seconds(self) -> float:
+        """How long the delayed-ack fault stalls: comfortably past the
+        lease so a reaper can reclaim mid-delay, capped so a long-lease
+        configuration cannot hang a campaign."""
+        lease = float(getattr(self.broker.queue, "lease_seconds", 0.0) or 0.0)
+        return min(lease * 1.3 + 0.05, 5.0)
 
     # -- loops --------------------------------------------------------------
 
@@ -300,14 +398,19 @@ class Worker:
     ) -> int:
         """The long-lived worker loop.
 
-        Polls the queue every ``poll_interval`` seconds.  Exits after
-        ``max_tasks`` processed tasks, when ``idle_exit`` is set and the
-        queue is fully idle (nothing pending *or* claimed -- claimed tasks
-        may yet expire back into the queue), or past ``deadline``
+        Polls the queue with **bounded exponential backoff**: an empty
+        poll doubles the sleep from ``poll_interval`` up to
+        ``max_poll_interval`` (plus up to 25% per-worker jitter, so an
+        idle fleet does not hammer -- or wake against -- the shared
+        directory in lockstep), and any processed task resets it.  Exits
+        after ``max_tasks`` processed tasks, when ``idle_exit`` is set and
+        the queue is fully idle (nothing pending *or* claimed -- claimed
+        tasks may yet expire back into the queue), or past ``deadline``
         (``time.monotonic()`` value).  With no exit condition it serves
         forever (the ``serve-worker`` CLI mode).
         """
         processed = 0
+        idle_sleep = self.poll_interval
         try:
             while True:
                 if max_tasks is not None and processed >= max_tasks:
@@ -316,10 +419,16 @@ class Worker:
                     return processed
                 if self.run_once():
                     processed += 1
+                    idle_sleep = self.poll_interval
                     continue
                 if idle_exit and self.broker.queue.is_idle:
                     return processed
-                time.sleep(self.poll_interval)
+                sleep = idle_sleep * (1.0 + 0.25 * self._jitter.random())
+                if deadline is not None:
+                    # Never sleep past the deadline the caller asked for.
+                    sleep = min(sleep, max(0.0, deadline - time.monotonic()))
+                time.sleep(sleep)
+                idle_sleep = min(idle_sleep * 2.0, self.max_poll_interval)
         finally:
             self.flush_metrics()  # final counters survive the exit
 

@@ -132,6 +132,7 @@ class BudgetLedger:
         *,
         lock_timeout: float = 10.0,
         stale_lock_seconds: float = 30.0,
+        injector=None,
     ) -> None:
         self.directory = Path(directory)
         try:
@@ -145,6 +146,10 @@ class BudgetLedger:
         self._lock_path = self.directory / "ledger.lock"
         self.lock_timeout = float(lock_timeout)
         self.stale_lock_seconds = float(stale_lock_seconds)
+        #: Optional chaos hook (:class:`repro.chaos.FaultInjector`):
+        #: appends tear mid-record and lock releases are skipped (a crashed
+        #: holder) when the injector says so.  None in production.
+        self._injector = injector
         self._mutex = threading.Lock()  # thread-safety within one process
         self._offset = 0  # journal bytes already replayed (complete lines)
         self._journal_gen: Optional[str] = None  # compaction detection
@@ -326,6 +331,11 @@ class BudgetLedger:
             pass
 
     def _release_lock(self) -> None:
+        if self._injector is not None and self._injector.fire("stale-lock"):
+            # A holder that crashed without releasing: the lock file stays
+            # behind, and the next writer must wait out stale_lock_seconds
+            # and break it (the _break_stale_lock rename path).
+            return
         try:
             stamp = self._lock_path.read_text(encoding="ascii")
         except (OSError, UnicodeDecodeError):
@@ -386,6 +396,22 @@ class BudgetLedger:
         """Append one record (lock held) and fold it into the local state."""
         self._check_lock_ownership()
         line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        if self._injector is not None and self._injector.torn_write(
+            "torn-journal-write"
+        ):
+            # A writer crash mid-append: a partial line with no newline
+            # lands on the journal tail.  The next locked writer's
+            # _repair_tail terminates it; replay then skips the unparseable
+            # line, so the mutation is permanently NOT recorded -- which is
+            # exactly what the raise tells our caller.
+            fd = os.open(
+                self.journal_path, os.O_WRONLY | os.O_APPEND | os.O_CREAT
+            )
+            try:
+                _write_all(fd, line[: max(1, len(line) // 2)])
+            finally:
+                os.close(fd)
+            raise OSError("injected torn journal append (writer died mid-record)")
         fd = os.open(
             self.journal_path, os.O_WRONLY | os.O_APPEND | os.O_CREAT
         )

@@ -53,6 +53,7 @@ WORKER_COUNTER_FIELDS = (
     "dead_letters",
     "tasks_discarded",
     "heartbeats",
+    "io_retries",
 )
 
 
@@ -244,5 +245,6 @@ def render_metrics(snapshot: dict) -> str:
         f"  dead_letters {totals['dead_letters']}"
         f"  discarded {totals['tasks_discarded']}"
         f"  heartbeats {totals['heartbeats']}"
+        f"  io_retries {totals['io_retries']}"
     )
     return "\n".join(lines) + "\n"

@@ -8,6 +8,27 @@ import pytest
 from repro.datasets.generators import generate_zipf_transactions
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "chaos: long fault-injection soak (opt in with `pytest -m chaos`)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep the long chaos soak out of the default run.
+
+    The tier-1 suite stays fast; the soak runs only when the ``-m``
+    expression explicitly mentions chaos (``pytest -m chaos``).
+    """
+    if "chaos" in (config.getoption("-m") or ""):
+        return
+    skip = pytest.mark.skip(reason="chaos soak is opt-in: run `pytest -m chaos`")
+    for item in items:
+        if "chaos" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture
 def rng():
     """A deterministic numpy generator for tests."""

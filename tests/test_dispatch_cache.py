@@ -264,6 +264,44 @@ class TestCacheCorruption:
     def test_unknown_key_is_a_miss(self, tmp_path):
         assert DiskResultCache(tmp_path).get("0" * 64) is None
 
+    def test_corrupt_entry_is_quarantined_not_left_in_place(self, specs, tmp_path):
+        cache, key, _ = self._populate(specs["top-k"], tmp_path)
+        payload = tmp_path / f"{key}.npz"
+        payload.write_bytes(payload.read_bytes()[:40])
+        assert cache.get(key) is None
+        # Both files were moved aside: the corrupt bytes no longer shadow
+        # the key (contains() agrees with get()) and the evidence survives
+        # for post-mortems instead of being silently re-read every probe.
+        assert not (tmp_path / f"{key}.json").exists()
+        assert not (tmp_path / f"{key}.npz").exists()
+        assert (tmp_path / f"{key}.json.corrupt").exists()
+        assert (tmp_path / f"{key}.npz.corrupt").exists()
+        assert not cache.contains(key)
+
+    def test_quarantine_reconciles_the_size_accounting(self, specs, tmp_path):
+        cache = DiskResultCache(tmp_path, max_bytes=10 ** 9)
+        result = run(specs["top-k"], trials=TRIALS, rng=3, cache=cache)
+        key = run_key(specs["top-k"], engine="batch", trials=TRIALS, seed=3)
+        assert cache.size_bytes() > 0
+        (tmp_path / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+        # The quarantined bytes no longer count against the LRU cap.
+        assert cache.size_bytes() == 0
+        # And the key is free for a clean re-put (healing re-accounts it).
+        cache.put(key, result)
+        assert cache.get(key) is not None
+        assert cache.size_bytes() > 0
+
+    def test_uncommitted_put_is_not_quarantined(self, specs, tmp_path):
+        # An arrays-first in-flight put (npz present, json not yet) must
+        # read as a plain miss and keep its payload: quarantining it would
+        # destroy a healthy concurrent write.
+        cache, key, _ = self._populate(specs["top-k"], tmp_path)
+        (tmp_path / f"{key}.json").unlink()
+        assert cache.get(key) is None
+        assert (tmp_path / f"{key}.npz").exists()
+        assert not (tmp_path / f"{key}.npz.corrupt").exists()
+
     def test_path_traversal_keys_are_rejected(self, tmp_path):
         cache = DiskResultCache(tmp_path)
         with pytest.raises(ValueError):

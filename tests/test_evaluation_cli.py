@@ -265,3 +265,22 @@ class TestRunSpecDispatch:
         monkeypatch.setitem(cli_module._COMMANDS, "figure1", broken)
         with pytest.raises(ValueError, match="internal bug"):
             main(["figure1"])
+
+
+class TestChaosVerb:
+    def test_requires_root(self):
+        with pytest.raises(SystemExit):
+            main(["chaos"])
+
+    def test_refuses_a_non_empty_root(self, tmp_path, capsys):
+        (tmp_path / "svc").mkdir()
+        (tmp_path / "svc" / "jobs").mkdir()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "--root", str(tmp_path / "svc")])
+        assert excinfo.value.code == 2
+        assert "fresh root" in capsys.readouterr().err
+
+    def test_rejects_flags_of_other_commands(self, tmp_path):
+        for flag, value in (("--grant", "1.0"), ("--wait", "5"), ("--shards", "2")):
+            with pytest.raises(SystemExit):
+                main(["chaos", "--root", str(tmp_path / "svc"), flag, value])
