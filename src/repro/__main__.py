@@ -1,0 +1,14 @@
+"""``python -m repro`` -- alias for the experiment/service CLI.
+
+Every verb of :mod:`repro.evaluation.cli` (``run-spec``, ``submit``,
+``serve-worker``, ``metrics``, ``chaos``, ``lint``, ...) is reachable from
+the shorter module path::
+
+    python -m repro lint
+    python -m repro run-spec spec.json --trials 100000 --seed 0
+"""
+
+from repro.evaluation.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

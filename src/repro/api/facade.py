@@ -14,7 +14,7 @@ engine dispatch and spec marshalling live in exactly one place.
 from __future__ import annotations
 
 import inspect
-from typing import Dict, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -23,7 +23,6 @@ from repro.api.engines import Engine, validate_engine
 from repro.api.registry import get_executor
 from repro.api.result import Result
 from repro.api.specs import MechanismSpec
-from repro.tenancy.scheduler import DEFAULT_PRIORITY, DEFAULT_TENANT
 
 __all__ = ["pick_thresholds", "run", "submit"]
 
@@ -273,8 +272,8 @@ def submit(
     chunk_trials=None,
     options=None,
     job_id=None,
-    tenant: str = DEFAULT_TENANT,
-    priority: int = DEFAULT_PRIORITY,
+    tenant: Optional[str] = None,
+    priority: Optional[int] = None,
 ):
     """Submit ``spec`` to a job-queue service root; the async ``run()``.
 
@@ -304,10 +303,13 @@ def submit(
     root's ledger) covers its worst case, and its tasks are claimed by
     priority class with fair shares across tenants.
     """
-    # Deferred import for the same reason as the dispatch import in run():
-    # the service executes chunks through run(), so the dependency must stay
-    # one-directional at import time.
+    # Deferred imports for the same reason as the dispatch import in run():
+    # the service and tenancy layers execute chunks through run(), so the
+    # dependency must stay one-directional at import time (``tenant`` and
+    # ``priority`` default to ``None`` here precisely so the control-plane
+    # constants need not be imported until a submission actually happens).
     from repro.service.client import JobClient
+    from repro.tenancy.scheduler import DEFAULT_PRIORITY, DEFAULT_TENANT
 
     return JobClient(root).submit(
         spec,
@@ -317,8 +319,8 @@ def submit(
         chunk_trials=chunk_trials,
         options=options,
         job_id=job_id,
-        tenant=tenant,
-        priority=priority,
+        tenant=DEFAULT_TENANT if tenant is None else tenant,
+        priority=DEFAULT_PRIORITY if priority is None else priority,
     )
 
 

@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.api.specs import NoisyTopKSpec, SparseVectorSpec
+from repro.ioutil import atomic_write_text
 from repro.chaos.faults import FaultInjector, FaultPlan, derive_fraction, read_fired
 from repro.chaos.invariants import (
     Verdict,
@@ -292,8 +293,11 @@ def run_campaign(
     chaos_dir = root / "chaos"
     logs_dir = chaos_dir / "logs"
     logs_dir.mkdir(parents=True, exist_ok=True)
-    (chaos_dir / "config.json").write_text(
-        json.dumps(config.to_dict(), indent=2, sort_keys=True), encoding="utf-8"
+    # Atomic: ``worker_main`` subprocesses rebuild their fault plan from
+    # this file, and a torn config would silently change their schedules.
+    atomic_write_text(
+        chaos_dir / "config.json",
+        json.dumps(config.to_dict(), indent=2, sort_keys=True),
     )
 
     # Grant the budgeted tenant comfortably more than every campaign job's

@@ -13,6 +13,7 @@ import os
 from typing import Optional, Union
 
 from repro.datasets.transactions import TransactionDatabase
+from repro.ioutil import atomic_write_text
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -66,10 +67,12 @@ def save_fimi_file(database: TransactionDatabase, path: PathLike) -> None:
     """Write a transaction database in FIMI format.
 
     Items within a transaction are written in ascending order, one
-    transaction per line.
+    transaction per line.  The write is atomic (temp file + ``os.replace``):
+    a dataset file another process may be loading is never observed torn.
     """
     path = os.fspath(path)
-    with open(path, "w", encoding="utf-8") as handle:
-        for transaction in database:
-            handle.write(" ".join(str(item) for item in sorted(transaction)))
-            handle.write("\n")
+    lines = [
+        " ".join(str(item) for item in sorted(transaction))
+        for transaction in database
+    ]
+    atomic_write_text(path, "\n".join(lines) + "\n" if lines else "")

@@ -58,6 +58,16 @@ the post-hoc contract checker over the surviving files.  Exit 0 iff every
 invariant holds::
 
     python -m repro.evaluation.cli chaos --root ./chaos-root --seed 3
+
+``lint`` runs the AST invariant linter (:mod:`repro.staticcheck`) over the
+package tree: exit 0 when every finding is inline-suppressed or in the
+committed baseline, exit 2 (after printing each finding with its fix hint)
+otherwise.  ``--update-baseline`` rewrites the baseline from the current
+findings; ``--list-rules`` prints the rule catalogue::
+
+    python -m repro.evaluation.cli lint
+    python -m repro.evaluation.cli lint --list-rules
+    python -m repro.evaluation.cli lint path/to/package --update-baseline
 """
 
 from __future__ import annotations
@@ -350,6 +360,53 @@ def _run_chaos(args, stream) -> None:
         )
 
 
+def _run_lint(args, stream) -> None:
+    """Run the AST invariant linter; exit 2 on non-baseline findings."""
+    from repro.staticcheck import (
+        StaticCheckError,
+        default_package_root,
+        format_findings,
+        iter_rules,
+        lint_package,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule in iter_rules():
+            stream.write(f"{rule.name}\n    {rule.description}\n")
+        return
+    root = Path(args.spec) if args.spec is not None else default_package_root()
+    if not root.is_dir():
+        raise StaticCheckError(f"lint target {root} is not a directory")
+    baseline_path = root / "staticcheck" / "baseline.json"
+    report, new, accepted, stale = lint_package(
+        package_root=root, baseline_path=baseline_path
+    )
+    if args.update_baseline:
+        write_baseline(baseline_path, report.findings)
+        stream.write(
+            f"baseline updated: {len(report.findings)} accepted finding(s) "
+            f"written to {baseline_path}\n"
+        )
+        return
+    if new:
+        stream.write(format_findings(new) + "\n")
+    stream.write(
+        f"lint: {report.files} file(s), {len(new)} new finding(s), "
+        f"{len(accepted)} baselined, {len(report.suppressed)} suppressed\n"
+    )
+    for entry in stale:
+        stream.write(
+            f"warning: stale baseline entry {entry.get('rule')} at "
+            f"{entry.get('path')} matches nothing (run --update-baseline)\n"
+        )
+    if new:
+        raise StaticCheckError(
+            f"{len(new)} new lint finding(s); fix them, suppress with "
+            "'# repro-lint: disable=<rule> -- <why>', or re-baseline"
+        )
+
+
 _COMMANDS: Dict[str, Callable] = {
     "datasets": _run_datasets,
     "figure1": _run_figure1,
@@ -366,6 +423,7 @@ _COMMANDS: Dict[str, Callable] = {
     "metrics": _run_metrics,
     "tenant-budget": _run_tenant_budget,
     "chaos": _run_chaos,
+    "lint": _run_lint,
 }
 
 #: Commands that operate on a job-queue service root (--root).
@@ -385,6 +443,8 @@ _SPEC_FILE_COMMANDS = ("run-spec", "submit")
 _JOB_ID_COMMANDS = ("job-status", "job-result", "job-cancel")
 #: Commands whose positional argument is a tenant name.
 _TENANT_COMMANDS = ("tenant-budget",)
+#: Commands whose positional argument is an optional directory path.
+_PATH_COMMANDS = ("lint",)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -409,8 +469,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="spec-or-job-id-or-tenant",
         help="path to a mechanism-spec JSON file (run-spec, submit), a "
-        "job id (job-status, job-result, job-cancel) or a tenant name "
-        "(tenant-budget)",
+        "job id (job-status, job-result, job-cancel), a tenant name "
+        "(tenant-budget) or a package directory to lint (lint; default: "
+        "the installed repro package)",
     )
     parser.add_argument(
         "--engine",
@@ -520,6 +581,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="dataset scale multiplier (default: each dataset's quick default)",
     )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="lint only: accept the current findings as the new baseline "
+        "(writes <package>/staticcheck/baseline.json)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="lint only: print the rule catalogue and exit",
+    )
     parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
     parser.add_argument(
         "--plot",
@@ -555,6 +627,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.command not in _SPEC_FILE_COMMANDS
         and args.command not in _JOB_ID_COMMANDS
         and args.command not in _TENANT_COMMANDS
+        and args.command not in _PATH_COMMANDS
         and args.spec is not None
     ):
         parser.error(f"command {args.command!r} takes no spec file argument")
@@ -582,6 +655,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
     if args.idle_exit and args.command != "serve-worker":
         parser.error("--idle-exit only applies to the serve-worker command")
+    if args.update_baseline and args.command != "lint":
+        parser.error("--update-baseline only applies to the lint command")
+    if args.list_rules and args.command != "lint":
+        parser.error("--list-rules only applies to the lint command")
     if args.command in _SERVICE_COMMANDS and args.root is None:
         parser.error(f"{args.command} requires --root (the service directory)")
     if args.engine is None:
@@ -618,6 +695,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.tenancy import LedgerError
 
         recoverable += (ServiceError, BudgetExceededError, LedgerError)
+    if args.command == "lint":
+        # New findings (after the report is printed) and unusable lint
+        # targets are one-line exit-2 outcomes, not tracebacks.
+        from repro.staticcheck import StaticCheckError
+
+        recoverable += (StaticCheckError,)
     try:
         if args.output is None:
             runner(args, sys.stdout)

@@ -1,0 +1,42 @@
+"""Crash-safe filesystem primitives shared by every layer.
+
+The one copy of the temp-file + ``os.replace`` idiom (the ``atomic-write``
+contract enforced by :mod:`repro.staticcheck`): a reader either sees the
+old bytes or the new bytes, never a torn mixture, and a crashed writer
+leaves at most an orphaned dotted temp file.  Lives at the bottom of the
+stack (no ``repro`` imports) so the dataset writers, the dispatch cache
+and the service layer's queue/manifest/marker writers can all share it
+without importing across layers.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write bytes via temp file + ``os.replace``; the temp file is removed
+    on any failure.  The one copy of the idiom for the cache's entries, the
+    service layer's queue entries, manifests and markers, and the dataset
+    writers."""
+    path = Path(path)
+    handle, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(handle, "wb") as tmp:
+            tmp.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: Path, text: str, encoding: str = "utf-8") -> None:
+    """Text counterpart of :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode(encoding))

@@ -395,7 +395,7 @@ class Broker:
                 self.queue.clear_failed(entry["task_id"])
                 try:
                     self.queue.put(
-                        json.dumps(envelope),
+                        json.dumps(envelope, sort_keys=True),
                         task_id=entry["task_id"],
                         priority=priority,
                         tenant=tenant,

@@ -198,7 +198,7 @@ def atomic_write_json(path: Path, payload: dict) -> None:
     renames) never observe a half-written file, and a failed write leaves
     no temp behind.  Shared by the queue's entries and the broker's
     manifests/markers."""
-    atomic_write_bytes(path, json.dumps(payload).encode("utf-8"))
+    atomic_write_bytes(path, json.dumps(payload, sort_keys=True).encode("utf-8"))
 
 
 def _check_task_id(task_id: str) -> str:
@@ -475,7 +475,8 @@ class FileJobQueue(JobQueue):
                 "priority": priority,
                 "tenant": tenant,
                 "seq": seq,
-            }
+            },
+            sort_keys=True,
         )
         if self._injector is not None and self._injector.torn_write(
             "torn-queue-write"
@@ -484,8 +485,10 @@ class FileJobQueue(JobQueue):
             # temp file (janitored by the reaper sweep), never in pending/
             # -- publication below is the atomic link, so a torn *published*
             # entry cannot exist.  The raise is the producer's death.
+            # repro-lint: disable=atomic-write -- deliberately torn bytes land in the dotted temp file, never in a published entry
             tmp.write_text(content[: max(1, len(content) // 2)], encoding="utf-8")
             raise OSError(f"injected torn queue write for task {task_id!r}")
+        # repro-lint: disable=atomic-write -- temp file; publication is the atomic os.link below
         tmp.write_text(content, encoding="utf-8")
         try:
             os.link(tmp, target)

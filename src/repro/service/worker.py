@@ -348,7 +348,9 @@ class Worker:
                     self.broker.mark_failed(
                         job_id, index, f"{type(exc).__name__}: {exc}"
                     )
-                except Exception:  # noqa: BLE001
+                except Exception:  # noqa: BLE001 -- the dead-letter entry
+                    # already records the failure; a pruned job dir must not
+                    # crash the worker that is merely annotating it.
                     pass
             return
         self.tasks_done += 1
@@ -463,6 +465,7 @@ def run_workers(
     def drain(worker: Worker) -> None:
         try:
             worker.run_until_idle()
+        # repro-lint: disable=no-blanket-except -- thread trampoline: the exception (including an injected crash) is re-raised by the joining thread below
         except BaseException as exc:  # noqa: BLE001 -- reported to the caller
             errors.append(exc)
 

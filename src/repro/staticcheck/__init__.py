@@ -1,0 +1,92 @@
+"""repro.staticcheck: the stack's contracts, enforced at review time.
+
+PR 6's chaos campaign proves the determinism / crash-safety /
+exactly-once contracts *post-hoc*; this package is the review-time half.
+An AST rule engine (:mod:`repro.staticcheck.core`) runs ~10 rules
+(:mod:`repro.staticcheck.rules`) encoding the repo's documented
+invariants -- no clock reads or ambient randomness in the deterministic
+layers, atomic-write discipline under durable roots, no swallowed
+``BaseException``, fencing-token hygiene, lock pairing, canonical JSON,
+``os._exit`` confinement, one-directional layering -- and fails CI on
+any finding that is neither inline-suppressed (with a justification) nor
+in the committed baseline (``baseline.json`` next to this file).
+
+Usage::
+
+    python -m repro.evaluation.cli lint              # exit 2 on findings
+    python -m repro.evaluation.cli lint --update-baseline
+
+or programmatically::
+
+    >>> from pathlib import Path
+    >>> from repro.staticcheck import lint_package
+    >>> report, new, accepted, stale = lint_package()  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.staticcheck.core import (
+    Finding,
+    LintReport,
+    Rule,
+    SourceFile,
+    StaticCheckError,
+    format_findings,
+    load_baseline,
+    partition_findings,
+    run_rules,
+    write_baseline,
+)
+from repro.staticcheck.rules import ALL_RULES, RULE_NAMES, iter_rules
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "LintReport",
+    "RULE_NAMES",
+    "Rule",
+    "SourceFile",
+    "StaticCheckError",
+    "default_package_root",
+    "format_findings",
+    "iter_rules",
+    "lint_package",
+    "load_baseline",
+    "partition_findings",
+    "run_rules",
+    "write_baseline",
+]
+
+#: The committed baseline of accepted findings for the live tree.
+DEFAULT_BASELINE = Path(__file__).parent / "baseline.json"
+
+
+def default_package_root() -> Path:
+    """The installed ``repro`` package directory (the default lint target)."""
+    return Path(__file__).parent.parent
+
+
+def lint_package(
+    package_root: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[LintReport, List[Finding], List[Finding], List[dict]]:
+    """Lint a package tree against a baseline.
+
+    Returns ``(report, new, accepted, stale)``: the raw report, the
+    findings not covered by the baseline (these should fail CI), the
+    baselined findings, and baseline entries matching nothing anymore.
+    Defaults lint the installed ``repro`` tree against the committed
+    baseline.
+    """
+    root = Path(package_root) if package_root is not None else default_package_root()
+    baseline = load_baseline(
+        baseline_path if baseline_path is not None else DEFAULT_BASELINE
+    )
+    report = run_rules(root, rules if rules is not None else ALL_RULES)
+    new, accepted, stale = partition_findings(report.findings, baseline)
+    return report, new, accepted, stale

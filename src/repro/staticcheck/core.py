@@ -1,0 +1,425 @@
+"""Rule engine for the repo's AST invariant linter.
+
+The stack's load-bearing contracts (determinism, crash safety,
+exactly-once settlement -- see ROADMAP.md) are pinned by tests and by the
+chaos campaign *after* code runs.  This module is the review-time half:
+a small visitor framework over :mod:`ast` that encodes the same contracts
+as static rules, so a violation fails CI before any test executes.
+
+Framework pieces, all deliberately boring:
+
+* :class:`SourceFile` -- one parsed module: source lines, AST, an import
+  table (``alias -> dotted module``) powering :meth:`SourceFile.resolve`,
+  the dotted sub-path inside the package (``"service.queue"``) that rules
+  scope themselves by, and the parsed inline suppressions.
+* :class:`Rule` -- a named check; ``check(source_file)`` yields
+  :class:`Finding` objects carrying ``file:line`` plus a fix hint.
+* **Suppressions** -- ``# repro-lint: disable=<rule>[,<rule>...] -- why``
+  on the offending line (or on a comment-only line directly above it).
+  The justification text after ``--`` is **required**: a suppression
+  without one does not suppress and additionally raises a
+  ``suppression-hygiene`` finding, as does one naming an unknown rule.
+* **Baseline** -- a committed JSON file of accepted findings
+  (:func:`load_baseline` / :func:`write_baseline`).  Findings are matched
+  by a content fingerprint (rule + path + the offending source line), not
+  by line number, so unrelated edits above a baselined finding do not
+  un-baseline it.  :func:`partition_findings` splits a run into *new*
+  findings (fail CI) and *accepted* ones.
+
+The concrete rules live in :mod:`repro.staticcheck.rules`; the CLI verb
+(``python -m repro.evaluation.cli lint``) lives with the other verbs in
+:mod:`repro.evaluation.cli`.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "SourceFile",
+    "StaticCheckError",
+    "Suppression",
+    "format_findings",
+    "load_baseline",
+    "partition_findings",
+    "run_rules",
+    "write_baseline",
+]
+
+#: Rule name of the meta-findings the engine itself emits.
+SUPPRESSION_RULE = "suppression-hygiene"
+PARSE_RULE = "parse-error"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\-]+)"
+    r"(?:\s+--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+class StaticCheckError(RuntimeError):
+    """Raised by the CLI when a lint run has non-baseline findings."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  #: package-relative posix path, e.g. ``"repro/service/queue.py"``
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    snippet: str = ""  #: the stripped offending source line (fingerprint input)
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used for baseline matching."""
+        raw = f"{self.rule}|{self.path}|{self.snippet}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro-lint: disable=...`` comment."""
+
+    rules: Set[str]
+    justification: str  #: empty string when the required ``-- why`` is missing
+    comment_line: int  #: where the comment itself lives
+    target_line: int  #: the line whose findings it suppresses
+    used: bool = False
+
+
+class Rule:
+    """Base class of one named invariant check."""
+
+    #: kebab-case identifier used in findings, suppressions and baselines.
+    name: str = ""
+    #: one-line summary shown by ``lint --list-rules`` and the README.
+    description: str = ""
+
+    def check(self, source: "SourceFile") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        source: "SourceFile",
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.name,
+            path=source.rel_path,
+            line=line,
+            col=col,
+            message=message,
+            hint=hint,
+            snippet=source.line_text(line).strip(),
+        )
+
+
+class SourceFile:
+    """One parsed module plus the lookup tables the rules need."""
+
+    def __init__(self, path: Path, package_root: Path, text: str) -> None:
+        self.path = path
+        self.package = package_root.name
+        relative = path.relative_to(package_root)
+        self.rel_path = (Path(self.package) / relative).as_posix()
+        parts = list(relative.parts)
+        parts[-1] = parts[-1][: -len(".py")]
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        #: dotted path inside the package: ``""`` for the package root,
+        #: ``"service.queue"`` for ``<pkg>/service/queue.py``.
+        self.subpath = ".".join(parts)
+        self.module = ".".join([self.package] + parts)
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        self._imports: Dict[str, str] = {}
+        self._collect_imports()
+        self.suppressions = self._parse_suppressions()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, path: Path, package_root: Path) -> "SourceFile":
+        return cls(path, package_root, path.read_text(encoding="utf-8"))
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self._imports[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        self._imports[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    self._imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    # -- lookups -----------------------------------------------------------
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of a name/attribute chain, via the import table.
+
+        ``np.random.default_rng`` resolves to ``"numpy.random.default_rng"``
+        under ``import numpy as np``; a chain rooted in a local variable
+        resolves to ``None``.
+        """
+        chain: List[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._imports.get(node.id)
+        if base is None:
+            return None
+        return ".".join([base] + list(reversed(chain)))
+
+    def in_layers(self, subpackages: Sequence[str] = (), modules: Sequence[str] = ()) -> bool:
+        """Whether this file lives in one of the given scopes.
+
+        ``subpackages`` match on the first path segment (``"service"``
+        covers every module under ``<pkg>/service/``); ``modules`` match
+        the exact dotted sub-path (``"dispatch.cache"``).
+        """
+        first = self.subpath.split(".", 1)[0] if self.subpath else ""
+        return first in subpackages or self.subpath in modules
+
+    # -- suppressions ------------------------------------------------------
+
+    def _parse_suppressions(self) -> List[Suppression]:
+        found: List[Suppression] = []
+        for number, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if not match:
+                continue
+            rules = {name.strip() for name in match.group(1).split(",") if name.strip()}
+            comment_only = line.strip().startswith("#")
+            found.append(
+                Suppression(
+                    rules=rules,
+                    justification=(match.group("why") or "").strip(),
+                    comment_line=number,
+                    target_line=number + 1 if comment_only else number,
+                )
+            )
+        return found
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run over a package tree."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files: int = 0
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+        )
+
+
+def _apply_suppressions(
+    source: SourceFile,
+    findings: List[Finding],
+    known_rules: Set[str],
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (kept, suppressed) and emit hygiene findings."""
+    by_line: Dict[int, List[Suppression]] = {}
+    for suppression in source.suppressions:
+        by_line.setdefault(suppression.target_line, []).append(suppression)
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        matched = None
+        for suppression in by_line.get(finding.line, ()):
+            if finding.rule in suppression.rules and suppression.justification:
+                matched = suppression
+                break
+        if matched is not None:
+            matched.used = True
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    for suppression in source.suppressions:
+        if not suppression.justification:
+            kept.append(
+                Finding(
+                    rule=SUPPRESSION_RULE,
+                    path=source.rel_path,
+                    line=suppression.comment_line,
+                    col=0,
+                    message="suppression is missing its justification "
+                    "('# repro-lint: disable=<rule> -- <why>')",
+                    hint="state why the contract does not apply here; an "
+                    "unexplained suppression suppresses nothing",
+                    snippet=source.line_text(suppression.comment_line).strip(),
+                )
+            )
+        unknown = suppression.rules - known_rules
+        if unknown:
+            kept.append(
+                Finding(
+                    rule=SUPPRESSION_RULE,
+                    path=source.rel_path,
+                    line=suppression.comment_line,
+                    col=0,
+                    message=f"suppression names unknown rule(s): "
+                    f"{', '.join(sorted(unknown))}",
+                    hint="run lint --list-rules for the rule catalogue",
+                    snippet=source.line_text(suppression.comment_line).strip(),
+                )
+            )
+    return kept, suppressed
+
+
+def run_rules(
+    package_root: Path,
+    rules: Sequence[Rule],
+) -> LintReport:
+    """Lint every ``*.py`` under ``package_root`` with ``rules``.
+
+    ``package_root`` is the directory of the top-level package being
+    checked (its *name* becomes the leading path segment of findings, and
+    its sub-directories are the layer names rules scope by).  Unparseable
+    files produce a ``parse-error`` finding rather than aborting the run.
+    """
+    package_root = Path(package_root)
+    known = {rule.name for rule in rules} | {SUPPRESSION_RULE, PARSE_RULE}
+    report = LintReport()
+    for path in sorted(package_root.rglob("*.py")):
+        report.files += 1
+        try:
+            source = SourceFile.parse(path, package_root)
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    rule=PARSE_RULE,
+                    path=(Path(package_root.name) / path.relative_to(package_root)).as_posix(),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        file_findings: List[Finding] = []
+        for rule in rules:
+            file_findings.extend(rule.check(source))
+        kept, suppressed = _apply_suppressions(source, file_findings, known)
+        report.findings.extend(kept)
+        report.suppressed.extend(suppressed)
+    report.findings = report.sorted_findings()
+    return report
+
+
+# -- baseline --------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> List[dict]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries = payload.get("findings", [])
+    if not isinstance(entries, list):
+        raise StaticCheckError(f"malformed baseline file {path}")
+    return entries
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Persist ``findings`` as the new accepted baseline."""
+    entries = [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "line": f.line,
+            "snippet": f.snippet,
+            "fingerprint": f.fingerprint,
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+    ]
+    payload = {"version": 1, "findings": entries}
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def partition_findings(
+    findings: Sequence[Finding],
+    baseline: Sequence[dict],
+) -> Tuple[List[Finding], List[Finding], List[dict]]:
+    """Split a run against a baseline.
+
+    Returns ``(new, accepted, stale)``: findings not covered by the
+    baseline, findings the baseline accepts, and baseline entries that no
+    longer correspond to any finding (candidates for ``--update-baseline``
+    cleanup).  Matching is by fingerprint with multiplicity, so two
+    identical offending lines need two baseline entries.
+    """
+    budget: Dict[str, int] = {}
+    for entry in baseline:
+        key = entry.get("fingerprint", "")
+        budget[key] = budget.get(key, 0) + 1
+    new: List[Finding] = []
+    accepted: List[Finding] = []
+    for finding in findings:
+        key = finding.fingerprint
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            accepted.append(finding)
+        else:
+            new.append(finding)
+    stale = [
+        entry
+        for entry in baseline
+        if budget.get(entry.get("fingerprint", ""), 0) > 0
+    ]
+    # Each leftover fingerprint unit is stale once; trim duplicates fairly.
+    seen: Dict[str, int] = {}
+    trimmed: List[dict] = []
+    for entry in stale:
+        key = entry.get("fingerprint", "")
+        if seen.get(key, 0) < budget.get(key, 0):
+            seen[key] = seen.get(key, 0) + 1
+            trimmed.append(entry)
+    return new, accepted, trimmed
+
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    """Human-readable report block, one finding per stanza."""
+    return "\n".join(finding.render() for finding in findings)

@@ -1,0 +1,611 @@
+"""The invariant rules: the stack's documented contracts as AST checks.
+
+Each rule encodes one contract from ROADMAP.md / the module docstrings and
+names the layers it applies to.  Scopes are expressed against the linted
+package's *sub-paths* (``"service"`` = everything under ``<pkg>/service/``,
+``"dispatch.cache"`` = that one module), so the rules work identically on
+the live ``repro`` tree and on the fixture packages the tests build.
+
+The catalogue (see README "Static analysis" for the prose version):
+
+========================  ==================================================
+``no-wallclock``          no clock reads in the deterministic layers
+``no-unseeded-rng``       no ambient randomness in the deterministic layers
+``atomic-write``          durable-root writers use temp-file + ``os.replace``
+``no-blanket-except``     bare ``except:`` / swallowed ``BaseException``
+``justify-broad-except``  ``except Exception`` in recovery layers explains itself
+``fencing-token``         queue ack/nack/heartbeat always thread a real token
+``lock-discipline``       attributes guarded by a lock stay guarded
+``canonical-json``        durable JSON is written with sorted keys
+``os-exit-confined``      ``os._exit`` only in the chaos layer
+``layering``              no module-level imports from a higher layer
+========================  ==================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.staticcheck.core import Finding, Rule, SourceFile
+
+__all__ = ["ALL_RULES", "RULE_NAMES", "iter_rules"]
+
+#: Layers whose results must be a pure function of (spec, engine, trials,
+#: seed, chunk_trials) -- the determinism invariant.
+DETERMINISTIC_SUBPACKAGES = ("core", "mechanisms", "primitives", "engine", "api", "dispatch")
+
+#: Layers that write files under a durable root (queue entries, manifests,
+#: journals, cache entries, datasets) -- the crash-safety invariant.
+DURABLE_SUBPACKAGES = ("service", "tenancy", "chaos", "datasets")
+DURABLE_MODULES = ("dispatch.cache", "evaluation.reporting")
+
+#: (module sub-path, function name) pairs whose writes are genuinely
+#: non-durable (regenerable report output, not system state).  An
+#: allowlist rather than a baseline entry: the exemption is a reviewed
+#: property of the function, not an accepted defect.
+NON_DURABLE_WRITERS: Dict[Tuple[str, str], str] = {
+    ("evaluation.reporting", "write_rows_csv"): "archived report output; "
+    "regenerable from the experiment, never read back as system state",
+    ("evaluation.reporting", "write_experiment_json"): "archived report "
+    "output; regenerable from the experiment, never read back as system state",
+}
+
+#: Modules whose ``json.dumps`` output lands in durable files and therefore
+#: must be canonical (sorted keys) so restarts and independent writers
+#: produce byte-identical records.
+CANONICAL_JSON_MODULES = (
+    "service.queue",
+    "service.broker",
+    "tenancy.ledger",
+    "tenancy.metrics",
+    "dispatch.cache",
+    "chaos.faults",
+    "chaos.harness",
+    "chaos.invariants",
+)
+
+#: Layer ranks for the upward-import rule.  Same-rank imports are allowed
+#: (the base algorithms reference each other); an import from a strictly
+#: higher rank at module level is a finding.  Function-local imports are
+#: the documented escape hatch for facades (`repro.api.submit` reaching
+#: into the service layer) and are exempt.
+LAYER_RANKS: Dict[str, int] = {
+    "primitives": 0,
+    "accounting": 0,
+    "datasets": 0,
+    "queries": 0,
+    "core": 1,
+    "mechanisms": 1,
+    "analysis": 1,
+    "postprocess": 1,
+    "alignment": 1,
+    "engine": 2,
+    "api": 3,
+    "dispatch": 4,
+    "tenancy": 5,
+    "service": 6,
+    "chaos": 7,
+    "evaluation": 8,
+    "staticcheck": 8,
+}
+
+_WALLCLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: numpy's legacy global-state samplers (seeded implicitly, process-wide).
+_NUMPY_GLOBAL_SAMPLERS = {
+    "seed",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "normal",
+    "laplace",
+    "uniform",
+    "exponential",
+    "standard_normal",
+}
+
+
+def _walk_with_function_stack(tree: ast.AST) -> Iterator[Tuple[ast.AST, List[str]]]:
+    """Yield ``(node, enclosing_function_names)`` over the whole tree."""
+
+    def visit(node: ast.AST, stack: List[str]) -> Iterator[Tuple[ast.AST, List[str]]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, stack
+                yield from visit(child, stack + [child.name])
+            else:
+                yield child, stack
+                yield from visit(child, stack)
+
+    yield from visit(tree, [])
+
+
+def _module_level_nodes(tree: ast.Module) -> Iterator[ast.AST]:
+    """Every node that executes at import time (function bodies excluded)."""
+
+    def visit(node: ast.AST) -> Iterator[ast.AST]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            yield child
+            yield from visit(child)
+
+    yield from visit(tree)
+
+
+class NoWallclockRule(Rule):
+    name = "no-wallclock"
+    description = (
+        "the deterministic layers (core/mechanisms/primitives/engine/api/"
+        "dispatch) never read the clock: a seeded run must be a pure "
+        "function of (spec, engine, trials, seed, chunk_trials)"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not source.in_layers(DETERMINISTIC_SUBPACKAGES):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = source.resolve(node.func)
+            if resolved in _WALLCLOCK_CALLS:
+                yield self.finding(
+                    source,
+                    node,
+                    f"clock read `{resolved}()` in a deterministic layer",
+                    hint="thread the timestamp in from the service layer, or "
+                    "suppress with a justification if the value never "
+                    "reaches a result",
+                )
+
+
+class NoUnseededRngRule(Rule):
+    name = "no-unseeded-rng"
+    description = (
+        "the deterministic layers draw randomness only through an "
+        "explicitly threaded generator; stdlib `random`, numpy's global "
+        "samplers and argless `default_rng()` are ambient state"
+    )
+
+    #: The one documented OS-seeded default lives in ``ensure_rng``; the
+    #: whole module is the sanctioned escape hatch.
+    EXEMPT_MODULES = ("primitives.rng",)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not source.in_layers(DETERMINISTIC_SUBPACKAGES):
+            return
+        if source.subpath in self.EXEMPT_MODULES:
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = source.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved == "numpy.random.default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    source,
+                    node,
+                    "argless `default_rng()` is OS-seeded; results cannot "
+                    "be reproduced",
+                    hint="accept an `rng` argument and normalise it through "
+                    "repro.primitives.rng.ensure_rng",
+                )
+            elif resolved.startswith("random.") or resolved == "random":
+                yield self.finding(
+                    source,
+                    node,
+                    f"stdlib `{resolved}` draws from ambient process-global "
+                    "state",
+                    hint="thread a seeded numpy Generator (see "
+                    "repro.primitives.rng) instead",
+                )
+            elif (
+                resolved.startswith("numpy.random.")
+                and resolved.rsplit(".", 1)[1] in _NUMPY_GLOBAL_SAMPLERS
+            ):
+                yield self.finding(
+                    source,
+                    node,
+                    f"legacy global-state sampler `{resolved}`",
+                    hint="use an explicitly seeded numpy Generator instead",
+                )
+
+
+class AtomicWriteRule(Rule):
+    name = "atomic-write"
+    description = (
+        "writers under a durable root publish via temp file + os.replace "
+        "(or O_APPEND journal records): a torn `open(.., 'w')` write is a "
+        "corrupt file a reader must survive"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not source.in_layers(DURABLE_SUBPACKAGES, DURABLE_MODULES):
+            return
+        for node, stack in _walk_with_function_stack(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if any(name.startswith("atomic_") for name in stack):
+                continue  # inside the blessed idiom itself
+            enclosing = stack[-1] if stack else ""
+            if (source.subpath, enclosing) in NON_DURABLE_WRITERS:
+                continue
+            target = self._write_target(source, node)
+            if target is not None:
+                yield self.finding(
+                    source,
+                    node,
+                    f"non-atomic durable write via {target}",
+                    hint="write a temp file and os.replace() it into place "
+                    "(repro.ioutil.atomic_write_bytes is the one copy of "
+                    "the idiom), or append O_APPEND journal records",
+                )
+
+    @staticmethod
+    def _write_target(source: SourceFile, node: ast.Call) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode: Optional[ast.expr] = None
+            if len(node.args) >= 2:
+                mode = node.args[1]
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode = keyword.value
+            if (
+                isinstance(mode, ast.Constant)
+                and isinstance(mode.value, str)
+                and "w" in mode.value
+            ):
+                return f"open(..., {mode.value!r})"
+        if isinstance(func, ast.Attribute) and func.attr in ("write_text", "write_bytes"):
+            return f".{func.attr}()"
+        return None
+
+
+class NoBlanketExceptRule(Rule):
+    name = "no-blanket-except"
+    description = (
+        "bare `except:` and swallowed `except BaseException` are forbidden "
+        "everywhere: injected crashes (chaos InjectedCrash) and interrupts "
+        "must escape like a SIGKILL; cleanup handlers must end in `raise`"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            label = self._blanket_label(source, node.type)
+            if label is None:
+                continue
+            last = node.body[-1] if node.body else None
+            if isinstance(last, ast.Raise) and last.exc is None:
+                continue  # cleanup-and-reraise: the crash still escapes
+            yield self.finding(
+                source,
+                node,
+                f"{label} does not re-raise; an injected crash or interrupt "
+                "would be swallowed",
+                hint="catch Exception (with a justification where required) "
+                "or end the handler with a bare `raise`",
+            )
+
+    @staticmethod
+    def _blanket_label(source: SourceFile, type_node) -> Optional[str]:
+        if type_node is None:
+            return "bare `except:`"
+        names = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+        for name in names:
+            if isinstance(name, ast.Name) and name.id == "BaseException":
+                return "`except BaseException`"
+            if source.resolve(name) == "builtins.BaseException":
+                return "`except BaseException`"
+        return None
+
+
+class JustifyBroadExceptRule(Rule):
+    name = "justify-broad-except"
+    description = (
+        "`except Exception` in the recovery layers (service/tenancy/chaos "
+        "and the result cache) must say why swallowing is safe, as a "
+        "`# noqa: BLE001 -- <why>` comment on the except line"
+    )
+
+    SCOPE_SUBPACKAGES = ("service", "tenancy", "chaos")
+    SCOPE_MODULES = ("dispatch.cache",)
+    _JUSTIFIED = re.compile(r"#\s*noqa:\s*BLE001\s*--\s*\S")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not source.in_layers(self.SCOPE_SUBPACKAGES, self.SCOPE_MODULES):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue
+            names = (
+                node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+            )
+            if not any(
+                isinstance(name, ast.Name) and name.id == "Exception"
+                for name in names
+            ):
+                continue
+            if self._JUSTIFIED.search(source.line_text(node.lineno)):
+                continue
+            yield self.finding(
+                source,
+                node,
+                "`except Exception` without a justification comment",
+                hint="append `# noqa: BLE001 -- <why swallowing is safe "
+                "here>` to the except line",
+            )
+
+
+class FencingTokenRule(Rule):
+    name = "fencing-token"
+    description = (
+        "queue ack/nack/heartbeat call sites thread the claim's fencing "
+        "token (`token=claimed.attempts`), never a literal: a stale holder "
+        "must be refused after a lease-expiry reclaim"
+    )
+
+    METHODS = ("ack", "nack", "heartbeat")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in self.METHODS:
+                continue
+            token = None
+            for keyword in node.keywords:
+                if keyword.arg == "token":
+                    token = keyword.value
+            if token is None:
+                yield self.finding(
+                    source,
+                    node,
+                    f"`.{func.attr}()` call without a fencing token",
+                    hint="pass token=<claim>.attempts so a stale holder is "
+                    "refused after a lease-expiry reclaim",
+                )
+            elif isinstance(token, ast.Constant) and token.value is not None:
+                yield self.finding(
+                    source,
+                    node,
+                    f"`.{func.attr}()` called with a literal token "
+                    f"({token.value!r})",
+                    hint="the token must come from the claim that is being "
+                    "settled, not a constant",
+                )
+
+
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "in a class owning a threading.Lock, an attribute written under "
+        "`with self._lock` is written under it everywhere (outside "
+        "__init__): mixed access is a data race on shared state"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(source, node)
+
+    def _check_class(self, source: SourceFile, cls: ast.ClassDef) -> Iterator[Finding]:
+        lock_attrs = self._owned_locks(source, cls)
+        if not lock_attrs:
+            return
+        inside: Dict[str, int] = {}
+        outside: Dict[str, int] = {}
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in ("__init__", "__new__"):
+                continue
+            self._collect_writes(method, lock_attrs, False, inside, outside)
+        for attr in sorted(set(inside) & set(outside)):
+            yield Finding(
+                rule=self.name,
+                path=source.rel_path,
+                line=outside[attr],
+                col=0,
+                message=f"self.{attr} in class {cls.name} is written both "
+                f"under `with self.<lock>` (line {inside[attr]}) and "
+                f"without it",
+                hint="take the lock around every write, or document why "
+                "this write cannot race (then suppress)",
+                snippet=source.line_text(outside[attr]).strip(),
+            )
+
+    @staticmethod
+    def _owned_locks(source: SourceFile, cls: ast.ClassDef) -> Set[str]:
+        locks: Set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+                continue
+            if source.resolve(node.value.func) not in (
+                "threading.Lock",
+                "threading.RLock",
+            ):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    locks.add(target.attr)
+        return locks
+
+    def _collect_writes(
+        self,
+        node: ast.AST,
+        lock_attrs: Set[str],
+        under_lock: bool,
+        inside: Dict[str, int],
+        outside: Dict[str, int],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            held = under_lock
+            if isinstance(child, ast.With):
+                for item in child.items:
+                    expr = item.context_expr
+                    if (
+                        isinstance(expr, ast.Attribute)
+                        and isinstance(expr.value, ast.Name)
+                        and expr.value.id == "self"
+                        and expr.attr in lock_attrs
+                    ):
+                        held = True
+            targets: List[ast.expr] = []
+            if isinstance(child, ast.Assign):
+                targets = child.targets
+            elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+                targets = [child.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr not in lock_attrs
+                ):
+                    book = inside if held else outside
+                    book.setdefault(target.attr, target.lineno)
+            self._collect_writes(child, lock_attrs, held, inside, outside)
+
+
+class CanonicalJsonRule(Rule):
+    name = "canonical-json"
+    description = (
+        "durable writers serialize JSON with sort_keys=True (or the "
+        "dispatch.hashing canonical helper): two writers of the same "
+        "record must produce the same bytes"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not source.in_layers((), CANONICAL_JSON_MODULES):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if source.resolve(node.func) not in ("json.dumps", "json.dump"):
+                continue
+            if any(
+                keyword.arg == "sort_keys"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+                for keyword in node.keywords
+            ):
+                continue
+            yield self.finding(
+                source,
+                node,
+                "json.dumps without sort_keys=True in a durable writer",
+                hint="pass sort_keys=True, or serialize through "
+                "repro.dispatch.hashing.canonical_json",
+            )
+
+
+class OsExitConfinedRule(Rule):
+    name = "os-exit-confined"
+    description = (
+        "`os._exit` (no finally blocks, no flushing) is the chaos layer's "
+        "crash simulator and appears nowhere else"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        first = source.subpath.split(".", 1)[0] if source.subpath else ""
+        if first == "chaos":
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if source.resolve(node.func) == "os._exit":
+                yield self.finding(
+                    source,
+                    node,
+                    "os._exit outside the chaos layer",
+                    hint="raise or sys.exit() so cleanup handlers run; only "
+                    "the chaos crash simulator may skip them",
+                )
+
+
+class LayeringRule(Rule):
+    name = "layering"
+    description = (
+        "no module-level imports from a higher layer (e.g. engine "
+        "importing service): the stack stays one-directional at import "
+        "time; facades use function-local imports"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        first = source.subpath.split(".", 1)[0] if source.subpath else ""
+        rank = LAYER_RANKS.get(first)
+        if rank is None:
+            return
+        prefix = f"{source.package}."
+        for node in _module_level_nodes(source.tree):
+            modules: List[str] = []
+            if isinstance(node, ast.Import):
+                modules = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                modules = [node.module]
+            for module in modules:
+                if not module.startswith(prefix):
+                    continue
+                target = module[len(prefix):].split(".", 1)[0]
+                target_rank = LAYER_RANKS.get(target)
+                if target_rank is not None and target_rank > rank:
+                    yield self.finding(
+                        source,
+                        node,
+                        f"module-level import of `{module}`: layer "
+                        f"`{first}` must not depend on higher layer "
+                        f"`{target}`",
+                        hint="move the import inside the function that "
+                        "needs it (the facade escape hatch), or move the "
+                        "shared definition down a layer",
+                    )
+
+
+ALL_RULES: Tuple[Rule, ...] = (
+    NoWallclockRule(),
+    NoUnseededRngRule(),
+    AtomicWriteRule(),
+    NoBlanketExceptRule(),
+    JustifyBroadExceptRule(),
+    FencingTokenRule(),
+    LockDisciplineRule(),
+    CanonicalJsonRule(),
+    OsExitConfinedRule(),
+    LayeringRule(),
+)
+
+RULE_NAMES: Tuple[str, ...] = tuple(rule.name for rule in ALL_RULES)
+
+
+def iter_rules() -> Sequence[Rule]:
+    """The full rule catalogue, in reporting order."""
+    return ALL_RULES

@@ -1,0 +1,990 @@
+"""Tests for the AST invariant linter (:mod:`repro.staticcheck`).
+
+Each rule gets fixture packages exercising the good pattern (no finding),
+the bad pattern (a true-positive finding), and an inline suppression with
+a justification.  The engine's own machinery -- suppression hygiene,
+baseline fingerprint matching, parse errors, the CLI verb -- is covered
+separately, and a meta-test asserts the live ``repro`` tree is lint-clean
+modulo the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import (
+    ALL_RULES,
+    DEFAULT_BASELINE,
+    RULE_NAMES,
+    default_package_root,
+    lint_package,
+    load_baseline,
+    partition_findings,
+    run_rules,
+    write_baseline,
+)
+from repro.staticcheck.core import SUPPRESSION_RULE, PARSE_RULE
+
+
+def make_pkg(tmp_path: Path, files: dict, name: str = "pkg") -> Path:
+    """Materialize a fixture package tree and return its root."""
+    root = tmp_path / name
+    for rel, text in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text), encoding="utf-8")
+    if not (root / "__init__.py").exists():
+        (root / "__init__.py").write_text("", encoding="utf-8")
+    return root
+
+
+def findings_for(tmp_path: Path, files: dict, rule: str = None) -> list:
+    report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+    if rule is None:
+        return report.findings
+    return [f for f in report.findings if f.rule == rule]
+
+
+# ---------------------------------------------------------------------------
+# rule: no-wallclock
+# ---------------------------------------------------------------------------
+
+
+class TestNoWallclock:
+    BAD = {
+        "engine/clock.py": """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+    }
+
+    def test_true_positive(self, tmp_path):
+        found = findings_for(tmp_path, self.BAD, "no-wallclock")
+        assert len(found) == 1
+        assert found[0].path == "pkg/engine/clock.py"
+        assert "time.time" in found[0].message
+
+    def test_datetime_now_and_aliased_import(self, tmp_path):
+        files = {
+            "core/clock.py": """
+                from datetime import datetime
+                import time as t
+
+                def stamp():
+                    return datetime.now(), t.monotonic()
+                """
+        }
+        rules = {f.message for f in findings_for(tmp_path, files, "no-wallclock")}
+        assert len(rules) == 2
+
+    def test_good_outside_scope(self, tmp_path):
+        # The service layer legitimately reads the clock (leases, seq).
+        files = {
+            "service/lease.py": """
+                import time
+
+                def now():
+                    return time.time()
+                """
+        }
+        assert findings_for(tmp_path, files, "no-wallclock") == []
+
+    def test_suppressed_with_justification(self, tmp_path):
+        files = {
+            "engine/clock.py": """
+                import time
+
+                def stamp():
+                    # repro-lint: disable=no-wallclock -- diagnostic only
+                    return time.time()
+                """
+        }
+        report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+        assert [f.rule for f in report.findings] == []
+        assert [f.rule for f in report.suppressed] == ["no-wallclock"]
+
+
+# ---------------------------------------------------------------------------
+# rule: no-unseeded-rng
+# ---------------------------------------------------------------------------
+
+
+class TestNoUnseededRng:
+    def test_argless_default_rng(self, tmp_path):
+        files = {
+            "mechanisms/noise.py": """
+                import numpy as np
+
+                def draw():
+                    return np.random.default_rng().laplace()
+                """
+        }
+        found = findings_for(tmp_path, files, "no-unseeded-rng")
+        assert len(found) == 1
+        assert "default_rng" in found[0].message
+
+    def test_seeded_default_rng_is_fine(self, tmp_path):
+        files = {
+            "mechanisms/noise.py": """
+                import numpy as np
+
+                def draw(seed):
+                    return np.random.default_rng(seed).laplace()
+                """
+        }
+        assert findings_for(tmp_path, files, "no-unseeded-rng") == []
+
+    def test_stdlib_random_and_legacy_numpy(self, tmp_path):
+        files = {
+            "api/jitter.py": """
+                import random
+                import numpy as np
+
+                def draw():
+                    return random.random() + np.random.normal()
+                """
+        }
+        found = findings_for(tmp_path, files, "no-unseeded-rng")
+        assert len(found) == 2
+
+    def test_rng_module_exempt(self, tmp_path):
+        # The documented default path: ensure_rng's OS-seeded fallback.
+        files = {
+            "primitives/rng.py": """
+                import numpy as np
+
+                def ensure_rng(rng=None):
+                    if rng is None:
+                        return np.random.default_rng()
+                    return np.random.default_rng(rng)
+                """
+        }
+        assert findings_for(tmp_path, files, "no-unseeded-rng") == []
+
+    def test_suppressed(self, tmp_path):
+        files = {
+            "engine/noise.py": """
+                import numpy as np
+
+                def draw():
+                    # repro-lint: disable=no-unseeded-rng -- smoke-only path
+                    return np.random.default_rng().laplace()
+                """
+        }
+        report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+        assert [f.rule for f in report.suppressed] == ["no-unseeded-rng"]
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# rule: atomic-write
+# ---------------------------------------------------------------------------
+
+
+class TestAtomicWrite:
+    def test_plain_open_w_in_durable_layer(self, tmp_path):
+        files = {
+            "service/state.py": """
+                def save(path, text):
+                    with open(path, "w") as handle:
+                        handle.write(text)
+                """
+        }
+        found = findings_for(tmp_path, files, "atomic-write")
+        assert len(found) == 1
+        assert "open" in found[0].message
+
+    def test_write_text_in_durable_layer(self, tmp_path):
+        files = {
+            "tenancy/state.py": """
+                from pathlib import Path
+
+                def save(path, text):
+                    Path(path).write_text(text)
+                """
+        }
+        assert len(findings_for(tmp_path, files, "atomic-write")) == 1
+
+    def test_append_and_read_modes_are_fine(self, tmp_path):
+        files = {
+            "service/journal.py": """
+                def append(path, line):
+                    with open(path, "a") as handle:
+                        handle.write(line)
+
+                def load(path):
+                    with open(path, "r") as handle:
+                        return handle.read()
+                """
+        }
+        assert findings_for(tmp_path, files, "atomic-write") == []
+
+    def test_atomic_helper_is_exempt(self, tmp_path):
+        files = {
+            "service/io.py": """
+                import os
+                import tempfile
+
+                def atomic_write_bytes(path, payload):
+                    handle, tmp = tempfile.mkstemp(dir=".")
+                    with open(tmp, "wb") as out:
+                        out.write(payload)
+                    os.replace(tmp, path)
+                """
+        }
+        assert findings_for(tmp_path, files, "atomic-write") == []
+
+    def test_outside_durable_scope_is_fine(self, tmp_path):
+        files = {
+            "analysis/report.py": """
+                def save(path, text):
+                    with open(path, "w") as handle:
+                        handle.write(text)
+                """
+        }
+        assert findings_for(tmp_path, files, "atomic-write") == []
+
+    def test_suppressed(self, tmp_path):
+        files = {
+            "chaos/state.py": """
+                def save(path, text):
+                    # repro-lint: disable=atomic-write -- temp file, published atomically below
+                    with open(path, "w") as handle:
+                        handle.write(text)
+                """
+        }
+        report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+        assert [f.rule for f in report.suppressed] == ["atomic-write"]
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# rule: no-blanket-except
+# ---------------------------------------------------------------------------
+
+
+class TestNoBlanketExcept:
+    def test_bare_except(self, tmp_path):
+        files = {
+            "analysis/any.py": """
+                def safe(fn):
+                    try:
+                        fn()
+                    except:
+                        pass
+                """
+        }
+        found = findings_for(tmp_path, files, "no-blanket-except")
+        assert len(found) == 1
+        assert "bare" in found[0].message
+
+    def test_swallowed_base_exception(self, tmp_path):
+        files = {
+            "service/run.py": """
+                def safe(fn):
+                    try:
+                        fn()
+                    except BaseException:
+                        return None
+                """
+        }
+        assert len(findings_for(tmp_path, files, "no-blanket-except")) == 1
+
+    def test_cleanup_and_reraise_is_fine(self, tmp_path):
+        files = {
+            "service/run.py": """
+                import os
+
+                def safe(fn, tmp):
+                    try:
+                        fn()
+                    except BaseException:
+                        os.unlink(tmp)
+                        raise
+                """
+        }
+        assert findings_for(tmp_path, files, "no-blanket-except") == []
+
+    def test_suppressed(self, tmp_path):
+        files = {
+            "service/run.py": """
+                def safe(fn, errors):
+                    try:
+                        fn()
+                    # repro-lint: disable=no-blanket-except -- trampoline; re-raised by joiner
+                    except BaseException as exc:
+                        errors.append(exc)
+                """
+        }
+        report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+        assert [f.rule for f in report.suppressed] == ["no-blanket-except"]
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# rule: justify-broad-except
+# ---------------------------------------------------------------------------
+
+
+class TestJustifyBroadExcept:
+    def test_unjustified_in_service(self, tmp_path):
+        files = {
+            "service/run.py": """
+                def safe(fn):
+                    try:
+                        fn()
+                    except Exception:
+                        return None
+                """
+        }
+        found = findings_for(tmp_path, files, "justify-broad-except")
+        assert len(found) == 1
+
+    def test_justified_is_fine(self, tmp_path):
+        files = {
+            "service/run.py": """
+                def safe(fn):
+                    try:
+                        fn()
+                    except Exception:  # noqa: BLE001 -- observability is best effort
+                        return None
+                """
+        }
+        assert findings_for(tmp_path, files, "justify-broad-except") == []
+
+    def test_bare_tag_without_reason_is_a_finding(self, tmp_path):
+        files = {
+            "tenancy/run.py": """
+                def safe(fn):
+                    try:
+                        fn()
+                    except Exception:  # noqa: BLE001
+                        return None
+                """
+        }
+        assert len(findings_for(tmp_path, files, "justify-broad-except")) == 1
+
+    def test_outside_scope_is_fine(self, tmp_path):
+        files = {
+            "engine/run.py": """
+                def safe(fn):
+                    try:
+                        fn()
+                    except Exception:
+                        return None
+                """
+        }
+        assert findings_for(tmp_path, files, "justify-broad-except") == []
+
+    def test_suppressed(self, tmp_path):
+        files = {
+            "chaos/run.py": """
+                def safe(fn):
+                    try:
+                        fn()
+                    # repro-lint: disable=justify-broad-except -- fixture exercises the lint suppression path itself
+                    except Exception:
+                        return None
+                """
+        }
+        report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+        assert [f.rule for f in report.suppressed] == ["justify-broad-except"]
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# rule: fencing-token
+# ---------------------------------------------------------------------------
+
+
+class TestFencingToken:
+    def test_tokenless_ack(self, tmp_path):
+        files = {
+            "service/loop.py": """
+                def drain(queue, claimed):
+                    queue.ack(claimed.task_id)
+                """
+        }
+        found = findings_for(tmp_path, files, "fencing-token")
+        assert len(found) == 1
+        assert "fencing token" in found[0].message
+
+    def test_literal_token(self, tmp_path):
+        files = {
+            "service/loop.py": """
+                def drain(queue, claimed):
+                    queue.nack(claimed.task_id, token=1)
+                """
+        }
+        found = findings_for(tmp_path, files, "fencing-token")
+        assert len(found) == 1
+        assert "literal" in found[0].message
+
+    def test_threaded_token_is_fine(self, tmp_path):
+        files = {
+            "service/loop.py": """
+                def drain(queue, claimed):
+                    queue.heartbeat(claimed.task_id, token=claimed.attempts)
+                    queue.ack(claimed.task_id, token=claimed.attempts)
+                """
+        }
+        assert findings_for(tmp_path, files, "fencing-token") == []
+
+    def test_suppressed(self, tmp_path):
+        files = {
+            "service/loop.py": """
+                def drain(queue, claimed):
+                    # repro-lint: disable=fencing-token -- operator repair tool; bypasses fencing deliberately
+                    queue.ack(claimed.task_id)
+                """
+        }
+        report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+        assert [f.rule for f in report.suppressed] == ["fencing-token"]
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# rule: lock-discipline
+# ---------------------------------------------------------------------------
+
+
+class TestLockDiscipline:
+    BAD = {
+        "service/counter.py": """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+
+                def reset(self):
+                    self._count = 0
+            """
+    }
+
+    def test_mixed_access(self, tmp_path):
+        found = findings_for(tmp_path, self.BAD, "lock-discipline")
+        assert len(found) == 1
+        assert "_count" in found[0].message
+
+    def test_consistent_access_is_fine(self, tmp_path):
+        files = {
+            "service/counter.py": """
+                import threading
+
+                class Counter:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._count += 1
+
+                    def reset(self):
+                        with self._lock:
+                            self._count = 0
+                """
+        }
+        assert findings_for(tmp_path, files, "lock-discipline") == []
+
+    def test_init_does_not_count_as_unlocked(self, tmp_path):
+        files = {
+            "service/counter.py": """
+                import threading
+
+                class Counter:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._count += 1
+                """
+        }
+        assert findings_for(tmp_path, files, "lock-discipline") == []
+
+    def test_lockless_class_is_fine(self, tmp_path):
+        files = {
+            "service/counter.py": """
+                class Counter:
+                    def __init__(self):
+                        self._count = 0
+
+                    def bump(self):
+                        self._count += 1
+                """
+        }
+        assert findings_for(tmp_path, files, "lock-discipline") == []
+
+    def test_suppressed(self, tmp_path):
+        files = {
+            "service/counter.py": """
+                import threading
+
+                class Counter:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._count += 1
+
+                    def reset(self):
+                        # repro-lint: disable=lock-discipline -- only called before threads start
+                        self._count = 0
+                """
+        }
+        report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+        assert [f.rule for f in report.suppressed] == ["lock-discipline"]
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# rule: canonical-json
+# ---------------------------------------------------------------------------
+
+
+class TestCanonicalJson:
+    def test_unsorted_dumps_in_durable_writer(self, tmp_path):
+        files = {
+            "service/queue.py": """
+                import json
+
+                def serialize(payload):
+                    return json.dumps(payload)
+                """
+        }
+        found = findings_for(tmp_path, files, "canonical-json")
+        assert len(found) == 1
+
+    def test_sorted_dumps_is_fine(self, tmp_path):
+        files = {
+            "service/queue.py": """
+                import json
+
+                def serialize(payload):
+                    return json.dumps(payload, sort_keys=True)
+                """
+        }
+        assert findings_for(tmp_path, files, "canonical-json") == []
+
+    def test_outside_scope_is_fine(self, tmp_path):
+        files = {
+            "service/client.py": """
+                import json
+
+                def serialize(payload):
+                    return json.dumps(payload)
+                """
+        }
+        assert findings_for(tmp_path, files, "canonical-json") == []
+
+    def test_suppressed(self, tmp_path):
+        files = {
+            "tenancy/ledger.py": """
+                import json
+
+                def serialize(payload):
+                    # repro-lint: disable=canonical-json -- scratch debug dump, never persisted
+                    return json.dumps(payload)
+                """
+        }
+        report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+        assert [f.rule for f in report.suppressed] == ["canonical-json"]
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# rule: os-exit-confined
+# ---------------------------------------------------------------------------
+
+
+class TestOsExitConfined:
+    def test_os_exit_outside_chaos(self, tmp_path):
+        files = {
+            "service/worker.py": """
+                import os
+
+                def die():
+                    os._exit(1)
+                """
+        }
+        found = findings_for(tmp_path, files, "os-exit-confined")
+        assert len(found) == 1
+
+    def test_chaos_is_exempt(self, tmp_path):
+        files = {
+            "chaos/faults.py": """
+                import os
+
+                def crash():
+                    os._exit(23)
+                """
+        }
+        assert findings_for(tmp_path, files, "os-exit-confined") == []
+
+    def test_suppressed(self, tmp_path):
+        files = {
+            "service/worker.py": """
+                import os
+
+                def die():
+                    # repro-lint: disable=os-exit-confined -- post-fork child must not run atexit handlers
+                    os._exit(1)
+                """
+        }
+        report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+        assert [f.rule for f in report.suppressed] == ["os-exit-confined"]
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# rule: layering
+# ---------------------------------------------------------------------------
+
+
+class TestLayering:
+    def test_upward_module_level_import(self, tmp_path):
+        files = {
+            "engine/batch.py": """
+                from pkg.service.queue import FileJobQueue
+                """,
+            "service/queue.py": """
+                class FileJobQueue:
+                    pass
+                """,
+        }
+        found = findings_for(tmp_path, files, "layering")
+        assert len(found) == 1
+        assert "service" in found[0].message
+
+    def test_downward_import_is_fine(self, tmp_path):
+        files = {
+            "service/queue.py": """
+                from pkg.engine.batch import run_batch
+                """,
+            "engine/batch.py": """
+                def run_batch():
+                    pass
+                """,
+        }
+        assert findings_for(tmp_path, files, "layering") == []
+
+    def test_function_local_import_is_the_escape_hatch(self, tmp_path):
+        files = {
+            "api/facade.py": """
+                def submit(root):
+                    from pkg.service.client import JobClient
+                    return JobClient(root)
+                """,
+            "service/client.py": """
+                class JobClient:
+                    pass
+                """,
+        }
+        assert findings_for(tmp_path, files, "layering") == []
+
+    def test_suppressed(self, tmp_path):
+        files = {
+            "engine/session.py": """
+                # repro-lint: disable=layering -- session predates the facade split
+                from pkg.api.facade import run
+                """,
+            "api/facade.py": """
+                def run():
+                    pass
+                """,
+        }
+        report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+        assert [f.rule for f in report.suppressed] == ["layering"]
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# engine machinery: suppressions, baseline, parse errors
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressionHygiene:
+    def test_missing_justification_does_not_suppress(self, tmp_path):
+        files = {
+            "engine/clock.py": """
+                import time
+
+                def stamp():
+                    # repro-lint: disable=no-wallclock
+                    return time.time()
+                """
+        }
+        report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+        rules = sorted(f.rule for f in report.findings)
+        assert rules == ["no-wallclock", SUPPRESSION_RULE]
+        assert report.suppressed == []
+
+    def test_unknown_rule_name_is_a_finding(self, tmp_path):
+        files = {
+            "engine/clock.py": """
+                # repro-lint: disable=no-such-rule -- because reasons
+                x = 1
+                """
+        }
+        report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+        assert [f.rule for f in report.findings] == [SUPPRESSION_RULE]
+        assert "no-such-rule" in report.findings[0].message
+
+    def test_trailing_comment_suppresses_same_line(self, tmp_path):
+        files = {
+            "engine/clock.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # repro-lint: disable=no-wallclock -- diagnostic only
+                """
+        }
+        report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed] == ["no-wallclock"]
+
+    def test_suppression_only_covers_named_rule(self, tmp_path):
+        files = {
+            "dispatch/cache.py": """
+                import json
+                import time
+
+                def index():
+                    # repro-lint: disable=no-wallclock -- diagnostic only
+                    return json.dumps({"at": time.time()})
+                """
+        }
+        report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+        assert [f.rule for f in report.findings] == ["canonical-json"]
+        assert [f.rule for f in report.suppressed] == ["no-wallclock"]
+
+
+class TestBaseline:
+    BAD = {
+        "engine/clock.py": """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+    }
+
+    def test_baselined_finding_is_accepted(self, tmp_path):
+        root = make_pkg(tmp_path, self.BAD)
+        report = run_rules(root, ALL_RULES)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, report.findings)
+        new, accepted, stale = partition_findings(
+            report.findings, load_baseline(baseline_path)
+        )
+        assert new == []
+        assert len(accepted) == 1
+        assert stale == []
+
+    def test_fingerprint_survives_line_drift(self, tmp_path):
+        root = make_pkg(tmp_path, self.BAD)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, run_rules(root, ALL_RULES).findings)
+        # Insert lines above the finding: the line number moves, the
+        # fingerprint (rule + path + source line) does not.
+        target = root / "engine" / "clock.py"
+        target.write_text(
+            "# a new leading comment\n# another\n" + target.read_text()
+        )
+        report = run_rules(root, ALL_RULES)
+        new, accepted, stale = partition_findings(
+            report.findings, load_baseline(baseline_path)
+        )
+        assert new == []
+        assert len(accepted) == 1
+
+    def test_new_finding_is_not_masked_by_baseline(self, tmp_path):
+        root = make_pkg(tmp_path, self.BAD)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, run_rules(root, ALL_RULES).findings)
+        (root / "engine" / "other.py").write_text(
+            "import time\n\ndef other():\n    return time.monotonic()\n"
+        )
+        report = run_rules(root, ALL_RULES)
+        new, accepted, stale = partition_findings(
+            report.findings, load_baseline(baseline_path)
+        )
+        assert len(new) == 1
+        assert new[0].path == "pkg/engine/other.py"
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        root = make_pkg(tmp_path, self.BAD)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, run_rules(root, ALL_RULES).findings)
+        (root / "engine" / "clock.py").write_text("def stamp():\n    return 0\n")
+        report = run_rules(root, ALL_RULES)
+        new, accepted, stale = partition_findings(
+            report.findings, load_baseline(baseline_path)
+        )
+        assert new == [] and accepted == []
+        assert len(stale) == 1
+
+    def test_duplicate_findings_need_duplicate_entries(self, tmp_path):
+        files = {
+            "engine/clock.py": """
+                import time
+
+                def a():
+                    return time.time()
+
+                def b():
+                    return time.time()
+                """
+        }
+        root = make_pkg(tmp_path, files)
+        report = run_rules(root, ALL_RULES)
+        assert len(report.findings) == 2
+        # Baseline only one of the two identical lines: the other is new.
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, report.findings[:1])
+        new, accepted, _ = partition_findings(
+            report.findings, load_baseline(baseline_path)
+        )
+        assert len(new) == 1 and len(accepted) == 1
+
+
+class TestEngineBasics:
+    def test_parse_error_is_a_finding(self, tmp_path):
+        files = {"engine/broken.py": "def broken(:\n"}
+        report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+        assert [f.rule for f in report.findings] == [PARSE_RULE]
+
+    def test_rule_names_are_unique_and_kebab(self, tmp_path):
+        assert len(set(RULE_NAMES)) == len(RULE_NAMES)
+        for name in RULE_NAMES:
+            assert name == name.lower() and " " not in name
+
+    def test_clean_package(self, tmp_path):
+        files = {
+            "engine/batch.py": """
+                import numpy as np
+
+                def run(seed):
+                    return np.random.default_rng(seed).laplace()
+                """
+        }
+        report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+        assert report.findings == [] and report.suppressed == []
+
+
+# ---------------------------------------------------------------------------
+# the live tree and the CLI verb
+# ---------------------------------------------------------------------------
+
+
+class TestLiveTree:
+    def test_live_tree_is_clean_modulo_baseline(self):
+        """The shipped package has no findings beyond the committed baseline."""
+        report, new, accepted, stale = lint_package()
+        assert new == [], "\n".join(f.render() for f in new)
+        assert stale == [], f"stale baseline entries: {stale}"
+
+    def test_committed_baseline_is_small_and_explained(self):
+        entries = load_baseline(DEFAULT_BASELINE)
+        # The baseline exists to hold accepted findings, not to hide new
+        # ones; it must not silently grow.
+        assert 0 < len(entries) <= 8
+        assert all(entry["rule"] == "layering" for entry in entries)
+        assert all(
+            entry["path"] == "repro/engine/session.py" for entry in entries
+        )
+
+
+class TestLintCli:
+    def _run(self, *argv, cwd=None):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.evaluation.cli", *argv],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+        )
+
+    def test_shipped_tree_exits_zero(self):
+        proc = self._run("lint")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 new finding(s)" in proc.stdout
+
+    def test_python_dash_m_repro_alias(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_violation_exits_two_with_findings(self, tmp_path):
+        root = make_pkg(
+            tmp_path,
+            {
+                "engine/clock.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+            },
+        )
+        proc = self._run("lint", str(root))
+        assert proc.returncode == 2
+        assert "no-wallclock" in proc.stdout
+        assert "hint:" in proc.stdout
+
+    def test_update_baseline_then_clean(self, tmp_path):
+        root = make_pkg(
+            tmp_path,
+            {
+                "engine/clock.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+            },
+        )
+        proc = self._run("lint", str(root), "--update-baseline")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        baseline = json.loads(
+            (root / "staticcheck" / "baseline.json").read_text()
+        )
+        assert len(baseline["findings"]) == 1
+        proc = self._run("lint", str(root))
+        assert proc.returncode == 0
+        assert "1 baselined" in proc.stdout
+
+    def test_list_rules(self):
+        proc = self._run("lint", "--list-rules")
+        assert proc.returncode == 0
+        for name in RULE_NAMES:
+            assert name in proc.stdout
+
+    def test_missing_target_exits_two(self, tmp_path):
+        proc = self._run("lint", str(tmp_path / "nope"))
+        assert proc.returncode == 2
+        assert "not a directory" in proc.stderr
+
+    def test_update_baseline_wrong_command_rejected(self):
+        proc = self._run("metrics", "--update-baseline", "--root", "/tmp/x")
+        assert proc.returncode == 2
