@@ -265,7 +265,9 @@ def run(
 def submit(
     spec: MechanismSpec,
     *,
-    root,
+    root=None,
+    url: Optional[str] = None,
+    token: Optional[str] = None,
     engine: Union[str, Engine] = Engine.BATCH,
     trials: int = 1,
     rng: int = 0,
@@ -297,6 +299,11 @@ def submit(
     a JSON boundary, so explicit noise matrices and per-trial thresholds
     serialize losslessly).
 
+    Pass ``url=`` instead of ``root=`` to submit over the HTTP transport
+    (:mod:`repro.net`) -- same handle, same semantics, same bit-identical
+    result; ``token=`` is the bearer token when the daemon enforces auth.
+    Exactly one of ``root``/``url`` must be given.
+
     ``tenant`` and ``priority`` place the job in the service's multi-tenant
     control plane (:mod:`repro.tenancy`): the job is admitted only if the
     tenant's remaining epsilon budget (when one is granted on the service
@@ -308,10 +315,24 @@ def submit(
     # dependency must stay one-directional at import time (``tenant`` and
     # ``priority`` default to ``None`` here precisely so the control-plane
     # constants need not be imported until a submission actually happens).
-    from repro.service.client import JobClient
     from repro.tenancy.scheduler import DEFAULT_PRIORITY, DEFAULT_TENANT
 
-    return JobClient(root).submit(
+    if (root is None) == (url is None):
+        raise ValueError(
+            "pass exactly one of root= (filesystem transport) or "
+            "url= (HTTP transport)"
+        )
+    if url is not None:
+        from repro.net.client import HttpJobClient
+
+        client = HttpJobClient(url, token=token)
+    else:
+        if token is not None:
+            raise ValueError("token= only applies to the HTTP transport (url=)")
+        from repro.service.client import JobClient
+
+        client = JobClient(root)
+    return client.submit(
         spec,
         engine=validate_engine(engine),
         trials=trials,

@@ -51,6 +51,19 @@ per-tenant budgets, worker counters)::
     python -m repro.evaluation.cli tenant-budget alice --root ./svc --grant 2.5
     python -m repro.evaluation.cli metrics --root ./svc
 
+``serve-broker`` exposes the same control plane over HTTP (:mod:`repro.net`)
+-- the daemon owns no state, the root stays the durable backend -- and every
+client verb above accepts ``--url`` (plus ``--token`` when the daemon
+enforces auth) in place of ``--root``, with identical semantics and
+bit-identical results::
+
+    python -m repro.evaluation.cli serve-broker --root ./svc --port 8035 \\
+        --auth-file auth.json &
+    python -m repro.evaluation.cli submit spec.json \\
+        --url http://127.0.0.1:8035 --token alice-secret --trials 100000
+    python -m repro.evaluation.cli job-result job-abc123 \\
+        --url http://127.0.0.1:8035 --token alice-secret --wait 60
+
 ``chaos`` runs a seeded fault-injection soak (:mod:`repro.chaos`) against a
 **fresh** root: real subprocess workers under a kill/restart schedule,
 client threads submitting multi-tenant jobs through injected faults, then
@@ -239,13 +252,24 @@ def _run_run_spec(args, stream) -> None:
     _print_result(f"run-spec: {spec.kind} via {result.engine}", result, stream)
 
 
+def _service_client(args):
+    """The job client of the selected transport: --root (filesystem) or
+    --url (HTTP, with an optional --token bearer credential)."""
+    if args.url is not None:
+        from repro.net import HttpJobClient
+
+        return HttpJobClient(args.url, token=args.token)
+    from repro.service import JobClient
+
+    return JobClient(args.root)
+
+
 def _run_submit(args, stream) -> None:
     """Submit a spec execution to a service root and print the job id."""
-    from repro.service import JobClient
     from repro.tenancy.scheduler import DEFAULT_PRIORITY, DEFAULT_TENANT
 
     spec = _load_spec_file(args.spec)
-    handle = JobClient(args.root).submit(
+    handle = _service_client(args).submit(
         spec,
         engine=args.engine,
         trials=args.trials,
@@ -264,9 +288,7 @@ def _run_submit(args, stream) -> None:
 
 def _run_job_status(args, stream) -> None:
     """Print one job's state and progress."""
-    from repro.service import JobClient
-
-    status = JobClient(args.root).status(args.spec)
+    status = _service_client(args).status(args.spec)
     stream.write(
         f"job {status.job_id}: {status.state} "
         f"({status.done_tasks}/{status.total_tasks} tasks done)\n"
@@ -277,19 +299,21 @@ def _run_job_status(args, stream) -> None:
 
 def _run_job_result(args, stream) -> None:
     """Fetch (optionally waiting for) a job's merged result."""
-    from repro.service import JobClient
-
-    client = JobClient(args.root)
+    client = _service_client(args)
     result = client.result(args.spec, timeout=args.wait)
-    spec = client.broker.spec(args.spec)
-    _print_result(f"job-result: {spec.kind} via {result.engine}", result, stream)
+    # The filesystem client can name the submitted spec kind from the
+    # manifest; over HTTP the result's own mechanism name is the label.
+    kind = (
+        result.mechanism
+        if args.url is not None
+        else client.broker.spec(args.spec).kind
+    )
+    _print_result(f"job-result: {kind} via {result.engine}", result, stream)
 
 
 def _run_job_cancel(args, stream) -> None:
     """Cancel a job: drop its pending tasks and mark it cancelled."""
-    from repro.service import JobClient
-
-    status = JobClient(args.root).cancel(args.spec)
+    status = _service_client(args).cancel(args.spec)
     stream.write(
         f"job {status.job_id}: {status.state} "
         f"({status.done_tasks}/{status.total_tasks} tasks done)\n"
@@ -300,12 +324,42 @@ def _run_metrics(args, stream) -> None:
     """Print the operator metrics snapshot of a service root."""
     from repro.tenancy import collect_metrics, render_metrics
 
-    stream.write(render_metrics(collect_metrics(args.root)))
+    if args.url is not None:
+        snapshot = _service_client(args).metrics()
+    else:
+        snapshot = collect_metrics(args.root)
+    stream.write(render_metrics(snapshot))
+
+
+def _write_budget_line(stream, tenant, total, spent, charged, remaining) -> None:
+    if total is None:
+        stream.write(
+            f"tenant {tenant}: unbounded (no budget granted); "
+            f"epsilon charged so far: {charged:g}\n"
+        )
+    else:
+        stream.write(
+            f"tenant {tenant}: total epsilon {total:g}, "
+            f"spent {spent:g}, remaining {remaining:g}\n"
+        )
 
 
 def _run_tenant_budget(args, stream) -> None:
     """Grant (--grant), manually refund (--refund) and report one tenant's
     epsilon budget."""
+    if args.url is not None:
+        view = _service_client(args).tenant_budget(
+            args.spec, grant=args.grant, refund=args.refund
+        )
+        _write_budget_line(
+            stream,
+            args.spec,
+            view["total"],
+            view["spent"],
+            view["charged"],
+            view["remaining"],
+        )
+        return
     from repro.tenancy import BudgetLedger
 
     ledger = BudgetLedger(Path(args.root) / "tenants")
@@ -313,18 +367,14 @@ def _run_tenant_budget(args, stream) -> None:
         ledger.grant(args.spec, args.grant)
     if args.refund is not None:
         ledger.refund(args.spec, args.refund)
-    total = ledger.total(args.spec)
-    if total is None:
-        stream.write(
-            f"tenant {args.spec}: unbounded (no budget granted); "
-            f"epsilon charged so far: {ledger.charged(args.spec):g}\n"
-        )
-    else:
-        stream.write(
-            f"tenant {args.spec}: total epsilon {total:g}, "
-            f"spent {ledger.spent(args.spec):g}, "
-            f"remaining {ledger.remaining(args.spec):g}\n"
-        )
+    _write_budget_line(
+        stream,
+        args.spec,
+        ledger.total(args.spec),
+        ledger.spent(args.spec),
+        ledger.charged(args.spec),
+        ledger.remaining(args.spec),
+    )
 
 
 def _run_serve_worker(args, stream) -> None:
@@ -338,6 +388,33 @@ def _run_serve_worker(args, stream) -> None:
         f"worker {worker.worker_id} exiting: {processed} task(s) processed, "
         f"{worker.cache_hits} cache hit(s), {worker.failures} failure(s)\n"
     )
+
+
+def _run_serve_broker(args, stream) -> None:
+    """Run the HTTP broker daemon against a service root."""
+    from repro.net import DEFAULT_MAX_PENDING, serve_broker
+
+    server = serve_broker(
+        args.root,
+        host=args.host if args.host is not None else "127.0.0.1",
+        port=args.port if args.port is not None else 8035,
+        auth_file=args.auth_file,
+        max_pending=DEFAULT_MAX_PENDING
+        if args.max_pending is None
+        else args.max_pending,
+        verbose=True,
+    )
+    # The URL line goes out (and is flushed) before serving starts, so a
+    # supervising script can scrape the bound address -- essential with
+    # --port 0 (ephemeral).
+    stream.write(f"broker {server.url} serving {args.root}\n")
+    stream.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
 
 
 def _run_chaos(args, stream) -> None:
@@ -420,6 +497,7 @@ _COMMANDS: Dict[str, Callable] = {
     "job-result": _run_job_result,
     "job-cancel": _run_job_cancel,
     "serve-worker": _run_serve_worker,
+    "serve-broker": _run_serve_broker,
     "metrics": _run_metrics,
     "tenant-budget": _run_tenant_budget,
     "chaos": _run_chaos,
@@ -433,9 +511,21 @@ _SERVICE_COMMANDS = (
     "job-result",
     "job-cancel",
     "serve-worker",
+    "serve-broker",
     "metrics",
     "tenant-budget",
     "chaos",
+)
+#: Service commands that can alternatively target a broker daemon (--url);
+#: the daemons themselves (serve-worker, serve-broker) and chaos are bound
+#: to a local root.
+_URL_COMMANDS = (
+    "submit",
+    "job-status",
+    "job-result",
+    "job-cancel",
+    "metrics",
+    "tenant-budget",
 )
 #: Commands whose positional argument is a spec JSON file.
 _SPEC_FILE_COMMANDS = ("run-spec", "submit")
@@ -459,7 +549,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="which experiment to run ('all' runs every figure; 'run-spec' "
         "executes a serialized mechanism spec through the repro.api facade; "
         "'submit'/'serve-worker'/'job-status'/'job-result'/'job-cancel' "
-        "drive the job-queue service layer; 'tenant-budget'/'metrics' "
+        "drive the job-queue service layer; 'serve-broker' exposes a root "
+        "over HTTP (clients then use --url); 'tenant-budget'/'metrics' "
         "drive the multi-tenant control plane; 'chaos' runs a seeded "
         "fault-injection soak against a fresh root)",
     )
@@ -506,6 +597,50 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="service commands: the job-queue service root directory "
         "(task queue + job manifests + shared result cache)",
+    )
+    parser.add_argument(
+        "--url",
+        type=str,
+        default=None,
+        help="service commands: target a broker daemon over HTTP instead of "
+        "a local --root (e.g. http://127.0.0.1:8035); same semantics, same "
+        "bit-identical results",
+    )
+    parser.add_argument(
+        "--token",
+        type=str,
+        default=None,
+        help="with --url: the bearer token sent on every request (required "
+        "when the daemon was started with --auth-file)",
+    )
+    parser.add_argument(
+        "--host",
+        type=str,
+        default=None,
+        help="serve-broker only: interface to bind (default 127.0.0.1; "
+        "0.0.0.0 exposes the daemon to the network)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve-broker only: TCP port to bind (default 8035; 0 picks an "
+        "ephemeral port, printed on the first output line)",
+    )
+    parser.add_argument(
+        "--auth-file",
+        type=str,
+        default=None,
+        help="serve-broker only: JSON file of per-tenant bearer tokens, "
+        "rate limits and concurrency caps (plus an optional admin_token); "
+        "without it the daemon is open",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="serve-broker only: refuse submits with 429 while the queue "
+        "holds this many pending tasks (default 10000)",
     )
     parser.add_argument(
         "--max-tasks",
@@ -636,16 +771,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     # sharding, no cache, no service root.
     allowed = {
         "run-spec": {"engine", "shards", "cache", "chunk_trials"},
-        "submit": {"engine", "chunk_trials", "root", "tenant", "priority"},
-        "job-status": {"root"},
-        "job-result": {"root", "wait"},
-        "job-cancel": {"root"},
+        "submit": {"engine", "chunk_trials", "root", "url", "token",
+                   "tenant", "priority"},
+        "job-status": {"root", "url", "token"},
+        "job-result": {"root", "url", "token", "wait"},
+        "job-cancel": {"root", "url", "token"},
         "serve-worker": {"root", "max_tasks"},
-        "metrics": {"root"},
-        "tenant-budget": {"root", "grant", "refund"},
+        "serve-broker": {"root", "host", "port", "auth_file", "max_pending"},
+        "metrics": {"root", "url", "token"},
+        "tenant-budget": {"root", "url", "token", "grant", "refund"},
         "chaos": {"root"},
     }.get(args.command, set())
     for flag in ("engine", "shards", "cache", "chunk_trials", "root",
+                 "url", "token", "host", "port", "auth_file", "max_pending",
                  "max_tasks", "wait", "tenant", "priority", "grant",
                  "refund"):
         if flag not in allowed and getattr(args, flag) is not None:
@@ -659,8 +797,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--update-baseline only applies to the lint command")
     if args.list_rules and args.command != "lint":
         parser.error("--list-rules only applies to the lint command")
-    if args.command in _SERVICE_COMMANDS and args.root is None:
+    if args.command in _URL_COMMANDS:
+        if (args.root is None) == (args.url is None):
+            parser.error(
+                f"{args.command} requires exactly one of --root (local "
+                "service directory) or --url (broker daemon)"
+            )
+        if args.token is not None and args.url is None:
+            parser.error("--token only applies together with --url")
+    elif args.command in _SERVICE_COMMANDS and args.root is None:
         parser.error(f"{args.command} requires --root (the service directory)")
+    if args.port is not None and not (0 <= args.port <= 65535):
+        parser.error("--port must be between 0 and 65535")
+    if args.max_pending is not None and args.max_pending < 1:
+        parser.error("--max-pending must be at least 1")
     if args.engine is None:
         args.engine = "batch"
     if args.shards is not None and args.shards < 1:
@@ -695,6 +845,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.tenancy import LedgerError
 
         recoverable += (ServiceError, BudgetExceededError, LedgerError)
+    if args.command in _URL_COMMANDS and args.url is not None:
+        # Over HTTP every domain refusal the daemon can voice (400 bodies
+        # become ValueError; auth/transport errors are ServiceError
+        # subclasses, already covered) is a one-line exit-2 outcome too.
+        recoverable += (ValueError,)
     if args.command == "lint":
         # New findings (after the report is printed) and unusable lint
         # targets are one-line exit-2 outcomes, not tracebacks.

@@ -1,0 +1,67 @@
+"""The network transport: the job-queue service over HTTP/JSON.
+
+The service layer (:mod:`repro.service`) made the control plane durable but
+left its reach at "anything that can mount the root directory".  This
+package puts an HTTP boundary in front of the same root -- without moving
+any state off the filesystem, so every determinism, budget-settlement and
+crash-safety invariant below is inherited unchanged:
+
+    server (net.server)  the broker daemon: ThreadingHTTPServer handlers
+                         over Broker / BudgetLedger / collect_metrics, with
+                         backpressure (429 when the pending queue is at the
+                         cap) and a strict domain-error -> status mapping
+    auth   (net.auth)    per-tenant bearer tokens, token-bucket rate limits
+                         and concurrency caps (AccessController); an
+                         unconfigured controller is open
+    client (net.client)  HttpJobClient -- the same surface and exceptions as
+                         JobClient, over the wire; plus metrics and budget
+                         verbs for operators
+    wire   (net.wire)    byte-exact Result framing (npz + canonical JSON,
+                         the cache's own lossless encoding) so an HTTP
+                         result is bit-identical to run(spec, shards=N)
+
+CLI front-ends (``repro.evaluation.cli``)::
+
+    python -m repro serve-broker --root SRV --port 8035 --auth-file auth.json
+    python -m repro submit spec.json --url http://HOST:8035 --token SECRET
+    python -m repro job-result <job-id> --url http://HOST:8035 --token SECRET
+
+and :func:`repro.api.submit` accepts ``url=``/``token=`` to switch
+transports without changing anything else.
+"""
+
+from repro.net.auth import (
+    ADMIN,
+    AccessController,
+    AuthenticationError,
+    AuthorizationError,
+    BackpressureError,
+    RateLimitedError,
+    TenantPolicy,
+)
+from repro.net.client import HttpJobClient, JobNotReadyError, TransportError
+from repro.net.server import (
+    DEFAULT_MAX_PENDING,
+    BrokerHTTPServer,
+    serve_broker,
+)
+from repro.net.wire import WireError, decode_result, encode_result
+
+__all__ = [
+    "ADMIN",
+    "AccessController",
+    "AuthenticationError",
+    "AuthorizationError",
+    "BackpressureError",
+    "BrokerHTTPServer",
+    "DEFAULT_MAX_PENDING",
+    "HttpJobClient",
+    "JobNotReadyError",
+    "RateLimitedError",
+    "TenantPolicy",
+    "TransportError",
+    "WireError",
+    "decode_result",
+    "encode_result",
+    "serve_broker",
+]

@@ -1,0 +1,278 @@
+"""Per-tenant bearer-token auth, rate limits and concurrency caps.
+
+The filesystem control plane trusts anyone who can mount the root; the HTTP
+boundary cannot.  An :class:`AccessController` holds one
+:class:`TenantPolicy` per tenant and answers three questions for the
+broker daemon:
+
+* **Who is calling?**  :meth:`AccessController.authenticate` resolves the
+  ``Authorization: Bearer <token>`` header to a principal -- a tenant name,
+  or :data:`ADMIN` for the operator token -- with constant-time comparisons.
+* **May they act for this tenant?**  :meth:`AccessController.authorize`:
+  a tenant's token speaks only for that tenant; the admin token for all.
+* **May this submit run now?**  :meth:`AccessController.admit` enforces the
+  per-tenant concurrency cap (unfinished jobs) and a token-bucket rate
+  limit, raising :class:`RateLimitedError` with a ``retry_after`` hint the
+  server turns into a ``Retry-After`` header.
+
+A controller with no policies and no admin token is **open**: every request
+authenticates as :data:`ADMIN` and nothing is limited -- the single-tenant
+/ trusted-network default, mirroring how an ungranted tenant is unbounded
+on the :class:`~repro.tenancy.ledger.BudgetLedger`.
+
+Rate/concurrency state is process-local by design (like the claim
+scheduler's credit counters): the daemon is the sole HTTP entry point to
+its root, so its in-memory buckets see every networked submit.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import math
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.service.broker import ServiceError
+
+__all__ = [
+    "ADMIN",
+    "AccessController",
+    "AuthenticationError",
+    "AuthorizationError",
+    "BackpressureError",
+    "RateLimitedError",
+    "TenantPolicy",
+]
+
+#: The wildcard principal: the operator token authenticates as it, and an
+#: open (unconfigured) controller treats every caller as it.
+ADMIN = "*"
+
+
+class AuthenticationError(ServiceError):
+    """The request carries no credential, or an unrecognized one (HTTP 401)."""
+
+
+class AuthorizationError(ServiceError):
+    """A valid credential used outside its tenant's scope (HTTP 403)."""
+
+
+class RateLimitedError(ServiceError):
+    """A per-tenant admission limit refused the request (HTTP 429).
+
+    ``retry_after`` (seconds, or None) is the earliest moment a retry can
+    succeed; the server forwards it as the ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, *, retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class BackpressureError(RateLimitedError):
+    """The queue's pending depth exceeds the server's cap (HTTP 429)."""
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's API-layer contract.
+
+    Attributes
+    ----------
+    token:
+        Bearer token that authenticates as this tenant; ``None`` means the
+        tenant cannot authenticate (its jobs can still be granted budget
+        and submitted by the admin).
+    rate_per_second:
+        Sustained submit rate (token bucket); ``None`` = unlimited.
+    burst:
+        Bucket capacity -- how many submits may land back-to-back before
+        the sustained rate gates.  ``None`` derives ``max(1, ceil(rate))``.
+    max_concurrent:
+        Cap on the tenant's unfinished jobs submitted through the daemon;
+        ``None`` = unlimited.
+    """
+
+    token: Optional[str] = None
+    rate_per_second: Optional[float] = None
+    burst: Optional[int] = None
+    max_concurrent: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.rate_per_second is not None and self.rate_per_second <= 0:
+            raise ValueError(
+                f"rate_per_second must be positive, got {self.rate_per_second}"
+            )
+        if self.burst is not None and self.burst < 1:
+            raise ValueError(f"burst must be at least 1, got {self.burst}")
+        if self.max_concurrent is not None and self.max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be at least 1, got {self.max_concurrent}"
+            )
+
+    @property
+    def bucket_capacity(self) -> float:
+        """The effective token-bucket capacity (see :attr:`burst`)."""
+        if self.burst is not None:
+            return float(self.burst)
+        if self.rate_per_second is None:
+            return 1.0
+        return float(max(1, math.ceil(self.rate_per_second)))
+
+
+class AccessController:
+    """Authenticate, authorize and admission-limit API requests."""
+
+    def __init__(
+        self,
+        policies: Optional[Dict[str, TenantPolicy]] = None,
+        *,
+        admin_token: Optional[str] = None,
+    ) -> None:
+        self.policies: Dict[str, TenantPolicy] = {
+            str(tenant): policy for tenant, policy in (policies or {}).items()
+        }
+        for tenant, policy in self.policies.items():
+            if not isinstance(policy, TenantPolicy):
+                raise TypeError(
+                    f"policy of tenant {tenant!r} must be a TenantPolicy, "
+                    f"got {type(policy).__name__}"
+                )
+        self.admin_token = admin_token
+        #: tenant -> (tokens remaining, last refill time); guarded by the
+        #: lock -- the daemon handles requests on many threads.
+        self._buckets: Dict[str, tuple] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def open(self) -> bool:
+        """True when nothing is configured: all callers pass as admin."""
+        return not self.policies and self.admin_token is None
+
+    @classmethod
+    def from_file(cls, path: Union[str, os.PathLike]) -> "AccessController":
+        """Load a controller from a JSON config file::
+
+            {
+              "admin_token": "operator-secret",
+              "tenants": {
+                "alice": {"token": "alice-secret", "rate_per_second": 5,
+                          "burst": 10, "max_concurrent": 4}
+              }
+            }
+
+        Unknown keys are rejected -- a typo like ``"max_concurrency"`` must
+        not silently disable the limit it meant to set.
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            config = json.load(handle)
+        if not isinstance(config, dict):
+            raise ValueError(f"auth config {os.fspath(path)!r} must be a JSON object")
+        unknown = set(config) - {"admin_token", "tenants"}
+        if unknown:
+            raise ValueError(
+                f"unknown auth config key(s) {sorted(unknown)}; "
+                "expected 'admin_token' and/or 'tenants'"
+            )
+        policies = {}
+        tenants = config.get("tenants") or {}
+        if not isinstance(tenants, dict):
+            raise ValueError("'tenants' must map tenant names to policy objects")
+        allowed = {"token", "rate_per_second", "burst", "max_concurrent"}
+        for tenant, raw in tenants.items():
+            if not isinstance(raw, dict):
+                raise ValueError(f"policy of tenant {tenant!r} must be an object")
+            unknown = set(raw) - allowed
+            if unknown:
+                raise ValueError(
+                    f"unknown key(s) {sorted(unknown)} in policy of tenant "
+                    f"{tenant!r}; expected {sorted(allowed)}"
+                )
+            policies[str(tenant)] = TenantPolicy(**raw)
+        admin_token = config.get("admin_token")
+        if admin_token is not None and not isinstance(admin_token, str):
+            raise ValueError("'admin_token' must be a string")
+        return cls(policies, admin_token=admin_token)
+
+    # -- who is calling? -----------------------------------------------------
+
+    def authenticate(self, authorization: Optional[str]) -> str:
+        """Resolve an ``Authorization`` header to a principal.
+
+        Returns the tenant name whose token matched, or :data:`ADMIN` for
+        the admin token (and for every caller of an open controller).
+        Raises :class:`AuthenticationError` otherwise -- deliberately the
+        same error for "missing", "malformed" and "unknown", so the
+        response does not reveal which tokens exist.
+        """
+        if self.open:
+            return ADMIN
+        if not authorization:
+            raise AuthenticationError(
+                "missing credentials: send 'Authorization: Bearer <token>'"
+            )
+        scheme, _, token = authorization.partition(" ")
+        token = token.strip()
+        if scheme.lower() != "bearer" or not token:
+            raise AuthenticationError(
+                "malformed Authorization header: expected 'Bearer <token>'"
+            )
+        if self.admin_token is not None and hmac.compare_digest(
+            token, self.admin_token
+        ):
+            return ADMIN
+        for tenant, policy in self.policies.items():
+            if policy.token is not None and hmac.compare_digest(token, policy.token):
+                return tenant
+        raise AuthenticationError("unrecognized bearer token")
+
+    def authorize(self, principal: str, tenant: str) -> None:
+        """Check that ``principal`` may act for ``tenant`` (403 otherwise)."""
+        if principal == ADMIN or principal == str(tenant):
+            return
+        raise AuthorizationError(
+            f"token of tenant {principal!r} may not act for tenant {tenant!r}"
+        )
+
+    # -- may this submit run now? -------------------------------------------
+
+    def admit(self, tenant: str, *, active_jobs: int) -> None:
+        """Gate one submit: concurrency cap first, then the rate bucket.
+
+        Order matters: a submit the concurrency cap will refuse must not
+        consume a rate token on the way to its 429.
+        """
+        policy = self.policies.get(str(tenant))
+        if policy is None:
+            return
+        if (
+            policy.max_concurrent is not None
+            and int(active_jobs) >= policy.max_concurrent
+        ):
+            raise RateLimitedError(
+                f"tenant {tenant!r} already has {int(active_jobs)} unfinished "
+                f"job(s) (cap {policy.max_concurrent}); wait for one to "
+                "finish or cancel it"
+            )
+        if policy.rate_per_second is None:
+            return
+        rate = float(policy.rate_per_second)
+        capacity = policy.bucket_capacity
+        now = time.monotonic()
+        with self._lock:
+            tokens, last = self._buckets.get(str(tenant), (capacity, now))
+            tokens = min(capacity, tokens + (now - last) * rate)
+            if tokens < 1.0:
+                # Don't consume on refusal; tell the caller when a retry
+                # can succeed.
+                self._buckets[str(tenant)] = (tokens, now)
+                raise RateLimitedError(
+                    f"tenant {tenant!r} exceeded its submit rate "
+                    f"({rate:g}/s, burst {capacity:g})",
+                    retry_after=(1.0 - tokens) / rate,
+                )
+            self._buckets[str(tenant)] = (tokens - 1.0, now)

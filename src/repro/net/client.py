@@ -1,0 +1,297 @@
+"""The HTTP counterpart of :class:`~repro.service.client.JobClient`.
+
+An :class:`HttpJobClient` speaks the broker daemon's ``/v1`` API
+(:mod:`repro.net.server`) with the **same method surface and semantics**
+as the filesystem client -- ``submit`` returns the same
+:class:`~repro.service.client.JobHandle`, ``result`` polls with the same
+deadline-clamped loop and raises the same domain exceptions -- so callers
+(the facade, the CLI) switch transports by swapping the constructor and
+nothing else::
+
+    client = HttpJobClient("http://broker.internal:8035", token="alice-secret")
+    handle = client.submit(spec, trials=100_000, seed=0)
+    result = handle.result(timeout=60.0)   # bit-identical to run(shards=N)
+
+The translation back from HTTP statuses is the exact inverse of the
+server's error mapping: 401/403/429 raise the :mod:`repro.net.auth`
+errors, 402 the ledger's :class:`BudgetExceededError`, 404
+:class:`JobNotFoundError`, 409 either :class:`JobNotReadyError` (job still
+in flight -- the polling loop's retry signal) or :class:`JobFailedError`
+(terminal), 400 ``ValueError`` and 503 :class:`LedgerError`.  Only stdlib
+``urllib`` is used -- no new dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Optional
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+from repro.accounting.budget import BudgetExceededError
+from repro.api.result import Result
+from repro.api.specs import MechanismSpec
+from repro.net.auth import (
+    AuthenticationError,
+    AuthorizationError,
+    BackpressureError,
+    RateLimitedError,
+)
+from repro.net.wire import decode_result
+from repro.service.broker import (
+    JobFailedError,
+    JobNotFoundError,
+    JobStatus,
+    ServiceError,
+)
+from repro.service.client import JobHandle
+from repro.tenancy.ledger import LedgerError
+from repro.tenancy.scheduler import DEFAULT_PRIORITY, DEFAULT_TENANT
+
+__all__ = ["HttpJobClient", "JobNotReadyError", "TransportError"]
+
+
+class JobNotReadyError(ServiceError):
+    """A result was requested for a job still in flight (HTTP 409, state
+    submitted/running) -- retryable, unlike :class:`JobFailedError`."""
+
+
+class TransportError(ServiceError):
+    """The HTTP exchange itself failed (connection refused, bad frame,
+    unexpected status) -- the network analogue of a filesystem ``OSError``."""
+
+
+def _retry_after(headers) -> Optional[float]:
+    value = headers.get("Retry-After") if headers is not None else None
+    try:
+        return None if value is None else float(value)
+    except ValueError:
+        return None
+
+
+def _raise_for_status(status: int, payload: dict, headers) -> None:
+    """Re-raise the domain error a response status encodes (see module doc)."""
+    message = str(payload.get("error") or f"HTTP {status}")
+    if status == 400:
+        raise ValueError(message)
+    if status == 401:
+        raise AuthenticationError(message)
+    if status == 402:
+        raise BudgetExceededError(message)
+    if status == 403:
+        raise AuthorizationError(message)
+    if status == 404:
+        raise JobNotFoundError(message)
+    if status == 409:
+        state = payload.get("state")
+        if state in ("failed", "cancelled"):
+            raise JobFailedError(message)
+        if state in ("submitted", "running"):
+            raise JobNotReadyError(message)
+        raise ServiceError(message)
+    if status == 429:
+        retry_after = _retry_after(headers)
+        if "queue depth" in message:
+            raise BackpressureError(message, retry_after=retry_after)
+        raise RateLimitedError(message, retry_after=retry_after)
+    if status == 503:
+        raise LedgerError(message)
+    raise TransportError(f"unexpected HTTP {status}: {message}")
+
+
+class HttpJobClient:
+    """Submit jobs to, and read results from, one broker daemon.
+
+    Parameters
+    ----------
+    url:
+        Base URL of the daemon (scheme + host + port; any trailing slash
+        or ``/v1`` suffix is tolerated).
+    token:
+        Bearer token sent on every request; None for an open daemon.
+    timeout:
+        Socket timeout per HTTP exchange (not the job-completion timeout
+        -- that is ``result(timeout=...)``, exactly as on ``JobClient``).
+    """
+
+    def __init__(
+        self, url: str, *, token: Optional[str] = None, timeout: float = 30.0
+    ) -> None:
+        base = str(url).rstrip("/")
+        if base.endswith("/v1"):
+            base = base[: -len("/v1")]
+        if not base.lower().startswith(("http://", "https://")):
+            raise ValueError(
+                f"url must start with http:// or https://, got {url!r}"
+            )
+        self.url = base
+        self.token = token
+        self.timeout = float(timeout)
+
+    # -- one HTTP exchange ---------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> tuple:
+        """Return ``(status, body bytes, headers)``; network failures raise
+        :class:`TransportError`, HTTP error statuses are returned as data
+        for :func:`_handle` to map."""
+        data = (
+            None
+            if body is None
+            else json.dumps(body, sort_keys=True).encode("utf-8")
+        )
+        req = urlrequest.Request(
+            f"{self.url}{path}", data=data, method=method
+        )
+        if data is not None:
+            req.add_header("Content-Type", "application/json")
+        if self.token is not None:
+            req.add_header("Authorization", f"Bearer {self.token}")
+        try:
+            with urlrequest.urlopen(req, timeout=self.timeout) as response:
+                return response.status, response.read(), response.headers
+        except urlerror.HTTPError as exc:
+            # 4xx/5xx: the body still carries the JSON error payload.
+            with exc:
+                return exc.code, exc.read(), exc.headers
+        except urlerror.URLError as exc:
+            raise TransportError(
+                f"cannot reach broker at {self.url}: {exc.reason}"
+            ) from exc
+
+    def _handle(self, method: str, path: str, body: Optional[dict] = None):
+        status, raw, headers = self._request(method, path, body)
+        if status == 200 and not (
+            headers.get("Content-Type") or ""
+        ).startswith("application/json"):
+            return raw  # a binary result frame
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, ValueError):
+            raise TransportError(
+                f"broker sent a non-JSON {status} response for {path}"
+            ) from None
+        if status >= 400:
+            _raise_for_status(status, payload, headers)
+        return payload
+
+    # -- the JobClient surface -----------------------------------------------
+
+    def submit(
+        self,
+        spec: MechanismSpec,
+        *,
+        engine: str = "batch",
+        trials: int = 1,
+        seed: int = 0,
+        chunk_trials: Optional[int] = None,
+        options: Optional[dict] = None,
+        job_id: Optional[str] = None,
+        tenant: str = DEFAULT_TENANT,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> JobHandle:
+        """Enqueue one execution request over HTTP; returns a handle."""
+        body = {
+            "spec": spec.to_dict(),
+            "engine": engine,
+            "trials": trials,
+            "seed": seed,
+            "chunk_trials": chunk_trials,
+            "options": options,
+            "job_id": job_id,
+            "tenant": tenant,
+            "priority": priority,
+        }
+        payload = self._handle("POST", "/v1/jobs", body)
+        return JobHandle(self, str(payload["job_id"]))
+
+    @staticmethod
+    def _status_from_payload(payload: dict) -> JobStatus:
+        return JobStatus(
+            job_id=str(payload["job_id"]),
+            state=str(payload["state"]),
+            total_tasks=int(payload["total_tasks"]),
+            done_tasks=int(payload["done_tasks"]),
+            failed_tasks={
+                int(index): str(error)
+                for index, error in (payload.get("failed_tasks") or {}).items()
+            },
+        )
+
+    def status(self, job_id: str) -> JobStatus:
+        return self._status_from_payload(
+            self._handle("GET", f"/v1/jobs/{job_id}")
+        )
+
+    def result(
+        self,
+        job_id: str,
+        *,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.5,
+    ) -> Result:
+        """The merged result, polling until the job finishes.
+
+        Same contract as :meth:`JobClient.result`: ``timeout=None`` fetches
+        exactly once (:class:`JobNotReadyError` if still in flight), a float
+        polls until terminal or ``TimeoutError``, and the sleep is clamped
+        to the remaining time so the timeout is honoured exactly.
+        """
+        if timeout is None:
+            return self._fetch_result(job_id)
+        deadline = time.monotonic() + float(timeout)
+        while True:
+            try:
+                return self._fetch_result(job_id)
+            except JobNotReadyError:
+                pass  # keep polling; terminal errors propagate
+            now = time.monotonic()
+            if now >= deadline:
+                status = self.status(job_id)
+                raise TimeoutError(
+                    f"job {job_id!r} not finished after {timeout}s "
+                    f"({status.done_tasks}/{status.total_tasks} tasks done)"
+                )
+            time.sleep(min(poll_interval, deadline - now))
+
+    def _fetch_result(self, job_id: str) -> Result:
+        raw = self._handle("GET", f"/v1/jobs/{job_id}/result")
+        if not isinstance(raw, bytes):
+            raise TransportError(
+                f"broker sent a JSON body where a result frame was expected "
+                f"for job {job_id!r}"
+            )
+        return decode_result(raw)
+
+    def cancel(self, job_id: str) -> JobStatus:
+        return self._status_from_payload(
+            self._handle("POST", f"/v1/jobs/{job_id}/cancel")
+        )
+
+    # -- operator surface ----------------------------------------------------
+
+    def metrics(self) -> dict:
+        """The daemon root's operator snapshot (``collect_metrics``)."""
+        return self._handle("GET", "/v1/metrics")
+
+    def tenant_budget(
+        self,
+        tenant: str,
+        *,
+        grant: Optional[float] = None,
+        refund: Optional[float] = None,
+    ) -> dict:
+        """Read -- or, with ``grant``/``refund``, adjust -- a tenant budget."""
+        if grant is None and refund is None:
+            return self._handle("GET", f"/v1/tenants/{tenant}/budget")
+        body = {}
+        if grant is not None:
+            body["grant"] = float(grant)
+        if refund is not None:
+            body["refund"] = float(refund)
+        return self._handle("POST", f"/v1/tenants/{tenant}/budget", body)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HttpJobClient({self.url!r})"

@@ -1,0 +1,511 @@
+"""The broker daemon: an HTTP/JSON face over one service root.
+
+``serve_broker(root)`` builds a :class:`BrokerHTTPServer` -- stdlib
+:class:`~http.server.ThreadingHTTPServer` threading machinery, no new
+dependencies -- whose handlers are thin controllers over the existing
+stack: :class:`~repro.service.broker.Broker` for the job lifecycle,
+:class:`~repro.tenancy.ledger.BudgetLedger` for budgets and
+:func:`~repro.tenancy.metrics.collect_metrics` for the operator snapshot.
+The **file root stays the single durable backend**: the daemon holds no
+state a restart loses (rate buckets aside), and workers keep draining the
+same root directly -- so every determinism, settlement and crash-safety
+invariant of the layers below is inherited unchanged.
+
+API (all under ``/v1``; JSON in, JSON out unless noted)::
+
+    POST /v1/jobs                     submit; 201 with the job id
+    GET  /v1/jobs/<id>                status
+    GET  /v1/jobs/<id>/result         merged Result (binary frame, see wire.py)
+    POST /v1/jobs/<id>/cancel         cancel
+    GET  /v1/metrics                  operator snapshot (collect_metrics)
+    GET  /v1/tenants/<id>/budget      tenant budget view
+    POST /v1/tenants/<id>/budget      grant / refund (admin when auth is on)
+
+Error contract -- domain errors map to statuses, never to a traceback body:
+
+==========================================  =====
+malformed body / spec / arguments           400
+missing or unrecognized bearer token        401
+admission refused by the budget ledger      402
+valid token outside its tenant's scope      403
+unknown job / tenant route                  404
+result not ready, job failed/cancelled,
+duplicate job id                            409
+backpressure / rate limit / concurrency
+cap (with ``Retry-After`` where known)      429
+wedged ledger lock                          503
+anything else (a bug)                       500 with a generic body
+==========================================  =====
+
+Backpressure: when the root's pending queue depth is at or above the
+server's ``max_pending`` cap, submits are refused with 429 + ``Retry-After``
+instead of letting one flooding client grow the queue without bound.
+
+Auth is delegated to an :class:`~repro.net.auth.AccessController`; the
+default (no policies) is open.  Concurrency caps are enforced against the
+tenant's unfinished jobs *submitted through this daemon* -- the daemon is
+the sole HTTP entry to its root, so that set is exactly the networked
+in-flight load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import uuid
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Set, Union
+
+from repro.accounting.budget import BudgetExceededError
+from repro.api.specs import SpecValidationError, spec_from_dict
+from repro.net.auth import (
+    ADMIN,
+    AccessController,
+    AuthenticationError,
+    AuthorizationError,
+    BackpressureError,
+    RateLimitedError,
+)
+from repro.net.wire import encode_result
+from repro.service.broker import (
+    Broker,
+    JobFailedError,
+    JobNotFoundError,
+    ServiceError,
+)
+from repro.tenancy.ledger import LedgerError
+from repro.tenancy.scheduler import DEFAULT_PRIORITY, DEFAULT_TENANT
+
+__all__ = ["DEFAULT_MAX_PENDING", "BrokerHTTPServer", "serve_broker"]
+
+#: Default backpressure cap on the root's pending queue depth.
+DEFAULT_MAX_PENDING = 10_000
+
+#: Largest accepted request body (a spec with an explicit per-trial noise
+#: matrix is big; an unbounded read is a memory DoS).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_JOB_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9][A-Za-z0-9._-]*)$")
+_JOB_RESULT_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9][A-Za-z0-9._-]*)/result$")
+_JOB_CANCEL_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9][A-Za-z0-9._-]*)/cancel$")
+_TENANT_BUDGET_PATH = re.compile(
+    r"^/v1/tenants/([A-Za-z0-9][A-Za-z0-9._-]*)/budget$"
+)
+
+
+class _RequestError(ServiceError):
+    """A handler-level refusal with an explicit status (e.g. 405, 413)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _status_of(exc: BaseException) -> int:
+    """The HTTP status a domain error maps to (500 for anything unknown)."""
+    if isinstance(exc, _RequestError):
+        return exc.status
+    if isinstance(exc, AuthenticationError):
+        return 401
+    if isinstance(exc, AuthorizationError):
+        return 403
+    if isinstance(exc, RateLimitedError):  # BackpressureError included
+        return 429
+    if isinstance(exc, BudgetExceededError):
+        return 402
+    if isinstance(exc, JobNotFoundError):
+        return 404
+    if isinstance(exc, (JobFailedError, ServiceError)):
+        return 409
+    if isinstance(exc, LedgerError):
+        return 503
+    # SpecValidationError and UnsupportedEngineError are ValueErrors; the
+    # broker's argument validation raises ValueError/TypeError/KeyError.
+    if isinstance(exc, (ValueError, TypeError, KeyError)):
+        return 400
+    return 500
+
+
+class BrokerHTTPServer(ThreadingHTTPServer):
+    """The daemon: one :class:`Broker` served over HTTP (see module doc)."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address,
+        broker: Union[Broker, str, os.PathLike],
+        *,
+        controller: Optional[AccessController] = None,
+        max_pending: Optional[int] = DEFAULT_MAX_PENDING,
+        verbose: bool = False,
+    ) -> None:
+        self.broker = broker if isinstance(broker, Broker) else Broker(broker)
+        self.controller = controller if controller is not None else AccessController()
+        self.max_pending = None if max_pending is None else int(max_pending)
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError(f"max_pending must be at least 1, got {max_pending}")
+        self.verbose = bool(verbose)
+        #: Unfinished jobs submitted through this daemon, per tenant --
+        #: the concurrency-cap denominator.  Guarded by the admission lock,
+        #: which also serializes count -> check -> reserve so two racing
+        #: submits cannot both squeeze under the cap.
+        self._active_jobs: Dict[str, Set[str]] = {}
+        self._admission_lock = threading.Lock()
+        super().__init__(address, _BrokerRequestHandler)
+
+    @property
+    def url(self) -> str:
+        """The served base URL (with the ephemeral port resolved)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    # -- concurrency-cap bookkeeping ----------------------------------------
+
+    def _prune_finished(self, tenant: str) -> int:
+        """Drop finished/vanished jobs from the tenant's active set; return
+        the live count.  Status reads happen outside the lock (they hit the
+        filesystem); removal is a subtraction, so a submit that registered
+        a new job meanwhile is never dropped."""
+        with self._admission_lock:
+            job_ids = list(self._active_jobs.get(tenant, ()))
+        finished = set()
+        for job_id in job_ids:
+            try:
+                if self.broker.status(job_id).finished:
+                    finished.add(job_id)
+            except ServiceError:
+                finished.add(job_id)  # manifest gone: nothing to count
+        with self._admission_lock:
+            active = self._active_jobs.get(tenant)
+            if active is None:
+                return 0
+            active.difference_update(finished)
+            return len(active)
+
+    def reserve_submission(self, tenant: str, job_id: Optional[str]) -> str:
+        """Admit one submit (rate + concurrency) and reserve its job id.
+
+        Returns the job id (generated here when the client sent none, so
+        the reservation can be released on a failed submit).  Raises
+        :class:`RateLimitedError` when an admission limit refuses it.
+        """
+        active = self._prune_finished(tenant)
+        job_id = job_id or f"job-{uuid.uuid4().hex[:12]}"
+        with self._admission_lock:
+            registered = self._active_jobs.setdefault(tenant, set())
+            self.controller.admit(tenant, active_jobs=len(registered))
+            registered.add(job_id)
+        return job_id
+        # `active` from the prune is advisory (freshness); the authoritative
+        # count under the lock is the registered set itself.
+
+    def release_submission(self, tenant: str, job_id: str) -> None:
+        """Return a reserved slot after a failed submit."""
+        with self._admission_lock:
+            self._active_jobs.get(tenant, set()).discard(job_id)
+
+
+class _BrokerRequestHandler(BaseHTTPRequestHandler):
+    """Thin controllers: parse, auth, delegate to the broker, serialize."""
+
+    server_version = "repro-broker/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 -- stdlib signature
+        if self.server.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send(self, status: int, body: bytes, content_type: str, headers=()) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict, headers=()) -> None:
+        self._send(
+            status,
+            json.dumps(payload, sort_keys=True).encode("utf-8"),
+            "application/json",
+            headers,
+        )
+
+    def _send_domain_error(self, exc: BaseException) -> None:
+        """Map a domain error to its status; **never** leak a traceback.
+
+        Unknown exception types are bugs: their message may embed paths or
+        internal state, so the body is a generic marker and the real error
+        goes to the server log only.
+        """
+        status = _status_of(exc)
+        if status == 500:
+            self.log_error("internal error handling %s: %r", self.path, exc)
+            self._send_json(500, {"error": "internal server error"})
+            return
+        headers = []
+        retry_after = getattr(exc, "retry_after", None)
+        if status == 429:
+            # Retry-After is mandatory on backpressure refusals; a refusal
+            # without a known horizon (concurrency cap) suggests one beat.
+            headers.append(("Retry-After", f"{max(retry_after or 1.0, 0.001):g}"))
+        payload = {"error": str(exc)}
+        state = getattr(exc, "job_state", None)
+        if state is not None:
+            payload["state"] = state
+        self._send_json(status, payload, headers)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise _RequestError(
+                413, f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, ValueError):
+            raise _RequestError(400, "request body is not valid JSON") from None
+        if not isinstance(payload, dict):
+            raise _RequestError(400, "request body must be a JSON object")
+        return payload
+
+    def _principal(self) -> str:
+        return self.server.controller.authenticate(
+            self.headers.get("Authorization")
+        )
+
+    def _authorized_manifest(self, job_id: str, principal: str) -> dict:
+        """The job's manifest, after checking the caller may touch it."""
+        manifest = self.server.broker.manifest(job_id)  # 404 when unknown
+        self.server.controller.authorize(
+            principal, manifest.get("tenant", DEFAULT_TENANT)
+        )
+        return manifest
+
+    @staticmethod
+    def _status_payload(status) -> dict:
+        return {
+            "job_id": status.job_id,
+            "state": status.state,
+            "total_tasks": status.total_tasks,
+            "done_tasks": status.done_tasks,
+            "failed_tasks": {
+                str(index): error for index, error in status.failed_tasks.items()
+            },
+        }
+
+    # -- routing ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 -- stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 -- stdlib naming
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802 -- stdlib naming
+        self._dispatch("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802 -- stdlib naming
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            self._route(method)
+        # repro-lint: disable=no-blanket-except -- the HTTP boundary: every
+        # error becomes a mapped status; a traceback must never reach a peer
+        except Exception as exc:  # noqa: BLE001
+            try:
+                self._send_domain_error(exc)
+            except OSError:
+                pass  # peer hung up mid-response; nothing left to tell it
+
+    def _route(self, method: str) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/v1/jobs":
+            if method != "POST":
+                raise _RequestError(405, "use POST /v1/jobs to submit")
+            return self._handle_submit()
+        match = _JOB_RESULT_PATH.match(path)
+        if match:
+            if method != "GET":
+                raise _RequestError(405, "use GET to fetch a result")
+            return self._handle_result(match.group(1))
+        match = _JOB_CANCEL_PATH.match(path)
+        if match:
+            if method != "POST":
+                raise _RequestError(405, "use POST to cancel a job")
+            return self._handle_cancel(match.group(1))
+        match = _JOB_PATH.match(path)
+        if match:
+            if method != "GET":
+                raise _RequestError(405, "use GET to read a job's status")
+            return self._handle_status(match.group(1))
+        if path == "/v1/metrics":
+            if method != "GET":
+                raise _RequestError(405, "use GET to read metrics")
+            return self._handle_metrics()
+        match = _TENANT_BUDGET_PATH.match(path)
+        if match:
+            if method == "GET":
+                return self._handle_budget_get(match.group(1))
+            if method == "POST":
+                return self._handle_budget_post(match.group(1))
+            raise _RequestError(405, "use GET or POST on a tenant budget")
+        raise _RequestError(404, f"no such resource: {path}")
+
+    # -- handlers -----------------------------------------------------------
+
+    def _handle_submit(self) -> None:
+        server: BrokerHTTPServer = self.server
+        body = self._read_json()
+        tenant = str(body.get("tenant") or DEFAULT_TENANT)
+        principal = self._principal()
+        server.controller.authorize(principal, tenant)
+        # Backpressure before any per-tenant gate: a full queue refuses
+        # everyone, whoever asks.
+        if server.max_pending is not None:
+            pending = server.broker.queue.counts()["pending"]
+            if pending >= server.max_pending:
+                raise BackpressureError(
+                    f"queue depth {pending} is at the server's cap "
+                    f"({server.max_pending}); retry once workers drain it",
+                    retry_after=1.0,
+                )
+        spec_payload = body.get("spec")
+        if not isinstance(spec_payload, dict):
+            raise SpecValidationError(
+                "submission body must carry a 'spec' object "
+                "(MechanismSpec.to_dict())"
+            )
+        spec = spec_from_dict(dict(spec_payload))
+        job_id = server.reserve_submission(tenant, body.get("job_id"))
+        try:
+            server.broker.submit(
+                spec,
+                engine=str(body.get("engine") or "batch"),
+                trials=body.get("trials", 1),
+                seed=body.get("seed", 0),
+                chunk_trials=body.get("chunk_trials"),
+                options=body.get("options"),
+                job_id=job_id,
+                tenant=tenant,
+                priority=body.get("priority", DEFAULT_PRIORITY),
+            )
+        except BaseException:
+            server.release_submission(tenant, job_id)
+            raise
+        status = server.broker.status(job_id)
+        self._send_json(201, self._status_payload(status))
+
+    def _handle_status(self, job_id: str) -> None:
+        principal = self._principal()
+        manifest = self._authorized_manifest(job_id, principal)
+        status = self.server.broker._status_from_manifest(job_id, manifest)
+        self._send_json(200, self._status_payload(status))
+
+    def _handle_result(self, job_id: str) -> None:
+        principal = self._principal()
+        manifest = self._authorized_manifest(job_id, principal)
+        broker = self.server.broker
+        try:
+            result = broker.result(job_id)
+        except (JobFailedError, ServiceError) as exc:
+            # Annotate with the job state so the client can tell a
+            # keep-polling 409 (running) from a terminal one (failed/
+            # cancelled) without parsing prose.
+            status = broker._status_from_manifest(job_id, manifest)
+            exc.job_state = status.state
+            raise
+        self._send(200, encode_result(result), "application/octet-stream")
+
+    def _handle_cancel(self, job_id: str) -> None:
+        principal = self._principal()
+        self._authorized_manifest(job_id, principal)
+        status = self.server.broker.cancel(job_id)
+        self._send_json(200, self._status_payload(status))
+
+    def _handle_metrics(self) -> None:
+        self._principal()  # any authenticated caller (or open mode)
+        # Deferred import: tenancy imports service modules lazily for the
+        # same reason; keep the daemon importable without the metrics pull.
+        from repro.tenancy.metrics import collect_metrics
+
+        self._send_json(200, collect_metrics(self.server.broker.root))
+
+    def _budget_payload(self, tenant: str) -> dict:
+        ledger = self.server.broker.ledger
+        total = ledger.total(tenant)
+        return {
+            "tenant": tenant,
+            "total": total,
+            "spent": ledger.spent(tenant),
+            "charged": ledger.charged(tenant),
+            "remaining": ledger.remaining(tenant) if total is not None else None,
+        }
+
+    def _handle_budget_get(self, tenant: str) -> None:
+        principal = self._principal()
+        self.server.controller.authorize(principal, tenant)
+        self._send_json(200, self._budget_payload(tenant))
+
+    def _handle_budget_post(self, tenant: str) -> None:
+        principal = self._principal()
+        # Granting yourself budget would defeat the ledger: on a configured
+        # controller only the admin token may write budgets.
+        if not self.server.controller.open and principal != ADMIN:
+            raise AuthorizationError(
+                "budget writes require the operator (admin) token"
+            )
+        body = self._read_json()
+        unknown = set(body) - {"grant", "refund"}
+        if unknown:
+            raise _RequestError(
+                400, f"unknown budget field(s) {sorted(unknown)}"
+            )
+        ledger = self.server.broker.ledger
+        if body.get("grant") is not None:
+            ledger.grant(tenant, float(body["grant"]))
+        if body.get("refund") is not None:
+            ledger.refund(tenant, float(body["refund"]))
+        self._send_json(200, self._budget_payload(tenant))
+
+
+def serve_broker(
+    root: Union[Broker, str, os.PathLike],
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    controller: Optional[AccessController] = None,
+    auth_file: Union[None, str, os.PathLike] = None,
+    max_pending: Optional[int] = DEFAULT_MAX_PENDING,
+    verbose: bool = False,
+) -> BrokerHTTPServer:
+    """Build (but do not start) the daemon for one service root.
+
+    ``port=0`` binds an ephemeral port (read it back from ``server.url``).
+    Call ``server.serve_forever()`` to run, ``server.shutdown()`` to stop;
+    the CLI verb ``serve-broker`` is exactly that loop.
+    """
+    if controller is None:
+        controller = (
+            AccessController.from_file(auth_file)
+            if auth_file is not None
+            else AccessController()
+        )
+    elif auth_file is not None:
+        raise ValueError("pass either controller= or auth_file=, not both")
+    return BrokerHTTPServer(
+        (host, int(port)),
+        root,
+        controller=controller,
+        max_pending=max_pending,
+        verbose=verbose,
+    )

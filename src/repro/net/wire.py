@@ -1,0 +1,105 @@
+"""Byte-exact :class:`Result` framing for the HTTP transport.
+
+The network boundary must not weaken the service determinism contract: a
+result fetched over HTTP has to be **bit-identical** to the one an
+in-process ``run(spec, shards=N)`` produces.  Arrays therefore cross the
+wire in numpy's lossless ``.npz`` container -- exactly the encoding the
+shared :class:`~repro.dispatch.cache.DiskResultCache` already trusts for
+the same property -- and the scalar metadata rides alongside as canonical
+JSON.
+
+Frame layout (one self-delimiting byte string, e.g. an HTTP response body)::
+
+    MAGIC (6 bytes)  |  meta length (4 bytes, big endian)  |  meta JSON  |  npz
+
+``MAGIC`` pins the format version: a future incompatible change bumps the
+trailing digit and old/new peers fail loudly instead of misparsing.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+
+import numpy as np
+
+from repro.api.result import Result
+
+# The single source of truth for which Result fields are arrays lives next
+# to the disk serializer (same private-import idiom as the broker's
+# _check_options): wire and cache encodings must never drift apart.
+from repro.dispatch.cache import _ARRAY_FIELDS
+
+__all__ = ["MAGIC", "WireError", "decode_result", "encode_result"]
+
+MAGIC = b"RPRES1"
+
+_HEADER = struct.Struct(">I")
+
+
+class WireError(ValueError):
+    """Raised when a byte string is not a valid result frame."""
+
+
+def encode_result(result: Result) -> bytes:
+    """Serialize ``result`` into one self-delimiting byte frame."""
+    if not isinstance(result, Result):
+        raise TypeError(
+            f"can only encode Result objects, got {type(result).__name__}"
+        )
+    arrays = {
+        name: getattr(result, name)
+        for name in _ARRAY_FIELDS
+        if getattr(result, name) is not None
+    }
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    payload = buffer.getvalue()
+    meta = {
+        "mechanism": result.mechanism,
+        "engine": result.engine,
+        "trials": result.trials,
+        "epsilon": result.epsilon,
+        "monotonic": result.monotonic,
+        "extra": dict(result.extra),
+        "arrays": sorted(arrays),
+    }
+    meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
+    return MAGIC + _HEADER.pack(len(meta_bytes)) + meta_bytes + payload
+
+
+def decode_result(data: bytes) -> Result:
+    """Reconstruct the :class:`Result` a frame carries, bit-identically."""
+    if not data.startswith(MAGIC):
+        raise WireError(
+            "not a result frame (bad magic; peer version mismatch or a "
+            "non-result body)"
+        )
+    offset = len(MAGIC)
+    if len(data) < offset + _HEADER.size:
+        raise WireError("truncated result frame (no metadata header)")
+    (meta_len,) = _HEADER.unpack_from(data, offset)
+    offset += _HEADER.size
+    if len(data) < offset + meta_len:
+        raise WireError("truncated result frame (metadata cut short)")
+    try:
+        meta = json.loads(data[offset : offset + meta_len].decode("utf-8"))
+        with np.load(
+            io.BytesIO(data[offset + meta_len :]), allow_pickle=False
+        ) as payload:
+            arrays = {name: payload[name] for name in meta["arrays"]}
+        return Result(
+            mechanism=meta["mechanism"],
+            engine=meta["engine"],
+            trials=int(meta["trials"]),
+            epsilon=float(meta["epsilon"]),
+            monotonic=bool(meta["monotonic"]),
+            extra=dict(meta["extra"]),
+            **{name: None for name in _ARRAY_FIELDS if name not in arrays},
+            **arrays,
+        )
+    except WireError:
+        raise
+    except Exception as exc:  # noqa: BLE001 -- any malformed frame is one error
+        raise WireError(f"malformed result frame: {exc}") from exc

@@ -125,12 +125,16 @@ class JobClient:
             status = self.broker.status(job_id)
             if status.finished:
                 return self.broker.result(job_id)  # raises on failed/cancelled
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise TimeoutError(
                     f"job {job_id!r} not finished after {timeout}s "
                     f"({status.done_tasks}/{status.total_tasks} tasks done)"
                 )
-            time.sleep(poll_interval)
+            # Clamp to the remaining time: a full-interval sleep past the
+            # deadline would make result(timeout=T) block until
+            # T + poll_interval before reporting the timeout.
+            time.sleep(min(poll_interval, deadline - now))
 
     def cancel(self, job_id: str) -> JobStatus:
         return self.broker.cancel(job_id)

@@ -38,6 +38,7 @@ the same entry.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import threading
@@ -418,13 +419,21 @@ class FileJobQueue(JobQueue):
         #: Pending-file scheduling metadata (priority, tenant, seq) by
         #: filename, so repeated claims read each pending file's JSON once,
         #: not once per claim.  Safe to cache across requeues -- a retry
-        #: keeps its task's tenant/priority/seq -- and local staleness after
+        #: keeps its task's tenant/priority/seq/tie -- and local staleness after
         #: another process resubmits the same task id only perturbs claim
         #: *order*, never correctness.  Claims prune it to the live pending
         #: set; a put-only process (a broker that never claims) is bounded
         #: by the size cap below instead.
         self._claim_meta: Dict[str, tuple] = {}
         self._claim_meta_max = 8192
+        #: Per-process put counter, carried in each entry as its ``tie``:
+        #: ``seq`` is a wall-clock stamp, so two puts inside one clock tick
+        #: (coarse filesystem clocks, fast submitters) would otherwise get
+        #: equal seq and FIFO-within-tenant order would fall back to task-id
+        #: order -- nondeterministic with respect to enqueue order.  The
+        #: counter restores put order within a process; across processes the
+        #: coarse wall clock remains the (best-effort) order, as before.
+        self._put_tie = itertools.count(1)
         self.directory = Path(directory)
         self._pending = self.directory / "pending"
         self._claimed = self.directory / "claimed"
@@ -461,6 +470,7 @@ class FileJobQueue(JobQueue):
         priority = int(priority)
         tenant = str(tenant)
         seq = time.time()
+        tie = next(self._put_tie)  # GIL-atomic; no lock needed
         # Publish via hardlink from a temp file: os.link refuses an existing
         # target, so two concurrent puts of the same task id cannot both
         # succeed (an exists() pre-check would be check-then-act).  The
@@ -475,6 +485,7 @@ class FileJobQueue(JobQueue):
                 "priority": priority,
                 "tenant": tenant,
                 "seq": seq,
+                "tie": tie,
             },
             sort_keys=True,
         )
@@ -507,12 +518,12 @@ class FileJobQueue(JobQueue):
             # next claim.
             if len(self._claim_meta) >= self._claim_meta_max:
                 self._claim_meta = {}
-            self._claim_meta[target.name] = (priority, tenant, seq)
+            self._claim_meta[target.name] = (priority, tenant, seq, float(tie))
         return task_id
 
     def _refresh_claim_meta(self, names) -> Dict[str, tuple]:
-        """(priority, tenant, seq) per pending filename, reading only files
-        not seen before; entries for vanished files are dropped."""
+        """(priority, tenant, seq, tie) per pending filename, reading only
+        files not seen before; entries for vanished files are dropped."""
         cache = self._claim_meta
         live: Dict[str, tuple] = {}
         for name in names:
@@ -524,6 +535,7 @@ class FileJobQueue(JobQueue):
                         int(entry.get("priority", DEFAULT_PRIORITY)),
                         str(entry.get("tenant", DEFAULT_TENANT)),
                         float(entry.get("seq", 0.0)),
+                        float(entry.get("tie", 0.0)),
                     )
                 except (OSError, TypeError, ValueError):
                     continue  # claimed mid-scan (or torn): try next round

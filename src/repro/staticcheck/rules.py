@@ -86,6 +86,7 @@ LAYER_RANKS: Dict[str, int] = {
     "dispatch": 4,
     "tenancy": 5,
     "service": 6,
+    "net": 7,
     "chaos": 7,
     "evaluation": 8,
     "staticcheck": 8,

@@ -49,6 +49,9 @@ class ScheduledEntry(NamedTuple):
     priority: int  #: bigger = claimed earlier, strictly
     tenant: str  #: fair-share bucket inside the priority class
     seq: float  #: enqueue order within the tenant (FIFO key)
+    tie: float = 0.0  #: breaks equal-``seq`` ties (the file queue stamps a
+    #: per-process monotonic counter: two puts inside one clock tick keep
+    #: their put order instead of falling back to entry-id order)
 
 
 class TenantScheduler:
@@ -130,10 +133,12 @@ class TenantScheduler:
         queues: Dict[str, List[ScheduledEntry]],
         credits: Dict[Tuple[int, str], float],
     ):
-        # FIFO within each tenant; ties on identical enqueue stamps break by
-        # entry id, which for broker tasks sorts by (job, chunk index).
+        # FIFO within each tenant; equal enqueue stamps (coarse filesystem
+        # clocks, fast submitters) break by the queue's per-process put
+        # counter, and only then by entry id (which for broker tasks sorts
+        # by job and chunk index).
         for tasks in queues.values():
-            tasks.sort(key=lambda entry: (entry.seq, entry.entry_id))
+            tasks.sort(key=lambda entry: (entry.seq, entry.tie, entry.entry_id))
         # Weighted fair interleave: each tenant's k-th task "finishes" at
         # virtual time (credits + k) / weight; emit in finish-time order.
         # This is the deficit round-robin schedule for unit-cost tasks --
@@ -149,10 +154,11 @@ class TenantScheduler:
             finish = credit + 1.0 / self._weight(tenant)
             head = tasks[0]
             heapq.heappush(
-                heap, (finish, head.seq, head.entry_id, next(counter), tenant, 0)
+                heap,
+                (finish, head.seq, head.tie, head.entry_id, next(counter), tenant, 0),
             )
         while heap:
-            finish, _, _, _, tenant, index = heapq.heappop(heap)
+            finish, _, _, _, _, tenant, index = heapq.heappop(heap)
             tasks = queues[tenant]
             yield tasks[index]
             index += 1
@@ -163,6 +169,7 @@ class TenantScheduler:
                     (
                         finish + 1.0 / self._weight(tenant),
                         head.seq,
+                        head.tie,
                         head.entry_id,
                         next(counter),
                         tenant,

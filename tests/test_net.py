@@ -1,0 +1,470 @@
+"""End-to-end tests of the HTTP transport (:mod:`repro.net`).
+
+The load-bearing property is that the network boundary does not weaken the
+service determinism contract: a result fetched over HTTP from a client
+that has **no filesystem access to the service root** is bit-identical to
+``run(spec, trials=B, rng=seed, shards=N, chunk_trials=C)``.  Around it,
+the boundary's own guarantees: bearer-token auth (401/403), per-tenant
+rate limits and concurrency caps (429 with Retry-After), queue-depth
+backpressure (429), ledger admission refusals (402), and a strict
+domain-error -> status mapping that never leaks a traceback body.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.accounting.budget import BudgetExceededError
+from repro.api import NoisyTopKSpec, run, submit
+from repro.net import (
+    AccessController,
+    AuthenticationError,
+    AuthorizationError,
+    BackpressureError,
+    HttpJobClient,
+    JobNotReadyError,
+    RateLimitedError,
+    TenantPolicy,
+    WireError,
+    decode_result,
+    encode_result,
+    serve_broker,
+)
+from repro.service import JobFailedError, JobNotFoundError, run_workers
+from test_service import CHUNK, TRIALS, assert_results_identical
+
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return np.sort(np.random.default_rng(3).uniform(0.0, 500.0, 40))[::-1].copy()
+
+
+@pytest.fixture
+def top_k_spec(queries):
+    return NoisyTopKSpec(queries=queries, epsilon=1.0, k=3, monotonic=True)
+
+
+@pytest.fixture
+def server_factory(tmp_path):
+    """Start broker daemons on ephemeral ports; all shut down at teardown."""
+    started = []
+
+    def factory(subdir="svc", **kwargs):
+        server = serve_broker(tmp_path / subdir, port=0, **kwargs)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        started.append((server, thread))
+        return server
+
+    yield factory
+    for server, thread in started:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+# ---------------------------------------------------------------------------
+# wire format
+# ---------------------------------------------------------------------------
+
+
+class TestWireFormat:
+    def test_round_trip_is_bit_identical(self, top_k_spec):
+        result = run(top_k_spec, trials=7, rng=SEED)
+        assert_results_identical(decode_result(encode_result(result)), result)
+
+    def test_round_trip_preserves_none_arrays(self, top_k_spec):
+        result = run(top_k_spec, trials=3, rng=SEED)
+        decoded = decode_result(encode_result(result))
+        # Top-k results carry no SVT-family arrays; None must survive.
+        assert result.above is None and decoded.above is None
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(WireError, match="magic"):
+            decode_result(b"NOTAFRAME" + b"\x00" * 32)
+
+    def test_truncated_frame_rejected(self, top_k_spec):
+        frame = encode_result(run(top_k_spec, trials=2, rng=SEED))
+        with pytest.raises(WireError):
+            decode_result(frame[: len(frame) // 2])
+
+    def test_non_result_rejected(self):
+        with pytest.raises(TypeError):
+            encode_result({"not": "a result"})
+
+
+# ---------------------------------------------------------------------------
+# the determinism contract across the wire
+# ---------------------------------------------------------------------------
+
+
+class TestHttpParity:
+    def test_http_result_bit_identical_to_in_process_run(
+        self, server_factory, top_k_spec
+    ):
+        server = server_factory()
+        client = HttpJobClient(server.url)
+        handle = client.submit(
+            top_k_spec, trials=TRIALS, seed=SEED, chunk_trials=CHUNK
+        )
+        run_workers(server.broker, 3)
+        over_http = handle.result(timeout=30.0)
+        in_process = run(
+            top_k_spec, trials=TRIALS, rng=SEED, shards=3, chunk_trials=CHUNK
+        )
+        assert_results_identical(over_http, in_process)
+
+    def test_handle_status_and_cancel_round_trip(self, server_factory, top_k_spec):
+        server = server_factory()
+        client = HttpJobClient(server.url)
+        handle = client.submit(top_k_spec, trials=TRIALS, seed=SEED, chunk_trials=CHUNK)
+        status = handle.status()
+        assert status.state == "submitted"
+        assert status.total_tasks == 5  # 24 trials in chunks of 5
+        assert handle.cancel().state == "cancelled"
+        with pytest.raises(JobFailedError):
+            handle.result(timeout=None)
+
+    def test_facade_submit_over_url(self, server_factory, top_k_spec):
+        server = server_factory()
+        handle = submit(
+            top_k_spec, url=server.url, trials=TRIALS, rng=SEED, chunk_trials=CHUNK
+        )
+        run_workers(server.broker, 2)
+        assert_results_identical(
+            handle.result(timeout=30.0),
+            run(top_k_spec, trials=TRIALS, rng=SEED, shards=2, chunk_trials=CHUNK),
+        )
+
+    def test_facade_requires_exactly_one_transport(self, tmp_path, top_k_spec):
+        with pytest.raises(ValueError, match="exactly one"):
+            submit(top_k_spec, root=tmp_path, url="http://localhost:1", trials=1)
+        with pytest.raises(ValueError, match="exactly one"):
+            submit(top_k_spec, trials=1)
+        with pytest.raises(ValueError, match="token"):
+            submit(top_k_spec, root=tmp_path, token="secret", trials=1)
+
+
+# ---------------------------------------------------------------------------
+# auth: tokens, scopes, admin
+# ---------------------------------------------------------------------------
+
+
+def _controller(**kwargs):
+    policies = {
+        "alice": TenantPolicy(token="alice-secret", **kwargs),
+        "bob": TenantPolicy(token="bob-secret"),
+    }
+    return AccessController(policies, admin_token="op-secret")
+
+
+class TestAuth:
+    def test_missing_token_is_401(self, server_factory, top_k_spec):
+        server = server_factory(controller=_controller())
+        with pytest.raises(AuthenticationError):
+            HttpJobClient(server.url).submit(top_k_spec, trials=1, tenant="alice")
+
+    def test_wrong_token_is_401(self, server_factory):
+        server = server_factory(controller=_controller())
+        with pytest.raises(AuthenticationError):
+            HttpJobClient(server.url, token="nope").metrics()
+
+    def test_cross_tenant_submit_is_403(self, server_factory, top_k_spec):
+        server = server_factory(controller=_controller())
+        client = HttpJobClient(server.url, token="alice-secret")
+        with pytest.raises(AuthorizationError):
+            client.submit(top_k_spec, trials=1, tenant="bob")
+
+    def test_cross_tenant_job_read_is_403(self, server_factory, top_k_spec):
+        server = server_factory(controller=_controller())
+        alice = HttpJobClient(server.url, token="alice-secret")
+        handle = alice.submit(top_k_spec, trials=1, tenant="alice")
+        bob = HttpJobClient(server.url, token="bob-secret")
+        with pytest.raises(AuthorizationError):
+            bob.status(handle.job_id)
+        with pytest.raises(AuthorizationError):
+            bob.cancel(handle.job_id)
+
+    def test_admin_token_acts_for_any_tenant(self, server_factory, top_k_spec):
+        server = server_factory(controller=_controller())
+        admin = HttpJobClient(server.url, token="op-secret")
+        handle = admin.submit(top_k_spec, trials=1, tenant="alice")
+        assert admin.status(handle.job_id).state == "submitted"
+
+    def test_budget_writes_are_admin_only(self, server_factory):
+        server = server_factory(controller=_controller())
+        alice = HttpJobClient(server.url, token="alice-secret")
+        with pytest.raises(AuthorizationError):
+            alice.tenant_budget("alice", grant=10.0)
+        admin = HttpJobClient(server.url, token="op-secret")
+        assert admin.tenant_budget("alice", grant=10.0)["total"] == 10.0
+        # Reads of the tenant's own budget stay open to the tenant.
+        assert alice.tenant_budget("alice")["total"] == 10.0
+
+    def test_open_server_needs_no_token(self, server_factory):
+        server = server_factory()
+        assert "queue" in HttpJobClient(server.url).metrics()
+
+    def test_auth_file_round_trip(self, tmp_path):
+        path = tmp_path / "auth.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "admin_token": "op",
+                    "tenants": {
+                        "a": {"token": "t", "rate_per_second": 2, "burst": 3,
+                              "max_concurrent": 4}
+                    },
+                }
+            )
+        )
+        controller = AccessController.from_file(path)
+        assert not controller.open
+        assert controller.authenticate("Bearer t") == "a"
+        assert controller.policies["a"].max_concurrent == 4
+
+    def test_auth_file_rejects_unknown_keys(self, tmp_path):
+        path = tmp_path / "auth.json"
+        path.write_text(
+            json.dumps({"tenants": {"a": {"max_concurrency": 4}}})
+        )
+        with pytest.raises(ValueError, match="max_concurrency"):
+            AccessController.from_file(path)
+
+
+# ---------------------------------------------------------------------------
+# admission limits: rate, concurrency, backpressure, budget
+# ---------------------------------------------------------------------------
+
+
+class TestAdmissionLimits:
+    def test_rate_limit_refuses_with_retry_after(self, server_factory, top_k_spec):
+        server = server_factory(
+            controller=_controller(rate_per_second=0.25, burst=1)
+        )
+        client = HttpJobClient(server.url, token="alice-secret")
+        client.submit(top_k_spec, trials=1, seed=1, tenant="alice")
+        with pytest.raises(RateLimitedError) as excinfo:
+            client.submit(top_k_spec, trials=1, seed=2, tenant="alice")
+        assert excinfo.value.retry_after is not None
+        assert 0 < excinfo.value.retry_after <= 4.0
+
+    def test_rate_refusal_does_not_consume_tokens(self):
+        controller = AccessController({"t": TenantPolicy(rate_per_second=5.0, burst=2)})
+        controller.admit("t", active_jobs=0)
+        controller.admit("t", active_jobs=0)
+        for _ in range(3):  # refusals must not push the bucket further down
+            with pytest.raises(RateLimitedError) as excinfo:
+                controller.admit("t", active_jobs=0)
+        assert excinfo.value.retry_after <= 1.0 / 5.0 + 0.05
+
+    def test_concurrency_cap_counts_unfinished_jobs(
+        self, server_factory, top_k_spec
+    ):
+        server = server_factory(controller=_controller(max_concurrent=1))
+        client = HttpJobClient(server.url, token="alice-secret")
+        handle = client.submit(top_k_spec, trials=1, seed=1, tenant="alice")
+        with pytest.raises(RateLimitedError, match="unfinished"):
+            client.submit(top_k_spec, trials=1, seed=2, tenant="alice")
+        handle.cancel()  # a finished job frees its slot
+        client.submit(top_k_spec, trials=1, seed=3, tenant="alice")
+
+    def test_concurrency_refusal_does_not_burn_rate(self, server_factory, top_k_spec):
+        server = server_factory(
+            controller=_controller(rate_per_second=100.0, burst=2, max_concurrent=1)
+        )
+        client = HttpJobClient(server.url, token="alice-secret")
+        handle = client.submit(top_k_spec, trials=1, seed=1, tenant="alice")
+        for seed in (2, 3, 4):  # refused by the cap, not the bucket
+            with pytest.raises(RateLimitedError, match="unfinished"):
+                client.submit(top_k_spec, trials=1, seed=seed, tenant="alice")
+        handle.cancel()
+        client.submit(top_k_spec, trials=1, seed=5, tenant="alice")
+
+    def test_backpressure_refuses_at_queue_cap(self, server_factory, top_k_spec):
+        server = server_factory(max_pending=3)
+        client = HttpJobClient(server.url)
+        # 24 trials in chunks of 5 -> 5 pending tasks >= the cap of 3.
+        client.submit(top_k_spec, trials=TRIALS, seed=1, chunk_trials=CHUNK)
+        with pytest.raises(BackpressureError) as excinfo:
+            client.submit(top_k_spec, trials=1, seed=2)
+        assert excinfo.value.retry_after is not None
+        run_workers(server.broker, 2)  # drained queue admits again
+        client.submit(top_k_spec, trials=1, seed=2)
+
+    def test_over_budget_submit_is_402(self, server_factory, top_k_spec):
+        server = server_factory()
+        client = HttpJobClient(server.url)
+        client.tenant_budget("alice", grant=1.5)  # worst case of 2 trials = 2.0
+        with pytest.raises(BudgetExceededError):
+            client.submit(top_k_spec, trials=2, tenant="alice")
+        client.submit(top_k_spec, trials=1, tenant="alice")  # 1.0 fits
+
+
+# ---------------------------------------------------------------------------
+# error mapping: statuses, bodies, no leaked tracebacks
+# ---------------------------------------------------------------------------
+
+
+def _raw(server, method, path, body=None, headers=None):
+    """One raw HTTP exchange, returning (status, headers, body bytes)."""
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        f"{server.url}{path}", data=data, method=method, headers=headers or {}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, response.headers, response.read()
+    except urllib.error.HTTPError as error:
+        with error:
+            return error.code, error.headers, error.read()
+
+
+class TestErrorMapping:
+    def test_unknown_job_is_404(self, server_factory):
+        server = server_factory()
+        status, _, body = _raw(server, "GET", "/v1/jobs/no-such-job")
+        assert status == 404
+        with pytest.raises(JobNotFoundError):
+            HttpJobClient(server.url).status("no-such-job")
+
+    def test_unknown_route_is_404(self, server_factory):
+        server = server_factory()
+        assert _raw(server, "GET", "/v1/nope")[0] == 404
+
+    def test_wrong_method_is_405(self, server_factory):
+        server = server_factory()
+        assert _raw(server, "GET", "/v1/jobs")[0] == 405
+        assert _raw(server, "DELETE", "/v1/metrics")[0] == 405
+
+    def test_malformed_json_body_is_400(self, server_factory):
+        server = server_factory()
+        request = urllib.request.Request(
+            f"{server.url}/v1/jobs", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_malformed_spec_is_400(self, server_factory):
+        server = server_factory()
+        status, _, body = _raw(
+            server, "POST", "/v1/jobs",
+            body={"spec": {"kind": "noisy-top-k", "epsilon": -1}},
+        )
+        assert status == 400
+        assert b"Traceback" not in body
+
+    def test_missing_spec_is_400(self, server_factory):
+        server = server_factory()
+        status, _, body = _raw(server, "POST", "/v1/jobs", body={"trials": 3})
+        assert status == 400
+        assert b"spec" in body
+
+    def test_result_of_running_job_is_retryable_409(
+        self, server_factory, top_k_spec
+    ):
+        server = server_factory()
+        client = HttpJobClient(server.url)
+        handle = client.submit(top_k_spec, trials=1, seed=1)
+        with pytest.raises(JobNotReadyError):
+            client.result(handle.job_id, timeout=None)
+
+    def test_result_of_cancelled_job_is_terminal_409(
+        self, server_factory, top_k_spec
+    ):
+        server = server_factory()
+        client = HttpJobClient(server.url)
+        handle = client.submit(top_k_spec, trials=1, seed=1)
+        handle.cancel()
+        with pytest.raises(JobFailedError):
+            client.result(handle.job_id, timeout=None)
+
+    def test_rate_limit_sets_retry_after_header(self, server_factory, top_k_spec):
+        server = server_factory(
+            controller=AccessController(
+                {"default": TenantPolicy(token="t", rate_per_second=0.5, burst=1)}
+            )
+        )
+        auth = {"Authorization": "Bearer t"}
+        payload = {"spec": top_k_spec.to_dict(), "trials": 1}
+        assert _raw(server, "POST", "/v1/jobs", payload, auth)[0] == 201
+        status, headers, _ = _raw(server, "POST", "/v1/jobs", payload, auth)
+        assert status == 429
+        assert float(headers["Retry-After"]) > 0
+
+    def test_internal_errors_never_leak_a_traceback(
+        self, server_factory, top_k_spec, capfd
+    ):
+        server = server_factory()
+        client = HttpJobClient(server.url)
+        handle = client.submit(top_k_spec, trials=1, seed=1)
+
+        def explode(job_id):
+            raise RuntimeError("secret internal path /etc/passwd")
+
+        server.broker.manifest = explode
+        status, _, body = _raw(server, "GET", f"/v1/jobs/{handle.job_id}")
+        assert status == 500
+        assert json.loads(body) == {"error": "internal server error"}
+        assert b"secret internal path" not in body
+        assert b"Traceback" not in body
+        capfd.readouterr()  # swallow the handler's stderr log line
+
+    def test_every_error_body_is_json_not_traceback(self, server_factory):
+        server = server_factory(controller=_controller())
+        probes = [
+            ("GET", "/v1/jobs/ghost", None, {}),                      # 401 first
+            ("POST", "/v1/jobs", {"trials": 1}, {}),                  # 401
+            ("GET", "/v1/jobs/ghost", None,
+             {"Authorization": "Bearer op-secret"}),                  # 404
+            ("POST", "/v1/jobs", {"spec": {"kind": "bogus"}},
+             {"Authorization": "Bearer op-secret"}),                  # 400
+            ("POST", "/v1/tenants/a/budget", {"grant": "NaN-ish"},
+             {"Authorization": "Bearer op-secret"}),                  # 400
+            ("PUT", "/v1/metrics", None, {}),                         # 405
+        ]
+        for method, path, body, headers in probes:
+            status, _, raw = _raw(server, method, path, body, headers)
+            assert 400 <= status < 500, (method, path)
+            payload = json.loads(raw)  # every refusal is a JSON body
+            assert "error" in payload, (method, path)
+            assert "Traceback" not in payload["error"], (method, path)
+
+
+# ---------------------------------------------------------------------------
+# operator surface over HTTP
+# ---------------------------------------------------------------------------
+
+
+class TestOperatorSurface:
+    def test_metrics_snapshot_matches_root(self, server_factory, top_k_spec):
+        server = server_factory()
+        client = HttpJobClient(server.url)
+        client.submit(top_k_spec, trials=TRIALS, seed=SEED, chunk_trials=CHUNK)
+        run_workers(server.broker, 2)
+        snapshot = client.metrics()
+        assert snapshot["jobs"] == {"done": 1}
+        assert snapshot["queue"]["pending"] == 0
+
+    def test_budget_view_none_means_unbounded(self, server_factory):
+        server = server_factory()
+        view = HttpJobClient(server.url).tenant_budget("ghost-tenant")
+        assert view["total"] is None and view["remaining"] is None
+        assert view["spent"] == 0.0
+
+    def test_grant_and_refund_round_trip(self, server_factory, top_k_spec):
+        server = server_factory()
+        client = HttpJobClient(server.url)
+        assert client.tenant_budget("a", grant=30.0)["total"] == 30.0
+        client.submit(top_k_spec, trials=2, tenant="a")  # worst-case charge 2.0
+        view = client.tenant_budget("a")
+        assert view["spent"] == pytest.approx(2.0)
+        assert view["remaining"] == pytest.approx(28.0)
+        assert client.tenant_budget("a", refund=1.0)["spent"] == pytest.approx(1.0)

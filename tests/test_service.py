@@ -248,6 +248,50 @@ class TestQueueSemantics:
                 queue.put("x", task_id=bad)
 
 
+class TestSameTimestampFifo:
+    def test_equal_seq_puts_claim_in_put_order(self, tmp_path, monkeypatch):
+        """Regression: ``seq`` is a wall-clock stamp, so two puts inside
+        one clock tick got equal seq and FIFO-within-tenant fell back to
+        task-id order -- which need not match put order.  The per-process
+        put counter (the entry's ``tie``) must break the tie."""
+        monkeypatch.setattr(time, "time", lambda: 1234.5)  # one frozen tick
+        queue = FileJobQueue(tmp_path / "queue")
+        # Reverse-lexicographic ids: id order disagrees with put order.
+        for task_id in ("zulu", "mike", "alpha"):
+            queue.put(f"payload-{task_id}", task_id=task_id)
+        claimed = [queue.claim(worker_id="w0").task_id for _ in range(3)]
+        assert claimed == ["zulu", "mike", "alpha"]
+
+    def test_tie_survives_the_pending_file_round_trip(self, tmp_path, monkeypatch):
+        """A claimer that never saw the puts (fresh process, cold claim-meta
+        cache) must recover the same order from the entries on disk."""
+        monkeypatch.setattr(time, "time", lambda: 1234.5)
+        producer = FileJobQueue(tmp_path / "queue")
+        for task_id in ("zulu", "mike", "alpha"):
+            producer.put(f"payload-{task_id}", task_id=task_id)
+        consumer = FileJobQueue(tmp_path / "queue")  # cold cache: reads JSON
+        claimed = [consumer.claim(worker_id="w1").task_id for _ in range(3)]
+        assert claimed == ["zulu", "mike", "alpha"]
+
+    def test_entries_without_tie_still_claim(self, tmp_path, monkeypatch):
+        """Entries written before the tie field existed (no ``tie`` key)
+        default to 0.0 and sort ahead of same-seq new entries."""
+        monkeypatch.setattr(time, "time", lambda: 1234.5)
+        queue = FileJobQueue(tmp_path / "queue")
+        queue.put("payload-new", task_id="aaa-new")
+        old = queue.directory / "pending" / "zzz-old.json"
+        old.write_text(
+            json.dumps(
+                {"payload": "payload-old", "attempts": 0, "priority": 0,
+                 "tenant": "default", "seq": 1234.5}
+            ),
+            encoding="utf-8",
+        )
+        fresh = FileJobQueue(tmp_path / "queue")
+        claimed = [fresh.claim(worker_id="w2").task_id for _ in range(2)]
+        assert claimed == ["zzz-old", "aaa-new"]
+
+
 class TestFileQueueClaimRaces:
     def test_claim_survives_losing_the_entry_to_a_racing_reaper(
         self, tmp_path, monkeypatch
@@ -883,6 +927,34 @@ class TestClientPolling:
         handle = client.submit(top_k_spec, trials=TRIALS, seed=7)
         with pytest.raises(TimeoutError, match="not finished"):
             handle.result(timeout=0.05, poll_interval=0.01)
+
+    def test_result_timeout_sleep_is_clamped_to_the_deadline(
+        self, tmp_path, top_k_spec, monkeypatch
+    ):
+        """Regression: the polling loop used to sleep a full poll_interval
+        even when the deadline was nearer, so result(timeout=T) blocked
+        until T + poll_interval before raising.  Under a fake clock the
+        total slept time must equal the timeout exactly."""
+        client = JobClient(tmp_path / "svc")
+        handle = client.submit(top_k_spec, trials=TRIALS, seed=7)
+
+        clock = {"now": 1000.0}
+        slept = []
+
+        def fake_monotonic():
+            return clock["now"]
+
+        def fake_sleep(seconds):
+            slept.append(seconds)
+            clock["now"] += seconds
+
+        monkeypatch.setattr(time, "monotonic", fake_monotonic)
+        monkeypatch.setattr(time, "sleep", fake_sleep)
+        with pytest.raises(TimeoutError, match="not finished"):
+            handle.result(timeout=1.0, poll_interval=0.4)
+        # 0.4 + 0.4 + clamped 0.2 -- never a beat past the deadline.
+        assert slept == [pytest.approx(0.4), pytest.approx(0.4), pytest.approx(0.2)]
+        assert clock["now"] == pytest.approx(1001.0)
 
     def test_result_polls_until_a_background_worker_finishes(
         self, tmp_path, top_k_spec
