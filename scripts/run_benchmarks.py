@@ -13,10 +13,11 @@ Usage::
     python scripts/run_benchmarks.py --smoke    # tiny sizes, throwaway output
 
 ``--smoke`` shrinks every workload (``REPRO_BENCH_SMOKE=1``, see
-``benchmarks/bench_mechanism_throughput.py``) and writes the JSON to a
-scratch file instead of ``BENCH_throughput.json`` -- it exercises the
-benchmark code paths in seconds (CI runs it on every PR) without
-overwriting the recorded performance numbers.
+``benchmarks/bench_mechanism_throughput.py``) and writes the JSON under
+the gitignored ``.bench-scratch/`` directory instead of
+``BENCH_throughput.json`` -- it exercises the benchmark code paths in
+seconds (CI runs it on every PR) without overwriting the recorded
+performance numbers or leaving throwaway output in the repo root.
 """
 
 from __future__ import annotations
@@ -30,7 +31,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_throughput.json"
-SMOKE_OUTPUT = REPO_ROOT / "BENCH_throughput.smoke.json"
+SMOKE_OUTPUT = REPO_ROOT / ".bench-scratch" / "BENCH_throughput.smoke.json"
 
 #: (label, batch benchmark, loop benchmark, trials per batch round, trials
 #: per loop round) -- must stay in sync with bench_mechanism_throughput.py.
@@ -82,6 +83,7 @@ def run_pytest(args: argparse.Namespace) -> int:
         else ["benchmarks/bench_mechanism_throughput.py"]
     )
     output = SMOKE_OUTPUT if args.smoke else OUTPUT
+    output.parent.mkdir(parents=True, exist_ok=True)
     command = [
         sys.executable, "-m", "pytest", *target,
         "-q", "--benchmark-only", f"--benchmark-json={output}",

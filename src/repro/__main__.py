@@ -1,10 +1,11 @@
 """``python -m repro`` -- alias for the experiment/service CLI.
 
 Every verb of :mod:`repro.evaluation.cli` (``run-spec``, ``submit``,
-``serve-worker``, ``metrics``, ``chaos``, ``lint``, ...) is reachable from
-the shorter module path::
+``serve-worker``, ``metrics``, ``chaos``, ``lint``, ``verify-privacy``,
+...) is reachable from the shorter module path::
 
     python -m repro lint
+    python -m repro verify-privacy
     python -m repro run-spec spec.json --trials 100000 --seed 0
 """
 

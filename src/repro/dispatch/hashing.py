@@ -91,6 +91,7 @@ def spec_hash(spec: MechanismSpec) -> str:
     cached = spec.__dict__.get("_content_hash")
     if cached is None:
         cached = _digest(spec.to_dict())
+        # repro-lint: disable=spec-immutability -- write-once memo of a value derived from the frozen fields; it can never disagree with them
         object.__setattr__(spec, "_content_hash", cached)
     return cached
 

@@ -81,6 +81,15 @@ findings; ``--list-rules`` prints the rule catalogue::
     python -m repro.evaluation.cli lint
     python -m repro.evaluation.cli lint --list-rules
     python -m repro.evaluation.cli lint path/to/package --update-baseline
+
+``verify-privacy`` runs the static randomness-alignment verifier
+(:mod:`repro.privcheck`) over the whole mechanism catalogue and prints the
+per-mechanism verdict table: exit 0 when every verdict matches the
+documented broken/correct status, exit 2 on any disagreement (a correct
+mechanism losing its alignment proof, or a deliberately broken variant
+passing)::
+
+    python -m repro.evaluation.cli verify-privacy
 """
 
 from __future__ import annotations
@@ -484,6 +493,31 @@ def _run_lint(args, stream) -> None:
         )
 
 
+def _run_verify_privacy(args, stream) -> None:
+    """Static privacy verdicts for the catalogue; exit 2 on disagreement."""
+    from repro.privcheck import (
+        PrivacyVerdictError,
+        render_verdict_table,
+        verify_catalogue,
+    )
+
+    results = verify_catalogue()
+    stream.write(render_verdict_table(results) + "\n")
+    disagreements = [result for result in results if not result.agrees]
+    verified = sum(1 for result in results if result.verdict.verified)
+    stream.write(
+        f"verify-privacy: {len(results)} mechanism(s), {verified} verified, "
+        f"{len(results) - verified} refuted, "
+        f"{len(disagreements)} disagreement(s) with the documented status\n"
+    )
+    if disagreements:
+        labels = ", ".join(result.entry.label for result in disagreements)
+        raise PrivacyVerdictError(
+            f"static verdict disagrees with the documented status for: "
+            f"{labels}"
+        )
+
+
 _COMMANDS: Dict[str, Callable] = {
     "datasets": _run_datasets,
     "figure1": _run_figure1,
@@ -502,6 +536,7 @@ _COMMANDS: Dict[str, Callable] = {
     "tenant-budget": _run_tenant_budget,
     "chaos": _run_chaos,
     "lint": _run_lint,
+    "verify-privacy": _run_verify_privacy,
 }
 
 #: Commands that operate on a job-queue service root (--root).
@@ -552,7 +587,9 @@ def build_parser() -> argparse.ArgumentParser:
         "drive the job-queue service layer; 'serve-broker' exposes a root "
         "over HTTP (clients then use --url); 'tenant-budget'/'metrics' "
         "drive the multi-tenant control plane; 'chaos' runs a seeded "
-        "fault-injection soak against a fresh root)",
+        "fault-injection soak against a fresh root; 'verify-privacy' "
+        "prints the static alignment verdict table for the mechanism "
+        "catalogue)",
     )
     parser.add_argument(
         "spec",
@@ -856,6 +893,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.staticcheck import StaticCheckError
 
         recoverable += (StaticCheckError,)
+    if args.command == "verify-privacy":
+        # A verdict disagreeing with the documented status (after the
+        # table is printed) is a one-line exit-2 outcome, not a traceback.
+        from repro.privcheck import PrivacyVerdictError
+
+        recoverable += (PrivacyVerdictError,)
     try:
         if args.output is None:
             runner(args, sys.stdout)

@@ -1,0 +1,73 @@
+"""Static randomness-alignment privacy verifier.
+
+The dynamic side of the repo checks privacy by *running* mechanisms
+(:mod:`repro.alignment` samples executions; the ``EmpiricalDPVerifier``
+tests the DP definition statistically).  This package is the static
+counterpart: it compiles each mechanism *spec* into a small IR derived
+from the paper's pseudocode (never from :mod:`repro.mechanisms` -- the
+verifier must not trust the implementation it judges), enumerates branch
+outcomes symbolically under the adjacency model, synthesizes a
+CheckDP-style linear alignment template with integer coefficients, and
+discharges the output-preservation and cost obligations with interval
+arithmetic in pure Python.
+
+Entry points: :func:`verify_spec` for one spec,
+:func:`verify_catalogue` / ``python -m repro verify-privacy`` for the
+whole nine-mechanism catalogue (verdict table, exit 2 on any
+disagreement with the documented broken/correct status).
+"""
+
+from repro.privcheck.alignment_synth import Synthesis, synthesize
+from repro.privcheck.ir import (
+    AboveBranch,
+    CompileError,
+    NoiseSite,
+    Program,
+    ReleaseKind,
+    SelectKProgram,
+    StreamProgram,
+    compile_spec,
+)
+from repro.privcheck.symbolic import (
+    Interval,
+    Path,
+    enumerate_paths,
+    perturbation_cases,
+    walk_path,
+)
+from repro.privcheck.verdicts import (
+    CatalogueEntry,
+    CatalogueResult,
+    PrivacyVerdictError,
+    Verdict,
+    default_catalogue,
+    render_verdict_table,
+    verify_catalogue,
+    verify_spec,
+)
+
+__all__ = [
+    "AboveBranch",
+    "CatalogueEntry",
+    "CatalogueResult",
+    "CompileError",
+    "Interval",
+    "NoiseSite",
+    "Path",
+    "PrivacyVerdictError",
+    "Program",
+    "ReleaseKind",
+    "SelectKProgram",
+    "StreamProgram",
+    "Synthesis",
+    "Verdict",
+    "compile_spec",
+    "default_catalogue",
+    "enumerate_paths",
+    "perturbation_cases",
+    "render_verdict_table",
+    "synthesize",
+    "verify_catalogue",
+    "verify_spec",
+    "walk_path",
+]

@@ -1,0 +1,373 @@
+"""Alignment-template synthesis and obligation discharge (pure Python).
+
+CheckDP-style, minus the SMT solver: because the paper's mechanisms all
+admit *linear* alignments with small integer coefficients, the search
+space is a handful of candidate threshold shifts ``t`` (integer
+multiples of the sensitivity, plus the tightest feasible bounds), and
+every proof obligation reduces to interval arithmetic:
+
+* feasibility -- the constraints collected by
+  :func:`repro.privcheck.symbolic.walk_path` carve an interval for ``t``;
+  an empty interval on some path refutes the mechanism and the path is
+  the counterexample hint;
+* cost -- each answer's worst-case shift magnitude over the perturbation
+  interval, divided by its Laplace scale, summed along the worst
+  enumerated path (Lemma 1's cost function); the claim is verified iff
+  some candidate keeps the worst path at or under the claimed epsilon.
+
+Budget-guarded programs (Adaptive-SVT) get the paper's own accounting
+argument instead of a worst-path sum: if every unit's alignment cost is
+covered by the budget the implementation charges for it, the runtime
+guard -- which never lets total charges exceed epsilon -- bounds the
+total alignment cost by epsilon on every feasible path.
+
+Top-k programs discharge Lemma's alignment for Algorithm 1 directly:
+losers keep their noise, each winner ``i`` shifts by ``M - Delta_i``
+where ``M`` is the change of the losing maximum.  Winner order, gaps and
+the winner/loser separation are preserved structurally (every winner's
+noisy value moves by exactly ``M``); the only quantitative obligation is
+the cost ``k * max|M - Delta| / scale``, with ``M`` ranging over the
+same perturbation interval as ``Delta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.privcheck.ir import (
+    AboveBranch,
+    Program,
+    ReleaseKind,
+    SelectKProgram,
+    StreamProgram,
+)
+from repro.privcheck.symbolic import (
+    AnswerObligation,
+    Interval,
+    PathConstraints,
+    enumerate_paths,
+    perturbation_cases,
+    walk_path,
+)
+
+__all__ = ["Synthesis", "synthesize"]
+
+#: Slack for float comparisons in obligation discharge.
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Synthesis:
+    """Outcome of the template search for one program."""
+
+    program: str
+    epsilon: float
+    ok: bool
+    #: Certified worst-case alignment cost when ``ok``; the smallest
+    #: achievable cost when refuted on cost grounds; ``None`` when no
+    #: template exists at all.
+    cost: Optional[float]
+    #: Human-readable description of the synthesized alignment.
+    template: str = ""
+    #: Violating branch trace (counterexample hint) when refuted.
+    failure_trace: Tuple[str, ...] = ()
+    reason: str = ""
+
+
+def _answer_cost(
+    obligation: AnswerObligation, t: float, delta: Interval
+) -> float:
+    """Worst-case |shift| / scale for one answer under threshold shift t."""
+    if obligation.scale is None:
+        # No noise at the site; feasibility was settled by the walker.
+        return 0.0
+    if obligation.release is ReleaseKind.GAP:
+        worst = max(abs(t - delta.lo), abs(t - delta.hi))
+    elif obligation.release is ReleaseKind.VALUE:
+        worst = delta.magnitude
+    else:  # INDICATOR: minimal constant shift a with a >= t - lo(Delta)
+        worst = max(0.0, t - delta.lo)
+    return worst / obligation.scale
+
+
+def _branch_obligation(branch: AboveBranch) -> AnswerObligation:
+    return AnswerObligation(
+        branch=branch.name,
+        release=branch.release,
+        scale=branch.site.scale,
+        charge=branch.charge,
+    )
+
+
+def _path_cost(
+    program: StreamProgram, constraints: PathConstraints, t: float, delta: Interval
+) -> float:
+    cost = 0.0
+    site = program.threshold_site
+    if site is not None and site.scale is not None:
+        cost += constraints.threshold_draws * abs(t) / site.scale
+    for obligation in constraints.answers:
+        cost += _answer_cost(obligation, t, delta)
+    return cost
+
+
+def _candidate_shifts(
+    program: StreamProgram,
+    lower: Optional[float],
+    upper: Optional[float],
+) -> List[float]:
+    """Integer-coefficient template candidates intersected with [lower, upper]."""
+    site = program.threshold_site
+    if site is None or site.scale is None:
+        grid = {0.0}
+    else:
+        s = program.sensitivity
+        grid = {float(a) * s for a in range(-3, 4)}
+        if lower is not None:
+            grid.add(lower)
+        if upper is not None:
+            grid.add(upper)
+    return sorted(
+        t
+        for t in grid
+        if (lower is None or t >= lower - _TOL)
+        and (upper is None or t <= upper + _TOL)
+    )
+
+
+def _describe_template(program: StreamProgram, t: float, delta: Interval) -> str:
+    parts = []
+    site = program.threshold_site
+    if site is not None and site.scale is not None:
+        parts.append(f"threshold draws += {t:g}")
+    for branch in program.branches:
+        if branch.site.scale is None:
+            continue
+        if branch.release is ReleaseKind.GAP:
+            parts.append(f"{branch.name} answers += {t:g} - Delta")
+        elif branch.release is ReleaseKind.VALUE:
+            parts.append(f"{branch.name} answers += -Delta")
+        else:
+            shift = max(0.0, t - delta.lo)
+            parts.append(f"{branch.name} answers += {shift:g}")
+    parts.append("failed-guard draws unshifted")
+    return "; ".join(parts)
+
+
+def _synthesize_stream(program: StreamProgram) -> Synthesis:
+    epsilon = program.epsilon
+    tol = _TOL * max(1.0, epsilon)
+    worst_cost = 0.0
+    worst_trace: Tuple[str, ...] = ()
+    template = ""
+
+    for delta in perturbation_cases(program.sensitivity, program.monotonic):
+        constraints = [
+            walk_path(program, path, delta) for path in enumerate_paths(program)
+        ]
+        for item in constraints:
+            if item.infeasible is not None:
+                return Synthesis(
+                    program=program.name,
+                    epsilon=epsilon,
+                    ok=False,
+                    cost=None,
+                    failure_trace=item.path.steps,
+                    reason=item.infeasible,
+                )
+        # The same template must serve every path; for paths to compose,
+        # t satisfies the union of all bounds.
+        for item in constraints:
+            lo = max(item.t_lower) if item.t_lower else None
+            hi = min(item.t_upper) if item.t_upper else None
+            if lo is not None and hi is not None and lo > hi + tol:
+                return Synthesis(
+                    program=program.name,
+                    epsilon=epsilon,
+                    ok=False,
+                    cost=None,
+                    failure_trace=item.path.steps,
+                    reason=(
+                        "no alignment template: preserving this trace for "
+                        f"Delta in {delta.describe()} needs a threshold shift "
+                        f"t >= {lo:g} and t <= {hi:g} simultaneously"
+                    ),
+                )
+        all_lower = [b for item in constraints for b in item.t_lower]
+        all_upper = [b for item in constraints for b in item.t_upper]
+        lower = max(all_lower) if all_lower else None
+        upper = min(all_upper) if all_upper else None
+        candidates = _candidate_shifts(program, lower, upper)
+        if not candidates:
+            return Synthesis(
+                program=program.name,
+                epsilon=epsilon,
+                ok=False,
+                cost=None,
+                failure_trace=(("below",) if all_lower else ()),
+                reason=(
+                    "no integer-coefficient threshold shift satisfies "
+                    f"{lower} <= t <= {upper} for Delta in {delta.describe()}"
+                ),
+            )
+
+        if program.budget_guarded:
+            result = _discharge_guarded(program, candidates, delta, tol)
+        else:
+            result = _discharge_worst_path(
+                program, constraints, candidates, delta
+            )
+        case_cost, case_trace, best_t, failure = result
+        if failure is not None:
+            return Synthesis(
+                program=program.name,
+                epsilon=epsilon,
+                ok=False,
+                cost=None if case_cost == float("inf") else case_cost,
+                failure_trace=case_trace,
+                reason=failure,
+            )
+        if case_cost > worst_cost:
+            worst_cost = case_cost
+            worst_trace = case_trace
+        if not template:
+            template = _describe_template(program, best_t, delta)
+
+    if worst_cost <= epsilon + tol:
+        return Synthesis(
+            program=program.name,
+            epsilon=epsilon,
+            ok=True,
+            cost=min(worst_cost, epsilon),
+            template=template,
+        )
+    return Synthesis(
+        program=program.name,
+        epsilon=epsilon,
+        ok=False,
+        cost=worst_cost,
+        failure_trace=worst_trace,
+        reason=(
+            "alignment exists but its smallest certifiable cost "
+            f"{worst_cost:g} exceeds the claimed epsilon {epsilon:g}"
+        ),
+    )
+
+
+def _discharge_worst_path(
+    program: StreamProgram,
+    constraints: Sequence[PathConstraints],
+    candidates: Sequence[float],
+    delta: Interval,
+) -> Tuple[float, Tuple[str, ...], float, Optional[str]]:
+    """Pick the candidate minimizing the worst enumerated-path cost.
+
+    Sound because unguarded programs stop after ``k`` answers, and the
+    enumerated set includes the ``k``-answer path of every branch.
+    """
+    best_cost = float("inf")
+    best_trace: Tuple[str, ...] = ()
+    best_t = candidates[0]
+    for t in candidates:
+        cost = 0.0
+        trace: Tuple[str, ...] = ()
+        for item in constraints:
+            path_cost = _path_cost(program, item, t, delta)
+            if path_cost > cost:
+                cost = path_cost
+                trace = item.path.steps
+        if cost < best_cost:
+            best_cost, best_trace, best_t = cost, trace, t
+    return best_cost, best_trace, best_t, None
+
+
+def _discharge_guarded(
+    program: StreamProgram,
+    candidates: Sequence[float],
+    delta: Interval,
+    tol: float,
+) -> Tuple[float, Tuple[str, ...], float, Optional[str]]:
+    """Charge-accounting discharge for budget-guarded programs.
+
+    If the threshold draw's alignment cost is covered by the threshold
+    charge and each branch's worst answer cost is covered by that
+    branch's per-answer charge, then total cost <= total charge <=
+    epsilon on every path the runtime guard admits.
+    """
+    site = program.threshold_site
+    for t in candidates:
+        if site is not None and site.scale is not None:
+            if abs(t) / site.scale > program.threshold_charge + tol:
+                continue
+        covered = True
+        for branch in program.branches:
+            cost = _answer_cost(_branch_obligation(branch), t, delta)
+            if cost > branch.charge + tol:
+                covered = False
+                break
+        if covered:
+            return program.epsilon, (), t, None
+    names = tuple(branch.name for branch in program.branches)
+    return (
+        float("inf"),
+        names,
+        candidates[0],
+        (
+            "some answer's alignment cost exceeds the budget charged for "
+            "it, so the runtime budget guard cannot bound the total cost "
+            f"for Delta in {delta.describe()}"
+        ),
+    )
+
+
+def _synthesize_select_k(program: SelectKProgram) -> Synthesis:
+    epsilon = program.epsilon
+    tol = _TOL * max(1.0, epsilon)
+    scale = program.noise_site.scale
+    if scale is None or scale <= 0.0:
+        return Synthesis(
+            program=program.name,
+            epsilon=epsilon,
+            ok=False,
+            cost=None,
+            failure_trace=("select-top-k",),
+            reason="top-k selection draws no query noise",
+        )
+    worst_cost = 0.0
+    for delta in perturbation_cases(program.sensitivity, program.monotonic):
+        # Winner i shifts by M - Delta_i with M (the losing maximum's
+        # change) in the same interval as Delta: worst |M - Delta| is the
+        # interval width (2s general, s monotonic).
+        worst_cost = max(worst_cost, program.k * delta.width / scale)
+    template = (
+        "losers unshifted; winner i += M - Delta_i where M = change of the "
+        "losing maximum (|M| <= s); all winners move by exactly M, so "
+        "order, gaps and the winner/loser margin are preserved"
+    )
+    if worst_cost <= epsilon + tol:
+        return Synthesis(
+            program=program.name,
+            epsilon=epsilon,
+            ok=True,
+            cost=min(worst_cost, epsilon),
+            template=template,
+        )
+    return Synthesis(
+        program=program.name,
+        epsilon=epsilon,
+        ok=False,
+        cost=worst_cost,
+        failure_trace=("select-top-k",),
+        reason=(
+            f"top-k alignment costs {worst_cost:g} which exceeds the "
+            f"claimed epsilon {epsilon:g}"
+        ),
+    )
+
+
+def synthesize(program: Program) -> Synthesis:
+    """Prove or refute ``program``'s epsilon claim by template search."""
+    if isinstance(program, SelectKProgram):
+        return _synthesize_select_k(program)
+    return _synthesize_stream(program)

@@ -1,0 +1,274 @@
+"""Path enumeration over the privcheck IR under the adjacency model.
+
+The analysis follows the paper's proof structure (Lemma 1): fix an
+adjacent pair ``D, D'``, let ``Delta_i = q_i(D') - q_i(D)`` be the
+symbolic perturbation of query ``i``, and ask for a shift of the noise
+vector that makes the run on ``D'`` produce the *same* output as the run
+on ``D``.  This module contributes the combinatorial half:
+
+* the perturbation domains implied by the adjacency model
+  (:func:`perturbation_cases` -- ``[-s, s]`` in general, both one-sided
+  intervals for monotonic workloads);
+* a finite set of canonical branch-outcome paths whose obligations cover
+  every execution (:func:`enumerate_paths`);
+* a walker (:func:`walk_path`) that replays one path step by step and
+  emits the linear constraints the alignment template must satisfy, plus
+  the per-answer cost obligations.
+
+Why a *finite* path set suffices: the alignment template gives every
+below-threshold (or failed-guard) query the same treatment -- its noise
+is never shifted, because the number of such queries is unbounded and
+any nonzero per-query shift would have unbounded cost -- so all below
+steps of a path contribute one idempotent constraint.  Above-threshold
+answers are capped at ``k`` (or by the runtime budget guard) and each
+contributes a per-branch constraint plus a per-branch cost that does not
+depend on its position.  Hence the paths below -- one all-below path,
+one short path per branch (preceded by a below step so threshold
+constraints from both sides meet), one worst-cost path of ``k`` answers
+per branch, and one mixed path -- generate the full obligation set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.privcheck.ir import AboveBranch, ReleaseKind, StreamProgram
+
+__all__ = [
+    "BELOW",
+    "AnswerObligation",
+    "Interval",
+    "Path",
+    "PathConstraints",
+    "enumerate_paths",
+    "perturbation_cases",
+    "walk_path",
+]
+
+#: Canonical step name for the "every guard failed" outcome.
+BELOW = "below"
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]``; the domain of one ``Delta_i``."""
+
+    lo: float
+    hi: float
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def magnitude(self) -> float:
+        """``max |Delta|`` over the interval."""
+        return max(abs(self.lo), abs(self.hi))
+
+    def describe(self) -> str:
+        return f"[{self.lo:g}, {self.hi:g}]"
+
+
+def perturbation_cases(sensitivity: float, monotonic: bool) -> Tuple[Interval, ...]:
+    """Domains of the per-query perturbation ``Delta_i`` under adjacency.
+
+    General sensitivity-``s`` workloads allow ``Delta_i`` anywhere in
+    ``[-s, s]``.  Monotonic workloads (paper Sec. 2.2) move every query
+    the same direction, so the template is synthesized separately for
+    ``Delta in [-s, 0]`` and ``Delta in [0, s]`` and must succeed on both.
+    """
+    s = float(sensitivity)
+    if monotonic:
+        return (Interval(0.0, s), Interval(-s, 0.0))
+    return (Interval(-s, s),)
+
+
+@dataclass(frozen=True)
+class Path:
+    """One canonical branch-outcome trace, e.g. ``('below', 'above')``."""
+
+    steps: Tuple[str, ...]
+
+    def describe(self) -> str:
+        return " -> ".join(self.steps)
+
+
+def enumerate_paths(program: StreamProgram) -> Tuple[Path, ...]:
+    """The canonical path set covering all executions (module docstring)."""
+    names = [branch.name for branch in program.branches]
+    paths: List[Path] = [Path((BELOW,))]
+    for name in names:
+        paths.append(Path((BELOW, name)))
+        if program.k > 1:
+            paths.append(Path((BELOW,) + (name,) * program.k))
+    if len(names) > 1:
+        paths.append(Path((BELOW,) + tuple(names)))
+    seen = set()
+    unique: List[Path] = []
+    for path in paths:
+        if path.steps not in seen:
+            seen.add(path.steps)
+            unique.append(path)
+    return tuple(unique)
+
+
+@dataclass(frozen=True)
+class AnswerObligation:
+    """Cost obligation for one above-threshold answer on a path."""
+
+    branch: str
+    release: ReleaseKind
+    #: Laplace scale of the branch's query noise site (``None`` = no noise).
+    scale: Optional[float]
+    #: Budget the implementation charges for this answer.
+    charge: float
+
+
+@dataclass(frozen=True)
+class PathConstraints:
+    """Everything the template must discharge for one path.
+
+    The template's only coupled variable is ``t``, the shift applied to
+    every threshold-noise draw; per-branch indicator shifts are local and
+    eliminated during synthesis.  Constraints are collected as bounds:
+    each entry of ``t_lower`` demands ``t >= value``; each entry of
+    ``t_upper`` demands ``t <= value``.  ``infeasible`` is set when a
+    step's obligation cannot be met by *any* template (e.g. a below
+    outcome with no threshold noise to shift).
+    """
+
+    path: Path
+    t_lower: Tuple[float, ...]
+    t_upper: Tuple[float, ...]
+    answers: Tuple[AnswerObligation, ...]
+    threshold_draws: int
+    infeasible: Optional[str] = None
+
+
+def _fail_constraint(
+    program: StreamProgram,
+    delta: Interval,
+    t_lower: List[float],
+) -> Optional[str]:
+    """Constraint for "this guard failed and must keep failing on D'".
+
+    The failed guard's noise draw is unshifted (unbounded count), so
+    ``q' + eta < T + rho' + m`` for all ``Delta`` requires
+    ``Delta <= t``, i.e. ``t >= hi(Delta)``.  Without threshold noise
+    ``t`` is pinned to zero and the obligation may be impossible.
+    """
+    has_threshold = (
+        program.threshold_site is not None
+        and program.threshold_site.scale is not None
+    )
+    if has_threshold:
+        t_lower.append(delta.hi)
+        return None
+    if delta.hi > 0.0:
+        return (
+            "a below-threshold outcome cannot be preserved: the threshold "
+            "carries no noise, so no shift can absorb a query moving up by "
+            f"{delta.hi:g}"
+        )
+    return None
+
+
+def _answer_constraints(
+    branch: AboveBranch,
+    delta: Interval,
+    t_lower: List[float],
+    t_upper: List[float],
+) -> Optional[str]:
+    """Constraints for "this guard fired and its release must be preserved".
+
+    * ``GAP`` release: the published gap ``q + eta - (T + rho)`` pins the
+      query shift to exactly ``t - Delta``; the guard is then preserved
+      automatically (the gap is unchanged).  Requires a noise site.
+    * ``VALUE`` release (SVT3): the published ``q + eta`` pins the shift
+      to ``-Delta``; preserving the guard at the boundary then forces
+      ``t <= 0``.
+    * ``INDICATOR``: the shift is a free per-branch constant ``a`` with
+      ``a >= t - lo(Delta)``; with no noise site ``a`` is pinned to zero
+      and the guard demands ``t <= lo(Delta)``.
+    """
+    has_noise = branch.site.scale is not None
+    if branch.release is ReleaseKind.GAP:
+        if not has_noise:
+            return (
+                f"branch {branch.name!r} releases a gap but draws no query "
+                "noise, so the forced shift t - Delta has nowhere to go"
+            )
+        return None
+    if branch.release is ReleaseKind.VALUE:
+        if not has_noise:
+            return (
+                f"branch {branch.name!r} releases the raw query value and "
+                "draws no noise: the output itself distinguishes D from D'"
+            )
+        t_upper.append(0.0)
+        return None
+    # INDICATOR
+    if not has_noise:
+        t_upper.append(delta.lo)
+    return None
+
+
+def walk_path(
+    program: StreamProgram, path: Path, delta: Interval
+) -> PathConstraints:
+    """Replay ``path`` symbolically and collect the template obligations."""
+    by_name = {branch.name: branch for branch in program.branches}
+    t_lower: List[float] = []
+    t_upper: List[float] = []
+    answers: List[AnswerObligation] = []
+    infeasible: Optional[str] = None
+    has_threshold = (
+        program.threshold_site is not None
+        and program.threshold_site.scale is not None
+    )
+    draws = 1 if has_threshold else 0
+    answered = 0
+
+    for step in path.steps:
+        if step == BELOW:
+            # Every guard failed (and must keep failing on D').
+            problem = _fail_constraint(program, delta, t_lower)
+        else:
+            branch = by_name[step]
+            # Earlier guards in the cascade failed before this one fired.
+            problem = None
+            for earlier in program.branches:
+                if earlier is branch:
+                    break
+                problem = problem or _fail_constraint(program, delta, t_lower)
+            problem = problem or _answer_constraints(
+                branch, delta, t_lower, t_upper
+            )
+            answers.append(
+                AnswerObligation(
+                    branch=branch.name,
+                    release=branch.release,
+                    scale=branch.site.scale,
+                    charge=branch.charge,
+                )
+            )
+            answered += 1
+            if (
+                program.threshold_draws_worst > 1
+                and has_threshold
+                and answered < program.k
+            ):
+                # SVT2-style refresh: a fresh threshold draw per answer.
+                draws += 1
+        if problem is not None and infeasible is None:
+            infeasible = problem
+
+    return PathConstraints(
+        path=path,
+        t_lower=tuple(t_lower),
+        t_upper=tuple(t_upper),
+        answers=tuple(answers),
+        threshold_draws=draws,
+        infeasible=infeasible,
+    )

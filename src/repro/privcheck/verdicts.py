@@ -1,0 +1,214 @@
+"""Per-mechanism privacy verdicts and the ``verify-privacy`` table.
+
+:func:`verify_spec` runs the whole static pipeline for one spec
+(compile to IR, enumerate paths, synthesize an alignment template,
+discharge the obligations) and folds the outcome into a
+:class:`Verdict`.  :func:`verify_catalogue` applies it to the default
+nine-mechanism catalogue -- the three gap mechanisms of the paper plus
+the six Lyu et al. SVT variants -- and compares each verdict against the
+*documented* broken/correct status from
+:mod:`repro.mechanisms.svt_variants` (that import reads two boolean
+class attributes, never mechanism code: the expectation column is the
+catalogue's documentation, the verdict column is derived from the paper
+alone).
+
+``python -m repro verify-privacy`` prints the rendered table and exits 2
+(via :class:`PrivacyVerdictError`) when any verdict disagrees with the
+documented status -- an unexpected refutation means a correct mechanism
+lost its proof, an unexpected pass means a deliberately broken variant
+slipped through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.api.specs import (
+    AdaptiveSvtSpec,
+    MechanismSpec,
+    NoisyTopKSpec,
+    SparseVectorSpec,
+    SvtVariantSpec,
+)
+from repro.privcheck.alignment_synth import synthesize
+from repro.privcheck.ir import compile_spec
+
+__all__ = [
+    "CatalogueEntry",
+    "CatalogueResult",
+    "PrivacyVerdictError",
+    "Verdict",
+    "default_catalogue",
+    "render_verdict_table",
+    "verify_catalogue",
+    "verify_spec",
+]
+
+
+class PrivacyVerdictError(RuntimeError):
+    """Raised when a static verdict contradicts the documented status."""
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Static privacy verdict for one mechanism spec."""
+
+    mechanism: str
+    epsilon: float
+    verified: bool
+    #: Certified worst-case alignment cost (verified), or the smallest
+    #: achievable cost (refuted on cost), or ``None`` (no template).
+    cost: Optional[float]
+    alignment: str = ""
+    reason: str = ""
+    trace: Tuple[str, ...] = ()
+
+    @property
+    def status(self) -> str:
+        return "verified" if self.verified else "REFUTED"
+
+    def describe(self) -> str:
+        if self.verified:
+            return (
+                f"verified {self.epsilon:g}-DP "
+                f"(alignment: {self.alignment}; cost {self.cost:g})"
+            )
+        hint = " -> ".join(self.trace) if self.trace else "n/a"
+        return f"REFUTED (no alignment; trace {hint}: {self.reason})"
+
+
+@dataclass(frozen=True)
+class CatalogueEntry:
+    """One catalogued mechanism plus its documented privacy status."""
+
+    label: str
+    spec: MechanismSpec
+    expected_private: bool
+
+
+@dataclass(frozen=True)
+class CatalogueResult:
+    entry: CatalogueEntry
+    verdict: Verdict
+
+    @property
+    def agrees(self) -> bool:
+        return self.verdict.verified == self.entry.expected_private
+
+
+def verify_spec(spec: MechanismSpec, label: Optional[str] = None) -> Verdict:
+    """Statically prove or refute ``spec``'s epsilon claim."""
+    spec.validate()
+    program = compile_spec(spec)
+    synthesis = synthesize(program)
+    return Verdict(
+        mechanism=label or program.name,
+        epsilon=program.epsilon,
+        verified=synthesis.ok,
+        cost=synthesis.cost,
+        alignment=synthesis.template,
+        reason=synthesis.reason,
+        trace=synthesis.failure_trace,
+    )
+
+
+def default_catalogue() -> Tuple[CatalogueEntry, ...]:
+    """The nine catalogued mechanisms with their documented statuses.
+
+    Query values are placeholders -- the static analysis never reads
+    them, only the structural parameters (k, epsilon, sensitivity,
+    monotonicity, variant).
+    """
+    # Documentation-only import: two class attributes, no mechanism code.
+    from repro.mechanisms.svt_variants import SVT_VARIANT_CATALOGUE
+
+    queries = (12.0, 9.0, 7.0, 5.0)
+    entries: List[CatalogueEntry] = [
+        CatalogueEntry(
+            "noisy-top-k-with-gap",
+            NoisyTopKSpec(queries=queries, epsilon=1.0, k=3, with_gap=True),
+            expected_private=True,
+        ),
+        CatalogueEntry(
+            "sparse-vector-with-gap",
+            SparseVectorSpec(
+                queries=queries, epsilon=1.0, threshold=8.0, k=2, with_gap=True
+            ),
+            expected_private=True,
+        ),
+        CatalogueEntry(
+            "adaptive-svt-with-gap",
+            AdaptiveSvtSpec(queries=queries, epsilon=1.0, threshold=8.0, k=2),
+            expected_private=True,
+        ),
+    ]
+    for variant in sorted(SVT_VARIANT_CATALOGUE):
+        entries.append(
+            CatalogueEntry(
+                f"svt-variant-{variant}",
+                SvtVariantSpec(
+                    variant=variant,
+                    queries=queries,
+                    epsilon=1.0,
+                    threshold=8.0,
+                    k=2,
+                ),
+                expected_private=bool(
+                    SVT_VARIANT_CATALOGUE[variant].actually_private
+                ),
+            )
+        )
+    return tuple(entries)
+
+
+def verify_catalogue(
+    entries: Optional[Iterable[CatalogueEntry]] = None,
+) -> List[CatalogueResult]:
+    """Verdicts for every catalogued mechanism (default: all nine)."""
+    if entries is None:
+        entries = default_catalogue()
+    return [
+        CatalogueResult(
+            entry=entry, verdict=verify_spec(entry.spec, label=entry.label)
+        )
+        for entry in entries
+    ]
+
+
+def render_verdict_table(results: Sequence[CatalogueResult]) -> str:
+    """Fixed-width table of verdicts vs. documented statuses."""
+    rows = [("mechanism", "claimed", "documented", "static verdict")]
+    for result in results:
+        entry, verdict = result.entry, result.verdict
+        rows.append(
+            (
+                entry.label,
+                f"{verdict.epsilon:g}-DP",
+                "correct" if entry.expected_private else "broken",
+                verdict.describe()
+                + ("" if result.agrees else "  ** DISAGREES **"),
+            )
+        )
+    widths = [
+        max(len(row[column]) for row in rows) for column in range(3)
+    ]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(
+                (
+                    row[0].ljust(widths[0]),
+                    row[1].ljust(widths[1]),
+                    row[2].ljust(widths[2]),
+                    row[3],
+                )
+            ).rstrip()
+        )
+        if index == 0:
+            lines.append(
+                "  ".join(
+                    ("-" * widths[0], "-" * widths[1], "-" * widths[2], "----")
+                )
+            )
+    return "\n".join(lines)

@@ -62,6 +62,7 @@ class CountingQuery(Query):
             return float(sum(1 for record in database if predicate(record)))
 
         super().__init__(fn=count, sensitivity=1.0, monotonic=True, name=name)
+        # repro-lint: disable=spec-immutability -- construction-time write on self inside __init__; the instance has not escaped yet
         object.__setattr__(self, "predicate", predicate)
 
 

@@ -19,6 +19,7 @@ The catalogue (see README "Static analysis" for the prose version):
 ``canonical-json``        durable JSON is written with sorted keys
 ``os-exit-confined``      ``os._exit`` only in the chaos layer
 ``layering``              no module-level imports from a higher layer
+``spec-immutability``     ``object.__setattr__`` only inside ``__post_init__``
 ========================  ==================================================
 """
 
@@ -33,8 +34,20 @@ from repro.staticcheck.core import Finding, Rule, SourceFile
 __all__ = ["ALL_RULES", "RULE_NAMES", "iter_rules"]
 
 #: Layers whose results must be a pure function of (spec, engine, trials,
-#: seed, chunk_trials) -- the determinism invariant.
-DETERMINISTIC_SUBPACKAGES = ("core", "mechanisms", "primitives", "engine", "api", "dispatch")
+#: seed, chunk_trials) -- the determinism invariant.  ``alignment`` (the
+#: dynamic alignment checkers) and ``privcheck`` (the static verifier,
+#: which draws nothing at all) carry the same contract: a verdict must
+#: never depend on ambient state.
+DETERMINISTIC_SUBPACKAGES = (
+    "core",
+    "mechanisms",
+    "primitives",
+    "engine",
+    "api",
+    "dispatch",
+    "alignment",
+    "privcheck",
+)
 
 #: Layers that write files under a durable root (queue entries, manifests,
 #: journals, cache entries, datasets) -- the crash-safety invariant.
@@ -90,6 +103,7 @@ LAYER_RANKS: Dict[str, int] = {
     "chaos": 7,
     "evaluation": 8,
     "staticcheck": 8,
+    "privcheck": 8,
 }
 
 _WALLCLOCK_CALLS = {
@@ -158,8 +172,9 @@ class NoWallclockRule(Rule):
     name = "no-wallclock"
     description = (
         "the deterministic layers (core/mechanisms/primitives/engine/api/"
-        "dispatch) never read the clock: a seeded run must be a pure "
-        "function of (spec, engine, trials, seed, chunk_trials)"
+        "dispatch/alignment/privcheck) never read the clock: a seeded run "
+        "must be a pure function of (spec, engine, trials, seed, "
+        "chunk_trials)"
     )
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
@@ -591,6 +606,41 @@ class LayeringRule(Rule):
                     )
 
 
+class SpecImmutabilityRule(Rule):
+    name = "spec-immutability"
+    description = (
+        "`object.__setattr__` (the frozen-dataclass back door) appears "
+        "only inside `__post_init__`: specs are hashed into cache keys "
+        "and run keys (dispatch.spec_hash), so mutating one after "
+        "construction silently desynchronises every content-addressed "
+        "artifact derived from it"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node, stack in _walk_with_function_stack(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr == "__setattr__"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "object"
+            ):
+                continue
+            if "__post_init__" in stack:
+                continue
+            yield self.finding(
+                source,
+                node,
+                "`object.__setattr__` outside `__post_init__` mutates a "
+                "frozen instance after construction",
+                hint="build a new instance (dataclasses.replace) instead of "
+                "mutating; only `__post_init__` may finish initialising a "
+                "frozen object",
+            )
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     NoWallclockRule(),
     NoUnseededRngRule(),
@@ -602,6 +652,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     CanonicalJsonRule(),
     OsExitConfinedRule(),
     LayeringRule(),
+    SpecImmutabilityRule(),
 )
 
 RULE_NAMES: Tuple[str, ...] = tuple(rule.name for rule in ALL_RULES)

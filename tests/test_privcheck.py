@@ -1,0 +1,396 @@
+"""Tests for the static randomness-alignment verifier (:mod:`repro.privcheck`).
+
+Covers the IR compilers (structure only -- the analysis never reads query
+values), the path-enumeration + template-synthesis pipeline on all nine
+catalogued mechanisms, the parametrized agreement suite against the
+documented broken/correct statuses in ``svt_variants.py``, cross-validation
+against the *dynamic* checkers (``AlignmentChecker`` must agree on correct
+mechanisms, ``EmpiricalDPVerifier`` on broken ones), and the
+``verify-privacy`` CLI verb's exit codes (0 all-expected / 2 on any
+disagreement).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.alignment.checker import AlignmentChecker
+from repro.alignment.verifier import EmpiricalDPVerifier
+from repro.api.specs import (
+    AdaptiveSvtSpec,
+    LaplaceSpec,
+    NoisyTopKSpec,
+    SparseVectorSpec,
+    SvtVariantSpec,
+)
+from repro.core.adaptive_svt import AdaptiveSparseVectorWithGap
+from repro.core.noisy_top_k import NoisyTopKWithGap
+from repro.mechanisms.svt_variants import SVT_VARIANT_CATALOGUE
+from repro.privcheck import (
+    CatalogueEntry,
+    CompileError,
+    NoiseSite,
+    PrivacyVerdictError,
+    ReleaseKind,
+    SelectKProgram,
+    StreamProgram,
+    compile_spec,
+    default_catalogue,
+    render_verdict_table,
+    synthesize,
+    verify_catalogue,
+    verify_spec,
+)
+
+QUERIES = (12.0, 9.0, 7.0, 5.0)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# ---------------------------------------------------------------------------
+# IR compilers
+# ---------------------------------------------------------------------------
+
+
+class TestCompilers:
+    def test_top_k_program_shape(self):
+        spec = NoisyTopKSpec(queries=QUERIES, epsilon=1.0, k=3, with_gap=True)
+        program = compile_spec(spec)
+        assert isinstance(program, SelectKProgram)
+        assert program.k == 3
+        # General (non-monotonic) scale: 2k * s / epsilon.
+        assert program.noise_site.scale == pytest.approx(6.0)
+
+    def test_monotonic_halves_top_k_scale(self):
+        general = compile_spec(NoisyTopKSpec(queries=QUERIES, epsilon=1.0, k=2))
+        mono = compile_spec(
+            NoisyTopKSpec(queries=QUERIES, epsilon=1.0, k=2, monotonic=True)
+        )
+        assert mono.noise_site.scale == pytest.approx(
+            general.noise_site.scale / 2.0
+        )
+
+    def test_adaptive_has_two_guarded_branches(self):
+        spec = AdaptiveSvtSpec(queries=QUERIES, epsilon=1.0, threshold=8.0, k=2)
+        program = compile_spec(spec)
+        assert isinstance(program, StreamProgram)
+        assert [b.name for b in program.branches] == ["top", "middle"]
+        assert program.budget_guarded
+        top, middle = program.branches
+        # Top branch: half the middle budget, hence double the scale,
+        # guarded by the sigma margin.
+        assert top.charge == pytest.approx(middle.charge / 2.0)
+        assert top.site.scale == pytest.approx(2.0 * middle.site.scale)
+        assert top.margin > 0.0
+        assert middle.margin == 0.0
+
+    def test_svt2_refreshes_threshold_noise(self):
+        program = compile_spec(
+            SvtVariantSpec(variant=2, queries=QUERIES, epsilon=1.0, k=3)
+        )
+        assert program.threshold_draws_worst == 3
+
+    def test_svt5_has_no_threshold_noise(self):
+        program = compile_spec(
+            SvtVariantSpec(variant=5, queries=QUERIES, epsilon=1.0, k=2)
+        )
+        assert program.threshold_site == NoiseSite("threshold", None)
+
+    def test_svt6_has_no_query_noise(self):
+        program = compile_spec(
+            SvtVariantSpec(variant=6, queries=QUERIES, epsilon=1.0, k=2)
+        )
+        (branch,) = program.branches
+        assert branch.site.scale is None
+
+    def test_svt3_releases_raw_value(self):
+        program = compile_spec(
+            SvtVariantSpec(variant=3, queries=QUERIES, epsilon=1.0, k=2)
+        )
+        assert program.branches[0].release is ReleaseKind.VALUE
+
+    def test_unsupported_spec_kind(self):
+        with pytest.raises(CompileError):
+            compile_spec(LaplaceSpec(queries=QUERIES, epsilon=1.0))
+
+
+# ---------------------------------------------------------------------------
+# verdicts: the full catalogue
+# ---------------------------------------------------------------------------
+
+
+class TestCatalogueVerdicts:
+    def test_all_nine_mechanisms_classified_with_zero_false_verdicts(self):
+        results = verify_catalogue()
+        assert len(results) == 9
+        for result in results:
+            assert result.agrees, (
+                f"{result.entry.label}: static verdict "
+                f"{result.verdict.status} disagrees with documented "
+                f"{'correct' if result.entry.expected_private else 'broken'}"
+            )
+
+    def test_verified_cost_matches_documented_epsilon(self):
+        # Every correct mechanism's certified worst-case alignment cost is
+        # exactly its claimed epsilon (the calibrations are tight).
+        for result in verify_catalogue():
+            if result.entry.expected_private:
+                assert result.verdict.cost == pytest.approx(
+                    result.verdict.epsilon
+                ), result.entry.label
+                assert result.verdict.alignment
+
+    def test_refuted_verdicts_carry_a_branch_trace_hint(self):
+        for result in verify_catalogue():
+            if not result.entry.expected_private:
+                assert not result.verdict.verified
+                assert result.verdict.trace, result.entry.label
+                assert result.verdict.reason, result.entry.label
+
+    @pytest.mark.parametrize("variant", sorted(SVT_VARIANT_CATALOGUE))
+    def test_variant_agreement_with_documented_status(self, variant):
+        spec = SvtVariantSpec(
+            variant=variant, queries=QUERIES, epsilon=1.0, threshold=8.0, k=2
+        )
+        verdict = verify_spec(spec)
+        assert verdict.verified == bool(
+            SVT_VARIANT_CATALOGUE[variant].actually_private
+        )
+
+    def test_svt3_refuted_by_contradictory_shift(self):
+        verdict = verify_spec(
+            SvtVariantSpec(variant=3, queries=QUERIES, epsilon=1.0, k=2)
+        )
+        assert verdict.trace == ("below", "above")
+        assert verdict.cost is None
+
+    def test_svt4_refuted_on_cost(self):
+        # SVT4's noise is calibrated for one answer; the cheapest alignment
+        # costs epsilon/2 (threshold) + k * epsilon (answers).
+        k = 2
+        verdict = verify_spec(
+            SvtVariantSpec(variant=4, queries=QUERIES, epsilon=1.0, k=k)
+        )
+        assert not verdict.verified
+        assert verdict.cost == pytest.approx((1 + 2 * k) / 2.0)
+
+    def test_svt5_refuted_on_the_all_below_path(self):
+        verdict = verify_spec(
+            SvtVariantSpec(variant=5, queries=QUERIES, epsilon=1.0, k=2)
+        )
+        assert verdict.trace == ("below",)
+
+    def test_monotonic_correct_mechanisms_still_verify(self):
+        # The halved monotonic scales must verify under both one-sided
+        # perturbation domains.
+        for spec in (
+            NoisyTopKSpec(queries=QUERIES, epsilon=1.0, k=3, monotonic=True),
+            SparseVectorSpec(
+                queries=QUERIES, epsilon=1.0, threshold=8.0, k=2, monotonic=True
+            ),
+            AdaptiveSvtSpec(
+                queries=QUERIES, epsilon=1.0, threshold=8.0, k=2, monotonic=True
+            ),
+            SvtVariantSpec(
+                variant=2, queries=QUERIES, epsilon=1.0, threshold=8.0, k=2,
+                monotonic=True,
+            ),
+        ):
+            verdict = verify_spec(spec)
+            assert verdict.verified, (spec.kind, verdict.reason)
+            assert verdict.cost <= verdict.epsilon + 1e-9
+
+    def test_miscalibrated_program_is_refuted(self):
+        # Direct synthesis check: a top-k program whose noise scale is half
+        # what Algorithm 1 requires costs 2*epsilon and must be refuted.
+        good = compile_spec(NoisyTopKSpec(queries=QUERIES, epsilon=1.0, k=2))
+        bad = SelectKProgram(
+            name="under-noised-top-k",
+            epsilon=good.epsilon,
+            sensitivity=good.sensitivity,
+            monotonic=good.monotonic,
+            k=good.k,
+            noise_site=NoiseSite("query", good.noise_site.scale / 2.0),
+            with_gap=good.with_gap,
+        )
+        synthesis = synthesize(bad)
+        assert not synthesis.ok
+        assert synthesis.cost == pytest.approx(2.0 * good.epsilon)
+
+    def test_render_table_lists_every_mechanism(self):
+        results = verify_catalogue()
+        table = render_verdict_table(results)
+        for result in results:
+            assert result.entry.label in table
+        assert "DISAGREES" not in table
+
+    def test_static_analysis_ignores_query_values(self):
+        # Same structural parameters, different query answers: verdicts are
+        # a function of the spec's structure only.
+        a = verify_spec(SparseVectorSpec(queries=QUERIES, epsilon=1.0, k=2))
+        b = verify_spec(
+            SparseVectorSpec(queries=(0.0, -3.0, 100.0), epsilon=1.0, k=2)
+        )
+        assert a == b
+
+
+# ---------------------------------------------------------------------------
+# cross-validation against the dynamic checkers
+# ---------------------------------------------------------------------------
+
+
+class TestDynamicAgreement:
+    def test_alignment_checker_agrees_on_noisy_top_k(self):
+        counts = np.array([100.0, 60.0, 40.0, 20.0, 5.0])
+        neighbour = counts - np.array([1.0, 1.0, 1.0, 0.0, 0.0])
+        spec = NoisyTopKSpec(
+            queries=tuple(counts), epsilon=1.0, k=3, monotonic=True
+        )
+        assert verify_spec(spec).verified
+        mech = NoisyTopKWithGap(epsilon=1.0, k=3, monotonic=True)
+        report = AlignmentChecker(trials=25, rng=0).check_noisy_top_k(
+            mech, counts, neighbour
+        )
+        assert report.passed, report.failures
+        assert report.max_cost <= mech.epsilon + 1e-9
+
+    def test_alignment_checker_agrees_on_adaptive_svt(self):
+        counts = np.array([100.0, 60.0, 40.0, 20.0, 5.0])
+        neighbour = counts - np.array([1.0, 1.0, 1.0, 0.0, 0.0])
+        spec = AdaptiveSvtSpec(
+            queries=tuple(counts), epsilon=0.7, threshold=50.0, k=3,
+            monotonic=True,
+        )
+        assert verify_spec(spec).verified
+        factory = lambda: AdaptiveSparseVectorWithGap(  # noqa: E731
+            epsilon=0.7, threshold=50.0, k=3, monotonic=True
+        )
+        report = AlignmentChecker(trials=25, rng=1).check_adaptive_svt(
+            factory, counts, neighbour
+        )
+        assert report.passed, report.failures
+
+    def test_empirical_verifier_agrees_on_broken_svt6(self):
+        # Same adjacent pair as the svt_variants suite: the static verdict
+        # refutes variant 6, and the dynamic verifier sees the unbounded
+        # likelihood ratio on an actual run.
+        epsilon = 0.5
+        spec = SvtVariantSpec(
+            variant=6, queries=(10.0, 9.7), epsilon=epsilon, threshold=9.5, k=2
+        )
+        assert not verify_spec(spec).verified
+        counts = np.array([10.0, 9.7])
+        neighbour = np.array([9.0, 9.7])
+
+        def runner(values):
+            return lambda g: SVT_VARIANT_CATALOGUE[6](
+                epsilon=epsilon, threshold=9.5, k=2
+            ).run(values, rng=g)
+
+        report = EmpiricalDPVerifier(
+            epsilon=epsilon, trials=6000, slack=1.3, min_count=10
+        ).check(
+            run_on_d=runner(counts),
+            run_on_d_prime=runner(neighbour),
+            event=lambda result: tuple(result.above_indices),
+            rng=2,
+        )
+        assert not report.passed
+
+
+# ---------------------------------------------------------------------------
+# CLI: verify-privacy exit codes
+# ---------------------------------------------------------------------------
+
+
+class TestVerifyPrivacyCli:
+    def test_exit_zero_and_table_when_all_expected(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "verify-privacy"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "svt-variant-6" in proc.stdout
+        assert "REFUTED" in proc.stdout
+        assert "0 disagreement(s)" in proc.stdout
+
+    def _main_with_catalogue(self, monkeypatch, entries):
+        import repro.privcheck.verdicts as verdicts_module
+        from repro.evaluation.cli import main
+
+        monkeypatch.setattr(
+            verdicts_module, "default_catalogue", lambda: tuple(entries)
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify-privacy"])
+        return excinfo.value.code
+
+    def test_exit_two_on_unexpected_pass(self, monkeypatch, capsys):
+        # A deliberately broken variant documented as correct: the static
+        # refutation now *disagrees* and must fail the run.
+        entries = [
+            CatalogueEntry(
+                "svt-variant-3",
+                SvtVariantSpec(variant=3, queries=QUERIES, epsilon=1.0, k=2),
+                expected_private=True,
+            )
+        ]
+        assert self._main_with_catalogue(monkeypatch, entries) == 2
+        assert "DISAGREES" in capsys.readouterr().out
+
+    def test_exit_two_on_unexpected_refutation(self, monkeypatch, capsys):
+        # A correct mechanism documented as broken: the verified alignment
+        # disagrees with the expectation and must fail the run too.
+        entries = [
+            CatalogueEntry(
+                "sparse-vector-with-gap",
+                SparseVectorSpec(queries=QUERIES, epsilon=1.0, k=2),
+                expected_private=False,
+            )
+        ]
+        assert self._main_with_catalogue(monkeypatch, entries) == 2
+
+    def test_verdict_error_is_raised_by_library_entrypoint(self):
+        # The CLI's recoverable path is PrivacyVerdictError; make sure the
+        # library raises it (and not something the CLI would traceback on).
+        from repro.evaluation.cli import _run_verify_privacy
+
+        class _Args:
+            pass
+
+        import io
+
+        import repro.privcheck.verdicts as verdicts_module
+
+        flipped = [
+            CatalogueEntry(
+                "svt-variant-5",
+                SvtVariantSpec(variant=5, queries=QUERIES, epsilon=1.0, k=2),
+                expected_private=True,
+            )
+        ]
+        original = verdicts_module.default_catalogue
+        verdicts_module.default_catalogue = lambda: tuple(flipped)
+        try:
+            with pytest.raises(PrivacyVerdictError):
+                _run_verify_privacy(_Args(), io.StringIO())
+        finally:
+            verdicts_module.default_catalogue = original
+
+    def test_default_catalogue_expectations_track_documentation(self):
+        # The catalogue's expected statuses are read from svt_variants.py,
+        # never hard-coded: flipping a flag there must flip the expectation.
+        by_label = {entry.label: entry for entry in default_catalogue()}
+        for variant, cls in SVT_VARIANT_CATALOGUE.items():
+            assert (
+                by_label[f"svt-variant-{variant}"].expected_private
+                == cls.actually_private
+            )

@@ -717,6 +717,112 @@ class TestLayering:
 
 
 # ---------------------------------------------------------------------------
+# rule: spec-immutability
+# ---------------------------------------------------------------------------
+
+
+class TestSpecImmutability:
+    def test_true_positive_outside_post_init(self, tmp_path):
+        files = {
+            "api/mutate.py": """
+                def widen(spec, epsilon):
+                    object.__setattr__(spec, "epsilon", epsilon)
+                    return spec
+                """
+        }
+        found = findings_for(tmp_path, files, "spec-immutability")
+        assert len(found) == 1
+        assert found[0].path == "pkg/api/mutate.py"
+        assert "__post_init__" in found[0].message
+
+    def test_true_positive_in_any_layer(self, tmp_path):
+        # The frozen-spec contract is package-wide, not layer-scoped: a
+        # service-layer mutation corrupts cache keys just the same.
+        files = {
+            "service/patch.py": """
+                def rewrite(job):
+                    object.__setattr__(job.spec, "trials", 1)
+                """
+        }
+        assert len(findings_for(tmp_path, files, "spec-immutability")) == 1
+
+    def test_good_inside_post_init(self, tmp_path):
+        files = {
+            "api/spec.py": """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class Spec:
+                    epsilon: float
+
+                    def __post_init__(self):
+                        object.__setattr__(self, "epsilon", float(self.epsilon))
+                """
+        }
+        assert findings_for(tmp_path, files, "spec-immutability") == []
+
+    def test_plain_setattr_untouched(self, tmp_path):
+        # Ordinary attribute assignment on mutable objects is not the
+        # frozen-dataclass back door.
+        files = {
+            "service/state.py": """
+                def mark(worker):
+                    worker.busy = True
+                    setattr(worker, "busy", True)
+                """
+        }
+        assert findings_for(tmp_path, files, "spec-immutability") == []
+
+    def test_suppressed_with_justification(self, tmp_path):
+        files = {
+            "dispatch/memo.py": """
+                def memoize(spec, digest):
+                    # repro-lint: disable=spec-immutability -- write-once memo
+                    object.__setattr__(spec, "_digest", digest)
+                """
+        }
+        report = run_rules(make_pkg(tmp_path, files), ALL_RULES)
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed] == ["spec-immutability"]
+
+
+class TestDeterministicScopeExtensions:
+    """PR 9 widened the deterministic layers to alignment + privcheck."""
+
+    @pytest.mark.parametrize("layer", ["alignment", "privcheck"])
+    def test_wallclock_flagged(self, tmp_path, layer):
+        files = {
+            f"{layer}/clock.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+        }
+        assert len(findings_for(tmp_path, files, "no-wallclock")) == 1
+
+    @pytest.mark.parametrize("layer", ["alignment", "privcheck"])
+    def test_unseeded_rng_flagged(self, tmp_path, layer):
+        files = {
+            f"{layer}/noise.py": """
+                import numpy as np
+
+                def draw():
+                    return np.random.default_rng().laplace()
+                """
+        }
+        assert len(findings_for(tmp_path, files, "no-unseeded-rng")) == 1
+
+    def test_privcheck_is_ranked(self):
+        from repro.staticcheck.rules import DETERMINISTIC_SUBPACKAGES, LAYER_RANKS
+
+        assert "privcheck" in LAYER_RANKS
+        assert "alignment" in LAYER_RANKS
+        assert "alignment" in DETERMINISTIC_SUBPACKAGES
+        assert "privcheck" in DETERMINISTIC_SUBPACKAGES
+
+
+# ---------------------------------------------------------------------------
 # engine machinery: suppressions, baseline, parse errors
 # ---------------------------------------------------------------------------
 
