@@ -44,6 +44,12 @@ Two benchmark groups:
   scheduler versus the identical untagged drain through the plain FIFO
   path (``scheduler="fifo"``); the ratio is the per-claim cost of the
   control plane's scheduling.
+* ``throughput-hunt`` -- one single-round DP-violation hunt
+  (``repro.hunt``) with every trial batch routed as a service job versus
+  the identical hunt through the in-process facade; the ratio is the
+  queue/broker/tenancy overhead the hunter pays for dogfooding the
+  production stack, on a many-small-jobs workload (16 batches per round)
+  rather than ``throughput-service``'s one-big-job shape.
 
 Setting the environment variable ``REPRO_BENCH_SMOKE=1`` (what
 ``scripts/run_benchmarks.py --smoke`` does) shrinks every workload to
@@ -99,6 +105,11 @@ SERVICE_CHUNK = 16 if SMOKE else 1_024
 #: tenants and priority classes in the fair-share arm.
 TENANCY_TASKS = 16 if SMOKE else 256
 TENANCY_TENANTS = 8
+#: Trials per side per round of the hunt pair: one single-round campaign
+#: against svt-variant-6 (8 neighbouring pairs x 2 sides), service-routed
+#: vs in-process.  Total trials per hunt = 16 x HUNT_SCHEDULE[0].
+HUNT_SCHEDULE = (48,) if SMOKE else (1_000,)
+HUNT_CHUNK = 16 if SMOKE else 500
 #: SVT threshold for the batch group: roughly the top-100th of the uniform
 #: counts, i.e. the paper's top-2k..top-8k policy regime for k=25, where the
 #: mechanism scans a realistic few-hundred-query prefix per trial.
@@ -500,3 +511,77 @@ def test_tenancy_fifo_claim(benchmark, tmp_path):
         return _drain_queue(queue, TENANCY_TASKS)
 
     assert benchmark(fill_and_drain) == TENANCY_TASKS
+
+
+# ---------------------------------------------------------------------------
+# dynamic hunt: service-routed vs in-process trials (group "throughput-hunt")
+# ---------------------------------------------------------------------------
+
+
+def _hunt_entry():
+    from repro.hunt import hunt_catalogue
+
+    return next(
+        entry for entry in hunt_catalogue() if entry.label == "svt-variant-6"
+    )
+
+
+@pytest.mark.benchmark(group="throughput-hunt")
+def test_hunt_inprocess_trials(benchmark):
+    """Baseline: one single-round hunt with every trial batch executed
+    through the facade directly.  Seeds advance per round so no round is
+    served from the runner's memo table."""
+    from repro.hunt import HuntConfig, InProcessRunner, run_hunt
+
+    entry = _hunt_entry()
+    config = HuntConfig(schedule_override=HUNT_SCHEDULE, chunk_trials=HUNT_CHUNK)
+    seeds = iter(range(10_000_000))
+
+    def one_hunt():
+        return run_hunt(
+            entry,
+            InProcessRunner(chunk_trials=HUNT_CHUNK),
+            seed=next(seeds),
+            config=config,
+        )
+
+    outcome = benchmark(one_hunt)
+    assert outcome.total_trials == 16 * HUNT_SCHEDULE[0]
+
+
+@pytest.mark.benchmark(group="throughput-hunt")
+def test_hunt_service_routed(benchmark, tmp_path):
+    """The identical hunt with every batch submitted as a job on a fresh
+    service root and drained by the worker pool -- the production path the
+    campaign orchestrator dogfoods.  The last round is asserted identical
+    to the in-process hunt at the same seed (witness and trial count),
+    which the service determinism contract guarantees."""
+    from repro.hunt import HuntConfig, InProcessRunner, ServiceRunner, run_hunt
+
+    entry = _hunt_entry()
+    config = HuntConfig(schedule_override=HUNT_SCHEDULE, chunk_trials=HUNT_CHUNK)
+    seeds = iter(range(10_000_000))
+    rounds = iter(range(10_000_000))
+    last = {}
+
+    def one_hunt():
+        seed = next(seeds)
+        runner = ServiceRunner(
+            root=tmp_path / f"hunt-{next(rounds)}",
+            workers=SERVICE_WORKERS,
+            chunk_trials=HUNT_CHUNK,
+        )
+        last["seed"] = seed
+        return run_hunt(entry, runner, seed=seed, config=config)
+
+    outcome = benchmark(one_hunt)
+    assert outcome.total_trials == 16 * HUNT_SCHEDULE[0]
+    assert outcome.epsilon_charged is not None
+    reference = run_hunt(
+        entry,
+        InProcessRunner(chunk_trials=HUNT_CHUNK),
+        seed=last["seed"],
+        config=config,
+    )
+    assert outcome.witness == reference.witness
+    assert outcome.total_trials == reference.total_trials

@@ -73,6 +73,10 @@ PAIRS = [
     # the ratio is the per-claim overhead of tenancy scheduling.
     ("tenancy-fair-vs-fifo", "test_tenancy_fair_claim",
      "test_tenancy_fifo_claim", 256, 256),
+    # Dynamic DP-violation hunt: every trial batch as a service job vs the
+    # in-process facade.  16 batches x HUNT_SCHEDULE[0] trials per round.
+    ("hunt-service-vs-inprocess", "test_hunt_service_routed",
+     "test_hunt_inprocess_trials", 16_000, 16_000),
 ]
 
 

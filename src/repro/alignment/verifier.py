@@ -10,6 +10,15 @@ Such statistical checks famously caught several broken Sparse Vector
 variants; here the verifier serves as an independent safety net in the test
 suite (it cannot prove privacy, but it can refute egregious violations, e.g.
 a mechanism that accidentally releases an unnoised value).
+
+The *decision* statistic is shared with the dynamic hunter
+(:mod:`repro.hunt.stats`): a bucket is a violation only when its exact
+Clopper--Pearson epsilon lower bound clears ``epsilon + ln(slack)`` after
+Holm correction across the tested buckets -- one hypothesis-testing
+implementation for the whole repository.  The smoothed probability ratio
+remains as the *reporting* statistic (``worst_ratio``/``worst_event``),
+because "the ratio was 9.3" reads better in a failure message than a
+p-value.
 """
 
 from __future__ import annotations
@@ -20,6 +29,11 @@ from typing import Any, Callable, Dict, Hashable, List
 import numpy as np
 
 from repro.primitives.rng import RngLike, ensure_rng
+
+#: Family-wise level of the Clopper-Pearson violation decision.  Fixed
+#: rather than configurable: ``slack`` remains the caller-facing tolerance
+#: knob, and the confidence level is a property of the shared test.
+_DECISION_ALPHA = 0.05
 
 
 @dataclass
@@ -135,26 +149,51 @@ class EmpiricalDPVerifier:
         rng:
             Seed or generator.
         """
+        # Function-local import of an upper layer (hunt sits at the top of
+        # the stack): the sanctioned escape hatch, same as the CLI's lazy
+        # service imports.  stats.py is numpy/math-only, so this is cheap.
+        from repro.hunt.stats import EventCounts, smoothed_ratio, test_events
+
         generator = ensure_rng(rng)
         counts_d = self._empirical_distribution(run_on_d, event, generator)
         counts_d_prime = self._empirical_distribution(run_on_d_prime, event, generator)
 
         report = VerifierReport(epsilon=self.epsilon, trials=self.trials)
-        bound = float(np.exp(self.epsilon)) * self.slack
         buckets = set(counts_d) | set(counts_d_prime)
         denom = self.trials + self.smoothing * max(1, len(buckets))
+        tested: List[Hashable] = []
+        tested_counts: List[EventCounts] = []
         for bucket in buckets:
             if (
                 max(counts_d.get(bucket, 0), counts_d_prime.get(bucket, 0))
                 < self.min_count
             ):
                 continue
-            p = (counts_d.get(bucket, 0) + self.smoothing) / denom
-            p_prime = (counts_d_prime.get(bucket, 0) + self.smoothing) / denom
-            ratio = max(p / p_prime, p_prime / p)
+            ratio = smoothed_ratio(
+                counts_d.get(bucket, 0),
+                counts_d_prime.get(bucket, 0),
+                denom,
+                self.smoothing,
+            )
             if ratio > report.worst_ratio:
                 report.worst_ratio = ratio
                 report.worst_event = bucket
-            if ratio > bound:
+            tested.append(bucket)
+            tested_counts.append(
+                EventCounts(
+                    successes_d=counts_d.get(bucket, 0),
+                    trials_d=self.trials,
+                    successes_d_prime=counts_d_prime.get(bucket, 0),
+                    trials_d_prime=self.trials,
+                )
+            )
+        # The slackened claim: a bucket violates only when its exact lower
+        # confidence bound on the log probability ratio clears
+        # epsilon + ln(slack) after Holm correction across tested buckets.
+        claimed = self.epsilon + float(np.log(self.slack))
+        for bucket, outcome in zip(
+            tested, test_events(tested_counts, claimed, _DECISION_ALPHA)
+        ):
+            if outcome.rejected:
                 report.violations.append(bucket)
         return report

@@ -90,6 +90,21 @@ mechanism losing its alignment proof, or a deliberately broken variant
 passing)::
 
     python -m repro.evaluation.cli verify-privacy
+
+``hunt`` is verify-privacy's dynamic twin (:mod:`repro.hunt`): it *runs*
+every catalogued mechanism at scale -- all trials routed as jobs through
+the service stack, against a local root (``--root``, drained by an
+in-process worker pool) or a broker daemon (``--url``) -- searching for
+empirical epsilon-DP violations over StatDP-style neighbouring input
+pairs.  It prints the dynamic verdict table next to freshly computed
+static verdicts: exit 0 when every statically refuted variant yields a
+witness and every verified mechanism survives, exit 2 on any
+disagreement::
+
+    python -m repro.evaluation.cli hunt --root ./svc --seed 7
+    python -m repro.evaluation.cli hunt --url http://127.0.0.1:8035 \\
+        --token alice-secret --mechanisms svt-variant-6,svt-variant-1 \\
+        --schedule 4000,16000
 """
 
 from __future__ import annotations
@@ -518,6 +533,78 @@ def _run_verify_privacy(args, stream) -> None:
         )
 
 
+def _run_hunt(args, stream) -> None:
+    """Dynamic DP-violation hunt via the job service; exit 2 on disagreement."""
+    from repro.hunt import (
+        HuntConfig,
+        ServiceRunner,
+        cross_check,
+        hunt_catalogue,
+        render_hunt_table,
+        require_agreement,
+        run_campaign,
+    )
+
+    entries = hunt_catalogue()
+    if args.mechanisms is not None:
+        by_label = {entry.label: entry for entry in entries}
+        wanted = [label.strip() for label in args.mechanisms.split(",") if label.strip()]
+        unknown = [label for label in wanted if label not in by_label]
+        if unknown:
+            raise ValueError(
+                f"unknown mechanism(s) {', '.join(unknown)}; choose from "
+                f"{', '.join(by_label)}"
+            )
+        if not wanted:
+            raise ValueError("--mechanisms must name at least one mechanism")
+        entries = tuple(by_label[label] for label in wanted)
+    schedule = None
+    if args.schedule is not None:
+        try:
+            schedule = tuple(
+                int(part) for part in args.schedule.split(",") if part.strip()
+            )
+        except ValueError:
+            raise ValueError(
+                f"--schedule must be comma-separated trial counts, got "
+                f"{args.schedule!r}"
+            ) from None
+        if not schedule or any(trials < 2 for trials in schedule):
+            raise ValueError(
+                "--schedule needs at least one round of at least 2 trials"
+            )
+    chunk_trials = (
+        args.chunk_trials if args.chunk_trials is not None else HuntConfig().chunk_trials
+    )
+    config = HuntConfig(chunk_trials=chunk_trials, schedule_override=schedule)
+    runner = ServiceRunner(
+        root=args.root,
+        url=args.url,
+        token=args.token,
+        workers=args.workers if args.workers is not None else 2,
+        chunk_trials=chunk_trials,
+    )
+
+    def progress(message: str) -> None:
+        stream.write(message + "\n")
+        stream.flush()
+
+    outcomes = run_campaign(
+        runner, seed=args.seed, entries=entries, config=config, progress=progress
+    )
+    rows = cross_check(entries, outcomes)
+    stream.write(render_hunt_table(rows) + "\n")
+    violated = sum(1 for row in rows if row.dynamic.violated)
+    trials = sum(row.dynamic.total_trials for row in rows)
+    disagreements = sum(1 for row in rows if not row.agrees)
+    stream.write(
+        f"hunt: {len(rows)} mechanism(s), {violated} violated, "
+        f"{len(rows) - violated} survived, {trials} trials total, "
+        f"{disagreements} disagreement(s) with the static verdicts\n"
+    )
+    require_agreement(rows)
+
+
 _COMMANDS: Dict[str, Callable] = {
     "datasets": _run_datasets,
     "figure1": _run_figure1,
@@ -537,6 +624,7 @@ _COMMANDS: Dict[str, Callable] = {
     "chaos": _run_chaos,
     "lint": _run_lint,
     "verify-privacy": _run_verify_privacy,
+    "hunt": _run_hunt,
 }
 
 #: Commands that operate on a job-queue service root (--root).
@@ -550,6 +638,7 @@ _SERVICE_COMMANDS = (
     "metrics",
     "tenant-budget",
     "chaos",
+    "hunt",
 )
 #: Service commands that can alternatively target a broker daemon (--url);
 #: the daemons themselves (serve-worker, serve-broker) and chaos are bound
@@ -561,6 +650,7 @@ _URL_COMMANDS = (
     "job-cancel",
     "metrics",
     "tenant-budget",
+    "hunt",
 )
 #: Commands whose positional argument is a spec JSON file.
 _SPEC_FILE_COMMANDS = ("run-spec", "submit")
@@ -730,6 +820,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(the operator repair for a reservation a crashed submit leaked)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="hunt only (--root mode): in-process workers draining each "
+        "submission wave (default 2)",
+    )
+    parser.add_argument(
+        "--mechanisms",
+        type=str,
+        default=None,
+        help="hunt only: comma-separated catalogue labels to hunt "
+        "(default: all nine)",
+    )
+    parser.add_argument(
+        "--schedule",
+        type=str,
+        default=None,
+        help="hunt only: comma-separated trials-per-side ladder overriding "
+        "every mechanism's tuned schedule (e.g. 4000,16000)",
+    )
+    parser.add_argument(
         "--dataset",
         choices=DATASET_CHOICES,
         default="BMS-POS",
@@ -818,11 +929,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": {"root", "url", "token"},
         "tenant-budget": {"root", "url", "token", "grant", "refund"},
         "chaos": {"root"},
+        "hunt": {"root", "url", "token", "chunk_trials", "workers",
+                 "mechanisms", "schedule"},
     }.get(args.command, set())
     for flag in ("engine", "shards", "cache", "chunk_trials", "root",
                  "url", "token", "host", "port", "auth_file", "max_pending",
                  "max_tasks", "wait", "tenant", "priority", "grant",
-                 "refund"):
+                 "refund", "workers", "mechanisms", "schedule"):
         if flag not in allowed and getattr(args, flag) is not None:
             parser.error(
                 f"--{flag.replace('_', '-')} does not apply to the "
@@ -856,6 +969,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--chunk-trials must be at least 1")
     if args.max_tasks is not None and args.max_tasks < 1:
         parser.error("--max-tasks must be at least 1")
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be at least 1")
 
     runner = _COMMANDS[args.command]
     # One-line diagnosis, exit code 2, for anything the user can cause: a
@@ -899,6 +1014,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.privcheck import PrivacyVerdictError
 
         recoverable += (PrivacyVerdictError,)
+    if args.command == "hunt":
+        # A dynamic outcome contradicting its static verdict (after the
+        # table is printed), or a bad --mechanisms/--schedule value
+        # (ValueError) -- one-line exit-2 outcomes, not tracebacks.
+        from repro.hunt import HuntDisagreementError
+
+        recoverable += (HuntDisagreementError, ValueError)
     try:
         if args.output is None:
             runner(args, sys.stdout)

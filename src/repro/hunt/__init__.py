@@ -1,0 +1,85 @@
+"""Dynamic DP-violation hunting (StatDP / DP-Sniper style).
+
+The dynamic counterpart of :mod:`repro.privcheck`: where the static
+verifier proves or refutes a mechanism's epsilon claim from its structure,
+the hunter *runs* the mechanism -- millions of trials routed through the
+job service -- and turns every refutation into a concrete, statistically
+certified witness: a neighbouring input pair plus an output event whose
+empirical probability ratio exceeds ``e^epsilon`` at the family-wise
+confidence level.
+
+Layering: ``hunt`` sits at the top of the stack (with ``evaluation``),
+consuming the facade, the service/net transports and the tenancy ledger;
+nothing below imports it (the one sanctioned exception is the empirical
+verifier's function-local use of :mod:`repro.hunt.stats`).
+
+    inputs.py    neighbouring-database pair generators
+    events.py    output-event selection on training data
+    stats.py     Clopper-Pearson bounds, p-values, Holm correction
+    campaign.py  escalation orchestrator over the job service
+    report.py    dynamic-vs-static verdict table and cross-check
+"""
+
+from repro.hunt.campaign import (
+    CampaignOutcome,
+    HuntConfig,
+    HuntEntry,
+    InProcessRunner,
+    RunRequest,
+    ServiceRunner,
+    Witness,
+    derive_seed,
+    hunt_catalogue,
+    run_campaign,
+    run_hunt,
+)
+from repro.hunt.events import Event, TrialWindow, generate_candidates
+from repro.hunt.inputs import NeighbouringPair, generate_pairs, pair_specs
+from repro.hunt.report import (
+    HuntDisagreementError,
+    HuntRow,
+    cross_check,
+    render_hunt_table,
+    require_agreement,
+)
+from repro.hunt.stats import (
+    EventCounts,
+    TestOutcome,
+    clopper_pearson,
+    epsilon_lower_bound,
+    epsilon_p_value,
+    holm_reject,
+    test_events,
+)
+
+__all__ = [
+    "CampaignOutcome",
+    "EventCounts",
+    "Event",
+    "HuntConfig",
+    "HuntDisagreementError",
+    "HuntEntry",
+    "HuntRow",
+    "InProcessRunner",
+    "NeighbouringPair",
+    "RunRequest",
+    "ServiceRunner",
+    "TestOutcome",
+    "TrialWindow",
+    "Witness",
+    "clopper_pearson",
+    "cross_check",
+    "derive_seed",
+    "epsilon_lower_bound",
+    "epsilon_p_value",
+    "generate_candidates",
+    "generate_pairs",
+    "holm_reject",
+    "hunt_catalogue",
+    "pair_specs",
+    "render_hunt_table",
+    "require_agreement",
+    "run_campaign",
+    "run_hunt",
+    "test_events",
+]

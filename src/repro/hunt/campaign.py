@@ -1,0 +1,637 @@
+"""The hunt orchestrator: escalating counterexample campaigns over the
+job service.
+
+One *hunt* attacks one catalogued mechanism: generate the neighbouring
+pairs (:mod:`repro.hunt.inputs`), run escalating trial batches on both
+sides of every pair, select candidate events on the accumulated training
+data (:mod:`repro.hunt.events`), and test them on each round's fresh
+held-out batch (:mod:`repro.hunt.stats`) until either a witness is
+confirmed at the family-wise confidence level or the schedule is
+exhausted.  A *campaign* is one hunt per catalogue entry.
+
+The trials are deliberately routed through the production stack rather
+than executed inline: every batch is a job submitted through
+``repro.api.submit`` semantics (:class:`ServiceRunner` speaks both the
+filesystem and HTTP transports), each hunt runs under its own tenant so
+the budget ledger meters its epsilon traffic, and batch identity is
+content-addressed -- the seed of a batch depends only on the *queries*
+it answers, so the many pairs that share their unperturbed side collapse
+onto one cached job, and re-running a campaign with the same seed
+re-executes nothing.  The service's determinism contract (bit-identical
+to ``run(shards=N)``) is what makes a hunt a reproducible artifact
+instead of an anecdote.
+
+The statistical discipline, in one place:
+
+* events are selected on training data only -- round 0 splits its batch,
+  later rounds train on all earlier batches and test on the fresh one;
+* the per-mechanism error budget ``alpha`` is split evenly across
+  schedule rounds, then across the pairs active in a round (union
+  bound), then Holm-corrected across the candidate events of one pair
+  (:func:`repro.hunt.stats.test_events`);
+* a witness therefore carries a family-wise ``1 - alpha`` guarantee for
+  the whole hunt, however many events and pairs were tried along the way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.facade import run
+from repro.api.result import Result
+from repro.api.specs import (
+    AdaptiveSvtSpec,
+    MechanismSpec,
+    NoisyTopKSpec,
+    SparseVectorSpec,
+    SvtVariantSpec,
+)
+from repro.hunt.events import Event, TrialWindow, generate_candidates
+from repro.hunt.inputs import NeighbouringPair, generate_pairs, pair_specs
+from repro.hunt.stats import EventCounts, test_events
+
+__all__ = [
+    "CampaignOutcome",
+    "HuntConfig",
+    "HuntEntry",
+    "InProcessRunner",
+    "RunRequest",
+    "ServiceRunner",
+    "Witness",
+    "derive_seed",
+    "hunt_catalogue",
+    "run_campaign",
+    "run_hunt",
+]
+
+#: Default escalation ladder: cheap wide sweep, then two deepening rounds
+#: on the surviving pairs.  Mechanisms whose witnesses live further out in
+#: the tails carry longer per-entry ladders in :func:`hunt_catalogue`.
+_DEFAULT_SCHEDULE = (4_000, 16_000, 64_000)
+
+
+def derive_seed(master: int, label: str, round_index: int, queries, trials: int) -> int:
+    """The seed of one trial batch, content-addressed by what it runs.
+
+    Keyed on the *query vector* rather than the (pair, side) that wants
+    the batch: every pair whose unperturbed side answers the same queries
+    maps to the identical job, so the service's content-addressed cache
+    collapses them into one execution.  Distinct query vectors -- and
+    distinct rounds -- get independently derived seeds, so the two sides
+    of a pair never share noise.
+    """
+    text = "|".join(
+        (
+            str(int(master)),
+            label,
+            str(int(round_index)),
+            ",".join(repr(float(q)) for q in queries),
+            str(int(trials)),
+        )
+    )
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (2**31 - 1)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One trial batch the campaign needs executed."""
+
+    spec: MechanismSpec
+    engine: str
+    trials: int
+    seed: int
+
+    def key(self) -> str:
+        payload = {
+            "spec": self.spec.to_dict(),
+            "engine": self.engine,
+            "trials": self.trials,
+            "seed": self.seed,
+        }
+        return json.dumps(payload, sort_keys=True)
+
+
+class TrialRunner:
+    """Executes batches of trials; the campaign's only effectful dependency."""
+
+    def run_many(self, requests: Sequence[RunRequest], *, tenant: str) -> List[Result]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def epsilon_charged(self, tenant: str) -> Optional[float]:
+        """Gross epsilon the ledger metered for ``tenant`` (None: no ledger)."""
+        return None
+
+
+class InProcessRunner(TrialRunner):
+    """Runs batches through the facade directly (tests, benchmarks).
+
+    Executes with ``shards=1`` and the campaign's chunk size so every
+    batch is *bit-identical* to what the service would produce for the
+    same request -- the parity the end-to-end tests assert.  A memo table
+    stands in for the service's content-addressed cache, preserving the
+    collapse of shared-query batches.
+    """
+
+    def __init__(self, chunk_trials: Optional[int] = None) -> None:
+        self.chunk_trials = chunk_trials
+        self._memo: Dict[str, Result] = {}
+
+    def run_many(self, requests: Sequence[RunRequest], *, tenant: str) -> List[Result]:
+        results: List[Result] = []
+        for request in requests:
+            key = request.key()
+            cached = self._memo.get(key)
+            if cached is None:
+                cached = run(
+                    request.spec,
+                    engine=request.engine,
+                    trials=request.trials,
+                    rng=request.seed,
+                    shards=1,
+                    chunk_trials=self.chunk_trials,
+                )
+                self._memo[key] = cached
+            results.append(cached)
+        return results
+
+    def describe(self) -> str:
+        return "in-process"
+
+
+class ServiceRunner(TrialRunner):
+    """Runs batches as jobs on the service stack (the production path).
+
+    ``root=`` drives the filesystem transport and drains the queue with
+    an in-process worker pool after each submission wave; ``url=`` drives
+    the HTTP transport against an external daemon (whose own workers
+    execute the tasks) and polls.  Either way, every wave is submitted
+    first and only then waited on -- N jobs in flight, one
+    ``status_many`` round-trip per poll.
+    """
+
+    def __init__(
+        self,
+        *,
+        root=None,
+        url: Optional[str] = None,
+        token: Optional[str] = None,
+        workers: int = 2,
+        chunk_trials: Optional[int] = None,
+        poll_interval: float = 0.05,
+        timeout: float = 600.0,
+    ) -> None:
+        if (root is None) == (url is None):
+            raise ValueError(
+                "pass exactly one of root= (filesystem transport) or "
+                "url= (HTTP transport)"
+            )
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        self.workers = int(workers)
+        self.chunk_trials = chunk_trials
+        self.poll_interval = float(poll_interval)
+        self.timeout = float(timeout)
+        if url is not None:
+            if root is not None:
+                raise ValueError("root= and url= are mutually exclusive")
+            from repro.net.client import HttpJobClient
+
+            self.client = HttpJobClient(url, token=token)
+            self._broker = None
+        else:
+            if token is not None:
+                raise ValueError("token= only applies to the HTTP transport")
+            from repro.service.client import JobClient
+
+            self.client = JobClient(root)
+            self._broker = self.client.broker
+
+    def run_many(self, requests: Sequence[RunRequest], *, tenant: str) -> List[Result]:
+        handles: Dict[str, object] = {}
+        for request in requests:
+            key = request.key()
+            if key in handles:
+                continue
+            handles[key] = self.client.submit(
+                request.spec,
+                engine=request.engine,
+                trials=request.trials,
+                seed=request.seed,
+                chunk_trials=self.chunk_trials,
+                tenant=tenant,
+            )
+        if self._broker is not None:
+            # Filesystem transport: nothing executes until workers drain
+            # the queue this process enqueued into.
+            from repro.service.worker import run_workers
+
+            run_workers(self._broker, count=self.workers, timeout=self.timeout)
+        job_ids = sorted(handle.job_id for handle in handles.values())
+        max_polls = max(1, int(self.timeout / self.poll_interval))
+        for _ in range(max_polls):
+            statuses = self.client.status_many(job_ids)
+            if all(status.finished for status in statuses.values()):
+                break
+            time.sleep(self.poll_interval)
+        fetched = {
+            key: handle.result(timeout=self.timeout)
+            for key, handle in handles.items()
+        }
+        return [fetched[request.key()] for request in requests]
+
+    def describe(self) -> str:
+        if self._broker is not None:
+            return f"service root={self._broker.root}"
+        return f"service url={self.client.url}"
+
+    def epsilon_charged(self, tenant: str) -> Optional[float]:
+        if self._broker is not None:
+            return float(self._broker.ledger.charged(tenant))
+        payload = self.client.tenant_budget(tenant)
+        charged = payload.get("charged")
+        return None if charged is None else float(charged)
+
+
+@dataclass(frozen=True)
+class HuntEntry:
+    """One catalogued mechanism plus its tuned hunt parameters.
+
+    ``schedule`` is the per-round trials-per-side ladder; entries whose
+    known witness events live deep in the noise tails (variant 3's
+    pinned-threshold event has probability ~1e-3) carry longer ladders --
+    a power choice, not a correctness one: every round's test is valid at
+    its own level regardless of where the ladder stops.
+    """
+
+    label: str
+    spec: MechanismSpec
+    engine: str
+    schedule: Tuple[int, ...] = _DEFAULT_SCHEDULE
+
+    @property
+    def tenant(self) -> str:
+        return f"hunt-{self.label}"
+
+
+def hunt_catalogue() -> Tuple[HuntEntry, ...]:
+    """The nine verify-privacy mechanisms, armed for dynamic hunting.
+
+    Same labels and structural parameters as
+    :func:`repro.privcheck.verdicts.default_catalogue` (so the static and
+    dynamic verdict tables align row for row), but with query vectors
+    placed near the threshold: the static analysis never reads the
+    queries, while the dynamic search needs the released events to have
+    observable mass on both sides of every branch.
+    """
+    top = (12.0, 9.0, 7.0, 5.0)
+    entries = [
+        HuntEntry(
+            "noisy-top-k-with-gap",
+            NoisyTopKSpec(queries=top, epsilon=1.0, k=3, with_gap=True),
+            engine="batch",
+        ),
+        HuntEntry(
+            "sparse-vector-with-gap",
+            SparseVectorSpec(
+                queries=top, epsilon=1.0, threshold=8.0, k=2, with_gap=True
+            ),
+            engine="batch",
+        ),
+        HuntEntry(
+            "adaptive-svt-with-gap",
+            AdaptiveSvtSpec(queries=top, epsilon=1.0, threshold=8.0, k=2),
+            engine="batch",
+        ),
+    ]
+    variant_queries: Dict[int, Tuple[float, ...]] = {
+        1: (9.0, 8.0, 7.5, 8.5),
+        2: (9.0, 7.5, 8.5),
+        # Three just-below queries ahead of one just-above: the pattern
+        # whose "answered last, with a LOW released value" event pins the
+        # shared threshold noise and defeats variant 3's value leak.
+        3: (7.5, 7.5, 7.5, 8.5),
+        # Two above / one below at full opposing perturbation: variant 4's
+        # halved recovery budget cannot pay for the opposing tails.
+        4: (8.8, 8.8, 7.2),
+        # Six identical queries just above the exact (unnoised) threshold:
+        # variant 5 has no threshold noise to absorb the all-below shift.
+        5: (9.0,) * 6,
+        # Two queries straddling the threshold; swapping their order is
+        # impossible to explain without query noise (variant 6 has none).
+        6: (7.5, 8.5),
+    }
+    schedules: Dict[int, Tuple[int, ...]] = {
+        3: (4_000, 16_000, 64_000, 640_000),
+        4: (4_000, 16_000, 256_000),
+    }
+    for variant in sorted(variant_queries):
+        entries.append(
+            HuntEntry(
+                f"svt-variant-{variant}",
+                SvtVariantSpec(
+                    variant=variant,
+                    queries=variant_queries[variant],
+                    epsilon=1.0,
+                    threshold=8.0,
+                    k=1,
+                ),
+                engine="reference",
+                schedule=schedules.get(variant, _DEFAULT_SCHEDULE),
+            )
+        )
+    return tuple(entries)
+
+
+@dataclass(frozen=True)
+class HuntConfig:
+    """Statistical and operational knobs shared by every hunt."""
+
+    alpha: float = 0.05
+    train_fraction: float = 0.5
+    max_events: int = 8
+    keep_pairs: int = 2
+    #: Last round index that still runs *all* pairs; afterwards only the
+    #: ``keep_pairs`` best-scoring pairs escalate.  Pruning from round 2
+    #: on (not 1) keeps low-probability events from being starved out of
+    #: their pair before a 16k-trial round can surface them.
+    prune_after_round: int = 1
+    chunk_trials: int = 4_000
+    schedule_override: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must lie in (0, 1), got {self.alpha}")
+        if not 0.0 < self.train_fraction < 1.0:
+            raise ValueError(
+                f"train_fraction must lie in (0, 1), got {self.train_fraction}"
+            )
+        if self.max_events < 1 or self.keep_pairs < 1:
+            raise ValueError("max_events and keep_pairs must be at least 1")
+        if self.chunk_trials < 1:
+            raise ValueError(f"chunk_trials must be at least 1, got {self.chunk_trials}")
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A confirmed epsilon-DP violation: the full replayable evidence."""
+
+    pair: NeighbouringPair
+    event: str
+    direction: int
+    epsilon_bound: float
+    p_value: float
+    counts: EventCounts
+    round_index: int
+    test_trials: int
+    alpha: float
+
+    def describe(self) -> str:
+        d_side = "D" if self.direction >= 0 else "D'"
+        return (
+            f"pair {pair_arrow(self.pair)}; event [{self.event}] favours "
+            f"{d_side}; eps >= {self.epsilon_bound:.3f} at the "
+            f"{(1 - self.alpha) * 100:.2f}% family-wise level "
+            f"(p<={self.p_value:.2e}, counts {self.counts.successes_d}/"
+            f"{self.counts.trials_d} vs {self.counts.successes_d_prime}/"
+            f"{self.counts.trials_d_prime})"
+        )
+
+
+def pair_arrow(pair: NeighbouringPair) -> str:
+    def fmt(values) -> str:
+        return "(" + ", ".join(f"{v:g}" for v in values) + ")"
+
+    return f"{pair.category}: {fmt(pair.queries_d)} -> {fmt(pair.queries_d_prime)}"
+
+
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """What one hunt concluded about one mechanism."""
+
+    label: str
+    claimed_epsilon: float
+    schedule: Tuple[int, ...]
+    witness: Optional[Witness]
+    rounds_completed: int
+    total_trials: int
+    tenant: str
+    epsilon_charged: Optional[float] = None
+
+    @property
+    def violated(self) -> bool:
+        return self.witness is not None
+
+    @property
+    def dynamic_status(self) -> str:
+        if self.witness is not None:
+            return "VIOLATED"
+        return "survived"
+
+
+@dataclass
+class _PairState:
+    pair: NeighbouringPair
+    train_d: List[TrialWindow] = field(default_factory=list)
+    train_d_prime: List[TrialWindow] = field(default_factory=list)
+    score: float = float("-inf")
+
+
+def _point_score(counts: EventCounts) -> float:
+    """Additively-smoothed directed log-ratio, for pair pruning only.
+
+    Deliberately *not* a confidence bound: at small trial counts the
+    bound of a genuinely violating but rare event is still -inf, and
+    pruning on it would discard exactly the pairs the deeper rounds
+    exist for.  The smoothed point estimate ranks pairs by the signal
+    they showed, not by what is already provable.
+    """
+    p_d = (counts.successes_d + 0.5) / (counts.trials_d + 1.0)
+    p_dp = (counts.successes_d_prime + 0.5) / (counts.trials_d_prime + 1.0)
+    return abs(math.log(p_d) - math.log(p_dp))
+
+
+def _threshold_cuts(spec: MechanismSpec) -> Tuple[float, ...]:
+    """Gap cut points anchored to public spec parameters.
+
+    The public threshold is adversary knowledge, so events like
+    "released value below the threshold" are fair game; exposing the
+    cuts explicitly spares the quantile grid from having to rediscover
+    them from samples.
+    """
+    threshold = getattr(spec, "threshold", None)
+    if threshold is None:
+        return ()
+    sensitivity = float(getattr(spec, "sensitivity", 1.0))
+    threshold = float(threshold)
+    return (
+        threshold - 0.5 * sensitivity,
+        threshold,
+        threshold + 0.5 * sensitivity,
+    )
+
+
+def run_hunt(
+    entry: HuntEntry,
+    runner: TrialRunner,
+    *,
+    seed: int,
+    config: HuntConfig = HuntConfig(),
+    progress=None,
+) -> CampaignOutcome:
+    """Hunt one mechanism; see the module docstring for the discipline."""
+    spec = entry.spec
+    spec.validate()
+    schedule = config.schedule_override or entry.schedule
+    if not schedule:
+        raise ValueError(f"hunt schedule for {entry.label!r} is empty")
+    pairs = generate_pairs(
+        spec.queries,
+        float(getattr(spec, "sensitivity", 1.0)),
+        bool(getattr(spec, "monotonic", False)),
+    )
+    states = [_PairState(pair=pair) for pair in pairs]
+    extra_cuts = _threshold_cuts(spec)
+    claimed = float(spec.epsilon)
+    total_trials = 0
+    notify = progress if progress is not None else (lambda message: None)
+
+    for round_index, batch_trials in enumerate(schedule):
+        if round_index <= config.prune_after_round:
+            active = list(states)
+        else:
+            ranked = sorted(
+                states, key=lambda s: (-s.score, s.pair.category)
+            )
+            active = ranked[: config.keep_pairs]
+        alpha_pair = config.alpha / (len(schedule) * len(active))
+
+        requests: List[RunRequest] = []
+        for state in active:
+            for side_spec in pair_specs(spec, state.pair):
+                requests.append(
+                    RunRequest(
+                        spec=side_spec,
+                        engine=entry.engine,
+                        trials=batch_trials,
+                        seed=derive_seed(
+                            seed, entry.label, round_index,
+                            side_spec.queries, batch_trials,
+                        ),
+                    )
+                )
+        notify(
+            f"  round {round_index}: {len(active)} pair(s) x 2 x "
+            f"{batch_trials} trials via {runner.describe()}"
+        )
+        results = runner.run_many(requests, tenant=entry.tenant)
+        total_trials += sum(request.trials for request in requests)
+
+        for position, state in enumerate(active):
+            result_d = results[2 * position]
+            result_d_prime = results[2 * position + 1]
+            if round_index == 0:
+                split = int(batch_trials * config.train_fraction)
+                train_d = [TrialWindow(result_d, 0, split)]
+                train_d_prime = [TrialWindow(result_d_prime, 0, split)]
+                test_d = TrialWindow(result_d, split, batch_trials)
+                test_d_prime = TrialWindow(result_d_prime, split, batch_trials)
+            else:
+                train_d = state.train_d
+                train_d_prime = state.train_d_prime
+                test_d = TrialWindow(result_d, 0, batch_trials)
+                test_d_prime = TrialWindow(result_d_prime, 0, batch_trials)
+
+            candidates = generate_candidates(
+                train_d, train_d_prime, config.max_events, extra_cuts=extra_cuts
+            )
+            counts_list = [
+                _count_event(event, test_d, test_d_prime) for event in candidates
+            ]
+            outcomes = test_events(counts_list, claimed, alpha_pair)
+            rejected = [o for o in outcomes if o.rejected]
+            if rejected:
+                best = max(rejected, key=lambda o: o.epsilon_bound)
+                witness = Witness(
+                    pair=state.pair,
+                    event=candidates[best.index].describe(),
+                    direction=best.direction,
+                    epsilon_bound=best.epsilon_bound,
+                    p_value=best.p_value,
+                    counts=best.counts,
+                    round_index=round_index,
+                    test_trials=test_d.trials,
+                    alpha=alpha_pair,
+                )
+                notify(f"  witness: {witness.describe()}")
+                return CampaignOutcome(
+                    label=entry.label,
+                    claimed_epsilon=claimed,
+                    schedule=tuple(schedule),
+                    witness=witness,
+                    rounds_completed=round_index + 1,
+                    total_trials=total_trials,
+                    tenant=entry.tenant,
+                    epsilon_charged=runner.epsilon_charged(entry.tenant),
+                )
+            state.score = max(
+                (_point_score(counts) for counts in counts_list),
+                default=float("-inf"),
+            )
+            state.train_d = train_d + [TrialWindow(result_d, 0, batch_trials)]
+            state.train_d_prime = train_d_prime + [
+                TrialWindow(result_d_prime, 0, batch_trials)
+            ]
+
+    return CampaignOutcome(
+        label=entry.label,
+        claimed_epsilon=claimed,
+        schedule=tuple(schedule),
+        witness=None,
+        rounds_completed=len(schedule),
+        total_trials=total_trials,
+        tenant=entry.tenant,
+        epsilon_charged=runner.epsilon_charged(entry.tenant),
+    )
+
+
+def _count_event(
+    event: Event, test_d: TrialWindow, test_d_prime: TrialWindow
+) -> EventCounts:
+    successes_d, trials_d = event.tally([test_d])
+    successes_d_prime, trials_d_prime = event.tally([test_d_prime])
+    return EventCounts(
+        successes_d=successes_d,
+        trials_d=trials_d,
+        successes_d_prime=successes_d_prime,
+        trials_d_prime=trials_d_prime,
+    )
+
+
+def run_campaign(
+    runner: TrialRunner,
+    *,
+    seed: int,
+    entries: Optional[Sequence[HuntEntry]] = None,
+    config: HuntConfig = HuntConfig(),
+    progress=None,
+) -> Tuple[CampaignOutcome, ...]:
+    """One hunt per entry (default: the full nine-mechanism catalogue)."""
+    if entries is None:
+        entries = hunt_catalogue()
+    notify = progress if progress is not None else (lambda message: None)
+    outcomes: List[CampaignOutcome] = []
+    for entry in entries:
+        notify(f"hunting {entry.label} (claimed {entry.spec.epsilon:g}-DP)")
+        outcomes.append(
+            run_hunt(entry, runner, seed=seed, config=config, progress=progress)
+        )
+    return tuple(outcomes)

@@ -1,0 +1,329 @@
+"""Output-event selectors for the dynamic hunter.
+
+An epsilon-DP violation witness is an *event* -- a measurable set of
+outputs -- whose probability shifts by more than ``e^epsilon`` between two
+neighbouring databases.  Following DP-Sniper, the hunter does not guess
+events a priori: it runs a training batch on both databases, enumerates a
+family of structured events over the observed traces, scores each by the
+confidence-penalized probability ratio it achieves *on the training data*,
+and carries only the top scorers forward to be tested on held-out data
+(:mod:`repro.hunt.stats` owns the test; the strict split lives in
+:mod:`repro.hunt.campaign`).
+
+The event families mirror what a :class:`~repro.api.result.Result` actually
+releases, so every event is observable by a real adversary:
+
+* ``answered == c`` -- how many queries were answered;
+* ``first-above == i`` -- the position of the first above-threshold answer
+  (``-1`` for none), the core SVT observable;
+* ``above-pattern == p`` -- the exact boolean answer pattern;
+* ``selection == (i, ...)`` -- the released index tuple (top-k style);
+* ``max-gap <= t`` / ``max-gap >= t`` -- thresholds on the largest released
+  gap (or released noisy value, for the variants that leak them), with cut
+  points taken from training-data quantiles;
+* conjunctions of a positional event with a gap threshold -- the family
+  that catches SVT variant 3, where the *position* alone is explainable by
+  threshold-noise alignment but position *plus a low released value* is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.hunt.stats import EventCounts, directed_lower_bound
+
+__all__ = [
+    "AnswerCount",
+    "AbovePattern",
+    "Conjunction",
+    "Event",
+    "FirstAbove",
+    "MaxGap",
+    "Selection",
+    "TrialWindow",
+    "generate_candidates",
+]
+
+#: Training-quantile grid for gap cut points, and the level used only for
+#: *ranking* candidates on the training split (the held-out test chooses
+#: its own, Holm-corrected levels).
+_GAP_QUANTILES = (0.1, 0.25, 0.5, 0.75, 0.9)
+_SCORE_ALPHA = 0.1
+#: Cap on enumerated exact patterns/selections per side, keeping the
+#: candidate pool bounded for wide streams.
+_MAX_DISCRETE_VALUES = 12
+
+
+@dataclass(frozen=True)
+class TrialWindow:
+    """A contiguous block of trials of one :class:`Result` (train or test).
+
+    Events evaluate on windows rather than raw results so the round-0
+    train/test split never has to copy or re-run anything: the same result
+    object backs both halves through different ``[start, stop)`` ranges.
+    """
+
+    result: object
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start <= self.stop <= self.result.trials:
+            raise ValueError(
+                f"window [{self.start}, {self.stop}) out of range for "
+                f"{self.result.trials} trial(s)"
+            )
+
+    @property
+    def trials(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self.result.indices[self.start : self.stop]
+
+    @property
+    def gaps(self) -> np.ndarray:
+        return self.result.gaps[self.start : self.stop]
+
+    @property
+    def above(self):
+        if self.result.above is None:
+            return None
+        return self.result.above[self.start : self.stop]
+
+    def answered(self) -> np.ndarray:
+        return np.sum(self.indices >= 0, axis=1)
+
+    def first_above(self) -> np.ndarray:
+        """Position of the first above-threshold answer, ``-1`` for none."""
+        above = self.above
+        if above is None or above.shape[1] == 0:
+            first = self.indices[:, 0] if self.indices.shape[1] else None
+            if first is None:
+                return np.full(self.trials, -1, dtype=np.int64)
+            return np.where(first >= 0, first, -1).astype(np.int64)
+        any_above = above.any(axis=1)
+        return np.where(any_above, above.argmax(axis=1), -1).astype(np.int64)
+
+    def max_gap(self) -> np.ndarray:
+        """Largest released gap per trial; ``-inf`` when none was released."""
+        gaps = self.gaps
+        if gaps.shape[1] == 0:
+            return np.full(self.trials, -np.inf)
+        filled = np.where(np.isnan(gaps), -np.inf, gaps)
+        return filled.max(axis=1)
+
+
+class Event:
+    """A deterministic predicate over released outputs."""
+
+    def evaluate(self, window: TrialWindow) -> np.ndarray:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def tally(self, windows: Sequence[TrialWindow]) -> Tuple[int, int]:
+        """``(successes, trials)`` of this event over a list of windows."""
+        successes = 0
+        trials = 0
+        for window in windows:
+            successes += int(self.evaluate(window).sum())
+            trials += window.trials
+        return successes, trials
+
+
+@dataclass(frozen=True)
+class AnswerCount(Event):
+    count: int
+
+    def evaluate(self, window: TrialWindow) -> np.ndarray:
+        return window.answered() == self.count
+
+    def describe(self) -> str:
+        return f"answered == {self.count}"
+
+
+@dataclass(frozen=True)
+class FirstAbove(Event):
+    index: int
+
+    def evaluate(self, window: TrialWindow) -> np.ndarray:
+        return window.first_above() == self.index
+
+    def describe(self) -> str:
+        if self.index < 0:
+            return "no query answered above"
+        return f"first-above == {self.index}"
+
+
+@dataclass(frozen=True)
+class AbovePattern(Event):
+    pattern: Tuple[bool, ...]
+
+    def evaluate(self, window: TrialWindow) -> np.ndarray:
+        above = window.above
+        if above is None or above.shape[1] != len(self.pattern):
+            return np.zeros(window.trials, dtype=bool)
+        target = np.asarray(self.pattern, dtype=bool)
+        return (above == target).all(axis=1)
+
+    def describe(self) -> str:
+        bits = "".join("1" if bit else "0" for bit in self.pattern)
+        return f"above-pattern == {bits}"
+
+
+@dataclass(frozen=True)
+class Selection(Event):
+    indices: Tuple[int, ...]
+
+    def evaluate(self, window: TrialWindow) -> np.ndarray:
+        if window.indices.shape[1] != len(self.indices):
+            return np.zeros(window.trials, dtype=bool)
+        target = np.asarray(self.indices, dtype=window.indices.dtype)
+        return (window.indices == target).all(axis=1)
+
+    def describe(self) -> str:
+        return f"selection == {tuple(int(i) for i in self.indices)}"
+
+
+@dataclass(frozen=True)
+class MaxGap(Event):
+    """``max-gap <= cut`` (``below=True``) or ``max-gap >= cut``."""
+
+    cut: float
+    below: bool
+
+    def evaluate(self, window: TrialWindow) -> np.ndarray:
+        values = window.max_gap()
+        if self.below:
+            # -inf (no gap released) intentionally satisfies "<= cut": the
+            # adversary observes "nothing high was released" either way.
+            return values <= self.cut
+        return values >= self.cut
+
+    def describe(self) -> str:
+        op = "<=" if self.below else ">="
+        return f"max-gap {op} {self.cut:g}"
+
+
+@dataclass(frozen=True)
+class Conjunction(Event):
+    left: Event
+    right: Event
+
+    def evaluate(self, window: TrialWindow) -> np.ndarray:
+        return self.left.evaluate(window) & self.right.evaluate(window)
+
+    def describe(self) -> str:
+        return f"({self.left.describe()}) and ({self.right.describe()})"
+
+
+def _observed_values(windows: Sequence[TrialWindow], extract) -> List:
+    """Distinct observed feature values, most frequent first (ties: value)."""
+    frequency: dict = {}
+    for window in windows:
+        for value in extract(window):
+            frequency[value] = frequency.get(value, 0) + 1
+    ranked = sorted(frequency.items(), key=lambda item: (-item[1], repr(item[0])))
+    return [value for value, _ in ranked[:_MAX_DISCRETE_VALUES]]
+
+
+def _gap_cuts(windows: Sequence[TrialWindow]) -> List[float]:
+    finite: List[np.ndarray] = []
+    for window in windows:
+        values = window.max_gap()
+        finite.append(values[np.isfinite(values)])
+    if not finite:
+        return []
+    pooled = np.concatenate(finite) if finite else np.empty(0)
+    if pooled.size == 0:
+        return []
+    cuts = sorted({float(np.quantile(pooled, q)) for q in _GAP_QUANTILES})
+    return cuts
+
+
+def enumerate_events(
+    train: Sequence[TrialWindow], extra_cuts: Sequence[float] = ()
+) -> List[Event]:
+    """The full (unscored) candidate pool from pooled training windows.
+
+    ``extra_cuts`` lets the campaign anchor gap cut points to *public*
+    spec parameters (the threshold is adversary knowledge); the quantile
+    grid then only has to cover what the data alone reveals.
+    """
+    events: List[Event] = []
+    for count in _observed_values(train, lambda w: w.answered().tolist()):
+        events.append(AnswerCount(int(count)))
+    first_values = _observed_values(train, lambda w: w.first_above().tolist())
+    for index in first_values:
+        events.append(FirstAbove(int(index)))
+    for pattern in _observed_values(
+        train,
+        lambda w: []
+        if w.above is None or w.above.shape[1] > 16
+        else [tuple(bool(b) for b in row) for row in w.above],
+    ):
+        events.append(AbovePattern(pattern))
+    for selection in _observed_values(
+        train, lambda w: [tuple(int(i) for i in row) for row in w.indices]
+    ):
+        events.append(Selection(selection))
+    cuts = sorted(set(_gap_cuts(train)) | {float(cut) for cut in extra_cuts})
+    for cut in cuts:
+        events.append(MaxGap(cut=cut, below=True))
+        events.append(MaxGap(cut=cut, below=False))
+        for index in first_values:
+            if int(index) >= 0:
+                events.append(
+                    Conjunction(FirstAbove(int(index)), MaxGap(cut=cut, below=True))
+                )
+                events.append(
+                    Conjunction(FirstAbove(int(index)), MaxGap(cut=cut, below=False))
+                )
+    return events
+
+
+def generate_candidates(
+    train_d: Sequence[TrialWindow],
+    train_d_prime: Sequence[TrialWindow],
+    max_events: int,
+    extra_cuts: Sequence[float] = (),
+) -> Tuple[Event, ...]:
+    """Select the most promising events from training data only.
+
+    Every candidate is scored by the confidence-penalized log probability
+    ratio it achieves on the pooled training windows (the same lower-bound
+    statistic the held-out test uses, at a fixed generous level) -- so rare
+    flukes with huge raw ratios but no support rank below events the test
+    could actually confirm.  Ties break on the event description, making
+    the selection deterministic for fixed inputs.
+    """
+    if max_events < 1:
+        raise ValueError(f"max_events must be at least 1, got {max_events}")
+    pool = enumerate_events(
+        list(train_d) + list(train_d_prime), extra_cuts=extra_cuts
+    )
+    scored = []
+    seen = set()
+    for event in pool:
+        label = event.describe()
+        if label in seen:
+            continue
+        seen.add(label)
+        successes_d, trials_d = event.tally(train_d)
+        successes_d_prime, trials_d_prime = event.tally(train_d_prime)
+        counts = EventCounts(
+            successes_d=successes_d,
+            trials_d=trials_d,
+            successes_d_prime=successes_d_prime,
+            trials_d_prime=trials_d_prime,
+        )
+        score, _ = directed_lower_bound(counts, _SCORE_ALPHA)
+        scored.append((score, label, event))
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    return tuple(event for _, _, event in scored[:max_events])

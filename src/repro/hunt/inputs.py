@@ -1,0 +1,151 @@
+"""Neighbouring-database pair generators for the dynamic hunter.
+
+A dynamic counterexample search needs candidate *input* pairs before it can
+look for candidate *events*.  Following StatDP, the generators here apply a
+small set of structured perturbation patterns to a base query vector --
+patterns that between them exercise every alignment strategy a mechanism
+could rely on (shift everything, shift one, split the stream, oppose the
+answered query against the rest):
+
+========================  ==============================================
+category                  ``Delta`` applied to obtain ``D'``
+========================  ==============================================
+``one-above``             first query ``+s``, rest unchanged
+``one-below``             first query ``-s``, rest unchanged
+``one-above-rest-below``  first query ``+s``, rest ``-s``
+``one-below-rest-above``  first query ``-s``, rest ``+s``
+``half-half``             first ``ceil(n/2)`` queries ``+s``, rest ``-s``
+``all-above``             every query ``+s``
+``all-below``             every query ``-s``
+``all-same-one-up``       both databases flattened to the base mean;
+                          ``D'`` additionally moves the first query ``+s``
+========================  ==============================================
+
+The adjacency model matches :func:`repro.privcheck.symbolic.perturbation_cases`
+exactly: general workloads allow ``Delta_i`` anywhere in ``[-s, s]``, while
+monotonic workloads move every query the same direction -- so for a
+monotonic mechanism only the single-signed categories are generated, and a
+"witness" that mixes directions can never be produced against a mechanism
+whose claim does not cover it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from repro.api.specs import MechanismSpec
+
+__all__ = ["NeighbouringPair", "generate_pairs", "pair_specs"]
+
+#: Categories whose per-query deltas all share one sign (or are zero);
+#: the only ones admissible against a monotonic privacy claim.
+_SINGLE_SIGNED = (
+    "one-above",
+    "one-below",
+    "all-above",
+    "all-below",
+    "all-same-one-up",
+)
+
+
+@dataclass(frozen=True)
+class NeighbouringPair:
+    """One adjacent database pair ``(D, D')`` with its generating category."""
+
+    category: str
+    queries_d: Tuple[float, ...]
+    queries_d_prime: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.queries_d) != len(self.queries_d_prime):
+            raise ValueError(
+                "a neighbouring pair must answer the same queries: "
+                f"got lengths {len(self.queries_d)} and {len(self.queries_d_prime)}"
+            )
+
+    def describe(self) -> str:
+        return self.category
+
+    def max_delta(self) -> float:
+        return max(
+            abs(a - b) for a, b in zip(self.queries_d, self.queries_d_prime)
+        )
+
+
+def _apply(base: Tuple[float, ...], deltas: Tuple[float, ...]) -> Tuple[float, ...]:
+    return tuple(q + d for q, d in zip(base, deltas))
+
+
+def generate_pairs(
+    queries,
+    sensitivity: float,
+    monotonic: bool,
+) -> Tuple[NeighbouringPair, ...]:
+    """All candidate pairs for a base query vector under the adjacency model.
+
+    ``D`` is always the base vector itself (except for ``all-same-one-up``,
+    which flattens both sides to the base mean first), and ``D'`` applies
+    the category's delta pattern at full sensitivity -- the worst case the
+    claim must absorb, and per the alignment templates the place where a
+    broken mechanism's probability ratio peaks.
+    """
+    base = tuple(float(q) for q in queries)
+    n = len(base)
+    if n == 0:
+        raise ValueError("need at least one query to build neighbouring pairs")
+    s = float(sensitivity)
+    if s <= 0:
+        raise ValueError(f"sensitivity must be positive, got {s}")
+
+    up = (s,) + (0.0,) * (n - 1)
+    down = (-s,) + (0.0,) * (n - 1)
+    patterns: List[Tuple[str, Tuple[float, ...]]] = [
+        ("one-above", up),
+        ("one-below", down),
+        ("all-above", (s,) * n),
+        ("all-below", (-s,) * n),
+    ]
+    if n > 1:
+        patterns.append(("one-above-rest-below", (s,) + (-s,) * (n - 1)))
+        patterns.append(("one-below-rest-above", (-s,) + (s,) * (n - 1)))
+        half = math.ceil(n / 2)
+        patterns.append(("half-half", (s,) * half + (-s,) * (n - half)))
+
+    pairs: List[NeighbouringPair] = []
+    for category, deltas in patterns:
+        if monotonic and category not in _SINGLE_SIGNED:
+            continue
+        pairs.append(
+            NeighbouringPair(
+                category=category,
+                queries_d=base,
+                queries_d_prime=_apply(base, deltas),
+            )
+        )
+
+    flat = (sum(base) / n,) * n
+    pairs.append(
+        NeighbouringPair(
+            category="all-same-one-up",
+            queries_d=flat,
+            queries_d_prime=_apply(flat, up),
+        )
+    )
+    return tuple(pairs)
+
+
+def pair_specs(
+    spec: MechanismSpec, pair: NeighbouringPair
+) -> Tuple[MechanismSpec, MechanismSpec]:
+    """The two concrete specs whose runs realize ``M(D)`` and ``M(D')``.
+
+    Everything except the query vector -- epsilon, threshold, ``k``,
+    monotonic flag, sensitivity -- is inherited from ``spec``, so the two
+    sides differ in exactly the adjacency perturbation and nothing else.
+    """
+    return (
+        replace(spec, queries=pair.queries_d),
+        replace(spec, queries=pair.queries_d_prime),
+    )

@@ -1,0 +1,145 @@
+"""The dynamic verdict table and its cross-check against the static one.
+
+The hunter's output is only trustworthy relative to an oracle: the static
+verifier (:mod:`repro.privcheck`) proves or refutes every catalogued
+mechanism from the paper's alignment theory alone, without running it.
+Here the two are forced to agree:
+
+* a mechanism the static analysis *refuted* must yield a dynamic witness
+  -- a concrete input pair, event and empirical epsilon bound above the
+  claim at the family-wise confidence level;
+* a mechanism the static analysis *verified* must survive the hunt.
+
+Any disagreement -- in either direction -- raises
+:class:`HuntDisagreementError`, which the CLI maps to exit code 2, the
+same contract ``verify-privacy`` has with its documented-status column.
+A hunter that silently under-hunts (schedules too short to find the
+variant-3 witness, an event family that cannot express it) therefore
+fails loudly instead of printing a reassuring table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hunt.campaign import CampaignOutcome, HuntEntry, pair_arrow
+from repro.privcheck.verdicts import Verdict, verify_spec
+
+__all__ = [
+    "HuntDisagreementError",
+    "HuntRow",
+    "cross_check",
+    "render_hunt_table",
+    "require_agreement",
+]
+
+
+class HuntDisagreementError(RuntimeError):
+    """Raised when a dynamic outcome contradicts its static verdict."""
+
+
+@dataclass(frozen=True)
+class HuntRow:
+    """One mechanism's static verdict next to its dynamic outcome."""
+
+    label: str
+    static: Verdict
+    dynamic: CampaignOutcome
+
+    @property
+    def agrees(self) -> bool:
+        # verified statically <=> survived dynamically
+        return self.static.verified == (self.dynamic.witness is None)
+
+    def evidence(self) -> str:
+        witness = self.dynamic.witness
+        if witness is None:
+            return (
+                f"no witness in {self.dynamic.total_trials} trials "
+                f"({self.dynamic.rounds_completed} round(s))"
+            )
+        return (
+            f"eps >= {witness.epsilon_bound:.3f} "
+            f"[{witness.event}] on {pair_arrow(witness.pair)}"
+        )
+
+
+def cross_check(
+    entries: Sequence[HuntEntry],
+    outcomes: Sequence[CampaignOutcome],
+) -> Tuple[HuntRow, ...]:
+    """Pair every dynamic outcome with a freshly computed static verdict.
+
+    The static verdict is recomputed on the *hunt's* spec (not the
+    default catalogue's) so the comparison is apples to apples: the two
+    tables share labels and structural parameters but the hunt tunes its
+    query vectors, which the static analysis never reads.
+    """
+    if len(entries) != len(outcomes):
+        raise ValueError(
+            f"got {len(entries)} entries but {len(outcomes)} outcomes"
+        )
+    rows: List[HuntRow] = []
+    for entry, outcome in zip(entries, outcomes):
+        if entry.label != outcome.label:
+            raise ValueError(
+                f"entry/outcome order mismatch: {entry.label!r} vs "
+                f"{outcome.label!r}"
+            )
+        static = verify_spec(entry.spec, label=entry.label)
+        rows.append(HuntRow(label=entry.label, static=static, dynamic=outcome))
+    return tuple(rows)
+
+
+def render_hunt_table(rows: Sequence[HuntRow]) -> str:
+    """Fixed-width dynamic-vs-static verdict table (verify-privacy style)."""
+    table = [("mechanism", "claimed", "static", "dynamic", "evidence")]
+    for row in rows:
+        table.append(
+            (
+                row.label,
+                f"{row.dynamic.claimed_epsilon:g}-DP",
+                row.static.status,
+                row.dynamic.dynamic_status,
+                row.evidence() + ("" if row.agrees else "  ** DISAGREES **"),
+            )
+        )
+    widths = [max(len(line[column]) for line in table) for column in range(4)]
+    lines = []
+    for index, line in enumerate(table):
+        lines.append(
+            "  ".join(
+                (
+                    line[0].ljust(widths[0]),
+                    line[1].ljust(widths[1]),
+                    line[2].ljust(widths[2]),
+                    line[3].ljust(widths[3]),
+                    line[4],
+                )
+            ).rstrip()
+        )
+        if index == 0:
+            lines.append(
+                "  ".join(("-" * width for width in widths)) + "  --------"
+            )
+    return "\n".join(lines)
+
+
+def require_agreement(rows: Sequence[HuntRow]) -> None:
+    """Raise :class:`HuntDisagreementError` naming every contradiction."""
+    disagreements = [row for row in rows if not row.agrees]
+    if not disagreements:
+        return
+    details = []
+    for row in disagreements:
+        expectation = (
+            "statically verified but a dynamic witness was found"
+            if row.static.verified
+            else "statically refuted but no dynamic witness was found"
+        )
+        details.append(f"{row.label}: {expectation} ({row.evidence()})")
+    raise HuntDisagreementError(
+        "dynamic hunt disagrees with static verdicts on "
+        f"{len(disagreements)} mechanism(s): " + "; ".join(details)
+    )

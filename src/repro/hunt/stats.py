@@ -1,0 +1,396 @@
+"""Hypothesis testing for empirical epsilon lower bounds.
+
+The dynamic hunter claims a violation only when it can *prove* one
+statistically: an event ``E`` and a neighbouring pair ``(D, D')`` such that
+
+    ln( P[M(D) in E] / P[M(D') in E] ) > epsilon
+
+holds at the requested confidence.  This module owns all of the statistics
+behind that claim, shared by :mod:`repro.hunt.campaign` and (via a lazy
+import) :class:`repro.alignment.verifier.EmpiricalDPVerifier`, so there is
+exactly one hypothesis-testing implementation in the repository:
+
+* exact Clopper--Pearson binomial confidence intervals, built on a
+  self-contained regularized incomplete beta function (no scipy);
+* the one-sided epsilon lower bound ``ln(lower(p1) / upper(p2))`` with the
+  error budget split between the two intervals;
+* a p-value for ``H0: the mechanism satisfies epsilon-DP on (D, D', E)``,
+  obtained by inverting the bound in its confidence level;
+* Holm step-down correction across the candidate events tested on one
+  pair, so hunting many events does not inflate the false-witness rate.
+
+Everything here is a pure function of its arguments -- no clocks, no RNG --
+which is what makes a seeded hunt a replayable artifact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "EventCounts",
+    "TestOutcome",
+    "betainc",
+    "beta_ppf",
+    "clopper_pearson",
+    "epsilon_lower_bound",
+    "epsilon_p_value",
+    "holm_reject",
+    "test_events",
+]
+
+#: Iteration caps for the continued fraction / bisection.  Both converge
+#: far earlier for every input the hunter produces; the caps only bound
+#: pathological parameters.
+_CF_MAX_ITER = 300
+_BISECT_ITER = 80
+_TINY = 1e-308
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta (Lentz's algorithm)."""
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _TINY:
+        d = _TINY
+    d = 1.0 / d
+    h = d
+    for m in range(1, _CF_MAX_ITER + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _TINY:
+            d = _TINY
+        c = 1.0 + aa / c
+        if abs(c) < _TINY:
+            c = _TINY
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _TINY:
+            d = _TINY
+        c = 1.0 + aa / c
+        if abs(c) < _TINY:
+            c = _TINY
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    return h
+
+
+def betainc(a: float, b: float, x: float) -> float:
+    """The regularized incomplete beta function ``I_x(a, b)``.
+
+    ``I_x(a, b)`` is the CDF of a Beta(a, b) variable at ``x``; through the
+    identity ``P[Bin(n, p) <= k] = I_{1-p}(n-k, k+1)`` it carries the exact
+    binomial tail probabilities the Clopper--Pearson interval is built on.
+    """
+    if a <= 0 or b <= 0:
+        raise ValueError(f"betainc requires positive shape parameters, got ({a}, {b})")
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log1p(-x)
+    )
+    front = math.exp(ln_front)
+    # The continued fraction converges fast only on one side of the mean;
+    # use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) on the other.
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def beta_ppf(q: float, a: float, b: float) -> float:
+    """The quantile (inverse CDF) of Beta(a, b), by bisection on ``betainc``.
+
+    Bisection rather than Newton: unconditionally convergent, deterministic
+    to the last bit for fixed inputs, and fast enough (80 halvings) for the
+    handful of interval evaluations a hunt round performs.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must lie in [0, 1], got {q}")
+    if q == 0.0:
+        return 0.0
+    if q == 1.0:
+        return 1.0
+    lo, hi = 0.0, 1.0
+    for _ in range(_BISECT_ITER):
+        mid = 0.5 * (lo + hi)
+        if betainc(a, b, mid) < q:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def clopper_pearson(
+    successes: int, trials: int, alpha: float
+) -> tuple:
+    """The exact two-sided ``1 - alpha`` Clopper--Pearson interval.
+
+    Returns ``(lower, upper)`` for the success probability of a binomial
+    sample with ``successes`` hits in ``trials`` draws.  The endpoints are
+    the classic beta quantiles; 0 hits pins the lower bound to 0 and
+    ``trials`` hits pins the upper bound to 1.
+    """
+    successes = int(successes)
+    trials = int(trials)
+    if trials < 1:
+        raise ValueError(f"trials must be at least 1, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes must lie in [0, {trials}], got {successes}"
+        )
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+    if successes == 0:
+        lower = 0.0
+    else:
+        lower = beta_ppf(alpha / 2.0, successes, trials - successes + 1)
+    if successes == trials:
+        upper = 1.0
+    else:
+        upper = beta_ppf(1.0 - alpha / 2.0, successes + 1, trials - successes)
+    return lower, upper
+
+
+@dataclass(frozen=True)
+class EventCounts:
+    """Occurrence counts of one event on a neighbouring pair's test data."""
+
+    successes_d: int
+    trials_d: int
+    successes_d_prime: int
+    trials_d_prime: int
+
+    def swapped(self) -> "EventCounts":
+        return EventCounts(
+            successes_d=self.successes_d_prime,
+            trials_d=self.trials_d_prime,
+            successes_d_prime=self.successes_d,
+            trials_d_prime=self.trials_d,
+        )
+
+
+def _one_sided_lower(successes: int, trials: int, alpha: float) -> float:
+    if successes == 0:
+        return 0.0
+    return beta_ppf(alpha, successes, trials - successes + 1)
+
+
+def _one_sided_upper(successes: int, trials: int, alpha: float) -> float:
+    if successes == trials:
+        return 1.0
+    return beta_ppf(1.0 - alpha, successes + 1, trials - successes)
+
+
+def epsilon_lower_bound(counts: EventCounts, alpha: float) -> float:
+    """A ``1 - alpha`` confidence lower bound on ``ln(P1[E] / P2[E])``.
+
+    Splits the error budget between a one-sided lower bound on ``P1`` and a
+    one-sided upper bound on ``P2`` (union bound), so
+    ``P[bound > true log-ratio] <= alpha``.  Returns ``-inf`` when the
+    favourable side produced no occurrences at all (nothing can be
+    concluded from zero successes).
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+    p1_lo = _one_sided_lower(counts.successes_d, counts.trials_d, alpha / 2.0)
+    p2_hi = _one_sided_upper(
+        counts.successes_d_prime, counts.trials_d_prime, alpha / 2.0
+    )
+    if p1_lo <= 0.0:
+        return float("-inf")
+    return math.log(p1_lo) - math.log(p2_hi)
+
+
+def directed_lower_bound(counts: EventCounts, alpha: float) -> tuple:
+    """The better of the two directions: ``(bound, direction)``.
+
+    ``direction`` is ``+1`` when the event is over-represented under ``D``
+    and ``-1`` when under ``D'``; the DP inequality is symmetric in the
+    pair, so a violation in either direction is a witness.
+    """
+    forward = epsilon_lower_bound(counts, alpha)
+    backward = epsilon_lower_bound(counts.swapped(), alpha)
+    if backward > forward:
+        return backward, -1
+    return forward, +1
+
+
+def epsilon_p_value(counts: EventCounts, claimed_epsilon: float) -> float:
+    """The smallest level at which the bound exceeds ``claimed_epsilon``.
+
+    ``epsilon_lower_bound`` is monotone increasing in ``alpha`` (looser
+    confidence, tighter interval), so the p-value of ``H0: the log-ratio is
+    at most claimed_epsilon`` is found by bisection over the level.  A
+    p-value of 1.0 means even the trivial interval cannot exceed the claim.
+    """
+    if claimed_epsilon < 0:
+        raise ValueError(f"claimed_epsilon must be non-negative, got {claimed_epsilon}")
+
+    def exceeds(alpha: float) -> bool:
+        bound, _ = directed_lower_bound(counts, alpha)
+        return bound > claimed_epsilon
+
+    if not exceeds(1.0 - 1e-9):
+        return 1.0
+    lo, hi = 1e-12, 1.0 - 1e-9
+    if exceeds(lo):
+        return lo
+    for _ in range(60):
+        mid = math.sqrt(lo * hi)  # bisect in log space: p-values span decades
+        if exceeds(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def holm_reject(p_values: Sequence[float], alpha: float) -> List[bool]:
+    """Holm step-down rejections at family-wise level ``alpha``.
+
+    Orders the m hypotheses by p-value and compares the i-th smallest
+    against ``alpha / (m - i)`` (0-indexed), stopping at the first failure;
+    ties are broken by the original index so a fixed input always yields
+    the same rejection set.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must lie in (0, 1), got {alpha}")
+    m = len(p_values)
+    rejected = [False] * m
+    order = sorted(range(m), key=lambda i: (p_values[i], i))
+    for rank, index in enumerate(order):
+        threshold = alpha / (m - rank)
+        if p_values[index] > threshold:
+            break
+        rejected[index] = True
+    return rejected
+
+
+@dataclass(frozen=True)
+class TestOutcome:
+    """The verdict on one candidate event after multiplicity correction.
+
+    ``epsilon_bound`` is the lower confidence bound computed at the Holm
+    threshold the event was actually tested against, so a rejected event's
+    bound is an honest ``1 - alpha`` family-wise statement, not the
+    uncorrected (optimistic) one.
+    """
+
+    index: int
+    p_value: float
+    rejected: bool
+    epsilon_bound: float
+    direction: int
+    counts: EventCounts
+
+    @property
+    def exceeds_claim(self) -> bool:
+        return self.rejected
+
+
+def test_events(
+    counts_list: Sequence[EventCounts],
+    claimed_epsilon: float,
+    alpha: float,
+) -> List[TestOutcome]:
+    """Test every candidate event on one pair's held-out data.
+
+    Computes the per-event p-values, applies Holm at family-wise level
+    ``alpha``, and reports for each event the epsilon lower bound at its
+    Holm-adjusted level.  The events in ``counts_list`` must have been
+    chosen without looking at this data (the campaign's train/test split
+    enforces that) -- Holm corrects for testing many events, not for
+    selecting them on the same sample.
+    """
+    p_values = [
+        epsilon_p_value(counts, claimed_epsilon) for counts in counts_list
+    ]
+    rejections = holm_reject(p_values, alpha) if counts_list else []
+    m = len(counts_list)
+    order = sorted(range(m), key=lambda i: (p_values[i], i))
+    rank_of = {index: rank for rank, index in enumerate(order)}
+    outcomes: List[TestOutcome] = []
+    for index, counts in enumerate(counts_list):
+        level = alpha / (m - rank_of[index])
+        bound, direction = directed_lower_bound(counts, level)
+        outcomes.append(
+            TestOutcome(
+                index=index,
+                p_value=p_values[index],
+                rejected=rejections[index],
+                epsilon_bound=bound,
+                direction=direction,
+                counts=counts,
+            )
+        )
+    return outcomes
+
+
+def train_test_counts(
+    occurrences, split: int
+) -> tuple:
+    """Split one side's per-trial event vector into (train, test) counts.
+
+    ``occurrences`` is a boolean array over trials; the first ``split``
+    trials are the selection sample, the rest the held-out sample.  Kept
+    here (rather than in the campaign) so the split discipline is part of
+    the tested statistical core.
+    """
+    total = len(occurrences)
+    if not 0 <= split <= total:
+        raise ValueError(f"split must lie in [0, {total}], got {split}")
+    train = int(sum(bool(x) for x in occurrences[:split]))
+    test = int(sum(bool(x) for x in occurrences[split:]))
+    return train, test
+
+
+def smoothed_ratio(
+    successes_d: int,
+    successes_d_prime: int,
+    denominator: float,
+    smoothing: float,
+) -> float:
+    """The symmetric pseudo-count-smoothed probability ratio.
+
+    The legacy reporting statistic of the empirical verifier (it reads
+    better than a p-value in a failure message); the *decision* statistic
+    is :func:`epsilon_lower_bound`.
+    """
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    if smoothing <= 0:
+        raise ValueError(f"smoothing must be positive, got {smoothing}")
+    p = (successes_d + smoothing) / denominator
+    p_prime = (successes_d_prime + smoothing) / denominator
+    return max(p / p_prime, p_prime / p)
+
+
+def required_level(
+    counts: EventCounts, claimed_epsilon: float, alpha: float
+) -> Optional[float]:
+    """Convenience: the Holm-free decision at level ``alpha``.
+
+    Returns the directed bound when it exceeds the claim at ``alpha`` and
+    ``None`` otherwise -- the single-event path used by the rewired
+    :class:`~repro.alignment.verifier.EmpiricalDPVerifier`.
+    """
+    bound, _ = directed_lower_bound(counts, alpha)
+    if bound > claimed_epsilon:
+        return bound
+    return None

@@ -25,9 +25,10 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Optional
+from typing import Dict, Optional
 from urllib import error as urlerror
 from urllib import request as urlrequest
+from urllib.parse import quote
 
 from repro.accounting.budget import BudgetExceededError
 from repro.api.result import Result
@@ -224,6 +225,24 @@ class HttpJobClient:
         return self._status_from_payload(
             self._handle("GET", f"/v1/jobs/{job_id}")
         )
+
+    def status_many(self, job_ids) -> Dict[str, JobStatus]:
+        """Batch :meth:`status` in one ``GET /v1/jobs?ids=...`` round-trip.
+
+        Mirrors :meth:`JobClient.status_many`: duplicates collapse, every
+        id must exist and be authorized (the server refuses the whole
+        batch otherwise), and the result is keyed by job id.
+        """
+        unique = list(dict.fromkeys(str(job_id) for job_id in job_ids))
+        if not unique:
+            return {}
+        ids = quote(",".join(unique), safe=",")
+        payload = self._handle("GET", f"/v1/jobs?ids={ids}")
+        jobs = payload.get("jobs") or {}
+        return {
+            job_id: self._status_from_payload(entry)
+            for job_id, entry in jobs.items()
+        }
 
     def result(
         self,

@@ -56,6 +56,7 @@ import re
 import threading
 import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 from typing import Dict, Optional, Set, Union
 
 from repro.accounting.budget import BudgetExceededError
@@ -86,6 +87,9 @@ DEFAULT_MAX_PENDING = 10_000
 #: Largest accepted request body (a spec with an explicit per-trial noise
 #: matrix is big; an unbounded read is a memory DoS).
 MAX_BODY_BYTES = 64 * 1024 * 1024
+#: Per-request cap on batch-status ids: bounds the filesystem reads one
+#: GET can trigger while staying far above any realistic poll wave.
+MAX_BATCH_STATUS_IDS = 512
 
 _JOB_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9][A-Za-z0-9._-]*)$")
 _JOB_RESULT_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9][A-Za-z0-9._-]*)/result$")
@@ -328,10 +332,17 @@ class _BrokerRequestHandler(BaseHTTPRequestHandler):
                 pass  # peer hung up mid-response; nothing left to tell it
 
     def _route(self, method: str) -> None:
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
         if path == "/v1/jobs":
+            if method == "GET":
+                return self._handle_status_many(query)
             if method != "POST":
-                raise _RequestError(405, "use POST /v1/jobs to submit")
+                raise _RequestError(
+                    405,
+                    "use POST /v1/jobs to submit or "
+                    "GET /v1/jobs?ids=... for batch status",
+                )
             return self._handle_submit()
         match = _JOB_RESULT_PATH.match(path)
         if match:
@@ -410,6 +421,36 @@ class _BrokerRequestHandler(BaseHTTPRequestHandler):
         manifest = self._authorized_manifest(job_id, principal)
         status = self.server.broker._status_from_manifest(job_id, manifest)
         self._send_json(200, self._status_payload(status))
+
+    def _handle_status_many(self, query: str) -> None:
+        """``GET /v1/jobs?ids=a,b,c``: N statuses in one round-trip.
+
+        Strict by design: every id must exist (404 names the first that
+        does not) and be authorized for the caller (403 otherwise) -- a
+        poller waiting on a wave of jobs must never mistake a dropped id
+        for progress.  Duplicates collapse; the response maps job id to
+        the same payload ``GET /v1/jobs/<id>`` returns.
+        """
+        raw = parse_qs(query).get("ids", [])
+        job_ids = [jid for chunk in raw for jid in chunk.split(",") if jid]
+        if not job_ids:
+            raise _RequestError(400, "batch status needs ids=<id>[,<id>...]")
+        if len(job_ids) > MAX_BATCH_STATUS_IDS:
+            raise _RequestError(
+                400,
+                f"batch status accepts at most {MAX_BATCH_STATUS_IDS} ids "
+                f"per request, got {len(job_ids)}",
+            )
+        principal = self._principal()
+        broker = self.server.broker
+        jobs: Dict[str, dict] = {}
+        for job_id in job_ids:
+            if job_id in jobs:
+                continue
+            manifest = self._authorized_manifest(job_id, principal)
+            status = broker._status_from_manifest(job_id, manifest)
+            jobs[job_id] = self._status_payload(status)
+        self._send_json(200, {"jobs": jobs})
 
     def _handle_result(self, job_id: str) -> None:
         principal = self._principal()

@@ -454,6 +454,25 @@ class Broker:
         """
         return self._status_from_manifest(job_id, self.manifest(job_id))
 
+    def status_many(self, job_ids) -> Dict[str, JobStatus]:
+        """Statuses for a batch of jobs, keyed by job id.
+
+        The campaign layer fans a wave of jobs out and polls them as one
+        unit; this is the single call that answers "is the wave done yet"
+        so N in-flight jobs cost one round-trip, not N (the HTTP
+        transport maps it onto one ``GET /v1/jobs?ids=...``).  Duplicate
+        ids collapse; an unknown id raises :class:`JobNotFoundError`
+        exactly as :meth:`status` would -- a batch never silently drops a
+        job the caller is waiting on.
+        """
+        statuses: Dict[str, JobStatus] = {}
+        for job_id in job_ids:
+            job_id = str(job_id)
+            if job_id in statuses:
+                continue
+            statuses[job_id] = self.status(job_id)
+        return statuses
+
     def _status_from_manifest(self, job_id: str, manifest: dict) -> JobStatus:
         # Split out so result() can reuse an already-loaded manifest
         # instead of re-reading it from disk for the status check.

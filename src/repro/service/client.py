@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.api.result import Result
 from repro.api.specs import MechanismSpec
@@ -99,6 +99,10 @@ class JobClient:
 
     def status(self, job_id: str) -> JobStatus:
         return self.broker.status(job_id)
+
+    def status_many(self, job_ids) -> Dict[str, JobStatus]:
+        """Batch :meth:`status`: one call answers for a whole job wave."""
+        return self.broker.status_many(job_ids)
 
     def result(
         self,

@@ -37,7 +37,10 @@ __all__ = ["ALL_RULES", "RULE_NAMES", "iter_rules"]
 #: seed, chunk_trials) -- the determinism invariant.  ``alignment`` (the
 #: dynamic alignment checkers) and ``privcheck`` (the static verifier,
 #: which draws nothing at all) carry the same contract: a verdict must
-#: never depend on ambient state.
+#: never depend on ambient state.  ``hunt`` joins them: a seeded campaign
+#: (pairs, events, witnesses, the whole verdict table) must replay
+#: bit-identically, so its modules may neither read clocks nor draw
+#: unseeded randomness.
 DETERMINISTIC_SUBPACKAGES = (
     "core",
     "mechanisms",
@@ -47,6 +50,7 @@ DETERMINISTIC_SUBPACKAGES = (
     "dispatch",
     "alignment",
     "privcheck",
+    "hunt",
 )
 
 #: Layers that write files under a durable root (queue entries, manifests,
@@ -104,6 +108,7 @@ LAYER_RANKS: Dict[str, int] = {
     "evaluation": 8,
     "staticcheck": 8,
     "privcheck": 8,
+    "hunt": 8,
 }
 
 _WALLCLOCK_CALLS = {

@@ -1,0 +1,480 @@
+"""End-to-end and unit tests of the dynamic DP-violation hunter
+(:mod:`repro.hunt`).
+
+The load-bearing properties:
+
+* the statistical core is *exact* -- Clopper--Pearson endpoints match the
+  classical tables, the epsilon lower bound is a valid one-sided claim,
+  Holm controls the family-wise level, and the train/test discipline is
+  enforced by construction;
+* a seeded hunt is deterministic and *agrees with the static verifier*:
+  a refuted variant yields a witness, a verified mechanism survives;
+* routing the trials through the job service changes nothing -- every
+  batch is bit-identical to the in-process facade run, so the service
+  campaign reproduces the in-process campaign exactly.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import SvtVariantSpec, run
+from repro.hunt import (
+    EventCounts,
+    HuntConfig,
+    InProcessRunner,
+    RunRequest,
+    ServiceRunner,
+    TrialWindow,
+    clopper_pearson,
+    cross_check,
+    derive_seed,
+    epsilon_lower_bound,
+    epsilon_p_value,
+    generate_candidates,
+    generate_pairs,
+    holm_reject,
+    hunt_catalogue,
+    pair_specs,
+    render_hunt_table,
+    require_agreement,
+    run_campaign,
+    run_hunt,
+    test_events as evaluate_events,  # aliased so pytest does not collect it
+)
+from repro.hunt.campaign import CampaignOutcome
+from repro.hunt.report import HuntDisagreementError
+from repro.hunt.stats import (
+    betainc,
+    beta_ppf,
+    directed_lower_bound,
+    train_test_counts,
+)
+from test_service import assert_results_identical
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def catalogue():
+    return {entry.label: entry for entry in hunt_catalogue()}
+
+
+# ---------------------------------------------------------------------------
+# the statistical core
+# ---------------------------------------------------------------------------
+
+
+class TestBetaFunctions:
+    def test_betainc_uniform_is_identity(self):
+        for x in (0.0, 0.125, 0.5, 0.875, 1.0):
+            assert betainc(1.0, 1.0, x) == pytest.approx(x, abs=1e-12)
+
+    def test_betainc_matches_closed_form(self):
+        # I_x(2, 1) = x^2 and I_x(1, 2) = 1 - (1-x)^2.
+        assert betainc(2.0, 1.0, 0.3) == pytest.approx(0.09, abs=1e-10)
+        assert betainc(1.0, 2.0, 0.3) == pytest.approx(0.51, abs=1e-10)
+
+    def test_betainc_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            betainc(0.0, 1.0, 0.5)
+
+    def test_ppf_round_trips_through_cdf(self):
+        for q in (0.01, 0.25, 0.5, 0.975):
+            x = beta_ppf(q, 3.0, 5.0)
+            assert betainc(3.0, 5.0, x) == pytest.approx(q, abs=1e-9)
+
+
+class TestClopperPearson:
+    def test_matches_the_classical_table(self):
+        # The canonical 5/10 at 95%: (0.187, 0.813) to three decimals.
+        lower, upper = clopper_pearson(5, 10, 0.05)
+        assert lower == pytest.approx(0.1871, abs=5e-4)
+        assert upper == pytest.approx(0.8129, abs=5e-4)
+
+    def test_zero_and_full_hits_pin_the_endpoints(self):
+        assert clopper_pearson(0, 10, 0.05)[0] == 0.0
+        assert clopper_pearson(10, 10, 0.05)[1] == 1.0
+        lower, upper = clopper_pearson(0, 10, 0.05)
+        assert 0.0 < upper < 1.0
+        assert clopper_pearson(10, 10, 0.05)[0] > 0.0
+
+    def test_interval_narrows_with_trials(self):
+        narrow = clopper_pearson(500, 1000, 0.05)
+        wide = clopper_pearson(5, 10, 0.05)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="trials"):
+            clopper_pearson(0, 0, 0.05)
+        with pytest.raises(ValueError, match="successes"):
+            clopper_pearson(11, 10, 0.05)
+        with pytest.raises(ValueError, match="alpha"):
+            clopper_pearson(5, 10, 1.5)
+
+
+class TestEpsilonBounds:
+    def test_zero_successes_on_the_favourable_side_is_minus_inf(self):
+        counts = EventCounts(0, 1000, 10, 1000)
+        assert epsilon_lower_bound(counts, 0.05) == float("-inf")
+
+    def test_lopsided_counts_give_a_positive_bound(self):
+        counts = EventCounts(400, 1000, 20, 1000)
+        bound = epsilon_lower_bound(counts, 0.05)
+        assert 0.0 < bound < math.log(400 / 20)
+
+    def test_directed_bound_is_symmetric_under_swap(self):
+        counts = EventCounts(20, 1000, 400, 1000)
+        bound, direction = directed_lower_bound(counts, 0.05)
+        assert direction == -1
+        forward, forward_dir = directed_lower_bound(counts.swapped(), 0.05)
+        assert forward_dir == +1
+        assert bound == pytest.approx(forward, abs=1e-12)
+
+    def test_bound_is_conservative_in_alpha(self):
+        counts = EventCounts(400, 1000, 20, 1000)
+        tight = epsilon_lower_bound(counts, 0.001)
+        loose = epsilon_lower_bound(counts, 0.2)
+        assert tight < loose
+
+    def test_p_value_monotone_in_evidence(self):
+        weak = epsilon_p_value(EventCounts(60, 1000, 20, 1000), 0.5)
+        strong = epsilon_p_value(EventCounts(400, 1000, 20, 1000), 0.5)
+        assert strong < weak <= 1.0
+        assert strong >= 1e-12
+
+    def test_p_value_is_one_for_balanced_counts(self):
+        assert epsilon_p_value(EventCounts(50, 1000, 50, 1000), 1.0) == 1.0
+
+
+class TestHolm:
+    def test_step_down_thresholds(self):
+        # m=3, alpha=0.05: thresholds 0.05/3, 0.05/2, 0.05 in p-order.
+        rejected = holm_reject([0.001, 0.02, 0.9], 0.05)
+        assert rejected == [True, True, False]
+
+    def test_stops_at_the_first_failure(self):
+        # The second-smallest fails 0.05/2, so the third is not even tested.
+        rejected = holm_reject([0.001, 0.04, 0.045], 0.05)
+        assert rejected == [True, False, False]
+
+    def test_ties_resolve_deterministically(self):
+        assert holm_reject([0.01, 0.01], 0.05) == holm_reject([0.01, 0.01], 0.05)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            holm_reject([0.01], 0.0)
+
+    def test_test_events_reports_the_corrected_bound(self):
+        counts = [
+            EventCounts(400, 1000, 20, 1000),
+            EventCounts(50, 1000, 50, 1000),
+        ]
+        outcomes = evaluate_events(counts, 0.5, 0.05)
+        assert [outcome.index for outcome in outcomes] == [0, 1]
+        assert outcomes[0].rejected and not outcomes[1].rejected
+        assert outcomes[0].epsilon_bound > 0.5
+        assert outcomes[1].p_value == 1.0
+
+
+class TestTrainTestSplit:
+    def test_split_counts_partition_the_sample(self):
+        occurrences = np.array([True, True, False, True, False, True])
+        train, test = train_test_counts(occurrences, 4)
+        assert (train, test) == (3, 1)
+        assert train + test == int(occurrences.sum())
+
+    def test_split_bounds_are_validated(self):
+        with pytest.raises(ValueError, match="split"):
+            train_test_counts([True, False], 3)
+
+
+# ---------------------------------------------------------------------------
+# neighbouring pairs
+# ---------------------------------------------------------------------------
+
+
+class TestInputs:
+    def test_general_adjacency_stays_within_sensitivity(self):
+        pairs = generate_pairs((8.0, 9.0, 7.0), 1.0, monotonic=False)
+        assert len(pairs) >= 7
+        for pair in pairs:
+            assert pair.max_delta() <= 1.0 + 1e-12
+            assert len(pair.queries_d) == len(pair.queries_d_prime)
+
+    def test_monotonic_claims_admit_only_single_signed_shifts(self):
+        pairs = generate_pairs((8.0, 9.0, 7.0), 1.0, monotonic=True)
+        assert pairs  # never empty
+        for pair in pairs:
+            deltas = [
+                b - a for a, b in zip(pair.queries_d, pair.queries_d_prime)
+            ]
+            signs = {1 if d > 0 else -1 for d in deltas if d != 0.0}
+            assert len(signs) <= 1, pair.category
+
+    def test_categories_are_distinct(self):
+        pairs = generate_pairs((8.0, 9.0, 7.0), 1.0, monotonic=False)
+        categories = [pair.category for pair in pairs]
+        assert len(categories) == len(set(categories))
+
+    def test_pair_specs_substitute_only_the_queries(self, catalogue):
+        entry = catalogue["svt-variant-6"]
+        pair = generate_pairs(entry.spec.queries, 1.0, monotonic=False)[0]
+        spec_d, spec_d_prime = pair_specs(entry.spec, pair)
+        assert tuple(spec_d.queries) == pair.queries_d
+        assert tuple(spec_d_prime.queries) == pair.queries_d_prime
+        assert spec_d.epsilon == entry.spec.epsilon
+        assert spec_d.variant == entry.spec.variant
+
+
+# ---------------------------------------------------------------------------
+# event selection
+# ---------------------------------------------------------------------------
+
+
+class TestEvents:
+    @pytest.fixture(scope="class")
+    def window(self):
+        spec = SvtVariantSpec(
+            queries=(9.0, 8.0, 7.5, 8.5), epsilon=1.0, variant=1,
+            threshold=8.0, k=1,
+        )
+        result = run(spec, engine="reference", trials=64, rng=SEED)
+        return TrialWindow(result, 0, 64)
+
+    def test_tally_denominator_is_the_window_size(self, window):
+        candidates = generate_candidates([window], [window], 8)
+        assert candidates
+        for event in candidates:
+            successes, trials = event.tally([window])
+            assert trials == 64
+            assert 0 <= successes <= trials
+
+    def test_candidate_pool_is_capped_and_deduplicated(self, window):
+        candidates = generate_candidates([window], [window], 3)
+        assert len(candidates) <= 3
+        labels = [event.describe() for event in candidates]
+        assert len(labels) == len(set(labels))
+
+    def test_windows_partition_their_result(self, window):
+        left = TrialWindow(window.result, 0, 32)
+        right = TrialWindow(window.result, 32, 64)
+        event = generate_candidates([window], [window], 1)[0]
+        whole, _ = event.tally([window])
+        first, _ = event.tally([left])
+        second, _ = event.tally([right])
+        assert whole == first + second
+
+
+# ---------------------------------------------------------------------------
+# campaigns: determinism, verdict agreement, service parity
+# ---------------------------------------------------------------------------
+
+
+def _small_config(schedule, chunk):
+    return HuntConfig(schedule_override=schedule, chunk_trials=chunk)
+
+
+class TestHuntEndToEnd:
+    def test_refuted_variant_yields_a_certified_witness(self, catalogue):
+        entry = catalogue["svt-variant-6"]
+        outcome = run_hunt(
+            entry,
+            InProcessRunner(chunk_trials=600),
+            seed=SEED,
+            config=_small_config((1200,), 600),
+        )
+        assert outcome.violated
+        witness = outcome.witness
+        assert witness.epsilon_bound > entry.spec.epsilon
+        assert witness.p_value <= witness.alpha
+        assert witness.counts.successes_d > witness.counts.successes_d_prime
+        assert outcome.total_trials > 0
+
+    def test_verified_mechanism_survives(self, catalogue):
+        entry = catalogue["svt-variant-1"]
+        outcome = run_hunt(
+            entry,
+            InProcessRunner(chunk_trials=600),
+            seed=SEED,
+            config=_small_config((1200,), 600),
+        )
+        assert not outcome.violated
+        assert outcome.rounds_completed == 1
+
+    def test_seeded_hunt_is_deterministic(self, catalogue):
+        entry = catalogue["svt-variant-6"]
+        config = _small_config((1200,), 600)
+        first = run_hunt(
+            entry, InProcessRunner(chunk_trials=600), seed=SEED, config=config
+        )
+        second = run_hunt(
+            entry, InProcessRunner(chunk_trials=600), seed=SEED, config=config
+        )
+        assert first.witness == second.witness
+        assert first.total_trials == second.total_trials
+
+    def test_derived_seeds_are_content_addressed(self):
+        base = derive_seed(SEED, "svt-variant-6", 0, (7.5, 8.5), 1000)
+        assert base == derive_seed(SEED, "svt-variant-6", 0, (7.5, 8.5), 1000)
+        assert base != derive_seed(SEED, "svt-variant-6", 1, (7.5, 8.5), 1000)
+        assert base != derive_seed(SEED, "svt-variant-6", 0, (8.5, 8.5), 1000)
+        assert base != derive_seed(SEED + 1, "svt-variant-6", 0, (7.5, 8.5), 1000)
+
+
+class TestServiceParity:
+    def test_service_batch_is_bit_identical_to_facade_run(
+        self, tmp_path, catalogue
+    ):
+        entry = catalogue["svt-variant-6"]
+        request = RunRequest(
+            spec=entry.spec, engine=entry.engine, trials=40,
+            seed=derive_seed(SEED, entry.label, 0, entry.spec.queries, 40),
+        )
+        runner = ServiceRunner(
+            root=tmp_path / "svc", workers=3, chunk_trials=8
+        )
+        (via_service,) = runner.run_many([request], tenant=entry.tenant)
+        in_process = run(
+            request.spec,
+            engine=request.engine,
+            trials=request.trials,
+            rng=request.seed,
+            shards=3,
+            chunk_trials=8,
+        )
+        assert_results_identical(via_service, in_process)
+
+    def test_service_campaign_reproduces_the_in_process_campaign(
+        self, tmp_path, catalogue
+    ):
+        entry = catalogue["svt-variant-6"]
+        config = _small_config((800,), 400)
+        in_process = run_hunt(
+            entry, InProcessRunner(chunk_trials=400), seed=SEED, config=config
+        )
+        service = run_hunt(
+            entry,
+            ServiceRunner(root=tmp_path / "svc", workers=2, chunk_trials=400),
+            seed=SEED,
+            config=config,
+        )
+        assert service.witness == in_process.witness
+        assert service.total_trials == in_process.total_trials
+        # The service path is metered: each hunt runs under its own tenant.
+        assert service.tenant == "hunt-svt-variant-6"
+        assert service.epsilon_charged is not None
+        assert service.epsilon_charged > 0.0
+        assert in_process.epsilon_charged is None
+
+
+class TestReport:
+    def test_campaign_cross_check_agrees_on_a_mixed_pair(self, catalogue):
+        entries = [catalogue["svt-variant-6"], catalogue["svt-variant-1"]]
+        outcomes = run_campaign(
+            InProcessRunner(chunk_trials=600),
+            seed=SEED,
+            entries=entries,
+            config=_small_config((1200,), 600),
+        )
+        rows = cross_check(entries, outcomes)
+        assert all(row.agrees for row in rows)
+        require_agreement(rows)  # must not raise
+        table = render_hunt_table(rows)
+        assert "VIOLATED" in table and "survived" in table
+        assert "DISAGREES" not in table
+
+    def test_under_hunted_refuted_variant_is_a_loud_disagreement(
+        self, catalogue
+    ):
+        entry = catalogue["svt-variant-6"]
+        survived = CampaignOutcome(
+            label=entry.label,
+            claimed_epsilon=float(entry.spec.epsilon),
+            schedule=(100,),
+            witness=None,
+            rounds_completed=1,
+            total_trials=1600,
+            tenant=entry.tenant,
+        )
+        rows = cross_check([entry], [survived])
+        assert not rows[0].agrees
+        assert "DISAGREES" in render_hunt_table(rows)
+        with pytest.raises(HuntDisagreementError, match="svt-variant-6"):
+            require_agreement(rows)
+
+    def test_cross_check_refuses_misaligned_sequences(self, catalogue):
+        entry = catalogue["svt-variant-6"]
+        outcome = CampaignOutcome(
+            label="svt-variant-1",
+            claimed_epsilon=1.0,
+            schedule=(100,),
+            witness=None,
+            rounds_completed=1,
+            total_trials=0,
+            tenant="hunt-svt-variant-1",
+        )
+        with pytest.raises(ValueError, match="order mismatch"):
+            cross_check([entry], [outcome])
+        with pytest.raises(ValueError, match="entries"):
+            cross_check([entry], [])
+
+
+# ---------------------------------------------------------------------------
+# the CLI verb
+# ---------------------------------------------------------------------------
+
+
+class TestHuntCLI:
+    def test_agreeing_hunt_exits_zero(self, tmp_path, capsys):
+        from repro.evaluation.cli import main
+
+        code = main(
+            [
+                "hunt",
+                "--root", str(tmp_path / "svc"),
+                "--seed", str(SEED),
+                "--mechanisms", "svt-variant-6",
+                "--schedule", "1200",
+                "--chunk-trials", "600",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+        assert "0 disagreement(s)" in out
+
+    def test_under_hunted_schedule_exits_two(self, tmp_path, capsys):
+        from repro.evaluation.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "hunt",
+                    "--root", str(tmp_path / "svc"),
+                    "--seed", str(SEED),
+                    "--mechanisms", "svt-variant-3",
+                    "--schedule", "400",
+                    "--chunk-trials", "400",
+                ]
+            )
+        assert excinfo.value.code == 2
+        captured = capsys.readouterr()
+        assert "DISAGREES" in captured.out
+        assert "disagrees with static verdicts" in captured.err
+
+    def test_unknown_mechanism_exits_two(self, tmp_path, capsys):
+        from repro.evaluation.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["hunt", "--root", str(tmp_path / "svc"), "--mechanisms", "nope"])
+        assert excinfo.value.code == 2
+        assert "unknown mechanism" in capsys.readouterr().err
+
+    def test_hunt_requires_exactly_one_transport(self, capsys):
+        from repro.evaluation.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["hunt"])
+        assert "exactly one" in capsys.readouterr().err

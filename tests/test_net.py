@@ -152,6 +152,65 @@ class TestHttpParity:
 
 
 # ---------------------------------------------------------------------------
+# batch status: GET /v1/jobs?ids=...
+# ---------------------------------------------------------------------------
+
+
+class TestBatchStatus:
+    def test_batch_matches_individual_statuses(self, server_factory, top_k_spec):
+        server = server_factory()
+        client = HttpJobClient(server.url)
+        handles = [
+            client.submit(
+                top_k_spec, trials=TRIALS, seed=SEED + i, chunk_trials=CHUNK
+            )
+            for i in range(3)
+        ]
+        run_workers(server.broker, 2)
+        # A fourth job stays un-drained so the batch spans mixed states.
+        handles.append(client.submit(top_k_spec, trials=2, seed=SEED))
+        ids = [handle.job_id for handle in handles]
+        statuses = client.status_many(ids + ids[:1])  # duplicates collapse
+        assert sorted(statuses) == sorted(ids)
+        for job_id in ids:
+            single = client.status(job_id)
+            batch = statuses[job_id]
+            assert (batch.state, batch.done_tasks, batch.total_tasks) == (
+                single.state,
+                single.done_tasks,
+                single.total_tasks,
+            )
+        assert statuses[ids[0]].state == "done"
+        assert statuses[ids[-1]].state == "submitted"
+
+    def test_empty_id_list_makes_no_request(self, server_factory):
+        server = server_factory()
+        server.shutdown()  # a request now would fail loudly
+        assert HttpJobClient(server.url).status_many([]) == {}
+
+    def test_unknown_id_refuses_the_whole_batch(self, server_factory, top_k_spec):
+        server = server_factory()
+        client = HttpJobClient(server.url)
+        handle = client.submit(top_k_spec, trials=1)
+        with pytest.raises(JobNotFoundError):
+            client.status_many([handle.job_id, "job-nope"])
+
+    def test_cross_tenant_id_refuses_the_whole_batch(
+        self, server_factory, top_k_spec
+    ):
+        server = server_factory(controller=_controller())
+        alice = HttpJobClient(server.url, token="alice-secret")
+        mine = alice.submit(top_k_spec, trials=1, tenant="alice")
+        bob = HttpJobClient(server.url, token="bob-secret")
+        theirs = bob.submit(top_k_spec, trials=1, tenant="bob")
+        with pytest.raises(AuthorizationError):
+            bob.status_many([theirs.job_id, mine.job_id])
+        # The same batch under the admin token is fully readable.
+        admin = HttpJobClient(server.url, token="op-secret")
+        assert len(admin.status_many([theirs.job_id, mine.job_id])) == 2
+
+
+# ---------------------------------------------------------------------------
 # auth: tokens, scopes, admin
 # ---------------------------------------------------------------------------
 
@@ -340,8 +399,13 @@ class TestErrorMapping:
 
     def test_wrong_method_is_405(self, server_factory):
         server = server_factory()
-        assert _raw(server, "GET", "/v1/jobs")[0] == 405
+        assert _raw(server, "PUT", "/v1/jobs")[0] == 405
         assert _raw(server, "DELETE", "/v1/metrics")[0] == 405
+
+    def test_batch_status_without_ids_is_400(self, server_factory):
+        server = server_factory()
+        assert _raw(server, "GET", "/v1/jobs")[0] == 400
+        assert _raw(server, "GET", "/v1/jobs?ids=")[0] == 400
 
     def test_malformed_json_body_is_400(self, server_factory):
         server = server_factory()

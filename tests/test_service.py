@@ -417,6 +417,40 @@ class TestBrokerLifecycle:
         with pytest.raises(JobNotFoundError):
             broker.result("job-nope")
 
+    def test_status_many_matches_individual_statuses(self, tmp_path, top_k_spec):
+        broker = Broker(tmp_path / "svc")
+        done = broker.submit(top_k_spec, trials=TRIALS, seed=7, chunk_trials=CHUNK)
+        run_workers(broker, 2)
+        fresh = broker.submit(top_k_spec, trials=4, seed=8)
+        statuses = broker.status_many([done, fresh, done])  # duplicates collapse
+        assert sorted(statuses) == sorted((done, fresh))
+        for job_id, batched in statuses.items():
+            single = broker.status(job_id)
+            assert (batched.state, batched.done_tasks, batched.total_tasks) == (
+                single.state,
+                single.done_tasks,
+                single.total_tasks,
+            )
+        assert statuses[done].state == "done"
+        assert statuses[fresh].state == "submitted"
+        assert broker.status_many([]) == {}
+
+    def test_status_many_unknown_id_refuses_the_whole_batch(
+        self, tmp_path, top_k_spec
+    ):
+        broker = Broker(tmp_path / "svc")
+        job_id = broker.submit(top_k_spec, trials=4, seed=0)
+        with pytest.raises(JobNotFoundError):
+            broker.status_many([job_id, "job-nope"])
+
+    def test_client_status_many_delegates_to_the_broker(
+        self, tmp_path, top_k_spec
+    ):
+        client = JobClient(tmp_path / "svc")
+        handle = client.submit(top_k_spec, trials=4, seed=0)
+        statuses = client.status_many([handle.job_id])
+        assert statuses[handle.job_id].state == "submitted"
+
     def test_job_progresses_submitted_running_done(self, tmp_path, top_k_spec):
         broker = Broker(tmp_path / "svc")
         job_id = broker.submit(
